@@ -1,0 +1,32 @@
+//! E13 bench: approximation knobs (eps, m) vs runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsga::kdv;
+use lsga::prelude::*;
+use lsga_bench::workloads::{crime, window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = crime(50_000);
+    let spec = GridSpec::new(window(), 64, 51);
+    let kernel = Gaussian::new(400.0);
+    let engine = kdv::BoundsKdv::new(&points);
+    let mut g = c.benchmark_group("approx_quality_n50k");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for eps in [0.01f64, 0.1, 0.5] {
+        g.bench_with_input(BenchmarkId::new("bounds_eps", eps), &eps, |bch, &eps| {
+            bch.iter(|| black_box(engine.compute(spec, kernel, eps)))
+        });
+    }
+    for m in [1_000usize, 8_000] {
+        g.bench_with_input(BenchmarkId::new("sampling_m", m), &m, |bch, &m| {
+            bch.iter(|| black_box(kdv::sampling_kdv(&points, spec, kernel, m, 9)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

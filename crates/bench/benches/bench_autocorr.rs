@@ -1,0 +1,32 @@
+//! E11 bench: Moran's I and General G with permutation inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsga::stats::{self, areal, SpatialWeights};
+use lsga::prelude::*;
+use lsga_bench::workloads::{crime, window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let pts = crime(30_000);
+    let spec = GridSpec::new(window(), 20, 16);
+    let counts = areal::quadrat_counts(&pts, spec);
+    let centers = areal::cell_centers(&spec);
+    let w = SpatialWeights::distance_band(&centers, 700.0);
+    let mut g = c.benchmark_group("autocorr_320cells");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("morans_i_199perm", |bch| {
+        bch.iter(|| black_box(stats::morans_i(counts.values(), &w, 199, 1)))
+    });
+    g.bench_function("general_g_199perm", |bch| {
+        bch.iter(|| black_box(stats::general_g(counts.values(), &w, 199, 2)))
+    });
+    g.bench_function("weights_distance_band", |bch| {
+        bch.iter(|| black_box(SpatialWeights::distance_band(&centers, 700.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

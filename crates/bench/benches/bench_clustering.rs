@@ -1,0 +1,45 @@
+//! E15 bench: DBSCAN and K-means on hotspot mixtures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsga::stats;
+use lsga::prelude::*;
+use lsga::data;
+use lsga_bench::workloads::window;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let hotspots = [
+        Hotspot {
+            center: Point::new(2_000.0, 2_000.0),
+            sigma: 250.0,
+            weight: 1.0,
+        },
+        Hotspot {
+            center: Point::new(8_000.0, 3_000.0),
+            sigma: 250.0,
+            weight: 1.0,
+        },
+        Hotspot {
+            center: Point::new(5_000.0, 6_500.0),
+            sigma: 250.0,
+            weight: 1.0,
+        },
+    ];
+    let mut g = c.benchmark_group("clustering");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [5_000usize, 30_000] {
+        let (pts, _) = data::gaussian_mixture_labeled(n, &hotspots, window(), 5);
+        g.bench_with_input(BenchmarkId::new("dbscan", n), &pts, |bch, pts| {
+            bch.iter(|| black_box(stats::dbscan(pts, 220.0, 10)))
+        });
+        g.bench_with_input(BenchmarkId::new("kmeans_k3", n), &pts, |bch, pts| {
+            bch.iter(|| black_box(stats::kmeans(pts, 3, 100, 1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E12 bench: distributed KDV / K-function across worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsga::dist::{self, PartitionStrategy};
+use lsga::prelude::*;
+use lsga_bench::workloads::{taxi, window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = taxi(100_000);
+    let spec = GridSpec::new(window(), 128, 102);
+    let kernel = Epanechnikov::new(150.0);
+    let mut g = c.benchmark_group("distributed_n100k");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for workers in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("kdv_balanced_kd", workers),
+            &workers,
+            |bch, &w| {
+                bch.iter(|| {
+                    black_box(dist::distributed_kdv(
+                        &points,
+                        spec,
+                        kernel,
+                        1e-9,
+                        w,
+                        PartitionStrategy::BalancedKd,
+                    ))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("kfunc_balanced_kd", workers),
+            &workers,
+            |bch, &w| {
+                bch.iter(|| {
+                    black_box(dist::distributed_k(
+                        &points,
+                        200.0,
+                        KConfig::default(),
+                        w,
+                        PartitionStrategy::BalancedKd,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E16–E18 bench: the implemented future-work extensions against their
+//! exact/simple counterparts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsga::prelude::*;
+use lsga::{kdv, kfunc, stats};
+use lsga::stats::areal;
+use lsga_bench::workloads::{crime, road_scenario, window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = crime(50_000);
+    let spec = GridSpec::new(window(), 128, 102);
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    // E17: binned separable Gaussian vs exact grid-pruned.
+    let gauss = Gaussian::new(400.0);
+    g.bench_function("gaussian_exact_grid", |b| {
+        b.iter(|| black_box(kdv::grid_pruned_kdv(&points, spec, gauss, 1e-6)))
+    });
+    g.bench_function("gaussian_binned_os8", |b| {
+        b.iter(|| black_box(kdv::binned_gaussian_kdv(&points, spec, gauss, 8, 1e-6)))
+    });
+
+    // E16: sampled K vs full histogram.
+    let thresholds = [150.0, 300.0];
+    g.bench_function("k_histogram_exact", |b| {
+        b.iter(|| black_box(kfunc::histogram_k_all(&points, &thresholds, KConfig::default())))
+    });
+    g.bench_function("k_sampled_m8000", |b| {
+        b.iter(|| black_box(kfunc::sampled_k(&points, &thresholds, 8_000, 7, KConfig::default())))
+    });
+
+    // Adaptive vs fixed KDV.
+    g.bench_function("kdv_fixed_quartic", |b| {
+        b.iter(|| black_box(kdv::grid_pruned_kdv(&points, spec, Quartic::new(250.0), 1e-9)))
+    });
+    g.bench_function("kdv_adaptive_alpha05", |b| {
+        b.iter(|| black_box(kdv::adaptive_kdv(&points, spec, KernelKind::Quartic, 250.0, 0.5)))
+    });
+
+    // Pair correlation function.
+    let sub = crime(20_000);
+    g.bench_function("pair_correlation_20bins", |b| {
+        b.iter(|| black_box(kfunc::pair_correlation(&sub, window(), 500.0, 20)))
+    });
+
+    // Local statistics over quadrats.
+    let qspec = GridSpec::new(window(), 20, 16);
+    let counts = areal::quadrat_counts(&points, qspec);
+    let centers = areal::cell_centers(&qspec);
+    let w = stats::SpatialWeights::distance_band(&centers, 700.0);
+    g.bench_function("local_gi_star_320cells", |b| {
+        b.iter(|| black_box(stats::local_gi_star(counts.values(), &w)))
+    });
+
+    // Equal-split vs simple NKDV.
+    let (net, events) = road_scenario(12, 400);
+    let lixels = Lixels::build(&net, 50.0);
+    let k = Quartic::new(400.0);
+    g.bench_function("nkdv_simple", |b| {
+        b.iter(|| black_box(kdv::nkdv_forward(&net, &lixels, &events, k)))
+    });
+    g.bench_function("nkdv_equal_split", |b| {
+        b.iter(|| black_box(kdv::nkdv_equal_split(&net, &lixels, &events, k)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E10 bench: IDW variants and ordinary kriging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsga::interp;
+use lsga::prelude::*;
+use lsga_bench::workloads::{sensors, window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let readings = sensors(500);
+    let spec = GridSpec::new(window(), 80, 64);
+    let mut g = c.benchmark_group("interp_500sensors_80px");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("idw_naive", |bch| {
+        bch.iter(|| black_box(interp::idw_naive(&readings, spec, 2.0)))
+    });
+    g.bench_function("idw_knn12", |bch| {
+        bch.iter(|| black_box(interp::idw_knn(&readings, spec, 2.0, 12)))
+    });
+    g.bench_function("idw_radius", |bch| {
+        bch.iter(|| black_box(interp::idw_radius(&readings, spec, 2.0, 1_500.0)))
+    });
+    let bins = interp::empirical_variogram(&readings, 5_000.0, 15);
+    let model = interp::fit_variogram(&bins, interp::VariogramModelKind::Exponential).unwrap();
+    g.bench_function("ordinary_kriging_16nn", |bch| {
+        bch.iter(|| black_box(interp::ordinary_kriging(&readings, spec, &model, 16).unwrap()))
+    });
+    g.bench_function("variogram_fit", |bch| {
+        bch.iter(|| {
+            let bins = interp::empirical_variogram(&readings, 5_000.0, 15);
+            black_box(interp::fit_variogram(&bins, interp::VariogramModelKind::Exponential))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E1 bench: one raster, every KDV method (exact and approximate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsga::kdv;
+use lsga::prelude::*;
+use lsga_bench::workloads::{crime, window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = crime(30_000);
+    let spec = GridSpec::new(window(), 128, 102);
+    let b = 250.0;
+    let quartic = Quartic::new(b);
+    let poly = PolyKernel::new(KernelKind::Quartic, b).unwrap();
+    let engine = kdv::BoundsKdv::new(&points);
+
+    let mut g = c.benchmark_group("kdv_methods_n30k_128px");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("grid_pruned", |bch| {
+        bch.iter(|| black_box(kdv::grid_pruned_kdv(&points, spec, quartic, 1e-9)))
+    });
+    g.bench_function("slam", |bch| {
+        bch.iter(|| black_box(kdv::slam_kdv(&points, spec, poly)))
+    });
+    g.bench_function("bounds_eps0.1", |bch| {
+        bch.iter(|| black_box(engine.compute(spec, quartic, 0.1)))
+    });
+    g.bench_function("sampling_m4096", |bch| {
+        bch.iter(|| black_box(kdv::sampling_kdv(&points, spec, quartic, 4096, 1)))
+    });
+    g.bench_function("parallel", |bch| {
+        bch.iter(|| black_box(kdv::parallel_kdv(&points, spec, quartic, 1e-9, 4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E3 bench: KDV runtime scaling in n (naive vs shared evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsga::kdv;
+use lsga::prelude::*;
+use lsga_bench::workloads::{crime, window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let spec = GridSpec::new(window(), 96, 77);
+    let b = 250.0;
+    let quartic = Quartic::new(b);
+    let poly = PolyKernel::new(KernelKind::Quartic, b).unwrap();
+    let mut g = c.benchmark_group("kdv_scaling_96px");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [5_000usize, 20_000, 80_000] {
+        let pts = crime(n);
+        if n <= 5_000 {
+            g.bench_with_input(BenchmarkId::new("naive", n), &pts, |bch, pts| {
+                bch.iter(|| black_box(kdv::naive_kdv(pts, spec, quartic)))
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("grid_pruned", n), &pts, |bch, pts| {
+            bch.iter(|| black_box(kdv::grid_pruned_kdv(pts, spec, quartic, 1e-9)))
+        });
+        g.bench_with_input(BenchmarkId::new("slam", n), &pts, |bch, pts| {
+            bch.iter(|| black_box(kdv::slam_kdv(pts, spec, poly)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E2 bench: rasterization cost per kernel function (Table 2 + §2.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsga::kdv;
+use lsga::prelude::*;
+use lsga_bench::workloads::{crime, window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = crime(20_000);
+    let spec = GridSpec::new(window(), 96, 77);
+    let mut g = c.benchmark_group("kernels_n20k_96px");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for kind in KernelKind::ALL {
+        let k = kind.with_bandwidth(300.0);
+        // Infinite-support kernels use a practical 1e-6 tail here.
+        let tail = 1e-6;
+        g.bench_function(kind.name(), |bch| {
+            bch.iter(|| black_box(kdv::grid_pruned_kdv(&points, spec, k, tail)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

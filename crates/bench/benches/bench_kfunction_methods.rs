@@ -1,0 +1,41 @@
+//! E5 bench: K-function methods vs the O(n^2) baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsga::kfunc;
+use lsga::prelude::*;
+use lsga_bench::workloads::taxi;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let s = 300.0;
+    let cfg = KConfig::default();
+    let thresholds: Vec<f64> = (1..=10).map(|i| i as f64 * 60.0).collect();
+    let mut g = c.benchmark_group("kfunction_methods");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [5_000usize, 20_000] {
+        let pts = taxi(n);
+        if n <= 5_000 {
+            g.bench_with_input(BenchmarkId::new("naive", n), &pts, |bch, pts| {
+                bch.iter(|| black_box(kfunc::naive_k(pts, s, cfg)))
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("grid", n), &pts, |bch, pts| {
+            bch.iter(|| black_box(kfunc::grid_k(pts, s, cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("kd_tree", n), &pts, |bch, pts| {
+            bch.iter(|| black_box(kfunc::kd_tree_k(pts, s, cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("ball_tree", n), &pts, |bch, pts| {
+            bch.iter(|| black_box(kfunc::ball_tree_k(pts, s, cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("histogram_10s", n), &pts, |bch, pts| {
+            bch.iter(|| black_box(kfunc::histogram_k_all(pts, &thresholds, cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

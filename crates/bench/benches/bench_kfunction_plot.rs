@@ -1,0 +1,35 @@
+//! E4 bench: full K-function plot (Definition 3) cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsga::kfunc;
+use lsga::prelude::*;
+use lsga_bench::workloads::{crime, window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = crime(2_000);
+    let thresholds: Vec<f64> = (1..=10).map(|i| i as f64 * 100.0).collect();
+    let mut g = c.benchmark_group("kfunction_plot_n2k");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for sims in [10usize, 40] {
+        g.bench_function(format!("plot_{sims}sims"), |bch| {
+            bch.iter(|| {
+                black_box(kfunc::k_function_plot(
+                    &points,
+                    window(),
+                    &thresholds,
+                    sims,
+                    7,
+                    KConfig::default(),
+                    4,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E9 bench: network K-function, per-event vs shared Dijkstra.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsga::kfunc;
+use lsga::prelude::*;
+use lsga_bench::workloads::road_scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (net, events) = road_scenario(15, 800);
+    let thresholds: Vec<f64> = (1..=8).map(|i| i as f64 * 200.0).collect();
+    let cfg = KConfig::default();
+    let mut g = c.benchmark_group("network_kfunction_800ev");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("naive_per_event", |bch| {
+        bch.iter(|| black_box(kfunc::network_k_naive(&net, &events, &thresholds, cfg)))
+    });
+    g.bench_function("shared_per_vertex", |bch| {
+        bch.iter(|| black_box(kfunc::network_k_shared(&net, &events, &thresholds, cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E6 bench: NKDV naive (per lixel) vs forward (per event).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsga::kdv;
+use lsga::prelude::*;
+use lsga_bench::workloads::road_scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (net, events) = road_scenario(15, 600);
+    let lixels = Lixels::build(&net, 50.0);
+    let kernel = Quartic::new(500.0);
+    let mut g = c.benchmark_group("nkdv_15x15_600ev");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("naive_per_lixel", |bch| {
+        bch.iter(|| black_box(kdv::nkdv_naive(&net, &lixels, &events, kernel)))
+    });
+    g.bench_function("forward_per_event", |bch| {
+        bch.iter(|| black_box(kdv::nkdv_forward(&net, &lixels, &events, kernel)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E14 bench: SAFE multi-bandwidth sharing vs independent passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsga::kdv;
+use lsga::prelude::*;
+use lsga_bench::workloads::{crime, window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = crime(50_000);
+    let spec = GridSpec::new(window(), 96, 77);
+    let mut g = c.benchmark_group("safe_multibandwidth_n50k");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for nb in [2usize, 8] {
+        let bws: Vec<f64> = (1..=nb).map(|i| 60.0 * i as f64).collect();
+        g.bench_with_input(BenchmarkId::new("independent", nb), &bws, |bch, bws| {
+            bch.iter(|| {
+                black_box(kdv::independent_multi_bandwidth(
+                    &points,
+                    spec,
+                    KernelKind::Epanechnikov,
+                    bws,
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("safe_shared", nb), &bws, |bch, bws| {
+            bch.iter(|| {
+                black_box(kdv::safe_multi_bandwidth(
+                    &points,
+                    spec,
+                    KernelKind::Epanechnikov,
+                    bws,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

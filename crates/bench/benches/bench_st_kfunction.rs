@@ -1,0 +1,28 @@
+//! E8 bench: spatiotemporal K-function, naive vs shared 2-D histogram.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsga::kfunc;
+use lsga::prelude::*;
+use lsga_bench::workloads::waves;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = waves(2_000);
+    let ss: Vec<f64> = (1..=5).map(|i| i as f64 * 150.0).collect();
+    let ts: Vec<f64> = (1..=5).map(|i| i as f64 * 5.0).collect();
+    let cfg = KConfig::default();
+    let mut g = c.benchmark_group("st_kfunction_n2k_5x5");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("naive", |bch| {
+        bch.iter(|| black_box(kfunc::st_k_naive(&points, &ss, &ts, cfg)))
+    });
+    g.bench_function("grid_histogram", |bch| {
+        bch.iter(|| black_box(kfunc::st_k_grid(&points, &ss, &ts, cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

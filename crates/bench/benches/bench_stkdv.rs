@@ -1,0 +1,32 @@
+//! E7 bench: STKDV naive vs temporal sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsga::kdv;
+use lsga::prelude::*;
+use lsga_bench::workloads::{waves, window};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = waves(20_000);
+    let spec = GridSpec::new(window(), 50, 40);
+    let ks = Epanechnikov::new(400.0);
+    let kt = PolyKernel::new(KernelKind::Epanechnikov, 8.0).unwrap();
+    let mut g = c.benchmark_group("stkdv_n20k_50px_10t");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("naive", |bch| {
+        bch.iter(|| black_box(kdv::stkdv_naive(&points, spec, 0.0, 100.0, 10, ks, kt)))
+    });
+    g.bench_function("temporal_sweep", |bch| {
+        bch.iter(|| {
+            black_box(kdv::stkdv_sweep(
+                &points, spec, 0.0, 100.0, 10, ks, kt, 1e-9,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,729 @@
+//! Regenerate every experiment table of `EXPERIMENTS.md`.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p lsga-bench --bin experiments -- all
+//! cargo run --release -p lsga-bench --bin experiments -- e3 e5 e12
+//! ```
+//!
+//! Each experiment prints a self-contained markdown table; EXPERIMENTS.md
+//! records one captured run with commentary. Sizes are chosen so the full
+//! suite completes in a few minutes in release mode.
+
+use lsga::dist::{self, PartitionStrategy};
+use lsga::prelude::*;
+use lsga::stats::{self, areal, SpatialWeights};
+use lsga::{data, interp, kdv, kfunc, viz};
+use lsga_bench::workloads::{crime, csr, road_scenario, sensors, taxi, waves, window};
+use std::time::{Duration, Instant};
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+fn hw_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |p| p.get())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |id: &str| all || args.iter().any(|a| a == id);
+
+    let experiments: &[(&str, &str, fn())] = &[
+        ("e1", "KDV heatmap & hotspot recovery (Fig. 1)", e1),
+        ("e2", "kernel functions (Table 2 + extensions)", e2),
+        ("e3", "KDV method scaling (naive vs accelerated)", e3),
+        ("e4", "K-function plot & regimes (Fig. 2)", e4),
+        ("e5", "K-function method scaling (O(n^2) claim)", e5),
+        ("e6", "NKDV vs planar KDV (Fig. 3)", e6),
+        ("e7", "STKDV waves (Fig. 4)", e7),
+        ("e8", "spatiotemporal K surface (Fig. 6)", e8),
+        ("e9", "network K-function vs planar (Yamada-Thill)", e9),
+        ("e10", "IDW & kriging (O(XYn) claim)", e10),
+        ("e11", "Moran's I & General G", e11),
+        ("e12", "distributed scaling & communication", e12),
+        ("e13", "approximation quality (Eq. 6-7 guarantees)", e13),
+        ("e14", "SAFE multi-bandwidth sharing ablation", e14),
+        ("e15", "clustering recovery (DBSCAN / K-means)", e15),
+        ("e16", "future work: sampled & border-corrected K", e16),
+        ("e17", "future work: binned separable Gaussian KDV", e17),
+        ("e18", "extension: local Gi* / LISA hot-spot maps", e18),
+    ];
+
+    let mut ran = 0;
+    for (id, title, f) in experiments {
+        if want(id) {
+            println!("\n## {} — {title}\n", id.to_uppercase());
+            let t = Instant::now();
+            f();
+            println!("\n[{} completed in {:.1?}]", id.to_uppercase(), t.elapsed());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment id; use e1..e18 or all (e16-e18 are the implemented future-work extensions)");
+        std::process::exit(2);
+    }
+}
+
+// ---------------------------------------------------------------- E1 ----
+fn e1() {
+    let n = 200_000;
+    let points = crime(n);
+    let spec = GridSpec::new(window(), 512, 410);
+    let kernel = PolyKernel::new(KernelKind::Quartic, 250.0).unwrap();
+    let (grid, t) = time(|| kdv::slam_kdv(&points, spec, kernel));
+    let truth = Point::new(2_500.0, 2_000.0);
+    println!("| quantity | value |");
+    println!("|---|---|");
+    println!("| points | {n} |");
+    println!("| raster | {}x{} px |", spec.nx, spec.ny);
+    println!("| method | SLAM sweep-line (exact) |");
+    println!("| time | {} ms |", ms(t));
+    println!("| hotspot found | ({:.0}, {:.0}) |", grid.hotspot().x, grid.hotspot().y);
+    println!(
+        "| true heaviest hotspot | ({:.0}, {:.0}) |",
+        truth.x, truth.y
+    );
+    println!(
+        "| recovery error | {:.0} m ({}x pixel) |",
+        grid.hotspot().dist(&truth),
+        (grid.hotspot().dist(&truth) / spec.dx()).round()
+    );
+    let out = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(out).expect("create output dir");
+    viz::write_heatmap_png(out.join("e1_heatmap.png"), &grid, Colormap::Heat)
+        .expect("write png");
+    println!("| image | target/experiments/e1_heatmap.png |");
+}
+
+// ---------------------------------------------------------------- E2 ----
+fn e2() {
+    let points = crime(50_000);
+    let spec = GridSpec::new(window(), 256, 205);
+    println!("| kernel | K(0) | K(b/2) | K(b) | K(2b) | support | rasterize (ms) | max density |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let b = 300.0;
+    for kind in KernelKind::ALL {
+        let k = kind.with_bandwidth(b);
+        let (grid, t) = time(|| kdv::grid_pruned_kdv(&points, spec, k, 1e-9));
+        println!(
+            "| {} | {:.3} | {:.3} | {:.3} | {:.3} | {} | {} | {:.1} |",
+            kind.name(),
+            k.eval(0.0),
+            k.eval(b / 2.0),
+            k.eval(b),
+            k.eval(2.0 * b),
+            k.support().map_or("infinite".to_string(), |s| format!("{s:.0}")),
+            ms(t),
+            grid.max()
+        );
+    }
+}
+
+// ---------------------------------------------------------------- E3 ----
+fn e3() {
+    let spec = GridSpec::new(window(), 256, 205);
+    let b = 250.0;
+    let quartic = Quartic::new(b);
+    let poly = PolyKernel::new(KernelKind::Quartic, b).unwrap();
+    let threads = hw_threads();
+    println!("### runtime vs n (quartic, b = {b}, {}x{} px)\n", spec.nx, spec.ny);
+    println!("| n | naive O(XYn) | grid-pruned | SLAM | bounds eps=0.1 | sampling m=4096 | parallel x{threads} |");
+    println!("|---|---|---|---|---|---|---|");
+    for n in [10_000usize, 30_000, 100_000, 300_000] {
+        let pts = crime(n);
+        let naive_col = if n <= 30_000 {
+            let (_, t) = time(|| kdv::naive_kdv(&pts, spec, quartic));
+            format!("{} ms", ms(t))
+        } else {
+            "— (extrapolates to minutes)".to_string()
+        };
+        let (_, t_grid) = time(|| kdv::grid_pruned_kdv(&pts, spec, quartic, 1e-9));
+        let (_, t_slam) = time(|| kdv::slam_kdv(&pts, spec, poly));
+        let engine = kdv::BoundsKdv::new(&pts);
+        let (_, t_bounds) = time(|| engine.compute(spec, quartic, 0.1));
+        let (_, t_samp) = time(|| kdv::sampling_kdv(&pts, spec, quartic, 4096, 1));
+        let (_, t_par) = time(|| kdv::parallel_kdv(&pts, spec, quartic, 1e-9, threads));
+        println!(
+            "| {n} | {naive_col} | {} ms | {} ms | {} ms | {} ms | {} ms |",
+            ms(t_grid),
+            ms(t_slam),
+            ms(t_bounds),
+            ms(t_samp),
+            ms(t_par)
+        );
+    }
+    println!("\n### runtime vs resolution (n = 100k)\n");
+    println!("| raster | grid-pruned | SLAM | parallel x{threads} |");
+    println!("|---|---|---|---|");
+    let pts = crime(100_000);
+    for nx in [128usize, 256, 512, 1024] {
+        let spec = GridSpec::with_width(window(), nx);
+        let (_, t_grid) = time(|| kdv::grid_pruned_kdv(&pts, spec, quartic, 1e-9));
+        let (_, t_slam) = time(|| kdv::slam_kdv(&pts, spec, poly));
+        let (_, t_par) = time(|| kdv::parallel_kdv(&pts, spec, quartic, 1e-9, threads));
+        println!(
+            "| {}x{} | {} ms | {} ms | {} ms |",
+            spec.nx,
+            spec.ny,
+            ms(t_grid),
+            ms(t_slam),
+            ms(t_par)
+        );
+    }
+}
+
+// ---------------------------------------------------------------- E4 ----
+fn e4() {
+    let thresholds: Vec<f64> = (1..=10).map(|i| i as f64 * 100.0).collect();
+    let cfg = KConfig::default();
+    let sims = 40;
+    let datasets: [(&str, Vec<Point>); 3] = [
+        ("clustered (crime)", crime(2_000)),
+        ("CSR", csr(2_000)),
+        (
+            "dispersed (hard-core 180 m)",
+            data::hardcore_points(2_000, 180.0, window(), 5),
+        ),
+    ];
+    for (name, pts) in &datasets {
+        let plot = kfunc::k_function_plot(pts, window(), &thresholds, sims, 7, cfg, hw_threads());
+        println!("\n**{name}** (n = {}, {sims} CSR simulations)\n", pts.len());
+        println!("| s (m) | K_P(s) | L(s) | U(s) | verdict |");
+        println!("|---|---|---|---|---|");
+        for (i, s) in plot.thresholds.iter().enumerate() {
+            println!(
+                "| {s:.0} | {} | {} | {} | {:?} |",
+                plot.observed[i],
+                plot.lower[i],
+                plot.upper[i],
+                plot.regimes()[i]
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- E5 ----
+fn e5() {
+    let s = 300.0;
+    let cfg = KConfig::default();
+    let thresholds: Vec<f64> = (1..=10).map(|i| i as f64 * 60.0).collect();
+    let threads = hw_threads();
+    println!("| n | naive O(n^2) | grid | kd-tree | ball-tree | histogram (10 s) | parallel x{threads} |");
+    println!("|---|---|---|---|---|---|---|");
+    for n in [5_000usize, 20_000, 80_000, 320_000] {
+        let pts = taxi(n);
+        let naive_col = if n <= 20_000 {
+            let (k, t) = time(|| kfunc::naive_k(&pts, s, cfg));
+            let _ = k;
+            format!("{} ms", ms(t))
+        } else {
+            "—".to_string()
+        };
+        let (k_grid, t_grid) = time(|| kfunc::grid_k(&pts, s, cfg));
+        let (k_kd, t_kd) = time(|| kfunc::kd_tree_k(&pts, s, cfg));
+        let (k_ball, t_ball) = time(|| kfunc::ball_tree_k(&pts, s, cfg));
+        let (_, t_hist) = time(|| kfunc::histogram_k_all(&pts, &thresholds, cfg));
+        let (k_par, t_par) = time(|| kfunc::parallel_k(&pts, s, cfg, threads));
+        assert!(k_grid == k_kd && k_kd == k_ball && k_ball == k_par);
+        println!(
+            "| {n} | {naive_col} | {} ms | {} ms | {} ms | {} ms | {} ms |",
+            ms(t_grid),
+            ms(t_kd),
+            ms(t_ball),
+            ms(t_hist),
+            ms(t_par)
+        );
+    }
+}
+
+// ---------------------------------------------------------------- E6 ----
+fn e6() {
+    let (net, events) = road_scenario(25, 3_000);
+    let lixels = Lixels::build(&net, 25.0);
+    let kernel = Quartic::new(500.0);
+    println!(
+        "network: {} vertices, {} edges, {:.0} km; {} events; {} lixels\n",
+        net.vertex_count(),
+        net.edge_count(),
+        net.total_length() / 1000.0,
+        events.len(),
+        lixels.len()
+    );
+    let (fwd, t_fwd) = time(|| kdv::nkdv_forward(&net, &lixels, &events, kernel));
+    let lix_sub = Lixels::build(&net, 100.0); // coarser for the slow baseline
+    let (_, t_naive_sub) = time(|| kdv::nkdv_naive(&net, &lix_sub, &events, kernel));
+    println!("| method | lixels | time |");
+    println!("|---|---|---|");
+    println!("| per-lixel Dijkstra (naive) | {} | {} ms |", lix_sub.len(), ms(t_naive_sub));
+    println!("| per-event forward scatter | {} | {} ms |", lixels.len(), ms(t_fwd));
+
+    // Fig. 3 quantification: planar density at lixel midpoints vs NKDV.
+    let planar_events: Vec<Point> = events.iter().map(|e| e.point(&net)).collect();
+    let spec = GridSpec::with_width(net.bbox().inflate(100.0), 200);
+    let planar = kdv::grid_pruned_kdv(&planar_events, spec, kernel, 1e-9);
+    let mids = lixels.midpoints(&net);
+    let mut over = 0usize;
+    let mut max_ratio: f64 = 1.0;
+    for (i, mid) in mids.iter().enumerate() {
+        let (ix, iy) = spec.pixel_of(mid);
+        let p = planar.at(ix, iy);
+        let nv = fwd.values()[i];
+        if p > nv + 1e-9 {
+            over += 1;
+            if nv > 1.0 {
+                max_ratio = max_ratio.max(p / nv);
+            }
+        }
+    }
+    println!("\n| Fig. 3 quantity | value |");
+    println!("|---|---|");
+    println!(
+        "| lixels where planar density > network density | {over}/{} ({:.0}%) |",
+        mids.len(),
+        100.0 * over as f64 / mids.len() as f64
+    );
+    println!("| max planar/network overestimation ratio | {max_ratio:.1}x |");
+}
+
+// ---------------------------------------------------------------- E7 ----
+fn e7() {
+    let points = waves(100_000);
+    let spec = GridSpec::new(window(), 125, 100);
+    let (t0, t1, nt) = (0.0, 100.0, 10);
+    let ks = Epanechnikov::new(400.0);
+    let kt = PolyKernel::new(KernelKind::Epanechnikov, 8.0).unwrap();
+    let (cube, t_sweep) = time(|| kdv::stkdv_sweep(&points, spec, t0, t1, nt, ks, kt, 1e-9));
+    let small = waves(10_000);
+    let (_, t_naive_small) = time(|| kdv::stkdv_naive(&small, spec, t0, t1, nt, ks, kt));
+    println!("| method | n | cube | time |");
+    println!("|---|---|---|---|");
+    println!(
+        "| naive O(XYTn) | 10000 | {}x{}x{nt} | {} ms |",
+        spec.nx, spec.ny, ms(t_naive_small)
+    );
+    println!(
+        "| temporal sweep (SWS-style) | 100000 | {}x{}x{nt} | {} ms |",
+        spec.nx, spec.ny, ms(t_sweep)
+    );
+    println!("\n| day | hotspot (x, y) | peak density |");
+    println!("|---|---|---|");
+    for it in 0..nt {
+        let slice = cube.slice(it);
+        let hot = slice.hotspot();
+        println!(
+            "| {:.0} | ({:.0}, {:.0}) | {:.1} |",
+            cube.time(it),
+            hot.x,
+            hot.y,
+            slice.max()
+        );
+    }
+    println!("\n(true wave 1 at (2500, 5500) day 20; wave 2 at (7500, 2500) day 75)");
+}
+
+// ---------------------------------------------------------------- E8 ----
+fn e8() {
+    let points = waves(4_000);
+    let ss: Vec<f64> = (1..=5).map(|i| i as f64 * 150.0).collect();
+    let ts: Vec<f64> = (1..=5).map(|i| i as f64 * 5.0).collect();
+    let (plot, t) = time(|| {
+        kfunc::st_k_plot(
+            &points,
+            window(),
+            0.0,
+            100.0,
+            &ss,
+            &ts,
+            15,
+            7,
+            KConfig::default(),
+        )
+    });
+    println!(
+        "n = {}, {}x{} thresholds, 15 simulations, {} ms\n",
+        points.len(),
+        ss.len(),
+        ts.len(),
+        ms(t)
+    );
+    print!("| s \\ t |");
+    for tt in &ts {
+        print!(" {tt:.0} d |");
+    }
+    println!();
+    print!("|---|");
+    for _ in &ts {
+        print!("---|");
+    }
+    println!();
+    for (a, s) in ss.iter().enumerate() {
+        print!("| {s:.0} m |");
+        for b in 0..ts.len() {
+            let obs = plot.at(a, b);
+            let hot = obs > plot.upper[a * ts.len() + b];
+            print!(" {obs}{} |", if hot { "\\*" } else { "" });
+        }
+        println!();
+    }
+    println!("\n(\\* = above the CSR envelope: meaningful space-time clustering)");
+    println!(
+        "clustered at {}/{} cells",
+        plot.clustered_cells().len(),
+        ss.len() * ts.len()
+    );
+}
+
+// ---------------------------------------------------------------- E9 ----
+fn e9() {
+    let (net, events) = road_scenario(20, 1_600);
+    let thresholds: Vec<f64> = (1..=8).map(|i| i as f64 * 200.0).collect();
+    let cfg = KConfig::default();
+    let (shared, t_shared) = time(|| kfunc::network_k_shared(&net, &events, &thresholds, cfg));
+    let (naive, t_naive) = time(|| kfunc::network_k_naive(&net, &events, &thresholds, cfg));
+    assert_eq!(shared, naive);
+    let planar_events: Vec<Point> = events.iter().map(|e| e.point(&net)).collect();
+    let planar = kfunc::histogram_k_all(&planar_events, &thresholds, cfg);
+    println!("| method | time |");
+    println!("|---|---|");
+    println!("| per-event Dijkstra (naive) | {} ms |", ms(t_naive));
+    println!("| per-vertex shared Dijkstra | {} ms |", ms(t_shared));
+    println!("\n| s (m) | K_network | K_planar | planar/network |");
+    println!("|---|---|---|---|");
+    for (i, s) in thresholds.iter().enumerate() {
+        println!(
+            "| {s:.0} | {} | {} | {:.2}x |",
+            shared[i],
+            planar[i],
+            planar[i] as f64 / shared[i].max(1) as f64
+        );
+    }
+}
+
+// --------------------------------------------------------------- E10 ----
+fn e10() {
+    let readings = sensors(800);
+    let spec = GridSpec::new(window(), 200, 160);
+    let field = |p: &Point| {
+        12.0 + 0.0005 * p.x
+            + 60.0 * (-p.dist_sq(&Point::new(3_000.0, 6_000.0)) / 4.0e6).exp()
+            + 40.0 * (-p.dist_sq(&Point::new(7_000.0, 2_500.0)) / 9.0e6).exp()
+    };
+    let rmse = |g: &DensityGrid| {
+        let mut acc = 0.0;
+        for (_, _, q, v) in g.iter_pixels() {
+            let e = v - field(&q);
+            acc += e * e;
+        }
+        (acc / g.spec().len() as f64).sqrt()
+    };
+    println!("| method | time | RMSE |");
+    println!("|---|---|---|");
+    let (g, t) = time(|| interp::idw_naive(&readings, spec, 2.0));
+    println!("| IDW naive O(XYn) | {} ms | {:.2} |", ms(t), rmse(&g));
+    let (g, t) = time(|| interp::idw_knn(&readings, spec, 2.0, 12));
+    println!("| IDW kNN (k=12) | {} ms | {:.2} |", ms(t), rmse(&g));
+    let (g, t) = time(|| interp::idw_radius(&readings, spec, 2.0, 1_500.0));
+    println!("| IDW radius (1.5 km) | {} ms | {:.2} |", ms(t), rmse(&g));
+    let ((bins, model), t_fit) = time(|| {
+        let bins = interp::empirical_variogram(&readings, 5_000.0, 15);
+        let model = interp::fit_variogram(&bins, interp::VariogramModelKind::Exponential)
+            .expect("fit");
+        (bins, model)
+    });
+    let (kriged, t_k) = time(|| {
+        interp::ordinary_kriging(&readings, spec, &model, 16).expect("solve")
+    });
+    println!(
+        "| ordinary kriging (16-NN, {} fit {} bins, {} ms) | {} ms | {:.2} |",
+        model.kind.name(),
+        bins.len(),
+        ms(t_fit),
+        ms(t_k),
+        rmse(&kriged.prediction)
+    );
+    println!(
+        "\nfitted variogram: nugget {:.1}, sill {:.1}, range {:.0} m",
+        model.nugget,
+        model.sill(),
+        model.range
+    );
+}
+
+// --------------------------------------------------------------- E11 ----
+fn e11() {
+    let spec = GridSpec::new(window(), 20, 16);
+    let centers = areal::cell_centers(&spec);
+    let w = SpatialWeights::distance_band(&centers, 700.0);
+    println!("| dataset | Moran I | E[I] | z | p_perm | General G / E[G] | G z | G p_perm |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for (name, pts) in [("clustered (crime)", crime(30_000)), ("CSR", csr(30_000))] {
+        let counts = areal::quadrat_counts(&pts, spec);
+        let moran = stats::morans_i(counts.values(), &w, 499, 1).expect("lattice");
+        let g = stats::general_g(counts.values(), &w, 499, 2).expect("lattice");
+        println!(
+            "| {name} | {:.3} | {:.4} | {:.1} | {:.4} | {:.2} | {:.1} | {:.4} |",
+            moran.i,
+            moran.expected,
+            moran.z_norm,
+            moran.p_perm.unwrap(),
+            g.g / g.expected,
+            g.z,
+            g.p_perm
+        );
+    }
+}
+
+// --------------------------------------------------------------- E12 ----
+fn e12() {
+    let points = taxi(1_000_000);
+    let spec = GridSpec::new(window(), 256, 205);
+    let kernel = Epanechnikov::new(150.0);
+    println!("### distributed KDV (n = 1M, {}x{} px)\n", spec.nx, spec.ny);
+    println!("| workers | strategy | wall | slowest worker | imbalance | halo points | MB shipped |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut base_wall = None;
+    for workers in [1usize, 2, 4, 8] {
+        for strategy in [PartitionStrategy::UniformBands, PartitionStrategy::BalancedKd] {
+            let (_, m) = dist::distributed_kdv(&points, spec, kernel, 1e-9, workers, strategy);
+            if workers == 1 && base_wall.is_none() {
+                base_wall = Some(m.wall);
+            }
+            println!(
+                "| {workers} | {strategy:?} | {} ms | {} ms | {:.2} | {} | {:.1} |",
+                ms(m.wall),
+                ms(m.compute_max()),
+                m.load_imbalance(),
+                m.replicated_points(),
+                m.total_bytes() as f64 / 1e6
+            );
+        }
+    }
+    println!("\n### halo volume vs bandwidth (8 workers, BalancedKd)\n");
+    println!("| bandwidth (m) | halo points | MB shipped |");
+    println!("|---|---|---|");
+    for b in [50.0, 150.0, 450.0] {
+        let (_, m) = dist::distributed_kdv(
+            &points,
+            spec,
+            Epanechnikov::new(b),
+            1e-9,
+            8,
+            PartitionStrategy::BalancedKd,
+        );
+        println!(
+            "| {b:.0} | {} | {:.1} |",
+            m.replicated_points(),
+            m.total_bytes() as f64 / 1e6
+        );
+    }
+    println!("\n### distributed K-function (n = 300k, s = 200 m)\n");
+    let kp = taxi(300_000);
+    println!("| workers | wall | count |");
+    println!("|---|---|---|");
+    for workers in [1usize, 2, 4, 8] {
+        let (k, m) = dist::distributed_k(
+            &kp,
+            200.0,
+            KConfig::default(),
+            workers,
+            PartitionStrategy::BalancedKd,
+        );
+        println!("| {workers} | {} ms | {k} |", ms(m.wall));
+    }
+}
+
+// --------------------------------------------------------------- E13 ----
+fn e13() {
+    let points = crime(100_000);
+    let spec = GridSpec::new(window(), 128, 102);
+    let kernel = Gaussian::new(400.0);
+    let exact = kdv::grid_pruned_kdv(&points, spec, kernel, 1e-12);
+    println!("### bounds method (Eq. 6): guarantee vs observed\n");
+    println!("| eps | time | observed max relative error |");
+    println!("|---|---|---|");
+    let engine = kdv::BoundsKdv::new(&points);
+    for eps in [0.01, 0.05, 0.2, 0.5] {
+        let (approx, t) = time(|| engine.compute(spec, kernel, eps));
+        let rel = approx.rel_diff(&exact, exact.max() * 1e-6);
+        assert!(rel <= eps + 1e-9, "guarantee violated: {rel} > {eps}");
+        println!("| {eps} | {} ms | {rel:.4} |", ms(t));
+    }
+    println!("\n### sampling method (Eq. 7): Hoeffding bound vs observed\n");
+    println!("| m | implied (eps, delta=0.01) | time | observed Linf / (n K(0)) |");
+    println!("|---|---|---|---|");
+    for m in [500usize, 2_000, 8_000, 32_000] {
+        // Invert m = ln(2/delta)/(2 eps^2).
+        let eps = ((2.0f64 / 0.01).ln() / (2.0 * m as f64)).sqrt();
+        let (approx, t) = time(|| kdv::sampling_kdv(&points, spec, kernel, m, 9));
+        let obs = approx.linf_diff(&exact) / (points.len() as f64 * kernel.max_value());
+        println!("| {m} | eps = {eps:.4} | {} ms | {obs:.5} |", ms(t));
+    }
+}
+
+// --------------------------------------------------------------- E14 ----
+fn e14() {
+    let points = crime(100_000);
+    let spec = GridSpec::new(window(), 128, 102);
+    println!("| bandwidths B | independent passes | SAFE shared | speedup |");
+    println!("|---|---|---|---|");
+    for nb in [1usize, 2, 4, 8, 16] {
+        let bws: Vec<f64> = (1..=nb).map(|i| 60.0 * i as f64).collect();
+        let (indep, t_ind) = time(|| {
+            kdv::independent_multi_bandwidth(&points, spec, KernelKind::Epanechnikov, &bws)
+        });
+        let (shared, t_sh) =
+            time(|| kdv::safe_multi_bandwidth(&points, spec, KernelKind::Epanechnikov, &bws));
+        for (a, b) in indep.iter().zip(&shared) {
+            assert!(a.rel_diff(b, a.max().max(1e-9) * 1e-3) < 1e-9);
+        }
+        println!(
+            "| {nb} | {} ms | {} ms | {:.2}x |",
+            ms(t_ind),
+            ms(t_sh),
+            t_ind.as_secs_f64() / t_sh.as_secs_f64()
+        );
+    }
+}
+
+// --------------------------------------------------------------- E15 ----
+fn e15() {
+    let hotspots = [
+        Hotspot {
+            center: Point::new(2_000.0, 2_000.0),
+            sigma: 250.0,
+            weight: 1.0,
+        },
+        Hotspot {
+            center: Point::new(8_000.0, 3_000.0),
+            sigma: 250.0,
+            weight: 1.0,
+        },
+        Hotspot {
+            center: Point::new(5_000.0, 6_500.0),
+            sigma: 250.0,
+            weight: 1.0,
+        },
+    ];
+    println!("| n | DBSCAN time | clusters | DBSCAN ARI | K-means time | K-means ARI |");
+    println!("|---|---|---|---|---|---|");
+    for n in [3_000usize, 30_000, 100_000] {
+        let (pts, truth) = data::gaussian_mixture_labeled(n, &hotspots, window(), 5);
+        let want: Vec<i64> = truth.iter().map(|l| *l as i64).collect();
+        let (db, t_db) = time(|| stats::dbscan(&pts, 220.0, 10));
+        let got_db: Vec<i64> = db.labels.iter().map(|l| *l as i64).collect();
+        let (km, t_km) = time(|| stats::kmeans(&pts, 3, 100, 1));
+        let got_km: Vec<i64> = km.labels.iter().map(|l| *l as i64).collect();
+        println!(
+            "| {n} | {} ms | {} | {:.3} | {} ms | {:.3} |",
+            ms(t_db),
+            db.n_clusters,
+            stats::adjusted_rand_index(&got_db, &want),
+            ms(t_km),
+            stats::adjusted_rand_index(&got_km, &want)
+        );
+    }
+}
+
+// --------------------------------------------------------------- E16 ----
+fn e16() {
+    let points = taxi(200_000);
+    let thresholds = [150.0, 300.0];
+    let cfg = KConfig::default();
+    let (truth, t_exact) = time(|| kfunc::histogram_k_all(&points, &thresholds, cfg));
+    println!("### sampling estimator for the K-function (paper §2.4 future work)\n");
+    println!(
+        "exact histogram K at n = {}: {} ms, K(150) = {}, K(300) = {}\n",
+        points.len(),
+        ms(t_exact),
+        truth[0],
+        truth[1]
+    );
+    println!("| m | time | est. K(150) | rel. err | est. K(300) | rel. err |");
+    println!("|---|---|---|---|---|---|");
+    for m in [2_000usize, 8_000, 32_000] {
+        let (est, t) = time(|| kfunc::sampled_k(&points, &thresholds, m, 7, cfg));
+        println!(
+            "| {m} | {} ms | {:.3e} | {:.3} | {:.3e} | {:.3} |",
+            ms(t),
+            est[0],
+            (est[0] - truth[0] as f64).abs() / truth[0] as f64,
+            est[1],
+            (est[1] - truth[1] as f64).abs() / truth[1] as f64
+        );
+    }
+    println!("\n### border edge correction (CSR, theory K(s) = pi s^2)\n");
+    let unif = csr(30_000);
+    println!("| s | raw Ripley K^ | border-corrected K^ | theory | sources kept |");
+    println!("|---|---|---|---|---|");
+    for s in [200.0, 500.0, 1_000.0] {
+        let raw = kfunc::ripley_normalization(
+            kfunc::grid_k(&unif, s, cfg),
+            unif.len(),
+            window().area(),
+        );
+        let corr = kfunc::border_corrected_k(&unif, window(), &[s]);
+        let theory = std::f64::consts::PI * s * s;
+        println!(
+            "| {s:.0} | {raw:.0} | {:.0} | {theory:.0} | {} |",
+            corr[0].0, corr[0].1
+        );
+    }
+}
+
+// --------------------------------------------------------------- E17 ----
+fn e17() {
+    let spec = GridSpec::new(window(), 256, 205);
+    let b = 400.0;
+    let kernel = Gaussian::new(b);
+    println!("| n | exact grid-pruned | binned os=4 | binned os=8 | rel err (os=8) |");
+    println!("|---|---|---|---|---|");
+    for n in [30_000usize, 100_000, 300_000] {
+        let pts = crime(n);
+        let (exact, t_exact) = time(|| kdv::grid_pruned_kdv(&pts, spec, kernel, 1e-9));
+        let (_, t4) = time(|| kdv::binned_gaussian_kdv(&pts, spec, kernel, 4, 1e-9));
+        let (g8, t8) = time(|| kdv::binned_gaussian_kdv(&pts, spec, kernel, 8, 1e-9));
+        println!(
+            "| {n} | {} ms | {} ms | {} ms | {:.4} |",
+            ms(t_exact),
+            ms(t4),
+            ms(t8),
+            g8.rel_diff(&exact, exact.max() * 1e-2)
+        );
+    }
+}
+
+// --------------------------------------------------------------- E18 ----
+fn e18() {
+    let points = crime(50_000);
+    let spec = GridSpec::new(window(), 20, 16);
+    let counts = areal::quadrat_counts(&points, spec);
+    let centers = areal::cell_centers(&spec);
+    let w = SpatialWeights::distance_band(&centers, 700.0);
+    let (gi, t_gi) = time(|| stats::local_gi_star(counts.values(), &w));
+    let (lisa, t_lisa) = time(|| stats::local_morans_i(counts.values(), &w, 199, 3));
+    let hot = gi.iter().filter(|r| r.value > 1.96).count();
+    let cold = gi.iter().filter(|r| r.value < -1.96).count();
+    let sig_lisa = lisa.iter().filter(|r| r.p < 0.05).count();
+    println!("| quantity | value |");
+    println!("|---|---|");
+    println!("| quadrats | {} |", spec.len());
+    println!("| Gi* time | {} ms |", ms(t_gi));
+    println!("| hot spots (z > 1.96) | {hot} |");
+    println!("| cold spots (z < -1.96) | {cold} |");
+    println!("| LISA time (199 perms) | {} ms |", ms(t_lisa));
+    println!("| significant LISA cells (p < 0.05) | {sig_lisa} |");
+    // The generating hotspot cells must be flagged hot.
+    let (hx, hy) = spec.pixel_of(&Point::new(2_500.0, 2_000.0));
+    let z = gi[hy * spec.nx + hx].value;
+    println!("| Gi* z at true hotspot cell | {z:.1} |");
+    assert!(z > 1.96, "hotspot not detected");
+}

@@ -1,0 +1,15 @@
+//! # lsga-bench
+//!
+//! Benchmark harness for the `lsga` suite. Two entry points:
+//!
+//! * the **`experiments` binary** — regenerates every experiment table
+//!   of `EXPERIMENTS.md` (`cargo run --release -p lsga-bench --bin
+//!   experiments -- all`);
+//! * the **Criterion benches** in `benches/` — one target per
+//!   experiment, for statistically sound timing comparisons
+//!   (`cargo bench -p lsga-bench`).
+//!
+//! [`workloads`] defines the shared synthetic datasets so that the
+//! binary and the benches measure identical inputs.
+
+pub mod workloads;

@@ -1,0 +1,130 @@
+//! Shared synthetic workloads for the benches and the experiments
+//! binary. Every workload is deterministic; sizes are parameters so the
+//! same shapes scale from quick benches to the full experiment tables.
+
+use lsga::prelude::*;
+use lsga::{data, network};
+
+/// The standard evaluation window (a 10 km × 8 km city, metres).
+pub fn window() -> BBox {
+    BBox::new(0.0, 0.0, 10_000.0, 8_000.0)
+}
+
+/// Crime-like clustered points: two sharp hotspots + diffuse background
+/// (the Chicago-crime stand-in; DESIGN.md §1.5).
+pub fn crime(n: usize) -> Vec<Point> {
+    data::gaussian_mixture(
+        n,
+        &[
+            Hotspot {
+                center: Point::new(2_500.0, 2_000.0),
+                sigma: 300.0,
+                weight: 2.0,
+            },
+            Hotspot {
+                center: Point::new(7_500.0, 5_500.0),
+                sigma: 500.0,
+                weight: 1.0,
+            },
+            Hotspot {
+                center: Point::new(5_000.0, 4_000.0),
+                sigma: 2_500.0,
+                weight: 1.0,
+            },
+        ],
+        window(),
+        42,
+    )
+}
+
+/// CSR points in the standard window (the null model).
+pub fn csr(n: usize) -> Vec<Point> {
+    data::uniform_points(n, window(), 4242)
+}
+
+/// Taxi-like heavy multi-hotspot data (the NYC-taxi stand-in).
+pub fn taxi(n: usize) -> Vec<Point> {
+    data::taxi_like(n, window(), 0.7, 7)
+}
+
+/// Epidemic waves over 100 days (the HK-COVID stand-in; Fig. 4 shape).
+pub fn waves(n: usize) -> Vec<TimedPoint> {
+    data::epidemic_waves(
+        n,
+        &[
+            Wave {
+                hotspot: Hotspot {
+                    center: Point::new(2_500.0, 5_500.0),
+                    sigma: 400.0,
+                    weight: 1.0,
+                },
+                t_peak: 20.0,
+                t_sigma: 6.0,
+            },
+            Wave {
+                hotspot: Hotspot {
+                    center: Point::new(7_500.0, 2_500.0),
+                    sigma: 350.0,
+                    weight: 1.4,
+                },
+                t_peak: 75.0,
+                t_sigma: 5.0,
+            },
+        ],
+        window(),
+        2020,
+    )
+}
+
+/// Manhattan-like road network (`blocks × blocks` intersections,
+/// 200 m spacing) with clustered accident events.
+pub fn road_scenario(blocks: usize, events: usize) -> (RoadNetwork, Vec<EdgePosition>) {
+    let net = network::grid_network(blocks, blocks, 200.0);
+    let per_cluster = (events / 8).max(1);
+    let ev = data::clustered_on_network(&net, 8, per_cluster, 250.0, 3);
+    (net, ev)
+}
+
+/// Sensor readings of a synthetic pollution field.
+pub fn sensors(n: usize) -> Vec<(Point, f64)> {
+    let field = |p: &Point| {
+        12.0 + 0.0005 * p.x
+            + 60.0 * (-p.dist_sq(&Point::new(3_000.0, 6_000.0)) / 4.0e6).exp()
+            + 40.0 * (-p.dist_sq(&Point::new(7_000.0, 2_500.0)) / 9.0e6).exp()
+    };
+    data::uniform_points(n, window(), 99)
+        .into_iter()
+        .map(|p| {
+            let z = field(&p);
+            (p, z)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_deterministic_and_sized() {
+        assert_eq!(crime(1000).len(), 1000);
+        assert_eq!(crime(1000), crime(1000));
+        assert_eq!(csr(500).len(), 500);
+        assert_eq!(taxi(500).len(), 500);
+        assert_eq!(waves(500).len(), 500);
+        assert_eq!(sensors(100).len(), 100);
+        let (net, ev) = road_scenario(6, 64);
+        assert_eq!(net.vertex_count(), 36);
+        assert_eq!(ev.len(), 64);
+    }
+
+    #[test]
+    fn all_points_inside_window() {
+        for p in crime(2000) {
+            assert!(window().contains(&p));
+        }
+        for p in waves(1000) {
+            assert!(window().contains(&p.point));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared across the suite.
+
+use std::fmt;
+
+/// Convenience alias used by fallible APIs in the suite.
+pub type Result<T> = std::result::Result<T, LsgaError>;
+
+/// Errors produced by the `lsga` crates.
+///
+/// Panics are reserved for programmer errors (violated preconditions such
+/// as a non-positive bandwidth); recoverable conditions — bad input files,
+/// unsolvable kriging systems, empty datasets where data is required —
+/// surface as `LsgaError`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LsgaError {
+    /// The input dataset is empty but the operation needs data.
+    EmptyDataset(&'static str),
+    /// A parameter value is outside its legal range.
+    InvalidParameter { name: &'static str, message: String },
+    /// A linear system had no (stable) solution.
+    SingularSystem(&'static str),
+    /// Parsing an external file failed.
+    Parse { line: usize, message: String },
+    /// An I/O error (message-only so the error stays `Clone + PartialEq`).
+    Io(String),
+    /// A graph vertex/edge reference was out of bounds.
+    GraphIndex(String),
+}
+
+impl fmt::Display for LsgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsgaError::EmptyDataset(what) => write!(f, "empty dataset: {what}"),
+            LsgaError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            LsgaError::SingularSystem(what) => write!(f, "singular linear system: {what}"),
+            LsgaError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            LsgaError::Io(message) => write!(f, "I/O error: {message}"),
+            LsgaError::GraphIndex(message) => write!(f, "graph index error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LsgaError {}
+
+impl From<std::io::Error> for LsgaError {
+    fn from(e: std::io::Error) -> Self {
+        LsgaError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            LsgaError::EmptyDataset("points").to_string(),
+            "empty dataset: points"
+        );
+        assert!(LsgaError::InvalidParameter {
+            name: "eps",
+            message: "must be positive".into()
+        }
+        .to_string()
+        .contains("eps"));
+        assert!(LsgaError::Parse {
+            line: 3,
+            message: "bad float".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: LsgaError = io.into();
+        assert!(matches!(e, LsgaError::Io(_)));
+    }
+}

@@ -1,0 +1,504 @@
+//! Density rasters: the `X × Y` pixel grids of the paper's Definition 1
+//! and their `X × Y × T` spatiotemporal extension (STKDV, §2.2).
+
+use crate::point::{BBox, Point};
+
+/// Geometry of a raster: a bounding box divided into `nx × ny` pixels.
+///
+/// Pixel `(ix, iy)` covers
+/// `[min_x + ix·dx, min_x + (ix+1)·dx) × [min_y + iy·dy, min_y + (iy+1)·dy)`
+/// and the density is evaluated at the pixel **centre**, matching how the
+/// heatmap tools the paper surveys rasterize (QGIS, LIBKDV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSpec {
+    pub bbox: BBox,
+    pub nx: usize,
+    pub ny: usize,
+}
+
+impl GridSpec {
+    /// Create a grid spec. Panics if either dimension is zero or the box
+    /// is empty.
+    pub fn new(bbox: BBox, nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+        assert!(!bbox.is_empty(), "grid bbox must be non-empty");
+        GridSpec { bbox, nx, ny }
+    }
+
+    /// Square-ish grid: `nx` pixels across, `ny` chosen to keep pixels as
+    /// close to square as the box aspect allows (at least one).
+    pub fn with_width(bbox: BBox, nx: usize) -> Self {
+        assert!(nx > 0, "grid width must be positive");
+        let aspect = if bbox.width() > 0.0 {
+            bbox.height() / bbox.width()
+        } else {
+            1.0
+        };
+        let ny = ((nx as f64) * aspect).round().max(1.0) as usize;
+        GridSpec::new(bbox, nx, ny)
+    }
+
+    /// Pixel width.
+    #[inline]
+    pub fn dx(&self) -> f64 {
+        self.bbox.width() / self.nx as f64
+    }
+
+    /// Pixel height.
+    #[inline]
+    pub fn dy(&self) -> f64 {
+        self.bbox.height() / self.ny as f64
+    }
+
+    /// Total number of pixels `X × Y`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// True when the grid has no pixels (never: dimensions are positive).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Centre of pixel `(ix, iy)`.
+    #[inline]
+    pub fn pixel_center(&self, ix: usize, iy: usize) -> Point {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        Point::new(
+            self.bbox.min_x + (ix as f64 + 0.5) * self.dx(),
+            self.bbox.min_y + (iy as f64 + 0.5) * self.dy(),
+        )
+    }
+
+    /// X coordinate of the centre of pixel column `ix`.
+    #[inline]
+    pub fn col_x(&self, ix: usize) -> f64 {
+        self.bbox.min_x + (ix as f64 + 0.5) * self.dx()
+    }
+
+    /// Y coordinate of the centre of pixel row `iy`.
+    #[inline]
+    pub fn row_y(&self, iy: usize) -> f64 {
+        self.bbox.min_y + (iy as f64 + 0.5) * self.dy()
+    }
+
+    /// Pixel containing `p`, clamped to the grid (points on/outside the
+    /// max edge map to the last pixel).
+    #[inline]
+    pub fn pixel_of(&self, p: &Point) -> (usize, usize) {
+        let fx = (p.x - self.bbox.min_x) / self.dx();
+        let fy = (p.y - self.bbox.min_y) / self.dy();
+        let ix = (fx.max(0.0) as usize).min(self.nx - 1);
+        let iy = (fy.max(0.0) as usize).min(self.ny - 1);
+        (ix, iy)
+    }
+
+    /// Row-major linear index of pixel `(ix, iy)`.
+    #[inline]
+    pub fn index(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        iy * self.nx + ix
+    }
+}
+
+/// A computed density raster (the output of every KDV/IDW/Kriging variant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityGrid {
+    spec: GridSpec,
+    values: Vec<f64>,
+}
+
+impl DensityGrid {
+    /// Zero-initialised grid.
+    pub fn zeros(spec: GridSpec) -> Self {
+        DensityGrid {
+            spec,
+            values: vec![0.0; spec.len()],
+        }
+    }
+
+    /// Wrap precomputed values. Panics if the length mismatches the spec.
+    pub fn from_values(spec: GridSpec, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), spec.len(), "value buffer length mismatch");
+        DensityGrid { spec, values }
+    }
+
+    /// The grid geometry.
+    #[inline]
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Value at pixel `(ix, iy)`.
+    #[inline]
+    pub fn at(&self, ix: usize, iy: usize) -> f64 {
+        self.values[self.spec.index(ix, iy)]
+    }
+
+    /// Set the value at pixel `(ix, iy)`.
+    #[inline]
+    pub fn set(&mut self, ix: usize, iy: usize, v: f64) {
+        let i = self.spec.index(ix, iy);
+        self.values[i] = v;
+    }
+
+    /// Add `v` to pixel `(ix, iy)`.
+    #[inline]
+    pub fn add(&mut self, ix: usize, iy: usize, v: f64) {
+        let i = self.spec.index(ix, iy);
+        self.values[i] += v;
+    }
+
+    /// Raw row-major values (row `iy` at `values[iy*nx .. (iy+1)*nx]`).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable raw values.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// One row of pixels as a slice.
+    #[inline]
+    pub fn row(&self, iy: usize) -> &[f64] {
+        let nx = self.spec.nx;
+        &self.values[iy * nx..(iy + 1) * nx]
+    }
+
+    /// Mutable row of pixels.
+    #[inline]
+    pub fn row_mut(&mut self, iy: usize) -> &mut [f64] {
+        let nx = self.spec.nx;
+        &mut self.values[iy * nx..(iy + 1) * nx]
+    }
+
+    /// Maximum density value (0 for an all-zero grid).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum density value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Pixel `(ix, iy)` holding the maximum value (first occurrence).
+    pub fn argmax(&self) -> (usize, usize) {
+        let mut best = 0;
+        for (i, v) in self.values.iter().enumerate() {
+            if *v > self.values[best] {
+                best = i;
+            }
+        }
+        (best % self.spec.nx, best / self.spec.nx)
+    }
+
+    /// World coordinates of the hottest pixel centre.
+    pub fn hotspot(&self) -> Point {
+        let (ix, iy) = self.argmax();
+        self.spec.pixel_center(ix, iy)
+    }
+
+    /// Sum of all pixel values.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Largest absolute difference against another grid of the same spec.
+    ///
+    /// The `L∞` error metric used throughout the approximation-quality
+    /// experiments (paper Eq. 6–7 guarantees).
+    pub fn linf_diff(&self, other: &DensityGrid) -> f64 {
+        assert_eq!(self.spec, other.spec, "grid spec mismatch");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest relative difference `|a−b| / max(|b|, floor)` against a
+    /// reference grid; `floor` guards pixels where the reference is ~0.
+    pub fn rel_diff(&self, reference: &DensityGrid, floor: f64) -> f64 {
+        assert_eq!(self.spec, reference.spec, "grid spec mismatch");
+        self.values
+            .iter()
+            .zip(&reference.values)
+            .map(|(a, b)| (a - b).abs() / b.abs().max(floor))
+            .fold(0.0, f64::max)
+    }
+
+    /// Iterate `(ix, iy, centre, value)` over all pixels.
+    pub fn iter_pixels(&self) -> impl Iterator<Item = (usize, usize, Point, f64)> + '_ {
+        let spec = self.spec;
+        self.values.iter().enumerate().map(move |(i, v)| {
+            let ix = i % spec.nx;
+            let iy = i / spec.nx;
+            (ix, iy, spec.pixel_center(ix, iy), *v)
+        })
+    }
+
+    /// Scale every pixel by `factor` (e.g. the normalization constant `w`
+    /// of Eq. 1).
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.values {
+            *v *= factor;
+        }
+    }
+
+    /// Add another grid of the same spec pixel-wise (accumulating
+    /// partial densities, e.g. per-month layers).
+    pub fn add_grid(&mut self, other: &DensityGrid) {
+        assert_eq!(self.spec, other.spec, "grid spec mismatch");
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += b;
+        }
+    }
+
+    /// Pixel-wise difference `self − other`: the change-detection map
+    /// between two periods (positive = density gained).
+    pub fn diff_grid(&self, other: &DensityGrid) -> DensityGrid {
+        assert_eq!(self.spec, other.spec, "grid spec mismatch");
+        DensityGrid {
+            spec: self.spec,
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// The `q`-quantile of the pixel values (`q ∈ [0, 1]`,
+    /// nearest-rank). Useful for thresholding "hotspot" pixels (e.g. the
+    /// top 5% of density).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// An `X × Y × T` spatiotemporal raster (output of STKDV).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceTimeGrid {
+    spec: GridSpec,
+    /// Centres of the T temporal bins.
+    times: Vec<f64>,
+    /// Layout: time-major, each time slice row-major.
+    values: Vec<f64>,
+}
+
+impl SpaceTimeGrid {
+    /// Zero-initialised spatiotemporal grid with `nt` evenly spaced time
+    /// slices across `[t_min, t_max]` (slice centres, like pixel centres).
+    pub fn zeros(spec: GridSpec, t_min: f64, t_max: f64, nt: usize) -> Self {
+        assert!(nt > 0, "need at least one time slice");
+        assert!(t_max >= t_min, "inverted time range");
+        let dt = (t_max - t_min) / nt as f64;
+        let times = (0..nt).map(|i| t_min + (i as f64 + 0.5) * dt).collect();
+        SpaceTimeGrid {
+            spec,
+            times,
+            values: vec![0.0; spec.len() * nt],
+        }
+    }
+
+    /// The spatial geometry shared by all slices.
+    #[inline]
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Number of time slices.
+    #[inline]
+    pub fn nt(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Centre time of slice `it`.
+    #[inline]
+    pub fn time(&self, it: usize) -> f64 {
+        self.times[it]
+    }
+
+    /// All slice-centre times.
+    #[inline]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Value at `(ix, iy, it)`.
+    #[inline]
+    pub fn at(&self, ix: usize, iy: usize, it: usize) -> f64 {
+        self.values[it * self.spec.len() + self.spec.index(ix, iy)]
+    }
+
+    /// Set the value at `(ix, iy, it)`.
+    #[inline]
+    pub fn set(&mut self, ix: usize, iy: usize, it: usize, v: f64) {
+        let i = it * self.spec.len() + self.spec.index(ix, iy);
+        self.values[i] = v;
+    }
+
+    /// Copy time slice `it` out as a standalone [`DensityGrid`]
+    /// (e.g. to render Fig. 4's per-month heatmaps).
+    pub fn slice(&self, it: usize) -> DensityGrid {
+        let n = self.spec.len();
+        DensityGrid::from_values(self.spec, self.values[it * n..(it + 1) * n].to_vec())
+    }
+
+    /// Mutable access to the raw buffer of slice `it` (row-major).
+    pub fn slice_mut(&mut self, it: usize) -> &mut [f64] {
+        let n = self.spec.len();
+        &mut self.values[it * n..(it + 1) * n]
+    }
+
+    /// Largest absolute difference against another grid of the same shape.
+    pub fn linf_diff(&self, other: &SpaceTimeGrid) -> f64 {
+        assert_eq!(self.spec, other.spec);
+        assert_eq!(self.times.len(), other.times.len());
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 10.0, 5.0), 10, 5)
+    }
+
+    #[test]
+    fn pixel_geometry() {
+        let s = spec();
+        assert_eq!(s.dx(), 1.0);
+        assert_eq!(s.dy(), 1.0);
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.pixel_center(0, 0), Point::new(0.5, 0.5));
+        assert_eq!(s.pixel_center(9, 4), Point::new(9.5, 4.5));
+        assert_eq!(s.col_x(3), 3.5);
+        assert_eq!(s.row_y(2), 2.5);
+    }
+
+    #[test]
+    fn pixel_of_clamps() {
+        let s = spec();
+        assert_eq!(s.pixel_of(&Point::new(0.5, 0.5)), (0, 0));
+        assert_eq!(s.pixel_of(&Point::new(9.99, 4.99)), (9, 4));
+        assert_eq!(s.pixel_of(&Point::new(10.0, 5.0)), (9, 4)); // max edge
+        assert_eq!(s.pixel_of(&Point::new(-3.0, 99.0)), (0, 4)); // outside
+    }
+
+    #[test]
+    fn with_width_respects_aspect() {
+        let s = GridSpec::with_width(BBox::new(0.0, 0.0, 100.0, 50.0), 200);
+        assert_eq!(s.nx, 200);
+        assert_eq!(s.ny, 100);
+        let sq = GridSpec::with_width(BBox::new(0.0, 0.0, 10.0, 10.0), 32);
+        assert_eq!(sq.ny, 32);
+    }
+
+    #[test]
+    fn density_grid_basics() {
+        let mut g = DensityGrid::zeros(spec());
+        g.set(3, 2, 7.5);
+        g.add(3, 2, 0.5);
+        assert_eq!(g.at(3, 2), 8.0);
+        assert_eq!(g.max(), 8.0);
+        assert_eq!(g.min(), 0.0);
+        assert_eq!(g.argmax(), (3, 2));
+        assert_eq!(g.hotspot(), Point::new(3.5, 2.5));
+        assert_eq!(g.sum(), 8.0);
+        g.scale(0.5);
+        assert_eq!(g.at(3, 2), 4.0);
+    }
+
+    #[test]
+    fn density_grid_rows() {
+        let mut g = DensityGrid::zeros(spec());
+        g.row_mut(1).iter_mut().for_each(|v| *v = 2.0);
+        assert_eq!(g.row(1), &[2.0; 10]);
+        assert_eq!(g.row(0), &[0.0; 10]);
+        assert_eq!(g.at(7, 1), 2.0);
+    }
+
+    #[test]
+    fn linf_and_rel_diff() {
+        let mut a = DensityGrid::zeros(spec());
+        let mut b = DensityGrid::zeros(spec());
+        a.set(0, 0, 1.0);
+        b.set(0, 0, 1.1);
+        b.set(5, 3, 0.2);
+        assert!((a.linf_diff(&b) - 0.2).abs() < 1e-12);
+        // rel diff at (0,0): 0.1/1.1; at (5,3): 0.2/floor
+        assert!((a.rel_diff(&b, 1.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_pixels_covers_grid() {
+        let g = DensityGrid::zeros(spec());
+        let v: Vec<_> = g.iter_pixels().collect();
+        assert_eq!(v.len(), 50);
+        assert_eq!(v[0].2, Point::new(0.5, 0.5));
+        assert_eq!(v[49].2, Point::new(9.5, 4.5));
+    }
+
+    #[test]
+    fn space_time_grid() {
+        let mut st = SpaceTimeGrid::zeros(spec(), 0.0, 10.0, 5);
+        assert_eq!(st.nt(), 5);
+        assert_eq!(st.time(0), 1.0);
+        assert_eq!(st.time(4), 9.0);
+        st.set(2, 1, 3, 4.0);
+        assert_eq!(st.at(2, 1, 3), 4.0);
+        let slice = st.slice(3);
+        assert_eq!(slice.at(2, 1), 4.0);
+        assert_eq!(st.slice(2).sum(), 0.0);
+        st.slice_mut(2)[0] = 1.0;
+        assert_eq!(st.at(0, 0, 2), 1.0);
+    }
+
+    #[test]
+    fn grid_arithmetic() {
+        let mut a = DensityGrid::zeros(spec());
+        let mut b = DensityGrid::zeros(spec());
+        a.set(1, 1, 3.0);
+        b.set(1, 1, 1.0);
+        b.set(2, 2, 5.0);
+        let d = a.diff_grid(&b);
+        assert_eq!(d.at(1, 1), 2.0);
+        assert_eq!(d.at(2, 2), -5.0);
+        a.add_grid(&b);
+        assert_eq!(a.at(1, 1), 4.0);
+        assert_eq!(a.at(2, 2), 5.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 10.0, 1.0), 10, 1);
+        let g = DensityGrid::from_values(spec, (0..10).map(f64::from).collect());
+        assert_eq!(g.quantile(0.0), 0.0);
+        assert_eq!(g.quantile(1.0), 9.0);
+        assert_eq!(g.quantile(0.5), 5.0); // nearest rank of 4.5
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_values_checks_len() {
+        let _ = DensityGrid::from_values(spec(), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,812 @@
+//! Kernel functions (paper Table 2, plus the Section 2.4 extensions).
+//!
+//! A kernel `K(q, p)` maps the distance between a query location `q` and a
+//! data point `p` to a non-negative contribution; the kernel density value
+//! of Eq. 1 is `F_P(q) = Σ_p w · K(q, p)`. Table 2 of the paper defines the
+//! uniform, Epanechnikov, quartic, and Gaussian kernels; Section 2.4 names
+//! the triangular, cosine, and exponential kernels as the ones famous
+//! packages additionally support, so the suite implements all seven.
+//!
+//! Two traits organize them:
+//!
+//! * [`Kernel`] — everything the generic algorithms need: evaluation from a
+//!   (squared) distance, the exact support radius for finite-support
+//!   kernels, and an effective pruning radius for infinite-support ones.
+//! * [`PolyKernel`] — the polynomial subfamily (uniform / Epanechnikov /
+//!   quartic), whose value is a polynomial in `d²`. The SLAM sweep-line and
+//!   SAFE multi-bandwidth algorithms (computational-sharing family,
+//!   paper §2.2) rely on this structure.
+
+/// A radially symmetric kernel function with bandwidth `b`.
+///
+/// Implementations must be cheap to copy and thread-safe: the parallel and
+/// distributed executors copy kernels into every worker.
+pub trait Kernel: Copy + Send + Sync + 'static {
+    /// The bandwidth parameter `b` of the paper's Table 2.
+    fn bandwidth(&self) -> f64;
+
+    /// Kernel value given the *squared* distance `d²` between `q` and `p`.
+    ///
+    /// Working in squared distances lets finite-support kernels skip the
+    /// `sqrt` entirely, which matters in the `O(X·Y·n)` naive loops.
+    fn eval_sq(&self, d2: f64) -> f64;
+
+    /// Kernel value given the distance `d`.
+    #[inline]
+    fn eval(&self, d: f64) -> f64 {
+        self.eval_sq(d * d)
+    }
+
+    /// `Some(r)` if the kernel is exactly zero for all distances `> r`;
+    /// `None` for infinite-support kernels (Gaussian, exponential).
+    fn support(&self) -> Option<f64>;
+
+    /// A radius beyond which the kernel value is `< tail_eps · K(0)`.
+    ///
+    /// Equals the exact support radius for finite-support kernels; for
+    /// infinite-support kernels it is the analytic tail cutoff. Pruning
+    /// structures (grids, trees, distributed halos) use this radius.
+    fn effective_radius(&self, tail_eps: f64) -> f64;
+
+    /// The maximum value of the kernel, attained at distance zero.
+    #[inline]
+    fn max_value(&self) -> f64 {
+        self.eval_sq(0.0)
+    }
+
+    /// The planar integral `∫∫ K(‖x‖) dx` of the kernel over `R²`.
+    ///
+    /// Dividing a raw kernel sum by `n · integral_2d()` turns it into a
+    /// proper density estimate; the adaptive-bandwidth KDV uses the
+    /// ratio of integrals to keep per-point kernel mass constant as
+    /// bandwidths vary.
+    fn integral_2d(&self) -> f64;
+
+    /// Which member of the family this is.
+    fn kind(&self) -> KernelKind;
+}
+
+macro_rules! check_bandwidth {
+    ($b:expr) => {
+        assert!(
+            $b.is_finite() && $b > 0.0,
+            "kernel bandwidth must be finite and positive, got {}",
+            $b
+        );
+    };
+}
+
+/// Uniform kernel: `1/b` if `d ≤ b`, else `0` (paper Table 2, row 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    b: f64,
+    inv_b: f64,
+    b2: f64,
+}
+
+impl Uniform {
+    /// Uniform kernel with bandwidth `b`. Panics if `b ≤ 0` or non-finite.
+    pub fn new(b: f64) -> Self {
+        check_bandwidth!(b);
+        Uniform {
+            b,
+            inv_b: 1.0 / b,
+            b2: b * b,
+        }
+    }
+}
+
+impl Kernel for Uniform {
+    #[inline]
+    fn bandwidth(&self) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn eval_sq(&self, d2: f64) -> f64 {
+        if d2 <= self.b2 {
+            self.inv_b
+        } else {
+            0.0
+        }
+    }
+    #[inline]
+    fn support(&self) -> Option<f64> {
+        Some(self.b)
+    }
+    #[inline]
+    fn effective_radius(&self, _tail_eps: f64) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn integral_2d(&self) -> f64 {
+        std::f64::consts::PI * self.b
+    }
+    #[inline]
+    fn kind(&self) -> KernelKind {
+        KernelKind::Uniform
+    }
+}
+
+/// Epanechnikov kernel: `1 − d²/b²` if `d ≤ b`, else `0`
+/// (paper Table 2, row 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Epanechnikov {
+    b: f64,
+    inv_b2: f64,
+    b2: f64,
+}
+
+impl Epanechnikov {
+    /// Epanechnikov kernel with bandwidth `b`. Panics if `b ≤ 0`.
+    pub fn new(b: f64) -> Self {
+        check_bandwidth!(b);
+        Epanechnikov {
+            b,
+            inv_b2: 1.0 / (b * b),
+            b2: b * b,
+        }
+    }
+}
+
+impl Kernel for Epanechnikov {
+    #[inline]
+    fn bandwidth(&self) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn eval_sq(&self, d2: f64) -> f64 {
+        if d2 <= self.b2 {
+            1.0 - d2 * self.inv_b2
+        } else {
+            0.0
+        }
+    }
+    #[inline]
+    fn support(&self) -> Option<f64> {
+        Some(self.b)
+    }
+    #[inline]
+    fn effective_radius(&self, _tail_eps: f64) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn integral_2d(&self) -> f64 {
+        0.5 * std::f64::consts::PI * self.b * self.b
+    }
+    #[inline]
+    fn kind(&self) -> KernelKind {
+        KernelKind::Epanechnikov
+    }
+}
+
+/// Quartic (biweight) kernel: `(1 − d²/b²)²` if `d ≤ b`, else `0`
+/// (paper Table 2, row 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quartic {
+    b: f64,
+    inv_b2: f64,
+    b2: f64,
+}
+
+impl Quartic {
+    /// Quartic kernel with bandwidth `b`. Panics if `b ≤ 0`.
+    pub fn new(b: f64) -> Self {
+        check_bandwidth!(b);
+        Quartic {
+            b,
+            inv_b2: 1.0 / (b * b),
+            b2: b * b,
+        }
+    }
+}
+
+impl Kernel for Quartic {
+    #[inline]
+    fn bandwidth(&self) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn eval_sq(&self, d2: f64) -> f64 {
+        if d2 <= self.b2 {
+            let u = 1.0 - d2 * self.inv_b2;
+            u * u
+        } else {
+            0.0
+        }
+    }
+    #[inline]
+    fn support(&self) -> Option<f64> {
+        Some(self.b)
+    }
+    #[inline]
+    fn effective_radius(&self, _tail_eps: f64) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn integral_2d(&self) -> f64 {
+        std::f64::consts::PI * self.b * self.b / 3.0
+    }
+    #[inline]
+    fn kind(&self) -> KernelKind {
+        KernelKind::Quartic
+    }
+}
+
+/// Gaussian kernel: `exp(−d²/b²)` (paper Table 2, row 4; infinite support).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    b: f64,
+    inv_b2: f64,
+}
+
+impl Gaussian {
+    /// Gaussian kernel with bandwidth `b`. Panics if `b ≤ 0`.
+    pub fn new(b: f64) -> Self {
+        check_bandwidth!(b);
+        Gaussian {
+            b,
+            inv_b2: 1.0 / (b * b),
+        }
+    }
+}
+
+impl Kernel for Gaussian {
+    #[inline]
+    fn bandwidth(&self) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn eval_sq(&self, d2: f64) -> f64 {
+        (-d2 * self.inv_b2).exp()
+    }
+    #[inline]
+    fn support(&self) -> Option<f64> {
+        None
+    }
+    /// `exp(−r²/b²) = ε  ⇒  r = b·sqrt(ln(1/ε))`.
+    #[inline]
+    fn effective_radius(&self, tail_eps: f64) -> f64 {
+        debug_assert!(tail_eps > 0.0 && tail_eps < 1.0);
+        self.b * (1.0 / tail_eps).ln().sqrt()
+    }
+    #[inline]
+    fn integral_2d(&self) -> f64 {
+        std::f64::consts::PI * self.b * self.b
+    }
+    #[inline]
+    fn kind(&self) -> KernelKind {
+        KernelKind::Gaussian
+    }
+}
+
+/// Triangular kernel: `1 − d/b` if `d ≤ b`, else `0` (§2.4 extension).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangular {
+    b: f64,
+    inv_b: f64,
+    b2: f64,
+}
+
+impl Triangular {
+    /// Triangular kernel with bandwidth `b`. Panics if `b ≤ 0`.
+    pub fn new(b: f64) -> Self {
+        check_bandwidth!(b);
+        Triangular {
+            b,
+            inv_b: 1.0 / b,
+            b2: b * b,
+        }
+    }
+}
+
+impl Kernel for Triangular {
+    #[inline]
+    fn bandwidth(&self) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn eval_sq(&self, d2: f64) -> f64 {
+        if d2 <= self.b2 {
+            1.0 - d2.sqrt() * self.inv_b
+        } else {
+            0.0
+        }
+    }
+    #[inline]
+    fn support(&self) -> Option<f64> {
+        Some(self.b)
+    }
+    #[inline]
+    fn effective_radius(&self, _tail_eps: f64) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn integral_2d(&self) -> f64 {
+        std::f64::consts::PI * self.b * self.b / 3.0
+    }
+    #[inline]
+    fn kind(&self) -> KernelKind {
+        KernelKind::Triangular
+    }
+}
+
+/// Cosine kernel: `cos(π·d / 2b)` if `d ≤ b`, else `0` (§2.4 extension).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cosine {
+    b: f64,
+    half_pi_inv_b: f64,
+    b2: f64,
+}
+
+impl Cosine {
+    /// Cosine kernel with bandwidth `b`. Panics if `b ≤ 0`.
+    pub fn new(b: f64) -> Self {
+        check_bandwidth!(b);
+        Cosine {
+            b,
+            half_pi_inv_b: std::f64::consts::FRAC_PI_2 / b,
+            b2: b * b,
+        }
+    }
+}
+
+impl Kernel for Cosine {
+    #[inline]
+    fn bandwidth(&self) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn eval_sq(&self, d2: f64) -> f64 {
+        if d2 <= self.b2 {
+            (d2.sqrt() * self.half_pi_inv_b).cos()
+        } else {
+            0.0
+        }
+    }
+    #[inline]
+    fn support(&self) -> Option<f64> {
+        Some(self.b)
+    }
+    #[inline]
+    fn effective_radius(&self, _tail_eps: f64) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn integral_2d(&self) -> f64 {
+        self.b * self.b * (4.0 - 8.0 / std::f64::consts::PI)
+    }
+    #[inline]
+    fn kind(&self) -> KernelKind {
+        KernelKind::Cosine
+    }
+}
+
+/// Exponential kernel: `exp(−d/b)` (§2.4 extension; infinite support).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    b: f64,
+    inv_b: f64,
+}
+
+impl Exponential {
+    /// Exponential kernel with bandwidth `b`. Panics if `b ≤ 0`.
+    pub fn new(b: f64) -> Self {
+        check_bandwidth!(b);
+        Exponential { b, inv_b: 1.0 / b }
+    }
+}
+
+impl Kernel for Exponential {
+    #[inline]
+    fn bandwidth(&self) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn eval_sq(&self, d2: f64) -> f64 {
+        (-d2.sqrt() * self.inv_b).exp()
+    }
+    #[inline]
+    fn support(&self) -> Option<f64> {
+        None
+    }
+    /// `exp(−r/b) = ε  ⇒  r = b·ln(1/ε)`.
+    #[inline]
+    fn effective_radius(&self, tail_eps: f64) -> f64 {
+        debug_assert!(tail_eps > 0.0 && tail_eps < 1.0);
+        self.b * (1.0 / tail_eps).ln()
+    }
+    #[inline]
+    fn integral_2d(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.b * self.b
+    }
+    #[inline]
+    fn kind(&self) -> KernelKind {
+        KernelKind::Exponential
+    }
+}
+
+/// Discriminant for the kernel family, independent of bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    Uniform,
+    Epanechnikov,
+    Quartic,
+    Gaussian,
+    Triangular,
+    Cosine,
+    Exponential,
+}
+
+impl KernelKind {
+    /// All seven kernels, in the paper's Table 2 order followed by the
+    /// §2.4 extensions.
+    pub const ALL: [KernelKind; 7] = [
+        KernelKind::Uniform,
+        KernelKind::Epanechnikov,
+        KernelKind::Quartic,
+        KernelKind::Gaussian,
+        KernelKind::Triangular,
+        KernelKind::Cosine,
+        KernelKind::Exponential,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelKind::Uniform => "uniform",
+            KernelKind::Epanechnikov => "epanechnikov",
+            KernelKind::Quartic => "quartic",
+            KernelKind::Gaussian => "gaussian",
+            KernelKind::Triangular => "triangular",
+            KernelKind::Cosine => "cosine",
+            KernelKind::Exponential => "exponential",
+        }
+    }
+
+    /// Instantiate this kernel with bandwidth `b`.
+    pub fn with_bandwidth(&self, b: f64) -> AnyKernel {
+        match self {
+            KernelKind::Uniform => AnyKernel::Uniform(Uniform::new(b)),
+            KernelKind::Epanechnikov => AnyKernel::Epanechnikov(Epanechnikov::new(b)),
+            KernelKind::Quartic => AnyKernel::Quartic(Quartic::new(b)),
+            KernelKind::Gaussian => AnyKernel::Gaussian(Gaussian::new(b)),
+            KernelKind::Triangular => AnyKernel::Triangular(Triangular::new(b)),
+            KernelKind::Cosine => AnyKernel::Cosine(Cosine::new(b)),
+            KernelKind::Exponential => AnyKernel::Exponential(Exponential::new(b)),
+        }
+    }
+
+    /// True for the kernels whose value is a polynomial in `d²`, i.e. the
+    /// family the SLAM/SAFE computational-sharing algorithms support.
+    pub fn is_polynomial(&self) -> bool {
+        matches!(
+            self,
+            KernelKind::Uniform | KernelKind::Epanechnikov | KernelKind::Quartic
+        )
+    }
+}
+
+/// A dynamically chosen kernel. Useful where the kernel is a runtime
+/// parameter (CLI harnesses, the distributed layer); statically typed code
+/// should prefer the concrete structs so the evaluation inlines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnyKernel {
+    Uniform(Uniform),
+    Epanechnikov(Epanechnikov),
+    Quartic(Quartic),
+    Gaussian(Gaussian),
+    Triangular(Triangular),
+    Cosine(Cosine),
+    Exponential(Exponential),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $k:ident => $body:expr) => {
+        match $self {
+            AnyKernel::Uniform($k) => $body,
+            AnyKernel::Epanechnikov($k) => $body,
+            AnyKernel::Quartic($k) => $body,
+            AnyKernel::Gaussian($k) => $body,
+            AnyKernel::Triangular($k) => $body,
+            AnyKernel::Cosine($k) => $body,
+            AnyKernel::Exponential($k) => $body,
+        }
+    };
+}
+
+impl Kernel for AnyKernel {
+    #[inline]
+    fn bandwidth(&self) -> f64 {
+        dispatch!(self, k => k.bandwidth())
+    }
+    #[inline]
+    fn eval_sq(&self, d2: f64) -> f64 {
+        dispatch!(self, k => k.eval_sq(d2))
+    }
+    #[inline]
+    fn support(&self) -> Option<f64> {
+        dispatch!(self, k => k.support())
+    }
+    #[inline]
+    fn effective_radius(&self, tail_eps: f64) -> f64 {
+        dispatch!(self, k => k.effective_radius(tail_eps))
+    }
+    #[inline]
+    fn integral_2d(&self) -> f64 {
+        dispatch!(self, k => k.integral_2d())
+    }
+    #[inline]
+    fn kind(&self) -> KernelKind {
+        dispatch!(self, k => k.kind())
+    }
+}
+
+/// The polynomial kernel subfamily: kernels whose value on their support is
+/// `c₀ + c₁·d² + c₂·d⁴`. This is exactly the set the paper's
+/// computational-sharing results (\[26, 29, 32\]) handle, and the reason the
+/// paper's §2.4 calls complexity-reduced algorithms for *other* kernels an
+/// open problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolyKernel {
+    kind: KernelKind,
+    b: f64,
+    coeffs: [f64; 3],
+}
+
+impl PolyKernel {
+    /// Build the polynomial form of `kind` with bandwidth `b`.
+    ///
+    /// Returns `None` for non-polynomial kernels (Gaussian, triangular,
+    /// cosine, exponential).
+    pub fn new(kind: KernelKind, b: f64) -> Option<Self> {
+        check_bandwidth!(b);
+        let b2 = b * b;
+        let coeffs = match kind {
+            // 1/b on the support.
+            KernelKind::Uniform => [1.0 / b, 0.0, 0.0],
+            // 1 − d²/b².
+            KernelKind::Epanechnikov => [1.0, -1.0 / b2, 0.0],
+            // (1 − d²/b²)² = 1 − 2d²/b² + d⁴/b⁴.
+            KernelKind::Quartic => [1.0, -2.0 / b2, 1.0 / (b2 * b2)],
+            _ => return None,
+        };
+        Some(PolyKernel { kind, b, coeffs })
+    }
+
+    /// The `[c₀, c₁, c₂]` coefficients of the polynomial in `d²`.
+    #[inline]
+    pub fn coeffs(&self) -> [f64; 3] {
+        self.coeffs
+    }
+
+    /// Degree in `d²`: 0 for uniform, 1 for Epanechnikov, 2 for quartic.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        if self.coeffs[2] != 0.0 {
+            2
+        } else if self.coeffs[1] != 0.0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Convert back to the dynamic kernel form (for evaluation fallbacks).
+    pub fn as_any(&self) -> AnyKernel {
+        self.kind.with_bandwidth(self.b)
+    }
+}
+
+impl Kernel for PolyKernel {
+    #[inline]
+    fn bandwidth(&self) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn eval_sq(&self, d2: f64) -> f64 {
+        if d2 <= self.b * self.b {
+            let [c0, c1, c2] = self.coeffs;
+            c0 + d2 * (c1 + d2 * c2)
+        } else {
+            0.0
+        }
+    }
+    #[inline]
+    fn support(&self) -> Option<f64> {
+        Some(self.b)
+    }
+    #[inline]
+    fn effective_radius(&self, _tail_eps: f64) -> f64 {
+        self.b
+    }
+    #[inline]
+    fn integral_2d(&self) -> f64 {
+        self.as_any().integral_2d()
+    }
+    #[inline]
+    fn kind(&self) -> KernelKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kernels(b: f64) -> Vec<AnyKernel> {
+        KernelKind::ALL.iter().map(|k| k.with_bandwidth(b)).collect()
+    }
+
+    #[test]
+    fn table2_values_at_zero_and_bandwidth() {
+        let b = 2.0;
+        let u = Uniform::new(b);
+        assert_eq!(u.eval(0.0), 0.5);
+        assert_eq!(u.eval(2.0), 0.5); // inclusive at d = b
+        assert_eq!(u.eval(2.0001), 0.0);
+
+        let e = Epanechnikov::new(b);
+        assert_eq!(e.eval(0.0), 1.0);
+        assert!((e.eval(1.0) - 0.75).abs() < 1e-12);
+        assert_eq!(e.eval(2.0), 0.0);
+
+        let q = Quartic::new(b);
+        assert_eq!(q.eval(0.0), 1.0);
+        assert!((q.eval(1.0) - 0.5625).abs() < 1e-12);
+        assert_eq!(q.eval(2.0), 0.0);
+
+        let g = Gaussian::new(b);
+        assert_eq!(g.eval(0.0), 1.0);
+        assert!((g.eval(2.0) - (-1.0f64).exp()).abs() < 1e-12);
+
+        let t = Triangular::new(b);
+        assert_eq!(t.eval(0.0), 1.0);
+        assert_eq!(t.eval(1.0), 0.5);
+        assert_eq!(t.eval(2.0), 0.0);
+
+        let c = Cosine::new(b);
+        assert_eq!(c.eval(0.0), 1.0);
+        assert!((c.eval(1.0) - (std::f64::consts::FRAC_PI_4).cos()).abs() < 1e-12);
+        assert!(c.eval(2.0).abs() < 1e-12);
+
+        let x = Exponential::new(b);
+        assert_eq!(x.eval(0.0), 1.0);
+        assert!((x.eval(2.0) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernels_are_monotone_non_increasing() {
+        for k in all_kernels(1.5) {
+            let mut last = k.eval(0.0);
+            let mut d = 0.0;
+            while d < 3.0 {
+                d += 0.01;
+                let v = k.eval(d);
+                assert!(
+                    v <= last + 1e-12,
+                    "{:?} increased at d={}: {} > {}",
+                    k.kind(),
+                    d,
+                    v,
+                    last
+                );
+                assert!(v >= 0.0);
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn finite_support_kernels_vanish_outside() {
+        for k in all_kernels(1.0) {
+            if let Some(r) = k.support() {
+                assert_eq!(k.eval(r * 1.0001), 0.0, "{:?}", k.kind());
+                assert!(k.eval(r * 0.9999) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn effective_radius_truncates_tail() {
+        let eps = 1e-6;
+        for k in all_kernels(3.0) {
+            let r = k.effective_radius(eps);
+            let tail = k.eval(r * 1.0001);
+            assert!(
+                tail <= eps * k.max_value() + 1e-15,
+                "{:?}: tail {} at r {}",
+                k.kind(),
+                tail,
+                r
+            );
+        }
+    }
+
+    #[test]
+    fn poly_kernel_matches_direct_evaluation() {
+        for kind in [
+            KernelKind::Uniform,
+            KernelKind::Epanechnikov,
+            KernelKind::Quartic,
+        ] {
+            let b = 2.5;
+            let poly = PolyKernel::new(kind, b).unwrap();
+            let direct = kind.with_bandwidth(b);
+            let mut d = 0.0;
+            while d < 3.5 {
+                assert!(
+                    (poly.eval(d) - direct.eval(d)).abs() < 1e-12,
+                    "{:?} at d={}",
+                    kind,
+                    d
+                );
+                d += 0.0173;
+            }
+        }
+    }
+
+    #[test]
+    fn poly_kernel_rejects_non_polynomial() {
+        assert!(PolyKernel::new(KernelKind::Gaussian, 1.0).is_none());
+        assert!(PolyKernel::new(KernelKind::Triangular, 1.0).is_none());
+        assert!(PolyKernel::new(KernelKind::Cosine, 1.0).is_none());
+        assert!(PolyKernel::new(KernelKind::Exponential, 1.0).is_none());
+    }
+
+    #[test]
+    fn poly_kernel_degrees() {
+        assert_eq!(PolyKernel::new(KernelKind::Uniform, 1.0).unwrap().degree(), 0);
+        assert_eq!(
+            PolyKernel::new(KernelKind::Epanechnikov, 1.0).unwrap().degree(),
+            1
+        );
+        assert_eq!(PolyKernel::new(KernelKind::Quartic, 1.0).unwrap().degree(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        let _ = Gaussian::new(0.0);
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        for kind in KernelKind::ALL {
+            let k = kind.with_bandwidth(1.25);
+            assert_eq!(k.kind(), kind);
+            assert_eq!(k.bandwidth(), 1.25);
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn integral_2d_matches_numeric_quadrature() {
+        for kind in KernelKind::ALL {
+            let b = 1.7;
+            let k = kind.with_bandwidth(b);
+            // Radial quadrature: ∫ K(r)·2πr dr out to the effective tail.
+            let r_max = k.effective_radius(1e-12);
+            let steps = 200_000;
+            let dr = r_max / steps as f64;
+            let mut acc = 0.0;
+            for i in 0..steps {
+                let r = (i as f64 + 0.5) * dr;
+                acc += k.eval(r) * std::f64::consts::TAU * r * dr;
+            }
+            let analytic = k.integral_2d();
+            assert!(
+                (acc - analytic).abs() / analytic < 1e-3,
+                "{kind:?}: numeric {acc} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_sq_consistent_with_eval() {
+        for k in all_kernels(0.8) {
+            for d in [0.0, 0.1, 0.5, 0.79, 0.8, 1.0, 2.0] {
+                assert!((k.eval(d) - k.eval_sq(d * d)).abs() < 1e-12);
+            }
+        }
+    }
+}

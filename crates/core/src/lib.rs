@@ -1,0 +1,29 @@
+//! # lsga-core
+//!
+//! Foundation types for the `lsga` large-scale geospatial analytics suite:
+//! geometry primitives, the kernel-function family of the paper's Table 2,
+//! density rasters, bandwidth selection, and a small dense linear solver.
+//!
+//! Everything in the suite is built on the [`Point`] / [`BBox`] geometry
+//! types and the [`Kernel`] trait defined here. The kernel definitions
+//! follow Table 2 of Chan et al., *Large-scale Geospatial Analytics:
+//! Problems, Challenges, and Opportunities* (SIGMOD-Companion 2023)
+//! verbatim, extended with the triangular / cosine / exponential kernels
+//! that the paper's Section 2.4 lists as future-work targets.
+
+pub mod bandwidth;
+pub mod error;
+pub mod grid;
+pub mod kernel;
+pub mod linalg;
+pub mod point;
+pub mod util;
+
+pub use bandwidth::{scott_bandwidth, silverman_bandwidth};
+pub use error::{LsgaError, Result};
+pub use grid::{DensityGrid, GridSpec, SpaceTimeGrid};
+pub use kernel::{
+    AnyKernel, Cosine, Epanechnikov, Exponential, Gaussian, Kernel, KernelKind, PolyKernel,
+    Quartic, Triangular, Uniform,
+};
+pub use point::{BBox, Point, TimedPoint};

@@ -1,0 +1,241 @@
+//! A small dense linear-algebra kernel: just enough to solve the ordinary
+//! kriging systems (`lsga-interp`) and least-squares variogram fits without
+//! pulling in an external BLAS. Systems are tiny (neighbourhood size + 1,
+//! typically ≤ 65 unknowns), so an O(n³) dense solver is the right tool.
+
+use crate::error::{LsgaError, Result};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from row-major data. Panics on length mismatch.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix–vector product. Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+}
+
+/// Solve `A·x = b` in place via Gaussian elimination with partial pivoting.
+///
+/// `A` is consumed (it is reduced to echelon form). Returns
+/// [`LsgaError::SingularSystem`] when a pivot falls below `1e-12` of the
+/// largest row entry, which in kriging signals duplicate sample locations.
+#[allow(clippy::needless_range_loop)] // dense matrix index arithmetic
+pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(LsgaError::InvalidParameter {
+            name: "system",
+            message: format!("need square system, got {}x{} with rhs {}", n, a.cols(), b.len()),
+        });
+    }
+    for col in 0..n {
+        // Partial pivot: pick the row with the largest magnitude in `col`.
+        let mut pivot_row = col;
+        let mut pivot_val = a.at(col, col).abs();
+        for r in (col + 1)..n {
+            let v = a.at(r, col).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return Err(LsgaError::SingularSystem("pivot below tolerance"));
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = a.at(col, c);
+                a.set(col, c, a.at(pivot_row, c));
+                a.set(pivot_row, c, tmp);
+            }
+            b.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        let pivot = a.at(col, col);
+        for r in (col + 1)..n {
+            let factor = a.at(r, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = a.at(r, c) - factor * a.at(col, c);
+                a.set(r, c, v);
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = b[r];
+        for c in (r + 1)..n {
+            acc -= a.at(r, c) * x[c];
+        }
+        x[r] = acc / a.at(r, r);
+    }
+    Ok(x)
+}
+
+/// Least-squares fit of `A·x ≈ b` via the normal equations
+/// `(AᵀA)·x = Aᵀb`. Adequate for the 2–3 parameter variogram fits here;
+/// ill-conditioned inputs surface as [`LsgaError::SingularSystem`].
+#[allow(clippy::needless_range_loop)] // dense matrix index arithmetic
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    assert_eq!(b.len(), a.rows());
+    let n = a.cols();
+    let mut ata = Matrix::zeros(n, n);
+    let mut atb = vec![0.0; n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for r in 0..a.rows() {
+                s += a.at(r, i) * a.at(r, j);
+            }
+            ata.set(i, j, s);
+        }
+        let mut s = 0.0;
+        for r in 0..a.rows() {
+            s += a.at(r, i) * b[r];
+        }
+        atb[i] = s;
+    }
+    solve(ata, atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = Matrix::from_rows(3, 3, vec![1., 0., 0., 0., 1., 0., 0., 0., 1.]);
+        let x = solve(a, vec![3.0, -1.0, 2.0]).unwrap();
+        assert_eq!(x, vec![3.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  ->  x = 1, y = 3
+        let a = Matrix::from_rows(2, 2, vec![2., 1., 1., 3.]);
+        let x = solve(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(2, 2, vec![0., 1., 1., 0.]);
+        let x = solve(a, vec![2.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(2, 2, vec![1., 2., 2., 4.]);
+        assert!(matches!(
+            solve(a, vec![1.0, 2.0]),
+            Err(LsgaError::SingularSystem(_))
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::from_rows(2, 3, vec![0.0; 6]);
+        assert!(solve(a, vec![0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_roundtrip() {
+        let a = Matrix::from_rows(3, 3, vec![4., 1., 0., 1., 3., 1., 0., 1., 2.]);
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.mul_vec(&x_true);
+        let x = solve(a, b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn least_squares_line_fit() {
+        // Fit y = 2x + 1 through exact points.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let mut a = Matrix::zeros(4, 2);
+        let mut b = vec![0.0; 4];
+        for (i, x) in xs.iter().enumerate() {
+            a.set(i, 0, *x);
+            a.set(i, 1, 1.0);
+            b[i] = 2.0 * x + 1.0;
+        }
+        let sol = least_squares(&a, &b).unwrap();
+        assert!((sol[0] - 2.0).abs() < 1e-10);
+        assert!((sol[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noise() {
+        // y = 3x with one outlier; slope should stay close to 3.
+        let mut a = Matrix::zeros(5, 1);
+        let mut b = vec![0.0; 5];
+        for (i, bi) in b.iter_mut().enumerate() {
+            a.set(i, 0, i as f64);
+            *bi = 3.0 * i as f64;
+        }
+        b[4] += 1.0;
+        let sol = least_squares(&a, &b).unwrap();
+        assert!((sol[0] - 3.0).abs() < 0.2);
+    }
+}

@@ -1,0 +1,321 @@
+//! Planar geometry primitives: [`Point`], [`TimedPoint`], and [`BBox`].
+//!
+//! All analytics in the suite operate on plain `f64` planar coordinates.
+//! Geographic inputs are assumed to have been projected (e.g. to a local
+//! UTM zone) before entering the library, matching how the tools the paper
+//! surveys (QGIS heatmaps, spatstat, CrimeStat) treat coordinates.
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Create a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this in hot loops: every finite-support kernel in the suite
+    /// can be evaluated from the squared distance without a `sqrt`.
+    #[inline]
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Component-wise midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// A point with an event timestamp, the unit of the spatiotemporal tools
+/// (STKDV, spatiotemporal K-function; paper Eq. 8).
+///
+/// Time is a plain `f64` in caller-defined units (days, hours, ...); the
+/// temporal kernels and thresholds use the same unit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimedPoint {
+    pub point: Point,
+    pub t: f64,
+}
+
+impl TimedPoint {
+    /// Create a spatiotemporal point.
+    #[inline]
+    pub const fn new(x: f64, y: f64, t: f64) -> Self {
+        TimedPoint {
+            point: Point::new(x, y),
+            t,
+        }
+    }
+
+    /// Spatial (planar) distance to `other`, ignoring time.
+    #[inline]
+    pub fn spatial_dist(&self, other: &TimedPoint) -> f64 {
+        self.point.dist(&other.point)
+    }
+
+    /// Absolute temporal distance to `other`.
+    #[inline]
+    pub fn temporal_dist(&self, other: &TimedPoint) -> f64 {
+        (self.t - other.t).abs()
+    }
+}
+
+/// An axis-aligned bounding box. Degenerate (zero-area) boxes are legal;
+/// an *empty* box (no points accumulated yet) is represented by
+/// [`BBox::empty`], which has `min > max`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+impl BBox {
+    /// Construct from explicit corners. Panics in debug builds if the
+    /// corners are inverted.
+    #[inline]
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        debug_assert!(min_x <= max_x && min_y <= max_y, "inverted bbox");
+        BBox {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// The empty box: the identity element of [`BBox::expand`].
+    #[inline]
+    pub fn empty() -> Self {
+        BBox {
+            min_x: f64::INFINITY,
+            min_y: f64::INFINITY,
+            max_x: f64::NEG_INFINITY,
+            max_y: f64::NEG_INFINITY,
+        }
+    }
+
+    /// True if no point has been accumulated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x
+    }
+
+    /// Smallest box covering every point of `points`, or the empty box.
+    pub fn of_points(points: &[Point]) -> Self {
+        let mut b = BBox::empty();
+        for p in points {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// Grow the box to cover `p`.
+    #[inline]
+    pub fn expand(&mut self, p: &Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Grow the box to cover another box.
+    #[inline]
+    pub fn expand_box(&mut self, other: &BBox) {
+        if other.is_empty() {
+            return;
+        }
+        self.min_x = self.min_x.min(other.min_x);
+        self.min_y = self.min_y.min(other.min_y);
+        self.max_x = self.max_x.max(other.max_x);
+        self.max_y = self.max_y.max(other.max_y);
+    }
+
+    /// Return a copy grown by `margin` on every side.
+    #[inline]
+    pub fn inflate(&self, margin: f64) -> BBox {
+        BBox {
+            min_x: self.min_x - margin,
+            min_y: self.min_y - margin,
+            max_x: self.max_x + margin,
+            max_y: self.max_y + margin,
+        }
+    }
+
+    /// Box width (x extent).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    /// Box height (y extent).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    /// Box area. Zero for empty or degenerate boxes.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric centre. Meaningless for empty boxes.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            0.5 * (self.min_x + self.max_x),
+            0.5 * (self.min_y + self.max_y),
+        )
+    }
+
+    /// True if `p` lies inside the box (inclusive bounds).
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// True if the two boxes overlap (inclusive bounds).
+    #[inline]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Squared distance from `p` to the nearest point of the box
+    /// (zero when `p` is inside). Used by tree-based pruning and the
+    /// function-approximation lower bound (paper Eq. 6).
+    #[inline]
+    pub fn min_dist_sq(&self, p: &Point) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        dx * dx + dy * dy
+    }
+
+    /// Squared distance from `p` to the farthest point of the box.
+    /// Used for the function-approximation upper bound (paper Eq. 6).
+    #[inline]
+    pub fn max_dist_sq(&self, p: &Point) -> f64 {
+        let dx = (p.x - self.min_x).abs().max((p.x - self.max_x).abs());
+        let dy = (p.y - self.min_y).abs().max((p.y - self.max_y).abs());
+        dx * dx + dy * dy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn point_midpoint() {
+        let m = Point::new(0.0, 2.0).midpoint(&Point::new(4.0, 0.0));
+        assert_eq!(m, Point::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn timed_point_distances() {
+        let a = TimedPoint::new(0.0, 0.0, 1.0);
+        let b = TimedPoint::new(0.0, 1.0, 4.0);
+        assert_eq!(a.spatial_dist(&b), 1.0);
+        assert_eq!(a.temporal_dist(&b), 3.0);
+        assert_eq!(b.temporal_dist(&a), 3.0);
+    }
+
+    #[test]
+    fn bbox_accumulation() {
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 0.0),
+            Point::new(3.0, 2.0),
+        ];
+        let b = BBox::of_points(&pts);
+        assert_eq!(b, BBox::new(-2.0, 0.0, 3.0, 5.0));
+        assert_eq!(b.width(), 5.0);
+        assert_eq!(b.height(), 5.0);
+        assert_eq!(b.area(), 25.0);
+        assert_eq!(b.center(), Point::new(0.5, 2.5));
+    }
+
+    #[test]
+    fn bbox_empty_semantics() {
+        let mut b = BBox::empty();
+        assert!(b.is_empty());
+        assert_eq!(b.area(), 0.0);
+        b.expand(&Point::new(1.0, 1.0));
+        assert!(!b.is_empty());
+        assert_eq!(b.area(), 0.0); // single point: degenerate but non-empty
+
+        let mut c = BBox::empty();
+        c.expand_box(&b);
+        assert_eq!(c, b);
+        let mut d = b;
+        d.expand_box(&BBox::empty()); // empty is the identity
+        assert_eq!(d, b);
+    }
+
+    #[test]
+    fn bbox_contains_and_intersects() {
+        let b = BBox::new(0.0, 0.0, 2.0, 2.0);
+        assert!(b.contains(&Point::new(0.0, 0.0)));
+        assert!(b.contains(&Point::new(2.0, 2.0)));
+        assert!(!b.contains(&Point::new(2.1, 1.0)));
+
+        assert!(b.intersects(&BBox::new(2.0, 2.0, 3.0, 3.0))); // edge touch
+        assert!(!b.intersects(&BBox::new(2.5, 2.5, 3.0, 3.0)));
+    }
+
+    #[test]
+    fn bbox_min_max_dist() {
+        let b = BBox::new(0.0, 0.0, 2.0, 2.0);
+        // Inside: min dist 0, max dist to the farthest corner.
+        let inside = Point::new(0.5, 0.5);
+        assert_eq!(b.min_dist_sq(&inside), 0.0);
+        assert_eq!(b.max_dist_sq(&inside), 1.5 * 1.5 + 1.5 * 1.5);
+        // Outside along x.
+        let out = Point::new(5.0, 1.0);
+        assert_eq!(b.min_dist_sq(&out), 9.0);
+        assert_eq!(b.max_dist_sq(&out), 25.0 + 1.0);
+    }
+
+    #[test]
+    fn bbox_inflate() {
+        let b = BBox::new(0.0, 0.0, 1.0, 1.0).inflate(0.5);
+        assert_eq!(b, BBox::new(-0.5, -0.5, 1.5, 1.5));
+    }
+}

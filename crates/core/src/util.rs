@@ -1,0 +1,107 @@
+//! Small numeric helpers shared by the statistics and bandwidth modules.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divide by `n`). Returns 0 for fewer than 1 element.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (divide by `n − 1`). Returns 0 for `n < 2`.
+pub fn sample_std(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Interquartile range using the nearest-rank quartile convention.
+/// Returns 0 for fewer than 4 elements.
+pub fn iqr(xs: &[f64]) -> f64 {
+    if xs.len() < 4 {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let q = |f: f64| -> f64 {
+        let idx = (f * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx]
+    };
+    q(0.75) - q(0.25)
+}
+
+/// Two-sided tail probability of the standard normal distribution:
+/// `P(|Z| > |z|)`. Used by the Moran's I / Getis-Ord z-tests.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 rational approximation of `erf`
+/// (max absolute error ~1.5e-7, ample for significance reporting).
+pub fn normal_two_sided_p(z: f64) -> f64 {
+    let phi = 0.5 * (1.0 + erf(z.abs() / std::f64::consts::SQRT_2));
+    (2.0 * (1.0 - phi)).clamp(0.0, 1.0)
+}
+
+/// Error function via Abramowitz–Stegun 7.1.26.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert!((sample_std(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(sample_std(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn iqr_nearest_rank() {
+        let xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        // q25 at index round(0.25*8)=2 -> 3, q75 at round(0.75*8)=6 -> 7
+        assert_eq!(iqr(&xs), 4.0);
+        assert_eq!(iqr(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_p_values() {
+        assert!((normal_two_sided_p(0.0) - 1.0).abs() < 1e-6);
+        assert!((normal_two_sided_p(1.959964) - 0.05).abs() < 1e-4);
+        assert!(normal_two_sided_p(5.0) < 1e-5);
+        // symmetric
+        assert_eq!(normal_two_sided_p(2.0), normal_two_sided_p(-2.0));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests on the foundation types: kernel laws, bbox distance
+//! bounds, grid indexing, and the linear solver.
+
+use lsga_core::linalg::{solve, Matrix};
+use lsga_core::{BBox, GridSpec, Kernel, KernelKind, Point};
+use proptest::prelude::*;
+
+fn arb_kernel() -> impl Strategy<Value = lsga_core::AnyKernel> {
+    (0usize..7, 0.1f64..100.0).prop_map(|(i, b)| KernelKind::ALL[i].with_bandwidth(b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn kernels_nonnegative_bounded_and_max_at_zero(k in arb_kernel(), d in 0.0f64..1000.0) {
+        let v = k.eval(d);
+        prop_assert!(v >= 0.0);
+        prop_assert!(v <= k.max_value() + 1e-12);
+    }
+
+    #[test]
+    fn kernel_support_is_sharp(k in arb_kernel(), frac in 1.0001f64..10.0) {
+        if let Some(r) = k.support() {
+            prop_assert_eq!(k.eval(r * frac), 0.0);
+        }
+    }
+
+    #[test]
+    fn effective_radius_bounds_tail(k in arb_kernel(), eps_exp in 1i32..12) {
+        let eps = 10f64.powi(-eps_exp);
+        let r = k.effective_radius(eps);
+        prop_assert!(k.eval(r * 1.0001) <= eps * k.max_value() + 1e-15);
+    }
+
+    #[test]
+    fn bbox_min_max_dist_sandwich_point_distances(
+        pts in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..50),
+        qx in -200.0f64..200.0,
+        qy in -200.0f64..200.0,
+    ) {
+        let points: Vec<Point> = pts.iter().map(|(x, y)| Point::new(*x, *y)).collect();
+        let bbox = BBox::of_points(&points);
+        let q = Point::new(qx, qy);
+        let lo = bbox.min_dist_sq(&q);
+        let hi = bbox.max_dist_sq(&q);
+        for p in &points {
+            let d2 = q.dist_sq(p);
+            prop_assert!(d2 >= lo - 1e-9);
+            prop_assert!(d2 <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn grid_pixel_of_contains_center_roundtrip(
+        nx in 1usize..64,
+        ny in 1usize..64,
+        ix_f in 0.0f64..1.0,
+        iy_f in 0.0f64..1.0,
+    ) {
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 10.0, 7.0), nx, ny);
+        let ix = ((ix_f * nx as f64) as usize).min(nx - 1);
+        let iy = ((iy_f * ny as f64) as usize).min(ny - 1);
+        let c = spec.pixel_center(ix, iy);
+        prop_assert_eq!(spec.pixel_of(&c), (ix, iy));
+    }
+
+    #[test]
+    fn solver_roundtrips_well_conditioned_systems(
+        diag in prop::collection::vec(1.0f64..10.0, 2..8),
+        off in prop::collection::vec(-0.2f64..0.2, 64),
+        x_true in prop::collection::vec(-5.0f64..5.0, 2..8),
+    ) {
+        let n = diag.len().min(x_true.len());
+        let mut a = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                let v = if r == c { diag[r] } else { off[(r * n + c) % off.len()] };
+                a.set(r, c, v);
+            }
+        }
+        let b = a.mul_vec(&x_true[..n]);
+        let x = solve(a, b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true[..n]) {
+            prop_assert!((xi - ti).abs() < 1e-8, "{} vs {}", xi, ti);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal CSV I/O for point datasets.
+//!
+//! The real-world datasets the paper references (Chicago crime, NYC taxi)
+//! distribute as CSV; this module reads/writes the two schemas the suite
+//! uses — `x,y` and `x,y,t` — with strict, line-numbered error reporting
+//! and no external parser dependency.
+
+use lsga_core::{LsgaError, Point, Result, TimedPoint};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Write `x,y` rows (with a header) to `w`.
+pub fn write_points<W: Write>(w: W, points: &[Point]) -> Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "x,y")?;
+    for p in points {
+        writeln!(out, "{},{}", p.x, p.y)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Write `x,y,t` rows (with a header) to `w`.
+pub fn write_timed_points<W: Write>(w: W, points: &[TimedPoint]) -> Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "x,y,t")?;
+    for p in points {
+        writeln!(out, "{},{},{}", p.point.x, p.point.y, p.t)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read `x,y` rows from `r`. A header line is auto-detected (skipped when
+/// the first field does not parse as a float). Blank lines are ignored.
+pub fn read_points<R: Read>(r: R) -> Result<Vec<Point>> {
+    parse_rows(r, 2).map(|rows| rows.into_iter().map(|v| Point::new(v[0], v[1])).collect())
+}
+
+/// Read `x,y,t` rows from `r` with the same conventions.
+pub fn read_timed_points<R: Read>(r: R) -> Result<Vec<TimedPoint>> {
+    parse_rows(r, 3).map(|rows| {
+        rows.into_iter()
+            .map(|v| TimedPoint::new(v[0], v[1], v[2]))
+            .collect()
+    })
+}
+
+fn parse_rows<R: Read>(r: R, fields: usize) -> Result<Vec<Vec<f64>>> {
+    let reader = BufReader::new(r);
+    let mut rows = Vec::new();
+    let mut line_buf = String::new();
+    let mut reader = reader;
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        let n = reader.read_line(&mut line_buf)?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').map(str::trim).collect();
+        // Header detection: first non-empty line whose first field is not
+        // numeric.
+        if rows.is_empty() && line_no <= 1 && parts[0].parse::<f64>().is_err() {
+            continue;
+        }
+        if parts.len() != fields {
+            return Err(LsgaError::Parse {
+                line: line_no,
+                message: format!("expected {fields} fields, got {}", parts.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(fields);
+        for part in &parts {
+            row.push(part.parse::<f64>().map_err(|e| LsgaError::Parse {
+                line: line_no,
+                message: format!("bad float {part:?}: {e}"),
+            })?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_roundtrip() {
+        let pts = vec![Point::new(1.5, -2.25), Point::new(0.0, 1e6)];
+        let mut buf = Vec::new();
+        write_points(&mut buf, &pts).unwrap();
+        let back = read_points(buf.as_slice()).unwrap();
+        assert_eq!(back, pts);
+    }
+
+    #[test]
+    fn timed_points_roundtrip() {
+        let pts = vec![TimedPoint::new(1.0, 2.0, 3.5), TimedPoint::new(-1.0, 0.0, 0.0)];
+        let mut buf = Vec::new();
+        write_timed_points(&mut buf, &pts).unwrap();
+        let back = read_timed_points(buf.as_slice()).unwrap();
+        assert_eq!(back, pts);
+    }
+
+    #[test]
+    fn headerless_input_accepted() {
+        let back = read_points("1.0,2.0\n3.0,4.0\n".as_bytes()).unwrap();
+        assert_eq!(back, vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let back = read_points("x,y\n\n1,2\n\n3,4\n".as_bytes()).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn bad_field_count_reports_line() {
+        let err = read_points("x,y\n1,2\n1,2,3\n".as_bytes()).unwrap_err();
+        match err {
+            LsgaError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_float_reports_line() {
+        let err = read_points("1,2\nfoo,3\n".as_bytes()).unwrap_err();
+        match err {
+            LsgaError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("foo"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let back = read_points(" 1.0 , 2.0 \n".as_bytes()).unwrap();
+        assert_eq!(back, vec![Point::new(1.0, 2.0)]);
+    }
+}

@@ -1,0 +1,547 @@
+//! Parametric point-process generators.
+
+use lsga_core::{BBox, Point, TimedPoint};
+use lsga_network::{sample_on_network, EdgePosition, RoadNetwork, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A circular Gaussian hotspot component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hotspot {
+    pub center: Point,
+    /// Standard deviation of the isotropic Gaussian spread.
+    pub sigma: f64,
+    /// Relative weight among the mixture components.
+    pub weight: f64,
+}
+
+/// A spatiotemporal outbreak wave: a hotspot active around `t_peak`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wave {
+    pub hotspot: Hotspot,
+    pub t_peak: f64,
+    /// Standard deviation of event times around the peak.
+    pub t_sigma: f64,
+}
+
+/// Draw a standard normal via Box–Muller (keeps the dependency surface to
+/// `rand`'s uniform generator only).
+fn randn(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `n` points uniform in `bbox`: complete spatial randomness, the null
+/// model the K-function plot simulates (Def. 3).
+pub fn uniform_points(n: usize, bbox: BBox, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(bbox.min_x..=bbox.max_x),
+                rng.gen_range(bbox.min_y..=bbox.max_y),
+            )
+        })
+        .collect()
+}
+
+/// `n` spatiotemporal points uniform in `bbox × [t_min, t_max]`: the null
+/// model of the spatiotemporal K-function plot (Eq. 9–10).
+pub fn uniform_timed_points(
+    n: usize,
+    bbox: BBox,
+    t_min: f64,
+    t_max: f64,
+    seed: u64,
+) -> Vec<TimedPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            TimedPoint::new(
+                rng.gen_range(bbox.min_x..=bbox.max_x),
+                rng.gen_range(bbox.min_y..=bbox.max_y),
+                rng.gen_range(t_min..=t_max),
+            )
+        })
+        .collect()
+}
+
+/// `n` points from a mixture of Gaussian hotspots, rejection-clipped to
+/// `bbox`. Weights need not be normalized. Panics on an empty hotspot
+/// list or non-positive weights.
+pub fn gaussian_mixture(n: usize, hotspots: &[Hotspot], bbox: BBox, seed: u64) -> Vec<Point> {
+    gaussian_mixture_labeled(n, hotspots, bbox, seed).0
+}
+
+/// Like [`gaussian_mixture`], additionally returning the generating
+/// component index of every point (ground truth for clustering
+/// experiments, E15).
+pub fn gaussian_mixture_labeled(
+    n: usize,
+    hotspots: &[Hotspot],
+    bbox: BBox,
+    seed: u64,
+) -> (Vec<Point>, Vec<usize>) {
+    assert!(!hotspots.is_empty(), "need at least one hotspot");
+    assert!(
+        hotspots.iter().all(|h| h.weight > 0.0 && h.sigma > 0.0),
+        "hotspot weights and sigmas must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total_w: f64 = hotspots.iter().map(|h| h.weight).sum();
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    while points.len() < n {
+        // Choose a component by weight.
+        let mut r = rng.gen_range(0.0..total_w);
+        let mut ci = hotspots.len() - 1;
+        for (i, h) in hotspots.iter().enumerate() {
+            if r < h.weight {
+                ci = i;
+                break;
+            }
+            r -= h.weight;
+        }
+        let h = &hotspots[ci];
+        let p = Point::new(
+            h.center.x + h.sigma * randn(&mut rng),
+            h.center.y + h.sigma * randn(&mut rng),
+        );
+        if bbox.contains(&p) {
+            points.push(p);
+            labels.push(ci);
+        }
+    }
+    (points, labels)
+}
+
+/// Neyman–Scott cluster process: `n_parents` parent locations uniform in
+/// `bbox`, each spawning `Poisson(mean_children)`-ish children (here:
+/// exactly `mean_children` rounded, which keeps sizes deterministic)
+/// displaced by an isotropic Gaussian of spread `sigma`. Children falling
+/// outside `bbox` are re-drawn.
+pub fn neyman_scott(
+    n_parents: usize,
+    mean_children: f64,
+    sigma: f64,
+    bbox: BBox,
+    seed: u64,
+) -> Vec<Point> {
+    assert!(n_parents > 0, "need at least one parent");
+    assert!(sigma > 0.0 && mean_children >= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for _ in 0..n_parents {
+        let parent = Point::new(
+            rng.gen_range(bbox.min_x..=bbox.max_x),
+            rng.gen_range(bbox.min_y..=bbox.max_y),
+        );
+        // Geometric jitter of the litter size around the mean (±50%).
+        let k = (mean_children * rng.gen_range(0.5..1.5)).round().max(1.0) as usize;
+        let mut placed = 0;
+        while placed < k {
+            let c = Point::new(
+                parent.x + sigma * randn(&mut rng),
+                parent.y + sigma * randn(&mut rng),
+            );
+            if bbox.contains(&c) {
+                out.push(c);
+                placed += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Hard-core (inhibited) pattern: dart throwing with a minimum pairwise
+/// distance — the "dispersed" regime of the K-function plot. May return
+/// fewer than `n` points when the box saturates; gives up after
+/// `50 · n` failed darts.
+pub fn hardcore_points(n: usize, min_dist: f64, bbox: BBox, seed: u64) -> Vec<Point> {
+    assert!(min_dist > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Point> = Vec::with_capacity(n);
+    // Grid occupancy for O(1) conflict checks.
+    let cell = min_dist;
+    let nx = ((bbox.width() / cell).ceil() as usize).max(1);
+    let ny = ((bbox.height() / cell).ceil() as usize).max(1);
+    let mut cells: Vec<Vec<u32>> = vec![Vec::new(); nx * ny];
+    let cell_of = |p: &Point| -> (usize, usize) {
+        (
+            (((p.x - bbox.min_x) / cell) as usize).min(nx - 1),
+            (((p.y - bbox.min_y) / cell) as usize).min(ny - 1),
+        )
+    };
+    let mut failures = 0usize;
+    let d2 = min_dist * min_dist;
+    while out.len() < n && failures < 50 * n {
+        let p = Point::new(
+            rng.gen_range(bbox.min_x..=bbox.max_x),
+            rng.gen_range(bbox.min_y..=bbox.max_y),
+        );
+        let (cx, cy) = cell_of(&p);
+        let mut ok = true;
+        'check: for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let x = cx as i64 + dx;
+                let y = cy as i64 + dy;
+                if x < 0 || y < 0 || x >= nx as i64 || y >= ny as i64 {
+                    continue;
+                }
+                for &i in &cells[y as usize * nx + x as usize] {
+                    if out[i as usize].dist_sq(&p) < d2 {
+                        ok = false;
+                        break 'check;
+                    }
+                }
+            }
+        }
+        if ok {
+            cells[cy * nx + cx].push(out.len() as u32);
+            out.push(p);
+        } else {
+            failures += 1;
+        }
+    }
+    out
+}
+
+/// A taxi-pickup-like pattern: a handful of heavy hotspots (transit hubs)
+/// over a diffuse uniform background. `hotspot_fraction ∈ [0, 1]` of the
+/// points come from hotspots.
+pub fn taxi_like(n: usize, bbox: BBox, hotspot_fraction: f64, seed: u64) -> Vec<Point> {
+    assert!((0.0..=1.0).contains(&hotspot_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Hub placement: deterministic in the same seed.
+    let n_hubs = 6;
+    let hubs: Vec<Hotspot> = (0..n_hubs)
+        .map(|_| Hotspot {
+            center: Point::new(
+                rng.gen_range(bbox.min_x..=bbox.max_x),
+                rng.gen_range(bbox.min_y..=bbox.max_y),
+            ),
+            sigma: 0.02 * bbox.width().max(bbox.height()),
+            weight: rng.gen_range(0.5..2.0),
+        })
+        .collect();
+    let n_hot = (n as f64 * hotspot_fraction).round() as usize;
+    let mut pts = gaussian_mixture(n_hot, &hubs, bbox, seed.wrapping_add(1));
+    pts.extend(uniform_points(n - n_hot, bbox, seed.wrapping_add(2)));
+    pts
+}
+
+/// Spatiotemporal outbreak data: each wave is a hotspot active around its
+/// peak time. Reproduces the paper's Fig. 4 phenomenon — the dominant
+/// outbreak region changes between time slices.
+pub fn epidemic_waves(n: usize, waves: &[Wave], bbox: BBox, seed: u64) -> Vec<TimedPoint> {
+    assert!(!waves.is_empty(), "need at least one wave");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total_w: f64 = waves.iter().map(|w| w.hotspot.weight).sum();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let mut r = rng.gen_range(0.0..total_w);
+        let mut wi = waves.len() - 1;
+        for (i, w) in waves.iter().enumerate() {
+            if r < w.hotspot.weight {
+                wi = i;
+                break;
+            }
+            r -= w.hotspot.weight;
+        }
+        let w = &waves[wi];
+        let p = Point::new(
+            w.hotspot.center.x + w.hotspot.sigma * randn(&mut rng),
+            w.hotspot.center.y + w.hotspot.sigma * randn(&mut rng),
+        );
+        if bbox.contains(&p) {
+            out.push(TimedPoint {
+                point: p,
+                t: w.t_peak + w.t_sigma * randn(&mut rng),
+            });
+        }
+    }
+    out
+}
+
+/// Sample points from an inhomogeneous intensity surface by thinning
+/// (Lewis–Shedler): candidates drawn uniformly over the grid's bbox are
+/// accepted with probability `intensity(pixel) / max intensity`. This
+/// closes the loop between the estimators and the generators — a KDV
+/// raster (or any non-negative grid) can be resampled into a synthetic
+/// point pattern with the same spatial structure.
+///
+/// Returns up to `n` accepted points; gives up after `1000 · n`
+/// candidates (only reachable for near-degenerate surfaces).
+pub fn thinning_sample(intensity: &lsga_core::DensityGrid, n: usize, seed: u64) -> Vec<Point> {
+    let spec = *intensity.spec();
+    let max = intensity.max();
+    let mut out = Vec::with_capacity(n);
+    if max <= 0.0 || n == 0 {
+        return out;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut attempts = 0usize;
+    while out.len() < n && attempts < 1000 * n {
+        attempts += 1;
+        let p = Point::new(
+            rng.gen_range(spec.bbox.min_x..=spec.bbox.max_x),
+            rng.gen_range(spec.bbox.min_y..=spec.bbox.max_y),
+        );
+        let (ix, iy) = spec.pixel_of(&p);
+        if rng.gen_range(0.0..=1.0) * max <= intensity.at(ix, iy) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Clustered events on a road network: `n_clusters` seed positions drawn
+/// length-uniformly, each spawning `per_cluster` children placed by a
+/// random walk along the network whose length is folded-normal with
+/// spread `sigma` — so children are close to the seed *in network
+/// distance*, which is exactly the structure network K-functions detect.
+pub fn clustered_on_network(
+    net: &RoadNetwork,
+    n_clusters: usize,
+    per_cluster: usize,
+    sigma: f64,
+    seed: u64,
+) -> Vec<EdgePosition> {
+    assert!(n_clusters > 0 && per_cluster > 0 && sigma > 0.0);
+    let seeds = sample_on_network(net, n_clusters, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e37_79b9));
+    let mut out = Vec::with_capacity(n_clusters * per_cluster);
+    for s in &seeds {
+        for _ in 0..per_cluster {
+            let walk_len = (randn(&mut rng) * sigma).abs();
+            out.push(random_walk(net, s, walk_len, &mut rng));
+        }
+    }
+    out
+}
+
+/// Walk `dist` along the network from `start`, choosing uniformly among
+/// the neighbours at each vertex (allowing backtracking; dead-end
+/// vertices reflect).
+fn random_walk(
+    net: &RoadNetwork,
+    start: &EdgePosition,
+    dist: f64,
+    rng: &mut StdRng,
+) -> EdgePosition {
+    let mut edge = start.edge;
+    let mut offset = start.offset;
+    // Direction: +1 toward v, −1 toward u.
+    let mut dir: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+    let mut remaining = dist;
+    // Bound the number of hops to keep pathological walks finite.
+    for _ in 0..10_000 {
+        let len = net.edge(edge).length;
+        let room = if dir > 0.0 { len - offset } else { offset };
+        if remaining <= room {
+            offset += dir * remaining;
+            return EdgePosition { edge, offset };
+        }
+        remaining -= room;
+        // Arrive at a vertex; hop to a random incident edge.
+        let at: VertexId = if dir > 0.0 { net.edge(edge).v } else { net.edge(edge).u };
+        let nbrs: Vec<_> = net.neighbors(at).collect();
+        if nbrs.is_empty() {
+            return EdgePosition {
+                edge,
+                offset: if dir > 0.0 { len } else { 0.0 },
+            };
+        }
+        let (_, next_edge) = nbrs[rng.gen_range(0..nbrs.len())];
+        edge = next_edge;
+        // Entering the next edge from whichever endpoint equals `at`.
+        if net.edge(edge).u == at {
+            offset = 0.0;
+            dir = 1.0;
+        } else {
+            offset = net.edge(edge).length;
+            dir = -1.0;
+        }
+    }
+    EdgePosition { edge, offset }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_network::grid_network;
+
+    fn bbox() -> BBox {
+        BBox::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn uniform_respects_bbox_and_seed() {
+        let a = uniform_points(500, bbox(), 3);
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().all(|p| bbox().contains(p)));
+        assert_eq!(a, uniform_points(500, bbox(), 3));
+        assert_ne!(a, uniform_points(500, bbox(), 4));
+    }
+
+    #[test]
+    fn mixture_concentrates_near_hotspots() {
+        let hs = [
+            Hotspot {
+                center: Point::new(25.0, 25.0),
+                sigma: 3.0,
+                weight: 1.0,
+            },
+            Hotspot {
+                center: Point::new(75.0, 75.0),
+                sigma: 3.0,
+                weight: 3.0,
+            },
+        ];
+        let (pts, labels) = gaussian_mixture_labeled(2000, &hs, bbox(), 11);
+        assert_eq!(pts.len(), 2000);
+        assert_eq!(labels.len(), 2000);
+        // ~75% of mass on the heavier hotspot.
+        let heavy = labels.iter().filter(|l| **l == 1).count() as f64 / 2000.0;
+        assert!((heavy - 0.75).abs() < 0.05, "got {heavy}");
+        // Labeled points are near their generating centre.
+        for (p, l) in pts.iter().zip(&labels) {
+            assert!(p.dist(&hs[*l].center) < 6.0 * 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn neyman_scott_clusters_are_tight() {
+        let pts = neyman_scott(10, 50.0, 2.0, bbox(), 5);
+        assert!(pts.len() >= 10 * 25);
+        assert!(pts.iter().all(|p| bbox().contains(p)));
+        // Mean nearest-neighbour distance far below CSR expectation
+        // (CSR: ~0.5/sqrt(n/A) ≈ 0.5*sqrt(10000/500) ≈ 2.2; clusters: << that).
+        let mean_nn: f64 = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                pts.iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, q)| p.dist(q))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / pts.len() as f64;
+        assert!(mean_nn < 1.5, "clusters not tight: mean nn {mean_nn}");
+    }
+
+    #[test]
+    fn hardcore_enforces_min_distance() {
+        let pts = hardcore_points(300, 4.0, bbox(), 17);
+        assert!(pts.len() > 200, "saturated too early: {}", pts.len());
+        for (i, p) in pts.iter().enumerate() {
+            for q in &pts[i + 1..] {
+                assert!(p.dist(q) >= 4.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn hardcore_saturation_returns_partial() {
+        // Box fits far fewer than requested.
+        let pts = hardcore_points(10_000, 20.0, bbox(), 1);
+        assert!(pts.len() < 50);
+        assert!(!pts.is_empty());
+    }
+
+    #[test]
+    fn taxi_like_has_hotspot_contrast() {
+        let pts = taxi_like(4000, bbox(), 0.7, 23);
+        assert_eq!(pts.len(), 4000);
+        // Quadrat contrast: max cell count should dwarf the CSR mean.
+        let mut counts = [0usize; 100];
+        for p in &pts {
+            let cx = ((p.x / 10.0) as usize).min(9);
+            let cy = ((p.y / 10.0) as usize).min(9);
+            counts[cy * 10 + cx] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max > 3.0 * 40.0, "no hotspot contrast: max {max}");
+    }
+
+    #[test]
+    fn epidemic_waves_shift_hotspot_over_time() {
+        let waves = [
+            Wave {
+                hotspot: Hotspot {
+                    center: Point::new(20.0, 20.0),
+                    sigma: 4.0,
+                    weight: 1.0,
+                },
+                t_peak: 10.0,
+                t_sigma: 2.0,
+            },
+            Wave {
+                hotspot: Hotspot {
+                    center: Point::new(80.0, 80.0),
+                    sigma: 4.0,
+                    weight: 1.0,
+                },
+                t_peak: 50.0,
+                t_sigma: 2.0,
+            },
+        ];
+        let pts = epidemic_waves(3000, &waves, bbox(), 7);
+        assert_eq!(pts.len(), 3000);
+        // Early events sit near the first centre, late near the second.
+        let early: Vec<_> = pts.iter().filter(|p| p.t < 30.0).collect();
+        let late: Vec<_> = pts.iter().filter(|p| p.t >= 30.0).collect();
+        assert!(early.len() > 1000 && late.len() > 1000);
+        let mean = |v: &[&TimedPoint]| {
+            let inv = 1.0 / v.len() as f64;
+            Point::new(
+                v.iter().map(|p| p.point.x).sum::<f64>() * inv,
+                v.iter().map(|p| p.point.y).sum::<f64>() * inv,
+            )
+        };
+        assert!(mean(&early).dist(&Point::new(20.0, 20.0)) < 3.0);
+        assert!(mean(&late).dist(&Point::new(80.0, 80.0)) < 3.0);
+    }
+
+    #[test]
+    fn thinning_reproduces_intensity_structure() {
+        use lsga_core::{DensityGrid, GridSpec};
+        // Intensity: hot left half, cold right half (1:9 ratio).
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 10, 10);
+        let mut grid = DensityGrid::zeros(spec);
+        for iy in 0..10 {
+            for ix in 0..10 {
+                grid.set(ix, iy, if ix < 5 { 9.0 } else { 1.0 });
+            }
+        }
+        let pts = thinning_sample(&grid, 4000, 11);
+        assert_eq!(pts.len(), 4000);
+        let left = pts.iter().filter(|p| p.x < 50.0).count() as f64 / 4000.0;
+        assert!((left - 0.9).abs() < 0.03, "left fraction {left}");
+        // Deterministic.
+        assert_eq!(pts, thinning_sample(&grid, 4000, 11));
+    }
+
+    #[test]
+    fn thinning_degenerate_surface() {
+        use lsga_core::{DensityGrid, GridSpec};
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 1.0, 1.0), 2, 2);
+        let zero = DensityGrid::zeros(spec);
+        assert!(thinning_sample(&zero, 100, 1).is_empty());
+    }
+
+    #[test]
+    fn network_clusters_stay_near_seeds() {
+        let net = grid_network(10, 10, 10.0);
+        let events = clustered_on_network(&net, 4, 30, 5.0, 99);
+        assert_eq!(events.len(), 120);
+        for e in &events {
+            assert!(e.offset >= 0.0 && e.offset <= net.edge(e.edge).length);
+        }
+        // Deterministic.
+        assert_eq!(events, clustered_on_network(&net, 4, 30, 5.0, 99));
+    }
+}

@@ -1,0 +1,35 @@
+//! # lsga-data
+//!
+//! Synthetic location datasets and plain-text I/O.
+//!
+//! The paper's deployments analyze the Hong Kong COVID-19 dataset, the
+//! Chicago crime dataset (7.68 M points) and the NYC taxi dataset (165 M
+//! points). None of these can ship with the repository, so this crate
+//! provides parametric generators that reproduce the *point-pattern
+//! statistics* those analyses depend on (see DESIGN.md §1.5):
+//!
+//! * [`uniform_points`] — complete spatial randomness (CSR), the null
+//!   model of the K-function plot (Def. 3's random datasets `R_l`);
+//! * [`gaussian_mixture`] / [`gaussian_mixture_labeled`] — hotspot
+//!   mixtures (crime/epidemic-like clustering) with known ground truth;
+//! * [`neyman_scott`] — the classical parent–child cluster process;
+//! * [`hardcore_points`] — inhibited ("dispersed") patterns, the third
+//!   regime a K-function plot distinguishes;
+//! * [`taxi_like`] — heavy multi-hotspot + background mixture emulating
+//!   pick-up records;
+//! * [`epidemic_waves`] — spatiotemporal outbreaks whose hotspot location
+//!   drifts across waves (the paper's Fig. 4 scenario);
+//! * [`clustered_on_network`] — network-constrained clustered events for
+//!   NKDV / network K-function experiments;
+//! * [`csv`] — minimal deterministic CSV read/write for points.
+//!
+//! Every generator is deterministic in its `seed`.
+
+pub mod csv;
+pub mod generators;
+
+pub use generators::{
+    clustered_on_network, epidemic_waves, gaussian_mixture, gaussian_mixture_labeled,
+    hardcore_points, neyman_scott, taxi_like, thinning_sample, uniform_points,
+    uniform_timed_points, Hotspot, Wave,
+};

@@ -1,0 +1,217 @@
+//! Distributed KDV over the simulated cluster.
+//!
+//! Each worker owns a tile of the output raster, receives the points
+//! within its tile **inflated by the kernel radius** (the halo), and
+//! rasterizes its tile independently with the grid-pruned exact method.
+//! Stitching the tiles reproduces the single-node result exactly: any
+//! point that can influence a tile's pixels lies within the inflated
+//! bounds, so no kernel mass is lost at tile boundaries.
+
+use crate::metrics::{RunMetrics, WorkerMetrics, BYTES_PER_POINT};
+use crate::partition::{assign_owners, make_tiles, PartitionStrategy, PixelRect};
+use lsga_core::{DensityGrid, GridSpec, Kernel, Point};
+use lsga_index::GridIndex;
+use std::time::Instant;
+
+/// Exact distributed KDV. Returns the stitched raster and the run's
+/// communication/compute metrics. Output equals
+/// `lsga_kdv::grid_pruned_kdv(points, spec, kernel, tail_eps)` exactly.
+pub fn distributed_kdv<K: Kernel>(
+    points: &[Point],
+    spec: GridSpec,
+    kernel: K,
+    tail_eps: f64,
+    n_workers: usize,
+    strategy: PartitionStrategy,
+) -> (DensityGrid, RunMetrics) {
+    let n_workers = n_workers.max(1);
+    let radius = kernel.effective_radius(tail_eps);
+    let tiles = make_tiles(&spec, points, n_workers, strategy);
+    let owners = assign_owners(&spec, &tiles, points);
+
+    // "Ship" each worker its halo: points within the inflated tile.
+    let mut shipments: Vec<Vec<Point>> = vec![Vec::new(); tiles.len()];
+    let mut owned_counts = vec![0usize; tiles.len()];
+    for o in &owners {
+        owned_counts[*o as usize] += 1;
+    }
+    for (t, rect) in tiles.iter().enumerate() {
+        let halo = rect.world_bounds(&spec).inflate(radius);
+        shipments[t] = points.iter().filter(|p| halo.contains(p)).copied().collect();
+    }
+
+    // Workers rasterize their tiles concurrently.
+    let wall_start = Instant::now();
+    let mut results: Vec<(usize, Vec<f64>, std::time::Duration)> = Vec::with_capacity(tiles.len());
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, rect) in tiles.iter().enumerate() {
+            let local = &shipments[t];
+            handles.push(scope.spawn(move |_| {
+                let start = Instant::now();
+                let r2 = radius * radius;
+                let mut values = vec![0.0f64; rect.len()];
+                if !local.is_empty() {
+                    let index = GridIndex::build(local, radius.max(1e-12));
+                    let width = rect.ix1 - rect.ix0;
+                    for iy in rect.iy0..rect.iy1 {
+                        let qy = spec.row_y(iy);
+                        for ix in rect.ix0..rect.ix1 {
+                            let q = Point::new(spec.col_x(ix), qy);
+                            let mut sum = 0.0;
+                            index.for_each_candidate(&q, radius, |_, p| {
+                                let d2 = q.dist_sq(p);
+                                if d2 <= r2 {
+                                    sum += kernel.eval_sq(d2);
+                                }
+                            });
+                            values[(iy - rect.iy0) * width + (ix - rect.ix0)] = sum;
+                        }
+                    }
+                }
+                (t, values, start.elapsed())
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("kdv worker panicked"));
+        }
+    })
+    .expect("kdv scope failed");
+    let wall = wall_start.elapsed();
+
+    // Stitch.
+    let mut grid = DensityGrid::zeros(spec);
+    let mut workers = Vec::with_capacity(tiles.len());
+    for (t, values, compute) in results {
+        let rect: PixelRect = tiles[t];
+        let width = rect.ix1 - rect.ix0;
+        for iy in rect.iy0..rect.iy1 {
+            for ix in rect.ix0..rect.ix1 {
+                grid.set(ix, iy, values[(iy - rect.iy0) * width + (ix - rect.ix0)]);
+            }
+        }
+        workers.push(WorkerMetrics {
+            worker: t,
+            owned_work: rect.len(),
+            owned_points: owned_counts[t],
+            shipped_points: shipments[t].len(),
+            bytes_shipped: shipments[t].len() as u64 * BYTES_PER_POINT,
+            compute,
+        });
+    }
+    workers.sort_by_key(|w| w.worker);
+    (grid, RunMetrics { workers, wall })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::{BBox, Epanechnikov, Gaussian};
+    use lsga_kdv::grid_pruned_kdv;
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(
+                    30.0 + (f * 0.831).sin() * 25.0,
+                    60.0 + (f * 0.557).cos() * 35.0,
+                )
+            })
+            .collect()
+    }
+
+    fn spec() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 32, 32)
+    }
+
+    #[test]
+    fn equals_single_node_for_all_strategies_and_worker_counts() {
+        let pts = scatter(400);
+        let k = Epanechnikov::new(9.0);
+        let reference = grid_pruned_kdv(&pts, spec(), k, 1e-9);
+        for strategy in [PartitionStrategy::UniformBands, PartitionStrategy::BalancedKd] {
+            for workers in [1, 2, 3, 8] {
+                let (grid, metrics) =
+                    distributed_kdv(&pts, spec(), k, 1e-9, workers, strategy);
+                assert!(
+                    grid.linf_diff(&reference) <= reference.max() * 1e-12,
+                    "{strategy:?} w={workers}"
+                );
+                assert!(!metrics.workers.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_truncation_consistent() {
+        let pts = scatter(200);
+        let k = Gaussian::new(7.0);
+        let reference = grid_pruned_kdv(&pts, spec(), k, 1e-6);
+        let (grid, _) = distributed_kdv(&pts, spec(), k, 1e-6, 4, PartitionStrategy::BalancedKd);
+        assert!(grid.linf_diff(&reference) <= reference.max() * 1e-12);
+    }
+
+    #[test]
+    fn halo_grows_with_bandwidth() {
+        let pts = scatter(500);
+        let narrow = distributed_kdv(
+            &pts,
+            spec(),
+            Epanechnikov::new(2.0),
+            1e-9,
+            4,
+            PartitionStrategy::UniformBands,
+        )
+        .1;
+        let wide = distributed_kdv(
+            &pts,
+            spec(),
+            Epanechnikov::new(30.0),
+            1e-9,
+            4,
+            PartitionStrategy::UniformBands,
+        )
+        .1;
+        assert!(
+            wide.replicated_points() > narrow.replicated_points(),
+            "narrow {} wide {}",
+            narrow.replicated_points(),
+            wide.replicated_points()
+        );
+        assert!(wide.total_bytes() > narrow.total_bytes());
+    }
+
+    #[test]
+    fn ownership_partitions_points() {
+        let pts = scatter(300);
+        let (_, metrics) = distributed_kdv(
+            &pts,
+            spec(),
+            Epanechnikov::new(5.0),
+            1e-9,
+            6,
+            PartitionStrategy::BalancedKd,
+        );
+        let owned: usize = metrics.workers.iter().map(|w| w.owned_points).sum();
+        assert_eq!(owned, 300);
+        // Shipments always include the owned points.
+        for w in &metrics.workers {
+            assert!(w.shipped_points >= w.owned_points);
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let (grid, metrics) = distributed_kdv(
+            &[],
+            spec(),
+            Epanechnikov::new(5.0),
+            1e-9,
+            4,
+            PartitionStrategy::UniformBands,
+        );
+        assert_eq!(grid.sum(), 0.0);
+        assert_eq!(metrics.total_bytes(), 0);
+    }
+}

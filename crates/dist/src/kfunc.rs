@@ -1,0 +1,165 @@
+//! Distributed K-function over the simulated cluster.
+//!
+//! Each worker owns the points of its tile and receives a halo of the
+//! points within distance `s` of the tile bounds. The worker counts, for
+//! each of its **owned** points `p_i`, every point `p_j` (owned or halo)
+//! with `dist ≤ s`: each ordered pair `(i, j)` is counted exactly once —
+//! by the owner of `i` — so no boundary deduplication pass is needed and
+//! the global sum equals the single-node count exactly (the scheme of
+//! the distributed Ripley's K in Zhang et al. \[106\]).
+
+use crate::metrics::{RunMetrics, WorkerMetrics, BYTES_PER_POINT};
+use crate::partition::{assign_owners, make_tiles, PartitionStrategy};
+use lsga_core::{GridSpec, Point};
+use lsga_index::GridIndex;
+use lsga_kfunc::KConfig;
+use std::time::Instant;
+
+/// Exact distributed K-function. Returns the global ordered-pair count
+/// and the run metrics. Output equals `lsga_kfunc::grid_k` exactly.
+pub fn distributed_k(
+    points: &[Point],
+    s: f64,
+    cfg: KConfig,
+    n_workers: usize,
+    strategy: PartitionStrategy,
+) -> (u64, RunMetrics) {
+    if points.is_empty() {
+        return (0, RunMetrics::default());
+    }
+    let n_workers = n_workers.max(1);
+    // Partition over a virtual raster of the data bounds: resolution is
+    // only a partitioning granularity, not a correctness knob.
+    let bbox = lsga_core::BBox::of_points(points).inflate(1e-9);
+    let spec = GridSpec::with_width(bbox, 128);
+    let tiles = make_tiles(&spec, points, n_workers, strategy);
+    let owners = assign_owners(&spec, &tiles, points);
+
+    // Shipments: owned points and halo (anything within s of the tile).
+    let mut owned: Vec<Vec<Point>> = vec![Vec::new(); tiles.len()];
+    for (p, o) in points.iter().zip(&owners) {
+        owned[*o as usize].push(*p);
+    }
+    let mut shipments: Vec<Vec<Point>> = Vec::with_capacity(tiles.len());
+    for rect in &tiles {
+        let halo = rect.world_bounds(&spec).inflate(s);
+        shipments.push(points.iter().filter(|p| halo.contains(p)).copied().collect());
+    }
+
+    let wall_start = Instant::now();
+    let mut results: Vec<(usize, u64, std::time::Duration)> = Vec::with_capacity(tiles.len());
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..tiles.len() {
+            let mine = &owned[t];
+            let local = &shipments[t];
+            handles.push(scope.spawn(move |_| {
+                let start = Instant::now();
+                let mut count = 0u64;
+                if !local.is_empty() && !mine.is_empty() {
+                    let index = GridIndex::build(local, s.max(1e-12));
+                    for p in mine {
+                        count += index.count_within(p, s) as u64;
+                    }
+                    // Every owned point matched itself once in the local
+                    // index; drop the self-pairs here and re-add them
+                    // globally if configured.
+                    count -= mine.len() as u64;
+                }
+                (t, count, start.elapsed())
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("k-function worker panicked"));
+        }
+    })
+    .expect("k-function scope failed");
+    let wall = wall_start.elapsed();
+
+    let mut total = if cfg.include_self {
+        points.len() as u64
+    } else {
+        0
+    };
+    let mut workers = Vec::with_capacity(tiles.len());
+    for (t, count, compute) in results {
+        total += count;
+        workers.push(WorkerMetrics {
+            worker: t,
+            owned_work: owned[t].len(),
+            owned_points: owned[t].len(),
+            shipped_points: shipments[t].len(),
+            bytes_shipped: shipments[t].len() as u64 * BYTES_PER_POINT,
+            compute,
+        });
+    }
+    workers.sort_by_key(|w| w.worker);
+    (total, RunMetrics { workers, wall })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_kfunc::{grid_k, naive_k};
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new((f * 0.831).sin() * 40.0, (f * 0.557).cos() * 40.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn equals_single_node_exactly() {
+        let pts = scatter(400);
+        for cfg in [
+            KConfig {
+                include_self: false,
+            },
+            KConfig { include_self: true },
+        ] {
+            for s in [1.0, 5.0, 20.0, 100.0] {
+                let want = naive_k(&pts, s, cfg);
+                assert_eq!(grid_k(&pts, s, cfg), want);
+                for strategy in
+                    [PartitionStrategy::UniformBands, PartitionStrategy::BalancedKd]
+                {
+                    for workers in [1, 3, 8] {
+                        let (got, _) = distributed_k(&pts, s, cfg, workers, strategy);
+                        assert_eq!(got, want, "s={s} {strategy:?} w={workers}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halo_volume_grows_with_s() {
+        let pts = scatter(600);
+        let cfg = KConfig::default();
+        let (_, small) = distributed_k(&pts, 1.0, cfg, 6, PartitionStrategy::BalancedKd);
+        let (_, large) = distributed_k(&pts, 25.0, cfg, 6, PartitionStrategy::BalancedKd);
+        assert!(large.replicated_points() > small.replicated_points());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let (k, m) = distributed_k(&[], 5.0, KConfig::default(), 4, PartitionStrategy::UniformBands);
+        assert_eq!(k, 0);
+        assert!(m.workers.is_empty());
+    }
+
+    #[test]
+    fn coincident_points_at_boundaries() {
+        // Duplicates stress the ownership rule: every ordered pair must
+        // still be counted exactly once.
+        let mut pts = vec![Point::new(0.0, 0.0); 10];
+        pts.extend(scatter(50));
+        let cfg = KConfig::default();
+        let want = naive_k(&pts, 3.0, cfg);
+        let (got, _) = distributed_k(&pts, 3.0, cfg, 5, PartitionStrategy::BalancedKd);
+        assert_eq!(got, want);
+    }
+}

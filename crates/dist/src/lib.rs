@@ -1,0 +1,33 @@
+//! # lsga-dist
+//!
+//! A **simulated distributed cluster** for the parallel/distributed
+//! solution family the paper surveys (§2.2/§2.3: Spark-style KDV \[76\],
+//! cloud K-function of Zhang et al. \[106\]).
+//!
+//! Real cluster deployments are unavailable in this environment, so the
+//! substitution (DESIGN.md §1.5) reproduces the *algorithmic* content of
+//! distributed geospatial analytics in-process:
+//!
+//! * **spatial partitioning** — [`partition`]: uniform pixel-row bands or
+//!   balanced kd tiles (point-weighted median splits);
+//! * **halo replication** — each worker receives its tile's owned points
+//!   plus the boundary points within one kernel radius / distance
+//!   threshold, exactly like a cluster broadcast of boundary data;
+//! * **workers** — scoped OS threads, one per tile;
+//! * **communication accounting** — [`metrics`]: per-worker shipped
+//!   points, bytes (16 B per point: two `f64` coordinates), compute
+//!   time, and load-imbalance summaries.
+//!
+//! Every distributed driver is *exact*: [`distributed_kdv`] matches the
+//! single-node grid-pruned KDV bit-for-bit and [`distributed_k`] matches
+//! the single-node K-function count, which the integration tests assert.
+
+pub mod kdv;
+pub mod kfunc;
+pub mod metrics;
+pub mod partition;
+
+pub use kdv::distributed_kdv;
+pub use kfunc::distributed_k;
+pub use metrics::{RunMetrics, WorkerMetrics};
+pub use partition::{make_tiles, PartitionStrategy, PixelRect};

@@ -1,0 +1,122 @@
+//! Execution metrics of a simulated distributed run.
+//!
+//! Real distributed evaluations report wall time, shuffle volume, and
+//! straggler behaviour; the simulated cluster records the same
+//! quantities so the E12 experiments can expose the communication /
+//! compute / balance trade-offs of the partitioning strategies.
+
+use std::time::Duration;
+
+/// Bytes shipped per point: two `f64` coordinates.
+pub const BYTES_PER_POINT: u64 = 16;
+
+/// Per-worker execution record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerMetrics {
+    pub worker: usize,
+    /// Pixels (KDV) or owned query points (K-function) this worker was
+    /// responsible for.
+    pub owned_work: usize,
+    /// Points the worker owns by partition.
+    pub owned_points: usize,
+    /// Points shipped to the worker (owned + halo replicas).
+    pub shipped_points: usize,
+    /// Simulated communication volume.
+    pub bytes_shipped: u64,
+    /// Measured compute time of the worker's task.
+    pub compute: Duration,
+}
+
+/// A whole distributed run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunMetrics {
+    pub workers: Vec<WorkerMetrics>,
+    /// Wall-clock time of the parallel section.
+    pub wall: Duration,
+}
+
+impl RunMetrics {
+    /// Total simulated communication volume.
+    pub fn total_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.bytes_shipped).sum()
+    }
+
+    /// Total points shipped (owned + halo over all workers).
+    pub fn total_shipped(&self) -> usize {
+        self.workers.iter().map(|w| w.shipped_points).sum()
+    }
+
+    /// Halo replicas only (shipped − owned).
+    pub fn replicated_points(&self) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.shipped_points - w.owned_points)
+            .sum()
+    }
+
+    /// Sum of worker compute times (the single-node-equivalent work).
+    pub fn compute_sum(&self) -> Duration {
+        self.workers.iter().map(|w| w.compute).sum()
+    }
+
+    /// Slowest worker (the critical path).
+    pub fn compute_max(&self) -> Duration {
+        self.workers
+            .iter()
+            .map(|w| w.compute)
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// `max / mean` of worker compute times; 1.0 = perfectly balanced.
+    pub fn load_imbalance(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 1.0;
+        }
+        let max = self.compute_max().as_secs_f64();
+        let mean = self.compute_sum().as_secs_f64() / self.workers.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(owned: usize, shipped: usize, ms: u64) -> WorkerMetrics {
+        WorkerMetrics {
+            worker: 0,
+            owned_work: 0,
+            owned_points: owned,
+            shipped_points: shipped,
+            bytes_shipped: shipped as u64 * BYTES_PER_POINT,
+            compute: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let run = RunMetrics {
+            workers: vec![w(100, 120, 10), w(100, 130, 30)],
+            wall: Duration::from_millis(31),
+        };
+        assert_eq!(run.total_shipped(), 250);
+        assert_eq!(run.replicated_points(), 50);
+        assert_eq!(run.total_bytes(), 250 * 16);
+        assert_eq!(run.compute_sum(), Duration::from_millis(40));
+        assert_eq!(run.compute_max(), Duration::from_millis(30));
+        assert!((run.load_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run() {
+        let run = RunMetrics::default();
+        assert_eq!(run.total_bytes(), 0);
+        assert_eq!(run.load_imbalance(), 1.0);
+        assert_eq!(run.compute_max(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,356 @@
+//! Spatial partitioning of a pixel grid into worker tiles.
+//!
+//! Tiles are **pixel rectangles** (half-open), so both the pixel raster
+//! and the point set partition exactly: a pixel belongs to one tile, and
+//! a point belongs to the tile of its containing pixel. This is the
+//! discrete analogue of the grid/kd partitioners in distributed spatial
+//! engines (Sedona, the paper's refs \[76, 106\]).
+
+use lsga_core::{GridSpec, Point};
+
+/// A half-open pixel rectangle `[ix0, ix1) × [iy0, iy1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PixelRect {
+    pub ix0: usize,
+    pub iy0: usize,
+    pub ix1: usize,
+    pub iy1: usize,
+}
+
+impl PixelRect {
+    /// Number of pixels covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.ix1 - self.ix0) * (self.iy1 - self.iy0)
+    }
+
+    /// True when the rectangle covers no pixels.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when pixel `(ix, iy)` is inside.
+    #[inline]
+    pub fn contains(&self, ix: usize, iy: usize) -> bool {
+        ix >= self.ix0 && ix < self.ix1 && iy >= self.iy0 && iy < self.iy1
+    }
+
+    /// World-space bounds of the rectangle under `spec`.
+    pub fn world_bounds(&self, spec: &GridSpec) -> lsga_core::BBox {
+        lsga_core::BBox::new(
+            spec.bbox.min_x + self.ix0 as f64 * spec.dx(),
+            spec.bbox.min_y + self.iy0 as f64 * spec.dy(),
+            spec.bbox.min_x + self.ix1 as f64 * spec.dx(),
+            spec.bbox.min_y + self.iy1 as f64 * spec.dy(),
+        )
+    }
+}
+
+/// How the domain is split across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Contiguous horizontal bands of pixel rows — the trivial splitter;
+    /// balanced in *pixels*, not in points.
+    UniformBands,
+    /// Recursive point-weighted median splits along the wider axis —
+    /// balanced in *points*, the standard kd partitioner of distributed
+    /// spatial systems.
+    BalancedKd,
+}
+
+/// Split `spec` into exactly `n` non-overlapping tiles covering every
+/// pixel. `points` only influence [`PartitionStrategy::BalancedKd`].
+pub fn make_tiles(
+    spec: &GridSpec,
+    points: &[Point],
+    n: usize,
+    strategy: PartitionStrategy,
+) -> Vec<PixelRect> {
+    assert!(n >= 1, "need at least one tile");
+    let full = PixelRect {
+        ix0: 0,
+        iy0: 0,
+        ix1: spec.nx,
+        iy1: spec.ny,
+    };
+    let n = n.min(spec.len()); // cannot hand out more tiles than pixels
+    match strategy {
+        PartitionStrategy::UniformBands => {
+            let mut out = Vec::with_capacity(n);
+            let rows = spec.ny;
+            // When rows < n, fall back to splitting columns too — keep it
+            // simple: distribute rows, and rows==0 bands become empty
+            // (filtered) — instead distribute as evenly as possible and
+            // merge the tail.
+            let mut start = 0usize;
+            for t in 0..n {
+                let end = ((t + 1) * rows) / n;
+                out.push(PixelRect {
+                    ix0: 0,
+                    iy0: start,
+                    ix1: spec.nx,
+                    iy1: end.max(start),
+                });
+                start = end;
+            }
+            // Guarantee full coverage even with rounding.
+            out.last_mut().expect("n >= 1").iy1 = rows;
+            out.retain(|r| !r.is_empty());
+            out
+        }
+        PartitionStrategy::BalancedKd => {
+            // Per-pixel point counts, then weighted recursive splits.
+            let mut counts = vec![0u32; spec.len()];
+            for p in points {
+                let (ix, iy) = spec.pixel_of(p);
+                counts[spec.index(ix, iy)] += 1;
+            }
+            let mut out = Vec::with_capacity(n);
+            split_recursive(spec, &counts, full, n, &mut out);
+            out
+        }
+    }
+}
+
+fn rect_weight(spec: &GridSpec, counts: &[u32], r: &PixelRect) -> u64 {
+    let mut w = 0u64;
+    for iy in r.iy0..r.iy1 {
+        for ix in r.ix0..r.ix1 {
+            w += counts[spec.index(ix, iy)] as u64;
+        }
+    }
+    w
+}
+
+fn split_recursive(
+    spec: &GridSpec,
+    counts: &[u32],
+    rect: PixelRect,
+    n: usize,
+    out: &mut Vec<PixelRect>,
+) {
+    if n <= 1 || rect.len() <= 1 {
+        out.push(rect);
+        return;
+    }
+    let n_left = n / 2;
+    let frac = n_left as f64 / n as f64;
+    let total = rect_weight(spec, counts, &rect) as f64;
+    // Split along the wider axis, falling back to the other when the
+    // wider one is a single pixel thick.
+    let w = rect.ix1 - rect.ix0;
+    let h = rect.iy1 - rect.iy0;
+    let split_x = if w >= 2 && (w >= h || h < 2) {
+        true
+    } else {
+        debug_assert!(h >= 2);
+        false
+    };
+    // Walk columns (or rows) until the cumulative weight fraction passes
+    // frac; fall back to the geometric middle for empty regions.
+    let (lo, hi) = if split_x {
+        (rect.ix0, rect.ix1)
+    } else {
+        (rect.iy0, rect.iy1)
+    };
+    let mut cut = lo + ((hi - lo) as f64 * frac).round() as usize;
+    if total > 0.0 {
+        let mut acc = 0.0;
+        let mut best = lo + 1;
+        for c in lo..hi {
+            let line = if split_x {
+                PixelRect {
+                    ix0: c,
+                    ix1: c + 1,
+                    iy0: rect.iy0,
+                    iy1: rect.iy1,
+                }
+            } else {
+                PixelRect {
+                    ix0: rect.ix0,
+                    ix1: rect.ix1,
+                    iy0: c,
+                    iy1: c + 1,
+                }
+            };
+            acc += rect_weight(spec, counts, &line) as f64;
+            best = c + 1;
+            if acc >= frac * total {
+                break;
+            }
+        }
+        cut = best;
+    }
+    cut = cut.max(lo + 1).min(hi - 1);
+    let (a, b) = if split_x {
+        (
+            PixelRect {
+                ix1: cut,
+                ..rect
+            },
+            PixelRect {
+                ix0: cut,
+                ..rect
+            },
+        )
+    } else {
+        (
+            PixelRect {
+                iy1: cut,
+                ..rect
+            },
+            PixelRect {
+                iy0: cut,
+                ..rect
+            },
+        )
+    };
+    split_recursive(spec, counts, a, n_left, out);
+    split_recursive(spec, counts, b, n - n_left, out);
+}
+
+/// Owner tile of every point: `owners[i]` is the index into `tiles` of
+/// the tile whose pixel rectangle contains point `i`.
+pub fn assign_owners(spec: &GridSpec, tiles: &[PixelRect], points: &[Point]) -> Vec<u32> {
+    // Pixel -> tile lookup built once.
+    let mut tile_of_pixel = vec![u32::MAX; spec.len()];
+    for (t, r) in tiles.iter().enumerate() {
+        for iy in r.iy0..r.iy1 {
+            for ix in r.ix0..r.ix1 {
+                debug_assert_eq!(tile_of_pixel[spec.index(ix, iy)], u32::MAX, "tile overlap");
+                tile_of_pixel[spec.index(ix, iy)] = t as u32;
+            }
+        }
+    }
+    debug_assert!(tile_of_pixel.iter().all(|t| *t != u32::MAX), "coverage gap");
+    points
+        .iter()
+        .map(|p| {
+            let (ix, iy) = spec.pixel_of(p);
+            tile_of_pixel[spec.index(ix, iy)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::BBox;
+
+    fn spec() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 40, 40)
+    }
+
+    fn clustered_points() -> Vec<Point> {
+        // 90% of mass in the lower-left quadrant.
+        let mut pts = Vec::new();
+        for i in 0..900 {
+            let f = i as f64;
+            pts.push(Point::new(
+                12.0 + (f * 0.831).sin() * 10.0,
+                12.0 + (f * 0.557).cos() * 10.0,
+            ));
+        }
+        for i in 0..100 {
+            let f = i as f64;
+            pts.push(Point::new(
+                70.0 + (f * 0.91).sin() * 25.0,
+                70.0 + (f * 0.73).cos() * 25.0,
+            ));
+        }
+        pts
+    }
+
+    fn assert_partition(tiles: &[PixelRect], spec: &GridSpec) {
+        let covered: usize = tiles.iter().map(|t| t.len()).sum();
+        assert_eq!(covered, spec.len(), "tiles must cover every pixel once");
+        // No overlaps: assign_owners debug-asserts this.
+        let _ = assign_owners(spec, tiles, &[]);
+    }
+
+    #[test]
+    fn uniform_bands_partition_exactly() {
+        for n in [1, 2, 3, 7, 16, 40] {
+            let tiles = make_tiles(&spec(), &[], n, PartitionStrategy::UniformBands);
+            assert!(tiles.len() <= n);
+            assert_partition(&tiles, &spec());
+        }
+    }
+
+    #[test]
+    fn balanced_kd_partitions_exactly() {
+        let pts = clustered_points();
+        for n in [1, 2, 4, 5, 8, 13] {
+            let tiles = make_tiles(&spec(), &pts, n, PartitionStrategy::BalancedKd);
+            assert_eq!(tiles.len(), n);
+            assert_partition(&tiles, &spec());
+        }
+    }
+
+    #[test]
+    fn balanced_kd_balances_clustered_load() {
+        let pts = clustered_points();
+        let n = 8;
+        let kd = make_tiles(&spec(), &pts, n, PartitionStrategy::BalancedKd);
+        let owners = assign_owners(&spec(), &kd, &pts);
+        let mut loads = vec![0usize; n];
+        for o in &owners {
+            loads[*o as usize] += 1;
+        }
+        let max = *loads.iter().max().unwrap() as f64;
+        let mean = pts.len() as f64 / n as f64;
+        assert!(
+            max / mean < 2.5,
+            "kd imbalance too high: loads {loads:?}"
+        );
+
+        // Uniform bands on the same data are much worse (most points sit
+        // in the bottom band).
+        let bands = make_tiles(&spec(), &pts, n, PartitionStrategy::UniformBands);
+        let owners_b = assign_owners(&spec(), &bands, &pts);
+        let mut loads_b = vec![0usize; bands.len()];
+        for o in &owners_b {
+            loads_b[*o as usize] += 1;
+        }
+        let max_b = *loads_b.iter().max().unwrap() as f64;
+        assert!(max_b / mean > max / mean, "bands {loads_b:?} vs kd {loads:?}");
+    }
+
+    #[test]
+    fn owners_cover_all_points() {
+        let pts = clustered_points();
+        let tiles = make_tiles(&spec(), &pts, 6, PartitionStrategy::BalancedKd);
+        let owners = assign_owners(&spec(), &tiles, &pts);
+        assert_eq!(owners.len(), pts.len());
+        for (p, o) in pts.iter().zip(&owners) {
+            let (ix, iy) = spec().pixel_of(p);
+            assert!(tiles[*o as usize].contains(ix, iy));
+        }
+    }
+
+    #[test]
+    fn more_tiles_than_pixels_clamped() {
+        let tiny = GridSpec::new(BBox::new(0.0, 0.0, 2.0, 2.0), 2, 2);
+        let tiles = make_tiles(&tiny, &[], 64, PartitionStrategy::BalancedKd);
+        assert!(tiles.len() <= 4);
+        let covered: usize = tiles.iter().map(|t| t.len()).sum();
+        assert_eq!(covered, 4);
+    }
+
+    #[test]
+    fn world_bounds_align_with_pixels() {
+        let s = spec();
+        let r = PixelRect {
+            ix0: 4,
+            iy0: 8,
+            ix1: 10,
+            iy1: 12,
+        };
+        let wb = r.world_bounds(&s);
+        assert_eq!(wb.min_x, 10.0);
+        assert_eq!(wb.min_y, 20.0);
+        assert_eq!(wb.max_x, 25.0);
+        assert_eq!(wb.max_y, 30.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests: the distributed layer must be exact and its
+//! partition/halo accounting consistent on arbitrary inputs.
+
+use lsga_core::{BBox, Epanechnikov, GridSpec, Point};
+use lsga_dist::{distributed_k, distributed_kdv, make_tiles, PartitionStrategy};
+use lsga_kfunc::{grid_k, KConfig};
+use proptest::prelude::*;
+
+fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| Point::new(x, y)),
+        0..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn distributed_k_equals_single_node(
+        pts in arb_points(150),
+        s in 0.1f64..80.0,
+        workers in 1usize..10,
+        kd in any::<bool>(),
+    ) {
+        let strategy = if kd {
+            PartitionStrategy::BalancedKd
+        } else {
+            PartitionStrategy::UniformBands
+        };
+        let cfg = KConfig::default();
+        let (got, metrics) = distributed_k(&pts, s, cfg, workers, strategy);
+        prop_assert_eq!(got, grid_k(&pts, s, cfg));
+        let owned: usize = metrics.workers.iter().map(|w| w.owned_points).sum();
+        prop_assert_eq!(owned, pts.len());
+        for w in &metrics.workers {
+            prop_assert!(w.shipped_points >= w.owned_points);
+            prop_assert_eq!(w.bytes_shipped, w.shipped_points as u64 * 16);
+        }
+    }
+
+    #[test]
+    fn distributed_kdv_matches_reference(
+        pts in arb_points(120),
+        b in 1.0f64..40.0,
+        workers in 1usize..8,
+    ) {
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 16, 16);
+        let k = Epanechnikov::new(b);
+        let reference = lsga_kdv::grid_pruned_kdv(&pts, spec, k, 1e-9);
+        let (grid, _) =
+            distributed_kdv(&pts, spec, k, 1e-9, workers, PartitionStrategy::BalancedKd);
+        prop_assert!(grid.linf_diff(&reference) <= reference.max().max(1.0) * 1e-12);
+    }
+
+    #[test]
+    fn tiles_partition_every_pixel(
+        pts in arb_points(200),
+        n in 1usize..20,
+        nx in 2usize..40,
+        ny in 2usize..40,
+        kd in any::<bool>(),
+    ) {
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), nx, ny);
+        let strategy = if kd {
+            PartitionStrategy::BalancedKd
+        } else {
+            PartitionStrategy::UniformBands
+        };
+        let tiles = make_tiles(&spec, &pts, n, strategy);
+        let covered: usize = tiles.iter().map(|t| t.len()).sum();
+        prop_assert_eq!(covered, spec.len());
+        // No overlap: total coverage equals pixel count AND each tile is
+        // within bounds.
+        for t in &tiles {
+            prop_assert!(t.ix1 <= nx && t.iy1 <= ny);
+            prop_assert!(t.ix0 < t.ix1 && t.iy0 < t.iy1);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! A static ball tree (Moore's anchors hierarchy \[71\] in the paper's
+//! references).
+//!
+//! Each node covers a contiguous slice of a reordered point array and
+//! stores a bounding ball `(center, radius)`. Ball nodes give the
+//! alternative distance bounds used by the function-approximation KDV
+//! family: for a query `q`,
+//! `max(0, dist(q, c) − r) ≤ dist(q, p) ≤ dist(q, c) + r` for every point
+//! `p` in the node.
+
+use lsga_core::Point;
+
+#[derive(Debug, Clone)]
+struct Node {
+    center: Point,
+    radius: f64,
+    start: usize,
+    end: usize,
+    left: usize,
+    right: usize,
+}
+
+const NO_CHILD: usize = usize::MAX;
+
+/// Identifier of a ball-tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BallNodeId(pub(crate) usize);
+
+/// Static ball tree over a point set.
+#[derive(Debug, Clone)]
+pub struct BallTree {
+    nodes: Vec<Node>,
+    points: Vec<Point>,
+    original: Vec<u32>,
+    leaf_size: usize,
+}
+
+impl BallTree {
+    /// Default maximum number of points per leaf.
+    pub const DEFAULT_LEAF_SIZE: usize = 16;
+
+    /// Build a ball tree with the default leaf size.
+    pub fn build(points: &[Point]) -> Self {
+        Self::with_leaf_size(points, Self::DEFAULT_LEAF_SIZE)
+    }
+
+    /// Build with an explicit leaf size (≥ 1).
+    pub fn with_leaf_size(points: &[Point], leaf_size: usize) -> Self {
+        assert!(leaf_size >= 1, "leaf size must be at least 1");
+        let mut pts = points.to_vec();
+        let mut original: Vec<u32> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::new();
+        if !pts.is_empty() {
+            build_recursive(&mut pts, &mut original, 0, points.len(), leaf_size, &mut nodes);
+        }
+        BallTree {
+            nodes,
+            points: pts,
+            original,
+            leaf_size,
+        }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The configured leaf size.
+    #[inline]
+    pub fn leaf_size(&self) -> usize {
+        self.leaf_size
+    }
+
+    /// Root node, or `None` for an empty tree.
+    #[inline]
+    pub fn root(&self) -> Option<BallNodeId> {
+        if self.nodes.is_empty() {
+            None
+        } else {
+            Some(BallNodeId(0))
+        }
+    }
+
+    /// Bounding-ball centre of a node.
+    #[inline]
+    pub fn center(&self, id: BallNodeId) -> Point {
+        self.nodes[id.0].center
+    }
+
+    /// Bounding-ball radius of a node.
+    #[inline]
+    pub fn radius(&self, id: BallNodeId) -> f64 {
+        self.nodes[id.0].radius
+    }
+
+    /// Number of points under a node.
+    #[inline]
+    pub fn count(&self, id: BallNodeId) -> usize {
+        let n = &self.nodes[id.0];
+        n.end - n.start
+    }
+
+    /// True when the node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, id: BallNodeId) -> bool {
+        self.nodes[id.0].left == NO_CHILD
+    }
+
+    /// Children of an internal node, `None` for leaves.
+    #[inline]
+    pub fn children(&self, id: BallNodeId) -> Option<(BallNodeId, BallNodeId)> {
+        let n = &self.nodes[id.0];
+        if n.left == NO_CHILD {
+            None
+        } else {
+            Some((BallNodeId(n.left), BallNodeId(n.right)))
+        }
+    }
+
+    /// The points stored under a node.
+    #[inline]
+    pub fn node_points(&self, id: BallNodeId) -> &[Point] {
+        let n = &self.nodes[id.0];
+        &self.points[n.start..n.end]
+    }
+
+    /// Original input indices of the points under a node, parallel to
+    /// [`BallTree::node_points`].
+    #[inline]
+    pub fn node_original_indices(&self, id: BallNodeId) -> &[u32] {
+        let n = &self.nodes[id.0];
+        &self.original[n.start..n.end]
+    }
+
+    /// Smallest possible distance from `q` to any point under the node.
+    #[inline]
+    pub fn min_dist(&self, id: BallNodeId, q: &Point) -> f64 {
+        let n = &self.nodes[id.0];
+        (q.dist(&n.center) - n.radius).max(0.0)
+    }
+
+    /// Largest possible distance from `q` to any point under the node.
+    #[inline]
+    pub fn max_dist(&self, id: BallNodeId, q: &Point) -> f64 {
+        let n = &self.nodes[id.0];
+        q.dist(&n.center) + n.radius
+    }
+
+    /// Count points with `dist(center, p) ≤ radius`.
+    pub fn range_count(&self, center: &Point, radius: f64) -> usize {
+        let Some(root) = self.root() else { return 0 };
+        let mut count = 0usize;
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if self.min_dist(id, center) > radius {
+                continue;
+            }
+            if self.max_dist(id, center) <= radius {
+                count += self.count(id);
+                continue;
+            }
+            match self.children(id) {
+                Some((l, r)) => {
+                    stack.push(l);
+                    stack.push(r);
+                }
+                None => {
+                    let r2 = radius * radius;
+                    count += self
+                        .node_points(id)
+                        .iter()
+                        .filter(|p| p.dist_sq(center) <= r2)
+                        .count();
+                }
+            }
+        }
+        count
+    }
+}
+
+fn build_recursive(
+    pts: &mut [Point],
+    original: &mut [u32],
+    start: usize,
+    end: usize,
+    leaf_size: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let slice = &pts[start..end];
+    // Centroid as the ball centre; radius is the max distance to it.
+    let inv = 1.0 / slice.len() as f64;
+    let cx = slice.iter().map(|p| p.x).sum::<f64>() * inv;
+    let cy = slice.iter().map(|p| p.y).sum::<f64>() * inv;
+    let center = Point::new(cx, cy);
+    let radius = slice
+        .iter()
+        .map(|p| p.dist(&center))
+        .fold(0.0f64, f64::max);
+    let id = nodes.len();
+    nodes.push(Node {
+        center,
+        radius,
+        start,
+        end,
+        left: NO_CHILD,
+        right: NO_CHILD,
+    });
+    let len = end - start;
+    if len <= leaf_size {
+        return id;
+    }
+    // Split on the dimension with the larger spread, at the median.
+    let (min_x, max_x) = slice.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+        (lo.min(p.x), hi.max(p.x))
+    });
+    let (min_y, max_y) = slice.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+        (lo.min(p.y), hi.max(p.y))
+    });
+    let split_x = (max_x - min_x) >= (max_y - min_y);
+    let mid = start + len / 2;
+    {
+        let sub_pts = &mut pts[start..end];
+        let sub_idx = &mut original[start..end];
+        // Simple sort-based median; ball trees are built rarely and the
+        // kd-tree already demonstrates the O(n) selection path.
+        let mut order: Vec<usize> = (0..len).collect();
+        order.sort_by(|&a, &b| {
+            let ka = if split_x { sub_pts[a].x } else { sub_pts[a].y };
+            let kb = if split_x { sub_pts[b].x } else { sub_pts[b].y };
+            ka.total_cmp(&kb)
+        });
+        let permuted_pts: Vec<Point> = order.iter().map(|&i| sub_pts[i]).collect();
+        let permuted_idx: Vec<u32> = order.iter().map(|&i| sub_idx[i]).collect();
+        sub_pts.copy_from_slice(&permuted_pts);
+        sub_idx.copy_from_slice(&permuted_idx);
+    }
+    let left = build_recursive(pts, original, start, mid, leaf_size, nodes);
+    let right = build_recursive(pts, original, mid, end, leaf_size, nodes);
+    nodes[id].left = left;
+    nodes[id].right = right;
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new((f * 1.317).sin() * 40.0, (f * 0.871).cos() * 40.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BallTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.root().is_none());
+        assert_eq!(t.range_count(&Point::new(0.0, 0.0), 5.0), 0);
+    }
+
+    #[test]
+    fn range_count_matches_brute_force() {
+        let pts = scatter(400);
+        let t = BallTree::build(&pts);
+        for (c, r) in [
+            (Point::new(0.0, 0.0), 15.0),
+            (Point::new(30.0, 30.0), 8.0),
+            (Point::new(0.0, 0.0), 100.0),
+            (Point::new(-80.0, 0.0), 2.0),
+        ] {
+            let want = pts.iter().filter(|p| p.dist(&c) <= r).count();
+            assert_eq!(t.range_count(&c, r), want, "c={c:?} r={r}");
+        }
+    }
+
+    #[test]
+    fn ball_bounds_are_valid() {
+        let pts = scatter(256);
+        let t = BallTree::with_leaf_size(&pts, 8);
+        let q = Point::new(5.0, -3.0);
+        let mut stack = vec![t.root().unwrap()];
+        while let Some(id) = stack.pop() {
+            let lo = t.min_dist(id, &q);
+            let hi = t.max_dist(id, &q);
+            for p in t.node_points(id) {
+                let d = p.dist(&q);
+                assert!(d >= lo - 1e-9, "min_dist violated");
+                assert!(d <= hi + 1e-9, "max_dist violated");
+            }
+            if let Some((l, r)) = t.children(id) {
+                assert_eq!(t.count(l) + t.count(r), t.count(id));
+                stack.push(l);
+                stack.push(r);
+            }
+        }
+    }
+
+    #[test]
+    fn all_points_within_root_ball() {
+        let pts = scatter(100);
+        let t = BallTree::build(&pts);
+        let root = t.root().unwrap();
+        let c = t.center(root);
+        let r = t.radius(root);
+        for p in &pts {
+            assert!(p.dist(&c) <= r + 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_point() {
+        let t = BallTree::build(&[Point::new(2.0, 3.0)]);
+        let root = t.root().unwrap();
+        assert!(t.is_leaf(root));
+        assert_eq!(t.radius(root), 0.0);
+        assert_eq!(t.range_count(&Point::new(2.0, 3.0), 0.0), 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! A uniform bucket-grid index.
+//!
+//! For fixed-radius workloads — the K-function's `R(p_i)` range sets,
+//! KDV with finite-support kernels, DBSCAN's ε-neighbourhoods — a bucket
+//! grid with cell size matched to the query radius enumerates candidates
+//! in near-constant time per result and is the strongest practical
+//! baseline among the surveyed index structures.
+
+use lsga_core::{BBox, Point};
+
+/// Uniform grid over a bounding box, bucketing point indices per cell.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    bbox: BBox,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    /// CSR layout: `starts[c]..starts[c+1]` indexes into `entries`.
+    starts: Vec<u32>,
+    entries: Vec<u32>,
+    points: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Maximum number of cells along either axis (see
+    /// [`GridIndex::with_bbox`]).
+    pub const MAX_DIM: usize = 2048;
+
+    /// Build a grid with the given cell size over the points' bounding
+    /// box. `cell_size` is typically the query radius (so a radius query
+    /// touches at most 3×3 cells). Panics if `cell_size ≤ 0`.
+    pub fn build(points: &[Point], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive"
+        );
+        let bbox = if points.is_empty() {
+            BBox::new(0.0, 0.0, 1.0, 1.0)
+        } else {
+            BBox::of_points(points)
+        };
+        Self::with_bbox(points, cell_size, bbox)
+    }
+
+    /// Build over an explicit bounding box (which must cover all points;
+    /// outside points are clamped to edge cells).
+    ///
+    /// The effective cell size is clamped from below so neither dimension
+    /// exceeds [`GridIndex::MAX_DIM`] cells — query results are identical
+    /// either way, only candidate-set tightness changes, and the clamp
+    /// keeps degenerate tiny radii (e.g. a K-function at `s = 0`) from
+    /// requesting absurd cell counts.
+    pub fn with_bbox(points: &[Point], cell_size: f64, bbox: BBox) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive"
+        );
+        assert!(!bbox.is_empty(), "grid bbox must be non-empty");
+        let max_dim = Self::MAX_DIM as f64;
+        let cell_size = cell_size
+            .max(bbox.width() / max_dim)
+            .max(bbox.height() / max_dim);
+        let nx = ((bbox.width() / cell_size).ceil() as usize).max(1);
+        let ny = ((bbox.height() / cell_size).ceil() as usize).max(1);
+        let ncells = nx * ny;
+
+        // Counting sort into CSR buckets: two passes, no per-cell Vecs.
+        let cell_of = |p: &Point| -> usize {
+            let ix = (((p.x - bbox.min_x) / cell_size) as usize).min(nx - 1);
+            let iy = (((p.y - bbox.min_y) / cell_size) as usize).min(ny - 1);
+            iy * nx + ix
+        };
+        let mut counts = vec![0u32; ncells + 1];
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 1..=ncells {
+            counts[i] += counts[i - 1];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut entries = vec![0u32; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            entries[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        GridIndex {
+            bbox,
+            cell: cell_size,
+            nx,
+            ny,
+            starts,
+            entries,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The cell size.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Grid dimensions `(nx, ny)` in cells.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// The indexed points in input order.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Cell coordinates containing `p` (clamped).
+    #[inline]
+    pub fn cell_of(&self, p: &Point) -> (usize, usize) {
+        let ix = (((p.x - self.bbox.min_x) / self.cell).max(0.0) as usize).min(self.nx - 1);
+        let iy = (((p.y - self.bbox.min_y) / self.cell).max(0.0) as usize).min(self.ny - 1);
+        (ix, iy)
+    }
+
+    /// Point indices bucketed in cell `(ix, iy)`.
+    #[inline]
+    pub fn cell_entries(&self, ix: usize, iy: usize) -> &[u32] {
+        let c = iy * self.nx + ix;
+        let s = self.starts[c] as usize;
+        let e = self.starts[c + 1] as usize;
+        &self.entries[s..e]
+    }
+
+    /// Invoke `f(index, point)` for every point in cells overlapping the
+    /// disc `(center, radius)`. Candidates are *not* distance-filtered —
+    /// callers that need the exact disc apply their own test (this lets
+    /// kernel evaluation fold the distance computation into one pass).
+    pub fn for_each_candidate(&self, center: &Point, radius: f64, mut f: impl FnMut(u32, &Point)) {
+        let (cx0, cy0, cx1, cy1) = self.cell_range(center, radius);
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                for &i in self.cell_entries(cx, cy) {
+                    f(i, &self.points[i as usize]);
+                }
+            }
+        }
+    }
+
+    /// Count points with `dist(center, p) ≤ radius`.
+    pub fn count_within(&self, center: &Point, radius: f64) -> usize {
+        let r2 = radius * radius;
+        let mut count = 0;
+        self.for_each_candidate(center, radius, |_, p| {
+            if p.dist_sq(center) <= r2 {
+                count += 1;
+            }
+        });
+        count
+    }
+
+    /// Collect indices of points with `dist(center, p) ≤ radius` into
+    /// `out` (cleared first).
+    pub fn query_within(&self, center: &Point, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let r2 = radius * radius;
+        self.for_each_candidate(center, radius, |i, p| {
+            if p.dist_sq(center) <= r2 {
+                out.push(i);
+            }
+        });
+    }
+
+    /// The inclusive cell-coordinate rectangle overlapping the disc.
+    fn cell_range(&self, center: &Point, radius: f64) -> (usize, usize, usize, usize) {
+        let lo_x = center.x - radius;
+        let hi_x = center.x + radius;
+        let lo_y = center.y - radius;
+        let hi_y = center.y + radius;
+        let cx0 = (((lo_x - self.bbox.min_x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
+        let cy0 = (((lo_y - self.bbox.min_y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
+        let cx1 = (((hi_x - self.bbox.min_x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
+        let cy1 = (((hi_y - self.bbox.min_y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
+        (cx0, cy0, cx1, cy1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new((f * 0.917).sin() * 25.0, (f * 0.613).cos() * 25.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn count_matches_brute_force() {
+        let pts = scatter(500);
+        for cell in [1.0, 5.0, 50.0] {
+            let g = GridIndex::build(&pts, cell);
+            for (c, r) in [
+                (Point::new(0.0, 0.0), 5.0),
+                (Point::new(20.0, -20.0), 12.0),
+                (Point::new(-30.0, 30.0), 0.5),
+                (Point::new(0.0, 0.0), 100.0),
+            ] {
+                let want = pts.iter().filter(|p| p.dist(&c) <= r).count();
+                assert_eq!(g.count_within(&c, r), want, "cell={cell} c={c:?} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_returns_exact_set() {
+        let pts = scatter(200);
+        let g = GridIndex::build(&pts, 4.0);
+        let c = Point::new(3.0, 3.0);
+        let r = 9.0;
+        let mut got = Vec::new();
+        g.query_within(&c, r, &mut got);
+        got.sort_unstable();
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist(&c) <= r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g = GridIndex::build(&[], 1.0);
+        assert!(g.is_empty());
+        assert_eq!(g.count_within(&Point::new(0.0, 0.0), 10.0), 0);
+    }
+
+    #[test]
+    fn query_center_outside_bbox() {
+        let pts = scatter(100);
+        let g = GridIndex::build(&pts, 2.0);
+        // Far outside: radius misses everything.
+        assert_eq!(g.count_within(&Point::new(1000.0, 1000.0), 5.0), 0);
+        // Outside but radius reaches in: must still count correctly.
+        let c = Point::new(30.0, 0.0);
+        let want = pts.iter().filter(|p| p.dist(&c) <= 10.0).count();
+        assert_eq!(g.count_within(&c, 10.0), want);
+    }
+
+    #[test]
+    fn all_points_bucketed_exactly_once() {
+        let pts = scatter(333);
+        let g = GridIndex::build(&pts, 3.0);
+        let (nx, ny) = g.dims();
+        let mut seen = vec![false; pts.len()];
+        for iy in 0..ny {
+            for ix in 0..nx {
+                for &i in g.cell_entries(ix, iy) {
+                    assert!(!seen[i as usize], "point {i} bucketed twice");
+                    seen[i as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn degenerate_collinear_points() {
+        // Zero-height bbox: grid must still work.
+        let pts: Vec<Point> = (0..50).map(|i| Point::new(i as f64, 5.0)).collect();
+        let g = GridIndex::build(&pts, 2.0);
+        assert_eq!(g.count_within(&Point::new(25.0, 5.0), 3.0), 7);
+    }
+
+    #[test]
+    fn coincident_points() {
+        let pts = vec![Point::new(1.0, 1.0); 20];
+        let g = GridIndex::build(&pts, 1.0);
+        assert_eq!(g.count_within(&Point::new(1.0, 1.0), 0.0), 20);
+    }
+}

@@ -1,0 +1,507 @@
+//! A static 2-D kd-tree (Bentley \[21\] in the paper's references).
+//!
+//! The tree is built once over an owned, reordered copy of the points and
+//! supports:
+//!
+//! * exact circular range counting / reporting (K-function range queries),
+//! * k-nearest-neighbour search (IDW, kriging neighbourhoods),
+//! * node-level traversal with per-node bounding boxes and counts, which is
+//!   what the function-approximation KDV methods need to compute the
+//!   `LB(q)`/`UB(q)` bounds of paper Eq. 6.
+
+use lsga_core::{BBox, Point};
+
+/// Identifier of a kd-tree node (index into the node arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KdNodeId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+struct Node {
+    bbox: BBox,
+    /// Range into the reordered point array covered by this node.
+    start: usize,
+    end: usize,
+    /// Child node indices, `usize::MAX` when leaf.
+    left: usize,
+    right: usize,
+}
+
+const NO_CHILD: usize = usize::MAX;
+
+/// Static kd-tree over a point set.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    /// Points reordered so each node covers a contiguous slice.
+    points: Vec<Point>,
+    /// `original[i]` is the index of `points[i]` in the input slice.
+    original: Vec<u32>,
+    leaf_size: usize,
+}
+
+impl KdTree {
+    /// Default maximum number of points per leaf.
+    pub const DEFAULT_LEAF_SIZE: usize = 16;
+
+    /// Build a tree with the default leaf size.
+    pub fn build(points: &[Point]) -> Self {
+        Self::with_leaf_size(points, Self::DEFAULT_LEAF_SIZE)
+    }
+
+    /// Build with an explicit leaf size (≥ 1).
+    pub fn with_leaf_size(points: &[Point], leaf_size: usize) -> Self {
+        assert!(leaf_size >= 1, "leaf size must be at least 1");
+        let mut pts: Vec<Point> = points.to_vec();
+        let mut original: Vec<u32> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::new();
+        if !pts.is_empty() {
+            build_recursive(&mut pts, &mut original, 0, points.len(), leaf_size, &mut nodes);
+        }
+        KdTree {
+            nodes,
+            points: pts,
+            original,
+            leaf_size,
+        }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the tree contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The configured leaf size.
+    #[inline]
+    pub fn leaf_size(&self) -> usize {
+        self.leaf_size
+    }
+
+    /// Root node, or `None` for an empty tree.
+    #[inline]
+    pub fn root(&self) -> Option<KdNodeId> {
+        if self.nodes.is_empty() {
+            None
+        } else {
+            Some(KdNodeId(0))
+        }
+    }
+
+    /// Bounding box of a node.
+    #[inline]
+    pub fn bbox(&self, id: KdNodeId) -> &BBox {
+        &self.nodes[id.0].bbox
+    }
+
+    /// Number of points under a node.
+    #[inline]
+    pub fn count(&self, id: KdNodeId) -> usize {
+        let n = &self.nodes[id.0];
+        n.end - n.start
+    }
+
+    /// True when the node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, id: KdNodeId) -> bool {
+        self.nodes[id.0].left == NO_CHILD
+    }
+
+    /// Children of an internal node; `None` for leaves.
+    #[inline]
+    pub fn children(&self, id: KdNodeId) -> Option<(KdNodeId, KdNodeId)> {
+        let n = &self.nodes[id.0];
+        if n.left == NO_CHILD {
+            None
+        } else {
+            Some((KdNodeId(n.left), KdNodeId(n.right)))
+        }
+    }
+
+    /// The points stored under a node (contiguous by construction).
+    #[inline]
+    pub fn node_points(&self, id: KdNodeId) -> &[Point] {
+        let n = &self.nodes[id.0];
+        &self.points[n.start..n.end]
+    }
+
+    /// Original input indices of the points under a node, parallel to
+    /// [`KdTree::node_points`].
+    #[inline]
+    pub fn node_original_indices(&self, id: KdNodeId) -> &[u32] {
+        let n = &self.nodes[id.0];
+        &self.original[n.start..n.end]
+    }
+
+    /// Count points with `dist(center, p) ≤ radius`.
+    pub fn range_count(&self, center: &Point, radius: f64) -> usize {
+        let Some(root) = self.root() else { return 0 };
+        let r2 = radius * radius;
+        let mut count = 0usize;
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id.0];
+            if node.bbox.min_dist_sq(center) > r2 {
+                continue;
+            }
+            if node.bbox.max_dist_sq(center) <= r2 {
+                count += node.end - node.start;
+                continue;
+            }
+            match self.children(id) {
+                Some((l, r)) => {
+                    stack.push(l);
+                    stack.push(r);
+                }
+                None => {
+                    count += self.node_points(id)
+                        .iter()
+                        .filter(|p| p.dist_sq(center) <= r2)
+                        .count();
+                }
+            }
+        }
+        count
+    }
+
+    /// Report the original indices of all points within `radius` of
+    /// `center`, appending to `out` (cleared first).
+    pub fn range_query(&self, center: &Point, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let Some(root) = self.root() else { return };
+        let r2 = radius * radius;
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id.0];
+            if node.bbox.min_dist_sq(center) > r2 {
+                continue;
+            }
+            if node.bbox.max_dist_sq(center) <= r2 {
+                out.extend_from_slice(&self.original[node.start..node.end]);
+                continue;
+            }
+            match self.children(id) {
+                Some((l, r)) => {
+                    stack.push(l);
+                    stack.push(r);
+                }
+                None => {
+                    for (p, idx) in self.node_points(id).iter().zip(self.node_original_indices(id))
+                    {
+                        if p.dist_sq(center) <= r2 {
+                            out.push(*idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `k` nearest neighbours of `center` as
+    /// `(original index, distance)` pairs sorted by ascending distance.
+    /// Returns fewer than `k` entries when the tree is smaller than `k`.
+    pub fn knn(&self, center: &Point, k: usize) -> Vec<(u32, f64)> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        // Max-heap of the best k candidates, keyed by distance².
+        let mut heap: std::collections::BinaryHeap<HeapItem> = std::collections::BinaryHeap::new();
+        let mut worst = f64::INFINITY;
+        let mut stack = vec![self.root().unwrap()];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id.0];
+            if heap.len() == k && node.bbox.min_dist_sq(center) > worst {
+                continue;
+            }
+            match self.children(id) {
+                Some((l, r)) => {
+                    // Visit the nearer child first for earlier pruning.
+                    let dl = self.nodes[l.0].bbox.min_dist_sq(center);
+                    let dr = self.nodes[r.0].bbox.min_dist_sq(center);
+                    if dl <= dr {
+                        stack.push(r);
+                        stack.push(l);
+                    } else {
+                        stack.push(l);
+                        stack.push(r);
+                    }
+                }
+                None => {
+                    for (p, idx) in self.node_points(id).iter().zip(self.node_original_indices(id))
+                    {
+                        let d2 = p.dist_sq(center);
+                        if heap.len() < k {
+                            heap.push(HeapItem { d2, idx: *idx });
+                            if heap.len() == k {
+                                worst = heap.peek().unwrap().d2;
+                            }
+                        } else if d2 < worst {
+                            heap.pop();
+                            heap.push(HeapItem { d2, idx: *idx });
+                            worst = heap.peek().unwrap().d2;
+                        }
+                    }
+                }
+            }
+        }
+        let mut items: Vec<(u32, f64)> = heap
+            .into_iter()
+            .map(|h| (h.idx, h.d2.sqrt()))
+            .collect();
+        items.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        items
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    d2: f64,
+    idx: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.d2.total_cmp(&other.d2).then(self.idx.cmp(&other.idx))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn build_recursive(
+    pts: &mut [Point],
+    original: &mut [u32],
+    start: usize,
+    end: usize,
+    leaf_size: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let slice = &pts[start..end];
+    let bbox = BBox::of_points(slice);
+    let id = nodes.len();
+    nodes.push(Node {
+        bbox,
+        start,
+        end,
+        left: NO_CHILD,
+        right: NO_CHILD,
+    });
+    let len = end - start;
+    if len <= leaf_size {
+        return id;
+    }
+    // Split on the wider dimension at the median.
+    let split_x = bbox.width() >= bbox.height();
+    let mid = start + len / 2;
+    {
+        // Median partition of the parallel (point, original-index) arrays.
+        let sub_pts = &mut pts[start..end];
+        let sub_idx = &mut original[start..end];
+        select_nth_parallel(sub_pts, sub_idx, len / 2, split_x);
+    }
+    let left = build_recursive(pts, original, start, mid, leaf_size, nodes);
+    let right = build_recursive(pts, original, mid, end, leaf_size, nodes);
+    nodes[id].left = left;
+    nodes[id].right = right;
+    id
+}
+
+/// Quickselect keeping a parallel index array in sync with the points.
+fn select_nth_parallel(pts: &mut [Point], idx: &mut [u32], nth: usize, split_x: bool) {
+    let key = |p: &Point| if split_x { p.x } else { p.y };
+    let mut lo = 0usize;
+    let mut hi = pts.len();
+    loop {
+        if hi - lo <= 1 {
+            return;
+        }
+        // Median-of-three pivot for resilience on sorted inputs.
+        let mid = lo + (hi - lo) / 2;
+        let (a, b, c) = (key(&pts[lo]), key(&pts[mid]), key(&pts[hi - 1]));
+        let pivot = if (a <= b) == (b <= c) {
+            b
+        } else if (b <= a) == (a <= c) {
+            a
+        } else {
+            c
+        };
+        // Three-way partition: [< pivot | == pivot | > pivot].
+        let mut lt = lo;
+        let mut i = lo;
+        let mut gt = hi;
+        while i < gt {
+            let k = key(&pts[i]);
+            if k < pivot {
+                pts.swap(lt, i);
+                idx.swap(lt, i);
+                lt += 1;
+                i += 1;
+            } else if k > pivot {
+                gt -= 1;
+                pts.swap(i, gt);
+                idx.swap(i, gt);
+            } else {
+                i += 1;
+            }
+        }
+        if nth < lt {
+            hi = lt;
+        } else if nth >= gt {
+            lo = gt;
+        } else {
+            return; // nth lands in the == pivot band
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice(n: usize) -> Vec<Point> {
+        // Deterministic scattered points.
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(
+                    (f * 0.7391).sin() * 50.0 + (f * 0.013).cos() * 7.0,
+                    (f * 0.5173).cos() * 50.0 + (f * 0.029).sin() * 3.0,
+                )
+            })
+            .collect()
+    }
+
+    fn brute_count(pts: &[Point], c: &Point, r: f64) -> usize {
+        pts.iter().filter(|p| p.dist(c) <= r).count()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.root().is_none());
+        assert_eq!(t.range_count(&Point::new(0.0, 0.0), 10.0), 0);
+        assert!(t.knn(&Point::new(0.0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn range_count_matches_brute_force() {
+        let pts = lattice(500);
+        let t = KdTree::build(&pts);
+        for (c, r) in [
+            (Point::new(0.0, 0.0), 10.0),
+            (Point::new(25.0, -10.0), 30.0),
+            (Point::new(-60.0, 60.0), 5.0),
+            (Point::new(0.0, 0.0), 200.0), // covers everything
+            (Point::new(0.0, 0.0), 0.0),
+        ] {
+            assert_eq!(t.range_count(&c, r), brute_count(&pts, &c, r), "c={c:?} r={r}");
+        }
+    }
+
+    #[test]
+    fn range_query_returns_exact_index_set() {
+        let pts = lattice(300);
+        let t = KdTree::build(&pts);
+        let c = Point::new(10.0, 10.0);
+        let r = 25.0;
+        let mut got = Vec::new();
+        t.range_query(&c, r, &mut got);
+        got.sort_unstable();
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist(&c) <= r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let pts = lattice(200);
+        let t = KdTree::build(&pts);
+        let q = Point::new(3.0, -7.0);
+        for k in [1, 5, 17, 200, 300] {
+            let got = t.knn(&q, k);
+            let mut want: Vec<(u32, f64)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u32, p.dist(&q)))
+                .collect();
+            want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            want.truncate(k);
+            assert_eq!(got.len(), want.len(), "k={k}");
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.1 - w.1).abs() < 1e-12, "k={k}: {g:?} vs {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_invariants() {
+        let pts = lattice(128);
+        let t = KdTree::with_leaf_size(&pts, 8);
+        let root = t.root().unwrap();
+        assert_eq!(t.count(root), 128);
+        // Every internal node's children partition its count; every point
+        // lies inside its node's bbox.
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            for p in t.node_points(id) {
+                assert!(t.bbox(id).contains(p));
+            }
+            if let Some((l, r)) = t.children(id) {
+                assert_eq!(t.count(l) + t.count(r), t.count(id));
+                stack.push(l);
+                stack.push(r);
+            } else {
+                assert!(t.count(id) <= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let mut pts = vec![Point::new(1.0, 1.0); 100];
+        pts.extend(lattice(50));
+        let t = KdTree::with_leaf_size(&pts, 4);
+        assert_eq!(t.range_count(&Point::new(1.0, 1.0), 0.0), 100);
+        let got = t.knn(&Point::new(1.0, 1.0), 3);
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|(_, d)| *d == 0.0));
+    }
+
+    #[test]
+    fn original_indices_preserved() {
+        let pts = lattice(64);
+        let t = KdTree::build(&pts);
+        let root = t.root().unwrap();
+        let mut seen: Vec<u32> = t.node_original_indices(root).to_vec();
+        seen.sort_unstable();
+        let want: Vec<u32> = (0..64).collect();
+        assert_eq!(seen, want);
+        // Reordered points still map back to their originals.
+        for (p, i) in t.node_points(root).iter().zip(t.node_original_indices(root)) {
+            assert_eq!(*p, pts[*i as usize]);
+        }
+    }
+
+    #[test]
+    fn sorted_input_does_not_degenerate() {
+        // A sorted line of points exercises the median-of-three pivot.
+        let pts: Vec<Point> = (0..1000).map(|i| Point::new(i as f64, 0.0)).collect();
+        let t = KdTree::build(&pts);
+        assert_eq!(t.range_count(&Point::new(500.0, 0.0), 10.0), 21);
+    }
+}

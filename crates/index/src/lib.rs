@@ -1,0 +1,33 @@
+//! # lsga-index
+//!
+//! Spatial index structures used by the acceleration methods the paper
+//! surveys:
+//!
+//! * [`KdTree`] — the kd-tree of Bentley \[21\], used by the
+//!   function-approximation KDV family (bound refinement over tree nodes,
+//!   paper Eq. 6), range-query K-function, kNN for IDW/Kriging.
+//! * [`BallTree`] — the ball-tree / anchors hierarchy of Moore \[71\],
+//!   an alternative bound provider.
+//! * [`GridIndex`] — a uniform bucket grid; the workhorse for fixed-radius
+//!   neighbour enumeration (K-function histogramming, DBSCAN, naive-pruned
+//!   KDV).
+//! * [`RangeTree`] — the classical 2-D range tree \[40\] answering
+//!   axis-aligned box counts in `O(log² n)`;
+//! * [`RTree`] — an STR bulk-loaded R-tree, the index every spatial
+//!   database (PostGIS, Sedona) builds on.
+//!
+//! All indexes are immutable after construction (built once per dataset,
+//! queried many times), which is exactly the access pattern of every tool
+//! in the suite.
+
+pub mod ball_tree;
+pub mod grid_index;
+pub mod kd_tree;
+pub mod range_tree;
+pub mod rtree;
+
+pub use ball_tree::{BallNodeId, BallTree};
+pub use grid_index::GridIndex;
+pub use kd_tree::{KdNodeId, KdTree};
+pub use range_tree::RangeTree;
+pub use rtree::RTree;

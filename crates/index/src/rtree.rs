@@ -1,0 +1,331 @@
+//! An STR bulk-loaded R-tree — the canonical GIS index (PostGIS, JTS,
+//! and Sedona all build on R-tree variants; the paper's
+//! range-query-based K-function family names index structures
+//! generically, and the R-tree is the one every spatial database ships).
+//!
+//! Sort-Tile-Recursive (STR) packing builds a near-optimal static tree
+//! in `O(n log n)`: sort by x, slice into vertical strips, sort each
+//! strip by y, pack consecutive runs into leaves, then pack each level
+//! into parents until one root remains. Queries mirror the kd-tree API
+//! (circular range count / report, box count) so the two back-ends are
+//! interchangeable in the K-function implementations.
+
+use lsga_core::{BBox, Point};
+
+/// Maximum entries per node (leaf points or internal children).
+const NODE_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    /// Leaf: points `points[start..start + count]`.
+    Leaf { start: u32, count: u32 },
+    /// Internal: children `child_lists[start..start + count]`.
+    Internal { start: u32, count: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    bbox: BBox,
+    /// Total points under this node (for covered-subtree counting).
+    total: u32,
+    kind: NodeKind,
+}
+
+/// Static STR-packed R-tree over points.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    /// Flat child-index storage for internal nodes.
+    child_lists: Vec<u32>,
+    root: Option<usize>,
+    /// Points reordered into leaf-contiguous layout.
+    points: Vec<Point>,
+    /// Original input index of each reordered point.
+    original: Vec<u32>,
+}
+
+impl RTree {
+    /// Bulk-load with Sort-Tile-Recursive packing.
+    pub fn build(points: &[Point]) -> Self {
+        let n = points.len();
+        if n == 0 {
+            return RTree {
+                nodes: Vec::new(),
+                child_lists: Vec::new(),
+                root: None,
+                points: Vec::new(),
+                original: Vec::new(),
+            };
+        }
+        // STR: sort by x, partition into √(leaves) vertical strips, sort
+        // each strip by y.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|a, b| points[*a as usize].x.total_cmp(&points[*b as usize].x));
+        let leaf_count = n.div_ceil(NODE_CAPACITY);
+        let strips = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = n.div_ceil(strips);
+        for strip in order.chunks_mut(per_strip) {
+            strip.sort_by(|a, b| points[*a as usize].y.total_cmp(&points[*b as usize].y));
+        }
+        let sorted: Vec<Point> = order.iter().map(|&i| points[i as usize]).collect();
+
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut child_lists: Vec<u32> = Vec::new();
+
+        // Leaves over consecutive runs of the packed order.
+        let mut level: Vec<usize> = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + NODE_CAPACITY).min(n);
+            level.push(nodes.len());
+            nodes.push(Node {
+                bbox: BBox::of_points(&sorted[start..end]),
+                total: (end - start) as u32,
+                kind: NodeKind::Leaf {
+                    start: start as u32,
+                    count: (end - start) as u32,
+                },
+            });
+            start = end;
+        }
+        // Upper levels.
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
+            for group in level.chunks(NODE_CAPACITY) {
+                let mut bbox = BBox::empty();
+                let mut total = 0u32;
+                let child_start = child_lists.len() as u32;
+                for &c in group {
+                    bbox.expand_box(&nodes[c].bbox);
+                    total += nodes[c].total;
+                    child_lists.push(c as u32);
+                }
+                next.push(nodes.len());
+                nodes.push(Node {
+                    bbox,
+                    total,
+                    kind: NodeKind::Internal {
+                        start: child_start,
+                        count: group.len() as u32,
+                    },
+                });
+            }
+            level = next;
+        }
+        RTree {
+            root: Some(level[0]),
+            nodes,
+            child_lists,
+            points: sorted,
+            original: order,
+        }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Count points with `dist(center, p) ≤ radius`.
+    pub fn range_count(&self, center: &Point, radius: f64) -> usize {
+        let Some(root) = self.root else { return 0 };
+        let r2 = radius * radius;
+        let mut count = 0usize;
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx];
+            if node.bbox.min_dist_sq(center) > r2 {
+                continue;
+            }
+            if node.bbox.max_dist_sq(center) <= r2 {
+                count += node.total as usize;
+                continue;
+            }
+            match node.kind {
+                NodeKind::Leaf { start, count: c } => {
+                    let s = start as usize;
+                    count += self.points[s..s + c as usize]
+                        .iter()
+                        .filter(|p| p.dist_sq(center) <= r2)
+                        .count();
+                }
+                NodeKind::Internal { start, count: c } => {
+                    let s = start as usize;
+                    for &child in &self.child_lists[s..s + c as usize] {
+                        stack.push(child as usize);
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Report original indices of points within `radius` of `center`
+    /// (clears `out` first).
+    pub fn range_query(&self, center: &Point, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let Some(root) = self.root else { return };
+        let r2 = radius * radius;
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx];
+            if node.bbox.min_dist_sq(center) > r2 {
+                continue;
+            }
+            match node.kind {
+                NodeKind::Leaf { start, count } => {
+                    let s = start as usize;
+                    for i in s..s + count as usize {
+                        if self.points[i].dist_sq(center) <= r2 {
+                            out.push(self.original[i]);
+                        }
+                    }
+                }
+                NodeKind::Internal { start, count } => {
+                    let s = start as usize;
+                    for &child in &self.child_lists[s..s + count as usize] {
+                        stack.push(child as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count points inside the axis-aligned box (inclusive bounds).
+    pub fn count_in_box(&self, query: &BBox) -> usize {
+        let Some(root) = self.root else { return 0 };
+        let mut count = 0usize;
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx];
+            if !node.bbox.intersects(query) {
+                continue;
+            }
+            match node.kind {
+                NodeKind::Leaf { start, count: c } => {
+                    let s = start as usize;
+                    count += self.points[s..s + c as usize]
+                        .iter()
+                        .filter(|p| query.contains(p))
+                        .count();
+                }
+                NodeKind::Internal { start, count: c } => {
+                    let s = start as usize;
+                    for &child in &self.child_lists[s..s + c as usize] {
+                        stack.push(child as usize);
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Tree height (1 for a single leaf). Diagnostic for the packing.
+    pub fn height(&self) -> usize {
+        let Some(mut idx) = self.root else { return 0 };
+        let mut h = 1;
+        loop {
+            match self.nodes[idx].kind {
+                NodeKind::Leaf { .. } => return h,
+                NodeKind::Internal { start, .. } => {
+                    idx = self.child_lists[start as usize] as usize;
+                    h += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new((f * 0.7391).sin() * 50.0, (f * 0.5173).cos() * 50.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.range_count(&Point::new(0.0, 0.0), 10.0), 0);
+        assert_eq!(t.count_in_box(&BBox::new(-1.0, -1.0, 1.0, 1.0)), 0);
+    }
+
+    #[test]
+    fn range_count_matches_brute_force() {
+        let pts = scatter(700);
+        let t = RTree::build(&pts);
+        for (c, r) in [
+            (Point::new(0.0, 0.0), 10.0),
+            (Point::new(25.0, -10.0), 30.0),
+            (Point::new(-60.0, 60.0), 5.0),
+            (Point::new(0.0, 0.0), 200.0),
+            (Point::new(0.0, 0.0), 0.0),
+        ] {
+            let want = pts.iter().filter(|p| p.dist(&c) <= r).count();
+            assert_eq!(t.range_count(&c, r), want, "c={c:?} r={r}");
+        }
+    }
+
+    #[test]
+    fn range_query_returns_exact_index_set() {
+        let pts = scatter(300);
+        let t = RTree::build(&pts);
+        let c = Point::new(10.0, 10.0);
+        let mut got = Vec::new();
+        t.range_query(&c, 25.0, &mut got);
+        got.sort_unstable();
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist(&c) <= 25.0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn box_count_matches_brute_force() {
+        let pts = scatter(500);
+        let t = RTree::build(&pts);
+        for b in [
+            BBox::new(-10.0, -10.0, 10.0, 10.0),
+            BBox::new(0.0, -50.0, 50.0, 0.0),
+            BBox::new(-100.0, -100.0, 100.0, 100.0),
+        ] {
+            let want = pts.iter().filter(|p| b.contains(p)).count();
+            assert_eq!(t.count_in_box(&b), want);
+        }
+    }
+
+    #[test]
+    fn packing_is_logarithmic() {
+        let t = RTree::build(&scatter(4096));
+        // 4096 / 16 = 256 leaves; 256 / 16 = 16; 16 / 16 = 1 -> height 3.
+        assert_eq!(t.height(), 3);
+        let t2 = RTree::build(&scatter(10));
+        assert_eq!(t2.height(), 1);
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let mut pts = vec![Point::new(1.0, 1.0); 100];
+        pts.extend(scatter(60));
+        let t = RTree::build(&pts);
+        assert_eq!(t.range_count(&Point::new(1.0, 1.0), 0.0), 100);
+    }
+}

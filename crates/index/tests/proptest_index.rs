@@ -1,0 +1,106 @@
+//! Property-based tests: every index structure must agree exactly with a
+//! linear scan on arbitrary inputs.
+
+use lsga_core::Point;
+use lsga_index::{BallTree, GridIndex, KdTree, RangeTree, RTree};
+use proptest::prelude::*;
+
+fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (-1000.0f64..1000.0, -1000.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y)),
+        0..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kd_tree_range_count_equals_scan(
+        pts in arb_points(300),
+        cx in -1200.0f64..1200.0,
+        cy in -1200.0f64..1200.0,
+        r in 0.0f64..1500.0,
+    ) {
+        let c = Point::new(cx, cy);
+        let tree = KdTree::build(&pts);
+        let want = pts.iter().filter(|p| p.dist(&c) <= r).count();
+        prop_assert_eq!(tree.range_count(&c, r), want);
+    }
+
+    #[test]
+    fn ball_tree_range_count_equals_scan(
+        pts in arb_points(300),
+        cx in -1200.0f64..1200.0,
+        cy in -1200.0f64..1200.0,
+        r in 0.0f64..1500.0,
+    ) {
+        let c = Point::new(cx, cy);
+        let tree = BallTree::build(&pts);
+        let want = pts.iter().filter(|p| p.dist(&c) <= r).count();
+        prop_assert_eq!(tree.range_count(&c, r), want);
+    }
+
+    #[test]
+    fn grid_index_count_equals_scan(
+        pts in arb_points(300),
+        cx in -1200.0f64..1200.0,
+        cy in -1200.0f64..1200.0,
+        r in 0.0f64..1500.0,
+        cell in 0.5f64..500.0,
+    ) {
+        let c = Point::new(cx, cy);
+        let grid = GridIndex::build(&pts, cell);
+        let want = pts.iter().filter(|p| p.dist(&c) <= r).count();
+        prop_assert_eq!(grid.count_within(&c, r), want);
+    }
+
+    #[test]
+    fn range_tree_count_equals_scan(
+        pts in arb_points(300),
+        x0 in -1200.0f64..1200.0,
+        dx in 0.0f64..2400.0,
+        y0 in -1200.0f64..1200.0,
+        dy in 0.0f64..2400.0,
+    ) {
+        let (x1, y1) = (x0 + dx, y0 + dy);
+        let tree = RangeTree::build(&pts);
+        let want = pts
+            .iter()
+            .filter(|p| p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1)
+            .count();
+        prop_assert_eq!(tree.count_in_box(x0, x1, y0, y1), want);
+    }
+
+    #[test]
+    fn rtree_range_count_equals_scan(
+        pts in arb_points(300),
+        cx in -1200.0f64..1200.0,
+        cy in -1200.0f64..1200.0,
+        r in 0.0f64..1500.0,
+    ) {
+        let c = Point::new(cx, cy);
+        let tree = RTree::build(&pts);
+        let want = pts.iter().filter(|p| p.dist(&c) <= r).count();
+        prop_assert_eq!(tree.range_count(&c, r), want);
+    }
+
+    #[test]
+    fn kd_tree_knn_equals_scan(
+        pts in arb_points(200),
+        cx in -1200.0f64..1200.0,
+        cy in -1200.0f64..1200.0,
+        k in 0usize..20,
+    ) {
+        let c = Point::new(cx, cy);
+        let tree = KdTree::build(&pts);
+        let got = tree.knn(&c, k);
+        let mut want: Vec<f64> = pts.iter().map(|p| p.dist(&c)).collect();
+        want.sort_by(|a, b| a.total_cmp(b));
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.1 - w).abs() < 1e-9);
+        }
+    }
+}

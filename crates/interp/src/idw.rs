@@ -1,0 +1,221 @@
+//! Inverse distance weighting (Shepard interpolation).
+//!
+//! `F(q) = Σ_i w_i·z_i / Σ_i w_i` with `w_i = 1 / dist(q, p_i)^power`.
+//! A query coinciding with a sample returns that sample's value exactly
+//! (the limit of the weights).
+
+use lsga_core::{DensityGrid, GridSpec, Point};
+use lsga_index::{GridIndex, KdTree};
+
+/// Exact global IDW — the `O(X·Y·n)` baseline of \[20\].
+pub fn idw_naive(samples: &[(Point, f64)], spec: GridSpec, power: f64) -> DensityGrid {
+    assert!(power > 0.0, "power must be positive");
+    let mut grid = DensityGrid::zeros(spec);
+    if samples.is_empty() {
+        return grid;
+    }
+    for iy in 0..spec.ny {
+        let qy = spec.row_y(iy);
+        for ix in 0..spec.nx {
+            let q = Point::new(spec.col_x(ix), qy);
+            grid.set(ix, iy, idw_at(samples.iter(), &q, power));
+        }
+    }
+    grid
+}
+
+/// Local IDW over the `k` nearest samples (Shepard's local method) via a
+/// kd-tree: `O(X·Y·(k + log n))`.
+pub fn idw_knn(samples: &[(Point, f64)], spec: GridSpec, power: f64, k: usize) -> DensityGrid {
+    assert!(power > 0.0, "power must be positive");
+    assert!(k >= 1, "k must be at least 1");
+    let mut grid = DensityGrid::zeros(spec);
+    if samples.is_empty() {
+        return grid;
+    }
+    let pts: Vec<Point> = samples.iter().map(|(p, _)| *p).collect();
+    let tree = KdTree::build(&pts);
+    for iy in 0..spec.ny {
+        let qy = spec.row_y(iy);
+        for ix in 0..spec.nx {
+            let q = Point::new(spec.col_x(ix), qy);
+            let nbrs = tree.knn(&q, k);
+            let v = idw_at(
+                nbrs.iter().map(|(i, _)| &samples[*i as usize]),
+                &q,
+                power,
+            );
+            grid.set(ix, iy, v);
+        }
+    }
+    grid
+}
+
+/// Local IDW over the samples within `radius` (bucket grid). Pixels with
+/// no sample in range fall back to the single nearest sample, so the
+/// surface is total.
+pub fn idw_radius(
+    samples: &[(Point, f64)],
+    spec: GridSpec,
+    power: f64,
+    radius: f64,
+) -> DensityGrid {
+    assert!(power > 0.0, "power must be positive");
+    assert!(radius > 0.0, "radius must be positive");
+    let mut grid = DensityGrid::zeros(spec);
+    if samples.is_empty() {
+        return grid;
+    }
+    let pts: Vec<Point> = samples.iter().map(|(p, _)| *p).collect();
+    let index = GridIndex::build(&pts, radius);
+    let tree = KdTree::build(&pts); // nearest-sample fallback
+    let r2 = radius * radius;
+    let mut in_range: Vec<u32> = Vec::new();
+    for iy in 0..spec.ny {
+        let qy = spec.row_y(iy);
+        for ix in 0..spec.nx {
+            let q = Point::new(spec.col_x(ix), qy);
+            in_range.clear();
+            index.for_each_candidate(&q, radius, |i, p| {
+                if p.dist_sq(&q) <= r2 {
+                    in_range.push(i);
+                }
+            });
+            let v = if in_range.is_empty() {
+                let nn = tree.knn(&q, 1);
+                samples[nn[0].0 as usize].1
+            } else {
+                idw_at(in_range.iter().map(|i| &samples[*i as usize]), &q, power)
+            };
+            grid.set(ix, iy, v);
+        }
+    }
+    grid
+}
+
+/// IDW estimate at one query from an iterator of samples. An exact
+/// positional hit short-circuits to the sample value.
+fn idw_at<'a>(
+    samples: impl Iterator<Item = &'a (Point, f64)>,
+    q: &Point,
+    power: f64,
+) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (p, z) in samples {
+        let d2 = q.dist_sq(p);
+        if d2 == 0.0 {
+            return *z;
+        }
+        // 1/d^p computed from d² to halve the sqrt cost for even powers.
+        let w = d2.powf(-0.5 * power);
+        num += w * z;
+        den += w;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::BBox;
+
+    fn samples() -> Vec<(Point, f64)> {
+        (0..60)
+            .map(|i| {
+                let f = i as f64;
+                let p = Point::new(
+                    50.0 + (f * 0.831).sin() * 45.0,
+                    50.0 + (f * 0.557).cos() * 45.0,
+                );
+                // A smooth underlying field.
+                let z = 10.0 + 0.1 * p.x + 0.05 * p.y;
+                (p, z)
+            })
+            .collect()
+    }
+
+    fn spec() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 20, 20)
+    }
+
+    #[test]
+    fn prediction_within_sample_range() {
+        let s = samples();
+        let grid = idw_naive(&s, spec(), 2.0);
+        let zmin = s.iter().map(|(_, z)| *z).fold(f64::INFINITY, f64::min);
+        let zmax = s.iter().map(|(_, z)| *z).fold(f64::NEG_INFINITY, f64::max);
+        for v in grid.values() {
+            assert!(*v >= zmin - 1e-9 && *v <= zmax + 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_hit_returns_sample_value() {
+        // Put a sample exactly on a pixel centre.
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 4.0, 4.0), 4, 4);
+        let s = vec![(Point::new(1.5, 2.5), 7.0), (Point::new(3.0, 3.0), 1.0)];
+        let grid = idw_naive(&s, spec, 2.0);
+        assert_eq!(grid.at(1, 2), 7.0);
+    }
+
+    #[test]
+    fn knn_with_full_k_equals_naive() {
+        let s = samples();
+        let naive = idw_naive(&s, spec(), 2.0);
+        let knn = idw_knn(&s, spec(), 2.0, s.len());
+        assert!(naive.linf_diff(&knn) < 1e-9);
+    }
+
+    #[test]
+    fn knn_close_to_naive_for_moderate_k() {
+        let s = samples();
+        let naive = idw_naive(&s, spec(), 3.0);
+        let knn = idw_knn(&s, spec(), 3.0, 12);
+        // Distant samples carry little weight at power 3.
+        let rel = knn.rel_diff(&naive, 1.0);
+        assert!(rel < 0.1, "rel {rel}");
+    }
+
+    #[test]
+    fn radius_variant_total_and_reasonable() {
+        let s = samples();
+        let grid = idw_radius(&s, spec(), 2.0, 20.0);
+        let zmin = s.iter().map(|(_, z)| *z).fold(f64::INFINITY, f64::min);
+        let zmax = s.iter().map(|(_, z)| *z).fold(f64::NEG_INFINITY, f64::max);
+        for v in grid.values() {
+            assert!(*v >= zmin - 1e-9 && *v <= zmax + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_samples_give_zero_grid() {
+        assert_eq!(idw_naive(&[], spec(), 2.0).sum(), 0.0);
+        assert_eq!(idw_knn(&[], spec(), 2.0, 3).sum(), 0.0);
+        assert_eq!(idw_radius(&[], spec(), 2.0, 5.0).sum(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_constant_surface() {
+        let s = vec![(Point::new(50.0, 50.0), 42.0)];
+        let grid = idw_naive(&s, spec(), 2.0);
+        for v in grid.values() {
+            assert!((*v - 42.0).abs() < 1e-9, "got {v}");
+        }
+    }
+
+    #[test]
+    fn recovers_smooth_field_approximately() {
+        let s = samples();
+        let grid = idw_knn(&s, spec(), 2.0, 8);
+        // Check the centre pixel against the generating field.
+        let q = spec().pixel_center(10, 10);
+        let truth = 10.0 + 0.1 * q.x + 0.05 * q.y;
+        let got = grid.at(10, 10);
+        assert!((got - truth).abs() < 2.0, "got {got}, truth {truth}");
+    }
+}

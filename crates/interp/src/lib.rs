@@ -1,0 +1,24 @@
+//! # lsga-interp
+//!
+//! The spatial-interpolation hotspot tools of the paper's Table 1:
+//!
+//! * [`idw`] — inverse distance weighting. The paper (§2.4) quotes the
+//!   naive cost `O(X·Y·n)` \[20\] as a motivating inefficiency; this module
+//!   provides that baseline plus the two standard accelerations (k-NN
+//!   "local Shepard" via kd-tree, fixed-radius via bucket grid).
+//! * [`variogram`] / [`kriging`] — ordinary kriging: empirical
+//!   semivariogram estimation, model fitting (spherical / exponential /
+//!   Gaussian), and local-neighbourhood kriging prediction with
+//!   per-pixel variance.
+//!
+//! Inputs are `(Point, value)` samples (sensor readings, measured
+//! concentrations); outputs are [`lsga_core::DensityGrid`] rasters like
+//! every other hotspot tool in the suite.
+
+pub mod idw;
+pub mod kriging;
+pub mod variogram;
+
+pub use idw::{idw_knn, idw_naive, idw_radius};
+pub use kriging::{leave_one_out_rmse, loo_kriging_rmse, ordinary_kriging, KrigingPrediction};
+pub use variogram::{fit_variogram, empirical_variogram, VariogramModel, VariogramModelKind};

@@ -1,0 +1,102 @@
+//! Property tests: interpolation laws on arbitrary inputs.
+
+use lsga_core::{BBox, GridSpec, Point};
+use lsga_interp::{
+    empirical_variogram, fit_variogram, idw_knn, idw_naive, ordinary_kriging, VariogramModel,
+    VariogramModelKind,
+};
+use proptest::prelude::*;
+
+fn arb_samples(min: usize, max: usize) -> impl Strategy<Value = Vec<(Point, f64)>> {
+    prop::collection::vec(
+        (0.0f64..100.0, 0.0f64..100.0, -50.0f64..50.0).prop_map(|(x, y, z)| (Point::new(x, y), z)),
+        min..max,
+    )
+    .prop_map(|mut v| {
+        // Kriging requires distinct locations: drop near-duplicates.
+        v.sort_by(|a, b| a.0.x.total_cmp(&b.0.x).then(a.0.y.total_cmp(&b.0.y)));
+        v.dedup_by(|a, b| a.0.dist(&b.0) < 1e-6);
+        v
+    })
+}
+
+fn spec() -> GridSpec {
+    GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 8, 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn idw_is_a_convex_combination(samples in arb_samples(1, 40), power in 0.5f64..4.0) {
+        let zmin = samples.iter().map(|(_, z)| *z).fold(f64::INFINITY, f64::min);
+        let zmax = samples.iter().map(|(_, z)| *z).fold(f64::NEG_INFINITY, f64::max);
+        for grid in [
+            idw_naive(&samples, spec(), power),
+            idw_knn(&samples, spec(), power, 5),
+        ] {
+            for v in grid.values() {
+                prop_assert!(*v >= zmin - 1e-9 && *v <= zmax + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn idw_translation_equivariant_in_values(
+        samples in arb_samples(2, 30),
+        power in 1.0f64..3.0,
+        shift in -20.0f64..20.0,
+    ) {
+        let shifted: Vec<(Point, f64)> = samples.iter().map(|(p, z)| (*p, z + shift)).collect();
+        let a = idw_naive(&samples, spec(), power);
+        let b = idw_naive(&shifted, spec(), power);
+        for (x, y) in a.values().iter().zip(b.values()) {
+            prop_assert!((y - x - shift).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn variogram_models_well_behaved(
+        nugget in 0.0f64..10.0,
+        psill in 0.0f64..50.0,
+        range in 0.5f64..100.0,
+        kind_i in 0usize..3,
+    ) {
+        let kinds = [
+            VariogramModelKind::Spherical,
+            VariogramModelKind::Exponential,
+            VariogramModelKind::Gaussian,
+        ];
+        let m = VariogramModel { kind: kinds[kind_i], nugget, psill, range };
+        let mut last = m.gamma(0.0);
+        prop_assert!((last - nugget).abs() < 1e-12);
+        let mut h = 0.0;
+        while h < 3.0 * range {
+            h += range / 25.0;
+            let g = m.gamma(h);
+            prop_assert!(g >= last - 1e-9, "gamma not monotone");
+            prop_assert!(g <= m.sill() + 1e-9);
+            last = g;
+        }
+    }
+
+    #[test]
+    fn kriging_exact_at_samples_and_bounded_variance(samples in arb_samples(3, 25)) {
+        prop_assume!(samples.len() >= 3);
+        let bins = empirical_variogram(&samples, 80.0, 8);
+        prop_assume!(bins.len() >= 3);
+        let model = fit_variogram(&bins, VariogramModelKind::Exponential);
+        prop_assume!(model.is_some());
+        let model = model.unwrap();
+        prop_assume!(model.sill() > 1e-9);
+        if let Ok(out) = ordinary_kriging(&samples, spec(), &model, 8) {
+            for v in out.variance.values() {
+                prop_assert!(*v >= 0.0);
+                prop_assert!(v.is_finite());
+            }
+            for v in out.prediction.values() {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Fast Gaussian KDV by binning + separable convolution — the paper's
+//! §2.4 **future work** on complexity-reduced algorithms for kernels the
+//! sharing results cannot handle (Gaussian, the scikit-learn default).
+//!
+//! The Gaussian is the one Table 2 kernel that factorizes over axes:
+//! `exp(−(dx² + dy²)/b²) = exp(−dx²/b²) · exp(−dy²/b²)`. Snapping every
+//! point to the centre of a fine bin (an `oversample ×` refinement of
+//! the output raster) turns Eq. 1 into two 1-D convolutions:
+//!
+//! 1. bin: fine-grid counts, `O(n)`;
+//! 2. horizontal pass: fine rows × output columns, `O(Y_f · X · k_x)`;
+//! 3. vertical pass: output pixels, `O(Y · X · k_y)`;
+//!
+//! where `k` is the truncated kernel width in bins — **independent of
+//! n** beyond the binning, versus `O(X·Y·n)` for naive evaluation.
+//!
+//! The only error is the snap of each point by at most half a fine-bin
+//! diagonal `δ`; since `|∂K/∂d| ≤ √(2/e)/b` for the Gaussian, the
+//! per-pixel absolute error is bounded by `n_loc · √(2/e) · δ / b`,
+//! shrinking linearly in `oversample`.
+
+use lsga_core::{DensityGrid, Gaussian, GridSpec, Kernel};
+use lsga_core::Point;
+
+/// Approximate Gaussian KDV via binned separable convolution.
+///
+/// * `oversample` — fine bins per output pixel along each axis (≥ 1).
+///   The error decreases linearly in it; with fine bins at ~1/10 of the
+///   bandwidth the peak relative error is around a percent.
+/// * `tail_eps` — where to truncate the Gaussian tail (see
+///   [`Kernel::effective_radius`]).
+pub fn binned_gaussian_kdv(
+    points: &[Point],
+    spec: GridSpec,
+    kernel: Gaussian,
+    oversample: usize,
+    tail_eps: f64,
+) -> DensityGrid {
+    assert!(oversample >= 1, "oversample must be at least 1");
+    let mut out = DensityGrid::zeros(spec);
+    if points.is_empty() {
+        return out;
+    }
+    let radius = kernel.effective_radius(tail_eps);
+    let b2_inv = 1.0 / (kernel.bandwidth() * kernel.bandwidth());
+
+    // Fine binning grid. Points outside the raster still contribute to
+    // in-raster pixels, so the fine grid covers the raster inflated by
+    // the truncation radius.
+    let fine_dx = spec.dx() / oversample as f64;
+    let fine_dy = spec.dy() / oversample as f64;
+    let pad_x = (radius / fine_dx).ceil() as usize + 1;
+    let pad_y = (radius / fine_dy).ceil() as usize + 1;
+    let fnx = spec.nx * oversample + 2 * pad_x;
+    let fny = spec.ny * oversample + 2 * pad_y;
+    let origin_x = spec.bbox.min_x - pad_x as f64 * fine_dx;
+    let origin_y = spec.bbox.min_y - pad_y as f64 * fine_dy;
+
+    let mut counts = vec![0.0f64; fnx * fny];
+    for p in points {
+        let fx = (p.x - origin_x) / fine_dx;
+        let fy = (p.y - origin_y) / fine_dy;
+        if fx < 0.0 || fy < 0.0 {
+            continue; // outside even the padded grid: cannot reach raster
+        }
+        let ix = fx as usize;
+        let iy = fy as usize;
+        if ix >= fnx || iy >= fny {
+            continue;
+        }
+        counts[iy * fnx + ix] += 1.0;
+    }
+
+    // 1-D kernel tables: output-column / output-row centre vs fine-bin
+    // centre offsets are integer multiples of the fine step plus a fixed
+    // phase, so one table per axis suffices.
+    let kx = (radius / fine_dx).ceil() as isize;
+    let ky = (radius / fine_dy).ceil() as isize;
+
+    // Horizontal pass: for every fine row, evaluate at output column
+    // centres. Output column cx centre in fine-bin units:
+    let col_fine = |cx: usize| -> f64 {
+        (spec.col_x(cx) - origin_x) / fine_dx - 0.5 // fine bin centre index space
+    };
+    let mut h = vec![0.0f64; fny * spec.nx];
+    // Precompute per-column integer base and weight table.
+    let mut col_tables: Vec<(isize, Vec<f64>)> = Vec::with_capacity(spec.nx);
+    for cx in 0..spec.nx {
+        let c = col_fine(cx);
+        let base = c.round() as isize - kx;
+        let mut w = Vec::with_capacity((2 * kx + 1) as usize);
+        for o in 0..=(2 * kx) {
+            let u = (base + o) as f64;
+            let dx = (u - c) * fine_dx;
+            w.push((-dx * dx * b2_inv).exp());
+        }
+        col_tables.push((base, w));
+    }
+    for fy in 0..fny {
+        let row = &counts[fy * fnx..(fy + 1) * fnx];
+        for (cx, (base, w)) in col_tables.iter().enumerate() {
+            let mut sum = 0.0;
+            for (o, wv) in w.iter().enumerate() {
+                let u = base + o as isize;
+                if u >= 0 && (u as usize) < fnx {
+                    let c = row[u as usize];
+                    if c != 0.0 {
+                        sum += c * wv;
+                    }
+                }
+            }
+            h[fy * spec.nx + cx] = sum;
+        }
+    }
+
+    // Vertical pass onto the output raster.
+    let row_fine = |cy: usize| -> f64 { (spec.row_y(cy) - origin_y) / fine_dy - 0.5 };
+    for cy in 0..spec.ny {
+        let c = row_fine(cy);
+        let base = c.round() as isize - ky;
+        let mut w = Vec::with_capacity((2 * ky + 1) as usize);
+        for o in 0..=(2 * ky) {
+            let v = (base + o) as f64;
+            let dy = (v - c) * fine_dy;
+            w.push((-dy * dy * b2_inv).exp());
+        }
+        for cx in 0..spec.nx {
+            let mut sum = 0.0;
+            for (o, wv) in w.iter().enumerate() {
+                let v = base + o as isize;
+                if v >= 0 && (v as usize) < fny {
+                    let hv = h[v as usize * spec.nx + cx];
+                    if hv != 0.0 {
+                        sum += hv * wv;
+                    }
+                }
+            }
+            out.set(cx, cy, sum);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_kdv;
+    use lsga_core::BBox;
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(
+                    50.0 + (f * 0.831).sin() * 40.0,
+                    50.0 + (f * 0.557).cos() * 40.0,
+                )
+            })
+            .collect()
+    }
+
+    fn spec() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 32, 32)
+    }
+
+    #[test]
+    fn close_to_naive_at_moderate_oversample() {
+        let pts = scatter(400);
+        let k = Gaussian::new(8.0);
+        let exact = naive_kdv(&pts, spec(), k);
+        // oversample 4: fine bins ~b/10 -> a few percent peak error.
+        let coarse = binned_gaussian_kdv(&pts, spec(), k, 4, 1e-9);
+        assert!(coarse.rel_diff(&exact, exact.max() * 1e-2) < 0.08);
+        // oversample 16: ~4x tighter.
+        let fine = binned_gaussian_kdv(&pts, spec(), k, 16, 1e-9);
+        assert!(
+            fine.rel_diff(&exact, exact.max() * 1e-2) < 0.02,
+            "rel err {}",
+            fine.rel_diff(&exact, exact.max() * 1e-2)
+        );
+    }
+
+    #[test]
+    fn error_shrinks_with_oversample() {
+        let pts = scatter(300);
+        let k = Gaussian::new(6.0);
+        let exact = naive_kdv(&pts, spec(), k);
+        let err = |os: usize| {
+            binned_gaussian_kdv(&pts, spec(), k, os, 1e-9).linf_diff(&exact)
+        };
+        let e1 = err(1);
+        let e4 = err(4);
+        let e8 = err(8);
+        assert!(e4 < e1, "{e1} -> {e4}");
+        assert!(e8 < e4 * 1.01, "{e4} -> {e8}");
+        // Linear-in-δ bound: quadrupling oversample cuts error ~4x.
+        assert!(e4 < e1 / 2.0);
+    }
+
+    #[test]
+    fn mass_is_preserved() {
+        // Total kernel mass Σ_pixels F is nearly invariant under the
+        // snap (each point contributes ~the same truncated mass).
+        let pts = scatter(200);
+        let k = Gaussian::new(10.0);
+        let exact = naive_kdv(&pts, spec(), k);
+        let approx = binned_gaussian_kdv(&pts, spec(), k, 4, 1e-9);
+        let rel = (approx.sum() - exact.sum()).abs() / exact.sum();
+        assert!(rel < 0.01, "mass drift {rel}");
+    }
+
+    #[test]
+    fn out_of_window_points_contribute() {
+        // A point just outside the raster must still add density inside.
+        let k = Gaussian::new(10.0);
+        let pts = [Point::new(-5.0, 50.0)];
+        let approx = binned_gaussian_kdv(&pts, spec(), k, 4, 1e-9);
+        let exact = naive_kdv(&pts, spec(), k);
+        assert!(exact.max() > 0.3);
+        assert!(approx.linf_diff(&exact) < 0.05 * exact.max());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let k = Gaussian::new(5.0);
+        assert_eq!(binned_gaussian_kdv(&[], spec(), k, 4, 1e-9).sum(), 0.0);
+    }
+}

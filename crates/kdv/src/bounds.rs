@@ -1,0 +1,227 @@
+//! Function-approximation KDV (paper §2.2, Eq. 6): QUAD/KARL-style
+//! lower/upper-bound refinement over a kd-tree.
+//!
+//! Every radially non-increasing kernel satisfies, for all points `p`
+//! inside a tree node `N`,
+//! `K(maxdist(q, N)) ≤ K(q, p) ≤ K(mindist(q, N))`,
+//! so a frontier of nodes yields `LB(q) ≤ F_P(q) ≤ UB(q)`. Refining the
+//! frontier node with the largest bound gap tightens the sandwich until
+//! `UB ≤ (1 + ε)·LB`, at which point `(LB + UB)/2` satisfies the paper's
+//! Eq. 6 guarantee `(1 − ε)·F ≤ R ≤ (1 + ε)·F`.
+
+use lsga_core::{DensityGrid, GridSpec, Kernel, Point};
+use lsga_index::{KdNodeId, KdTree};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Reusable bound-refinement KDV engine (build the tree once, query many
+/// pixel grids / ε values).
+#[derive(Debug)]
+pub struct BoundsKdv {
+    tree: KdTree,
+    n: usize,
+}
+
+struct FrontierEntry {
+    gap: f64,
+    lb: f64,
+    ub: f64,
+    node: KdNodeId,
+}
+
+impl PartialEq for FrontierEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.gap == other.gap
+    }
+}
+impl Eq for FrontierEntry {}
+impl Ord for FrontierEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gap.total_cmp(&other.gap)
+    }
+}
+impl PartialOrd for FrontierEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl BoundsKdv {
+    /// Index the dataset (kd-tree with the default leaf size).
+    pub fn new(points: &[Point]) -> Self {
+        BoundsKdv {
+            tree: KdTree::build(points),
+            n: points.len(),
+        }
+    }
+
+    /// Approximate `F_P(q)` with relative guarantee ε:
+    /// `(1 − ε)·F_P(q) ≤ result ≤ (1 + ε)·F_P(q)`.
+    ///
+    /// When the sandwich cannot certify the ratio (e.g. `F_P(q) = 0`
+    /// everywhere in range), refinement continues to leaves and the result
+    /// is exact.
+    pub fn density_at<K: Kernel>(&self, q: &Point, kernel: K, eps: f64) -> f64 {
+        assert!(eps >= 0.0, "epsilon must be non-negative");
+        let Some(root) = self.tree.root() else { return 0.0 };
+        let mut exact = 0.0f64; // contributions evaluated point-by-point
+        let mut lb_sum = 0.0f64;
+        let mut ub_sum = 0.0f64;
+        let mut frontier: BinaryHeap<FrontierEntry> = BinaryHeap::new();
+
+        let push = |node: KdNodeId,
+                    frontier: &mut BinaryHeap<FrontierEntry>,
+                    lb_sum: &mut f64,
+                    ub_sum: &mut f64| {
+            let bbox = self.tree.bbox(node);
+            let cnt = self.tree.count(node) as f64;
+            let ub = cnt * kernel.eval_sq(bbox.min_dist_sq(q));
+            let lb = cnt * kernel.eval_sq(bbox.max_dist_sq(q));
+            if ub == 0.0 {
+                return; // entire node outside the kernel support
+            }
+            *lb_sum += lb;
+            *ub_sum += ub;
+            frontier.push(FrontierEntry {
+                gap: ub - lb,
+                lb,
+                ub,
+                node,
+            });
+        };
+
+        push(root, &mut frontier, &mut lb_sum, &mut ub_sum);
+        loop {
+            let lb_total = exact + lb_sum;
+            let ub_total = exact + ub_sum;
+            if ub_total <= (1.0 + eps) * lb_total {
+                return 0.5 * (lb_total + ub_total);
+            }
+            let Some(top) = frontier.pop() else {
+                // Frontier exhausted: everything evaluated exactly.
+                return exact;
+            };
+            lb_sum -= top.lb;
+            ub_sum -= top.ub;
+            match self.tree.children(top.node) {
+                Some((l, r)) => {
+                    push(l, &mut frontier, &mut lb_sum, &mut ub_sum);
+                    push(r, &mut frontier, &mut lb_sum, &mut ub_sum);
+                }
+                None => {
+                    for p in self.tree.node_points(top.node) {
+                        exact += kernel.eval_sq(q.dist_sq(p));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Approximate KDV over a whole grid: every pixel satisfies Eq. 6
+    /// with the given ε.
+    pub fn compute<K: Kernel>(&self, spec: GridSpec, kernel: K, eps: f64) -> DensityGrid {
+        let mut grid = DensityGrid::zeros(spec);
+        for iy in 0..spec.ny {
+            let qy = spec.row_y(iy);
+            for ix in 0..spec.nx {
+                let q = Point::new(spec.col_x(ix), qy);
+                grid.set(ix, iy, self.density_at(&q, kernel, eps));
+            }
+        }
+        grid
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_kdv;
+    use lsga_core::{BBox, Epanechnikov, Gaussian, KernelKind};
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(
+                    50.0 + (f * 0.831).sin() * 30.0,
+                    50.0 + (f * 0.557).cos() * 30.0,
+                )
+            })
+            .collect()
+    }
+
+    fn spec() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 24, 24)
+    }
+
+    #[test]
+    fn zero_eps_is_exact() {
+        let pts = scatter(150);
+        let k = Gaussian::new(10.0);
+        let engine = BoundsKdv::new(&pts);
+        let approx = engine.compute(spec(), k, 0.0);
+        let exact = naive_kdv(&pts, spec(), k);
+        assert!(approx.linf_diff(&exact) < 1e-9);
+    }
+
+    #[test]
+    fn guarantee_holds_for_all_kernels() {
+        let pts = scatter(200);
+        let engine = BoundsKdv::new(&pts);
+        for kind in KernelKind::ALL {
+            let k = kind.with_bandwidth(15.0);
+            for eps in [0.01, 0.1, 0.5] {
+                let approx = engine.compute(spec(), k, eps);
+                let exact = naive_kdv(&pts, spec(), k);
+                for (a, e) in approx.values().iter().zip(exact.values()) {
+                    assert!(
+                        *a >= (1.0 - eps) * e - 1e-9 && *a <= (1.0 + eps) * e + 1e-9,
+                        "{kind:?} eps={eps}: approx {a} vs exact {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_density_regions_exact() {
+        // Points in one corner, query far outside any support.
+        let pts: Vec<Point> = (0..50).map(|i| Point::new(i as f64 * 0.1, 0.0)).collect();
+        let engine = BoundsKdv::new(&pts);
+        let k = Epanechnikov::new(2.0);
+        let v = engine.density_at(&Point::new(90.0, 90.0), k, 0.1);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let engine = BoundsKdv::new(&[]);
+        assert!(engine.is_empty());
+        assert_eq!(
+            engine.density_at(&Point::new(0.0, 0.0), Gaussian::new(1.0), 0.1),
+            0.0
+        );
+    }
+
+    #[test]
+    fn looser_eps_never_violates_guarantee() {
+        let pts = scatter(100);
+        let engine = BoundsKdv::new(&pts);
+        let k = Gaussian::new(20.0);
+        let exact = naive_kdv(&pts, spec(), k);
+        let loose = engine.compute(spec(), k, 1.0);
+        for (a, e) in loose.values().iter().zip(exact.values()) {
+            assert!(*a <= 2.0 * e + 1e-9 && *a >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Equal-split discontinuous NKDV (Okabe & Sugihara \[73\]; the `esd`
+//! estimator of SANET/spNetwork).
+//!
+//! The simple network KDE of [`crate::nkdv`] evaluates `K(dist_G(q, p))`
+//! along shortest paths, which **inflates total mass at junctions**: a
+//! vertex of degree `d` broadcasts the full kernel value down every
+//! incident road, so an event near a dense intersection counts more
+//! than one on a straight road. Okabe & Sugihara's equal-split kernel
+//! divides the mass by `d − 1` at every junction the path crosses,
+//! making the kernel's *network integral* equal for every event
+//! location — the property that makes network densities comparable
+//! across the map.
+//!
+//! The estimator follows **all** acyclic paths outward from the event
+//! (not just shortest ones), accumulating
+//! `K(path length) / Π (d_v − 1)` per traversed junction `v`, truncated
+//! at the kernel support. Implemented as a depth-limited DFS over
+//! directed edge traversals, the standard algorithm; cost grows with
+//! `support / min edge length`, so it is practical exactly where the
+//! method is used (bandwidths of a few blocks).
+
+use lsga_core::Kernel;
+use lsga_network::{EdgePosition, Lixels, RoadNetwork, VertexId};
+
+use crate::nkdv::NetworkDensity;
+
+/// Equal-split discontinuous NKDV over lixels. Output layout matches
+/// [`crate::nkdv::nkdv_forward`] (one value per lixel).
+pub fn nkdv_equal_split<K: Kernel>(
+    net: &RoadNetwork,
+    lixels: &Lixels,
+    events: &[EdgePosition],
+    kernel: K,
+) -> NetworkDensity {
+    let radius = kernel.effective_radius(crate::DEFAULT_TAIL_EPS);
+    let mut values = vec![0.0f64; lixels.len()];
+    for ev in events {
+        let e = net.edge(ev.edge);
+        // Mass on the event's own edge: direct, no split.
+        deposit_along_edge(
+            net,
+            lixels,
+            ev.edge,
+            EdgeWalk::Whole {
+                from_u_dist: f64::INFINITY,
+                from_v_dist: f64::INFINITY,
+                event_offset: Some(ev.offset),
+            },
+            1.0,
+            radius,
+            kernel,
+            &mut values,
+        );
+        // Outward DFS from both endpoints.
+        let mut visited_edges = vec![ev.edge];
+        dfs(
+            net,
+            lixels,
+            e.u,
+            ev.to_u(),
+            1.0,
+            radius,
+            kernel,
+            &mut values,
+            &mut visited_edges,
+        );
+        visited_edges.truncate(1);
+        dfs(
+            net,
+            lixels,
+            e.v,
+            ev.to_v(net),
+            1.0,
+            radius,
+            kernel,
+            &mut values,
+            &mut visited_edges,
+        );
+    }
+    NetworkDensity::from_values(values)
+}
+
+/// How a kernel front enters an edge when depositing.
+enum EdgeWalk {
+    /// Entering from one endpoint with the given accumulated distance.
+    FromU(f64),
+    FromV(f64),
+    /// The event's own edge: distance measured from the event offset.
+    Whole {
+        from_u_dist: f64,
+        from_v_dist: f64,
+        event_offset: Option<f64>,
+    },
+}
+
+#[allow(clippy::too_many_arguments)]
+fn deposit_along_edge<K: Kernel>(
+    net: &RoadNetwork,
+    lixels: &Lixels,
+    edge: lsga_network::EdgeId,
+    walk: EdgeWalk,
+    weight: f64,
+    radius: f64,
+    kernel: K,
+    values: &mut [f64],
+) {
+    let rec = net.edge(edge);
+    let (first, count) = lixels.edge_range(edge);
+    for k in 0..count {
+        let li = (first + k) as usize;
+        let lx = lixels.all()[li];
+        let o = lx.center_offset();
+        let d = match &walk {
+            EdgeWalk::FromU(d0) => d0 + o,
+            EdgeWalk::FromV(d0) => d0 + (rec.length - o),
+            EdgeWalk::Whole {
+                from_u_dist,
+                from_v_dist,
+                event_offset,
+            } => {
+                let mut d = (from_u_dist + o).min(from_v_dist + (rec.length - o));
+                if let Some(eo) = event_offset {
+                    d = d.min((o - eo).abs());
+                }
+                d
+            }
+        };
+        if d <= radius {
+            values[li] += weight * kernel.eval(d);
+        }
+    }
+}
+
+/// Depth-limited DFS over acyclic paths: arrive at `vertex` with
+/// accumulated `dist` and `weight`, split among the other incident
+/// edges, deposit along each, recurse through the far endpoints.
+#[allow(clippy::too_many_arguments)]
+fn dfs<K: Kernel>(
+    net: &RoadNetwork,
+    lixels: &Lixels,
+    vertex: VertexId,
+    dist: f64,
+    weight: f64,
+    radius: f64,
+    kernel: K,
+    values: &mut [f64],
+    path_edges: &mut Vec<lsga_network::EdgeId>,
+) {
+    if dist > radius || weight <= 0.0 {
+        return;
+    }
+    // Outgoing edges: every incident edge not already on this path.
+    let outgoing: Vec<_> = net
+        .neighbors(vertex)
+        .filter(|(_, e)| !path_edges.contains(e))
+        .collect();
+    if outgoing.is_empty() {
+        return;
+    }
+    // Okabe-Sugihara split: degree counts ALL incident edges; the mass
+    // entering the vertex divides over (degree − 1) continuations.
+    let degree = net.degree(vertex);
+    let split = if degree >= 2 {
+        weight / (degree as f64 - 1.0)
+    } else {
+        // Dead end: the kernel front reflects nowhere; mass stops.
+        return;
+    };
+    for (far, edge) in outgoing {
+        let rec = net.edge(edge);
+        let entering_from_u = rec.u == vertex;
+        deposit_along_edge(
+            net,
+            lixels,
+            edge,
+            if entering_from_u {
+                EdgeWalk::FromU(dist)
+            } else {
+                EdgeWalk::FromV(dist)
+            },
+            split,
+            radius,
+            kernel,
+            values,
+        );
+        let next_dist = dist + rec.length;
+        if next_dist <= radius {
+            path_edges.push(edge);
+            dfs(
+                net, lixels, far, next_dist, split, radius, kernel, values, path_edges,
+            );
+            path_edges.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::{Epanechnikov, Point, Uniform};
+    use lsga_network::{EdgeId, NetworkBuilder};
+
+    /// A straight road of three unit segments (degree-2 interior
+    /// vertices: no real junctions).
+    fn straight_road() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let vs: Vec<VertexId> = (0..4)
+            .map(|i| b.add_vertex(Point::new(i as f64, 0.0)))
+            .collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], None).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// A T junction: three edges of length `arm` meeting at one
+    /// degree-3 vertex.
+    fn t_junction_arm(arm: f64) -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let c = b.add_vertex(Point::new(0.0, 0.0));
+        let l = b.add_vertex(Point::new(-arm, 0.0));
+        let r = b.add_vertex(Point::new(arm, 0.0));
+        let u = b.add_vertex(Point::new(0.0, arm));
+        b.add_edge(c, l, None).unwrap(); // edge 0
+        b.add_edge(c, r, None).unwrap(); // edge 1
+        b.add_edge(c, u, None).unwrap(); // edge 2
+        b.build().unwrap()
+    }
+
+    fn t_junction() -> RoadNetwork {
+        t_junction_arm(1.0)
+    }
+
+    #[test]
+    fn degree_two_vertices_pass_mass_through() {
+        // On a straight road, equal-split equals the simple estimator
+        // (every junction has degree 2, so the split factor is 1).
+        let net = straight_road();
+        let lixels = Lixels::build(&net, 0.25);
+        let events = [EdgePosition {
+            edge: EdgeId(1),
+            offset: 0.5,
+        }];
+        let k = Epanechnikov::new(2.0);
+        let esd = nkdv_equal_split(&net, &lixels, &events, k);
+        let simple = crate::nkdv::nkdv_forward(&net, &lixels, &events, k);
+        assert!(
+            esd.linf_diff(&simple) < 1e-12,
+            "diff {}",
+            esd.linf_diff(&simple)
+        );
+    }
+
+    #[test]
+    fn t_junction_splits_mass_in_half() {
+        // Event on edge 0 at distance 0.5 from the junction; uniform
+        // kernel with support 1.5 reaches 1.0 past the junction. On the
+        // two far edges the simple estimator deposits K(d) while the
+        // equal-split deposits K(d)/2 (degree 3 -> split over 2).
+        let net = t_junction();
+        let lixels = Lixels::build(&net, 0.5);
+        let events = [EdgePosition {
+            edge: EdgeId(0),
+            offset: 0.5, // edge 0 runs c(offset 0) -> l(offset 1)
+        }];
+        let k = Uniform::new(1.5);
+        let esd = nkdv_equal_split(&net, &lixels, &events, k);
+        let simple = crate::nkdv::nkdv_forward(&net, &lixels, &events, k);
+        // Lixel on edge 1 (toward r) at centre offset 0.25: network
+        // distance 0.75 ≤ 1.5.
+        let (first1, _) = lixels.edge_range(EdgeId(1));
+        let li = first1 as usize;
+        assert!(simple.values()[li] > 0.0);
+        assert!(
+            (esd.values()[li] - simple.values()[li] / 2.0).abs() < 1e-12,
+            "esd {} vs simple {}",
+            esd.values()[li],
+            simple.values()[li]
+        );
+        // On the event's own edge the two agree (no junction crossed).
+        let (first0, _) = lixels.edge_range(EdgeId(0));
+        assert!((esd.values()[first0 as usize + 1] - simple.values()[first0 as usize + 1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_mass_is_junction_invariant() {
+        // The defining property: the network integral of the equal-split
+        // kernel is the same wherever the event sits (as long as the
+        // support does not run off a dead end). Compare an event mid
+        // straight road vs one next to the junction, with arms long
+        // enough that no front reaches a dead end.
+        let net = t_junction_arm(3.0);
+        let lixels = Lixels::build(&net, 0.01);
+        let k = Uniform::new(0.8);
+        let lengths: Vec<f64> = lixels.all().iter().map(|l| l.length()).collect();
+        let mass = |events: &[EdgePosition]| -> f64 {
+            let d = nkdv_equal_split(&net, &lixels, events, k);
+            d.values()
+                .iter()
+                .zip(&lengths)
+                .map(|(v, l)| v * l)
+                .sum()
+        };
+        // Both events are ≥ 0.8 from every dead end.
+        let near_junction = mass(&[EdgePosition {
+            edge: EdgeId(0),
+            offset: 0.1,
+        }]);
+        let mid_road = mass(&[EdgePosition {
+            edge: EdgeId(1),
+            offset: 1.5,
+        }]);
+        assert!(
+            (near_junction - mid_road).abs() / mid_road < 0.02,
+            "mass {near_junction} vs {mid_road}"
+        );
+        // The simple estimator inflates mass near the junction instead.
+        let simple_mass = |events: &[EdgePosition]| -> f64 {
+            let d = crate::nkdv::nkdv_forward(&net, &lixels, events, k);
+            d.values()
+                .iter()
+                .zip(&lengths)
+                .map(|(v, l)| v * l)
+                .sum()
+        };
+        let sj = simple_mass(&[EdgePosition {
+            edge: EdgeId(0),
+            offset: 0.1,
+        }]);
+        let sm = simple_mass(&[EdgePosition {
+            edge: EdgeId(1),
+            offset: 1.5,
+        }]);
+        assert!(sj > sm * 1.2, "simple should inflate: {sj} vs {sm}");
+    }
+
+    #[test]
+    fn dead_ends_absorb_mass() {
+        // Degree-1 endpoint: the front stops (no reflection), so lixels
+        // behind a dead end get nothing and no panic occurs.
+        let net = straight_road();
+        let lixels = Lixels::build(&net, 0.25);
+        let events = [EdgePosition {
+            edge: EdgeId(0),
+            offset: 0.1,
+        }];
+        let k = Epanechnikov::new(10.0); // support beyond the whole road
+        let d = nkdv_equal_split(&net, &lixels, &events, k);
+        assert!(d.max() > 0.0);
+    }
+
+    #[test]
+    fn cycles_do_not_loop_forever() {
+        // A triangle with a support longer than the cycle: the DFS must
+        // terminate (acyclic paths only) and weights stay finite.
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_vertex(Point::new(0.0, 0.0));
+        let v1 = b.add_vertex(Point::new(1.0, 0.0));
+        let v2 = b.add_vertex(Point::new(0.5, 1.0));
+        b.add_edge(v0, v1, None).unwrap();
+        b.add_edge(v1, v2, None).unwrap();
+        b.add_edge(v2, v0, None).unwrap();
+        let net = b.build().unwrap();
+        let lixels = Lixels::build(&net, 0.2);
+        let events = [EdgePosition {
+            edge: EdgeId(0),
+            offset: 0.5,
+        }];
+        let d = nkdv_equal_split(&net, &lixels, &events, Epanechnikov::new(5.0));
+        assert!(d.values().iter().all(|v| v.is_finite()));
+        assert!(d.max() > 0.0);
+    }
+}

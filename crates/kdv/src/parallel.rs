@@ -1,0 +1,132 @@
+//! Thread-parallel KDV (parallel/distributed family, paper §2.2).
+//!
+//! The paper's fourth solution family throws parallel hardware (threads,
+//! GPU, FPGA, clusters) at the pixel loop, which is embarrassingly
+//! parallel across pixels. This module is the single-machine thread
+//! representative: pixel rows are dealt round-robin to scoped worker
+//! threads, each running the grid-pruned exact evaluation against a
+//! shared immutable index. Output is bit-identical to
+//! [`crate::naive::grid_pruned_kdv`]. The *simulated-cluster* distributed
+//! version (with partitioning and halo accounting) lives in `lsga-dist`.
+
+use lsga_core::{DensityGrid, GridSpec, Kernel, Point};
+use lsga_index::GridIndex;
+
+/// Row-parallel exact KDV over `n_threads` workers (clamped to ≥ 1).
+/// `tail_eps` truncates infinite-support kernels exactly as in
+/// [`crate::naive::grid_pruned_kdv`].
+pub fn parallel_kdv<K: Kernel>(
+    points: &[Point],
+    spec: GridSpec,
+    kernel: K,
+    tail_eps: f64,
+    n_threads: usize,
+) -> DensityGrid {
+    let n_threads = n_threads.max(1);
+    let mut grid = DensityGrid::zeros(spec);
+    if points.is_empty() {
+        return grid;
+    }
+    let radius = kernel.effective_radius(tail_eps);
+    let index = GridIndex::build(points, radius.max(1e-12));
+    let r2 = radius * radius;
+
+    // Deal rows round-robin: contiguous chunks would unbalance clustered
+    // data (hot rows cost more), round-robin spreads hotspots evenly.
+    let nx = spec.nx;
+    let mut row_bufs: Vec<(usize, Vec<f64>)> = Vec::with_capacity(spec.ny);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_threads);
+        for t in 0..n_threads {
+            let index = &index;
+            handles.push(scope.spawn(move |_| {
+                let mut mine: Vec<(usize, Vec<f64>)> = Vec::new();
+                let mut iy = t;
+                while iy < spec.ny {
+                    let qy = spec.row_y(iy);
+                    let mut row = vec![0.0f64; nx];
+                    for (ix, cell) in row.iter_mut().enumerate() {
+                        let q = Point::new(spec.col_x(ix), qy);
+                        let mut sum = 0.0;
+                        index.for_each_candidate(&q, radius, |_, p| {
+                            let d2 = q.dist_sq(p);
+                            if d2 <= r2 {
+                                sum += kernel.eval_sq(d2);
+                            }
+                        });
+                        *cell = sum;
+                    }
+                    mine.push((iy, row));
+                    iy += n_threads;
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            row_bufs.extend(h.join().expect("kdv worker panicked"));
+        }
+    })
+    .expect("kdv thread scope failed");
+
+    for (iy, row) in row_bufs {
+        grid.row_mut(iy).copy_from_slice(&row);
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::grid_pruned_kdv;
+    use lsga_core::{BBox, Epanechnikov, Gaussian};
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(
+                    50.0 + (f * 0.831).sin() * 40.0,
+                    50.0 + (f * 0.557).cos() * 40.0,
+                )
+            })
+            .collect()
+    }
+
+    fn spec() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 30, 31)
+    }
+
+    #[test]
+    fn identical_to_sequential_for_any_thread_count() {
+        let pts = scatter(400);
+        let k = Epanechnikov::new(12.0);
+        let seq = grid_pruned_kdv(&pts, spec(), k, 1e-9);
+        for threads in [1, 2, 3, 8, 64] {
+            let par = parallel_kdv(&pts, spec(), k, 1e-9, threads);
+            assert_eq!(par.values(), seq.values(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn gaussian_truncation_consistent() {
+        let pts = scatter(200);
+        let k = Gaussian::new(9.0);
+        let seq = grid_pruned_kdv(&pts, spec(), k, 1e-6);
+        let par = parallel_kdv(&pts, spec(), k, 1e-6, 4);
+        assert_eq!(par.values(), seq.values());
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        let pts = scatter(50);
+        let k = Epanechnikov::new(10.0);
+        let g = parallel_kdv(&pts, spec(), k, 1e-9, 0);
+        assert!(g.max() > 0.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let k = Epanechnikov::new(10.0);
+        assert_eq!(parallel_kdv(&[], spec(), k, 1e-9, 4).sum(), 0.0);
+    }
+}

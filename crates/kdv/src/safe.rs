@@ -1,0 +1,179 @@
+//! SAFE-style multi-bandwidth sharing (computational-sharing family,
+//! paper §2.2; Chan et al., PVLDB 2021 \[26\]).
+//!
+//! Bandwidth tuning — the workflow the paper describes in §2.1, where the
+//! K-function's clustered range feeds candidate bandwidths into KDV —
+//! needs the *same* dataset rasterized under many bandwidths. For the
+//! polynomial kernels, the kernel sum under bandwidth `b_j` depends only
+//! on the moments `(count, Σd², Σd⁴)` of the points within distance
+//! `b_j`, so a single pass over the candidates of the **largest**
+//! bandwidth can serve every bandwidth at once: each candidate deposits
+//! its `(1, d², d⁴)` into the difference-array slot of the first
+//! bandwidth that covers it, and a suffix scan turns the slots into
+//! per-bandwidth moments. Cost per pixel: `O(candidates(b_max) + B)`
+//! instead of `O(Σ_j candidates(b_j))`.
+
+use lsga_core::{DensityGrid, GridSpec, KernelKind, Point, PolyKernel};
+use lsga_index::GridIndex;
+
+/// Shared multi-bandwidth KDV. `bandwidths` must be positive; they are
+/// processed in ascending order and results are returned in the *input*
+/// order. Output is exact (identical to per-bandwidth naive evaluation).
+/// Panics if `kind` is not polynomial or `bandwidths` is empty.
+pub fn safe_multi_bandwidth(
+    points: &[Point],
+    spec: GridSpec,
+    kind: KernelKind,
+    bandwidths: &[f64],
+) -> Vec<DensityGrid> {
+    assert!(!bandwidths.is_empty(), "need at least one bandwidth");
+    let kernels: Vec<PolyKernel> = bandwidths
+        .iter()
+        .map(|b| PolyKernel::new(kind, *b).expect("polynomial kernel required"))
+        .collect();
+
+    // Ascending bandwidth order, remembering input positions.
+    let mut order: Vec<usize> = (0..bandwidths.len()).collect();
+    order.sort_by(|a, b| bandwidths[*a].total_cmp(&bandwidths[*b]));
+    let sorted_b2: Vec<f64> = order.iter().map(|&i| bandwidths[i] * bandwidths[i]).collect();
+    let b_max = bandwidths[*order.last().unwrap()];
+
+    let mut grids: Vec<DensityGrid> = (0..bandwidths.len())
+        .map(|_| DensityGrid::zeros(spec))
+        .collect();
+    if points.is_empty() {
+        return grids;
+    }
+    let index = GridIndex::build(points, b_max);
+    let nb = bandwidths.len();
+    // Difference slots: diff[j] accumulates moments of points whose first
+    // covering bandwidth (ascending) is j.
+    let mut diff = vec![[0.0f64; 3]; nb];
+
+    for iy in 0..spec.ny {
+        let qy = spec.row_y(iy);
+        for ix in 0..spec.nx {
+            let q = Point::new(spec.col_x(ix), qy);
+            diff.iter_mut().for_each(|d| *d = [0.0; 3]);
+            index.for_each_candidate(&q, b_max, |_, p| {
+                let d2 = q.dist_sq(p);
+                if d2 <= sorted_b2[nb - 1] {
+                    // First (smallest) bandwidth whose b² covers d².
+                    let j = sorted_b2.partition_point(|b2| *b2 < d2);
+                    let slot = &mut diff[j];
+                    slot[0] += 1.0;
+                    slot[1] += d2;
+                    slot[2] += d2 * d2;
+                }
+            });
+            // Suffix scan: bandwidth j covers everything deposited at ≤ j.
+            let mut acc = [0.0f64; 3];
+            for (j, slot) in diff.iter().enumerate() {
+                acc[0] += slot[0];
+                acc[1] += slot[1];
+                acc[2] += slot[2];
+                let input_pos = order[j];
+                let [c0, c1, c2] = kernels[input_pos].coeffs();
+                grids[input_pos].set(ix, iy, c0 * acc[0] + c1 * acc[1] + c2 * acc[2]);
+            }
+        }
+    }
+    grids
+}
+
+/// The unshared baseline: one independent grid-pruned pass per bandwidth.
+/// Same output as [`safe_multi_bandwidth`]; exists so the E14 ablation
+/// can measure exactly what the sharing buys.
+pub fn independent_multi_bandwidth(
+    points: &[Point],
+    spec: GridSpec,
+    kind: KernelKind,
+    bandwidths: &[f64],
+) -> Vec<DensityGrid> {
+    bandwidths
+        .iter()
+        .map(|b| {
+            let k = PolyKernel::new(kind, *b).expect("polynomial kernel required");
+            crate::naive::grid_pruned_kdv(points, spec, k, crate::DEFAULT_TAIL_EPS)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::BBox;
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(
+                    50.0 + (f * 0.831).sin() * 40.0,
+                    50.0 + (f * 0.557).cos() * 40.0,
+                )
+            })
+            .collect()
+    }
+
+    fn spec() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 24, 24)
+    }
+
+    #[test]
+    fn shared_equals_independent_all_kernels() {
+        let pts = scatter(300);
+        let bws = [4.0, 9.0, 17.0, 30.0];
+        for kind in [
+            KernelKind::Uniform,
+            KernelKind::Epanechnikov,
+            KernelKind::Quartic,
+        ] {
+            let shared = safe_multi_bandwidth(&pts, spec(), kind, &bws);
+            let indep = independent_multi_bandwidth(&pts, spec(), kind, &bws);
+            for (j, (s, i)) in shared.iter().zip(&indep).enumerate() {
+                let rel = s.rel_diff(i, i.max().max(1e-12) * 1e-3);
+                assert!(rel < 1e-9, "{kind:?} bandwidth #{j}: rel {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_bandwidths_keep_input_order() {
+        let pts = scatter(150);
+        let shuffled = [20.0, 5.0, 12.0];
+        let sorted = [5.0, 12.0, 20.0];
+        let a = safe_multi_bandwidth(&pts, spec(), KernelKind::Quartic, &shuffled);
+        let b = safe_multi_bandwidth(&pts, spec(), KernelKind::Quartic, &sorted);
+        assert!(a[0].linf_diff(&b[2]) < 1e-12);
+        assert!(a[1].linf_diff(&b[0]) < 1e-12);
+        assert!(a[2].linf_diff(&b[1]) < 1e-12);
+    }
+
+    #[test]
+    fn single_bandwidth_degenerates_gracefully() {
+        let pts = scatter(100);
+        let shared = safe_multi_bandwidth(&pts, spec(), KernelKind::Epanechnikov, &[10.0]);
+        let indep = independent_multi_bandwidth(&pts, spec(), KernelKind::Epanechnikov, &[10.0]);
+        assert!(shared[0].linf_diff(&indep[0]) < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_bandwidths_allowed() {
+        let pts = scatter(80);
+        let out = safe_multi_bandwidth(&pts, spec(), KernelKind::Uniform, &[7.0, 7.0]);
+        assert!(out[0].linf_diff(&out[1]) < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_gives_zero_grids() {
+        let out = safe_multi_bandwidth(&[], spec(), KernelKind::Quartic, &[3.0, 6.0]);
+        assert!(out.iter().all(|g| g.sum() == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "polynomial")]
+    fn non_polynomial_kernel_rejected() {
+        let _ = safe_multi_bandwidth(&scatter(10), spec(), KernelKind::Gaussian, &[5.0]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Data-sampling KDV (paper §2.2, Eq. 7): estimate the density from a
+//! uniform random subset with a probabilistic guarantee.
+//!
+//! With a uniform sample `S` of size `m`, the estimator
+//! `F_S(q) = (n/m) · Σ_{p ∈ S} K(q, p)` is unbiased, and Hoeffding's
+//! inequality on the `m` i.i.d. terms (each in `[0, K(0)]`) gives
+//!
+//! `P( |F_S(q) − F_P(q)| > ε·n·K(0) ) ≤ 2·exp(−2·m·ε²)`,
+//!
+//! so `m = ⌈ln(2/δ) / (2ε²)⌉` samples suffice for a per-query additive
+//! error of `ε·n·K(0)` with probability `1 − δ` — *independent of n*,
+//! which is the whole point of the sampling family (\[77–79, 110, 111\]).
+
+use lsga_core::{DensityGrid, GridSpec, Kernel, Point};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Sample size for the Hoeffding guarantee: additive error `ε·n·K(0)` per
+/// query with probability `1 − δ`. Panics unless `0 < eps` and
+/// `0 < delta < 1`.
+pub fn sample_size_for_guarantee(eps: f64, delta: f64) -> usize {
+    assert!(eps > 0.0, "eps must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    ((2.0f64 / delta).ln() / (2.0 * eps * eps)).ceil() as usize
+}
+
+/// Approximate KDV from a uniform sample of `sample_size` points
+/// (clamped to `n`), rescaled by `n/m` (Eq. 7 with uniform weights
+/// `w_i = n/m`). Deterministic in `seed`.
+///
+/// The inner evaluation uses the grid-pruned exact method on the sample,
+/// so the only error is the sampling error.
+pub fn sampling_kdv<K: Kernel>(
+    points: &[Point],
+    spec: GridSpec,
+    kernel: K,
+    sample_size: usize,
+    seed: u64,
+) -> DensityGrid {
+    let n = points.len();
+    if n == 0 || sample_size == 0 {
+        return DensityGrid::zeros(spec);
+    }
+    let m = sample_size.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sample: Vec<Point> = points
+        .choose_multiple(&mut rng, m)
+        .copied()
+        .collect();
+    let mut grid = crate::naive::grid_pruned_kdv(&sample, spec, kernel, crate::DEFAULT_TAIL_EPS);
+    grid.scale(n as f64 / m as f64);
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_kdv;
+    use lsga_core::{BBox, Epanechnikov, Gaussian};
+
+    fn clustered(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                let cx = if i % 3 == 0 { 30.0 } else { 70.0 };
+                Point::new(cx + (f * 0.831).sin() * 8.0, 50.0 + (f * 0.557).cos() * 8.0)
+            })
+            .collect()
+    }
+
+    fn spec() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 20, 20)
+    }
+
+    #[test]
+    fn sample_size_formula() {
+        // eps = 0.05, delta = 0.01 -> ln(200)/0.005 = 1059.66...
+        assert_eq!(sample_size_for_guarantee(0.05, 0.01), 1060);
+        // Tighter eps needs quadratically more samples.
+        let loose = sample_size_for_guarantee(0.1, 0.1);
+        let tight = sample_size_for_guarantee(0.01, 0.1);
+        assert!(tight >= 99 * loose && tight <= 101 * loose);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn bad_eps_rejected() {
+        let _ = sample_size_for_guarantee(0.0, 0.1);
+    }
+
+    #[test]
+    fn full_sample_is_exact() {
+        let pts = clustered(200);
+        let k = Epanechnikov::new(12.0);
+        let full = sampling_kdv(&pts, spec(), k, 200, 7);
+        let exact = naive_kdv(&pts, spec(), k);
+        assert!(full.linf_diff(&exact) < 1e-9);
+        // Oversized requests clamp.
+        let over = sampling_kdv(&pts, spec(), k, 10_000, 7);
+        assert!(over.linf_diff(&exact) < 1e-9);
+    }
+
+    #[test]
+    fn hoeffding_bound_respected_in_practice() {
+        let pts = clustered(5000);
+        let k = Gaussian::new(10.0);
+        let exact = naive_kdv(&pts, spec(), k);
+        let eps = 0.05;
+        let m = sample_size_for_guarantee(eps, 0.01);
+        let approx = sampling_kdv(&pts, spec(), k, m, 42);
+        // Additive bound ε·n·K(0); allow the δ slack by checking the
+        // observed max against 2× the bound (a failed seed would exceed
+        // it massively).
+        let bound = eps * pts.len() as f64 * 1.0;
+        assert!(
+            approx.linf_diff(&exact) <= 2.0 * bound,
+            "L∞ {} vs bound {}",
+            approx.linf_diff(&exact),
+            bound
+        );
+    }
+
+    #[test]
+    fn estimator_is_roughly_unbiased() {
+        let pts = clustered(2000);
+        let k = Gaussian::new(15.0);
+        let exact = naive_kdv(&pts, spec(), k);
+        // Average 20 independent estimates: should be close to exact.
+        let mut acc = DensityGrid::zeros(spec());
+        let runs = 20;
+        for s in 0..runs {
+            let g = sampling_kdv(&pts, spec(), k, 200, s as u64);
+            for (a, b) in acc.values_mut().iter_mut().zip(g.values()) {
+                *a += b / runs as f64;
+            }
+        }
+        let rel = acc.rel_diff(&exact, exact.max() * 0.1);
+        assert!(rel < 0.15, "bias too large: {rel}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let pts = clustered(500);
+        let k = Epanechnikov::new(10.0);
+        let a = sampling_kdv(&pts, spec(), k, 100, 3);
+        let b = sampling_kdv(&pts, spec(), k, 100, 3);
+        assert_eq!(a.values(), b.values());
+        let c = sampling_kdv(&pts, spec(), k, 100, 4);
+        assert!(a.linf_diff(&c) > 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let k = Epanechnikov::new(10.0);
+        assert_eq!(sampling_kdv(&[], spec(), k, 100, 1).sum(), 0.0);
+        let pts = clustered(10);
+        assert_eq!(sampling_kdv(&pts, spec(), k, 0, 1).sum(), 0.0);
+    }
+}

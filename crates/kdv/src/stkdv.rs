@@ -1,0 +1,271 @@
+//! Spatiotemporal KDV (STKDV; paper §2.2, Fig. 4).
+//!
+//! Phenomena like epidemic waves move: the dominant hotspot of the Hong
+//! Kong COVID-19 data differs between December 2020 and January 2022
+//! (Fig. 4). STKDV rasterizes an `X × Y × T` cube under a product
+//! space–time kernel `K_s(q, p) · K_t(τ, t_p)`.
+//!
+//! Two implementations with identical output:
+//!
+//! * [`stkdv_naive`] — the `O(X·Y·T·n)` quadruple loop;
+//! * [`stkdv_sweep`] — the SWS-style sharing (\[27\]): per pixel, gather
+//!   the spatial candidates once, then sweep the `T` time slices
+//!   maintaining *kernel-weighted temporal moments*, so each slice costs
+//!   `O(1)` after its enter/leave events — `O(X·Y·(n_loc log n_loc + T))`
+//!   total, versus naive `O(X·Y·T·n_loc)`.
+
+use lsga_core::{GridSpec, Kernel, Point, PolyKernel, SpaceTimeGrid, TimedPoint};
+use lsga_index::GridIndex;
+
+/// Literal STKDV: evaluate the product kernel at every `(pixel, slice)`.
+/// Exact for every kernel pair.
+pub fn stkdv_naive<KS: Kernel, KT: Kernel>(
+    points: &[TimedPoint],
+    spec: GridSpec,
+    t_min: f64,
+    t_max: f64,
+    nt: usize,
+    spatial: KS,
+    temporal: KT,
+) -> SpaceTimeGrid {
+    let mut grid = SpaceTimeGrid::zeros(spec, t_min, t_max, nt);
+    for it in 0..nt {
+        let tau = grid.time(it);
+        for iy in 0..spec.ny {
+            let qy = spec.row_y(iy);
+            for ix in 0..spec.nx {
+                let q = Point::new(spec.col_x(ix), qy);
+                let mut sum = 0.0;
+                for p in points {
+                    let ks = spatial.eval_sq(q.dist_sq(&p.point));
+                    if ks != 0.0 {
+                        let dt = tau - p.t;
+                        sum += ks * temporal.eval_sq(dt * dt);
+                    }
+                }
+                grid.set(ix, iy, it, sum);
+            }
+        }
+    }
+    grid
+}
+
+/// Weighted temporal moments `Σ w·tᵏ` of the active candidate set.
+#[derive(Debug, Default, Clone, Copy)]
+struct TMoments {
+    w0: f64,
+    w1: f64,
+    w2: f64,
+    w3: f64,
+    w4: f64,
+}
+
+impl TMoments {
+    #[inline]
+    fn apply(&mut self, w: f64, t: f64, sign: f64) {
+        let sw = sign * w;
+        let t2 = t * t;
+        self.w0 += sw;
+        self.w1 += sw * t;
+        self.w2 += sw * t2;
+        self.w3 += sw * t2 * t;
+        self.w4 += sw * t2 * t2;
+    }
+
+    /// `Σ w_i · (c₀ + c₁·(τ−t_i)² + c₂·(τ−t_i)⁴)`.
+    #[inline]
+    fn eval(&self, tau: f64, coeffs: [f64; 3]) -> f64 {
+        let [c0, c1, c2] = coeffs;
+        let mut sum = c0 * self.w0;
+        if c1 != 0.0 || c2 != 0.0 {
+            sum += c1 * (tau * tau * self.w0 - 2.0 * tau * self.w1 + self.w2);
+        }
+        if c2 != 0.0 {
+            let t2 = tau * tau;
+            sum += c2
+                * (t2 * t2 * self.w0 - 4.0 * t2 * tau * self.w1 + 6.0 * t2 * self.w2
+                    - 4.0 * tau * self.w3
+                    + self.w4);
+        }
+        sum
+    }
+}
+
+/// SWS-style STKDV: exact for any spatial kernel crossed with a
+/// *polynomial* temporal kernel (uniform / Epanechnikov / quartic in
+/// time — the family the sharing results \[27\] cover).
+///
+/// `tail_eps` truncates an infinite-support *spatial* kernel exactly as
+/// in [`crate::naive::grid_pruned_kdv`].
+#[allow(clippy::too_many_arguments)] // mirrors the problem's parameters
+pub fn stkdv_sweep<KS: Kernel>(
+    points: &[TimedPoint],
+    spec: GridSpec,
+    t_min: f64,
+    t_max: f64,
+    nt: usize,
+    spatial: KS,
+    temporal: PolyKernel,
+    tail_eps: f64,
+) -> SpaceTimeGrid {
+    let mut grid = SpaceTimeGrid::zeros(spec, t_min, t_max, nt);
+    if points.is_empty() {
+        return grid;
+    }
+    let rs = spatial.effective_radius(tail_eps);
+    let rs2 = rs * rs;
+    let bt = temporal.bandwidth();
+    let coeffs = temporal.coeffs();
+    // Shift the time origin to the window centre for moment stability.
+    let t0 = 0.5 * (t_min + t_max);
+
+    let planar: Vec<Point> = points.iter().map(|p| p.point).collect();
+    let index = GridIndex::build(&planar, rs.max(1e-12));
+    let times: Vec<f64> = (0..nt).map(|it| grid.time(it) - t0).collect();
+
+    // Per-pixel candidate buffer: (weight = K_s, shifted time).
+    let mut cands: Vec<(f64, f64)> = Vec::new();
+    // Event lists: (event time, weight, point time), sorted.
+    let mut enters: Vec<(f64, f64, f64)> = Vec::new();
+    let mut exits: Vec<(f64, f64, f64)> = Vec::new();
+
+    for iy in 0..spec.ny {
+        let qy = spec.row_y(iy);
+        for ix in 0..spec.nx {
+            let q = Point::new(spec.col_x(ix), qy);
+            cands.clear();
+            index.for_each_candidate(&q, rs, |i, p| {
+                let d2 = q.dist_sq(p);
+                if d2 <= rs2 {
+                    let w = spatial.eval_sq(d2);
+                    if w != 0.0 {
+                        cands.push((w, points[i as usize].t - t0));
+                    }
+                }
+            });
+            if cands.is_empty() {
+                continue; // slices stay zero
+            }
+            enters.clear();
+            exits.clear();
+            for &(w, t) in &cands {
+                enters.push((t - bt, w, t));
+                exits.push((t + bt, w, t));
+            }
+            enters.sort_by(|a, b| a.0.total_cmp(&b.0));
+            exits.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+            let mut m = TMoments::default();
+            let mut ei = 0usize;
+            let mut xi = 0usize;
+            for (it, &tau) in times.iter().enumerate() {
+                while ei < enters.len() && enters[ei].0 <= tau {
+                    let (_, w, t) = enters[ei];
+                    m.apply(w, t, 1.0);
+                    ei += 1;
+                }
+                while xi < exits.len() && exits[xi].0 < tau {
+                    let (_, w, t) = exits[xi];
+                    m.apply(w, t, -1.0);
+                    xi += 1;
+                }
+                let v = m.eval(tau, coeffs);
+                if v != 0.0 {
+                    grid.set(ix, iy, it, v);
+                }
+            }
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::{BBox, Epanechnikov, Gaussian, KernelKind};
+
+    fn waves(n: usize) -> Vec<TimedPoint> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                let (cx, ct) = if i % 2 == 0 { (30.0, 10.0) } else { (70.0, 40.0) };
+                TimedPoint::new(
+                    cx + (f * 0.831).sin() * 8.0,
+                    50.0 + (f * 0.557).cos() * 8.0,
+                    ct + (f * 0.391).sin() * 4.0,
+                )
+            })
+            .collect()
+    }
+
+    fn spec() -> GridSpec {
+        GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 16, 16)
+    }
+
+    #[test]
+    fn sweep_equals_naive_poly_temporal() {
+        let pts = waves(200);
+        for t_kind in [
+            KernelKind::Uniform,
+            KernelKind::Epanechnikov,
+            KernelKind::Quartic,
+        ] {
+            let kt = PolyKernel::new(t_kind, 8.0).unwrap();
+            let ks = Epanechnikov::new(15.0);
+            let naive = stkdv_naive(&pts, spec(), 0.0, 50.0, 12, ks, kt);
+            let sweep = stkdv_sweep(&pts, spec(), 0.0, 50.0, 12, ks, kt, 1e-9);
+            let diff = naive.linf_diff(&sweep);
+            assert!(diff < 1e-8, "{t_kind:?}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn sweep_supports_gaussian_spatial() {
+        let pts = waves(100);
+        let ks = Gaussian::new(12.0);
+        let kt = PolyKernel::new(KernelKind::Quartic, 10.0).unwrap();
+        let naive = stkdv_naive(&pts, spec(), 0.0, 50.0, 8, ks, kt);
+        let sweep = stkdv_sweep(&pts, spec(), 0.0, 50.0, 8, ks, kt, 1e-12);
+        // Truncation error bounded by n · tail · 1 · K_t(0).
+        assert!(naive.linf_diff(&sweep) < pts.len() as f64 * 1e-12 + 1e-9);
+    }
+
+    #[test]
+    fn hotspot_moves_between_slices() {
+        let pts = waves(600);
+        let ks = Epanechnikov::new(12.0);
+        let kt = PolyKernel::new(KernelKind::Epanechnikov, 6.0).unwrap();
+        let grid = stkdv_sweep(&pts, spec(), 0.0, 50.0, 10, ks, kt, 1e-9);
+        // Early slice (t≈10): hotspot near x = 30; late (t≈40): near 70.
+        let early = grid.slice(2).hotspot(); // slice centre t = 12.5
+        let late = grid.slice(7).hotspot(); // t = 37.5
+        assert!(
+            (early.x - 30.0).abs() < 12.0,
+            "early hotspot at {early:?}"
+        );
+        assert!((late.x - 70.0).abs() < 12.0, "late hotspot at {late:?}");
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ks = Epanechnikov::new(10.0);
+        let kt = PolyKernel::new(KernelKind::Uniform, 5.0).unwrap();
+        let g = stkdv_sweep(&[], spec(), 0.0, 10.0, 4, ks, kt, 1e-9);
+        assert_eq!(g.linf_diff(&SpaceTimeGrid::zeros(spec(), 0.0, 10.0, 4)), 0.0);
+    }
+
+    #[test]
+    fn events_outside_time_window_still_counted_when_in_reach() {
+        // A point at t = −3 with temporal bandwidth 5 must contribute to
+        // the first slice (t = 0.5 of [0, 10] with 10 slices).
+        let pts = [TimedPoint::new(50.0, 50.0, -3.0)];
+        let ks = Epanechnikov::new(20.0);
+        let kt = PolyKernel::new(KernelKind::Epanechnikov, 5.0).unwrap();
+        let naive = stkdv_naive(&pts, spec(), 0.0, 10.0, 10, ks, kt);
+        let sweep = stkdv_sweep(&pts, spec(), 0.0, 10.0, 10, ks, kt, 1e-9);
+        assert!(naive.linf_diff(&sweep) < 1e-12);
+        let (ix, iy) = spec().pixel_of(&Point::new(50.0, 50.0));
+        assert!(naive.at(ix, iy, 0) > 0.0);
+        assert_eq!(naive.at(ix, iy, 9), 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests: accelerated KDV methods against the naive Definition 1
+//! evaluation on arbitrary inputs.
+
+use lsga_core::{BBox, GridSpec, KernelKind, Point, PolyKernel};
+use lsga_kdv::{grid_pruned_kdv, naive_kdv, slam_kdv, BoundsKdv};
+use proptest::prelude::*;
+
+fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| Point::new(x, y)),
+        0..max_len,
+    )
+}
+
+fn spec() -> GridSpec {
+    GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 12, 10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grid_pruned_equals_naive_finite_support(
+        pts in arb_points(80),
+        kind_i in 0usize..5, // finite-support kernels only
+        b in 0.5f64..80.0,
+    ) {
+        let kinds = [
+            KernelKind::Uniform,
+            KernelKind::Epanechnikov,
+            KernelKind::Quartic,
+            KernelKind::Triangular,
+            KernelKind::Cosine,
+        ];
+        let k = kinds[kind_i].with_bandwidth(b);
+        let a = naive_kdv(&pts, spec(), k);
+        let g = grid_pruned_kdv(&pts, spec(), k, 1e-9);
+        prop_assert!(a.linf_diff(&g) <= a.max().max(1.0) * 1e-12);
+    }
+
+    #[test]
+    fn slam_equals_naive_poly(
+        pts in arb_points(60),
+        kind_i in 0usize..3,
+        b in 0.5f64..80.0,
+    ) {
+        let kinds = [KernelKind::Uniform, KernelKind::Epanechnikov, KernelKind::Quartic];
+        let kind = kinds[kind_i];
+        let poly = PolyKernel::new(kind, b).unwrap();
+        let a = naive_kdv(&pts, spec(), kind.with_bandwidth(b));
+        let s = slam_kdv(&pts, spec(), poly);
+        // The quartic moment expansion carries ~(window/2)^4 · eps of
+        // cancellation error (~1e-8 absolute on this 100-unit window).
+        prop_assert!(
+            s.linf_diff(&a) <= 1e-7 + a.max() * 1e-9,
+            "diff {}",
+            s.linf_diff(&a)
+        );
+    }
+
+    #[test]
+    fn bounds_guarantee_on_arbitrary_inputs(
+        pts in arb_points(60),
+        b in 1.0f64..50.0,
+        eps in 0.0f64..0.6,
+    ) {
+        let k = lsga_core::Gaussian::new(b);
+        let exact = naive_kdv(&pts, spec(), k);
+        let engine = BoundsKdv::new(&pts);
+        let approx = engine.compute(spec(), k, eps);
+        for (a, e) in approx.values().iter().zip(exact.values()) {
+            prop_assert!(*a >= (1.0 - eps) * e - 1e-9);
+            prop_assert!(*a <= (1.0 + eps) * e + 1e-9);
+        }
+    }
+
+    #[test]
+    fn density_translation_equivariant(
+        pts in arb_points(40),
+        b in 1.0f64..30.0,
+        dx in -50.0f64..50.0,
+        dy in -50.0f64..50.0,
+    ) {
+        // Shifting both the data and the grid shifts the raster exactly.
+        let k = lsga_core::Epanechnikov::new(b);
+        let base = naive_kdv(&pts, spec(), k);
+        let shifted: Vec<Point> = pts.iter().map(|p| Point::new(p.x + dx, p.y + dy)).collect();
+        let sspec = GridSpec::new(BBox::new(dx, dy, 100.0 + dx, 100.0 + dy), 12, 10);
+        let moved = naive_kdv(&shifted, sspec, k);
+        for (a, b2) in base.values().iter().zip(moved.values()) {
+            prop_assert!((a - b2).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Approximate and edge-corrected K-functions — the paper's §2.4
+//! **future work**, implemented.
+//!
+//! The paper observes that Eq. 1 (KDV) and Eq. 2 (K-function) share the
+//! aggregate-of-many-terms structure and proposes porting the KDV
+//! approximation families to the K-function:
+//!
+//! * [`sampled_k`] — the data-sampling family (Eq. 7's analogue): run
+//!   the K-function on a uniform subsample of size `m` and rescale the
+//!   pair count by `n(n−1) / (m(m−1))`. The estimator is unbiased over
+//!   the subsample draw, and its cost is independent of `n` beyond the
+//!   sampling itself — turning the `O(n²)`-at-165M-points problem the
+//!   paper quotes into a constant-size one.
+//! * [`border_corrected_k`] — the classical border edge correction
+//!   (spatstat's `"border"`): points within `s` of the window boundary
+//!   are excluded as *sources* (their discs leave the window, biasing
+//!   raw counts down). The corrected estimate rescales by the retained
+//!   fraction, making `K̂(s)` comparable to the CSR theory `π s²`.
+
+use crate::range_query::histogram_k_all;
+use crate::KConfig;
+use lsga_core::{BBox, Point};
+use lsga_index::GridIndex;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Approximate multi-threshold K-function from a uniform subsample of
+/// `sample_size` points (clamped to `n`), rescaled to the full ordered
+/// pair count. Deterministic in `seed`. Self-pairs follow `cfg` scaled
+/// to the *full* dataset (i.e. `+n`, not `+m`).
+///
+/// The estimator for the no-self-pair count is unbiased:
+/// `E[ n(n−1)/(m(m−1)) · K_S(s) ] = K_P(s)` because each ordered pair
+/// survives the sampling with probability `m(m−1)/(n(n−1))`.
+pub fn sampled_k(
+    points: &[Point],
+    thresholds: &[f64],
+    sample_size: usize,
+    seed: u64,
+    cfg: KConfig,
+) -> Vec<f64> {
+    let n = points.len();
+    if n < 2 || sample_size < 2 || thresholds.is_empty() {
+        let self_term = if cfg.include_self { n as f64 } else { 0.0 };
+        return vec![self_term; thresholds.len()];
+    }
+    let m = sample_size.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sample: Vec<Point> = points.choose_multiple(&mut rng, m).copied().collect();
+    let raw = histogram_k_all(
+        &sample,
+        thresholds,
+        KConfig {
+            include_self: false,
+        },
+    );
+    let scale = (n as f64 * (n as f64 - 1.0)) / (m as f64 * (m as f64 - 1.0));
+    let self_term = if cfg.include_self { n as f64 } else { 0.0 };
+    raw.into_iter().map(|k| k as f64 * scale + self_term).collect()
+}
+
+/// Border-corrected Ripley's K: for each threshold `s`, count pairs
+/// whose *source* point is at least `s` from the window boundary, then
+/// normalize to the classical intensity scale
+/// `K̂(s) = A · Σ_i∈interior |R(p_i) \ {p_i}| / (n_interior · n)`.
+///
+/// Under CSR this estimator is unbiased for `π s²` (up to the
+/// approximation of the intensity by `n/A`), unlike the raw count which
+/// loses the out-of-window disc area. Returns `(K̂(s), retained
+/// sources)` per threshold.
+pub fn border_corrected_k(
+    points: &[Point],
+    window: BBox,
+    thresholds: &[f64],
+) -> Vec<(f64, usize)> {
+    let n = points.len();
+    if n == 0 || thresholds.is_empty() {
+        return vec![(0.0, 0); thresholds.len()];
+    }
+    let s_max = thresholds.iter().copied().fold(0.0f64, f64::max);
+    let index = GridIndex::build(points, s_max.max(1e-12));
+    let area = window.area();
+    let intensity_inv = area / n as f64; // A / n
+    thresholds
+        .iter()
+        .map(|&s| {
+            let mut pair_count = 0u64;
+            let mut interior = 0usize;
+            for p in points {
+                let border_dist = (p.x - window.min_x)
+                    .min(window.max_x - p.x)
+                    .min(p.y - window.min_y)
+                    .min(window.max_y - p.y);
+                if border_dist < s {
+                    continue;
+                }
+                interior += 1;
+                pair_count += (index.count_within(p, s) - 1) as u64; // drop self
+            }
+            if interior == 0 {
+                return (f64::NAN, 0);
+            }
+            // K^ = (A/n) * mean neighbours per interior source.
+            let k_hat = intensity_inv * pair_count as f64 / interior as f64;
+            (k_hat, interior)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_k;
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(
+                    50.0 + (f * 0.831).sin() * 48.0,
+                    50.0 + (f * 0.557).cos() * 48.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_sample_is_exact() {
+        let pts = scatter(200);
+        let ts = [5.0, 20.0, 60.0];
+        let cfg = KConfig::default();
+        let approx = sampled_k(&pts, &ts, 200, 7, cfg);
+        for (t, a) in ts.iter().zip(&approx) {
+            assert_eq!(*a, naive_k(&pts, *t, cfg) as f64);
+        }
+    }
+
+    #[test]
+    fn estimator_roughly_unbiased() {
+        let pts = scatter(1500);
+        let ts = [15.0, 40.0];
+        let cfg = KConfig::default();
+        let truth: Vec<f64> = ts.iter().map(|t| naive_k(&pts, *t, cfg) as f64).collect();
+        let runs = 30;
+        let mut mean = vec![0.0; ts.len()];
+        for seed in 0..runs {
+            let est = sampled_k(&pts, &ts, 300, seed, cfg);
+            for (m, e) in mean.iter_mut().zip(&est) {
+                *m += e / runs as f64;
+            }
+        }
+        for (m, t) in mean.iter().zip(&truth) {
+            let rel = (m - t).abs() / t;
+            assert!(rel < 0.05, "bias {rel}: {m} vs {t}");
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_sample_size() {
+        let pts = scatter(3000);
+        let t = [25.0];
+        let cfg = KConfig::default();
+        let truth = naive_k(&pts, 25.0, cfg) as f64;
+        let mean_abs_err = |m: usize| -> f64 {
+            (0..10)
+                .map(|seed| (sampled_k(&pts, &t, m, seed, cfg)[0] - truth).abs())
+                .sum::<f64>()
+                / 10.0
+        };
+        let coarse = mean_abs_err(100);
+        let fine = mean_abs_err(1500);
+        assert!(fine < coarse * 0.5, "no convergence: {coarse} -> {fine}");
+    }
+
+    #[test]
+    fn include_self_uses_full_n() {
+        let pts = scatter(100);
+        let a = sampled_k(&pts, &[10.0], 50, 1, KConfig { include_self: true });
+        let b = sampled_k(&pts, &[10.0], 50, 1, KConfig { include_self: false });
+        assert_eq!(a[0], b[0] + 100.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let cfg = KConfig::default();
+        assert_eq!(sampled_k(&[], &[1.0], 10, 0, cfg), vec![0.0]);
+        let one = [Point::new(0.0, 0.0)];
+        assert_eq!(sampled_k(&one, &[1.0], 10, 0, cfg), vec![0.0]);
+        let pts = scatter(10);
+        assert_eq!(sampled_k(&pts, &[1.0], 1, 0, cfg), vec![0.0]);
+    }
+
+    #[test]
+    fn border_correction_approaches_csr_theory() {
+        // Raw (uncorrected, Ripley-normalized) K underestimates pi s^2
+        // under CSR; border correction removes most of the bias.
+        use lsga_core::BBox;
+        let window = BBox::new(0.0, 0.0, 100.0, 100.0);
+        // Deterministic near-uniform points (low-discrepancy-ish).
+        let pts: Vec<Point> = (0..4000)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(
+                    (f * 0.754877666).fract() * 100.0,
+                    (f * 0.569840296).fract() * 100.0,
+                )
+            })
+            .collect();
+        let s = 10.0;
+        let theory = std::f64::consts::PI * s * s;
+        let corrected = border_corrected_k(&pts, window, &[s]);
+        let (k_hat, retained) = corrected[0];
+        assert!(retained > 2000);
+        assert!(
+            (k_hat - theory).abs() / theory < 0.05,
+            "corrected {k_hat} vs theory {theory}"
+        );
+        // Raw estimate is biased low by the lost disc area.
+        let raw = crate::ripley_normalization(
+            crate::grid_k(&pts, s, KConfig::default()),
+            pts.len(),
+            window.area(),
+        );
+        assert!(raw < k_hat, "raw {raw} should underestimate {k_hat}");
+    }
+
+    #[test]
+    fn border_correction_interior_shrinks_with_s() {
+        use lsga_core::BBox;
+        let window = BBox::new(0.0, 0.0, 100.0, 100.0);
+        let pts = scatter(500);
+        let out = border_corrected_k(&pts, window, &[5.0, 20.0, 45.0]);
+        assert!(out[0].1 >= out[1].1);
+        assert!(out[1].1 >= out[2].1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Bivariate (cross-type) K-function — the multitype extension of
+//! Definition 2 used throughout the applied literature the paper cites
+//! (e.g. crimes vs. bars, crashes vs. schools): does one event type
+//! cluster *around* another?
+//!
+//! `K₁₂(s) = Σ_{p ∈ P₁} Σ_{q ∈ P₂} I(dist(p, q) ≤ s)` — pairs across the
+//! two types only. The null model is **random labelling**: pool both
+//! sets, reshuffle the type labels, recompute; observed counts above
+//! the envelope mean the types attract, below that they repel.
+
+use crate::KConfig;
+use lsga_core::Point;
+use lsga_index::GridIndex;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Cross-type pair counts at every threshold (input order preserved).
+/// Counts are directed `P₁ → P₂` pairs; the statistic is symmetric in
+/// the two sets (`K₁₂ = K₂₁` in counts).
+pub fn cross_k(a: &[Point], b: &[Point], thresholds: &[f64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() || thresholds.is_empty() {
+        return vec![0; thresholds.len()];
+    }
+    let mut order: Vec<usize> = (0..thresholds.len()).collect();
+    order.sort_by(|x, y| thresholds[*x].total_cmp(&thresholds[*y]));
+    let sorted: Vec<f64> = order.iter().map(|&i| thresholds[i]).collect();
+    let s_max = *sorted.last().unwrap();
+    let s_max2 = s_max * s_max;
+
+    let index = GridIndex::build(b, s_max.max(1e-12));
+    let mut hist = vec![0u64; sorted.len()];
+    for p in a {
+        index.for_each_candidate(p, s_max, |_, q| {
+            let d2 = p.dist_sq(q);
+            if d2 <= s_max2 {
+                let bucket = sorted.partition_point(|t| *t < d2.sqrt());
+                if bucket < hist.len() {
+                    hist[bucket] += 1;
+                }
+            }
+        });
+    }
+    let mut out = vec![0u64; thresholds.len()];
+    let mut acc = 0u64;
+    for (rank, &pos) in order.iter().enumerate() {
+        acc += hist[rank];
+        out[pos] = acc;
+    }
+    out
+}
+
+/// A cross-K plot: observed counts against random-labelling envelopes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossKPlot {
+    pub thresholds: Vec<f64>,
+    pub observed: Vec<u64>,
+    pub lower: Vec<u64>,
+    pub upper: Vec<u64>,
+}
+
+impl CrossKPlot {
+    /// Thresholds where the types attract (observed above the envelope).
+    pub fn attraction_thresholds(&self) -> Vec<f64> {
+        self.thresholds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.observed[*i] > self.upper[*i])
+            .map(|(_, t)| *t)
+            .collect()
+    }
+
+    /// Thresholds where the types repel (observed below the envelope).
+    pub fn repulsion_thresholds(&self) -> Vec<f64> {
+        self.thresholds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.observed[*i] < self.lower[*i])
+            .map(|(_, t)| *t)
+            .collect()
+    }
+}
+
+/// Build a cross-K plot under the random-labelling null: the pooled
+/// points keep their locations, the type split is re-drawn `n_sims`
+/// times. Deterministic in `seed`. `_cfg` is accepted for signature
+/// symmetry with the univariate plots; self-pairs cannot occur across
+/// types.
+pub fn cross_k_plot(
+    a: &[Point],
+    b: &[Point],
+    thresholds: &[f64],
+    n_sims: usize,
+    seed: u64,
+    _cfg: KConfig,
+) -> CrossKPlot {
+    assert!(n_sims >= 1, "need at least one simulation");
+    let observed = cross_k(a, b, thresholds);
+    let mut pooled: Vec<Point> = Vec::with_capacity(a.len() + b.len());
+    pooled.extend_from_slice(a);
+    pooled.extend_from_slice(b);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lower = vec![u64::MAX; thresholds.len()];
+    let mut upper = vec![0u64; thresholds.len()];
+    for _ in 0..n_sims {
+        pooled.shuffle(&mut rng);
+        let (ra, rb) = pooled.split_at(a.len());
+        let ks = cross_k(ra, rb, thresholds);
+        for (i, v) in ks.iter().enumerate() {
+            lower[i] = lower[i].min(*v);
+            upper[i] = upper[i].max(*v);
+        }
+    }
+    CrossKPlot {
+        thresholds: thresholds.to_vec(),
+        observed,
+        lower,
+        upper,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::BBox;
+    use lsga_data::{gaussian_mixture, uniform_points, Hotspot};
+
+    fn window() -> BBox {
+        BBox::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn brute_cross(a: &[Point], b: &[Point], s: f64) -> u64 {
+        let mut c = 0;
+        for p in a {
+            for q in b {
+                if p.dist(q) <= s {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let a = uniform_points(150, window(), 1);
+        let b = uniform_points(120, window(), 2);
+        let ts = [3.0, 10.0, 30.0, 200.0];
+        let got = cross_k(&a, &b, &ts);
+        for (t, g) in ts.iter().zip(&got) {
+            assert_eq!(*g, brute_cross(&a, &b, *t), "t={t}");
+        }
+        // Symmetry of counts.
+        let rev = cross_k(&b, &a, &ts);
+        assert_eq!(got, rev);
+    }
+
+    #[test]
+    fn paired_types_attract() {
+        // Type b events sit right next to type a events (e.g. crashes
+        // next to bars). Random labelling destroys the pairing, so the
+        // observed short-range cross counts exceed the envelope.
+        let a = uniform_points(200, window(), 3);
+        let b: Vec<Point> = a
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Point::new(p.x + 0.3 + (i % 3) as f64 * 0.1, p.y))
+            .collect();
+        let ts: Vec<f64> = (1..=5).map(|i| i as f64).collect();
+        let plot = cross_k_plot(&a, &b, &ts, 20, 9, KConfig::default());
+        assert!(
+            !plot.attraction_thresholds().is_empty(),
+            "observed {:?} upper {:?}",
+            plot.observed,
+            plot.upper
+        );
+    }
+
+    #[test]
+    fn identically_distributed_types_show_no_attraction() {
+        // Both types drawn from the same hotspot: under random labelling
+        // this IS the null, so the plot must stay inside the envelope.
+        let hs = [Hotspot {
+            center: Point::new(40.0, 40.0),
+            sigma: 5.0,
+            weight: 1.0,
+        }];
+        let a = gaussian_mixture(200, &hs, window(), 3);
+        let b = gaussian_mixture(200, &hs, window(), 4);
+        let ts: Vec<f64> = (1..=5).map(|i| i as f64 * 3.0).collect();
+        let plot = cross_k_plot(&a, &b, &ts, 40, 9, KConfig::default());
+        let inside = (0..ts.len())
+            .filter(|i| plot.observed[*i] >= plot.lower[*i] && plot.observed[*i] <= plot.upper[*i])
+            .count();
+        assert!(inside >= ts.len() - 1, "{plot:?}");
+    }
+
+    #[test]
+    fn segregated_types_repel() {
+        let a = gaussian_mixture(
+            200,
+            &[Hotspot {
+                center: Point::new(20.0, 20.0),
+                sigma: 5.0,
+                weight: 1.0,
+            }],
+            window(),
+            5,
+        );
+        let b = gaussian_mixture(
+            200,
+            &[Hotspot {
+                center: Point::new(80.0, 80.0),
+                sigma: 5.0,
+                weight: 1.0,
+            }],
+            window(),
+            6,
+        );
+        let ts: Vec<f64> = (1..=6).map(|i| i as f64 * 4.0).collect();
+        let plot = cross_k_plot(&a, &b, &ts, 20, 10, KConfig::default());
+        assert!(
+            !plot.repulsion_thresholds().is_empty(),
+            "observed {:?} lower {:?}",
+            plot.observed,
+            plot.lower
+        );
+    }
+
+    #[test]
+    fn independent_types_within_envelope() {
+        let a = uniform_points(250, window(), 7);
+        let b = uniform_points(250, window(), 8);
+        let ts: Vec<f64> = (1..=5).map(|i| i as f64 * 4.0).collect();
+        let plot = cross_k_plot(&a, &b, &ts, 40, 11, KConfig::default());
+        let inside = (0..ts.len())
+            .filter(|i| plot.observed[*i] >= plot.lower[*i] && plot.observed[*i] <= plot.upper[*i])
+            .count();
+        assert!(inside >= ts.len() - 1, "{:?}", plot);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = uniform_points(10, window(), 1);
+        assert_eq!(cross_k(&a, &[], &[1.0]), vec![0]);
+        assert_eq!(cross_k(&[], &a, &[1.0]), vec![0]);
+        assert!(cross_k(&a, &a, &[]).is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! # lsga-kfunc
+//!
+//! The K-function (paper Definition 2) and the K-function plot
+//! (Definition 3), with the solution families of §2.3 and the two
+//! variants:
+//!
+//! * [`naive`] — the literal `O(n²)` double loop of Eq. 2, the cost the
+//!   paper calls out as infeasible at NYC-taxi scale;
+//! * [`range_query`] — the range-query-based family: grid / kd-tree /
+//!   ball-tree counting, plus the shared *distance-histogram* evaluation
+//!   that serves all `D` thresholds of a plot in one pass;
+//! * [`parallel`] — thread-parallel pair counting;
+//! * [`plot`] — Monte-Carlo envelopes (`L(s)`, `U(s)` of Eq. 4–5) and the
+//!   clustered / random / dispersed verdict per threshold;
+//! * [`network`] — the network K-function (§2.3): shortest-path distances
+//!   on a road network, naive per-event Dijkstra vs shared per-vertex
+//!   Dijkstra (inspired by \[33\]);
+//! * [`spatiotemporal`] — the spatiotemporal K-function (Eq. 8–10) and
+//!   its 3-D plot surface (Fig. 6);
+//! * [`approx`] — the paper's §2.4 *future work*, implemented: an
+//!   unbiased sampling estimator of the K-function (the Eq. 7 family
+//!   ported to Eq. 2) and the classical border edge correction.
+//!
+//! ## Pair-counting conventions
+//!
+//! Eq. 2 literally sums over **all ordered pairs including `i = j`**
+//! (every point is within any `s ≥ 0` of itself). Off-the-shelf packages
+//! (spatstat) exclude the self-pairs. [`KConfig::include_self`] selects
+//! the convention; the default `false` matches spatstat and keeps the CSR
+//! envelope comparisons clean, while `true` reproduces Eq. 2 verbatim —
+//! the two differ by exactly `n` everywhere, which the tests assert.
+//!
+//! Counts are returned raw (`u64`). [`ripley_normalization`] converts to
+//! the classical `K̂(s) = A·count / n²` scale when an intensity-normalized
+//! value is wanted.
+
+pub mod approx;
+pub mod cross;
+pub mod naive;
+pub mod network;
+pub mod parallel;
+pub mod pcf;
+pub mod plot;
+pub mod range_query;
+pub mod spatiotemporal;
+
+pub use approx::{border_corrected_k, sampled_k};
+pub use cross::{cross_k, cross_k_plot, CrossKPlot};
+pub use naive::naive_k;
+pub use network::{network_k_naive, network_k_plot, network_k_shared, NetworkKPlot};
+pub use parallel::parallel_k;
+pub use pcf::{pair_correlation, PcfBin};
+pub use plot::{k_function_plot, KFunctionPlot, Regime};
+pub use range_query::{ball_tree_k, grid_k, histogram_k_all, kd_tree_k, rtree_k};
+pub use spatiotemporal::{st_k_grid, st_k_naive, st_k_plot, StKPlot};
+
+/// Pair-counting convention (see the crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KConfig {
+    /// Count the `i = j` self-pairs (paper-literal Eq. 2). Default
+    /// `false` (spatstat convention).
+    pub include_self: bool,
+}
+
+/// Classical Ripley normalization `K̂(s) = A · count / n²` for a raw
+/// ordered-pair count over a window of area `area`.
+pub fn ripley_normalization(count: u64, n: usize, area: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    area * count as f64 / (n as f64 * n as f64)
+}
+
+/// Besag's variance-stabilizing L-function transform:
+/// `L(s) − s = sqrt(K̂(s) / π) − s`, which is 0 under CSR at every
+/// scale — the form most packages plot instead of the raw K curve.
+pub fn l_transform(count: u64, n: usize, area: f64, s: f64) -> f64 {
+    (ripley_normalization(count, n, area) / std::f64::consts::PI).sqrt() - s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_default_excludes_self() {
+        assert!(!KConfig::default().include_self);
+    }
+
+    #[test]
+    fn ripley_scale() {
+        assert_eq!(ripley_normalization(100, 10, 50.0), 50.0);
+        assert_eq!(ripley_normalization(0, 10, 50.0), 0.0);
+        assert_eq!(ripley_normalization(5, 0, 50.0), 0.0);
+    }
+}

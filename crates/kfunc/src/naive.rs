@@ -1,0 +1,93 @@
+//! The literal `O(n²)` K-function of paper Eq. 2.
+
+use crate::KConfig;
+use lsga_core::Point;
+
+/// Count ordered pairs with `dist(p_i, p_j) ≤ s` by scanning all pairs.
+/// Exact for every input; quadratic — the baseline every accelerated
+/// method in this crate is validated against.
+pub fn naive_k(points: &[Point], s: f64, cfg: KConfig) -> u64 {
+    let s2 = s * s;
+    let mut count = 0u64;
+    for (i, p) in points.iter().enumerate() {
+        for q in &points[i + 1..] {
+            if p.dist_sq(q) <= s2 {
+                count += 2; // ordered pairs: (i, j) and (j, i)
+            }
+        }
+    }
+    if cfg.include_self {
+        count += points.len() as u64;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn tiny_cases() {
+        let cfg = KConfig::default();
+        assert_eq!(naive_k(&[], 1.0, cfg), 0);
+        assert_eq!(naive_k(&[Point::new(0.0, 0.0)], 1.0, cfg), 0);
+        let two = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        assert_eq!(naive_k(&two, 0.5, cfg), 0);
+        assert_eq!(naive_k(&two, 1.0, cfg), 2); // inclusive at d = s
+        assert_eq!(naive_k(&two, 2.0, cfg), 2);
+    }
+
+    #[test]
+    fn include_self_adds_n() {
+        let pts = line(10);
+        let cfg_excl = KConfig {
+            include_self: false,
+        };
+        let cfg_incl = KConfig { include_self: true };
+        for s in [0.0, 1.0, 3.5, 100.0] {
+            assert_eq!(naive_k(&pts, s, cfg_incl), naive_k(&pts, s, cfg_excl) + 10);
+        }
+    }
+
+    #[test]
+    fn line_counts_are_analytic() {
+        // On a unit-spaced line, pairs within s = k are the (n-j) ordered
+        // pairs at each lag j ≤ k, times 2.
+        let pts = line(20);
+        let cfg = KConfig::default();
+        for k in 0..5u64 {
+            let want: u64 = (1..=k).map(|j| 2 * (20 - j)).sum();
+            assert_eq!(naive_k(&pts, k as f64, cfg), want, "s = {k}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_s() {
+        let pts: Vec<Point> = (0..50)
+            .map(|i| {
+                let f = i as f64;
+                Point::new((f * 0.7).sin() * 10.0, (f * 1.3).cos() * 10.0)
+            })
+            .collect();
+        let cfg = KConfig::default();
+        let mut last = 0;
+        for s in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0] {
+            let k = naive_k(&pts, s, cfg);
+            assert!(k >= last);
+            last = k;
+        }
+        // At s covering everything: all ordered pairs.
+        assert_eq!(last, 50 * 49);
+    }
+
+    #[test]
+    fn coincident_points() {
+        let pts = vec![Point::new(1.0, 1.0); 5];
+        assert_eq!(naive_k(&pts, 0.0, KConfig::default()), 20); // 5·4
+        assert_eq!(naive_k(&pts, 0.0, KConfig { include_self: true }), 25);
+    }
+}

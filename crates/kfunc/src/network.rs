@@ -1,0 +1,313 @@
+//! Network K-function (paper §2.3; Okabe & Yamada \[74\]).
+//!
+//! `K_P(s) = Σ_i Σ_j I(dist_G(p_i, p_j) ≤ s)` over shortest-path
+//! distances on a road network. Two implementations with identical
+//! output:
+//!
+//! * [`network_k_naive`] — one bounded Dijkstra **per event** (the cost
+//!   the fast methods \[33, 81\] attack);
+//! * [`network_k_shared`] — one bounded Dijkstra **per distinct endpoint
+//!   vertex of an occupied edge**: events sharing an edge reuse the same
+//!   two searches, and every pairwise distance is then an `O(1)`
+//!   combination of endpoint distances and offsets. With `m` occupied
+//!   edges and `n` events this needs `≤ 2m` searches instead of `n` — the
+//!   sharing idea of Chan et al. \[33\].
+//!
+//! Both evaluate **all thresholds at once** via the distance histogram,
+//! like the planar [`crate::range_query::histogram_k_all`].
+
+use crate::KConfig;
+use lsga_network::{DijkstraEngine, EdgePosition, RoadNetwork, VertexId};
+
+/// Network K-function by per-event bounded Dijkstra. Returns one count
+/// per threshold (input order preserved).
+pub fn network_k_naive(
+    net: &RoadNetwork,
+    events: &[EdgePosition],
+    thresholds: &[f64],
+    cfg: KConfig,
+) -> Vec<u64> {
+    let (order, sorted) = sort_thresholds(thresholds);
+    if events.is_empty() || thresholds.is_empty() {
+        return vec![0; thresholds.len()];
+    }
+    let s_max = *sorted.last().unwrap();
+    let mut engine = DijkstraEngine::new(net);
+    let mut hist = vec![0u64; sorted.len()];
+    for (i, a) in events.iter().enumerate() {
+        let ea = net.edge(a.edge);
+        engine.run(&[(ea.u, a.to_u()), (ea.v, a.to_v(net))], s_max);
+        for (j, b) in events.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let eb = net.edge(b.edge);
+            let mut d = f64::INFINITY;
+            if let Some(du) = engine.dist(eb.u) {
+                d = d.min(du + b.to_u());
+            }
+            if let Some(dv) = engine.dist(eb.v) {
+                d = d.min(dv + b.to_v(net));
+            }
+            if a.edge == b.edge {
+                d = d.min((a.offset - b.offset).abs());
+            }
+            if d <= s_max {
+                let bucket = sorted.partition_point(|t| *t < d);
+                if bucket < hist.len() {
+                    hist[bucket] += 1;
+                }
+            }
+        }
+    }
+    finish(hist, &order, events.len(), cfg)
+}
+
+/// Network K-function sharing Dijkstras across events on the same edge.
+/// Identical output to [`network_k_naive`].
+pub fn network_k_shared(
+    net: &RoadNetwork,
+    events: &[EdgePosition],
+    thresholds: &[f64],
+    cfg: KConfig,
+) -> Vec<u64> {
+    let (order, sorted) = sort_thresholds(thresholds);
+    if events.is_empty() || thresholds.is_empty() {
+        return vec![0; thresholds.len()];
+    }
+    let s_max = *sorted.last().unwrap();
+
+    // Distinct endpoint vertices of occupied edges.
+    let mut vs: Vec<VertexId> = Vec::new();
+    let mut slot_of = std::collections::HashMap::new();
+    for ev in events {
+        let e = net.edge(ev.edge);
+        for v in [e.u, e.v] {
+            slot_of.entry(v).or_insert_with(|| {
+                vs.push(v);
+                vs.len() - 1
+            });
+        }
+    }
+
+    // Bounded all-pairs distances among the occupied endpoints:
+    // one Dijkstra per distinct endpoint.
+    let m = vs.len();
+    let mut dmat = vec![f64::INFINITY; m * m];
+    let mut engine = DijkstraEngine::new(net);
+    for (si, &v) in vs.iter().enumerate() {
+        engine.run(&[(v, 0.0)], s_max);
+        for (sj, &w) in vs.iter().enumerate() {
+            if let Some(d) = engine.dist(w) {
+                dmat[si * m + sj] = d;
+            }
+        }
+    }
+
+    // Event endpoint slots and offsets, precomputed once.
+    let prepared: Vec<(usize, usize, f64, f64)> = events
+        .iter()
+        .map(|ev| {
+            let e = net.edge(ev.edge);
+            (
+                slot_of[&e.u],
+                slot_of[&e.v],
+                ev.to_u(),
+                ev.to_v(net),
+            )
+        })
+        .collect();
+
+    let mut hist = vec![0u64; sorted.len()];
+    for i in 0..events.len() {
+        let (iu, iv, iou, iov) = prepared[i];
+        for j in (i + 1)..events.len() {
+            let (ju, jv, jou, jov) = prepared[j];
+            let mut d = (iou + dmat[iu * m + ju] + jou)
+                .min(iou + dmat[iu * m + jv] + jov)
+                .min(iov + dmat[iv * m + ju] + jou)
+                .min(iov + dmat[iv * m + jv] + jov);
+            if events[i].edge == events[j].edge {
+                d = d.min((events[i].offset - events[j].offset).abs());
+            }
+            if d <= s_max {
+                let bucket = sorted.partition_point(|t| *t < d);
+                if bucket < hist.len() {
+                    hist[bucket] += 2; // unordered pair -> two ordered
+                }
+            }
+        }
+    }
+    finish(hist, &order, events.len(), cfg)
+}
+
+/// A network K-function plot: observed counts with a Monte-Carlo envelope
+/// from length-uniform random events on the same network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkKPlot {
+    pub thresholds: Vec<f64>,
+    pub observed: Vec<u64>,
+    pub lower: Vec<u64>,
+    pub upper: Vec<u64>,
+}
+
+impl NetworkKPlot {
+    /// Thresholds where the observed count exceeds the envelope maximum.
+    pub fn clustered_thresholds(&self) -> Vec<f64> {
+        self.thresholds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.observed[*i] > self.upper[*i])
+            .map(|(_, t)| *t)
+            .collect()
+    }
+}
+
+/// Build a network K-function plot (Definition 3 adapted to networks:
+/// the null model is uniform-by-length on the same graph).
+pub fn network_k_plot(
+    net: &RoadNetwork,
+    events: &[EdgePosition],
+    thresholds: &[f64],
+    n_sims: usize,
+    seed: u64,
+    cfg: KConfig,
+) -> NetworkKPlot {
+    assert!(n_sims >= 1);
+    let observed = network_k_shared(net, events, thresholds, cfg);
+    let mut lower = vec![u64::MAX; thresholds.len()];
+    let mut upper = vec![0u64; thresholds.len()];
+    for sim in 0..n_sims {
+        let r = lsga_network::sample_on_network(net, events.len(), seed.wrapping_add(sim as u64));
+        let ks = network_k_shared(net, &r, thresholds, cfg);
+        for (i, v) in ks.iter().enumerate() {
+            lower[i] = lower[i].min(*v);
+            upper[i] = upper[i].max(*v);
+        }
+    }
+    NetworkKPlot {
+        thresholds: thresholds.to_vec(),
+        observed,
+        lower,
+        upper,
+    }
+}
+
+fn sort_thresholds(thresholds: &[f64]) -> (Vec<usize>, Vec<f64>) {
+    let mut order: Vec<usize> = (0..thresholds.len()).collect();
+    order.sort_by(|a, b| thresholds[*a].total_cmp(&thresholds[*b]));
+    let sorted = order.iter().map(|&i| thresholds[i]).collect();
+    (order, sorted)
+}
+
+fn finish(hist: Vec<u64>, order: &[usize], n: usize, cfg: KConfig) -> Vec<u64> {
+    let mut out = vec![0u64; hist.len()];
+    let mut acc = if cfg.include_self { n as u64 } else { 0 };
+    for (rank, &input_pos) in order.iter().enumerate() {
+        acc += hist[rank];
+        out[input_pos] = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_data::clustered_on_network;
+    use lsga_network::{grid_network, sample_on_network};
+
+    fn thresholds() -> Vec<f64> {
+        (1..=8).map(|i| i as f64 * 2.0).collect()
+    }
+
+    #[test]
+    fn shared_equals_naive() {
+        let net = grid_network(6, 6, 4.0);
+        let events = sample_on_network(&net, 60, 9);
+        for cfg in [
+            KConfig {
+                include_self: false,
+            },
+            KConfig { include_self: true },
+        ] {
+            let naive = network_k_naive(&net, &events, &thresholds(), cfg);
+            let shared = network_k_shared(&net, &events, &thresholds(), cfg);
+            assert_eq!(naive, shared);
+        }
+    }
+
+    #[test]
+    fn shared_equals_naive_on_clustered_events() {
+        let net = grid_network(8, 8, 5.0);
+        let events = clustered_on_network(&net, 5, 12, 4.0, 21);
+        let naive = network_k_naive(&net, &events, &thresholds(), KConfig::default());
+        let shared = network_k_shared(&net, &events, &thresholds(), KConfig::default());
+        assert_eq!(naive, shared);
+        // Counts must be monotone in s.
+        for w in naive.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn path_graph_analytic_counts() {
+        // Straight road of length 10, events at offsets 0, 1, 2, ..., 9
+        // on one edge: network distance = offset difference.
+        let mut b = lsga_network::NetworkBuilder::new();
+        let u = b.add_vertex(lsga_core::Point::new(0.0, 0.0));
+        let v = b.add_vertex(lsga_core::Point::new(10.0, 0.0));
+        b.add_edge(u, v, None).unwrap();
+        let net = b.build().unwrap();
+        let events: Vec<EdgePosition> = (0..10)
+            .map(|i| EdgePosition {
+                edge: lsga_network::EdgeId(0),
+                offset: i as f64,
+            })
+            .collect();
+        let ks = network_k_shared(&net, &events, &[1.0, 2.0, 3.0], KConfig::default());
+        // Lag-j ordered pairs: 2·(10 − j); K(s=k) = Σ_{j≤k} 2(10−j).
+        assert_eq!(ks, vec![18, 34, 48]);
+    }
+
+    #[test]
+    fn clustered_events_detected_by_plot() {
+        let net = grid_network(7, 7, 5.0);
+        let events = clustered_on_network(&net, 4, 15, 3.0, 3);
+        let plot = network_k_plot(&net, &events, &thresholds(), 15, 77, KConfig::default());
+        assert!(
+            !plot.clustered_thresholds().is_empty(),
+            "observed {:?} upper {:?}",
+            plot.observed,
+            plot.upper
+        );
+    }
+
+    #[test]
+    fn csr_on_network_within_envelope() {
+        let net = grid_network(7, 7, 5.0);
+        let events = sample_on_network(&net, 60, 1000);
+        let plot = network_k_plot(&net, &events, &thresholds(), 30, 55, KConfig::default());
+        let inside = plot
+            .thresholds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                plot.observed[*i] >= plot.lower[*i] && plot.observed[*i] <= plot.upper[*i]
+            })
+            .count();
+        assert!(inside >= plot.thresholds.len() - 1);
+    }
+
+    #[test]
+    fn empty_events() {
+        let net = grid_network(3, 3, 1.0);
+        assert_eq!(
+            network_k_naive(&net, &[], &thresholds(), KConfig::default()),
+            vec![0; 8]
+        );
+        assert_eq!(
+            network_k_shared(&net, &[], &thresholds(), KConfig::default()),
+            vec![0; 8]
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Thread-parallel K-function (parallel/distributed family, §2.3).
+//!
+//! Pair counting decomposes perfectly: each worker owns a block of query
+//! points and counts their range sets against a shared immutable grid
+//! index (the thread analogue of the GPU method of Tang et al. \[91\] and
+//! the cloud method of Zhang et al. \[106\] that the paper cites). The
+//! simulated-cluster version with partitioning and communication
+//! accounting lives in `lsga-dist`.
+
+use crate::KConfig;
+use lsga_core::Point;
+use lsga_index::GridIndex;
+
+/// Parallel K-function over `n_threads` workers; identical output to
+/// [`crate::range_query::grid_k`].
+pub fn parallel_k(points: &[Point], s: f64, cfg: KConfig, n_threads: usize) -> u64 {
+    if points.is_empty() {
+        return 0;
+    }
+    let n_threads = n_threads.max(1);
+    let index = GridIndex::build(points, s.max(1e-12));
+    let chunk = points.len().div_ceil(n_threads);
+    let mut total = 0u64;
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for block in points.chunks(chunk) {
+            let index = &index;
+            handles.push(scope.spawn(move |_| {
+                let mut local = 0u64;
+                for p in block {
+                    local += index.count_within(p, s) as u64;
+                }
+                local
+            }));
+        }
+        for h in handles {
+            total += h.join().expect("k-function worker panicked");
+        }
+    })
+    .expect("k-function thread scope failed");
+    if cfg.include_self {
+        total
+    } else {
+        total - points.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_k;
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new((f * 0.831).sin() * 30.0, (f * 0.557).cos() * 30.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_for_any_thread_count() {
+        let pts = scatter(300);
+        let cfg = KConfig::default();
+        for s in [1.0, 8.0, 50.0] {
+            let want = naive_k(&pts, s, cfg);
+            for threads in [1, 2, 5, 16] {
+                assert_eq!(parallel_k(&pts, s, cfg, threads), want, "s={s} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn include_self_convention() {
+        let pts = scatter(100);
+        let incl = parallel_k(&pts, 5.0, KConfig { include_self: true }, 4);
+        let excl = parallel_k(
+            &pts,
+            5.0,
+            KConfig {
+                include_self: false,
+            },
+            4,
+        );
+        assert_eq!(incl, excl + 100);
+    }
+
+    #[test]
+    fn empty_and_zero_threads() {
+        assert_eq!(parallel_k(&[], 1.0, KConfig::default(), 4), 0);
+        let pts = scatter(10);
+        assert_eq!(
+            parallel_k(&pts, 2.0, KConfig::default(), 0),
+            naive_k(&pts, 2.0, KConfig::default())
+        );
+    }
+}

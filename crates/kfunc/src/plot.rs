@@ -1,0 +1,265 @@
+//! The K-function plot (paper Definition 3, Fig. 2): observed `K_P(s_d)`
+//! against the Monte-Carlo envelope `[L(s_d), U(s_d)]` of `L` CSR
+//! simulations, with a clustered / random / dispersed verdict per
+//! threshold.
+
+use crate::range_query::histogram_k_all;
+use crate::KConfig;
+use lsga_core::BBox;
+use lsga_data::uniform_points;
+
+/// Verdict of an observed K value against the simulation envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// `K_P(s) > U(s)`: statistically meaningful clustering (the paper's
+    /// criterion for meaningful hotspots at this scale).
+    Clustered,
+    /// Within the envelope: indistinguishable from CSR.
+    Random,
+    /// `K_P(s) < L(s)`: dispersion / inhibition.
+    Dispersed,
+}
+
+/// A computed K-function plot (the data behind Fig. 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KFunctionPlot {
+    /// The spatial thresholds `s_1 … s_D`, in the order given.
+    pub thresholds: Vec<f64>,
+    /// Observed `K_P(s_d)` (raw ordered-pair counts).
+    pub observed: Vec<u64>,
+    /// Envelope lower bound `L(s_d)` = min over the `L` simulations.
+    pub lower: Vec<u64>,
+    /// Envelope upper bound `U(s_d)` = max over the simulations.
+    pub upper: Vec<u64>,
+}
+
+impl KFunctionPlot {
+    /// Per-threshold verdicts.
+    pub fn regimes(&self) -> Vec<Regime> {
+        self.observed
+            .iter()
+            .zip(self.lower.iter().zip(&self.upper))
+            .map(|(obs, (lo, hi))| {
+                if obs > hi {
+                    Regime::Clustered
+                } else if obs < lo {
+                    Regime::Dispersed
+                } else {
+                    Regime::Random
+                }
+            })
+            .collect()
+    }
+
+    /// Besag L-transform of the observed curve: `L(s) − s` per
+    /// threshold, ~0 under CSR (see [`crate::l_transform`]).
+    pub fn l_curve(&self, n: usize, area: f64) -> Vec<f64> {
+        self.thresholds
+            .iter()
+            .zip(&self.observed)
+            .map(|(s, k)| crate::l_transform(*k, n, area, *s))
+            .collect()
+    }
+
+    /// The thresholds judged [`Regime::Clustered`] — the scale range the
+    /// paper suggests feeding back into the KDV bandwidth (§2.1).
+    pub fn clustered_thresholds(&self) -> Vec<f64> {
+        self.thresholds
+            .iter()
+            .zip(self.regimes())
+            .filter(|(_, r)| *r == Regime::Clustered)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+}
+
+/// Build a K-function plot per Definition 3.
+///
+/// Computes `K_P(s_d)` for the observed `points`, simulates `n_sims`
+/// CSR datasets of the same size in `window`, and takes the pointwise
+/// min/max as the envelope. Simulations run on `n_threads` workers
+/// (each simulation is an independent histogram pass). Deterministic in
+/// `seed`.
+pub fn k_function_plot(
+    points: &[lsga_core::Point],
+    window: BBox,
+    thresholds: &[f64],
+    n_sims: usize,
+    seed: u64,
+    cfg: KConfig,
+    n_threads: usize,
+) -> KFunctionPlot {
+    assert!(n_sims >= 1, "need at least one simulation");
+    assert!(!thresholds.is_empty(), "need at least one threshold");
+    let observed = histogram_k_all(points, thresholds, cfg);
+    let n = points.len();
+    let n_threads = n_threads.max(1);
+
+    // Each simulation: generate CSR of size n, evaluate all thresholds.
+    let mut sim_results: Vec<Vec<u64>> = Vec::with_capacity(n_sims);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..n_threads {
+            handles.push(scope.spawn(move |_| {
+                let mut mine = Vec::new();
+                let mut sim = t;
+                while sim < n_sims {
+                    let r = uniform_points(n, window, seed.wrapping_add(sim as u64));
+                    mine.push(histogram_k_all(&r, thresholds, cfg));
+                    sim += n_threads;
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            sim_results.extend(h.join().expect("simulation worker panicked"));
+        }
+    })
+    .expect("simulation scope failed");
+
+    let d = thresholds.len();
+    let mut lower = vec![u64::MAX; d];
+    let mut upper = vec![0u64; d];
+    for sim in &sim_results {
+        for (i, v) in sim.iter().enumerate() {
+            lower[i] = lower[i].min(*v);
+            upper[i] = upper[i].max(*v);
+        }
+    }
+    KFunctionPlot {
+        thresholds: thresholds.to_vec(),
+        observed,
+        lower,
+        upper,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_data::{gaussian_mixture, hardcore_points, Hotspot};
+    use lsga_core::Point;
+
+    fn window() -> BBox {
+        BBox::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn thresholds() -> Vec<f64> {
+        (1..=10).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn clustered_data_exceeds_envelope() {
+        let hs = [
+            Hotspot {
+                center: Point::new(30.0, 30.0),
+                sigma: 2.5,
+                weight: 1.0,
+            },
+            Hotspot {
+                center: Point::new(70.0, 60.0),
+                sigma: 2.5,
+                weight: 1.0,
+            },
+        ];
+        let pts = gaussian_mixture(400, &hs, window(), 5);
+        let plot = k_function_plot(
+            &pts,
+            window(),
+            &thresholds(),
+            20,
+            99,
+            KConfig::default(),
+            4,
+        );
+        let regimes = plot.regimes();
+        // At small-to-medium scales the clustering must be detected.
+        assert!(
+            regimes[..6].iter().all(|r| *r == Regime::Clustered),
+            "{regimes:?}"
+        );
+        assert!(!plot.clustered_thresholds().is_empty());
+    }
+
+    #[test]
+    fn csr_data_stays_inside_envelope_mostly() {
+        let pts = lsga_data::uniform_points(400, window(), 1234);
+        let plot = k_function_plot(
+            &pts,
+            window(),
+            &thresholds(),
+            40,
+            4321,
+            KConfig::default(),
+            4,
+        );
+        let random = plot
+            .regimes()
+            .iter()
+            .filter(|r| **r == Regime::Random)
+            .count();
+        // With 40 simulations the envelope is wide; allow one excursion.
+        assert!(random >= thresholds().len() - 1, "{:?}", plot.regimes());
+    }
+
+    #[test]
+    fn dispersed_data_falls_below_envelope() {
+        let pts = hardcore_points(350, 4.5, window(), 7);
+        assert!(pts.len() > 300);
+        let plot = k_function_plot(
+            &pts,
+            window(),
+            &thresholds(),
+            20,
+            55,
+            KConfig::default(),
+            4,
+        );
+        let regimes = plot.regimes();
+        // Below the hard-core distance the observed K is ~0 while CSR
+        // envelopes are positive.
+        assert_eq!(regimes[1], Regime::Dispersed, "{regimes:?}"); // s = 2
+        assert_eq!(regimes[3], Regime::Dispersed, "{regimes:?}"); // s = 4
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_thread_count() {
+        let pts = lsga_data::uniform_points(150, window(), 3);
+        let a = k_function_plot(&pts, window(), &thresholds(), 8, 10, KConfig::default(), 1);
+        let b = k_function_plot(&pts, window(), &thresholds(), 8, 10, KConfig::default(), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn l_curve_near_zero_under_csr_positive_when_clustered() {
+        let csr = lsga_data::uniform_points(2000, window(), 77);
+        let thresholds = [5.0, 10.0];
+        let plot = k_function_plot(&csr, window(), &thresholds, 5, 1, KConfig::default(), 2);
+        for l in plot.l_curve(2000, window().area()) {
+            assert!(l.abs() < 1.5, "CSR L-s = {l}");
+        }
+        let clustered = gaussian_mixture(
+            2000,
+            &[Hotspot {
+                center: Point::new(50.0, 50.0),
+                sigma: 3.0,
+                weight: 1.0,
+            }],
+            window(),
+            3,
+        );
+        let plot = k_function_plot(&clustered, window(), &thresholds, 5, 2, KConfig::default(), 2);
+        for l in plot.l_curve(2000, window().area()) {
+            assert!(l > 3.0, "clustered L-s = {l}");
+        }
+    }
+
+    #[test]
+    fn envelope_ordering_invariant() {
+        let pts = lsga_data::uniform_points(200, window(), 8);
+        let plot = k_function_plot(&pts, window(), &thresholds(), 10, 2, KConfig::default(), 2);
+        for i in 0..plot.thresholds.len() {
+            assert!(plot.lower[i] <= plot.upper[i]);
+        }
+    }
+}

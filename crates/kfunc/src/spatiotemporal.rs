@@ -1,0 +1,349 @@
+//! Spatiotemporal K-function (paper Eq. 8) and its 3-D plot surface
+//! (Eq. 9–10, Fig. 6).
+//!
+//! `K(s, t) = Σ_i Σ_j I(dist(p_i, p_j) ≤ s ∧ |t_i − t_j| ≤ t)`: pairs must
+//! be close in space **and** time. The plot evaluates an `M × T` grid of
+//! threshold combinations against envelopes from `L` uniform space–time
+//! simulations — `(L+1)·M·T` naive evaluations, which is why the shared
+//! 2-D histogram evaluation matters: one pass over the spatially-close
+//! pairs fills the whole surface.
+
+use crate::KConfig;
+use lsga_core::{BBox, TimedPoint};
+use lsga_data::uniform_timed_points;
+use lsga_index::GridIndex;
+
+/// Naive spatiotemporal K: the literal `O(M·T·n²)` evaluation of Eq. 8
+/// at every threshold combination. Returns row-major `M × T` counts
+/// (`out[a * T + b] = K(s_a, t_b)`).
+pub fn st_k_naive(
+    points: &[TimedPoint],
+    s_thresholds: &[f64],
+    t_thresholds: &[f64],
+    cfg: KConfig,
+) -> Vec<u64> {
+    let m = s_thresholds.len();
+    let t = t_thresholds.len();
+    let mut out = vec![0u64; m * t];
+    for (a, s) in s_thresholds.iter().enumerate() {
+        let s2 = s * s;
+        for (b, tt) in t_thresholds.iter().enumerate() {
+            let mut count = 0u64;
+            for (i, p) in points.iter().enumerate() {
+                for (j, q) in points.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    if p.point.dist_sq(&q.point) <= s2 && (p.t - q.t).abs() <= *tt {
+                        count += 1;
+                    }
+                }
+            }
+            if cfg.include_self {
+                count += points.len() as u64;
+            }
+            out[a * t + b] = count;
+        }
+    }
+    out
+}
+
+/// Shared spatiotemporal K: one grid-pruned pass over the pairs within
+/// `max(s_thresholds)` buckets each pair into a 2-D `(s, t)` histogram;
+/// a 2-D cumulative sum then yields the entire `M × T` surface. Identical
+/// output to [`st_k_naive`]; cost `O(pairs(s_max) + M·T)`.
+pub fn st_k_grid(
+    points: &[TimedPoint],
+    s_thresholds: &[f64],
+    t_thresholds: &[f64],
+    cfg: KConfig,
+) -> Vec<u64> {
+    let m = s_thresholds.len();
+    let t = t_thresholds.len();
+    if m == 0 || t == 0 {
+        return Vec::new();
+    }
+    let n = points.len();
+    let self_term = if cfg.include_self { n as u64 } else { 0 };
+    if n == 0 {
+        return vec![0; m * t];
+    }
+    let (s_order, s_sorted) = sort_thresholds(s_thresholds);
+    let (t_order, t_sorted) = sort_thresholds(t_thresholds);
+    let s_max = *s_sorted.last().unwrap();
+    let s_max2 = s_max * s_max;
+    let t_max = *t_sorted.last().unwrap();
+
+    let planar: Vec<lsga_core::Point> = points.iter().map(|p| p.point).collect();
+    let index = GridIndex::build(&planar, s_max.max(1e-12));
+    // hist[a][b]: pairs whose first covering s-threshold is a and first
+    // covering t-threshold is b (in sorted rank space).
+    let mut hist = vec![0u64; m * t];
+    for (i, p) in points.iter().enumerate() {
+        index.for_each_candidate(&p.point, s_max, |j, q_pt| {
+            if (j as usize) > i {
+                let d2 = p.point.dist_sq(q_pt);
+                if d2 <= s_max2 {
+                    let dt = (p.t - points[j as usize].t).abs();
+                    if dt <= t_max {
+                        let sa = s_sorted.partition_point(|v| *v < d2.sqrt());
+                        let tb = t_sorted.partition_point(|v| *v < dt);
+                        if sa < m && tb < t {
+                            hist[sa * t + tb] += 2;
+                        }
+                    }
+                }
+            }
+        });
+    }
+    // 2-D cumulative sum in sorted rank space.
+    let mut cum = hist;
+    for a in 0..m {
+        for b in 0..t {
+            let mut v = cum[a * t + b];
+            if a > 0 {
+                v += cum[(a - 1) * t + b];
+            }
+            if b > 0 {
+                v += cum[a * t + b - 1];
+            }
+            if a > 0 && b > 0 {
+                v -= cum[(a - 1) * t + b - 1];
+            }
+            cum[a * t + b] = v;
+        }
+    }
+    // Un-permute to input threshold order and add the self term.
+    let mut out = vec![0u64; m * t];
+    for (ra, &ia) in s_order.iter().enumerate() {
+        for (rb, &ib) in t_order.iter().enumerate() {
+            out[ia * t + ib] = cum[ra * t + rb] + self_term;
+        }
+    }
+    out
+}
+
+/// A spatiotemporal K-function plot surface (Fig. 6): observed `M × T`
+/// counts with pointwise Monte-Carlo envelopes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StKPlot {
+    pub s_thresholds: Vec<f64>,
+    pub t_thresholds: Vec<f64>,
+    /// Row-major `M × T`: `observed[a * T + b] = K(s_a, t_b)`.
+    pub observed: Vec<u64>,
+    pub lower: Vec<u64>,
+    pub upper: Vec<u64>,
+}
+
+impl StKPlot {
+    /// Observed value at `(s_a, t_b)`.
+    pub fn at(&self, a: usize, b: usize) -> u64 {
+        self.observed[a * self.t_thresholds.len() + b]
+    }
+
+    /// `(s, t)` combinations where the observed count exceeds the
+    /// envelope — the space–time scales with meaningful clustering.
+    pub fn clustered_cells(&self) -> Vec<(f64, f64)> {
+        let t = self.t_thresholds.len();
+        self.observed
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| **v > self.upper[*i])
+            .map(|(i, _)| (self.s_thresholds[i / t], self.t_thresholds[i % t]))
+            .collect()
+    }
+}
+
+/// Build the Fig. 6 surface per Eq. 9–10: envelopes from `n_sims`
+/// uniform space–time datasets over `window × [t_min, t_max]`.
+#[allow(clippy::too_many_arguments)]
+pub fn st_k_plot(
+    points: &[TimedPoint],
+    window: BBox,
+    t_min: f64,
+    t_max: f64,
+    s_thresholds: &[f64],
+    t_thresholds: &[f64],
+    n_sims: usize,
+    seed: u64,
+    cfg: KConfig,
+) -> StKPlot {
+    assert!(n_sims >= 1);
+    let observed = st_k_grid(points, s_thresholds, t_thresholds, cfg);
+    let cells = observed.len();
+    let mut lower = vec![u64::MAX; cells];
+    let mut upper = vec![0u64; cells];
+    for sim in 0..n_sims {
+        let r = uniform_timed_points(
+            points.len(),
+            window,
+            t_min,
+            t_max,
+            seed.wrapping_add(sim as u64),
+        );
+        let ks = st_k_grid(&r, s_thresholds, t_thresholds, cfg);
+        for (i, v) in ks.iter().enumerate() {
+            lower[i] = lower[i].min(*v);
+            upper[i] = upper[i].max(*v);
+        }
+    }
+    StKPlot {
+        s_thresholds: s_thresholds.to_vec(),
+        t_thresholds: t_thresholds.to_vec(),
+        observed,
+        lower,
+        upper,
+    }
+}
+
+fn sort_thresholds(thresholds: &[f64]) -> (Vec<usize>, Vec<f64>) {
+    let mut order: Vec<usize> = (0..thresholds.len()).collect();
+    order.sort_by(|a, b| thresholds[*a].total_cmp(&thresholds[*b]));
+    let sorted = order.iter().map(|&i| thresholds[i]).collect();
+    (order, sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::Point;
+    use lsga_data::{epidemic_waves, Hotspot, Wave};
+
+    fn window() -> BBox {
+        BBox::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn wave_data(n: usize) -> Vec<TimedPoint> {
+        epidemic_waves(
+            n,
+            &[
+                Wave {
+                    hotspot: Hotspot {
+                        center: Point::new(25.0, 25.0),
+                        sigma: 3.0,
+                        weight: 1.0,
+                    },
+                    t_peak: 10.0,
+                    t_sigma: 2.0,
+                },
+                Wave {
+                    hotspot: Hotspot {
+                        center: Point::new(75.0, 75.0),
+                        sigma: 3.0,
+                        weight: 1.0,
+                    },
+                    t_peak: 40.0,
+                    t_sigma: 2.0,
+                },
+            ],
+            window(),
+            13,
+        )
+    }
+
+    #[test]
+    fn grid_equals_naive() {
+        let pts = wave_data(120);
+        let ss = [2.0, 5.0, 12.0];
+        let ts = [1.0, 4.0, 20.0];
+        for cfg in [
+            KConfig {
+                include_self: false,
+            },
+            KConfig { include_self: true },
+        ] {
+            assert_eq!(
+                st_k_grid(&pts, &ss, &ts, cfg),
+                st_k_naive(&pts, &ss, &ts, cfg)
+            );
+        }
+    }
+
+    #[test]
+    fn grid_handles_unsorted_thresholds() {
+        let pts = wave_data(80);
+        let cfg = KConfig::default();
+        let a = st_k_grid(&pts, &[12.0, 2.0], &[20.0, 1.0], cfg);
+        let b = st_k_naive(&pts, &[12.0, 2.0], &[20.0, 1.0], cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn surface_monotone_in_both_axes() {
+        let pts = wave_data(150);
+        let ss: Vec<f64> = (1..=5).map(|i| i as f64 * 3.0).collect();
+        let ts: Vec<f64> = (1..=4).map(|i| i as f64 * 5.0).collect();
+        let surf = st_k_grid(&pts, &ss, &ts, KConfig::default());
+        let t = ts.len();
+        for a in 0..ss.len() {
+            for b in 0..t {
+                if a > 0 {
+                    assert!(surf[a * t + b] >= surf[(a - 1) * t + b]);
+                }
+                if b > 0 {
+                    assert!(surf[a * t + b] >= surf[a * t + b - 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spacetime_clustering_detected() {
+        let pts = wave_data(300);
+        let plot = st_k_plot(
+            &pts,
+            window(),
+            0.0,
+            50.0,
+            &[3.0, 6.0, 10.0],
+            &[2.0, 5.0, 10.0],
+            15,
+            7,
+            KConfig::default(),
+        );
+        assert!(!plot.clustered_cells().is_empty());
+        assert!(plot.at(2, 2) >= plot.at(0, 0));
+    }
+
+    #[test]
+    fn uniform_spacetime_within_envelope() {
+        let pts = uniform_timed_points(200, window(), 0.0, 50.0, 314);
+        let plot = st_k_plot(
+            &pts,
+            window(),
+            0.0,
+            50.0,
+            &[5.0, 10.0],
+            &[5.0, 15.0],
+            30,
+            15,
+            KConfig::default(),
+        );
+        let inside = plot
+            .observed
+            .iter()
+            .enumerate()
+            .filter(|(i, v)| **v >= plot.lower[*i] && **v <= plot.upper[*i])
+            .count();
+        assert!(inside >= 3, "observed {:?}", plot.observed);
+    }
+
+    #[test]
+    fn purely_spatial_limit_matches_planar_k() {
+        // With t threshold covering the whole time range, the ST K at
+        // (s, t_max) equals the planar K at s.
+        let pts = wave_data(100);
+        let planar: Vec<Point> = pts.iter().map(|p| p.point).collect();
+        let cfg = KConfig::default();
+        let st = st_k_grid(&pts, &[8.0], &[1e9], cfg);
+        let k = crate::naive::naive_k(&planar, 8.0, cfg);
+        assert_eq!(st[0], k);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cfg = KConfig::default();
+        assert_eq!(st_k_grid(&[], &[1.0], &[1.0], cfg), vec![0]);
+        assert!(st_k_grid(&wave_data(5), &[], &[1.0], cfg).is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests: K-function laws on arbitrary inputs.
+
+use lsga_core::{Point, TimedPoint};
+use lsga_kfunc::{grid_k, histogram_k_all, kd_tree_k, naive_k, st_k_grid, st_k_naive, KConfig};
+use proptest::prelude::*;
+
+fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| Point::new(x, y)),
+        0..max_len,
+    )
+}
+
+fn arb_timed(max_len: usize) -> impl Strategy<Value = Vec<TimedPoint>> {
+    prop::collection::vec(
+        (-50.0f64..50.0, -50.0f64..50.0, 0.0f64..100.0)
+            .prop_map(|(x, y, t)| TimedPoint::new(x, y, t)),
+        0..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_methods_equal_naive(
+        pts in arb_points(80),
+        s in 0.0f64..150.0,
+        include_self in any::<bool>(),
+    ) {
+        let cfg = KConfig { include_self };
+        let want = naive_k(&pts, s, cfg);
+        prop_assert_eq!(grid_k(&pts, s, cfg), want);
+        prop_assert_eq!(kd_tree_k(&pts, s, cfg), want);
+        if !pts.is_empty() {
+            prop_assert_eq!(histogram_k_all(&pts, &[s], cfg)[0], want);
+        }
+    }
+
+    #[test]
+    fn k_monotone_and_bounded(pts in arb_points(60), s1 in 0.0f64..100.0, s2 in 0.0f64..100.0) {
+        let cfg = KConfig::default();
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let k_lo = naive_k(&pts, lo, cfg);
+        let k_hi = naive_k(&pts, hi, cfg);
+        prop_assert!(k_lo <= k_hi);
+        let n = pts.len() as u64;
+        prop_assert!(k_hi <= n.saturating_mul(n.saturating_sub(1)));
+    }
+
+    #[test]
+    fn include_self_shifts_by_n(pts in arb_points(50), s in 0.0f64..100.0) {
+        let excl = naive_k(&pts, s, KConfig { include_self: false });
+        let incl = naive_k(&pts, s, KConfig { include_self: true });
+        prop_assert_eq!(incl, excl + pts.len() as u64);
+    }
+
+    #[test]
+    fn st_grid_equals_naive(
+        pts in arb_timed(40),
+        s in 0.5f64..80.0,
+        t in 0.5f64..60.0,
+    ) {
+        let cfg = KConfig::default();
+        prop_assert_eq!(
+            st_k_grid(&pts, &[s], &[t], cfg),
+            st_k_naive(&pts, &[s], &[t], cfg)
+        );
+    }
+
+    #[test]
+    fn st_k_bounded_by_planar_k(pts in arb_timed(40), s in 0.5f64..80.0, t in 0.5f64..60.0) {
+        // The time constraint can only remove pairs.
+        let cfg = KConfig::default();
+        let planar: Vec<Point> = pts.iter().map(|p| p.point).collect();
+        let st = st_k_grid(&pts, &[s], &[t], cfg)[0];
+        let k = naive_k(&planar, s, cfg);
+        prop_assert!(st <= k);
+    }
+}

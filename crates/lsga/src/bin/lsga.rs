@@ -1,0 +1,451 @@
+//! `lsga` — a command-line front end for the analytics suite.
+//!
+//! The paper's §2.4 lists "future opportunities for software
+//! development": packages built on efficient algorithms rather than the
+//! naive loops of QGIS/ArcGIS. This binary is that deliverable for the
+//! suite — CSV in, heatmaps / plots / statistics out, every subcommand
+//! backed by the accelerated implementations.
+//!
+//! ```text
+//! lsga generate --kind crime --n 100000 --out points.csv
+//! lsga kdv      --in points.csv --out heat.png --bandwidth auto
+//! lsga kfunc    --in points.csv --max-s 500 --steps 10 --svg kplot.svg
+//! lsga moran    --in points.csv --cells 20
+//! lsga dbscan   --in points.csv --eps 150 --min-pts 10 --out labels.csv
+//! ```
+//!
+//! Run `lsga help` for the full reference.
+
+use lsga::prelude::*;
+use lsga::{data, kdv, kfunc, stats, viz};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+lsga — large-scale geospatial analytics
+
+USAGE: lsga <command> [--flag value]...
+
+COMMANDS
+  generate   synthesize a dataset
+             --kind crime|csr|taxi|waves   (default crime)
+             --n <count>                   (default 10000)
+             --seed <u64>                  (default 42)
+             --out <file.csv>              (required)
+  kdv        rasterize a density heatmap
+             --in <file.csv>               (required; columns x,y)
+             --out <file.png|.ppm>         (required)
+             --method slam|grid|sampling|binned|adaptive (default slam)
+             --kernel uniform|epanechnikov|quartic|gaussian|triangular|cosine|exponential
+                                           (default quartic)
+             --bandwidth <b|auto>          (default auto: Silverman)
+             --width <pixels>              (default 512)
+             --colormap heat|viridis|gray  (default heat)
+  kfunc      K-function plot with CSR envelopes
+             --in <file.csv>               (required)
+             --max-s <s>                   (default: 1/10 of window width)
+             --steps <D>                   (default 10)
+             --sims <L>                    (default 20)
+             --svg <file.svg>              (optional Fig. 2 output)
+  moran      global Moran's I + General G over quadrat counts
+             --in <file.csv>               (required)
+             --cells <k>                   (default 16; k x k lattice)
+             --perms <count>               (default 199)
+  dbscan     density-based clustering
+             --in <file.csv>               (required)
+             --eps <radius>                (required)
+             --min-pts <count>             (default 5)
+             --out <labels.csv>            (optional)
+  nkdv       network KDV over a synthetic Manhattan grid
+             --in <file.csv>               (required; events snapped)
+             --blocks <k>                  (default 12; k x k grid)
+             --bandwidth <b>               (default 3 block lengths)
+             --estimator simple|equal-split (default simple)
+             --svg <file.svg>              (optional road heatmap)
+             --geojson <file.geojson>      (optional lixel export)
+  help       print this text
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "kdv" => cmd_kdv(&flags),
+        "kfunc" => cmd_kfunc(&flags),
+        "moran" => cmd_moran(&flags),
+        "dbscan" => cmd_dbscan(&flags),
+        "nkdv" => cmd_nkdv(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; see `lsga help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {key:?}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a Flags, name: &str) -> Option<&'a str> {
+    flags.get(name).map(String::as_str)
+}
+
+fn require<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    get(flags, name).ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn parse<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match get(flags, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+    }
+}
+
+fn load_points(flags: &Flags) -> Result<Vec<Point>, String> {
+    let path = require(flags, "in")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let pts = data::csv::read_points(file).map_err(|e| format!("parse {path}: {e}"))?;
+    if pts.is_empty() {
+        return Err(format!("{path} contains no points"));
+    }
+    Ok(pts)
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let out = require(flags, "out")?;
+    let n: usize = parse(flags, "n", 10_000)?;
+    let seed: u64 = parse(flags, "seed", 42)?;
+    let kind = get(flags, "kind").unwrap_or("crime");
+    let window = BBox::new(0.0, 0.0, 10_000.0, 8_000.0);
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    match kind {
+        "crime" => {
+            let hotspots = [
+                Hotspot {
+                    center: Point::new(2_500.0, 2_000.0),
+                    sigma: 300.0,
+                    weight: 2.0,
+                },
+                Hotspot {
+                    center: Point::new(7_500.0, 5_500.0),
+                    sigma: 500.0,
+                    weight: 1.0,
+                },
+                Hotspot {
+                    center: Point::new(5_000.0, 4_000.0),
+                    sigma: 2_500.0,
+                    weight: 1.0,
+                },
+            ];
+            let pts = data::gaussian_mixture(n, &hotspots, window, seed);
+            data::csv::write_points(file, &pts).map_err(|e| e.to_string())?;
+        }
+        "csr" => {
+            let pts = data::uniform_points(n, window, seed);
+            data::csv::write_points(file, &pts).map_err(|e| e.to_string())?;
+        }
+        "taxi" => {
+            let pts = data::taxi_like(n, window, 0.7, seed);
+            data::csv::write_points(file, &pts).map_err(|e| e.to_string())?;
+        }
+        "waves" => {
+            let waves = [
+                Wave {
+                    hotspot: Hotspot {
+                        center: Point::new(2_500.0, 5_500.0),
+                        sigma: 400.0,
+                        weight: 1.0,
+                    },
+                    t_peak: 20.0,
+                    t_sigma: 6.0,
+                },
+                Wave {
+                    hotspot: Hotspot {
+                        center: Point::new(7_500.0, 2_500.0),
+                        sigma: 350.0,
+                        weight: 1.4,
+                    },
+                    t_peak: 75.0,
+                    t_sigma: 5.0,
+                },
+            ];
+            let pts = data::epidemic_waves(n, &waves, window, seed);
+            data::csv::write_timed_points(file, &pts).map_err(|e| e.to_string())?;
+        }
+        other => return Err(format!("unknown --kind {other:?}")),
+    }
+    eprintln!("wrote {n} {kind} points to {out}");
+    Ok(())
+}
+
+fn cmd_kdv(flags: &Flags) -> Result<(), String> {
+    let points = load_points(flags)?;
+    let out = require(flags, "out")?;
+    let width: usize = parse(flags, "width", 512)?;
+    let window = BBox::of_points(&points).inflate(1.0);
+    let spec = GridSpec::with_width(window, width);
+
+    let bandwidth = match get(flags, "bandwidth") {
+        None | Some("auto") => lsga::core::silverman_bandwidth(&points)
+            .ok_or("cannot auto-select a bandwidth for degenerate data")?,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--bandwidth: cannot parse {v:?}"))?,
+    };
+    let kernel_kind = match get(flags, "kernel").unwrap_or("quartic") {
+        "uniform" => KernelKind::Uniform,
+        "epanechnikov" => KernelKind::Epanechnikov,
+        "quartic" => KernelKind::Quartic,
+        "gaussian" => KernelKind::Gaussian,
+        "triangular" => KernelKind::Triangular,
+        "cosine" => KernelKind::Cosine,
+        "exponential" => KernelKind::Exponential,
+        other => return Err(format!("unknown --kernel {other:?}")),
+    };
+    let method = get(flags, "method").unwrap_or("slam");
+    let start = std::time::Instant::now();
+    let grid = match method {
+        "slam" => {
+            let poly = PolyKernel::new(kernel_kind, bandwidth).ok_or(
+                "--method slam needs a polynomial kernel (uniform/epanechnikov/quartic); \
+                 use --method grid for the others",
+            )?;
+            kdv::slam_kdv(&points, spec, poly)
+        }
+        "grid" => kdv::grid_pruned_kdv(
+            &points,
+            spec,
+            kernel_kind.with_bandwidth(bandwidth),
+            kdv::DEFAULT_TAIL_EPS,
+        ),
+        "sampling" => kdv::sampling_kdv(
+            &points,
+            spec,
+            kernel_kind.with_bandwidth(bandwidth),
+            8192,
+            7,
+        ),
+        "binned" => {
+            if kernel_kind != KernelKind::Gaussian {
+                return Err("--method binned requires --kernel gaussian".into());
+            }
+            kdv::binned_gaussian_kdv(&points, spec, Gaussian::new(bandwidth), 8, 1e-9)
+        }
+        "adaptive" => kdv::adaptive_kdv(&points, spec, kernel_kind, bandwidth, 0.5),
+        other => return Err(format!("unknown --method {other:?}")),
+    };
+    let elapsed = start.elapsed();
+    let cmap = match get(flags, "colormap").unwrap_or("heat") {
+        "heat" => Colormap::Heat,
+        "viridis" => Colormap::Viridis,
+        "gray" => Colormap::Gray,
+        other => return Err(format!("unknown --colormap {other:?}")),
+    };
+    if out.ends_with(".ppm") {
+        let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+        viz::write_heatmap_ppm(file, &grid, cmap).map_err(|e| e.to_string())?;
+    } else {
+        viz::write_heatmap_png(out, &grid, cmap).map_err(|e| e.to_string())?;
+    }
+    let hot = grid.hotspot();
+    eprintln!(
+        "kdv: n={} method={method} kernel={} b={bandwidth:.1} {}x{} px in {elapsed:.1?}; \
+         hotspot at ({:.1}, {:.1}); wrote {out}",
+        points.len(),
+        kernel_kind.name(),
+        spec.nx,
+        spec.ny,
+        hot.x,
+        hot.y
+    );
+    Ok(())
+}
+
+fn cmd_kfunc(flags: &Flags) -> Result<(), String> {
+    let points = load_points(flags)?;
+    let window = BBox::of_points(&points).inflate(1.0);
+    let max_s: f64 = parse(flags, "max-s", window.width() / 10.0)?;
+    let steps: usize = parse(flags, "steps", 10)?;
+    let sims: usize = parse(flags, "sims", 20)?;
+    if max_s <= 0.0 || steps == 0 || sims == 0 {
+        return Err("--max-s, --steps and --sims must be positive".into());
+    }
+    let thresholds: Vec<f64> = (1..=steps).map(|i| max_s * i as f64 / steps as f64).collect();
+    let plot = kfunc::k_function_plot(
+        &points,
+        window,
+        &thresholds,
+        sims,
+        7,
+        Default::default(),
+        std::thread::available_parallelism().map_or(4, |p| p.get()),
+    );
+    println!("s,observed,envelope_low,envelope_high,l_minus_s,verdict");
+    let l = plot.l_curve(points.len(), window.area());
+    for (i, s) in plot.thresholds.iter().enumerate() {
+        println!(
+            "{s},{},{},{},{:.3},{:?}",
+            plot.observed[i],
+            plot.lower[i],
+            plot.upper[i],
+            l[i],
+            plot.regimes()[i]
+        );
+    }
+    if let Some(svg_path) = get(flags, "svg") {
+        std::fs::write(svg_path, viz::k_plot_svg(&plot, 640, 480))
+            .map_err(|e| format!("write {svg_path}: {e}"))?;
+        eprintln!("wrote {svg_path}");
+    }
+    Ok(())
+}
+
+fn cmd_moran(flags: &Flags) -> Result<(), String> {
+    let points = load_points(flags)?;
+    let cells: usize = parse(flags, "cells", 16)?;
+    let perms: usize = parse(flags, "perms", 199)?;
+    if cells < 2 {
+        return Err("--cells must be at least 2".into());
+    }
+    let window = BBox::of_points(&points).inflate(1.0);
+    let spec = GridSpec::new(window, cells, cells);
+    let counts = stats::areal::quadrat_counts(&points, spec);
+    let centers = stats::areal::cell_centers(&spec);
+    let radius = 1.5 * spec.dx().max(spec.dy());
+    let w = stats::SpatialWeights::distance_band(&centers, radius);
+    let moran = stats::morans_i(counts.values(), &w, perms, 1)
+        .ok_or("Moran's I undefined (constant counts?)")?;
+    println!(
+        "morans_i,{:.4}\nexpected,{:.4}\nz_norm,{:.2}\np_norm,{:.4}\np_perm,{:.4}",
+        moran.i,
+        moran.expected,
+        moran.z_norm,
+        moran.p_norm,
+        moran.p_perm.unwrap_or(f64::NAN)
+    );
+    if let Some(g) = stats::general_g(counts.values(), &w, perms, 2) {
+        println!(
+            "general_g,{:.6}\ng_expected,{:.6}\ng_z,{:.2}\ng_p_perm,{:.4}",
+            g.g, g.expected, g.z, g.p_perm
+        );
+    }
+    Ok(())
+}
+
+fn cmd_nkdv(flags: &Flags) -> Result<(), String> {
+    let points = load_points(flags)?;
+    let blocks: usize = parse(flags, "blocks", 12)?;
+    if blocks < 2 {
+        return Err("--blocks must be at least 2".into());
+    }
+    // Build a Manhattan grid covering the data bounds.
+    let window = BBox::of_points(&points).inflate(1.0);
+    let spacing = window.width().max(window.height()) / (blocks - 1) as f64;
+    let net = {
+        // grid_network spans from the origin; shift events instead.
+        lsga::network::grid_network(blocks, blocks, spacing)
+    };
+    let shift = |p: &Point| Point::new(p.x - window.min_x, p.y - window.min_y);
+    let idx = lsga::network::SegmentIndex::build(&net, spacing);
+    let events: Vec<EdgePosition> = points
+        .iter()
+        .filter_map(|p| idx.snap(&net, &shift(p)).map(|(pos, _)| pos))
+        .collect();
+    let bandwidth: f64 = parse(flags, "bandwidth", 3.0 * spacing)?;
+    let kernel = Quartic::new(bandwidth);
+    let lixels = Lixels::build(&net, spacing / 8.0);
+    let start = std::time::Instant::now();
+    let estimator = get(flags, "estimator").unwrap_or("simple");
+    let density = match estimator {
+        "simple" => lsga::kdv::nkdv_forward(&net, &lixels, &events, kernel),
+        "equal-split" => lsga::kdv::nkdv_equal_split(&net, &lixels, &events, kernel),
+        other => return Err(format!("unknown --estimator {other:?}")),
+    };
+    let hot = lixels.all()[density.argmax()];
+    let hot_pt = net.point_on_edge(hot.edge, hot.center_offset());
+    eprintln!(
+        "nkdv: {} events on a {blocks}x{blocks} grid ({} lixels), {estimator}, b={bandwidth:.0},          {:.1?}; hottest segment at ({:.0}, {:.0})",
+        events.len(),
+        lixels.len(),
+        start.elapsed(),
+        hot_pt.x + window.min_x,
+        hot_pt.y + window.min_y
+    );
+    if let Some(svg_path) = get(flags, "svg") {
+        let svg = lsga::viz::network_density_svg(&net, &lixels, &density, Colormap::Heat, 900, 900);
+        std::fs::write(svg_path, svg).map_err(|e| format!("write {svg_path}: {e}"))?;
+        eprintln!("wrote {svg_path}");
+    }
+    if let Some(gj_path) = get(flags, "geojson") {
+        let gj = lsga::viz::lixels_geojson(&net, &lixels, &density);
+        std::fs::write(gj_path, gj).map_err(|e| format!("write {gj_path}: {e}"))?;
+        eprintln!("wrote {gj_path}");
+    }
+    Ok(())
+}
+
+fn cmd_dbscan(flags: &Flags) -> Result<(), String> {
+    let points = load_points(flags)?;
+    let eps: f64 = require(flags, "eps")?
+        .parse()
+        .map_err(|_| "--eps: not a number".to_string())?;
+    let min_pts: usize = parse(flags, "min-pts", 5)?;
+    if eps <= 0.0 || min_pts == 0 {
+        return Err("--eps and --min-pts must be positive".into());
+    }
+    let start = std::time::Instant::now();
+    let result = stats::dbscan(&points, eps, min_pts);
+    eprintln!(
+        "dbscan: n={} eps={eps} min_pts={min_pts}: {} clusters, {} noise, {:.1?}",
+        points.len(),
+        result.n_clusters,
+        result.labels.iter().filter(|l| **l == stats::NOISE).count(),
+        start.elapsed()
+    );
+    if let Some(out) = get(flags, "out") {
+        use std::io::Write;
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?,
+        );
+        writeln!(f, "x,y,label").map_err(|e| e.to_string())?;
+        for (p, l) in points.iter().zip(&result.labels) {
+            writeln!(f, "{},{},{}", p.x, p.y, l).map_err(|e| e.to_string())?;
+        }
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}

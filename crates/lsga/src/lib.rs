@@ -1,0 +1,88 @@
+//! # lsga — Large-Scale Geospatial Analytics
+//!
+//! A Rust suite implementing the geospatial analytic tools surveyed in
+//! Chan, U, Choi, Xu & Cheng, *Large-scale Geospatial Analytics:
+//! Problems, Challenges, and Opportunities* (SIGMOD-Companion 2023):
+//! kernel density visualization (KDV) with the four acceleration
+//! families the paper describes, the K-function with Monte-Carlo
+//! envelopes, their network and spatiotemporal variants, IDW, ordinary
+//! kriging, Moran's I, the Getis-Ord General G, and spatial clustering —
+//! plus the substrates they need (spatial indexes, a road-network
+//! engine, synthetic data generators, a simulated distributed cluster,
+//! and renderers).
+//!
+//! This umbrella crate re-exports every sub-crate under one namespace:
+//!
+//! ```
+//! use lsga::prelude::*;
+//!
+//! // Synthetic crime-like hotspots...
+//! let window = BBox::new(0.0, 0.0, 100.0, 100.0);
+//! let points = lsga::data::gaussian_mixture(
+//!     2_000,
+//!     &[Hotspot { center: Point::new(30.0, 40.0), sigma: 5.0, weight: 1.0 }],
+//!     window,
+//!     42,
+//! );
+//!
+//! // ...rasterized with the SLAM sweep-line (exact, shared evaluation):
+//! let spec = GridSpec::new(window, 256, 256);
+//! let kernel = PolyKernel::new(KernelKind::Epanechnikov, 8.0).unwrap();
+//! let density = lsga::kdv::slam_kdv(&points, spec, kernel);
+//! assert!(density.hotspot().dist(&Point::new(30.0, 40.0)) < 5.0);
+//!
+//! // ...and judged for statistical significance with a K-function plot:
+//! let thresholds: Vec<f64> = (1..=10).map(f64::from).collect();
+//! let plot = lsga::kfunc::k_function_plot(
+//!     &points, window, &thresholds, 20, 7, Default::default(), 4,
+//! );
+//! assert!(!plot.clustered_thresholds().is_empty());
+//! ```
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md`
+//! for the reproduced experiments.
+
+/// Foundation types: geometry, kernels, rasters, bandwidth rules.
+pub use lsga_core as core;
+/// Spatial indexes: kd-tree, ball tree, bucket grid, range tree.
+pub use lsga_index as index;
+/// Road networks: graph, Dijkstra, snapping, lixels, generators.
+pub use lsga_network as network;
+/// Synthetic dataset generators and CSV I/O.
+pub use lsga_data as data;
+/// KDV and variants (NKDV, STKDV) with all acceleration families.
+pub use lsga_kdv as kdv;
+/// K-function and variants with Monte-Carlo envelopes.
+pub use lsga_kfunc as kfunc;
+/// Moran's I, Getis-Ord General G, DBSCAN, K-means.
+pub use lsga_stats as stats;
+/// IDW and ordinary kriging.
+pub use lsga_interp as interp;
+/// Simulated distributed cluster.
+pub use lsga_dist as dist;
+/// Heatmap and plot rendering.
+pub use lsga_viz as viz;
+
+/// The types most programs need, importable in one line.
+pub mod prelude {
+    pub use lsga_core::{
+        AnyKernel, BBox, DensityGrid, Epanechnikov, Gaussian, GridSpec, Kernel, KernelKind,
+        Point, PolyKernel, Quartic, SpaceTimeGrid, TimedPoint, Uniform,
+    };
+    pub use lsga_data::{Hotspot, Wave};
+    pub use lsga_kfunc::{KConfig, KFunctionPlot, Regime};
+    pub use lsga_network::{EdgeId, EdgePosition, Lixels, NetworkBuilder, RoadNetwork, VertexId};
+    pub use lsga_viz::Colormap;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let p = Point::new(1.0, 2.0);
+        let b = BBox::of_points(&[p]);
+        assert!(b.contains(&p));
+        let _ = KConfig::default();
+    }
+}

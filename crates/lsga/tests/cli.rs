@@ -1,0 +1,206 @@
+//! End-to-end tests of the `lsga` command-line tool: every subcommand
+//! driven through a real process, files verified on disk.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lsga() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lsga"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lsga_cli_{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = lsga().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("kdv"));
+    assert!(text.contains("kfunc"));
+}
+
+#[test]
+fn no_command_fails_with_usage() {
+    let out = lsga().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("USAGE"));
+}
+
+#[test]
+fn unknown_flags_and_commands_rejected() {
+    let out = lsga().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = lsga().args(["kdv", "positional"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--flag"));
+}
+
+#[test]
+fn generate_then_kdv_then_kfunc_pipeline() {
+    let dir = temp_dir("pipeline");
+    let csv = dir.join("pts.csv");
+    let png = dir.join("heat.png");
+    let svg = dir.join("kplot.svg");
+
+    // generate
+    let out = lsga()
+        .args(["generate", "--kind", "crime", "--n", "3000"])
+        .args(["--seed", "7", "--out", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(csv.exists());
+
+    // kdv with auto bandwidth -> PNG
+    let out = lsga()
+        .args(["kdv", "--in", csv.to_str().unwrap()])
+        .args(["--out", png.to_str().unwrap(), "--width", "128"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let bytes = std::fs::read(&png).unwrap();
+    assert_eq!(&bytes[1..4], b"PNG");
+    let log = String::from_utf8(out.stderr).unwrap();
+    assert!(log.contains("hotspot"), "{log}");
+
+    // kfunc -> CSV on stdout + SVG file
+    let out = lsga()
+        .args(["kfunc", "--in", csv.to_str().unwrap()])
+        .args(["--steps", "5", "--sims", "5", "--svg", svg.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8(out.stdout).unwrap();
+    assert!(table.starts_with("s,observed"));
+    assert_eq!(table.lines().count(), 6); // header + 5 thresholds
+    assert!(table.contains("Clustered"), "{table}");
+    assert!(std::fs::read_to_string(&svg).unwrap().contains("<svg"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kdv_methods_and_formats() {
+    let dir = temp_dir("methods");
+    let csv = dir.join("pts.csv");
+    lsga()
+        .args(["generate", "--kind", "taxi", "--n", "2000", "--out", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+
+    // grid method + gaussian kernel + ppm output
+    let ppm = dir.join("heat.ppm");
+    let out = lsga()
+        .args(["kdv", "--in", csv.to_str().unwrap(), "--out", ppm.to_str().unwrap()])
+        .args(["--method", "grid", "--kernel", "gaussian", "--width", "64"])
+        .args(["--colormap", "viridis"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(std::fs::read(&ppm).unwrap().starts_with(b"P6"));
+
+    // binned method demands gaussian
+    let out = lsga()
+        .args(["kdv", "--in", csv.to_str().unwrap(), "--out", ppm.to_str().unwrap()])
+        .args(["--method", "binned", "--kernel", "quartic"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("gaussian"));
+
+    // slam rejects non-polynomial kernels with a helpful message
+    let out = lsga()
+        .args(["kdv", "--in", csv.to_str().unwrap(), "--out", ppm.to_str().unwrap()])
+        .args(["--kernel", "gaussian"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("polynomial"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn moran_and_dbscan_outputs() {
+    let dir = temp_dir("stats");
+    let csv = dir.join("pts.csv");
+    lsga()
+        .args(["generate", "--kind", "crime", "--n", "4000", "--out", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+
+    let out = lsga()
+        .args(["moran", "--in", csv.to_str().unwrap(), "--cells", "12", "--perms", "49"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8(out.stdout).unwrap();
+    assert!(table.contains("morans_i,"));
+    assert!(table.contains("general_g,"));
+    // Crime data must be positively autocorrelated.
+    let i: f64 = table
+        .lines()
+        .find(|l| l.starts_with("morans_i,"))
+        .unwrap()
+        .split(',')
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(i > 0.1, "I = {i}");
+
+    let labels = dir.join("labels.csv");
+    let out = lsga()
+        .args(["dbscan", "--in", csv.to_str().unwrap(), "--eps", "250"])
+        .args(["--min-pts", "10", "--out", labels.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&labels).unwrap();
+    assert!(text.starts_with("x,y,label"));
+    assert_eq!(text.lines().count(), 4001);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn nkdv_subcommand_produces_svg_and_geojson() {
+    let dir = temp_dir("nkdv");
+    let csv = dir.join("pts.csv");
+    lsga()
+        .args(["generate", "--kind", "crime", "--n", "1500", "--out", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let svg = dir.join("roads.svg");
+    let gj = dir.join("lixels.geojson");
+    let out = lsga()
+        .args(["nkdv", "--in", csv.to_str().unwrap(), "--blocks", "8"])
+        .args(["--estimator", "equal-split"])
+        .args(["--svg", svg.to_str().unwrap(), "--geojson", gj.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+    let gj_text = std::fs::read_to_string(&gj).unwrap();
+    assert!(gj_text.starts_with(r#"{"type":"FeatureCollection""#));
+    assert!(gj_text.contains("LineString"));
+    let log = String::from_utf8(out.stderr).unwrap();
+    assert!(log.contains("hottest segment"), "{log}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_input_file_reports_cleanly() {
+    let out = lsga()
+        .args(["kdv", "--in", "/nonexistent/nope.csv", "--out", "/tmp/x.png"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("nope.csv"), "{err}");
+}

@@ -1,0 +1,276 @@
+//! Bounded shortest-path searches with a reusable workspace.
+//!
+//! NKDV runs one bounded Dijkstra per event and the network K-function one
+//! per event (naive) or per occupied edge (shared), so the per-search
+//! overhead matters. [`DijkstraEngine`] keeps its distance array across
+//! searches using epoch stamping: resetting costs O(1), not O(V).
+
+use crate::graph::{RoadNetwork, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reusable bounded-Dijkstra engine over one network.
+#[derive(Debug)]
+pub struct DijkstraEngine<'a> {
+    net: &'a RoadNetwork,
+    dist: Vec<f64>,
+    epoch_of: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    /// Vertices reached in the last search (dense reset-free readout).
+    reached: Vec<VertexId>,
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    v: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist.total_cmp(&other.dist).then(self.v.cmp(&other.v))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a> DijkstraEngine<'a> {
+    /// Create an engine for `net`.
+    pub fn new(net: &'a RoadNetwork) -> Self {
+        DijkstraEngine {
+            net,
+            dist: vec![f64::INFINITY; net.vertex_count()],
+            epoch_of: vec![0; net.vertex_count()],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+            reached: Vec::new(),
+        }
+    }
+
+    /// Run a bounded multi-source Dijkstra.
+    ///
+    /// `seeds` are `(vertex, initial distance)` pairs — events located on
+    /// an edge seed both endpoints with their offsets. Vertices farther
+    /// than `max_dist` are not settled. After the call, distances are
+    /// readable through [`DijkstraEngine::dist`] and the settled set
+    /// through [`DijkstraEngine::reached`].
+    pub fn run(&mut self, seeds: &[(VertexId, f64)], max_dist: f64) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: do the full reset once.
+            self.epoch_of.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+        self.reached.clear();
+        for &(v, d0) in seeds {
+            if d0 > max_dist {
+                continue;
+            }
+            let vi = v.0 as usize;
+            if self.epoch_of[vi] != self.epoch || d0 < self.dist[vi] {
+                self.epoch_of[vi] = self.epoch;
+                self.dist[vi] = d0;
+                self.heap.push(Reverse(HeapEntry { dist: d0, v: v.0 }));
+            }
+        }
+        while let Some(Reverse(HeapEntry { dist: d, v })) = self.heap.pop() {
+            let vi = v as usize;
+            if self.epoch_of[vi] != self.epoch || d > self.dist[vi] {
+                continue; // stale entry
+            }
+            self.reached.push(VertexId(v));
+            for (w, e) in self.net.neighbors(VertexId(v)) {
+                let nd = d + self.net.edge(e).length;
+                if nd > max_dist {
+                    continue;
+                }
+                let wi = w.0 as usize;
+                if self.epoch_of[wi] != self.epoch || nd < self.dist[wi] {
+                    self.epoch_of[wi] = self.epoch;
+                    self.dist[wi] = nd;
+                    self.heap.push(Reverse(HeapEntry { dist: nd, v: w.0 }));
+                }
+            }
+        }
+    }
+
+    /// Distance to `v` from the last search's seeds, or `None` if `v` was
+    /// not reached within the bound.
+    #[inline]
+    pub fn dist(&self, v: VertexId) -> Option<f64> {
+        let vi = v.0 as usize;
+        if self.epoch_of[vi] == self.epoch {
+            Some(self.dist[vi])
+        } else {
+            None
+        }
+    }
+
+    /// Vertices settled by the last search, in ascending distance order.
+    #[inline]
+    pub fn reached(&self) -> &[VertexId] {
+        &self.reached
+    }
+
+    /// Unbounded single-source convenience (bound = ∞).
+    pub fn run_from(&mut self, source: VertexId) {
+        self.run(&[(source, 0.0)], f64::INFINITY);
+    }
+
+    /// The underlying network.
+    #[inline]
+    pub fn network(&self) -> &RoadNetwork {
+        self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetworkBuilder;
+    use lsga_core::Point;
+
+    /// Path graph 0-1-2-3-4 with unit edges.
+    fn path_net() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let vs: Vec<VertexId> = (0..5)
+            .map(|i| b.add_vertex(Point::new(i as f64, 0.0)))
+            .collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], None).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Weighted diamond where the long direct edge loses to the two-hop
+    /// path: 0-1 (1), 1-3 (1), 0-2 (2), 2-3 (5), 0-3 (10).
+    fn diamond() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let v: Vec<VertexId> = (0..4)
+            .map(|i| b.add_vertex(Point::new(i as f64, i as f64)))
+            .collect();
+        b.add_edge(v[0], v[1], Some(1.0)).unwrap();
+        b.add_edge(v[1], v[3], Some(1.0)).unwrap();
+        b.add_edge(v[0], v[2], Some(2.0)).unwrap();
+        b.add_edge(v[2], v[3], Some(5.0)).unwrap();
+        b.add_edge(v[0], v[3], Some(10.0)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_source_distances() {
+        let net = path_net();
+        let mut eng = DijkstraEngine::new(&net);
+        eng.run_from(VertexId(0));
+        for i in 0..5u32 {
+            assert_eq!(eng.dist(VertexId(i)), Some(i as f64));
+        }
+    }
+
+    #[test]
+    fn takes_shortest_route() {
+        let net = diamond();
+        let mut eng = DijkstraEngine::new(&net);
+        eng.run_from(VertexId(0));
+        assert_eq!(eng.dist(VertexId(3)), Some(2.0)); // via vertex 1
+        assert_eq!(eng.dist(VertexId(2)), Some(2.0));
+    }
+
+    #[test]
+    fn bound_respected() {
+        let net = path_net();
+        let mut eng = DijkstraEngine::new(&net);
+        eng.run(&[(VertexId(0), 0.0)], 2.5);
+        assert_eq!(eng.dist(VertexId(2)), Some(2.0));
+        assert_eq!(eng.dist(VertexId(3)), None);
+        assert_eq!(eng.dist(VertexId(4)), None);
+        assert_eq!(eng.reached().len(), 3);
+    }
+
+    #[test]
+    fn multi_source_with_offsets() {
+        let net = path_net();
+        let mut eng = DijkstraEngine::new(&net);
+        // Event 0.3 along edge (1,2): seeds vertex 1 at 0.3 and vertex 2
+        // at 0.7.
+        eng.run(&[(VertexId(1), 0.3), (VertexId(2), 0.7)], 10.0);
+        assert_eq!(eng.dist(VertexId(0)), Some(1.3));
+        assert_eq!(eng.dist(VertexId(4)), Some(2.7));
+    }
+
+    #[test]
+    fn reuse_resets_previous_search() {
+        let net = path_net();
+        let mut eng = DijkstraEngine::new(&net);
+        eng.run(&[(VertexId(0), 0.0)], 1.5);
+        assert!(eng.dist(VertexId(4)).is_none());
+        eng.run(&[(VertexId(4), 0.0)], 1.5);
+        // Old search's results must be gone.
+        assert_eq!(eng.dist(VertexId(0)), None);
+        assert_eq!(eng.dist(VertexId(4)), Some(0.0));
+        assert_eq!(eng.dist(VertexId(3)), Some(1.0));
+    }
+
+    #[test]
+    fn reached_sorted_by_distance() {
+        let net = diamond();
+        let mut eng = DijkstraEngine::new(&net);
+        eng.run_from(VertexId(0));
+        let dists: Vec<f64> = eng
+            .reached()
+            .iter()
+            .map(|v| eng.dist(*v).unwrap())
+            .collect();
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(eng.reached().len(), 4);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // indexes a distance matrix
+    fn triangle_inequality_holds() {
+        // Property check on a deterministic mesh: d(a,c) <= d(a,b)+d(b,c).
+        let mut b = NetworkBuilder::new();
+        let n = 6;
+        let vs: Vec<VertexId> = (0..n * n)
+            .map(|i| b.add_vertex(Point::new((i % n) as f64, (i / n) as f64)))
+            .collect();
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if x + 1 < n {
+                    b.add_edge(vs[i], vs[i + 1], None).unwrap();
+                }
+                if y + 1 < n {
+                    b.add_edge(vs[i], vs[i + n], None).unwrap();
+                }
+            }
+        }
+        let net = b.build().unwrap();
+        let mut eng = DijkstraEngine::new(&net);
+        let mut all = vec![vec![0.0; n * n]; n * n];
+        for s in 0..n * n {
+            eng.run_from(VertexId(s as u32));
+            for t in 0..n * n {
+                all[s][t] = eng.dist(VertexId(t as u32)).unwrap();
+            }
+        }
+        for a in 0..n * n {
+            for c in 0..n * n {
+                for mid in [0, 7, 18, 35] {
+                    assert!(all[a][c] <= all[a][mid] + all[mid][c] + 1e-9);
+                }
+                assert!((all[a][c] - all[c][a]).abs() < 1e-9, "symmetry");
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Synthetic road-network generators and on-network event sampling.
+//!
+//! Real road networks (the paper's deployments use Hong Kong's; SANET and
+//! spNetwork ship city extracts) are replaced by two parametric families
+//! that bracket the structural regimes that matter for NKDV / network
+//! K-function behaviour:
+//!
+//! * [`grid_network`] — a Manhattan grid: high regularity, many short
+//!   cycles; network distance ≈ L1 distance, so the Euclidean-vs-network
+//!   gap is moderate and analytically predictable.
+//! * [`random_geometric_network`] — random vertices wired to near
+//!   neighbours plus a connectivity backbone: irregular, with barriers
+//!   and detours; produces the large Euclidean-vs-network gaps of the
+//!   paper's Fig. 3.
+//!
+//! [`sample_on_network`] draws events uniformly *by length* — the null
+//! model ("complete spatial randomness on a network") that the network
+//! K-function envelope simulation (Def. 3 adapted to networks) requires.
+
+use crate::graph::{NetworkBuilder, RoadNetwork, VertexId};
+use crate::position::EdgePosition;
+use crate::EdgeId;
+use lsga_core::{BBox, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build an `nx × ny` Manhattan grid with the given block `spacing`.
+/// Vertices are at `(i·spacing, j·spacing)`; all adjacent pairs are
+/// connected. Panics if either dimension is `< 2`.
+pub fn grid_network(nx: usize, ny: usize, spacing: f64) -> RoadNetwork {
+    assert!(nx >= 2 && ny >= 2, "grid must be at least 2x2");
+    assert!(spacing > 0.0, "spacing must be positive");
+    let mut b = NetworkBuilder::new();
+    let mut ids = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            ids.push(b.add_vertex(Point::new(i as f64 * spacing, j as f64 * spacing)));
+        }
+    }
+    for j in 0..ny {
+        for i in 0..nx {
+            let v = ids[j * nx + i];
+            if i + 1 < nx {
+                b.add_edge(v, ids[j * nx + i + 1], None).expect("valid grid edge");
+            }
+            if j + 1 < ny {
+                b.add_edge(v, ids[(j + 1) * nx + i], None).expect("valid grid edge");
+            }
+        }
+    }
+    b.build().expect("non-empty grid")
+}
+
+/// Build a connected random geometric network: `n` vertices uniform in
+/// `bbox`, each wired to its `k` nearest neighbours, plus a nearest-
+/// unconnected-component backbone that guarantees a single connected
+/// component. Deterministic in `seed`.
+pub fn random_geometric_network(n: usize, k: usize, bbox: BBox, seed: u64) -> RoadNetwork {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(k >= 1, "need at least one neighbour link");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<Point> = (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(bbox.min_x..=bbox.max_x),
+                rng.gen_range(bbox.min_y..=bbox.max_y),
+            )
+        })
+        .collect();
+
+    let mut b = NetworkBuilder::new();
+    let ids: Vec<VertexId> = pts.iter().map(|p| b.add_vertex(*p)).collect();
+
+    // k-NN wiring (brute force: generator-time cost, not query-time).
+    let mut seen = std::collections::HashSet::new();
+    for (i, p) in pts.iter().enumerate() {
+        let mut dists: Vec<(usize, f64)> = pts
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(j, q)| (j, p.dist(q)))
+            .collect();
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for &(j, d) in dists.iter().take(k) {
+            let key = (i.min(j), i.max(j));
+            if seen.insert(key) && d > 0.0 {
+                b.add_edge(ids[i], ids[j], None).expect("valid knn edge");
+            }
+        }
+    }
+
+    // Connectivity backbone: greedily link components by their nearest
+    // vertex pair (O(C·n²) worst case; C is small for reasonable k).
+    loop {
+        let net = b.clone().build().expect("non-empty");
+        if net.connected_components() == 1 {
+            return net;
+        }
+        // Label components.
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0usize;
+        for s in 0..n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![s];
+            comp[s] = next;
+            while let Some(v) = stack.pop() {
+                for (w, _) in net.neighbors(VertexId(v as u32)) {
+                    let wi = w.0 as usize;
+                    if comp[wi] == usize::MAX {
+                        comp[wi] = next;
+                        stack.push(wi);
+                    }
+                }
+            }
+            next += 1;
+        }
+        // Link component 0 to the closest vertex in any other component.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            if comp[i] != 0 {
+                continue;
+            }
+            for j in 0..n {
+                if comp[j] == 0 {
+                    continue;
+                }
+                let d = pts[i].dist(&pts[j]);
+                if d > 0.0 && best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let (i, j, _) = best.expect("distinct components must have a bridge");
+        b.add_edge(ids[i], ids[j], None).expect("valid bridge edge");
+        if seen.len() > n * (n - 1) / 2 {
+            unreachable!("edge budget exceeded while connecting components");
+        }
+        seen.insert((i.min(j), i.max(j)));
+    }
+}
+
+/// Sample `count` positions uniformly by length over the network's edges
+/// (the network CSR null model). Deterministic in `seed`.
+pub fn sample_on_network(net: &RoadNetwork, count: usize, seed: u64) -> Vec<EdgePosition> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cumulative edge lengths for weighted edge choice.
+    let mut cum = Vec::with_capacity(net.edge_count());
+    let mut acc = 0.0;
+    for e in net.edges() {
+        acc += e.length;
+        cum.push(acc);
+    }
+    let total = acc;
+    (0..count)
+        .map(|_| {
+            let r = rng.gen_range(0.0..total);
+            let ei = cum.partition_point(|c| *c <= r);
+            let e = EdgeId(ei as u32);
+            let prev = if ei == 0 { 0.0 } else { cum[ei - 1] };
+            EdgePosition {
+                edge: e,
+                offset: r - prev,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_network_shape() {
+        let net = grid_network(4, 3, 2.0);
+        assert_eq!(net.vertex_count(), 12);
+        // Horizontal: 3 per row * 3 rows; vertical: 4 per column * 2.
+        assert_eq!(net.edge_count(), 9 + 8);
+        assert_eq!(net.connected_components(), 1);
+        assert!((net.total_length() - 17.0 * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_network_connected_and_deterministic() {
+        let bbox = BBox::new(0.0, 0.0, 100.0, 100.0);
+        let a = random_geometric_network(60, 3, bbox, 7);
+        assert_eq!(a.connected_components(), 1);
+        assert_eq!(a.vertex_count(), 60);
+        let b = random_geometric_network(60, 3, bbox, 7);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.vertices(), b.vertices());
+        let c = random_geometric_network(60, 3, bbox, 8);
+        assert_ne!(a.vertices(), c.vertices());
+    }
+
+    #[test]
+    fn network_sampling_uniform_by_length() {
+        // One long edge (90) and one short (10): expect ~90% of samples
+        // on the long edge.
+        let mut b = NetworkBuilder::new();
+        let u = b.add_vertex(Point::new(0.0, 0.0));
+        let v = b.add_vertex(Point::new(90.0, 0.0));
+        let w = b.add_vertex(Point::new(90.0, 10.0));
+        b.add_edge(u, v, None).unwrap();
+        b.add_edge(v, w, None).unwrap();
+        let net = b.build().unwrap();
+        let samples = sample_on_network(&net, 5000, 42);
+        let on_long = samples.iter().filter(|p| p.edge == EdgeId(0)).count();
+        let frac = on_long as f64 / 5000.0;
+        assert!((frac - 0.9).abs() < 0.03, "got {frac}");
+        // All offsets within their edge.
+        for s in &samples {
+            assert!(s.offset >= 0.0 && s.offset <= net.edge(s.edge).length);
+        }
+    }
+
+    #[test]
+    fn sampling_deterministic_in_seed() {
+        let net = grid_network(3, 3, 1.0);
+        let a = sample_on_network(&net, 50, 1);
+        let b = sample_on_network(&net, 50, 1);
+        assert_eq!(a, b);
+        let c = sample_on_network(&net, 50, 2);
+        assert_ne!(a, c);
+    }
+}

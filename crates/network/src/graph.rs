@@ -1,0 +1,322 @@
+//! The road-network graph: undirected, weighted, CSR adjacency.
+
+use lsga_core::{BBox, LsgaError, Point, Result};
+
+/// Index of a vertex (road intersection / endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+/// Index of an undirected edge (road segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+/// An undirected weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    pub u: VertexId,
+    pub v: VertexId,
+    /// Positive traversal length (defaults to the Euclidean distance
+    /// between the endpoint coordinates).
+    pub length: f64,
+}
+
+/// Incremental builder for [`RoadNetwork`].
+///
+/// ```
+/// use lsga_network::NetworkBuilder;
+/// use lsga_core::Point;
+///
+/// let mut b = NetworkBuilder::new();
+/// let a = b.add_vertex(Point::new(0.0, 0.0));
+/// let c = b.add_vertex(Point::new(1.0, 0.0));
+/// b.add_edge(a, c, None).unwrap();
+/// let net = b.build().unwrap();
+/// assert_eq!(net.vertex_count(), 2);
+/// assert_eq!(net.edge(lsga_network::EdgeId(0)).length, 1.0);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct NetworkBuilder {
+    vertices: Vec<Point>,
+    edges: Vec<Edge>,
+}
+
+impl NetworkBuilder {
+    /// Start an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a vertex at `p` and return its id.
+    pub fn add_vertex(&mut self, p: Point) -> VertexId {
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(p);
+        id
+    }
+
+    /// Add an undirected edge. `length = None` uses the Euclidean
+    /// distance between the endpoints. Errors on unknown vertices,
+    /// self-loops, or non-positive explicit lengths.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, length: Option<f64>) -> Result<EdgeId> {
+        let n = self.vertices.len() as u32;
+        if u.0 >= n || v.0 >= n {
+            return Err(LsgaError::GraphIndex(format!(
+                "edge ({}, {}) references a vertex ≥ {}",
+                u.0, v.0, n
+            )));
+        }
+        if u == v {
+            return Err(LsgaError::GraphIndex(format!("self-loop at vertex {}", u.0)));
+        }
+        let euclid = self.vertices[u.0 as usize].dist(&self.vertices[v.0 as usize]);
+        let length = length.unwrap_or(euclid);
+        if !(length.is_finite() && length > 0.0) {
+            return Err(LsgaError::InvalidParameter {
+                name: "length",
+                message: format!("edge length must be positive and finite, got {length}"),
+            });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { u, v, length });
+        Ok(id)
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Finalize into an immutable [`RoadNetwork`]. Errors on an empty
+    /// vertex set.
+    pub fn build(self) -> Result<RoadNetwork> {
+        if self.vertices.is_empty() {
+            return Err(LsgaError::EmptyDataset("network vertices"));
+        }
+        let nv = self.vertices.len();
+        // CSR adjacency (each undirected edge appears in both lists).
+        let mut degree = vec![0u32; nv + 1];
+        for e in &self.edges {
+            degree[e.u.0 as usize + 1] += 1;
+            degree[e.v.0 as usize + 1] += 1;
+        }
+        for i in 1..=nv {
+            degree[i] += degree[i - 1];
+        }
+        let starts = degree.clone();
+        let mut cursor = degree;
+        let mut adj = vec![(0u32, 0u32); self.edges.len() * 2];
+        for (eid, e) in self.edges.iter().enumerate() {
+            adj[cursor[e.u.0 as usize] as usize] = (e.v.0, eid as u32);
+            cursor[e.u.0 as usize] += 1;
+            adj[cursor[e.v.0 as usize] as usize] = (e.u.0, eid as u32);
+            cursor[e.v.0 as usize] += 1;
+        }
+        Ok(RoadNetwork {
+            vertices: self.vertices,
+            edges: self.edges,
+            adj_starts: starts,
+            adj,
+        })
+    }
+}
+
+/// An immutable road network.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    vertices: Vec<Point>,
+    edges: Vec<Edge>,
+    adj_starts: Vec<u32>,
+    /// `(neighbour vertex, edge id)` pairs.
+    adj: Vec<(u32, u32)>,
+}
+
+impl RoadNetwork {
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Coordinates of a vertex.
+    #[inline]
+    pub fn vertex(&self, v: VertexId) -> Point {
+        self.vertices[v.0 as usize]
+    }
+
+    /// All vertex coordinates.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// An edge record.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e.0 as usize]
+    }
+
+    /// All edges.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Neighbours of `v` as `(neighbour, connecting edge)` pairs.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let s = self.adj_starts[v.0 as usize] as usize;
+        let e = self.adj_starts[v.0 as usize + 1] as usize;
+        self.adj[s..e].iter().map(|(w, eid)| (VertexId(*w), EdgeId(*eid)))
+    }
+
+    /// Degree of a vertex.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.adj_starts[v.0 as usize + 1] - self.adj_starts[v.0 as usize]) as usize
+    }
+
+    /// Total length of all edges (the "area" analogue for network point
+    /// processes; network K-function intensities normalize by it).
+    pub fn total_length(&self) -> f64 {
+        self.edges.iter().map(|e| e.length).sum()
+    }
+
+    /// Bounding box of the vertex coordinates.
+    pub fn bbox(&self) -> BBox {
+        BBox::of_points(&self.vertices)
+    }
+
+    /// World coordinates of the position at `offset` along edge `e`
+    /// (linear interpolation between the endpoint coordinates).
+    pub fn point_on_edge(&self, e: EdgeId, offset: f64) -> Point {
+        let edge = self.edge(e);
+        let t = (offset / edge.length).clamp(0.0, 1.0);
+        let a = self.vertex(edge.u);
+        let b = self.vertex(edge.v);
+        Point::new(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+    }
+
+    /// Number of connected components (union–find; used by the generators
+    /// to assert connectivity).
+    pub fn connected_components(&self) -> usize {
+        let mut parent: Vec<u32> = (0..self.vertices.len() as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for e in &self.edges {
+            let ru = find(&mut parent, e.u.0);
+            let rv = find(&mut parent, e.v.0);
+            if ru != rv {
+                parent[ru as usize] = rv;
+            }
+        }
+        let mut roots = std::collections::HashSet::new();
+        for v in 0..self.vertices.len() as u32 {
+            roots.insert(find(&mut parent, v));
+        }
+        roots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_vertex(Point::new(0.0, 0.0));
+        let c = b.add_vertex(Point::new(4.0, 0.0));
+        let d = b.add_vertex(Point::new(0.0, 3.0));
+        b.add_edge(a, c, None).unwrap();
+        b.add_edge(a, d, None).unwrap();
+        b.add_edge(c, d, None).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_basic() {
+        let net = triangle();
+        assert_eq!(net.vertex_count(), 3);
+        assert_eq!(net.edge_count(), 3);
+        assert_eq!(net.edge(EdgeId(0)).length, 4.0);
+        assert_eq!(net.edge(EdgeId(1)).length, 3.0);
+        assert_eq!(net.edge(EdgeId(2)).length, 5.0);
+        assert_eq!(net.total_length(), 12.0);
+        assert_eq!(net.degree(VertexId(0)), 2);
+        assert_eq!(net.connected_components(), 1);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let net = triangle();
+        for v in 0..3u32 {
+            for (w, e) in net.neighbors(VertexId(v)) {
+                let edge = net.edge(e);
+                assert!(
+                    (edge.u == VertexId(v) && edge.v == w)
+                        || (edge.v == VertexId(v) && edge.u == w)
+                );
+                // Reverse direction must exist.
+                assert!(net.neighbors(w).any(|(x, _)| x == VertexId(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_edges() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_vertex(Point::new(0.0, 0.0));
+        let c = b.add_vertex(Point::new(1.0, 0.0));
+        assert!(b.add_edge(a, a, None).is_err());
+        assert!(b.add_edge(a, VertexId(99), None).is_err());
+        assert!(b.add_edge(a, c, Some(0.0)).is_err());
+        assert!(b.add_edge(a, c, Some(-1.0)).is_err());
+        assert!(b.add_edge(a, c, Some(f64::NAN)).is_err());
+        assert!(b.add_edge(a, c, Some(2.5)).is_ok());
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert!(NetworkBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn point_on_edge_interpolates() {
+        let net = triangle();
+        // Edge 0: (0,0) -> (4,0), length 4.
+        assert_eq!(net.point_on_edge(EdgeId(0), 0.0), Point::new(0.0, 0.0));
+        assert_eq!(net.point_on_edge(EdgeId(0), 2.0), Point::new(2.0, 0.0));
+        assert_eq!(net.point_on_edge(EdgeId(0), 4.0), Point::new(4.0, 0.0));
+        // Clamped beyond the end.
+        assert_eq!(net.point_on_edge(EdgeId(0), 9.0), Point::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn disconnected_components_counted() {
+        let mut b = NetworkBuilder::new();
+        let a = b.add_vertex(Point::new(0.0, 0.0));
+        let c = b.add_vertex(Point::new(1.0, 0.0));
+        let _lonely = b.add_vertex(Point::new(9.0, 9.0));
+        b.add_edge(a, c, None).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.connected_components(), 2);
+    }
+
+    #[test]
+    fn isolated_vertex_has_no_neighbors() {
+        let mut b = NetworkBuilder::new();
+        b.add_vertex(Point::new(0.0, 0.0));
+        let net = b.build().unwrap();
+        assert_eq!(net.neighbors(VertexId(0)).count(), 0);
+        assert_eq!(net.degree(VertexId(0)), 0);
+    }
+}

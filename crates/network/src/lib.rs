@@ -1,0 +1,32 @@
+//! # lsga-network
+//!
+//! The road-network substrate behind the paper's network-constrained tools
+//! (NKDV, §2.2; network K-function, §2.3). Real deployments use road
+//! networks from SANET / spNetwork inputs; this crate provides an
+//! equivalent in-memory graph engine plus synthetic network generators
+//! (see DESIGN.md §1.5 for the substitution rationale):
+//!
+//! * [`RoadNetwork`] — an undirected weighted graph with CSR adjacency,
+//!   built through [`NetworkBuilder`];
+//! * [`DijkstraEngine`] — bounded single/multi-source shortest paths with
+//!   a reusable, epoch-stamped workspace (no O(V) reset per source, which
+//!   matters when NKDV runs one search per event);
+//! * [`EdgePosition`] + [`SegmentIndex`] — locations *on* edges and
+//!   snapping of raw points onto the network;
+//! * [`Lixels`] — subdivision of edges into "lixels", the raster cells of
+//!   network density visualization (the unit PyNKDV colours);
+//! * [`generators`] — Manhattan-grid and random geometric networks, and
+//!   length-uniform random event sampling (for network K-function
+//!   Monte-Carlo envelopes).
+
+pub mod dijkstra;
+pub mod generators;
+pub mod graph;
+pub mod lixel;
+pub mod position;
+
+pub use dijkstra::DijkstraEngine;
+pub use generators::{grid_network, random_geometric_network, sample_on_network};
+pub use graph::{EdgeId, NetworkBuilder, RoadNetwork, VertexId};
+pub use lixel::{Lixel, Lixels};
+pub use position::{network_distance, project_to_edge, EdgePosition, SegmentIndex};

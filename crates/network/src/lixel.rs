@@ -1,0 +1,211 @@
+//! Lixels: the raster cells of network density visualization.
+//!
+//! NKDV colours small road segments ("lixels", by analogy with pixels —
+//! the term used by spNetwork/PyNKDV) instead of planar pixels. This
+//! module subdivides every edge into lixels of approximately equal length
+//! and provides the lixel↔edge bookkeeping the NKDV algorithms need.
+
+use crate::graph::{EdgeId, RoadNetwork};
+use lsga_core::Point;
+
+/// One lixel: a sub-interval of an edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lixel {
+    pub edge: EdgeId,
+    /// Interval `[start, end]` along the edge (in edge-length units).
+    pub start: f64,
+    pub end: f64,
+}
+
+impl Lixel {
+    /// Offset of the lixel midpoint along its edge.
+    #[inline]
+    pub fn center_offset(&self) -> f64 {
+        0.5 * (self.start + self.end)
+    }
+
+    /// Length of the lixel.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The lixelization of a network: all lixels plus per-edge ranges.
+#[derive(Debug, Clone)]
+pub struct Lixels {
+    lixels: Vec<Lixel>,
+    /// `edge_ranges[e] = (first lixel index, count)` for edge `e`.
+    edge_ranges: Vec<(u32, u32)>,
+    target_len: f64,
+}
+
+impl Lixels {
+    /// Subdivide every edge of `net` into lixels of length ≈ `target_len`
+    /// (each edge gets `ceil(length / target_len)` equal-length lixels, so
+    /// no lixel is longer than `target_len`). Panics if
+    /// `target_len ≤ 0`.
+    pub fn build(net: &RoadNetwork, target_len: f64) -> Self {
+        assert!(
+            target_len.is_finite() && target_len > 0.0,
+            "lixel length must be positive"
+        );
+        let mut lixels = Vec::new();
+        let mut edge_ranges = Vec::with_capacity(net.edge_count());
+        for (eid, e) in net.edges().iter().enumerate() {
+            let k = (e.length / target_len).ceil().max(1.0) as u32;
+            let step = e.length / k as f64;
+            let first = lixels.len() as u32;
+            for i in 0..k {
+                lixels.push(Lixel {
+                    edge: EdgeId(eid as u32),
+                    start: i as f64 * step,
+                    end: if i + 1 == k { e.length } else { (i + 1) as f64 * step },
+                });
+            }
+            edge_ranges.push((first, k));
+        }
+        Lixels {
+            lixels,
+            edge_ranges,
+            target_len,
+        }
+    }
+
+    /// All lixels, grouped edge-by-edge in edge order.
+    #[inline]
+    pub fn all(&self) -> &[Lixel] {
+        &self.lixels
+    }
+
+    /// Number of lixels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lixels.len()
+    }
+
+    /// True when the network had no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lixels.is_empty()
+    }
+
+    /// The requested target lixel length.
+    #[inline]
+    pub fn target_len(&self) -> f64 {
+        self.target_len
+    }
+
+    /// The lixels of one edge.
+    pub fn of_edge(&self, e: EdgeId) -> &[Lixel] {
+        let (first, count) = self.edge_ranges[e.0 as usize];
+        &self.lixels[first as usize..(first + count) as usize]
+    }
+
+    /// Index range `(first, count)` of the lixels of one edge.
+    #[inline]
+    pub fn edge_range(&self, e: EdgeId) -> (u32, u32) {
+        self.edge_ranges[e.0 as usize]
+    }
+
+    /// Index of the lixel of edge `e` containing `offset`.
+    pub fn lixel_at(&self, e: EdgeId, offset: f64) -> usize {
+        let (first, count) = self.edge_ranges[e.0 as usize];
+        let lx = &self.lixels[first as usize];
+        let step = lx.end - lx.start; // uniform per edge except last rounding
+        let k = if step > 0.0 {
+            ((offset / step) as u32).min(count - 1)
+        } else {
+            0
+        };
+        (first + k) as usize
+    }
+
+    /// World coordinates of every lixel midpoint.
+    pub fn midpoints(&self, net: &RoadNetwork) -> Vec<Point> {
+        self.lixels
+            .iter()
+            .map(|lx| net.point_on_edge(lx.edge, lx.center_offset()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetworkBuilder;
+
+    fn one_edge(len: f64) -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let u = b.add_vertex(Point::new(0.0, 0.0));
+        let v = b.add_vertex(Point::new(len, 0.0));
+        b.add_edge(u, v, None).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn subdivision_covers_edge_exactly() {
+        let net = one_edge(10.0);
+        let lx = Lixels::build(&net, 3.0);
+        let edge_lixels = lx.of_edge(EdgeId(0));
+        assert_eq!(edge_lixels.len(), 4); // ceil(10/3)
+        assert_eq!(edge_lixels[0].start, 0.0);
+        assert_eq!(edge_lixels.last().unwrap().end, 10.0);
+        // Contiguous, non-overlapping.
+        for w in edge_lixels.windows(2) {
+            assert!((w[0].end - w[1].start).abs() < 1e-12);
+        }
+        let total: f64 = edge_lixels.iter().map(|l| l.length()).sum();
+        assert!((total - 10.0).abs() < 1e-12);
+        // No lixel longer than the target.
+        assert!(edge_lixels.iter().all(|l| l.length() <= 3.0 + 1e-12));
+    }
+
+    #[test]
+    fn short_edge_gets_one_lixel() {
+        let net = one_edge(0.5);
+        let lx = Lixels::build(&net, 3.0);
+        assert_eq!(lx.len(), 1);
+        assert_eq!(lx.all()[0].length(), 0.5);
+    }
+
+    #[test]
+    fn lixel_at_finds_containing_lixel() {
+        let net = one_edge(10.0);
+        let lx = Lixels::build(&net, 2.5);
+        for (offset, want) in [(0.0, 0usize), (2.4, 0), (2.6, 1), (9.99, 3), (10.0, 3)] {
+            let i = lx.lixel_at(EdgeId(0), offset);
+            assert_eq!(i, want, "offset {offset}");
+            let l = lx.all()[i];
+            assert!(l.start <= offset + 1e-9 && offset <= l.end + 1e-9);
+        }
+    }
+
+    #[test]
+    fn midpoints_lie_on_edges() {
+        let mut b = NetworkBuilder::new();
+        let u = b.add_vertex(Point::new(0.0, 0.0));
+        let v = b.add_vertex(Point::new(0.0, 6.0));
+        let w = b.add_vertex(Point::new(8.0, 6.0));
+        b.add_edge(u, v, None).unwrap();
+        b.add_edge(v, w, None).unwrap();
+        let net = b.build().unwrap();
+        let lx = Lixels::build(&net, 2.0);
+        assert_eq!(lx.len(), 3 + 4);
+        let mids = lx.midpoints(&net);
+        assert_eq!(mids[0], Point::new(0.0, 1.0));
+        assert_eq!(mids[3], Point::new(1.0, 6.0));
+        // Per-edge ranges partition the whole list.
+        let (f0, c0) = lx.edge_range(EdgeId(0));
+        let (f1, c1) = lx.edge_range(EdgeId(1));
+        assert_eq!((f0, c0), (0, 3));
+        assert_eq!((f1, c1), (3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_target_panics() {
+        let net = one_edge(1.0);
+        let _ = Lixels::build(&net, 0.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Locations *on* the network: [`EdgePosition`], point→network snapping
+//! via [`SegmentIndex`], and position-to-position network distances.
+
+use crate::dijkstra::DijkstraEngine;
+use crate::graph::{EdgeId, RoadNetwork};
+use lsga_core::Point;
+
+/// A position on an edge: `offset ∈ [0, edge.length]` measured from the
+/// edge's `u` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgePosition {
+    pub edge: EdgeId,
+    pub offset: f64,
+}
+
+impl EdgePosition {
+    /// Construct, clamping the offset into `[0, length]`.
+    pub fn new(net: &RoadNetwork, edge: EdgeId, offset: f64) -> Self {
+        let len = net.edge(edge).length;
+        EdgePosition {
+            edge,
+            offset: offset.clamp(0.0, len),
+        }
+    }
+
+    /// World coordinates of this position.
+    pub fn point(&self, net: &RoadNetwork) -> Point {
+        net.point_on_edge(self.edge, self.offset)
+    }
+
+    /// Distance along the edge to its `u` endpoint.
+    #[inline]
+    pub fn to_u(&self) -> f64 {
+        self.offset
+    }
+
+    /// Distance along the edge to its `v` endpoint.
+    #[inline]
+    pub fn to_v(&self, net: &RoadNetwork) -> f64 {
+        net.edge(self.edge).length - self.offset
+    }
+}
+
+/// Shortest network distance between two edge positions, bounded by
+/// `max_dist` (returns `None` when farther).
+///
+/// Runs one bounded Dijkstra seeded from `a`'s endpoints; the distance to
+/// `b` combines the endpoint distances with `b`'s offsets. When both
+/// positions share an edge, the direct along-edge path is also considered
+/// (it can lose to a detour through the endpoints only in multigraph-like
+/// shortcut cases, which the `min` handles naturally).
+pub fn network_distance(
+    net: &RoadNetwork,
+    engine: &mut DijkstraEngine<'_>,
+    a: &EdgePosition,
+    b: &EdgePosition,
+    max_dist: f64,
+) -> Option<f64> {
+    let ea = net.edge(a.edge);
+    engine.run(&[(ea.u, a.to_u()), (ea.v, a.to_v(net))], max_dist);
+    let eb = net.edge(b.edge);
+    let mut best = f64::INFINITY;
+    if let Some(du) = engine.dist(eb.u) {
+        best = best.min(du + b.to_u());
+    }
+    if let Some(dv) = engine.dist(eb.v) {
+        best = best.min(dv + b.to_v(net));
+    }
+    if a.edge == b.edge {
+        best = best.min((a.offset - b.offset).abs());
+    }
+    if best <= max_dist {
+        Some(best)
+    } else {
+        None
+    }
+}
+
+/// A bucket grid over edge segments for snapping points onto the network.
+///
+/// Edges are assumed straight (segment between endpoint coordinates); an
+/// edge is registered in every cell its bounding box overlaps, and a snap
+/// expands square rings of cells until the best projection can no longer
+/// be beaten.
+#[derive(Debug, Clone)]
+pub struct SegmentIndex {
+    cell: f64,
+    min_x: f64,
+    min_y: f64,
+    nx: usize,
+    ny: usize,
+    cells: Vec<Vec<u32>>,
+}
+
+impl SegmentIndex {
+    /// Build over all edges of `net` with the given cell size.
+    pub fn build(net: &RoadNetwork, cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive"
+        );
+        let bbox = net.bbox();
+        let nx = ((bbox.width() / cell_size).ceil() as usize).max(1);
+        let ny = ((bbox.height() / cell_size).ceil() as usize).max(1);
+        let mut cells = vec![Vec::new(); nx * ny];
+        for (eid, e) in net.edges().iter().enumerate() {
+            let a = net.vertex(e.u);
+            let b = net.vertex(e.v);
+            let (x0, x1) = (a.x.min(b.x), a.x.max(b.x));
+            let (y0, y1) = (a.y.min(b.y), a.y.max(b.y));
+            let cx0 = (((x0 - bbox.min_x) / cell_size) as usize).min(nx - 1);
+            let cx1 = (((x1 - bbox.min_x) / cell_size) as usize).min(nx - 1);
+            let cy0 = (((y0 - bbox.min_y) / cell_size) as usize).min(ny - 1);
+            let cy1 = (((y1 - bbox.min_y) / cell_size) as usize).min(ny - 1);
+            for cy in cy0..=cy1 {
+                for cx in cx0..=cx1 {
+                    cells[cy * nx + cx].push(eid as u32);
+                }
+            }
+        }
+        SegmentIndex {
+            cell: cell_size,
+            min_x: bbox.min_x,
+            min_y: bbox.min_y,
+            nx,
+            ny,
+            cells,
+        }
+    }
+
+    /// Snap `p` to the nearest edge, returning the position and the
+    /// Euclidean snap distance. Returns `None` only for edge-less
+    /// networks.
+    pub fn snap(&self, net: &RoadNetwork, p: &Point) -> Option<(EdgePosition, f64)> {
+        if net.edge_count() == 0 {
+            return None;
+        }
+        let cx = (((p.x - self.min_x) / self.cell).max(0.0) as usize).min(self.nx - 1);
+        let cy = (((p.y - self.min_y) / self.cell).max(0.0) as usize).min(self.ny - 1);
+        let mut best: Option<(EdgePosition, f64)> = None;
+        let max_ring = self.nx.max(self.ny);
+        for ring in 0..=max_ring {
+            // Any candidate in ring k is at Euclidean distance
+            // ≥ (k−1)·cell; once the current best beats that, stop.
+            if let Some((_, d)) = best {
+                if ring >= 1 && (ring as f64 - 1.0) * self.cell > d {
+                    break;
+                }
+            }
+            let mut any_cell = false;
+            self.for_ring_cells(cx, cy, ring, |cell_idx| {
+                any_cell = true;
+                for &eid in &self.cells[cell_idx] {
+                    let (pos, d) = project_to_edge(net, EdgeId(eid), p);
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((pos, d));
+                    }
+                }
+            });
+            if !any_cell && best.is_some() {
+                break;
+            }
+        }
+        best
+    }
+
+    fn for_ring_cells(&self, cx: usize, cy: usize, ring: usize, mut f: impl FnMut(usize)) {
+        let r = ring as isize;
+        let (cx, cy) = (cx as isize, cy as isize);
+        let visit = |x: isize, y: isize, f: &mut dyn FnMut(usize)| {
+            if x >= 0 && y >= 0 && (x as usize) < self.nx && (y as usize) < self.ny {
+                f(y as usize * self.nx + x as usize);
+            }
+        };
+        if ring == 0 {
+            visit(cx, cy, &mut f);
+            return;
+        }
+        for x in (cx - r)..=(cx + r) {
+            visit(x, cy - r, &mut f);
+            visit(x, cy + r, &mut f);
+        }
+        for y in (cy - r + 1)..(cy + r) {
+            visit(cx - r, y, &mut f);
+            visit(cx + r, y, &mut f);
+        }
+    }
+}
+
+/// Orthogonal projection of `p` onto the straight segment of `edge`,
+/// returning the on-edge position (offset scaled to the edge's traversal
+/// length, which may differ from the geometric length) and the Euclidean
+/// distance from `p` to the projected point.
+pub fn project_to_edge(net: &RoadNetwork, edge: EdgeId, p: &Point) -> (EdgePosition, f64) {
+    let e = net.edge(edge);
+    let a = net.vertex(e.u);
+    let b = net.vertex(e.v);
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let len2 = abx * abx + aby * aby;
+    let t = if len2 > 0.0 {
+        (((p.x - a.x) * abx + (p.y - a.y) * aby) / len2).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let proj = Point::new(a.x + t * abx, a.y + t * aby);
+    (
+        EdgePosition {
+            edge,
+            offset: t * e.length,
+        },
+        p.dist(&proj),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetworkBuilder;
+    use crate::graph::VertexId;
+
+    /// Two parallel horizontal roads at y = 0 and y = 2, connected only at
+    /// x = 0 — the paper's Fig. 3 scenario where Euclidean neighbours are
+    /// network-distant.
+    fn parallel_roads() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let a0 = b.add_vertex(Point::new(0.0, 0.0));
+        let a1 = b.add_vertex(Point::new(10.0, 0.0));
+        let c0 = b.add_vertex(Point::new(0.0, 2.0));
+        let c1 = b.add_vertex(Point::new(10.0, 2.0));
+        b.add_edge(a0, a1, None).unwrap(); // edge 0, bottom
+        b.add_edge(c0, c1, None).unwrap(); // edge 1, top
+        b.add_edge(a0, c0, None).unwrap(); // edge 2, connector at x = 0
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn same_edge_distance_is_offset_difference() {
+        let net = parallel_roads();
+        let mut eng = DijkstraEngine::new(&net);
+        let a = EdgePosition::new(&net, EdgeId(0), 2.0);
+        let b = EdgePosition::new(&net, EdgeId(0), 7.5);
+        assert_eq!(
+            network_distance(&net, &mut eng, &a, &b, 100.0),
+            Some(5.5)
+        );
+    }
+
+    #[test]
+    fn cross_edge_distance_goes_through_connector() {
+        let net = parallel_roads();
+        let mut eng = DijkstraEngine::new(&net);
+        // Bottom road at x = 9 and top road at x = 9: Euclidean distance
+        // 2, but the network path goes 9 (to x=0) + 2 (connector) + 9.
+        let a = EdgePosition::new(&net, EdgeId(0), 9.0);
+        let b = EdgePosition::new(&net, EdgeId(1), 9.0);
+        let d = network_distance(&net, &mut eng, &a, &b, 100.0).unwrap();
+        assert!((d - 20.0).abs() < 1e-9, "got {d}");
+        // Euclidean would be 2.0 — the Fig. 3 overestimation gap.
+        let pa = a.point(&net);
+        let pb = b.point(&net);
+        assert!((pa.dist(&pb) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_bound_respected() {
+        let net = parallel_roads();
+        let mut eng = DijkstraEngine::new(&net);
+        let a = EdgePosition::new(&net, EdgeId(0), 9.0);
+        let b = EdgePosition::new(&net, EdgeId(1), 9.0);
+        assert_eq!(network_distance(&net, &mut eng, &a, &b, 5.0), None);
+        assert_eq!(network_distance(&net, &mut eng, &a, &b, 20.0), Some(20.0));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let net = parallel_roads();
+        let mut eng = DijkstraEngine::new(&net);
+        let a = EdgePosition::new(&net, EdgeId(0), 3.0);
+        let b = EdgePosition::new(&net, EdgeId(2), 1.0);
+        let ab = network_distance(&net, &mut eng, &a, &b, 100.0).unwrap();
+        let ba = network_distance(&net, &mut eng, &b, &a, 100.0).unwrap();
+        assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapping_picks_nearest_edge() {
+        let net = parallel_roads();
+        let idx = SegmentIndex::build(&net, 1.0);
+        // Just above the bottom road.
+        let (pos, d) = idx.snap(&net, &Point::new(4.0, 0.3)).unwrap();
+        assert_eq!(pos.edge, EdgeId(0));
+        assert!((pos.offset - 4.0).abs() < 1e-9);
+        assert!((d - 0.3).abs() < 1e-9);
+        // Closer to the top road.
+        let (pos, _) = idx.snap(&net, &Point::new(6.0, 1.9)).unwrap();
+        assert_eq!(pos.edge, EdgeId(1));
+    }
+
+    #[test]
+    fn snapping_clamps_to_endpoints() {
+        let net = parallel_roads();
+        let idx = SegmentIndex::build(&net, 1.0);
+        let (pos, d) = idx.snap(&net, &Point::new(-3.0, 0.0)).unwrap();
+        // Nearest on-network point is a road end at x = 0.
+        assert!((d - 3.0).abs() < 1e-9);
+        assert!(pos.offset.abs() < 1e-9 || (pos.offset - net.edge(pos.edge).length).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snap_far_point_still_finds_network() {
+        let net = parallel_roads();
+        let idx = SegmentIndex::build(&net, 0.5);
+        let (_, d) = idx.snap(&net, &Point::new(100.0, 100.0)).unwrap();
+        assert!(d > 0.0 && d.is_finite());
+    }
+
+    #[test]
+    fn snap_matches_brute_force() {
+        let net = parallel_roads();
+        let idx = SegmentIndex::build(&net, 0.8);
+        for p in [
+            Point::new(5.1, 0.9),
+            Point::new(0.2, 1.0),
+            Point::new(9.7, 2.4),
+            Point::new(-1.0, -1.0),
+        ] {
+            let (_, d) = idx.snap(&net, &p).unwrap();
+            let brute = (0..net.edge_count() as u32)
+                .map(|e| project_to_edge(&net, EdgeId(e), &p).1)
+                .fold(f64::INFINITY, f64::min);
+            assert!((d - brute).abs() < 1e-9, "p={p:?}: {d} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn custom_length_scales_offsets() {
+        // Geometric length 10, traversal length 20: snapping at the
+        // geometric middle must give offset 10.
+        let mut b = NetworkBuilder::new();
+        let u = b.add_vertex(Point::new(0.0, 0.0));
+        let v = b.add_vertex(Point::new(10.0, 0.0));
+        b.add_edge(u, v, Some(20.0)).unwrap();
+        let net = b.build().unwrap();
+        let (pos, _) = project_to_edge(&net, EdgeId(0), &Point::new(5.0, 1.0));
+        assert!((pos.offset - 10.0).abs() < 1e-9);
+        assert_eq!(net.edge(EdgeId(0)).u, VertexId(0));
+    }
+}

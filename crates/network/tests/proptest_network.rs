@@ -1,0 +1,83 @@
+//! Property tests: shortest-path metric laws and snapping optimality on
+//! randomized networks.
+
+use lsga_core::{BBox, Point};
+use lsga_network::position::{network_distance, project_to_edge};
+use lsga_network::{
+    random_geometric_network, sample_on_network, DijkstraEngine, EdgeId, SegmentIndex, VertexId,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // distance-matrix indexing
+    fn dijkstra_metric_laws(seed in 0u64..500, n in 10usize..40) {
+        let bbox = BBox::new(0.0, 0.0, 100.0, 100.0);
+        let net = random_geometric_network(n, 3, bbox, seed);
+        let mut eng = DijkstraEngine::new(&net);
+        // All-pairs via per-source runs on a few sources.
+        let sources = [0usize, n / 2, n - 1];
+        let mut dist = vec![vec![f64::INFINITY; n]; 3];
+        for (row, &s) in sources.iter().enumerate() {
+            eng.run_from(VertexId(s as u32));
+            for v in 0..n {
+                if let Some(d) = eng.dist(VertexId(v as u32)) {
+                    dist[row][v] = d;
+                }
+            }
+        }
+        // Connected by construction: every distance finite.
+        for row in &dist {
+            for d in row {
+                prop_assert!(d.is_finite());
+            }
+        }
+        // d(s, s) = 0 and symmetry between the chosen sources.
+        for (row, &s) in sources.iter().enumerate() {
+            prop_assert_eq!(dist[row][s], 0.0);
+        }
+        prop_assert!((dist[0][sources[1]] - dist[1][sources[0]]).abs() < 1e-9);
+        // Triangle inequality through the second source.
+        for v in 0..n {
+            prop_assert!(dist[0][v] <= dist[0][sources[1]] + dist[1][v] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn position_distance_symmetric_and_nonnegative(seed in 0u64..200) {
+        let bbox = BBox::new(0.0, 0.0, 100.0, 100.0);
+        let net = random_geometric_network(25, 3, bbox, seed);
+        let pos = sample_on_network(&net, 6, seed ^ 0xabc);
+        let mut eng = DijkstraEngine::new(&net);
+        for a in &pos {
+            for b in &pos {
+                let ab = network_distance(&net, &mut eng, a, b, f64::INFINITY).unwrap();
+                let ba = network_distance(&net, &mut eng, b, a, f64::INFINITY).unwrap();
+                prop_assert!(ab >= 0.0);
+                prop_assert!((ab - ba).abs() < 1e-9);
+            }
+        }
+        // Identity: distance to self is zero.
+        let d = network_distance(&net, &mut eng, &pos[0], &pos[0], f64::INFINITY).unwrap();
+        prop_assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn snap_is_globally_optimal(
+        seed in 0u64..200,
+        qx in -20.0f64..120.0,
+        qy in -20.0f64..120.0,
+    ) {
+        let bbox = BBox::new(0.0, 0.0, 100.0, 100.0);
+        let net = random_geometric_network(20, 3, bbox, seed);
+        let idx = SegmentIndex::build(&net, 10.0);
+        let q = Point::new(qx, qy);
+        let (_, d) = idx.snap(&net, &q).unwrap();
+        let brute = (0..net.edge_count() as u32)
+            .map(|e| project_to_edge(&net, EdgeId(e), &q).1)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((d - brute).abs() < 1e-9, "{} vs {}", d, brute);
+    }
+}

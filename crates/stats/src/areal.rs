@@ -1,0 +1,162 @@
+//! Quadrat counting: aggregating point data onto a lattice.
+//!
+//! Moran's I and the General G apply to *areal* values; the standard
+//! bridge from a point dataset (crime incidents, cases) is counting
+//! events per grid cell. The resulting [`DensityGrid`] doubles as the
+//! value vector, and the cell centres as the observation locations for
+//! the weight matrix.
+
+use lsga_core::{DensityGrid, GridSpec, Point};
+
+/// Count the points falling in each cell of `spec` (points outside the
+/// bbox are clamped onto the edge cells, matching
+/// [`GridSpec::pixel_of`]).
+pub fn quadrat_counts(points: &[Point], spec: GridSpec) -> DensityGrid {
+    let mut grid = DensityGrid::zeros(spec);
+    for p in points {
+        let (ix, iy) = spec.pixel_of(p);
+        grid.add(ix, iy, 1.0);
+    }
+    grid
+}
+
+/// Result of the classical quadrat-count chi-square test of CSR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadratTest {
+    /// The chi-square statistic `Σ (observed − expected)² / expected`.
+    pub chi2: f64,
+    /// Degrees of freedom (`cells − 1`).
+    pub dof: usize,
+    /// Approximate two-sided z-score via the Wilson–Hilferty cube-root
+    /// normal approximation of the chi-square distribution.
+    pub z: f64,
+    /// Two-sided p-value for `z`.
+    pub p: f64,
+}
+
+/// Chi-square test of complete spatial randomness over quadrat counts:
+/// under CSR every cell expects `n / cells` points. Large `chi2`
+/// (positive `z`) indicates clustering; small (negative `z`) indicates
+/// dispersion. Returns `None` for empty datasets or a single cell.
+pub fn quadrat_chi2_test(points: &[Point], spec: GridSpec) -> Option<QuadratTest> {
+    let cells = spec.len();
+    if points.is_empty() || cells < 2 {
+        return None;
+    }
+    let counts = quadrat_counts(points, spec);
+    let expected = points.len() as f64 / cells as f64;
+    let chi2: f64 = counts
+        .values()
+        .iter()
+        .map(|c| {
+            let e = c - expected;
+            e * e / expected
+        })
+        .sum();
+    let dof = cells - 1;
+    // Wilson–Hilferty: (chi2/dof)^(1/3) ~ N(1 − 2/(9 dof), 2/(9 dof)).
+    let k = dof as f64;
+    let mean = 1.0 - 2.0 / (9.0 * k);
+    let sd = (2.0 / (9.0 * k)).sqrt();
+    let z = ((chi2 / k).powf(1.0 / 3.0) - mean) / sd;
+    Some(QuadratTest {
+        chi2,
+        dof,
+        z,
+        p: lsga_core::util::normal_two_sided_p(z),
+    })
+}
+
+/// The cell centres of a grid, row-major — the observation locations for
+/// building a [`crate::SpatialWeights`] over quadrat counts.
+pub fn cell_centers(spec: &GridSpec) -> Vec<Point> {
+    let mut out = Vec::with_capacity(spec.len());
+    for iy in 0..spec.ny {
+        for ix in 0..spec.nx {
+            out.push(spec.pixel_center(ix, iy));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::BBox;
+
+    #[test]
+    fn counts_partition_the_dataset() {
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 10.0, 10.0), 5, 5);
+        let pts: Vec<Point> = (0..100)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(5.0 + (f * 0.73).sin() * 5.0, 5.0 + (f * 1.13).cos() * 5.0)
+            })
+            .collect();
+        let grid = quadrat_counts(&pts, spec);
+        assert_eq!(grid.sum(), 100.0);
+    }
+
+    #[test]
+    fn placement_is_correct() {
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 4.0, 4.0), 2, 2);
+        let grid = quadrat_counts(
+            &[
+                Point::new(1.0, 1.0),
+                Point::new(3.0, 1.0),
+                Point::new(1.0, 3.0),
+                Point::new(3.9, 3.9),
+                Point::new(4.0, 4.0), // on the max corner: clamped
+            ],
+            spec,
+        );
+        assert_eq!(grid.at(0, 0), 1.0);
+        assert_eq!(grid.at(1, 0), 1.0);
+        assert_eq!(grid.at(0, 1), 1.0);
+        assert_eq!(grid.at(1, 1), 2.0);
+    }
+
+    #[test]
+    fn chi2_separates_clustered_from_csr() {
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 8, 8);
+        // Clustered: everything in one corner cell.
+        let clustered: Vec<Point> = (0..500)
+            .map(|i| Point::new(3.0 + (i % 7) as f64, 3.0 + (i % 5) as f64))
+            .collect();
+        let t = quadrat_chi2_test(&clustered, spec).unwrap();
+        assert!(t.z > 5.0, "z = {}", t.z);
+        assert!(t.p < 0.001);
+        assert_eq!(t.dof, 63);
+
+        // Near-even spread: one point per cell -> chi2 ≈ 0, dispersed.
+        let even: Vec<Point> = (0..64)
+            .map(|i| Point::new((i % 8) as f64 * 12.5 + 6.0, (i / 8) as f64 * 12.5 + 6.0))
+            .collect();
+        let t = quadrat_chi2_test(&even, spec).unwrap();
+        assert!(t.chi2 < 1.0);
+        assert!(t.z < -3.0, "z = {}", t.z);
+    }
+
+    #[test]
+    fn chi2_degenerate_inputs() {
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 10.0, 10.0), 1, 1);
+        assert!(quadrat_chi2_test(&[Point::new(1.0, 1.0)], spec).is_none());
+        let spec2 = GridSpec::new(BBox::new(0.0, 0.0, 10.0, 10.0), 4, 4);
+        assert!(quadrat_chi2_test(&[], spec2).is_none());
+    }
+
+    #[test]
+    fn cell_centers_row_major() {
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 2.0, 2.0), 2, 2);
+        let c = cell_centers(&spec);
+        assert_eq!(
+            c,
+            vec![
+                Point::new(0.5, 0.5),
+                Point::new(1.5, 0.5),
+                Point::new(0.5, 1.5),
+                Point::new(1.5, 1.5),
+            ]
+        );
+    }
+}

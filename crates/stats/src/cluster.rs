@@ -1,0 +1,317 @@
+//! Spatial clustering: DBSCAN and K-means (paper introduction, refs
+//! \[18, 88\] — "kernel density estimation and K-means clustering to
+//! profile road accident hotspots").
+//!
+//! DBSCAN uses the grid index for ε-neighbourhood queries (the same
+//! fixed-radius machinery as the K-function), K-means uses k-means++
+//! seeding, and [`adjusted_rand_index`] scores recovered labels against
+//! generator ground truth (experiment E15).
+
+use lsga_core::Point;
+use lsga_index::GridIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Label used for DBSCAN noise points.
+pub const NOISE: i32 = -1;
+
+/// DBSCAN output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbscanResult {
+    /// Per-point labels: cluster id `0..n_clusters`, or [`NOISE`].
+    pub labels: Vec<i32>,
+    /// Number of clusters found.
+    pub n_clusters: usize,
+}
+
+/// Grid-accelerated DBSCAN with parameters `eps` (neighbourhood radius)
+/// and `min_pts` (core threshold, **including** the point itself, the
+/// scikit-learn convention).
+pub fn dbscan(points: &[Point], eps: f64, min_pts: usize) -> DbscanResult {
+    assert!(eps > 0.0, "eps must be positive");
+    assert!(min_pts >= 1, "min_pts must be at least 1");
+    let n = points.len();
+    let mut labels = vec![i32::MIN; n]; // MIN = unvisited
+    if n == 0 {
+        return DbscanResult {
+            labels,
+            n_clusters: 0,
+        };
+    }
+    let index = GridIndex::build(points, eps);
+    let mut cluster = 0i32;
+    let mut nbrs = Vec::new();
+    let mut frontier: Vec<u32> = Vec::new();
+    for i in 0..n {
+        if labels[i] != i32::MIN {
+            continue;
+        }
+        index.query_within(&points[i], eps, &mut nbrs);
+        if nbrs.len() < min_pts {
+            labels[i] = NOISE;
+            continue;
+        }
+        // New cluster: BFS over density-reachable points.
+        labels[i] = cluster;
+        frontier.clear();
+        frontier.extend(nbrs.iter().copied().filter(|&j| j as usize != i));
+        while let Some(j) = frontier.pop() {
+            let j = j as usize;
+            if labels[j] == NOISE {
+                labels[j] = cluster; // border point adopted
+                continue;
+            }
+            if labels[j] != i32::MIN {
+                continue;
+            }
+            labels[j] = cluster;
+            index.query_within(&points[j], eps, &mut nbrs);
+            if nbrs.len() >= min_pts {
+                frontier.extend(nbrs.iter().copied().filter(|&k| labels[k as usize] == i32::MIN || labels[k as usize] == NOISE));
+            }
+        }
+        cluster += 1;
+    }
+    DbscanResult {
+        labels,
+        n_clusters: cluster as usize,
+    }
+}
+
+/// K-means output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    pub centroids: Vec<Point>,
+    pub labels: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations actually run.
+    pub iterations: usize,
+}
+
+/// Lloyd's K-means with k-means++ seeding. Deterministic in `seed`;
+/// stops on assignment convergence or after `max_iters`. Panics when
+/// `k == 0` or `k > n`.
+pub fn kmeans(points: &[Point], k: usize, max_iters: usize, seed: u64) -> KMeansResult {
+    let n = points.len();
+    assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Point> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)]);
+    let mut d2: Vec<f64> = points.iter().map(|p| p.dist_sq(&centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All mass collapsed (duplicates): pick any point.
+            points[rng.gen_range(0..n)]
+        } else {
+            let mut r = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, w) in d2.iter().enumerate() {
+                if r < *w {
+                    pick = i;
+                    break;
+                }
+                r -= w;
+            }
+            points[pick]
+        };
+        centroids.push(next);
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(p.dist_sq(&next));
+        }
+    }
+
+    let mut labels = vec![0usize; n];
+    let mut iterations = 0;
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        // Assignment.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, ctr) in centroids.iter().enumerate() {
+                let d = p.dist_sq(ctr);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        // Update.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
+        for (p, l) in points.iter().zip(&labels) {
+            sums[*l].0 += p.x;
+            sums[*l].1 += p.y;
+            sums[*l].2 += 1;
+        }
+        for (c, (sx, sy, cnt)) in sums.into_iter().enumerate() {
+            if cnt > 0 {
+                centroids[c] = Point::new(sx / cnt as f64, sy / cnt as f64);
+            }
+            // Empty clusters keep their centroid (k-means++ makes this
+            // rare; keeping it stable preserves determinism).
+        }
+    }
+    let inertia = points
+        .iter()
+        .zip(&labels)
+        .map(|(p, l)| p.dist_sq(&centroids[*l]))
+        .sum();
+    KMeansResult {
+        centroids,
+        labels,
+        inertia,
+        iterations,
+    }
+}
+
+/// Adjusted Rand index between two labelings (any integer-like labels;
+/// DBSCAN noise at −1 is treated as its own class). 1.0 = identical
+/// partitions, ~0 = random agreement.
+pub fn adjusted_rand_index(a: &[i64], b: &[i64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "label vectors must match");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    use std::collections::HashMap;
+    let mut cont: HashMap<(i64, i64), u64> = HashMap::new();
+    let mut rows: HashMap<i64, u64> = HashMap::new();
+    let mut cols: HashMap<i64, u64> = HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        *cont.entry((x, y)).or_insert(0) += 1;
+        *rows.entry(x).or_insert(0) += 1;
+        *cols.entry(y).or_insert(0) += 1;
+    }
+    let c2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let sum_cont: f64 = cont.values().map(|&v| c2(v)).sum();
+    let sum_rows: f64 = rows.values().map(|&v| c2(v)).sum();
+    let sum_cols: f64 = cols.values().map(|&v| c2(v)).sum();
+    let total = c2(n as u64);
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0; // both partitions trivial
+    }
+    (sum_cont - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Point>, Vec<i64>) {
+        let mut pts = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..60 {
+            let f = i as f64;
+            pts.push(Point::new(
+                10.0 + (f * 0.77).sin() * 2.0,
+                10.0 + (f * 1.31).cos() * 2.0,
+            ));
+            truth.push(0);
+        }
+        for i in 0..60 {
+            let f = i as f64;
+            pts.push(Point::new(
+                40.0 + (f * 0.77).sin() * 2.0,
+                40.0 + (f * 1.31).cos() * 2.0,
+            ));
+            truth.push(1);
+        }
+        (pts, truth)
+    }
+
+    #[test]
+    fn dbscan_separates_blobs() {
+        let (pts, truth) = two_blobs();
+        let r = dbscan(&pts, 2.0, 4);
+        assert_eq!(r.n_clusters, 2);
+        let labels: Vec<i64> = r.labels.iter().map(|l| *l as i64).collect();
+        assert!(adjusted_rand_index(&labels, &truth) > 0.95);
+    }
+
+    #[test]
+    fn dbscan_marks_outliers_noise() {
+        let (mut pts, _) = two_blobs();
+        pts.push(Point::new(1000.0, 1000.0));
+        let r = dbscan(&pts, 2.0, 4);
+        assert_eq!(*r.labels.last().unwrap(), NOISE);
+        assert_eq!(r.n_clusters, 2);
+    }
+
+    #[test]
+    fn dbscan_all_noise_when_sparse() {
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
+        let r = dbscan(&pts, 1.0, 3);
+        assert_eq!(r.n_clusters, 0);
+        assert!(r.labels.iter().all(|l| *l == NOISE));
+    }
+
+    #[test]
+    fn dbscan_single_dense_cluster() {
+        let pts = vec![Point::new(5.0, 5.0); 20];
+        let r = dbscan(&pts, 0.5, 3);
+        assert_eq!(r.n_clusters, 1);
+        assert!(r.labels.iter().all(|l| *l == 0));
+    }
+
+    #[test]
+    fn kmeans_recovers_blob_centroids() {
+        let (pts, truth) = two_blobs();
+        let r = kmeans(&pts, 2, 50, 3);
+        let labels: Vec<i64> = r.labels.iter().map(|l| *l as i64).collect();
+        assert!(adjusted_rand_index(&labels, &truth) > 0.95);
+        // Centroids near (10, 10) and (40, 40) in some order.
+        let mut near10 = false;
+        let mut near40 = false;
+        for c in &r.centroids {
+            if c.dist(&Point::new(10.0, 10.0)) < 3.0 {
+                near10 = true;
+            }
+            if c.dist(&Point::new(40.0, 40.0)) < 3.0 {
+                near40 = true;
+            }
+        }
+        assert!(near10 && near40, "{:?}", r.centroids);
+        assert!(r.inertia > 0.0);
+    }
+
+    #[test]
+    fn kmeans_deterministic_and_k_equals_n() {
+        let (pts, _) = two_blobs();
+        let a = kmeans(&pts, 3, 30, 9);
+        let b = kmeans(&pts, 3, 30, 9);
+        assert_eq!(a, b);
+        let tiny = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let r = kmeans(&tiny, 2, 10, 0);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ k ≤ n")]
+    fn kmeans_rejects_k_over_n() {
+        let _ = kmeans(&[Point::new(0.0, 0.0)], 2, 5, 0);
+    }
+
+    #[test]
+    fn ari_bounds() {
+        let a = vec![0i64, 0, 1, 1];
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        let relabeled = vec![5i64, 5, 9, 9];
+        assert_eq!(adjusted_rand_index(&a, &relabeled), 1.0);
+        let opposite = vec![0i64, 1, 0, 1];
+        assert!(adjusted_rand_index(&a, &opposite) < 0.1);
+    }
+}

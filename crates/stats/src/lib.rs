@@ -1,0 +1,31 @@
+//! # lsga-stats
+//!
+//! The correlation-analysis tools of the paper's Table 1 beyond the
+//! K-function — Moran's I and the Getis-Ord General G — plus the spatial
+//! clustering methods its introduction cites (\[18, 88\]):
+//!
+//! * [`weights`] — sparse spatial weight matrices (distance band, k-NN,
+//!   row standardization) that both global statistics consume;
+//! * [`areal`] — quadrat counting: aggregating a point dataset onto a
+//!   lattice of cells, the areal form these statistics apply to;
+//! * [`moran`] — global Moran's I with the analytic normal z-test and a
+//!   permutation test;
+//! * [`getis`] — Getis-Ord General G with a permutation test;
+//! * [`cluster`] — grid-accelerated DBSCAN, K-means (k-means++ init), and
+//!   the adjusted Rand index for evaluating recovered hotspot structure;
+//! * [`local`] — the local decompositions practitioners use for hot-spot
+//!   mapping: Getis-Ord `Gi*` and local Moran's I (LISA).
+
+pub mod areal;
+pub mod cluster;
+pub mod getis;
+pub mod local;
+pub mod moran;
+pub mod weights;
+
+pub use areal::{quadrat_chi2_test, quadrat_counts, QuadratTest};
+pub use cluster::{adjusted_rand_index, dbscan, kmeans, DbscanResult, KMeansResult, NOISE};
+pub use getis::{general_g, GeneralGResult};
+pub use local::{lisa_quadrants, local_gi_star, local_morans_i, LisaQuadrant, LocalResult};
+pub use moran::{morans_i, MoranResult};
+pub use weights::SpatialWeights;

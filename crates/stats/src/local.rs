@@ -1,0 +1,305 @@
+//! Local indicators of spatial association: Getis-Ord `Gi*` and local
+//! Moran's I (LISA).
+//!
+//! The paper's Table 1 lists the *global* Moran's I and General G; the
+//! tools practitioners actually click in ArcGIS ("Hot Spot Analysis")
+//! are their local decompositions, which attach a z-score to every
+//! cell. They are included as the natural extension of the global
+//! statistics and feed the same quadrat-count pipeline.
+
+use crate::weights::SpatialWeights;
+use lsga_core::util::normal_two_sided_p;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Per-location result of a local statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalResult {
+    /// The local statistic value (z-score for `Gi*`, `I_i` for LISA).
+    pub value: f64,
+    /// Two-sided normal p-value (analytic for `Gi*`, permutation-based
+    /// for LISA when permutations were requested, else analytic-ish 1.0).
+    pub p: f64,
+}
+
+/// Moran-scatterplot quadrant of a location (the LISA cluster map
+/// legend: High-High cores, Low-Low cold clusters, and the two outlier
+/// quadrants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LisaQuadrant {
+    /// High value amid high neighbours (hot-spot core).
+    HighHigh,
+    /// Low value amid low neighbours (cold-spot core).
+    LowLow,
+    /// High value amid low neighbours (positive outlier).
+    HighLow,
+    /// Low value amid high neighbours (negative outlier).
+    LowHigh,
+}
+
+/// Classify every location into its Moran-scatterplot quadrant by the
+/// signs of its deviation and its spatial lag's deviation — the layer a
+/// LISA cluster map colours (usually masked by the permutation p-values
+/// of [`local_morans_i`]).
+pub fn lisa_quadrants(values: &[f64], w: &SpatialWeights) -> Vec<LisaQuadrant> {
+    let n = values.len();
+    assert_eq!(n, w.n(), "value/weight dimension mismatch");
+    let mean = values.iter().sum::<f64>() / n.max(1) as f64;
+    let lag = w.lag(values);
+    // The lag of the mean field: each row's weight sum times the mean.
+    (0..n)
+        .map(|i| {
+            let (_, ws) = w.row(i);
+            let wsum: f64 = ws.iter().sum();
+            let z = values[i] - mean;
+            let zlag = lag[i] - wsum * mean;
+            match (z >= 0.0, zlag >= 0.0) {
+                (true, true) => LisaQuadrant::HighHigh,
+                (false, false) => LisaQuadrant::LowLow,
+                (true, false) => LisaQuadrant::HighLow,
+                (false, true) => LisaQuadrant::LowHigh,
+            }
+        })
+        .collect()
+}
+
+/// Getis-Ord `Gi*` hot-spot statistic for every location: the z-score of
+/// the weighted local sum (self-inclusive) against its expectation under
+/// spatial randomness.
+///
+/// `Gi*_i = (Σ_j w*_ij x_j − X̄ · W*_i) / (S · sqrt((n·Σ w*_ij² − W*_i²)/(n−1)))`
+/// with `w*` = `w` plus a unit self-weight. Positive z: cluster of high
+/// values ("hot spot"); negative: cluster of low values ("cold spot").
+pub fn local_gi_star(values: &[f64], w: &SpatialWeights) -> Vec<LocalResult> {
+    let n = values.len();
+    assert_eq!(n, w.n(), "value/weight dimension mismatch");
+    assert!(n >= 2, "need at least two locations");
+    let nf = n as f64;
+    let mean = values.iter().sum::<f64>() / nf;
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    let s = (sum_sq / nf - mean * mean).max(0.0).sqrt();
+    (0..n)
+        .map(|i| {
+            let (cols, ws) = w.row(i);
+            // Self-inclusive star weights.
+            let mut lag = values[i]; // w*_ii = 1
+            let mut w_sum = 1.0;
+            let mut w_sq = 1.0;
+            for (c, wv) in cols.iter().zip(ws) {
+                lag += wv * values[*c as usize];
+                w_sum += wv;
+                w_sq += wv * wv;
+            }
+            let denom_inner = (nf * w_sq - w_sum * w_sum) / (nf - 1.0);
+            let denom = s * denom_inner.max(0.0).sqrt();
+            let z = if denom > 0.0 {
+                (lag - mean * w_sum) / denom
+            } else {
+                0.0
+            };
+            LocalResult {
+                value: z,
+                p: normal_two_sided_p(z),
+            }
+        })
+        .collect()
+}
+
+/// Local Moran's I (Anselin's LISA) per location:
+/// `I_i = (z_i / m₂) · Σ_j w_ij z_j` with `z = x − x̄`,
+/// `m₂ = Σ z² / n`. Positive `I_i`: the location sits in a high-high or
+/// low-low cluster; negative: a spatial outlier.
+///
+/// With `permutations > 0`, a conditional permutation test (the other
+/// values shuffled over the other locations) yields pseudo p-values;
+/// with `0` the `p` field is 1.0 (no inference).
+pub fn local_morans_i(
+    values: &[f64],
+    w: &SpatialWeights,
+    permutations: usize,
+    seed: u64,
+) -> Vec<LocalResult> {
+    let n = values.len();
+    assert_eq!(n, w.n(), "value/weight dimension mismatch");
+    assert!(n >= 3, "need at least three locations");
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let z: Vec<f64> = values.iter().map(|x| x - mean).collect();
+    let m2 = z.iter().map(|v| v * v).sum::<f64>() / n as f64;
+    if m2 == 0.0 {
+        return vec![LocalResult { value: 0.0, p: 1.0 }; n];
+    }
+    let lag_i = |i: usize, z: &[f64]| -> f64 {
+        let (cols, ws) = w.row(i);
+        cols.iter().zip(ws).map(|(c, wv)| wv * z[*c as usize]).sum()
+    };
+    let observed: Vec<f64> = (0..n).map(|i| z[i] / m2 * lag_i(i, &z)).collect();
+    if permutations == 0 {
+        return observed
+            .into_iter()
+            .map(|value| LocalResult { value, p: 1.0 })
+            .collect();
+    }
+    // Conditional permutation: hold z_i fixed, shuffle the others.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut extreme = vec![0usize; n];
+    let mut shuffled = z.clone();
+    for _ in 0..permutations {
+        shuffled.shuffle(&mut rng);
+        // One global shuffle approximates the conditional draw for all
+        // sites at once (the standard fast LISA implementation trick):
+        // for each site, overwrite position i with its true z_i.
+        for i in 0..n {
+            let saved = shuffled[i];
+            shuffled[i] = z[i];
+            let ip = z[i] / m2 * lag_i(i, &shuffled);
+            if ip.abs() >= observed[i].abs() - 1e-15 {
+                extreme[i] += 1;
+            }
+            shuffled[i] = saved;
+        }
+    }
+    observed
+        .into_iter()
+        .zip(extreme)
+        .map(|(value, ex)| LocalResult {
+            value,
+            p: (ex + 1) as f64 / (permutations + 1) as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::Point;
+
+    fn lattice_weights(k: usize) -> SpatialWeights {
+        let pts: Vec<Point> = (0..k * k)
+            .map(|i| Point::new((i % k) as f64, (i / k) as f64))
+            .collect();
+        SpatialWeights::distance_band(&pts, 1.0)
+    }
+
+    /// 8x8 lattice with a hot 3x3 corner.
+    fn hot_corner(k: usize) -> Vec<f64> {
+        (0..k * k)
+            .map(|i| {
+                let (x, y) = (i % k, i / k);
+                if x < 3 && y < 3 {
+                    10.0
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gi_star_flags_the_hot_corner() {
+        let k = 8;
+        let w = lattice_weights(k);
+        let values = hot_corner(k);
+        let gi = local_gi_star(&values, &w);
+        // Centre of the hot block: strongly positive and significant.
+        let hot = gi[k + 1];
+        assert!(hot.value > 2.5, "z = {}", hot.value);
+        assert!(hot.p < 0.05);
+        // Far corner: weakly negative (cold side), not a hot spot.
+        let cold = gi[(k - 1) * k + (k - 1)];
+        assert!(cold.value < 0.5, "z = {}", cold.value);
+    }
+
+    #[test]
+    fn gi_star_zero_variance_is_flat() {
+        let k = 5;
+        let w = lattice_weights(k);
+        let gi = local_gi_star(&[3.0; 25], &w);
+        assert!(gi.iter().all(|r| r.value == 0.0));
+    }
+
+    #[test]
+    fn lisa_high_high_and_outlier_signs() {
+        let k = 8;
+        let w = lattice_weights(k);
+        let mut values = hot_corner(k);
+        // Plant a high outlier amid the low region.
+        values[5 * k + 5] = 10.0;
+        let lisa = local_morans_i(&values, &w, 99, 7);
+        // Hot-block interior: positive I_i (high-high).
+        assert!(lisa[k + 1].value > 0.5, "I = {}", lisa[k + 1].value);
+        // The isolated spike: negative I_i (high-low outlier).
+        assert!(lisa[5 * k + 5].value < 0.0, "I = {}", lisa[5 * k + 5].value);
+        // Permutation p-values are valid probabilities.
+        assert!(lisa.iter().all(|r| (0.0..=1.0).contains(&r.p)));
+        // The hot-block core should be significant.
+        assert!(lisa[k + 1].p < 0.1, "p = {}", lisa[k + 1].p);
+    }
+
+    #[test]
+    fn lisa_without_permutations_skips_inference() {
+        let k = 5;
+        let w = lattice_weights(k);
+        let values: Vec<f64> = (0..k * k).map(|i| (i % k) as f64).collect();
+        let lisa = local_morans_i(&values, &w, 0, 0);
+        assert!(lisa.iter().all(|r| r.p == 1.0));
+        // Gradient: an off-centre interior cell (z_i ≠ 0) sits in a
+        // similar-valued neighbourhood, so its local I is positive.
+        assert!(lisa[2 * k + 1].value > 0.0, "I = {}", lisa[2 * k + 1].value);
+    }
+
+    #[test]
+    fn lisa_sums_to_global_moran_numerator() {
+        // Σ_i I_i = n/S0 normalization away from the global I: check the
+        // proportionality explicitly.
+        let k = 6;
+        let w = lattice_weights(k);
+        let values: Vec<f64> = (0..k * k).map(|i| ((i * 31 + 3) % 11) as f64).collect();
+        let lisa = local_morans_i(&values, &w, 0, 0);
+        let sum_local: f64 = lisa.iter().map(|r| r.value).sum();
+        let global = crate::morans_i(&values, &w, 0, 0).unwrap();
+        // global I = sum_local / S0 * ... derive: I = (n/S0)*(Σ w z z)/Σz²,
+        // Σ I_i = Σ z_i lag_i / m2 = n (Σ w z z)/Σ z² = S0/n * n * I... =>
+        // I = Σ I_i / S0.
+        assert!(
+            (global.i - sum_local / w.s0()).abs() < 1e-9,
+            "{} vs {}",
+            global.i,
+            sum_local / w.s0()
+        );
+    }
+
+    #[test]
+    fn quadrants_match_structure() {
+        let k = 8;
+        let w = lattice_weights(k);
+        let mut values = hot_corner(k);
+        values[5 * k + 5] = 10.0; // outlier spike in the low region
+        let quads = lisa_quadrants(&values, &w);
+        assert_eq!(quads[k + 1], LisaQuadrant::HighHigh); // hot core
+        assert_eq!(quads[6 * k + 6], LisaQuadrant::LowLow); // far corner
+        assert_eq!(quads[5 * k + 5], LisaQuadrant::HighLow); // the spike
+        // Neighbour of the spike: low value, raised lag.
+        assert_eq!(quads[5 * k + 4], LisaQuadrant::LowHigh);
+        // Quadrant signs agree with the local I signs: HH/LL -> I >= 0.
+        let lisa = local_morans_i(&values, &w, 0, 0);
+        for (q, r) in quads.iter().zip(&lisa) {
+            match q {
+                LisaQuadrant::HighHigh | LisaQuadrant::LowLow => {
+                    assert!(r.value >= -1e-12)
+                }
+                _ => assert!(r.value <= 1e-12),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let k = 5;
+        let w = lattice_weights(k);
+        let values = hot_corner(k);
+        let a = local_morans_i(&values, &w, 49, 3);
+        let b = local_morans_i(&values, &w, 49, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,288 @@
+//! Sparse spatial weight matrices.
+//!
+//! Moran's I and the General G are defined over a weight matrix `w_ij`
+//! encoding which observations are "neighbours". The two constructions
+//! every surveyed package offers are the binary distance band and k-NN;
+//! both produce a CSR-layout sparse matrix here.
+
+use lsga_core::Point;
+use lsga_index::KdTree;
+
+/// A sparse spatial weight matrix in CSR layout. `w_ii = 0` always.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialWeights {
+    n: usize,
+    row_starts: Vec<u32>,
+    cols: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl SpatialWeights {
+    /// Binary distance-band weights: `w_ij = 1` iff `0 < dist ≤ radius`.
+    pub fn distance_band(points: &[Point], radius: f64) -> Self {
+        assert!(radius > 0.0, "radius must be positive");
+        let tree = KdTree::build(points);
+        let mut row_starts = Vec::with_capacity(points.len() + 1);
+        let mut cols = Vec::new();
+        let mut weights = Vec::new();
+        row_starts.push(0u32);
+        let mut buf = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            tree.range_query(p, radius, &mut buf);
+            buf.sort_unstable();
+            for &j in &buf {
+                if j as usize != i {
+                    cols.push(j);
+                    weights.push(1.0);
+                }
+            }
+            row_starts.push(cols.len() as u32);
+        }
+        SpatialWeights {
+            n: points.len(),
+            row_starts,
+            cols,
+            weights,
+        }
+    }
+
+    /// k-nearest-neighbour weights: `w_ij = 1` for the `k` nearest
+    /// distinct neighbours of `i` (asymmetric in general).
+    pub fn knn(points: &[Point], k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let tree = KdTree::build(points);
+        let mut row_starts = Vec::with_capacity(points.len() + 1);
+        let mut cols = Vec::new();
+        let mut weights = Vec::new();
+        row_starts.push(0u32);
+        for (i, p) in points.iter().enumerate() {
+            // k+1 because the query point itself is its own 0-NN.
+            let mut nbrs = tree.knn(p, k + 1);
+            nbrs.retain(|(j, _)| *j as usize != i);
+            nbrs.truncate(k);
+            nbrs.sort_by_key(|(j, _)| *j);
+            for (j, _) in nbrs {
+                cols.push(j);
+                weights.push(1.0);
+            }
+            row_starts.push(cols.len() as u32);
+        }
+        SpatialWeights {
+            n: points.len(),
+            row_starts,
+            cols,
+            weights,
+        }
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Row `i` as parallel `(columns, weights)` slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let s = self.row_starts[i] as usize;
+        let e = self.row_starts[i + 1] as usize;
+        (&self.cols[s..e], &self.weights[s..e])
+    }
+
+    /// Number of stored (non-zero) weights.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `S0 = Σ_ij w_ij`.
+    pub fn s0(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// `S1 = ½ Σ_ij (w_ij + w_ji)²` (needed by the Moran variance).
+    ///
+    /// Over ordered pairs the term `(w_ij + w_ji)²` appears twice per
+    /// unordered pair, so `S1` equals the sum of `t²` over unordered
+    /// pairs with `t = w_ij + w_ji ≠ 0`. Each such pair is visited from
+    /// row `min(i, j)` when that direction is stored, and from the other
+    /// row exactly when it is not.
+    pub fn s1(&self) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.n {
+            let (cols, ws) = self.row(i);
+            for (c, w) in cols.iter().zip(ws) {
+                let j = *c as usize;
+                if j > i {
+                    let t = w + self.weight_at(j, i);
+                    total += t * t;
+                } else if self.weight_at(j, i) == 0.0 {
+                    // Stored only in this direction: the pair was not
+                    // (and will not be) seen from row j.
+                    total += w * w;
+                }
+            }
+        }
+        total
+    }
+
+    /// `S2 = Σ_i (Σ_j w_ij + Σ_j w_ji)²`.
+    #[allow(clippy::needless_range_loop)] // indexes rows and column sums together
+    pub fn s2(&self) -> f64 {
+        let mut row_sum = vec![0.0f64; self.n];
+        let mut col_sum = vec![0.0f64; self.n];
+        for i in 0..self.n {
+            let (cols, ws) = self.row(i);
+            for (c, w) in cols.iter().zip(ws) {
+                row_sum[i] += w;
+                col_sum[*c as usize] += w;
+            }
+        }
+        row_sum
+            .iter()
+            .zip(&col_sum)
+            .map(|(r, c)| {
+                let t = r + c;
+                t * t
+            })
+            .sum()
+    }
+
+    /// Weight `w_ij` (0 when not stored).
+    pub fn weight_at(&self, i: usize, j: usize) -> f64 {
+        let (cols, ws) = self.row(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(pos) => ws[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Row-standardize: each non-empty row rescaled to sum to 1.
+    pub fn row_standardize(&mut self) {
+        for i in 0..self.n {
+            let s = self.row_starts[i] as usize;
+            let e = self.row_starts[i + 1] as usize;
+            let sum: f64 = self.weights[s..e].iter().sum();
+            if sum > 0.0 {
+                for w in &mut self.weights[s..e] {
+                    *w /= sum;
+                }
+            }
+        }
+    }
+
+    /// `Σ_j w_ij · x_j` for every `i` (the spatial lag).
+    pub fn lag(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|i| {
+                let (cols, ws) = self.row(i);
+                cols.iter().zip(ws).map(|(c, w)| w * x[*c as usize]).sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square4() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn distance_band_rook_structure() {
+        // radius 1: each unit-square corner has exactly its 2 rook
+        // neighbours (diagonal is √2 > 1).
+        let w = SpatialWeights::distance_band(&square4(), 1.0);
+        assert_eq!(w.n(), 4);
+        assert_eq!(w.nnz(), 8);
+        for i in 0..4 {
+            assert_eq!(w.row(i).0.len(), 2);
+        }
+        assert_eq!(w.weight_at(0, 1), 1.0);
+        assert_eq!(w.weight_at(0, 3), 0.0); // diagonal
+        assert_eq!(w.weight_at(0, 0), 0.0); // no self weight
+        assert_eq!(w.s0(), 8.0);
+    }
+
+    #[test]
+    fn knn_gives_exactly_k() {
+        let pts: Vec<Point> = (0..20).map(|i| Point::new(i as f64, 0.0)).collect();
+        let w = SpatialWeights::knn(&pts, 3);
+        for i in 0..20 {
+            assert_eq!(w.row(i).0.len(), 3, "row {i}");
+            assert!(!w.row(i).0.contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn s_statistics_on_symmetric_band() {
+        let w = SpatialWeights::distance_band(&square4(), 1.0);
+        // Symmetric binary: S1 = ½ Σ (2)² over the 8 stored = ½·8·4 = 16.
+        assert_eq!(w.s1(), 16.0);
+        // Each row and column sums to 2: S2 = Σ (2+2)² = 4·16 = 64.
+        assert_eq!(w.s2(), 64.0);
+    }
+
+    #[test]
+    fn s1_on_asymmetric_knn() {
+        // Three collinear points, k=1: 0→1, 1→0 (or 1→2 tie by index), 2→1.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.5, 0.0),
+        ];
+        let w = SpatialWeights::knn(&pts, 1);
+        // Check against the O(n²) definition.
+        let mut s1_brute = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                let t = w.weight_at(i, j) + w.weight_at(j, i);
+                s1_brute += t * t;
+            }
+        }
+        s1_brute *= 0.5;
+        assert_eq!(w.s1(), s1_brute);
+    }
+
+    #[test]
+    fn row_standardize_sums_to_one() {
+        let mut w = SpatialWeights::distance_band(&square4(), 1.5);
+        w.row_standardize();
+        for i in 0..4 {
+            let sum: f64 = w.row(i).1.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lag_computes_weighted_average() {
+        let mut w = SpatialWeights::distance_band(&square4(), 1.0);
+        w.row_standardize();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let lag = w.lag(&x);
+        // Corner 0 neighbours: 1 and 2 -> (2+3)/2.
+        assert!((lag[0] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_point_has_empty_row() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(100.0, 0.0),
+        ];
+        let w = SpatialWeights::distance_band(&pts, 1.0);
+        assert_eq!(w.row(2).0.len(), 0);
+        let mut ws = w.clone();
+        ws.row_standardize(); // must not divide by zero
+        assert_eq!(ws.row(2).0.len(), 0);
+    }
+}

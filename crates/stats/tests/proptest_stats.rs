@@ -1,0 +1,79 @@
+//! Property tests: invariance laws of the correlation statistics and
+//! clustering algorithms.
+
+use lsga_core::Point;
+use lsga_stats::{adjusted_rand_index, dbscan, kmeans, morans_i, SpatialWeights, NOISE};
+use proptest::prelude::*;
+
+fn arb_points(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| Point::new(x, y)),
+        min..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn morans_i_affine_invariant(
+        pts in arb_points(9, 40),
+        values in prop::collection::vec(0.0f64..100.0, 40),
+        scale in 0.1f64..10.0,
+        shift in -50.0f64..50.0,
+    ) {
+        let n = pts.len();
+        let vals = &values[..n];
+        let w = SpatialWeights::knn(&pts, 3.min(n - 1).max(1));
+        if let Some(base) = morans_i(vals, &w, 0, 0) {
+            let transformed: Vec<f64> = vals.iter().map(|v| v * scale + shift).collect();
+            let t = morans_i(&transformed, &w, 0, 0).unwrap();
+            prop_assert!((base.i - t.i).abs() < 1e-9, "{} vs {}", base.i, t.i);
+            prop_assert!((base.z_norm - t.z_norm).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dbscan_labels_well_formed(pts in arb_points(0, 80), eps in 0.5f64..30.0, min_pts in 1usize..8) {
+        let r = dbscan(&pts, eps, min_pts);
+        prop_assert_eq!(r.labels.len(), pts.len());
+        for l in &r.labels {
+            prop_assert!(*l == NOISE || (*l >= 0 && (*l as usize) < r.n_clusters));
+        }
+        // Every cluster id in 0..n_clusters appears at least once.
+        for c in 0..r.n_clusters as i32 {
+            prop_assert!(r.labels.contains(&c));
+        }
+        // With min_pts = 1 no point can be noise.
+        if min_pts == 1 {
+            prop_assert!(r.labels.iter().all(|l| *l != NOISE));
+        }
+    }
+
+    #[test]
+    fn kmeans_assigns_nearest_centroid(pts in arb_points(4, 60), k in 1usize..4) {
+        let k = k.min(pts.len());
+        let r = kmeans(&pts, k, 50, 7);
+        for (p, l) in pts.iter().zip(&r.labels) {
+            let my = p.dist_sq(&r.centroids[*l]);
+            for c in &r.centroids {
+                prop_assert!(my <= p.dist_sq(c) + 1e-9);
+            }
+        }
+        prop_assert!(r.inertia >= 0.0);
+    }
+
+    #[test]
+    fn ari_permutation_invariant(labels in prop::collection::vec(0i64..4, 2..60), relabel_seed in 0u64..100) {
+        // Renaming cluster ids must not change the ARI.
+        let perm = |l: i64| (l + relabel_seed as i64) % 7 + 100;
+        let renamed: Vec<i64> = labels.iter().map(|l| perm(*l)).collect();
+        let self_ari = adjusted_rand_index(&labels, &renamed);
+        prop_assert!((self_ari - 1.0).abs() < 1e-9);
+        // Symmetry.
+        let other: Vec<i64> = labels.iter().rev().copied().collect();
+        let ab = adjusted_rand_index(&labels, &other);
+        let ba = adjusted_rand_index(&other, &labels);
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Colour ramps for heatmap rendering.
+
+/// A colour ramp mapping normalized density `t ∈ [0, 1]` to RGB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Colormap {
+    /// Black → red → yellow → white: the classic "hotspot" ramp the
+    /// paper's Fig. 1 heatmap uses (red = hotspot).
+    Heat,
+    /// A perceptually-ordered blue→green→yellow ramp (viridis-like
+    /// anchor table).
+    Viridis,
+    /// Linear grayscale.
+    Gray,
+}
+
+impl Colormap {
+    /// Map `t` (clamped to `[0, 1]`; NaN maps to 0) to an RGB triple.
+    pub fn map(&self, t: f64) -> [u8; 3] {
+        let t = if t.is_nan() { 0.0 } else { t.clamp(0.0, 1.0) };
+        match self {
+            Colormap::Gray => {
+                let v = (t * 255.0).round() as u8;
+                [v, v, v]
+            }
+            Colormap::Heat => {
+                // Three linear segments: black->red->yellow->white.
+                if t < 1.0 / 3.0 {
+                    let u = t * 3.0;
+                    [(u * 255.0) as u8, 0, 0]
+                } else if t < 2.0 / 3.0 {
+                    let u = (t - 1.0 / 3.0) * 3.0;
+                    [255, (u * 255.0) as u8, 0]
+                } else {
+                    let u = (t - 2.0 / 3.0) * 3.0;
+                    [255, 255, (u * 255.0) as u8]
+                }
+            }
+            Colormap::Viridis => interp_table(t, &VIRIDIS_ANCHORS),
+        }
+    }
+}
+
+/// Eight-anchor approximation of matplotlib's viridis.
+const VIRIDIS_ANCHORS: [[u8; 3]; 8] = [
+    [68, 1, 84],
+    [70, 50, 127],
+    [54, 92, 141],
+    [39, 127, 142],
+    [31, 161, 135],
+    [74, 194, 109],
+    [159, 218, 58],
+    [253, 231, 37],
+];
+
+fn interp_table(t: f64, table: &[[u8; 3]]) -> [u8; 3] {
+    let n = table.len();
+    let x = t * (n - 1) as f64;
+    let i = (x as usize).min(n - 2);
+    let f = x - i as f64;
+    let mut out = [0u8; 3];
+    for c in 0..3 {
+        let a = table[i][c] as f64;
+        let b = table[i + 1][c] as f64;
+        out[c] = (a + (b - a) * f).round() as u8;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(Colormap::Gray.map(0.0), [0, 0, 0]);
+        assert_eq!(Colormap::Gray.map(1.0), [255, 255, 255]);
+        assert_eq!(Colormap::Heat.map(0.0), [0, 0, 0]);
+        assert_eq!(Colormap::Heat.map(1.0), [255, 255, 255]);
+        assert_eq!(Colormap::Viridis.map(0.0), [68, 1, 84]);
+        assert_eq!(Colormap::Viridis.map(1.0), [253, 231, 37]);
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        assert_eq!(Colormap::Heat.map(-5.0), Colormap::Heat.map(0.0));
+        assert_eq!(Colormap::Heat.map(7.0), Colormap::Heat.map(1.0));
+        assert_eq!(Colormap::Viridis.map(f64::NAN), Colormap::Viridis.map(0.0));
+    }
+
+    #[test]
+    fn heat_is_red_hot_in_the_middle() {
+        // Mid-range: strong red (the paper's hotspot colour), no blue.
+        let [r, _, b] = Colormap::Heat.map(0.45);
+        assert!(r >= 250);
+        assert_eq!(b, 0);
+    }
+
+    #[test]
+    fn luminance_monotone_for_gray_and_heat() {
+        for cmap in [Colormap::Gray, Colormap::Heat] {
+            let mut last = -1.0;
+            for i in 0..=100 {
+                let [r, g, b] = cmap.map(i as f64 / 100.0);
+                let lum = 0.299 * r as f64 + 0.587 * g as f64 + 0.114 * b as f64;
+                assert!(lum >= last - 1e-9, "{cmap:?} at {i}");
+                last = lum;
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! GeoJSON export (RFC 7946) — the interop path into the web-GIS
+//! systems the paper's §2.4 targets (QGIS Cloud, ArcGIS Online, Leaflet
+//! dashboards all ingest GeoJSON directly).
+//!
+//! Coordinates are emitted as given (the suite works in projected planar
+//! coordinates; reproject before uploading if a CRS other than the
+//! GeoJSON default is needed). All writers are allocation-light string
+//! builders with no external JSON dependency.
+
+use lsga_core::{DensityGrid, Point};
+use lsga_kdv::NetworkDensity;
+use lsga_network::{Lixels, RoadNetwork};
+use std::fmt::Write as _;
+
+/// Points as a `FeatureCollection` of `Point` features. `properties`
+/// supplies one optional numeric property per point (e.g. cluster
+/// labels, local Gi* z-scores); pass `None` for bare points.
+pub fn points_geojson(points: &[Point], properties: Option<(&str, &[f64])>) -> String {
+    if let Some((_, vals)) = properties {
+        assert_eq!(vals.len(), points.len(), "property length mismatch");
+    }
+    let mut out = String::from(r#"{"type":"FeatureCollection","features":["#);
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            r#"{{"type":"Feature","geometry":{{"type":"Point","coordinates":[{},{}]}},"properties":{}}}"#,
+            fmt_f64(p.x),
+            fmt_f64(p.y),
+            match properties {
+                Some((name, vals)) => format!(r#"{{"{name}":{}}}"#, fmt_f64(vals[i])),
+                None => "{}".to_string(),
+            }
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A density raster as a `FeatureCollection` of cell `Polygon`s with a
+/// `density` property. Cells below `min_density` are skipped (web maps
+/// choke on hundreds of thousands of zero cells).
+pub fn grid_geojson(grid: &DensityGrid, min_density: f64) -> String {
+    let spec = *grid.spec();
+    let mut out = String::from(r#"{"type":"FeatureCollection","features":["#);
+    let mut first = true;
+    for iy in 0..spec.ny {
+        for ix in 0..spec.nx {
+            let v = grid.at(ix, iy);
+            if v < min_density {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let x0 = spec.bbox.min_x + ix as f64 * spec.dx();
+            let y0 = spec.bbox.min_y + iy as f64 * spec.dy();
+            let (x1, y1) = (x0 + spec.dx(), y0 + spec.dy());
+            let _ = write!(
+                out,
+                concat!(
+                    r#"{{"type":"Feature","geometry":{{"type":"Polygon","coordinates":"#,
+                    r#"[[[{x0},{y0}],[{x1},{y0}],[{x1},{y1}],[{x0},{y1}],[{x0},{y0}]]]}},"#,
+                    r#""properties":{{"density":{v}}}}}"#
+                ),
+                x0 = fmt_f64(x0),
+                y0 = fmt_f64(y0),
+                x1 = fmt_f64(x1),
+                y1 = fmt_f64(y1),
+                v = fmt_f64(v),
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// An NKDV result as a `FeatureCollection` of lixel `LineString`s with a
+/// `density` property (the layer spNetwork/PyNKDV users style in QGIS).
+pub fn lixels_geojson(net: &RoadNetwork, lixels: &Lixels, density: &NetworkDensity) -> String {
+    assert_eq!(lixels.len(), density.values().len(), "length mismatch");
+    let mut out = String::from(r#"{"type":"FeatureCollection","features":["#);
+    for (i, (lx, v)) in lixels.all().iter().zip(density.values()).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let a = net.point_on_edge(lx.edge, lx.start);
+        let b = net.point_on_edge(lx.edge, lx.end);
+        let _ = write!(
+            out,
+            concat!(
+                r#"{{"type":"Feature","geometry":{{"type":"LineString","coordinates":"#,
+                r#"[[{},{}],[{},{}]]}},"properties":{{"density":{}}}}}"#
+            ),
+            fmt_f64(a.x),
+            fmt_f64(a.y),
+            fmt_f64(b.x),
+            fmt_f64(b.y),
+            fmt_f64(*v),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// JSON-safe float formatting: finite values print normally; NaN and
+/// infinities (not representable in JSON) become `null`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::{BBox, Epanechnikov, GridSpec};
+    use lsga_kdv::nkdv_forward;
+    use lsga_network::{grid_network, EdgeId, EdgePosition};
+
+    /// Minimal structural JSON check: balanced braces/brackets and no
+    /// trailing commas before closers.
+    fn assert_wellformed(json: &str) {
+        let mut depth: i64 = 0;
+        let mut prev = ' ';
+        for c in json.chars() {
+            match c {
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    assert_ne!(prev, ',', "trailing comma before {c}");
+                    depth -= 1;
+                    assert!(depth >= 0);
+                }
+                _ => {}
+            }
+            if !c.is_whitespace() {
+                prev = c;
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced braces");
+    }
+
+    #[test]
+    fn points_with_and_without_properties() {
+        let pts = [Point::new(1.5, 2.5), Point::new(-3.0, 0.0)];
+        let bare = points_geojson(&pts, None);
+        assert_wellformed(&bare);
+        assert_eq!(bare.matches(r#""type":"Point""#).count(), 2);
+        assert!(bare.contains("[1.5,2.5]"));
+
+        let labeled = points_geojson(&pts, Some(("z", &[1.0, -2.5])));
+        assert_wellformed(&labeled);
+        assert!(labeled.contains(r#"{"z":1}"#));
+        assert!(labeled.contains(r#"{"z":-2.5}"#));
+    }
+
+    #[test]
+    fn grid_skips_cold_cells() {
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 2.0, 2.0), 2, 2);
+        let mut g = lsga_core::DensityGrid::zeros(spec);
+        g.set(0, 0, 5.0);
+        g.set(1, 1, 0.4);
+        let json = grid_geojson(&g, 0.5);
+        assert_wellformed(&json);
+        assert_eq!(json.matches(r#""type":"Polygon""#).count(), 1);
+        assert!(json.contains(r#""density":5"#));
+        // Polygon ring is closed (first == last coordinate).
+        assert!(json.contains("[[[0,0],[1,0],[1,1],[0,1],[0,0]]]"));
+    }
+
+    #[test]
+    fn lixels_export_matches_density() {
+        let net = grid_network(3, 3, 10.0);
+        let lixels = Lixels::build(&net, 5.0);
+        let events = [EdgePosition {
+            edge: EdgeId(0),
+            offset: 5.0,
+        }];
+        let density = nkdv_forward(&net, &lixels, &events, Epanechnikov::new(8.0));
+        let json = lixels_geojson(&net, &lixels, &density);
+        assert_wellformed(&json);
+        assert_eq!(
+            json.matches(r#""type":"LineString""#).count(),
+            lixels.len()
+        );
+        assert!(json.contains(r#""density":"#));
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        let pts = [Point::new(0.0, 0.0)];
+        let json = points_geojson(&pts, Some(("v", &[f64::NAN])));
+        assert_wellformed(&json);
+        assert!(json.contains(r#"{"v":null}"#));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn property_length_checked() {
+        let _ = points_geojson(&[Point::new(0.0, 0.0)], Some(("v", &[1.0, 2.0])));
+    }
+}

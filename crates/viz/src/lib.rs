@@ -1,0 +1,27 @@
+//! # lsga-viz
+//!
+//! Rendering for the suite's outputs — the "V" in KDV. The paper's
+//! deployments render heatmaps through QGIS/ArcGIS (Fig. 1, 4, 5); this
+//! crate regenerates equivalent images without external dependencies:
+//!
+//! * [`colormap`] — heat / viridis-like / grayscale colour ramps;
+//! * [`png`] — a minimal self-contained PNG encoder (stored-block
+//!   zlib, CRC32/Adler32 implemented in-repo);
+//! * [`render`] — density-grid → RGB/PPM/PNG/ASCII heatmaps;
+//! * [`svg`] — K-function plots (Fig. 2) as standalone SVG;
+//! * [`network_svg`] — NKDV results as road maps coloured by density;
+//! * [`geojson`] — RFC 7946 export of points / rasters / lixels into the
+//!   web-GIS systems the paper's §2.4 targets.
+
+pub mod colormap;
+pub mod geojson;
+pub mod network_svg;
+pub mod png;
+pub mod render;
+pub mod svg;
+
+pub use colormap::Colormap;
+pub use geojson::{grid_geojson, lixels_geojson, points_geojson};
+pub use render::{ascii_heatmap, render_rgb, write_heatmap_png, write_heatmap_ppm};
+pub use network_svg::network_density_svg;
+pub use svg::k_plot_svg;

@@ -1,0 +1,148 @@
+//! SVG rendering of network densities (NKDV output): road segments
+//! coloured by their lixel density — the network analogue of the Fig. 1
+//! heatmap, matching how PyNKDV/spNetwork visualize results.
+
+use crate::colormap::Colormap;
+use lsga_kdv::NetworkDensity;
+use lsga_network::{Lixels, RoadNetwork};
+use std::fmt::Write as _;
+
+/// Render an NKDV result as a standalone SVG: every lixel drawn as a
+/// line segment coloured by its normalized density. The viewBox maps
+/// the network's bounding box (inflated 5%) to `width × height`.
+pub fn network_density_svg(
+    net: &RoadNetwork,
+    lixels: &Lixels,
+    density: &NetworkDensity,
+    cmap: Colormap,
+    width: u32,
+    height: u32,
+) -> String {
+    assert_eq!(
+        lixels.len(),
+        density.values().len(),
+        "density/lixel length mismatch"
+    );
+    let bbox = net.bbox();
+    let pad = 0.05 * bbox.width().max(bbox.height()).max(1e-9);
+    let (x0, y0) = (bbox.min_x - pad, bbox.min_y - pad);
+    let (w_world, h_world) = (bbox.width() + 2.0 * pad, bbox.height() + 2.0 * pad);
+    let sx = width as f64 / w_world;
+    let sy = height as f64 / h_world;
+    // Flip y: SVG's y axis points down, maps point north up.
+    let tx = |x: f64| (x - x0) * sx;
+    let ty = |y: f64| height as f64 - (y - y0) * sy;
+
+    let max = density.max().max(1e-300);
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        concat!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" "#,
+            r#"viewBox="0 0 {w} {h}">"#,
+            r#"<rect width="{w}" height="{h}" fill="white"/>"#
+        ),
+        w = width,
+        h = height
+    );
+    // Faint base network so zero-density roads stay visible.
+    for e in net.edges() {
+        let a = net.vertex(e.u);
+        let b = net.vertex(e.v);
+        let _ = write!(
+            svg,
+            concat!(
+                r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" "#,
+                r##"stroke="#dddddd" stroke-width="1"/>"##
+            ),
+            tx(a.x),
+            ty(a.y),
+            tx(b.x),
+            ty(b.y)
+        );
+    }
+    // Lixels coloured by density (skip zeros: base network shows them).
+    for (lx, v) in lixels.all().iter().zip(density.values()) {
+        if *v <= 0.0 {
+            continue;
+        }
+        let p0 = net.point_on_edge(lx.edge, lx.start);
+        let p1 = net.point_on_edge(lx.edge, lx.end);
+        let [r, g, b] = cmap.map(v / max);
+        let _ = write!(
+            svg,
+            concat!(
+                r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" "#,
+                r##"stroke="#{:02x}{:02x}{:02x}" stroke-width="3" stroke-linecap="round"/>"##
+            ),
+            tx(p0.x),
+            ty(p0.y),
+            tx(p1.x),
+            ty(p1.y),
+            r,
+            g,
+            b
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::{Epanechnikov, Point};
+    use lsga_kdv::nkdv_forward;
+    use lsga_network::{grid_network, EdgeId, EdgePosition};
+
+    #[test]
+    fn svg_renders_hot_and_base_segments() {
+        let net = grid_network(4, 4, 10.0);
+        let lixels = Lixels::build(&net, 2.5);
+        let events = [EdgePosition {
+            edge: EdgeId(0),
+            offset: 5.0,
+        }];
+        let density = nkdv_forward(&net, &lixels, &events, Epanechnikov::new(8.0));
+        let svg = network_density_svg(&net, &lixels, &density, Colormap::Heat, 400, 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // Base network lines plus at least one coloured lixel.
+        assert!(svg.matches("#dddddd").count() >= net.edge_count());
+        assert!(svg.contains("stroke-linecap"));
+        // Hottest colour appears (density normalized to 1 at the peak).
+        let hot = Colormap::Heat.map(1.0);
+        let hot_hex = format!("#{:02x}{:02x}{:02x}", hot[0], hot[1], hot[2]);
+        assert!(svg.contains(&hot_hex), "missing peak colour {hot_hex}");
+    }
+
+    #[test]
+    fn zero_density_only_renders_base() {
+        let net = grid_network(3, 3, 5.0);
+        let lixels = Lixels::build(&net, 1.0);
+        let density = nkdv_forward(&net, &lixels, &[], Epanechnikov::new(3.0));
+        let svg = network_density_svg(&net, &lixels, &density, Colormap::Viridis, 200, 200);
+        assert_eq!(svg.matches("stroke-linecap").count(), 0);
+    }
+
+    #[test]
+    fn coordinates_fit_canvas() {
+        let net = grid_network(3, 3, 7.0);
+        let lixels = Lixels::build(&net, 2.0);
+        let events = [EdgePosition {
+            edge: EdgeId(2),
+            offset: 1.0,
+        }];
+        let density = nkdv_forward(&net, &lixels, &events, Epanechnikov::new(10.0));
+        let svg = network_density_svg(&net, &lixels, &density, Colormap::Gray, 300, 150);
+        for part in svg.split("x1=\"").skip(1) {
+            let x: f64 = part.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=300.0).contains(&x));
+        }
+        for part in svg.split("y1=\"").skip(1) {
+            let y: f64 = part.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=150.0).contains(&y));
+        }
+        let _ = Point::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! A minimal dependency-free PNG encoder.
+//!
+//! Emits 8-bit RGB PNGs using zlib **stored** (uncompressed) deflate
+//! blocks — larger files than a real compressor, but byte-exact,
+//! spec-conformant output from ~150 lines of code with no external
+//! crates, which keeps the whole suite hermetic. CRC-32 (ISO-HDLC) and
+//! Adler-32 are implemented here.
+
+use std::io::Write;
+
+/// Encode `rgb` (row-major, `3 * width * height` bytes, top row first)
+/// as an 8-bit RGB PNG.
+pub fn write_png<W: Write>(
+    mut w: W,
+    width: u32,
+    height: u32,
+    rgb: &[u8],
+) -> std::io::Result<()> {
+    assert_eq!(
+        rgb.len(),
+        (3 * width * height) as usize,
+        "pixel buffer size mismatch"
+    );
+    assert!(width > 0 && height > 0, "image dimensions must be positive");
+    // Signature.
+    w.write_all(&[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A])?;
+    // IHDR.
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&width.to_be_bytes());
+    ihdr.extend_from_slice(&height.to_be_bytes());
+    ihdr.extend_from_slice(&[8, 2, 0, 0, 0]); // depth 8, RGB, default
+    write_chunk(&mut w, b"IHDR", &ihdr)?;
+    // Raw scanline data: filter byte 0 before each row.
+    let stride = 3 * width as usize;
+    let mut raw = Vec::with_capacity((stride + 1) * height as usize);
+    for row in rgb.chunks_exact(stride) {
+        raw.push(0u8);
+        raw.extend_from_slice(row);
+    }
+    // zlib stream with stored deflate blocks.
+    let mut idat = Vec::with_capacity(raw.len() + raw.len() / 65_535 * 5 + 16);
+    idat.extend_from_slice(&[0x78, 0x01]); // CMF/FLG (32K window, no dict)
+    let mut chunks = raw.chunks(65_535).peekable();
+    if raw.is_empty() {
+        idat.extend_from_slice(&[0x01, 0, 0, 0xFF, 0xFF]);
+    }
+    while let Some(chunk) = chunks.next() {
+        let last = chunks.peek().is_none();
+        idat.push(u8::from(last)); // BFINAL, BTYPE=00 (stored)
+        let len = chunk.len() as u16;
+        idat.extend_from_slice(&len.to_le_bytes());
+        idat.extend_from_slice(&(!len).to_le_bytes());
+        idat.extend_from_slice(chunk);
+    }
+    idat.extend_from_slice(&adler32(&raw).to_be_bytes());
+    write_chunk(&mut w, b"IDAT", &idat)?;
+    write_chunk(&mut w, b"IEND", &[])?;
+    Ok(())
+}
+
+fn write_chunk<W: Write>(w: &mut W, tag: &[u8; 4], data: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(data.len() as u32).to_be_bytes())?;
+    w.write_all(tag)?;
+    w.write_all(data)?;
+    let mut crc = Crc32::new();
+    crc.update(tag);
+    crc.update(data);
+    w.write_all(&crc.finish().to_be_bytes())?;
+    Ok(())
+}
+
+/// Adler-32 checksum (RFC 1950).
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for chunk in data.chunks(5_552) {
+        for &byte in chunk {
+            a += byte as u32;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// Streaming CRC-32 (ISO-HDLC polynomial, as PNG requires).
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh checksum state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            let idx = ((self.state ^ byte as u32) & 0xFF) as usize;
+            self.state = CRC_TABLE[idx] ^ (self.state >> 8);
+        }
+    }
+
+    /// Final checksum value.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// CRC table generated at first use.
+static CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        let mut c = Crc32::new();
+        c.update(b"123456789");
+        assert_eq!(c.finish(), 0xCBF4_3926);
+        let mut e = Crc32::new();
+        e.update(b"");
+        assert_eq!(e.finish(), 0);
+        // IEND chunk CRC (well-known constant).
+        let mut iend = Crc32::new();
+        iend.update(b"IEND");
+        assert_eq!(iend.finish(), 0xAE42_6082);
+    }
+
+    #[test]
+    fn adler32_known_vectors() {
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    /// A tiny PNG reader sufficient to validate our own output: checks
+    /// the signature, walks the chunks verifying every CRC, inflates the
+    /// stored blocks, and checks the Adler.
+    fn validate_png(bytes: &[u8]) -> (u32, u32, Vec<u8>) {
+        assert_eq!(&bytes[..8], &[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]);
+        let mut pos = 8;
+        let mut dims = (0u32, 0u32);
+        let mut idat = Vec::new();
+        let mut saw_end = false;
+        while pos < bytes.len() {
+            let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let tag = &bytes[pos + 4..pos + 8];
+            let data = &bytes[pos + 8..pos + 8 + len];
+            let crc = u32::from_be_bytes(bytes[pos + 8 + len..pos + 12 + len].try_into().unwrap());
+            let mut check = Crc32::new();
+            check.update(tag);
+            check.update(data);
+            assert_eq!(check.finish(), crc, "chunk {:?} CRC", std::str::from_utf8(tag));
+            match tag {
+                b"IHDR" => {
+                    dims = (
+                        u32::from_be_bytes(data[0..4].try_into().unwrap()),
+                        u32::from_be_bytes(data[4..8].try_into().unwrap()),
+                    );
+                    assert_eq!(&data[8..13], &[8, 2, 0, 0, 0]);
+                }
+                b"IDAT" => idat.extend_from_slice(data),
+                b"IEND" => saw_end = true,
+                _ => {}
+            }
+            pos += 12 + len;
+        }
+        assert!(saw_end);
+        // Inflate the stored blocks.
+        assert_eq!(idat[0], 0x78);
+        let mut raw = Vec::new();
+        let mut p = 2;
+        loop {
+            let bfinal = idat[p] & 1;
+            assert_eq!(idat[p] >> 1, 0, "only stored blocks expected");
+            let len = u16::from_le_bytes([idat[p + 1], idat[p + 2]]) as usize;
+            let nlen = u16::from_le_bytes([idat[p + 3], idat[p + 4]]);
+            assert_eq!(!(len as u16), nlen);
+            raw.extend_from_slice(&idat[p + 5..p + 5 + len]);
+            p += 5 + len;
+            if bfinal == 1 {
+                break;
+            }
+        }
+        let adler = u32::from_be_bytes(idat[p..p + 4].try_into().unwrap());
+        assert_eq!(adler, adler32(&raw));
+        (dims.0, dims.1, raw)
+    }
+
+    #[test]
+    fn roundtrip_small_image() {
+        let (w, h) = (3u32, 2u32);
+        let rgb: Vec<u8> = (0..(3 * w * h) as usize).map(|i| (i * 7) as u8).collect();
+        let mut buf = Vec::new();
+        write_png(&mut buf, w, h, &rgb).unwrap();
+        let (rw, rh, raw) = validate_png(&buf);
+        assert_eq!((rw, rh), (w, h));
+        // Strip filter bytes and compare.
+        let mut pixels = Vec::new();
+        for row in raw.chunks_exact(3 * w as usize + 1) {
+            assert_eq!(row[0], 0);
+            pixels.extend_from_slice(&row[1..]);
+        }
+        assert_eq!(pixels, rgb);
+    }
+
+    #[test]
+    fn large_image_multiple_deflate_blocks() {
+        // > 65535 raw bytes forces several stored blocks.
+        let (w, h) = (200u32, 120u32);
+        let rgb: Vec<u8> = (0..(3 * w * h) as usize).map(|i| (i % 251) as u8).collect();
+        let mut buf = Vec::new();
+        write_png(&mut buf, w, h, &rgb).unwrap();
+        let (rw, rh, raw) = validate_png(&buf);
+        assert_eq!((rw, rh), (w, h));
+        assert_eq!(raw.len(), (3 * w as usize + 1) * h as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_buffer_size_panics() {
+        let mut buf = Vec::new();
+        let _ = write_png(&mut buf, 4, 4, &[0u8; 3]);
+    }
+}

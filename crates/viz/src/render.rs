@@ -1,0 +1,138 @@
+//! Heatmap rendering from [`DensityGrid`] rasters.
+
+use crate::colormap::Colormap;
+use crate::png::write_png;
+use lsga_core::DensityGrid;
+use std::io::Write;
+use std::path::Path;
+
+/// Convert a density grid to RGB bytes (row-major, **top row first** —
+/// i.e. the grid's highest `iy` renders at the top, map convention).
+/// Densities are normalized by the grid maximum; an all-zero grid maps
+/// everywhere to `cmap.map(0)`.
+pub fn render_rgb(grid: &DensityGrid, cmap: Colormap) -> (u32, u32, Vec<u8>) {
+    let spec = *grid.spec();
+    let max = grid.max().max(0.0);
+    let scale = if max > 0.0 { 1.0 / max } else { 0.0 };
+    let mut rgb = Vec::with_capacity(3 * spec.len());
+    for iy in (0..spec.ny).rev() {
+        for ix in 0..spec.nx {
+            let t = grid.at(ix, iy) * scale;
+            rgb.extend_from_slice(&cmap.map(t));
+        }
+    }
+    (spec.nx as u32, spec.ny as u32, rgb)
+}
+
+/// Render a heatmap and write it as PNG to `path`.
+pub fn write_heatmap_png(
+    path: impl AsRef<Path>,
+    grid: &DensityGrid,
+    cmap: Colormap,
+) -> std::io::Result<()> {
+    let (w, h, rgb) = render_rgb(grid, cmap);
+    let file = std::fs::File::create(path)?;
+    write_png(std::io::BufWriter::new(file), w, h, &rgb)
+}
+
+/// Render a heatmap and write it as binary PPM (P6) to `w`.
+pub fn write_heatmap_ppm<W: Write>(
+    mut w: W,
+    grid: &DensityGrid,
+    cmap: Colormap,
+) -> std::io::Result<()> {
+    let (width, height, rgb) = render_rgb(grid, cmap);
+    write!(w, "P6\n{width} {height}\n255\n")?;
+    w.write_all(&rgb)?;
+    Ok(())
+}
+
+/// ASCII ramp used by [`ascii_heatmap`], darkest to brightest.
+const ASCII_RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Render a coarse ASCII heatmap (one character per pixel, top row
+/// first). Useful in terminal demos and for eyeballing grids in tests.
+pub fn ascii_heatmap(grid: &DensityGrid) -> String {
+    let spec = *grid.spec();
+    let max = grid.max().max(0.0);
+    let scale = if max > 0.0 { 1.0 / max } else { 0.0 };
+    let mut out = String::with_capacity((spec.nx + 1) * spec.ny);
+    for iy in (0..spec.ny).rev() {
+        for ix in 0..spec.nx {
+            let t = (grid.at(ix, iy) * scale).clamp(0.0, 1.0);
+            let idx = (t * (ASCII_RAMP.len() - 1) as f64).round() as usize;
+            out.push(ASCII_RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::{BBox, GridSpec};
+
+    fn grid_with_peak() -> DensityGrid {
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 8.0, 4.0), 8, 4);
+        let mut g = DensityGrid::zeros(spec);
+        g.set(2, 3, 10.0); // top row in map orientation
+        g.set(5, 0, 5.0);
+        g
+    }
+
+    #[test]
+    fn rgb_dimensions_and_orientation() {
+        let g = grid_with_peak();
+        let (w, h, rgb) = render_rgb(&g, Colormap::Gray);
+        assert_eq!((w, h), (8, 4));
+        assert_eq!(rgb.len(), 8 * 4 * 3);
+        // Peak at (2, iy=3) must appear in the FIRST rendered row.
+        let first_row = &rgb[..8 * 3];
+        assert_eq!(first_row[2 * 3], 255);
+        // Half-peak at (5, iy=0) in the LAST row, gray 128.
+        let last_row = &rgb[3 * 8 * 3..];
+        assert_eq!(last_row[5 * 3], 128);
+    }
+
+    #[test]
+    fn zero_grid_renders_flat() {
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 2.0, 2.0), 2, 2);
+        let g = DensityGrid::zeros(spec);
+        let (_, _, rgb) = render_rgb(&g, Colormap::Heat);
+        assert!(rgb.iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn ppm_header() {
+        let g = grid_with_peak();
+        let mut buf = Vec::new();
+        write_heatmap_ppm(&mut buf, &g, Colormap::Gray).unwrap();
+        assert!(buf.starts_with(b"P6\n8 4\n255\n"));
+        assert_eq!(buf.len(), 11 + 8 * 4 * 3);
+    }
+
+    #[test]
+    fn ascii_shape_and_peak() {
+        let g = grid_with_peak();
+        let art = ascii_heatmap(&g);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 8));
+        // Peak character '@' at column 2 of the first line.
+        assert_eq!(lines[0].as_bytes()[2], b'@');
+        assert_eq!(lines[0].as_bytes()[0], b' ');
+    }
+
+    #[test]
+    fn png_file_written() {
+        let g = grid_with_peak();
+        let dir = std::env::temp_dir().join("lsga_viz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heatmap.png");
+        write_heatmap_png(&path, &g, Colormap::Viridis).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[1..4], b"PNG");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,158 @@
+//! SVG rendering of K-function plots (the paper's Fig. 2).
+
+use lsga_kfunc::KFunctionPlot;
+use std::fmt::Write as _;
+
+/// Render a K-function plot as a standalone SVG document: observed curve
+/// in black, envelope bounds as red (lower) and blue (upper) dashed
+/// curves — the paper's Fig. 2 styling.
+pub fn k_plot_svg(plot: &KFunctionPlot, width: u32, height: u32) -> String {
+    assert!(
+        !plot.thresholds.is_empty(),
+        "cannot render an empty K-function plot"
+    );
+    let margin = 40.0;
+    let w = width as f64;
+    let h = height as f64;
+    let x_max = plot
+        .thresholds
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let y_max = plot
+        .observed
+        .iter()
+        .chain(&plot.upper)
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    let x_of = |s: f64| margin + (s / x_max) * (w - 2.0 * margin);
+    let y_of = |k: f64| h - margin - (k / y_max) * (h - 2.0 * margin);
+
+    let polyline = |vals: &[u64]| -> String {
+        plot.thresholds
+            .iter()
+            .zip(vals)
+            .map(|(s, k)| format!("{:.2},{:.2}", x_of(*s), y_of(*k as f64)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        concat!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" "#,
+            r#"viewBox="0 0 {w} {h}">"#
+        ),
+        w = width,
+        h = height
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{m}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>"#,
+        m = margin,
+        y0 = h - margin,
+        x1 = w - margin
+    );
+    let _ = write!(
+        svg,
+        r#"<line x1="{m}" y1="{m}" x2="{m}" y2="{y0}" stroke="black"/>"#,
+        m = margin,
+        y0 = h - margin
+    );
+    // Envelope curves (Fig. 2: red dotted lower, blue dotted upper).
+    let _ = write!(
+        svg,
+        r#"<polyline points="{}" fill="none" stroke="red" stroke-dasharray="4 3"/>"#,
+        polyline(&plot.lower)
+    );
+    let _ = write!(
+        svg,
+        r#"<polyline points="{}" fill="none" stroke="blue" stroke-dasharray="4 3"/>"#,
+        polyline(&plot.upper)
+    );
+    // Observed curve.
+    let _ = write!(
+        svg,
+        r#"<polyline points="{}" fill="none" stroke="black" stroke-width="1.5"/>"#,
+        polyline(&plot.observed)
+    );
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{x}" y="{y}" font-size="12" text-anchor="middle">s</text>"#,
+        x = w / 2.0,
+        y = h - 8.0
+    );
+    let _ = write!(
+        svg,
+        concat!(
+            r#"<text x="12" y="{y}" font-size="12" text-anchor="middle" "#,
+            r#"transform="rotate(-90 12 {y})">K-function</text>"#
+        ),
+        y = h / 2.0
+    );
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plot() -> KFunctionPlot {
+        KFunctionPlot {
+            thresholds: vec![1.0, 2.0, 3.0],
+            observed: vec![10, 40, 90],
+            lower: vec![5, 20, 45],
+            upper: vec![15, 30, 60],
+        }
+    }
+
+    #[test]
+    fn svg_structure() {
+        let svg = k_plot_svg(&plot(), 400, 300);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 3);
+        assert!(svg.contains(r#"stroke="red""#));
+        assert!(svg.contains(r#"stroke="blue""#));
+        assert!(svg.contains(r#"stroke="black""#));
+        assert!(svg.contains("K-function"));
+    }
+
+    #[test]
+    fn coordinates_inside_viewbox() {
+        let svg = k_plot_svg(&plot(), 400, 300);
+        // All polyline coordinates must be finite and inside the canvas.
+        for seg in svg.split("points=\"").skip(1) {
+            let pts = seg.split('"').next().unwrap();
+            for pair in pts.split(' ') {
+                let (x, y) = pair.split_once(',').unwrap();
+                let x: f64 = x.parse().unwrap();
+                let y: f64 = y.parse().unwrap();
+                assert!((0.0..=400.0).contains(&x), "{x}");
+                assert!((0.0..=300.0).contains(&y), "{y}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_plot_panics() {
+        let empty = KFunctionPlot {
+            thresholds: vec![],
+            observed: vec![],
+            lower: vec![],
+            upper: vec![],
+        };
+        let _ = k_plot_svg(&empty, 100, 100);
+    }
+}

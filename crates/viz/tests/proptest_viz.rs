@@ -1,0 +1,97 @@
+//! Property tests: the PNG encoder must emit spec-conformant files for
+//! arbitrary images, and colormaps must stay in range.
+
+use lsga_viz::png::{adler32, write_png, Crc32};
+use lsga_viz::Colormap;
+use proptest::prelude::*;
+
+/// Validate the chunk structure and CRCs of an encoded PNG; return the
+/// inflated raw scanline bytes.
+fn validate(bytes: &[u8]) -> (u32, u32, Vec<u8>) {
+    assert_eq!(&bytes[..8], &[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]);
+    let mut pos = 8;
+    let mut dims = (0u32, 0u32);
+    let mut idat = Vec::new();
+    while pos < bytes.len() {
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let tag = &bytes[pos + 4..pos + 8];
+        let data = &bytes[pos + 8..pos + 8 + len];
+        let crc = u32::from_be_bytes(bytes[pos + 8 + len..pos + 12 + len].try_into().unwrap());
+        let mut check = Crc32::new();
+        check.update(tag);
+        check.update(data);
+        assert_eq!(check.finish(), crc);
+        match tag {
+            b"IHDR" => {
+                dims = (
+                    u32::from_be_bytes(data[0..4].try_into().unwrap()),
+                    u32::from_be_bytes(data[4..8].try_into().unwrap()),
+                );
+            }
+            b"IDAT" => idat.extend_from_slice(data),
+            _ => {}
+        }
+        pos += 12 + len;
+    }
+    let mut raw = Vec::new();
+    let mut p = 2;
+    loop {
+        let bfinal = idat[p] & 1;
+        let len = u16::from_le_bytes([idat[p + 1], idat[p + 2]]) as usize;
+        raw.extend_from_slice(&idat[p + 5..p + 5 + len]);
+        p += 5 + len;
+        if bfinal == 1 {
+            break;
+        }
+    }
+    assert_eq!(
+        u32::from_be_bytes(idat[p..p + 4].try_into().unwrap()),
+        adler32(&raw)
+    );
+    (dims.0, dims.1, raw)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn png_roundtrips_arbitrary_images(
+        w in 1u32..40,
+        h in 1u32..40,
+        seed in any::<u64>(),
+    ) {
+        let n = (3 * w * h) as usize;
+        let rgb: Vec<u8> = (0..n)
+            .map(|i| (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64) >> 32) as u8)
+            .collect();
+        let mut buf = Vec::new();
+        write_png(&mut buf, w, h, &rgb).unwrap();
+        let (rw, rh, raw) = validate(&buf);
+        prop_assert_eq!((rw, rh), (w, h));
+        let mut pixels = Vec::new();
+        for row in raw.chunks_exact(3 * w as usize + 1) {
+            prop_assert_eq!(row[0], 0); // filter byte
+            pixels.extend_from_slice(&row[1..]);
+        }
+        prop_assert_eq!(pixels, rgb);
+    }
+
+    #[test]
+    fn colormaps_always_defined(t in prop::num::f64::ANY) {
+        for cmap in [Colormap::Heat, Colormap::Viridis, Colormap::Gray] {
+            let _rgb = cmap.map(t); // must not panic for any input incl. NaN/inf
+        }
+    }
+
+    #[test]
+    fn crc_is_order_sensitive_stream(data in prop::collection::vec(any::<u8>(), 0..200), split in 0usize..200) {
+        // Streaming in two parts equals one-shot.
+        let split = split.min(data.len());
+        let mut a = Crc32::new();
+        a.update(&data);
+        let mut b = Crc32::new();
+        b.update(&data[..split]);
+        b.update(&data[split..]);
+        prop_assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,100 @@
+//! Crime-analysis scenario (the paper's criminology motivation):
+//! a Chicago-crime-like synthetic dataset analyzed with the full
+//! hotspot-detection + correlation-analysis toolbox — KDV methods
+//! compared, Moran's I / General G significance, DBSCAN profiling.
+//!
+//! Run with: `cargo run --release --example crime_hotspots`
+
+use lsga::prelude::*;
+use lsga::stats::{self, areal, SpatialWeights};
+use lsga::{data, kdv};
+use std::time::Instant;
+
+fn main() {
+    let window = BBox::new(0.0, 0.0, 2000.0, 1500.0);
+    let points = data::taxi_like(200_000, window, 0.55, 11);
+    println!("incidents: {}", points.len());
+
+    // --- KDV method comparison on one grid ------------------------------
+    let spec = GridSpec::new(window, 320, 240);
+    let b = 50.0;
+    let quartic = Quartic::new(b);
+    let poly = PolyKernel::new(KernelKind::Quartic, b).unwrap();
+
+    let t = Instant::now();
+    let pruned = kdv::grid_pruned_kdv(&points, spec, quartic, 1e-9);
+    let t_pruned = t.elapsed();
+
+    let t = Instant::now();
+    let slam = kdv::slam_kdv(&points, spec, poly);
+    let t_slam = t.elapsed();
+
+    let t = Instant::now();
+    let sampled = kdv::sampling_kdv(&points, spec, quartic, 20_000, 3);
+    let t_sample = t.elapsed();
+
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let t = Instant::now();
+    let parallel = kdv::parallel_kdv(&points, spec, quartic, 1e-9, threads);
+    let t_par = t.elapsed();
+
+    println!("\nKDV methods ({}x{} px, b = {b}):", spec.nx, spec.ny);
+    println!("  grid-pruned exact : {t_pruned:>10.1?}");
+    println!(
+        "  SLAM sweep (exact): {t_slam:>10.1?}   L_inf vs pruned {:.2e}",
+        slam.linf_diff(&pruned)
+    );
+    println!(
+        "  sampling m=20k    : {t_sample:>10.1?}   L_inf vs pruned {:.3}",
+        sampled.linf_diff(&pruned)
+    );
+    println!(
+        "  parallel x{threads:<2}      : {t_par:>10.1?}   identical: {}",
+        parallel.values() == pruned.values()
+    );
+    println!("  hotspot: {:?}", pruned.hotspot());
+
+    // --- Correlation analysis on quadrat counts -------------------------
+    let coarse = GridSpec::new(window, 25, 19);
+    let counts = areal::quadrat_counts(&points, coarse);
+    let centers = areal::cell_centers(&coarse);
+    let w = SpatialWeights::distance_band(&centers, 90.0);
+    let moran = stats::morans_i(counts.values(), &w, 199, 5).expect("valid lattice");
+    let g = stats::general_g(counts.values(), &w, 199, 6).expect("valid lattice");
+    println!("\ncorrelation analysis over {} quadrats:", coarse.len());
+    println!(
+        "  Moran's I = {:.3} (E = {:.3}), z = {:.1}, p_perm = {:.4}",
+        moran.i,
+        moran.expected,
+        moran.z_norm,
+        moran.p_perm.unwrap()
+    );
+    println!(
+        "  General G = {:.5} (E = {:.5}), z = {:.1}, p_perm = {:.4}",
+        g.g, g.expected, g.z, g.p_perm
+    );
+
+    // --- Hotspot profiling with DBSCAN ----------------------------------
+    // Cluster the densest 5% of incidents to outline hotspot shapes.
+    let cut = {
+        let mut v: Vec<f64> = pruned.values().to_vec();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[(v.len() as f64 * 0.95) as usize]
+    };
+    let hot_points: Vec<Point> = points
+        .iter()
+        .filter(|p| {
+            let (ix, iy) = spec.pixel_of(p);
+            pruned.at(ix, iy) >= cut
+        })
+        .copied()
+        .collect();
+    let t = Instant::now();
+    let clusters = stats::dbscan(&hot_points, 25.0, 20);
+    println!(
+        "\nDBSCAN over {} hot incidents: {} hotspot clusters in {:.1?}",
+        hot_points.len(),
+        clusters.n_clusters,
+        t.elapsed()
+    );
+}

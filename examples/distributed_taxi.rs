@@ -1,0 +1,91 @@
+//! Large-scale scenario (the paper's NYC-taxi motivation): one million
+//! pick-up-like points on the simulated distributed cluster — scaling,
+//! partitioning strategy, and communication accounting for both KDV and
+//! the K-function.
+//!
+//! Run with: `cargo run --release --example distributed_taxi`
+
+use lsga::dist::{self, PartitionStrategy};
+use lsga::prelude::*;
+use lsga::{data, kfunc};
+use std::time::Instant;
+
+fn main() {
+    let window = BBox::new(0.0, 0.0, 40_000.0, 40_000.0); // 40 km city
+    let n = 1_000_000;
+    let t = Instant::now();
+    let points = data::taxi_like(n, window, 0.7, 7);
+    println!("generated {n} taxi-like pickups in {:.1?}", t.elapsed());
+
+    let spec = GridSpec::new(window, 256, 256);
+    let kernel = Epanechnikov::new(400.0);
+    let hw = std::thread::available_parallelism().map_or(8, |p| p.get());
+    let mut worker_counts = vec![1usize, 2, 4, hw];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+
+    // --- KDV scaling over workers ----------------------------------------
+    println!("\ndistributed KDV ({}x{} px, b = 400 m):", spec.nx, spec.ny);
+    println!("  workers  strategy      wall      max-worker  imbalance  halo-pts    MB shipped");
+    let mut reference: Option<DensityGrid> = None;
+    for &workers in &worker_counts {
+        for strategy in [PartitionStrategy::UniformBands, PartitionStrategy::BalancedKd] {
+            let (grid, m) =
+                dist::distributed_kdv(&points, spec, kernel, 1e-9, workers, strategy);
+            if let Some(r) = &reference {
+                assert!(grid.linf_diff(r) < 1e-9, "distributed result drifted");
+            } else {
+                reference = Some(grid.clone());
+            }
+            println!(
+                "  {workers:>7}  {:<12} {:>9.1?}  {:>10.1?}  {:>9.2}  {:>8}  {:>10.1}",
+                format!("{strategy:?}"),
+                m.wall,
+                m.compute_max(),
+                m.load_imbalance(),
+                m.replicated_points(),
+                m.total_bytes() as f64 / 1e6
+            );
+        }
+    }
+    println!(
+        "hotspot: {:?}",
+        reference.expect("at least one run").hotspot()
+    );
+
+    // --- K-function scaling ------------------------------------------------
+    let s = 250.0;
+    println!("\ndistributed K-function (s = {s} m):");
+    println!("  workers  strategy      wall        count");
+    let mut want: Option<u64> = None;
+    let mut k_workers = vec![1usize, 4, hw];
+    k_workers.sort_unstable();
+    k_workers.dedup();
+    for &workers in &k_workers {
+        let (k, m) = dist::distributed_k(
+            &points,
+            s,
+            KConfig::default(),
+            workers,
+            PartitionStrategy::BalancedKd,
+        );
+        if let Some(w) = want {
+            assert_eq!(k, w);
+        } else {
+            want = Some(k);
+        }
+        println!(
+            "  {workers:>7}  BalancedKd   {:>9.1?}  {k}",
+            m.wall
+        );
+    }
+
+    // Sanity anchor: single-node histogram agrees.
+    let t = Instant::now();
+    let single = kfunc::grid_k(&points, s, KConfig::default());
+    println!(
+        "  single-node grid_k: {:.1?} -> {single} (match: {})",
+        t.elapsed(),
+        single == want.unwrap()
+    );
+}

@@ -1,0 +1,84 @@
+//! Quickstart: generate a clustered dataset, check significance with a
+//! K-function plot, rasterize a KDV heatmap, and render both.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lsga::prelude::*;
+use lsga::{data, kdv, kfunc, viz};
+
+fn main() {
+    // A city-scale window with two crime-like hotspots over background.
+    let window = BBox::new(0.0, 0.0, 1000.0, 800.0);
+    let hotspots = [
+        Hotspot {
+            center: Point::new(300.0, 250.0),
+            sigma: 40.0,
+            weight: 2.0,
+        },
+        Hotspot {
+            center: Point::new(700.0, 550.0),
+            sigma: 60.0,
+            weight: 1.0,
+        },
+        Hotspot {
+            center: Point::new(500.0, 400.0),
+            sigma: 300.0, // diffuse background
+            weight: 1.0,
+        },
+    ];
+    let points = data::gaussian_mixture(50_000, &hotspots, window, 42);
+    println!("generated {} points", points.len());
+
+    // 1. Is the clustering statistically meaningful? (Definition 3)
+    let thresholds: Vec<f64> = (1..=12).map(|i| i as f64 * 10.0).collect();
+    let plot = kfunc::k_function_plot(
+        &points,
+        window,
+        &thresholds,
+        20,
+        7,
+        KConfig::default(),
+        std::thread::available_parallelism().map_or(4, |p| p.get()),
+    );
+    println!("\n s      K_P(s)        L(s)          U(s)         verdict");
+    for (i, s) in plot.thresholds.iter().enumerate() {
+        println!(
+            "{s:5.0}  {:>12}  {:>12}  {:>12}  {:?}",
+            plot.observed[i],
+            plot.lower[i],
+            plot.upper[i],
+            plot.regimes()[i]
+        );
+    }
+    let clustered = plot.clustered_thresholds();
+    assert!(!clustered.is_empty(), "expected meaningful clustering");
+
+    // 2. Use a clustered scale as the KDV bandwidth (paper Section 2.1).
+    let bandwidth = clustered[clustered.len() / 2];
+    println!("\nusing bandwidth from K-function plot: {bandwidth}");
+    let spec = GridSpec::new(window, 512, 410);
+    let kernel = PolyKernel::new(KernelKind::Quartic, bandwidth).unwrap();
+    let t0 = std::time::Instant::now();
+    let density = kdv::slam_kdv(&points, spec, kernel);
+    println!(
+        "SLAM KDV over {}x{} pixels in {:.1?}; hotspot at {:?}",
+        spec.nx,
+        spec.ny,
+        t0.elapsed(),
+        density.hotspot()
+    );
+
+    // 3. Render: heatmap PNG (Fig. 1) and K-function plot SVG (Fig. 2).
+    let out = std::path::Path::new("target/quickstart");
+    std::fs::create_dir_all(out).expect("create output dir");
+    viz::write_heatmap_png(out.join("heatmap.png"), &density, Colormap::Heat)
+        .expect("write png");
+    std::fs::write(out.join("kplot.svg"), viz::k_plot_svg(&plot, 640, 480))
+        .expect("write svg");
+    println!("wrote target/quickstart/heatmap.png and kplot.svg");
+
+    // Bonus: a terminal glimpse of the density surface.
+    let coarse = GridSpec::new(window, 64, 24);
+    let preview = kdv::grid_pruned_kdv(&points, coarse, kernel, 1e-9);
+    println!("\n{}", viz::ascii_heatmap(&preview));
+}

@@ -1,0 +1,124 @@
+//! Distributed-layer invariants: exactness against single-node results,
+//! partition/halo accounting, and strategy behaviour under skew.
+
+use lsga::prelude::*;
+use lsga::{data, dist, kdv, kfunc};
+use lsga::dist::PartitionStrategy;
+
+fn skewed(n: usize) -> (Vec<Point>, BBox) {
+    let window = BBox::new(0.0, 0.0, 100.0, 100.0);
+    // 85% of mass in one corner: the worst case for uniform bands.
+    let hotspots = [
+        Hotspot {
+            center: Point::new(15.0, 15.0),
+            sigma: 6.0,
+            weight: 8.5,
+        },
+        Hotspot {
+            center: Point::new(70.0, 70.0),
+            sigma: 20.0,
+            weight: 1.5,
+        },
+    ];
+    (data::gaussian_mixture(n, &hotspots, window, 31), window)
+}
+
+#[test]
+fn kdv_exact_across_strategies_and_widths() {
+    let (points, window) = skewed(1200);
+    let spec = GridSpec::new(window, 40, 40);
+    for b in [3.0, 14.0] {
+        let kernel = Epanechnikov::new(b);
+        let reference = kdv::grid_pruned_kdv(&points, spec, kernel, 1e-9);
+        for strategy in [PartitionStrategy::UniformBands, PartitionStrategy::BalancedKd] {
+            for workers in [1, 2, 5, 9, 16] {
+                let (grid, metrics) =
+                    dist::distributed_kdv(&points, spec, kernel, 1e-9, workers, strategy);
+                // Workers sum kernel contributions in a different
+                // order than the single-node pass, so allow relative
+                // floating-point slack.
+                assert!(
+                    grid.linf_diff(&reference) <= reference.max() * 1e-12,
+                    "b={b} {strategy:?} w={workers}: {}",
+                    grid.linf_diff(&reference)
+                );
+                let owned: usize = metrics.workers.iter().map(|w| w.owned_points).sum();
+                assert_eq!(owned, points.len());
+                let pixels: usize = metrics.workers.iter().map(|w| w.owned_work).sum();
+                assert_eq!(pixels, spec.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn kfunc_exact_across_strategies() {
+    let (points, _) = skewed(900);
+    let cfg = KConfig::default();
+    for s in [2.0, 10.0, 40.0] {
+        let want = kfunc::grid_k(&points, s, cfg);
+        for strategy in [PartitionStrategy::UniformBands, PartitionStrategy::BalancedKd] {
+            for workers in [2, 6, 12] {
+                let (got, metrics) = dist::distributed_k(&points, s, cfg, workers, strategy);
+                assert_eq!(got, want, "s={s} {strategy:?} w={workers}");
+                // Shipments superset ownership; bytes accounted at 16/pt.
+                for w in &metrics.workers {
+                    assert!(w.shipped_points >= w.owned_points);
+                    assert_eq!(w.bytes_shipped, w.shipped_points as u64 * 16);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn balanced_kd_beats_bands_on_skewed_ownership() {
+    let (points, window) = skewed(4000);
+    let spec = GridSpec::new(window, 40, 40);
+    let workers = 8;
+    let imbalance = |strategy| {
+        let (_, m) = dist::distributed_kdv(
+            &points,
+            spec,
+            Epanechnikov::new(8.0),
+            1e-9,
+            workers,
+            strategy,
+        );
+        let max = m.workers.iter().map(|w| w.owned_points).max().unwrap() as f64;
+        let mean = points.len() as f64 / m.workers.len() as f64;
+        max / mean
+    };
+    let bands = imbalance(PartitionStrategy::UniformBands);
+    let kd = imbalance(PartitionStrategy::BalancedKd);
+    assert!(
+        kd < bands,
+        "kd point-imbalance {kd:.2} should beat bands {bands:.2}"
+    );
+    assert!(kd < 2.0, "kd imbalance too high: {kd:.2}");
+}
+
+#[test]
+fn halo_accounting_scales_with_radius_and_workers() {
+    let (points, window) = skewed(2500);
+    let spec = GridSpec::new(window, 40, 40);
+    let run = |b: f64, w: usize| {
+        dist::distributed_kdv(
+            &points,
+            spec,
+            Epanechnikov::new(b),
+            1e-9,
+            w,
+            PartitionStrategy::BalancedKd,
+        )
+        .1
+    };
+    // Wider kernels replicate more boundary points.
+    assert!(run(20.0, 8).replicated_points() > run(2.0, 8).replicated_points());
+    // More workers -> more tile boundary -> more replication.
+    assert!(run(10.0, 16).replicated_points() >= run(10.0, 2).replicated_points());
+    // One worker ships everything exactly once (no halo duplication).
+    let single = run(10.0, 1);
+    assert_eq!(single.total_shipped(), points.len());
+    assert_eq!(single.replicated_points(), 0);
+}

@@ -1,0 +1,165 @@
+//! The full analyst workflow the paper describes in Section 2.1: detect
+//! significance with a K-function plot, feed the clustered scale into
+//! the KDV bandwidth, rasterize, render, and — for spatiotemporal data —
+//! watch hotspots move across slices. Plus interpolation and I/O paths.
+
+use lsga::prelude::*;
+use lsga::{data, interp, kdv, kfunc, viz};
+
+fn window() -> BBox {
+    BBox::new(0.0, 0.0, 100.0, 100.0)
+}
+
+#[test]
+fn k_function_guided_kdv_workflow() {
+    let truth = Point::new(35.0, 60.0);
+    let points = data::gaussian_mixture(
+        1200,
+        &[Hotspot {
+            center: truth,
+            sigma: 4.0,
+            weight: 1.0,
+        }],
+        window(),
+        7,
+    );
+
+    // 1. K-function plot: find statistically clustered scales (Def. 3).
+    let thresholds: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+    let plot = kfunc::k_function_plot(
+        &points,
+        window(),
+        &thresholds,
+        20,
+        99,
+        KConfig::default(),
+        4,
+    );
+    let clustered = plot.clustered_thresholds();
+    assert!(!clustered.is_empty(), "no clustering detected");
+
+    // 2. Use a clustered scale as the KDV bandwidth (paper §2.1).
+    let bandwidth = clustered[clustered.len() / 2];
+    let spec = GridSpec::new(window(), 128, 128);
+    let kernel = PolyKernel::new(KernelKind::Quartic, bandwidth).unwrap();
+    let density = kdv::slam_kdv(&points, spec, kernel);
+
+    // 3. The hotspot is where the generator put it.
+    assert!(
+        density.hotspot().dist(&truth) < 6.0,
+        "hotspot {:?} vs truth {truth:?}",
+        density.hotspot()
+    );
+
+    // 4. Render Fig. 1 (heatmap PNG) and Fig. 2 (K plot SVG).
+    let dir = std::env::temp_dir().join("lsga_end_to_end");
+    std::fs::create_dir_all(&dir).unwrap();
+    let png = dir.join("heatmap.png");
+    viz::write_heatmap_png(&png, &density, Colormap::Heat).unwrap();
+    assert!(std::fs::metadata(&png).unwrap().len() > 100);
+    let svg = viz::k_plot_svg(&plot, 480, 360);
+    assert!(svg.contains("polyline"));
+    std::fs::remove_file(&png).ok();
+}
+
+#[test]
+fn stkdv_tracks_moving_outbreak() {
+    let waves = [
+        Wave {
+            hotspot: Hotspot {
+                center: Point::new(20.0, 20.0),
+                sigma: 4.0,
+                weight: 1.0,
+            },
+            t_peak: 5.0,
+            t_sigma: 2.0,
+        },
+        Wave {
+            hotspot: Hotspot {
+                center: Point::new(80.0, 75.0),
+                sigma: 4.0,
+                weight: 1.0,
+            },
+            t_peak: 25.0,
+            t_sigma: 2.0,
+        },
+    ];
+    let cases = data::epidemic_waves(2500, &waves, window(), 13);
+    let spec = GridSpec::new(window(), 40, 40);
+    let ks = Epanechnikov::new(10.0);
+    let kt = PolyKernel::new(KernelKind::Epanechnikov, 4.0).unwrap();
+    let cube = kdv::stkdv_sweep(&cases, spec, 0.0, 30.0, 6, ks, kt, 1e-9);
+
+    // Early slice hotspot near the first wave, late near the second
+    // (the paper's Fig. 4 phenomenon).
+    let early = cube.slice(1).hotspot();
+    let late = cube.slice(4).hotspot();
+    assert!(early.dist(&Point::new(20.0, 20.0)) < 12.0, "early {early:?}");
+    assert!(late.dist(&Point::new(80.0, 75.0)) < 12.0, "late {late:?}");
+
+    // And the spatiotemporal K-function confirms space-time clustering.
+    let st_plot = kfunc::st_k_plot(
+        &cases,
+        window(),
+        0.0,
+        30.0,
+        &[4.0, 8.0],
+        &[2.0, 5.0],
+        10,
+        3,
+        KConfig::default(),
+    );
+    assert!(!st_plot.clustered_cells().is_empty());
+}
+
+#[test]
+fn interpolation_pipeline_idw_vs_kriging() {
+    // A smooth field sampled sparsely; both interpolators must
+    // reconstruct it better than the field's total variation.
+    let field = |p: &Point| 20.0 + 0.3 * p.x - 0.2 * p.y + (p.x * 0.05).sin() * 3.0;
+    let sample_pts = data::uniform_points(250, window(), 21);
+    let samples: Vec<(Point, f64)> = sample_pts.iter().map(|p| (*p, field(p))).collect();
+    let spec = GridSpec::new(window(), 25, 25);
+
+    let idw = interp::idw_knn(&samples, spec, 2.0, 8);
+    let bins = interp::empirical_variogram(&samples, 50.0, 12);
+    let model = interp::fit_variogram(&bins, interp::VariogramModelKind::Exponential).unwrap();
+    let kriged = interp::ordinary_kriging(&samples, spec, &model, 12).unwrap();
+
+    let rmse = |grid: &DensityGrid| -> f64 {
+        let mut acc = 0.0;
+        for (_, _, q, v) in grid.iter_pixels() {
+            let e = v - field(&q);
+            acc += e * e;
+        }
+        (acc / grid.spec().len() as f64).sqrt()
+    };
+    let idw_rmse = rmse(&idw);
+    let kriging_rmse = rmse(&kriged.prediction);
+    // Field spans ~50 units; both interpolators should be far tighter.
+    assert!(idw_rmse < 5.0, "IDW RMSE {idw_rmse}");
+    assert!(kriging_rmse < 5.0, "kriging RMSE {kriging_rmse}");
+}
+
+#[test]
+fn csv_roundtrip_through_files() {
+    let dir = std::env::temp_dir().join("lsga_csv_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("points.csv");
+
+    let points = data::uniform_points(500, window(), 77);
+    data::csv::write_points(std::fs::File::create(&path).unwrap(), &points).unwrap();
+    let back = data::csv::read_points(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(points, back);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bandwidth_rules_produce_usable_kdv() {
+    let points = data::taxi_like(3000, window(), 0.6, 5);
+    let b = lsga::core::silverman_bandwidth(&points).unwrap();
+    assert!(b > 0.1 && b < 60.0, "odd bandwidth {b}");
+    let spec = GridSpec::new(window(), 64, 64);
+    let grid = kdv::grid_pruned_kdv(&points, spec, Quartic::new(b), 1e-9);
+    assert!(grid.max() > 0.0);
+}

@@ -1,0 +1,198 @@
+//! Cross-method KDV consistency: every acceleration family must agree
+//! with the naive Definition 1 evaluation within its documented
+//! guarantee, on realistic (clustered) workloads.
+
+use lsga::prelude::*;
+use lsga::{data, dist, kdv};
+
+fn workload(n: usize) -> (Vec<Point>, BBox) {
+    let window = BBox::new(0.0, 0.0, 200.0, 150.0);
+    let hotspots = [
+        Hotspot {
+            center: Point::new(50.0, 40.0),
+            sigma: 8.0,
+            weight: 2.0,
+        },
+        Hotspot {
+            center: Point::new(150.0, 100.0),
+            sigma: 15.0,
+            weight: 1.0,
+        },
+        Hotspot {
+            center: Point::new(100.0, 75.0),
+            sigma: 40.0,
+            weight: 0.5,
+        },
+    ];
+    (data::gaussian_mixture(n, &hotspots, window, 2024), window)
+}
+
+#[test]
+fn exact_methods_agree_for_polynomial_kernels() {
+    let (points, window) = workload(1500);
+    let spec = GridSpec::new(window, 48, 36);
+    for kind in [KernelKind::Uniform, KernelKind::Epanechnikov, KernelKind::Quartic] {
+        let b = 12.0;
+        let kernel = kind.with_bandwidth(b);
+        let naive = kdv::naive_kdv(&points, spec, kernel);
+        let pruned = kdv::grid_pruned_kdv(&points, spec, kernel, 1e-9);
+        let slam = kdv::slam_kdv(&points, spec, PolyKernel::new(kind, b).unwrap());
+        let parallel = kdv::parallel_kdv(&points, spec, kernel, 1e-9, 4);
+        let (distributed, _) = dist::distributed_kdv(
+            &points,
+            spec,
+            kernel,
+            1e-9,
+            4,
+            dist::PartitionStrategy::BalancedKd,
+        );
+        let tol_ref = naive.max().max(1e-12);
+        assert!(naive.linf_diff(&pruned) < 1e-9, "{kind:?} pruned");
+        // The degree-4 moment expansion loses ~8 digits to
+        // cancellation at these coordinate magnitudes; 1e-6 relative is
+        // the documented accuracy envelope.
+        assert!(
+            slam.rel_diff(&naive, tol_ref * 1e-3) < 1e-6,
+            "{kind:?} slam: {}",
+            slam.rel_diff(&naive, tol_ref * 1e-3)
+        );
+        assert_eq!(pruned.values(), parallel.values(), "{kind:?} parallel");
+        assert!(
+            distributed.linf_diff(&pruned) <= pruned.max() * 1e-12,
+            "{kind:?} distributed: {}",
+            distributed.linf_diff(&pruned)
+        );
+    }
+}
+
+#[test]
+fn infinite_support_kernels_within_tail_tolerance() {
+    let (points, window) = workload(600);
+    let spec = GridSpec::new(window, 32, 24);
+    for kind in [KernelKind::Gaussian, KernelKind::Exponential] {
+        let kernel = kind.with_bandwidth(10.0);
+        let naive = kdv::naive_kdv(&points, spec, kernel);
+        let tail = 1e-9;
+        let pruned = kdv::grid_pruned_kdv(&points, spec, kernel, tail);
+        let bound = points.len() as f64 * tail;
+        assert!(
+            naive.linf_diff(&pruned) <= bound + 1e-12,
+            "{kind:?}: {} vs {}",
+            naive.linf_diff(&pruned),
+            bound
+        );
+    }
+}
+
+#[test]
+fn bounds_method_honors_epsilon_on_workload() {
+    let (points, window) = workload(800);
+    let spec = GridSpec::new(window, 24, 18);
+    let engine = kdv::BoundsKdv::new(&points);
+    let kernel = Gaussian::new(15.0);
+    let exact = kdv::naive_kdv(&points, spec, kernel);
+    for eps in [0.02, 0.2] {
+        let approx = engine.compute(spec, kernel, eps);
+        for (a, e) in approx.values().iter().zip(exact.values()) {
+            assert!(
+                *a >= (1.0 - eps) * e - 1e-9 && *a <= (1.0 + eps) * e + 1e-9,
+                "eps={eps}: {a} vs {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sampling_error_shrinks_with_sample_size() {
+    let (points, window) = workload(4000);
+    let spec = GridSpec::new(window, 24, 18);
+    let kernel = Epanechnikov::new(20.0);
+    let exact = kdv::grid_pruned_kdv(&points, spec, kernel, 1e-9);
+    // Average L-infinity error over several seeds must shrink as m grows.
+    let mean_err = |m: usize| -> f64 {
+        (0..5)
+            .map(|s| {
+                kdv::sampling_kdv(&points, spec, kernel, m, s)
+                    .linf_diff(&exact)
+            })
+            .sum::<f64>()
+            / 5.0
+    };
+    let coarse = mean_err(100);
+    let fine = mean_err(2000);
+    assert!(
+        fine < coarse * 0.6,
+        "sampling error did not shrink: {coarse} -> {fine}"
+    );
+}
+
+#[test]
+fn safe_multi_bandwidth_consistent_with_singles() {
+    let (points, window) = workload(700);
+    let spec = GridSpec::new(window, 24, 18);
+    let bandwidths = [5.0, 11.0, 23.0];
+    let shared = kdv::safe_multi_bandwidth(&points, spec, KernelKind::Quartic, &bandwidths);
+    for (b, grid) in bandwidths.iter().zip(&shared) {
+        let single = kdv::grid_pruned_kdv(&points, spec, Quartic::new(*b), 1e-9);
+        assert!(
+            grid.rel_diff(&single, single.max().max(1e-12) * 1e-3) < 1e-9,
+            "b={b}"
+        );
+    }
+}
+
+#[test]
+fn hotspot_recovery_across_methods() {
+    let (points, window) = workload(3000);
+    let spec = GridSpec::new(window, 64, 48);
+    let truth = Point::new(50.0, 40.0); // the heaviest hotspot
+    let kernel = Quartic::new(10.0);
+    let grids = [
+        kdv::grid_pruned_kdv(&points, spec, kernel, 1e-9),
+        kdv::slam_kdv(
+            &points,
+            spec,
+            PolyKernel::new(KernelKind::Quartic, 10.0).unwrap(),
+        ),
+        kdv::sampling_kdv(&points, spec, kernel, 1500, 3),
+    ];
+    for g in &grids {
+        assert!(
+            g.hotspot().dist(&truth) < 10.0,
+            "hotspot at {:?}",
+            g.hotspot()
+        );
+    }
+}
+
+#[test]
+fn stkdv_methods_agree_on_wave_data() {
+    let window = BBox::new(0.0, 0.0, 100.0, 100.0);
+    let waves = [
+        Wave {
+            hotspot: Hotspot {
+                center: Point::new(25.0, 30.0),
+                sigma: 5.0,
+                weight: 1.0,
+            },
+            t_peak: 10.0,
+            t_sigma: 3.0,
+        },
+        Wave {
+            hotspot: Hotspot {
+                center: Point::new(70.0, 65.0),
+                sigma: 5.0,
+                weight: 1.5,
+            },
+            t_peak: 35.0,
+            t_sigma: 3.0,
+        },
+    ];
+    let points = data::epidemic_waves(500, &waves, window, 11);
+    let spec = GridSpec::new(window, 20, 20);
+    let ks = Epanechnikov::new(12.0);
+    let kt = PolyKernel::new(KernelKind::Epanechnikov, 6.0).unwrap();
+    let naive = kdv::stkdv_naive(&points, spec, 0.0, 45.0, 9, ks, kt);
+    let sweep = kdv::stkdv_sweep(&points, spec, 0.0, 45.0, 9, ks, kt, 1e-9);
+    assert!(naive.linf_diff(&sweep) < 1e-8);
+}

@@ -1,0 +1,135 @@
+//! Cross-method K-function consistency: every accelerated evaluation
+//! must equal the naive Definition 2 count exactly (these methods are
+//! all exact — only their costs differ).
+
+use lsga::prelude::*;
+use lsga::{data, dist, kfunc};
+
+fn workload(n: usize) -> (Vec<Point>, BBox) {
+    let window = BBox::new(0.0, 0.0, 120.0, 120.0);
+    let hotspots = [
+        Hotspot {
+            center: Point::new(30.0, 30.0),
+            sigma: 4.0,
+            weight: 1.0,
+        },
+        Hotspot {
+            center: Point::new(85.0, 70.0),
+            sigma: 9.0,
+            weight: 1.0,
+        },
+    ];
+    (data::gaussian_mixture(n, &hotspots, window, 77), window)
+}
+
+#[test]
+fn all_planar_methods_agree_exactly() {
+    let (points, _) = workload(700);
+    for cfg in [
+        KConfig { include_self: false },
+        KConfig { include_self: true },
+    ] {
+        for s in [0.5, 3.0, 12.0, 60.0] {
+            let want = kfunc::naive_k(&points, s, cfg);
+            assert_eq!(kfunc::grid_k(&points, s, cfg), want, "grid s={s}");
+            assert_eq!(kfunc::kd_tree_k(&points, s, cfg), want, "kd s={s}");
+            assert_eq!(kfunc::ball_tree_k(&points, s, cfg), want, "ball s={s}");
+            assert_eq!(kfunc::parallel_k(&points, s, cfg, 4), want, "par s={s}");
+            assert_eq!(
+                kfunc::histogram_k_all(&points, &[s], cfg)[0],
+                want,
+                "hist s={s}"
+            );
+            let (d, _) = dist::distributed_k(
+                &points,
+                s,
+                cfg,
+                4,
+                dist::PartitionStrategy::BalancedKd,
+            );
+            assert_eq!(d, want, "dist s={s}");
+        }
+    }
+}
+
+#[test]
+fn histogram_serves_whole_plot_consistently() {
+    let (points, _) = workload(500);
+    let cfg = KConfig::default();
+    let thresholds: Vec<f64> = (1..=15).map(|i| i as f64).collect();
+    let all = kfunc::histogram_k_all(&points, &thresholds, cfg);
+    for (t, got) in thresholds.iter().zip(&all) {
+        assert_eq!(*got, kfunc::naive_k(&points, *t, cfg));
+    }
+}
+
+#[test]
+fn plot_classifies_the_three_regimes() {
+    let window = BBox::new(0.0, 0.0, 100.0, 100.0);
+    let thresholds: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+    let cfg = KConfig::default();
+
+    let clustered = data::gaussian_mixture(
+        300,
+        &[Hotspot {
+            center: Point::new(50.0, 50.0),
+            sigma: 3.0,
+            weight: 1.0,
+        }],
+        window,
+        1,
+    );
+    let plot = kfunc::k_function_plot(&clustered, window, &thresholds, 20, 9, cfg, 4);
+    assert!(plot
+        .regimes()
+        .iter()
+        .take(5)
+        .all(|r| *r == Regime::Clustered));
+
+    let dispersed = data::hardcore_points(300, 4.5, window, 2);
+    let plot = kfunc::k_function_plot(&dispersed, window, &thresholds, 20, 10, cfg, 4);
+    assert_eq!(plot.regimes()[3], Regime::Dispersed); // s = 4 < hard core
+
+    let random = data::uniform_points(300, window, 3);
+    let plot = kfunc::k_function_plot(&random, window, &thresholds, 40, 11, cfg, 4);
+    let inside = plot
+        .regimes()
+        .iter()
+        .filter(|r| **r == Regime::Random)
+        .count();
+    assert!(inside >= thresholds.len() - 1, "{:?}", plot.regimes());
+}
+
+#[test]
+fn ripley_normalization_matches_csr_theory() {
+    // Under CSR, E[K_ripley(s)] = pi s^2. Check the normalized estimate
+    // is in the right ballpark (no edge correction, so expect a modest
+    // downward bias).
+    let window = BBox::new(0.0, 0.0, 100.0, 100.0);
+    let points = data::uniform_points(3000, window, 99);
+    let s = 5.0;
+    let count = kfunc::grid_k(&points, s, KConfig::default());
+    let k_hat = kfunc::ripley_normalization(count, points.len(), window.area());
+    let theory = std::f64::consts::PI * s * s;
+    assert!(
+        k_hat > 0.6 * theory && k_hat < 1.2 * theory,
+        "K^ = {k_hat}, theory {theory}"
+    );
+}
+
+#[test]
+fn spatiotemporal_consistency_and_limits() {
+    let window = BBox::new(0.0, 0.0, 100.0, 100.0);
+    let points = data::uniform_timed_points(250, window, 0.0, 50.0, 5);
+    let cfg = KConfig::default();
+    let ss = [3.0, 8.0, 20.0];
+    let ts = [2.0, 10.0, 30.0];
+    assert_eq!(
+        kfunc::st_k_grid(&points, &ss, &ts, cfg),
+        kfunc::st_k_naive(&points, &ss, &ts, cfg)
+    );
+    // t -> infinity recovers the planar K.
+    let planar: Vec<Point> = points.iter().map(|p| p.point).collect();
+    let st = kfunc::st_k_grid(&points, &[8.0], &[1e12], cfg);
+    assert_eq!(st[0], kfunc::naive_k(&planar, 8.0, cfg));
+}

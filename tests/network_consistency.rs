@@ -1,0 +1,156 @@
+//! Network-variant consistency: NKDV and the network K-function must be
+//! internally consistent across implementations and must diverge from
+//! their planar counterparts exactly the way the paper's Fig. 3 argues.
+
+use lsga::prelude::*;
+use lsga::{data, kdv, kfunc, network};
+
+#[test]
+fn nkdv_implementations_agree_on_random_network() {
+    let window = BBox::new(0.0, 0.0, 100.0, 100.0);
+    let net = network::random_geometric_network(80, 3, window, 5);
+    let lixels = Lixels::build(&net, 2.0);
+    let events = network::sample_on_network(&net, 60, 8);
+    for kernel in [KernelKind::Epanechnikov, KernelKind::Triangular] {
+        let k = kernel.with_bandwidth(15.0);
+        let naive = kdv::nkdv_naive(&net, &lixels, &events, k);
+        let forward = kdv::nkdv_forward(&net, &lixels, &events, k);
+        assert!(
+            naive.linf_diff(&forward) < 1e-9,
+            "{kernel:?}: {}",
+            naive.linf_diff(&forward)
+        );
+    }
+}
+
+#[test]
+fn network_k_implementations_agree_on_clustered_events() {
+    let net = network::grid_network(9, 9, 6.0);
+    let events = data::clustered_on_network(&net, 6, 10, 5.0, 17);
+    let thresholds: Vec<f64> = (1..=8).map(|i| i as f64 * 3.0).collect();
+    for cfg in [
+        KConfig { include_self: false },
+        KConfig { include_self: true },
+    ] {
+        assert_eq!(
+            kfunc::network_k_naive(&net, &events, &thresholds, cfg),
+            kfunc::network_k_shared(&net, &events, &thresholds, cfg)
+        );
+    }
+}
+
+#[test]
+fn planar_k_dominates_network_k() {
+    // Euclidean distance <= network distance, so at any s the planar
+    // count must be >= the network count for the same embedded events —
+    // the Fig. 3 / Yamada-Thill overestimation, quantified.
+    let net = network::grid_network(8, 8, 8.0);
+    let events = network::sample_on_network(&net, 120, 3);
+    let planar: Vec<Point> = events.iter().map(|e| e.point(&net)).collect();
+    let thresholds: Vec<f64> = (1..=10).map(|i| i as f64 * 2.5).collect();
+    let cfg = KConfig::default();
+    let net_k = kfunc::network_k_shared(&net, &events, &thresholds, cfg);
+    let planar_k = kfunc::histogram_k_all(&planar, &thresholds, cfg);
+    let mut strictly_greater = 0;
+    for (i, t) in thresholds.iter().enumerate() {
+        assert!(
+            planar_k[i] >= net_k[i],
+            "planar {} < network {} at s={t}",
+            planar_k[i],
+            net_k[i]
+        );
+        if planar_k[i] > net_k[i] {
+            strictly_greater += 1;
+        }
+    }
+    assert!(strictly_greater > 5, "no overestimation observed");
+}
+
+#[test]
+fn fig3_barrier_separates_euclidean_neighbors() {
+    // Two parallel roads joined only at one end; events at the far end
+    // of the bottom road. The top-road lixel right across (Euclidean
+    // distance 2) must receive zero network density while planar KDV at
+    // the same location is strongly positive.
+    let mut b = NetworkBuilder::new();
+    let a0 = b.add_vertex(Point::new(0.0, 0.0));
+    let a1 = b.add_vertex(Point::new(40.0, 0.0));
+    let c0 = b.add_vertex(Point::new(0.0, 2.0));
+    let c1 = b.add_vertex(Point::new(40.0, 2.0));
+    b.add_edge(a0, a1, None).unwrap();
+    b.add_edge(c0, c1, None).unwrap();
+    b.add_edge(a0, c0, None).unwrap();
+    let net = b.build().unwrap();
+
+    let events: Vec<EdgePosition> = (0..20)
+        .map(|i| EdgePosition {
+            edge: EdgeId(0),
+            offset: 35.0 + 0.2 * i as f64,
+        })
+        .collect();
+    let kernel = Epanechnikov::new(6.0);
+    let lixels = Lixels::build(&net, 1.0);
+    let ndensity = kdv::nkdv_forward(&net, &lixels, &events, kernel);
+
+    // Top-road lixel nearest (37, 2).
+    let top_idx = lixels
+        .all()
+        .iter()
+        .position(|lx| lx.edge == EdgeId(1) && (lx.center_offset() - 37.0).abs() < 0.6)
+        .unwrap();
+    assert_eq!(ndensity.values()[top_idx], 0.0);
+
+    // Planar KDV at the same location is large.
+    let planar_events: Vec<Point> = events.iter().map(|e| e.point(&net)).collect();
+    let spec = GridSpec::new(BBox::new(0.0, -1.0, 40.0, 3.0), 80, 8);
+    let planar = kdv::grid_pruned_kdv(&planar_events, spec, kernel, 1e-9);
+    let (ix, iy) = spec.pixel_of(&Point::new(37.0, 2.0));
+    assert!(planar.at(ix, iy) > 5.0, "planar density {}", planar.at(ix, iy));
+}
+
+#[test]
+fn network_k_plot_detects_network_clusters() {
+    let net = network::grid_network(7, 7, 6.0);
+    let clustered = data::clustered_on_network(&net, 4, 18, 4.0, 23);
+    let thresholds: Vec<f64> = (1..=6).map(|i| i as f64 * 3.0).collect();
+    let plot = kfunc::network_k_plot(&net, &clustered, &thresholds, 15, 42, KConfig::default());
+    assert!(!plot.clustered_thresholds().is_empty());
+
+    let random = network::sample_on_network(&net, clustered.len(), 77);
+    let plot_r = kfunc::network_k_plot(&net, &random, &thresholds, 25, 43, KConfig::default());
+    let inside = (0..thresholds.len())
+        .filter(|i| plot_r.observed[*i] <= plot_r.upper[*i])
+        .count();
+    assert!(inside >= thresholds.len() - 1);
+}
+
+#[test]
+fn snapping_pipeline_feeds_network_tools() {
+    // Raw planar points -> snap to network -> NKDV: end-to-end pipeline.
+    let window = BBox::new(0.0, 0.0, 60.0, 60.0);
+    let net = network::grid_network(7, 7, 10.0);
+    let idx = network::SegmentIndex::build(&net, 5.0);
+    let raw = data::gaussian_mixture(
+        200,
+        &[Hotspot {
+            center: Point::new(20.0, 20.0),
+            sigma: 6.0,
+            weight: 1.0,
+        }],
+        window,
+        9,
+    );
+    let events: Vec<EdgePosition> = raw
+        .iter()
+        .map(|p| idx.snap(&net, p).expect("network has edges").0)
+        .collect();
+    let lixels = Lixels::build(&net, 2.0);
+    let density = kdv::nkdv_forward(&net, &lixels, &events, Quartic::new(12.0));
+    // The hottest lixel should sit near the generating hotspot.
+    let hot = lixels.all()[density.argmax()];
+    let hot_pt = net.point_on_edge(hot.edge, hot.center_offset());
+    assert!(
+        hot_pt.dist(&Point::new(20.0, 20.0)) < 15.0,
+        "hot lixel at {hot_pt:?}"
+    );
+}

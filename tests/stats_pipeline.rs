@@ -1,0 +1,137 @@
+//! Correlation-analysis pipeline: points -> quadrat counts -> Moran's I /
+//! General G, and clustering recovery — the Table 1 tools working
+//! together on generator ground truth.
+
+use lsga::prelude::*;
+use lsga::stats::{self, SpatialWeights};
+use lsga::{data, stats::areal};
+
+fn window() -> BBox {
+    BBox::new(0.0, 0.0, 100.0, 100.0)
+}
+
+#[test]
+fn clustered_points_are_significant_under_both_statistics() {
+    let points = data::gaussian_mixture(
+        2000,
+        &[
+            Hotspot {
+                center: Point::new(25.0, 25.0),
+                sigma: 7.0,
+                weight: 1.0,
+            },
+            Hotspot {
+                center: Point::new(75.0, 70.0),
+                sigma: 7.0,
+                weight: 1.0,
+            },
+        ],
+        window(),
+        19,
+    );
+    let spec = GridSpec::new(window(), 12, 12);
+    let counts = areal::quadrat_counts(&points, spec);
+    let centers = areal::cell_centers(&spec);
+    let w = SpatialWeights::distance_band(&centers, 9.0);
+
+    let moran = stats::morans_i(counts.values(), &w, 199, 1).unwrap();
+    assert!(moran.i > 0.3, "I = {}", moran.i);
+    assert!(moran.p_perm.unwrap() < 0.02);
+
+    let g = stats::general_g(counts.values(), &w, 199, 2).unwrap();
+    assert!(g.g > g.expected);
+    assert!(g.p_perm < 0.02);
+}
+
+#[test]
+fn csr_points_are_not_significant() {
+    let points = data::uniform_points(2000, window(), 4242);
+    let spec = GridSpec::new(window(), 10, 10);
+    let counts = areal::quadrat_counts(&points, spec);
+    let centers = areal::cell_centers(&spec);
+    let w = SpatialWeights::distance_band(&centers, 11.0);
+    let moran = stats::morans_i(counts.values(), &w, 499, 3).unwrap();
+    assert!(moran.i.abs() < 0.2, "I = {}", moran.i);
+    assert!(moran.p_perm.unwrap() > 0.05, "p = {:?}", moran.p_perm);
+}
+
+#[test]
+fn dbscan_recovers_generator_components() {
+    let (points, truth) = data::gaussian_mixture_labeled(
+        900,
+        &[
+            Hotspot {
+                center: Point::new(20.0, 20.0),
+                sigma: 3.0,
+                weight: 1.0,
+            },
+            Hotspot {
+                center: Point::new(80.0, 30.0),
+                sigma: 3.0,
+                weight: 1.0,
+            },
+            Hotspot {
+                center: Point::new(50.0, 80.0),
+                sigma: 3.0,
+                weight: 1.0,
+            },
+        ],
+        window(),
+        5,
+    );
+    let res = stats::dbscan(&points, 3.0, 5);
+    assert_eq!(res.n_clusters, 3, "found {} clusters", res.n_clusters);
+    let got: Vec<i64> = res.labels.iter().map(|l| *l as i64).collect();
+    let want: Vec<i64> = truth.iter().map(|l| *l as i64).collect();
+    assert!(
+        stats::adjusted_rand_index(&got, &want) > 0.9,
+        "ARI = {}",
+        stats::adjusted_rand_index(&got, &want)
+    );
+}
+
+#[test]
+fn kmeans_matches_dbscan_on_well_separated_blobs() {
+    let (points, truth) = data::gaussian_mixture_labeled(
+        600,
+        &[
+            Hotspot {
+                center: Point::new(20.0, 80.0),
+                sigma: 4.0,
+                weight: 1.0,
+            },
+            Hotspot {
+                center: Point::new(80.0, 20.0),
+                sigma: 4.0,
+                weight: 1.0,
+            },
+        ],
+        window(),
+        6,
+    );
+    let km = stats::kmeans(&points, 2, 100, 1);
+    let got: Vec<i64> = km.labels.iter().map(|l| *l as i64).collect();
+    let want: Vec<i64> = truth.iter().map(|l| *l as i64).collect();
+    assert!(stats::adjusted_rand_index(&got, &want) > 0.95);
+}
+
+#[test]
+fn knn_weights_work_for_moran_too() {
+    let points = data::gaussian_mixture(
+        1500,
+        &[Hotspot {
+            center: Point::new(40.0, 60.0),
+            sigma: 8.0,
+            weight: 1.0,
+        }],
+        window(),
+        8,
+    );
+    let spec = GridSpec::new(window(), 10, 10);
+    let counts = areal::quadrat_counts(&points, spec);
+    let centers = areal::cell_centers(&spec);
+    let mut w = SpatialWeights::knn(&centers, 4);
+    w.row_standardize();
+    let moran = stats::morans_i(counts.values(), &w, 99, 10).unwrap();
+    assert!(moran.i > 0.3, "I = {}", moran.i);
+}
