@@ -1,0 +1,237 @@
+//! Offline drop-in subset of the [`criterion`](https://docs.rs/criterion/0.5)
+//! API.
+//!
+//! The build environment has no network access, so the workspace cannot
+//! fetch crates.io dependencies. This crate implements the slice of
+//! criterion the benches use — `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, warm_up_time, measurement_time,
+//! bench_function, bench_with_input, finish}`, `Bencher::iter`,
+//! `BenchmarkId::new`, and the `criterion_group!` / `criterion_main!`
+//! macros — with real wall-clock timing and a plain-text report
+//! (median / min / mean over the configured samples) instead of
+//! upstream's statistical machinery and HTML output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark target: each `iter` call times one execution
+/// of the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed());
+        drop(out);
+    }
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level driver handed to every bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// A named group of related measurements.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let full = if self.name.is_empty() {
+            id.id
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+
+        // Warm-up: run the target until the warm-up budget elapses
+        // (at least once).
+        let warm_start = Instant::now();
+        loop {
+            let mut b = Bencher {
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+
+        // Measurement: collect `sample_size` samples, stopping early
+        // only after the measurement budget is exhausted several times
+        // over (slow targets still get >= 3 samples).
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let meas_start = Instant::now();
+        while samples.len() < self.sample_size {
+            let mut b = Bencher {
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            samples.extend(b.samples);
+            if samples.len() >= 3 && meas_start.elapsed() > self.measurement * 4 {
+                break;
+            }
+        }
+
+        if samples.is_empty() {
+            println!("{full:<48} (no samples: bencher closure never called iter)");
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        println!(
+            "{full:<48} median {:>12} | min {:>12} | mean {:>12} | {} samples",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(mean),
+            samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Re-export so `criterion::black_box` resolves like upstream.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("compat_smoke");
+        g.sample_size(4)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0usize;
+        g.bench_function("noop", |b| {
+            runs += 1;
+            b.iter(|| black_box(2 + 2));
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        g.finish();
+        assert!(runs >= 4);
+    }
+}

@@ -1,0 +1,508 @@
+//! Offline drop-in subset of the [`proptest`](https://docs.rs/proptest/1)
+//! API.
+//!
+//! The build environment has no network access, so the workspace cannot
+//! fetch crates.io dependencies. This crate implements the slice of
+//! proptest that the workspace's property tests use: the `proptest!`
+//! macro (with `#![proptest_config(...)]`), `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!`, the [`strategy::Strategy`] trait
+//! with `prop_map`, numeric-range and tuple strategies,
+//! `prop::collection::vec`, `any::<T>()`, and `prop::num::f64::ANY`.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with
+//! the generated inputs' case number and the assertion message. Case
+//! generation is deterministic per test (seeded by the test's name), so
+//! failures reproduce exactly on re-run.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// A `prop_assert*!` failed: the property is violated.
+        Fail(String),
+        /// A `prop_assume!` failed: the case is outside the property's
+        /// domain and is skipped without counting against `cases`.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Mirrors `proptest::test_runner::Config` for the fields we use.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drive one property: run until `config.cases` cases pass, skipping
+    /// rejected cases (bounded), panicking on the first failure.
+    pub fn run_cases<F>(name: &str, config: Config, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> TestCaseResult,
+    {
+        let mut rng = StdRng::seed_from_u64(fnv1a(name));
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let max_rejects = config.cases as u64 * 64 + 256;
+        let mut attempt: u64 = 0;
+        while passed < config.cases {
+            attempt += 1;
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest '{name}': too many rejected cases \
+                             ({rejected} rejects, {passed} passes)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}' failed at case #{attempt}: {msg}")
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Value` (no shrinking).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(f64, usize, u64, u32, i64, i32);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+
+    /// `any::<T>()` support: the full domain of `T`.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for the whole domain of `T` (see [`any`]).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted length specifications for [`vec`]: a fixed length or a
+    /// (half-open / inclusive) range of lengths.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..=self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: each element independently from `element`, length
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod num {
+    /// Strategies over `f64`, mirroring `proptest::num::f64`.
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::RngCore;
+
+        /// Every `f64` bit pattern — including infinities and NaNs.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+
+            fn generate(&self, rng: &mut StdRng) -> f64 {
+                f64::from_bits(rng.next_u64())
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Module alias matching upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::strategy;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    __l,
+                    __r,
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: `(left != right)`\n  both: `{:?}`", __l),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// The property-test entry macro. Mirrors upstream's sugared syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     fn my_property(x in 0.0f64..1.0, v in prop::collection::vec(any::<u8>(), 0..10)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(@cfg($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(@cfg(<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($config:expr)) => {};
+    (@cfg($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($parm:pat_param in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                $config,
+                |__proptest_rng| {
+                    let ($($parm,)+) = ($(
+                        $crate::strategy::Strategy::generate(&($strategy), __proptest_rng),
+                    )+);
+                    let __result: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    __result
+                },
+            );
+        }
+        $crate::__proptest_items!(@cfg($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        fn ranges_and_tuples(
+            x in 0.0f64..1.0,
+            (a, b) in (0usize..10, -5i64..5),
+            v in prop::collection::vec(any::<u8>(), 0..20),
+        ) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!(v.len() < 20);
+        }
+
+        fn mapped_strategy(p in (0.0f64..10.0, 0.0f64..10.0).prop_map(|(x, y)| x + y)) {
+            prop_assert!((0.0..20.0).contains(&p));
+            prop_assert_eq!(p, p);
+        }
+
+        fn assume_rejects(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0, "odd {} slipped through", n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        crate::test_runner::run_cases(
+            "failing_property_panics",
+            ProptestConfig::with_cases(8),
+            |_rng| Err(TestCaseError::fail("boom")),
+        );
+    }
+
+    #[test]
+    fn f64_any_hits_special_values_eventually() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut finite = 0;
+        for _ in 0..1000 {
+            if prop::num::f64::ANY.generate(&mut rng).is_finite() {
+                finite += 1;
+            }
+        }
+        // Almost all bit patterns are finite; just check it runs and
+        // produces a mix rather than a constant.
+        assert!(finite > 900);
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline drop-in subset of the [`rand`](https://docs.rs/rand/0.8) API.
+//!
+//! The build environment has no network access, so the workspace cannot
+//! fetch crates.io dependencies. This crate re-implements exactly the
+//! slice of `rand` 0.8 that the workspace consumes — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{gen_range, gen_bool}` over the
+//! range types we use, and `seq::SliceRandom::{shuffle,
+//! choose_multiple}` — on top of the xoshiro256++ generator.
+//!
+//! The stream is **not** bit-compatible with upstream `rand`; it is a
+//! different (but high-quality, deterministic) PRNG. Everything in the
+//! workspace treats seeds as opaque reproducibility handles, never as a
+//! cross-library contract, so this is safe.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core trait: a source of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> [0, 2^53) -> [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types that can be sampled uniformly from a range (the subset of
+/// upstream's `SampleRange` we need).
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        let span = self.end - self.start;
+        let v = self.start + rng.next_f64() * span;
+        // Floating rounding can land exactly on `end`; fold it back.
+        if v >= self.end {
+            f64_prev(self.end)
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+/// Largest double strictly below `x` (for folding open upper bounds).
+fn f64_prev(x: f64) -> f64 {
+    if x == f64::NEG_INFINITY {
+        return x;
+    }
+    let bits = x.to_bits();
+    f64::from_bits(if x > 0.0 {
+        bits - 1
+    } else if x == 0.0 {
+        1 | (1u64 << 63) // -MIN_POSITIVE subnormal
+    } else {
+        bits + 1
+    })
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, i64, i32);
+
+/// Unbiased uniform draw in `[0, bound)` via rejection sampling.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Widening-multiply method (Lemire) with rejection for exactness.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore + Sized {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.next_f64() < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Mirrors `rand::SeedableRng` for the one constructor the workspace
+/// uses.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 — used to expand seeds into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for
+    /// `rand::rngs::StdRng`. Not stream-compatible with upstream, but
+    /// every consumer in this workspace only relies on determinism in
+    /// the seed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state is the one forbidden xoshiro state; the
+            // splitmix expansion cannot produce it, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Mirrors the slice of `rand::seq::SliceRandom` the workspace uses.
+    pub trait SliceRandom {
+        type Item;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// `amount` distinct elements, in selection order. Returns fewer
+        /// when the slice is shorter than `amount`.
+        fn choose_multiple<'a, R: RngCore>(
+            &'a self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose_multiple<'a, R: RngCore>(
+            &'a self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&'a T> {
+            let amount = amount.min(self.len());
+            // Partial Fisher–Yates over an index table.
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            idx[..amount]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.25..0.5);
+            assert!((0.25..0.5).contains(&v));
+            let w = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&w));
+            let t = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(t > 0.0 && t < 1.0);
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_uniformly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            // Each bucket expects 10_000; allow ±10%.
+            assert!((9_000..=11_000).contains(&c), "{counts:?}");
+        }
+        for _ in 0..1000 {
+            let v = rng.gen_range(5..=7u64);
+            assert!((5..=7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..=27_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_multiple_distinct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v: Vec<u32> = (0..50).collect();
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 20).copied().collect();
+        assert_eq!(picked.len(), 20);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 20);
+        // Over-asking returns the whole slice.
+        assert_eq!(v.choose_multiple(&mut rng, 500).count(), 50);
+    }
+}

@@ -1,8 +1,8 @@
 //! E11 bench: Moran's I and General G with permutation inference.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lsga::stats::{self, areal, SpatialWeights};
 use lsga::prelude::*;
+use lsga::stats::{self, areal, SpatialWeights};
 use lsga_bench::workloads::{crime, window};
 use std::hint::black_box;
 

@@ -1,9 +1,9 @@
 //! E15 bench: DBSCAN and K-means on hotspot mixtures.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lsga::stats;
-use lsga::prelude::*;
 use lsga::data;
+use lsga::prelude::*;
+use lsga::stats;
 use lsga_bench::workloads::window;
 use std::hint::black_box;
 

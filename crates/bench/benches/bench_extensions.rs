@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lsga::prelude::*;
-use lsga::{kdv, kfunc, stats};
 use lsga::stats::areal;
+use lsga::{kdv, kfunc, stats};
 use lsga_bench::workloads::{crime, road_scenario, window};
 use std::hint::black_box;
 
@@ -28,18 +28,47 @@ fn bench(c: &mut Criterion) {
     // E16: sampled K vs full histogram.
     let thresholds = [150.0, 300.0];
     g.bench_function("k_histogram_exact", |b| {
-        b.iter(|| black_box(kfunc::histogram_k_all(&points, &thresholds, KConfig::default())))
+        b.iter(|| {
+            black_box(kfunc::histogram_k_all(
+                &points,
+                &thresholds,
+                KConfig::default(),
+            ))
+        })
     });
     g.bench_function("k_sampled_m8000", |b| {
-        b.iter(|| black_box(kfunc::sampled_k(&points, &thresholds, 8_000, 7, KConfig::default())))
+        b.iter(|| {
+            black_box(kfunc::sampled_k(
+                &points,
+                &thresholds,
+                8_000,
+                7,
+                KConfig::default(),
+            ))
+        })
     });
 
     // Adaptive vs fixed KDV.
     g.bench_function("kdv_fixed_quartic", |b| {
-        b.iter(|| black_box(kdv::grid_pruned_kdv(&points, spec, Quartic::new(250.0), 1e-9)))
+        b.iter(|| {
+            black_box(kdv::grid_pruned_kdv(
+                &points,
+                spec,
+                Quartic::new(250.0),
+                1e-9,
+            ))
+        })
     });
     g.bench_function("kdv_adaptive_alpha05", |b| {
-        b.iter(|| black_box(kdv::adaptive_kdv(&points, spec, KernelKind::Quartic, 250.0, 0.5)))
+        b.iter(|| {
+            black_box(kdv::adaptive_kdv(
+                &points,
+                spec,
+                KernelKind::Quartic,
+                250.0,
+                0.5,
+            ))
+        })
     });
 
     // Pair correlation function.

@@ -30,7 +30,10 @@ fn bench(c: &mut Criterion) {
     g.bench_function("variogram_fit", |bch| {
         bch.iter(|| {
             let bins = interp::empirical_variogram(&readings, 5_000.0, 15);
-            black_box(interp::fit_variogram(&bins, interp::VariogramModelKind::Exponential))
+            black_box(interp::fit_variogram(
+                &bins,
+                interp::VariogramModelKind::Exponential,
+            ))
         })
     });
     g.finish();

@@ -1,0 +1,93 @@
+//! Thread-scaling bench for the `lsga_core::par` work-stealing pool:
+//! the same workload at 1/2/4/8 threads for each converted hot path.
+//! Outputs are bit-identical across the sweep (see
+//! `tests/parallel_determinism.rs`); only the wall clock should move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsga::core::par::Threads;
+use lsga::kfunc::KConfig;
+use lsga::prelude::*;
+use lsga::stats::{self, areal, SpatialWeights};
+use lsga::{interp, kdv, kfunc};
+use lsga_bench::workloads::{crime, sensors, window};
+use std::hint::black_box;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench(c: &mut Criterion) {
+    let pts = crime(100_000);
+
+    let mut g = c.benchmark_group("parallel_scaling_n100k");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    let kdv_spec = GridSpec::new(window(), 128, 102);
+    let kernel = Epanechnikov::new(500.0);
+    for t in THREADS {
+        g.bench_with_input(BenchmarkId::new("kdv", t), &t, |bch, &t| {
+            bch.iter(|| {
+                black_box(kdv::parallel_kdv_threads(
+                    &pts,
+                    kdv_spec,
+                    kernel,
+                    1e-9,
+                    Threads::exact(t),
+                ))
+            })
+        });
+    }
+
+    for t in THREADS {
+        g.bench_with_input(BenchmarkId::new("kfunction", t), &t, |bch, &t| {
+            bch.iter(|| {
+                black_box(kfunc::parallel_k_threads(
+                    &pts,
+                    300.0,
+                    KConfig::default(),
+                    Threads::exact(t),
+                ))
+            })
+        });
+    }
+
+    // Moran's I: the permutation test over quadrat counts of the 100k
+    // points dominates; replicates fan out across the pool.
+    let counts = areal::quadrat_counts(&pts, GridSpec::new(window(), 40, 32));
+    let centers = areal::cell_centers(&GridSpec::new(window(), 40, 32));
+    let w = SpatialWeights::distance_band(&centers, 400.0);
+    for t in THREADS {
+        g.bench_with_input(BenchmarkId::new("morans_i", t), &t, |bch, &t| {
+            bch.iter(|| {
+                black_box(stats::morans_i_threads(
+                    counts.values(),
+                    &w,
+                    999,
+                    1,
+                    Threads::exact(t),
+                ))
+            })
+        });
+    }
+
+    let samples = sensors(2_000);
+    let idw_spec = GridSpec::new(window(), 96, 77);
+    for t in THREADS {
+        g.bench_with_input(BenchmarkId::new("idw", t), &t, |bch, &t| {
+            bch.iter(|| {
+                black_box(interp::idw_knn_threads(
+                    &samples,
+                    idw_spec,
+                    2.0,
+                    16,
+                    Threads::exact(t),
+                ))
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

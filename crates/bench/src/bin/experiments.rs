@@ -87,7 +87,11 @@ fn e1() {
     println!("| raster | {}x{} px |", spec.nx, spec.ny);
     println!("| method | SLAM sweep-line (exact) |");
     println!("| time | {} ms |", ms(t));
-    println!("| hotspot found | ({:.0}, {:.0}) |", grid.hotspot().x, grid.hotspot().y);
+    println!(
+        "| hotspot found | ({:.0}, {:.0}) |",
+        grid.hotspot().x,
+        grid.hotspot().y
+    );
     println!(
         "| true heaviest hotspot | ({:.0}, {:.0}) |",
         truth.x, truth.y
@@ -99,8 +103,7 @@ fn e1() {
     );
     let out = std::path::Path::new("target/experiments");
     std::fs::create_dir_all(out).expect("create output dir");
-    viz::write_heatmap_png(out.join("e1_heatmap.png"), &grid, Colormap::Heat)
-        .expect("write png");
+    viz::write_heatmap_png(out.join("e1_heatmap.png"), &grid, Colormap::Heat).expect("write png");
     println!("| image | target/experiments/e1_heatmap.png |");
 }
 
@@ -121,7 +124,8 @@ fn e2() {
             k.eval(b / 2.0),
             k.eval(b),
             k.eval(2.0 * b),
-            k.support().map_or("infinite".to_string(), |s| format!("{s:.0}")),
+            k.support()
+                .map_or("infinite".to_string(), |s| format!("{s:.0}")),
             ms(t),
             grid.max()
         );
@@ -135,7 +139,10 @@ fn e3() {
     let quartic = Quartic::new(b);
     let poly = PolyKernel::new(KernelKind::Quartic, b).unwrap();
     let threads = hw_threads();
-    println!("### runtime vs n (quartic, b = {b}, {}x{} px)\n", spec.nx, spec.ny);
+    println!(
+        "### runtime vs n (quartic, b = {b}, {}x{} px)\n",
+        spec.nx, spec.ny
+    );
     println!("| n | naive O(XYn) | grid-pruned | SLAM | bounds eps=0.1 | sampling m=4096 | parallel x{threads} |");
     println!("|---|---|---|---|---|---|---|");
     for n in [10_000usize, 30_000, 100_000, 300_000] {
@@ -263,8 +270,16 @@ fn e6() {
     let (_, t_naive_sub) = time(|| kdv::nkdv_naive(&net, &lix_sub, &events, kernel));
     println!("| method | lixels | time |");
     println!("|---|---|---|");
-    println!("| per-lixel Dijkstra (naive) | {} | {} ms |", lix_sub.len(), ms(t_naive_sub));
-    println!("| per-event forward scatter | {} | {} ms |", lixels.len(), ms(t_fwd));
+    println!(
+        "| per-lixel Dijkstra (naive) | {} | {} ms |",
+        lix_sub.len(),
+        ms(t_naive_sub)
+    );
+    println!(
+        "| per-event forward scatter | {} | {} ms |",
+        lixels.len(),
+        ms(t_fwd)
+    );
 
     // Fig. 3 quantification: planar density at lixel midpoints vs NKDV.
     let planar_events: Vec<Point> = events.iter().map(|e| e.point(&net)).collect();
@@ -308,11 +323,15 @@ fn e7() {
     println!("|---|---|---|---|");
     println!(
         "| naive O(XYTn) | 10000 | {}x{}x{nt} | {} ms |",
-        spec.nx, spec.ny, ms(t_naive_small)
+        spec.nx,
+        spec.ny,
+        ms(t_naive_small)
     );
     println!(
         "| temporal sweep (SWS-style) | 100000 | {}x{}x{nt} | {} ms |",
-        spec.nx, spec.ny, ms(t_sweep)
+        spec.nx,
+        spec.ny,
+        ms(t_sweep)
     );
     println!("\n| day | hotspot (x, y) | peak density |");
     println!("|---|---|---|");
@@ -435,13 +454,12 @@ fn e10() {
     println!("| IDW radius (1.5 km) | {} ms | {:.2} |", ms(t), rmse(&g));
     let ((bins, model), t_fit) = time(|| {
         let bins = interp::empirical_variogram(&readings, 5_000.0, 15);
-        let model = interp::fit_variogram(&bins, interp::VariogramModelKind::Exponential)
-            .expect("fit");
+        let model =
+            interp::fit_variogram(&bins, interp::VariogramModelKind::Exponential).expect("fit");
         (bins, model)
     });
-    let (kriged, t_k) = time(|| {
-        interp::ordinary_kriging(&readings, spec, &model, 16).expect("solve")
-    });
+    let (kriged, t_k) =
+        time(|| interp::ordinary_kriging(&readings, spec, &model, 16).expect("solve"));
     println!(
         "| ordinary kriging (16-NN, {} fit {} bins, {} ms) | {} ms | {:.2} |",
         model.kind.name(),
@@ -488,11 +506,16 @@ fn e12() {
     let spec = GridSpec::new(window(), 256, 205);
     let kernel = Epanechnikov::new(150.0);
     println!("### distributed KDV (n = 1M, {}x{} px)\n", spec.nx, spec.ny);
-    println!("| workers | strategy | wall | slowest worker | imbalance | halo points | MB shipped |");
+    println!(
+        "| workers | strategy | wall | slowest worker | imbalance | halo points | MB shipped |"
+    );
     println!("|---|---|---|---|---|---|---|");
     let mut base_wall = None;
     for workers in [1usize, 2, 4, 8] {
-        for strategy in [PartitionStrategy::UniformBands, PartitionStrategy::BalancedKd] {
+        for strategy in [
+            PartitionStrategy::UniformBands,
+            PartitionStrategy::BalancedKd,
+        ] {
             let (_, m) = dist::distributed_kdv(&points, spec, kernel, 1e-9, workers, strategy);
             if workers == 1 && base_wall.is_none() {
                 base_wall = Some(m.wall);
@@ -665,11 +688,8 @@ fn e16() {
     println!("| s | raw Ripley K^ | border-corrected K^ | theory | sources kept |");
     println!("|---|---|---|---|---|");
     for s in [200.0, 500.0, 1_000.0] {
-        let raw = kfunc::ripley_normalization(
-            kfunc::grid_k(&unif, s, cfg),
-            unif.len(),
-            window().area(),
-        );
+        let raw =
+            kfunc::ripley_normalization(kfunc::grid_k(&unif, s, cfg), unif.len(), window().area());
         let corr = kfunc::border_corrected_k(&unif, window(), &[s]);
         let theory = std::f64::consts::PI * s * s;
         println!(

@@ -95,6 +95,9 @@ mod tests {
         let wide = spread_points(200);
         let bt = silverman_bandwidth(&tight).unwrap();
         let bw = silverman_bandwidth(&wide).unwrap();
-        assert!((bw / bt - 100.0).abs() < 1.0, "bandwidth should scale linearly");
+        assert!(
+            (bw / bt - 100.0).abs() < 1.0,
+            "bandwidth should scale linearly"
+        );
     }
 }

@@ -35,7 +35,9 @@ impl fmt::Display for LsgaError {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
             LsgaError::SingularSystem(what) => write!(f, "singular linear system: {what}"),
-            LsgaError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            LsgaError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             LsgaError::Io(message) => write!(f, "I/O error: {message}"),
             LsgaError::GraphIndex(message) => write!(f, "graph index error: {message}"),
         }

@@ -179,7 +179,10 @@ impl DensityGrid {
 
     /// Maximum density value (0 for an all-zero grid).
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum density value.

@@ -634,7 +634,10 @@ mod tests {
     use super::*;
 
     fn all_kernels(b: f64) -> Vec<AnyKernel> {
-        KernelKind::ALL.iter().map(|k| k.with_bandwidth(b)).collect()
+        KernelKind::ALL
+            .iter()
+            .map(|k| k.with_bandwidth(b))
+            .collect()
     }
 
     #[test]
@@ -755,12 +758,20 @@ mod tests {
 
     #[test]
     fn poly_kernel_degrees() {
-        assert_eq!(PolyKernel::new(KernelKind::Uniform, 1.0).unwrap().degree(), 0);
         assert_eq!(
-            PolyKernel::new(KernelKind::Epanechnikov, 1.0).unwrap().degree(),
+            PolyKernel::new(KernelKind::Uniform, 1.0).unwrap().degree(),
+            0
+        );
+        assert_eq!(
+            PolyKernel::new(KernelKind::Epanechnikov, 1.0)
+                .unwrap()
+                .degree(),
             1
         );
-        assert_eq!(PolyKernel::new(KernelKind::Quartic, 1.0).unwrap().degree(), 2);
+        assert_eq!(
+            PolyKernel::new(KernelKind::Quartic, 1.0).unwrap().degree(),
+            2
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod error;
 pub mod grid;
 pub mod kernel;
 pub mod linalg;
+pub mod par;
 pub mod point;
 pub mod util;
 
@@ -26,4 +27,5 @@ pub use kernel::{
     AnyKernel, Cosine, Epanechnikov, Exponential, Gaussian, Kernel, KernelKind, PolyKernel,
     Quartic, Triangular, Uniform,
 };
+pub use par::{par_for_each_chunk, par_map, par_map_rows, par_reduce, Threads};
 pub use point::{BBox, Point, TimedPoint};

@@ -78,7 +78,12 @@ pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>> {
     if a.cols() != n || b.len() != n {
         return Err(LsgaError::InvalidParameter {
             name: "system",
-            message: format!("need square system, got {}x{} with rhs {}", n, a.cols(), b.len()),
+            message: format!(
+                "need square system, got {}x{} with rhs {}",
+                n,
+                a.cols(),
+                b.len()
+            ),
         });
     }
     for col in 0..n {

@@ -1,0 +1,357 @@
+//! Deterministic data-parallel execution on scoped threads.
+//!
+//! Every analytic in the suite is pixel- or point-parallel: the output
+//! decomposes into independent slots (grid rows, point chunks,
+//! permutation replicates) that can be computed on any thread in any
+//! order. This module is the one shared harness for that pattern,
+//! replacing the per-crate hand-rolled thread scaffolding.
+//!
+//! # Determinism contract
+//!
+//! Parallel output is **bit-identical** to sequential output, for every
+//! thread count. Three rules make that hold:
+//!
+//! 1. **Fixed decomposition.** Work is split into chunks whose
+//!    boundaries are a pure function of the item count and chunk size —
+//!    never of the thread count, timing, or scheduling order.
+//! 2. **Single-writer slots.** Each output slot (row, chunk, element)
+//!    is written by exactly one task. Threads *claim* chunks dynamically
+//!    off a shared atomic counter (cheap work stealing — a fast thread
+//!    takes more chunks), but which thread computes a chunk never
+//!    affects what is computed.
+//! 3. **Ordered reduction.** [`par_reduce`] folds per-chunk partials in
+//!    chunk-index order after all chunks complete, so floating-point
+//!    reduction order matches a sequential left fold over the chunks.
+//!
+//! With one thread (or zero spawned workers) the primitives degrade to
+//! plain sequential loops over the same chunk decomposition.
+//!
+//! # Thread-count configuration
+//!
+//! [`Threads`] resolves the worker count in this order: an explicit
+//! count ([`Threads::exact`]) wins; otherwise the `LSGA_THREADS`
+//! environment variable (if set to a positive integer); otherwise
+//! [`std::thread::available_parallelism`]. Benchmarks use `exact` to
+//! sweep thread counts; operators use `LSGA_THREADS` to cap a
+//! deployment without recompiling.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-count configuration for the `par_*` primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threads {
+    count: NonZeroUsize,
+}
+
+impl Threads {
+    /// Resolve from the environment: `LSGA_THREADS` if set to a positive
+    /// integer, else [`std::thread::available_parallelism`] (falling
+    /// back to 1 if even that is unavailable).
+    pub fn auto() -> Self {
+        if let Ok(v) = std::env::var("LSGA_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return Self::exact(n);
+                }
+            }
+        }
+        let n = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::exact(n)
+    }
+
+    /// Exactly `n` workers (clamped up to 1).
+    pub fn exact(n: usize) -> Self {
+        Threads {
+            count: NonZeroUsize::new(n.max(1)).expect("clamped to >= 1"),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn get(self) -> usize {
+        self.count.get()
+    }
+
+    /// Workers actually worth spawning for `n_tasks` claimable tasks.
+    fn for_tasks(self, n_tasks: usize) -> usize {
+        self.get().min(n_tasks.max(1))
+    }
+}
+
+impl Default for Threads {
+    fn default() -> Self {
+        Threads::auto()
+    }
+}
+
+/// Number of chunks for `n` items at `chunk_size` (pure; the shared
+/// fixed decomposition).
+fn n_chunks(n: usize, chunk_size: usize) -> usize {
+    debug_assert!(chunk_size > 0);
+    n.div_ceil(chunk_size)
+}
+
+/// Run `work(chunk_index)` for every chunk index in `0..n_chunks`,
+/// distributing chunks over `threads` via an atomic claim counter.
+/// `work` must only touch state owned by its chunk index.
+fn dispatch_chunks<F: Fn(usize) + Sync>(n_chunks: usize, threads: Threads, work: F) {
+    if n_chunks == 0 {
+        return;
+    }
+    let workers = threads.for_tasks(n_chunks);
+    if workers <= 1 {
+        for c in 0..n_chunks {
+            work(c);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let work = &work;
+    let next = &next;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                work(c);
+            });
+        }
+    });
+}
+
+/// Apply `f(start_index, chunk)` to every `chunk_size`-sized chunk of
+/// `data` in parallel. `start_index` is the offset of the chunk's first
+/// element in `data`. The chunk decomposition is fixed (rule 1), each
+/// element belongs to exactly one chunk (rule 2), so the result is
+/// bit-identical to the sequential loop for any thread count.
+pub fn par_for_each_chunk<T, F>(data: &mut [T], chunk_size: usize, threads: Threads, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let n = data.len();
+    let chunks = n_chunks(n, chunk_size);
+    if chunks == 0 {
+        return;
+    }
+    // Pre-slice into non-overlapping chunks so each task owns its slot.
+    let mut slots: Vec<Option<(usize, &mut [T])>> = Vec::with_capacity(chunks);
+    let mut rest = data;
+    let mut start = 0;
+    while !rest.is_empty() {
+        let take = chunk_size.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        slots.push(Some((start, head)));
+        start += take;
+        rest = tail;
+    }
+    type Cell<'a, T> = std::sync::Mutex<Option<(usize, &'a mut [T])>>;
+    let cells: Vec<Cell<'_, T>> = slots.into_iter().map(std::sync::Mutex::new).collect();
+    dispatch_chunks(chunks, threads, |c| {
+        let (chunk_start, chunk) = cells[c]
+            .lock()
+            .expect("chunk cell poisoned")
+            .take()
+            .expect("chunk claimed twice");
+        f(chunk_start, chunk);
+    });
+}
+
+/// Apply `f(row_index, row)` to every `row_len`-sized row of a
+/// row-major buffer in parallel — the natural shape for raster
+/// analytics (`DensityGrid::values_mut()` with `row_len = nx`, or a
+/// `SpaceTimeGrid` slice). `values.len()` must be a multiple of
+/// `row_len`.
+pub fn par_map_rows<F>(values: &mut [f64], row_len: usize, threads: Threads, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert!(
+        values.len().is_multiple_of(row_len),
+        "buffer length {} not a multiple of row length {}",
+        values.len(),
+        row_len
+    );
+    par_for_each_chunk(values, row_len, threads, |start, row| {
+        f(start / row_len, row);
+    });
+}
+
+/// Compute `f(i)` for `i in 0..n` in parallel and collect the results
+/// in index order. Chunked claiming (`chunk_size` items per claim)
+/// amortizes scheduling overhead for cheap `f`.
+pub fn par_map<T, F>(n: usize, chunk_size: usize, threads: Threads, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    par_for_each_chunk(&mut out, chunk_size, threads, |start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            *slot = Some(f(start + off));
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("par_map slot unfilled"))
+        .collect()
+}
+
+/// Map every index chunk `map(range)` in parallel, then fold the
+/// per-chunk partials **in chunk-index order** (rule 3):
+/// `fold(fold(fold(init, r₀), r₁), …)`. Floating-point accumulation is
+/// therefore identical to a sequential chunked left fold, independent
+/// of the thread count.
+pub fn par_reduce<A, R, M, F>(
+    n: usize,
+    chunk_size: usize,
+    threads: Threads,
+    init: A,
+    map: M,
+    mut fold: F,
+) -> A
+where
+    R: Send,
+    M: Fn(std::ops::Range<usize>) -> R + Sync,
+    F: FnMut(A, R) -> A,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let chunks = n_chunks(n, chunk_size);
+    let partials: Vec<R> = par_map(chunks, 1, threads, |c| {
+        let start = c * chunk_size;
+        let end = (start + chunk_size).min(n);
+        map(start..end)
+    });
+    let mut acc = init;
+    for r in partials {
+        acc = fold(acc, r);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_exact_clamps_zero() {
+        assert_eq!(Threads::exact(0).get(), 1);
+        assert_eq!(Threads::exact(7).get(), 7);
+    }
+
+    #[test]
+    fn threads_auto_is_positive() {
+        assert!(Threads::auto().get() >= 1);
+    }
+
+    #[test]
+    fn for_each_chunk_covers_every_element_once() {
+        for threads in [1, 2, 3, 8, 64] {
+            let mut data = vec![0u32; 1003];
+            par_for_each_chunk(&mut data, 17, Threads::exact(threads), |start, chunk| {
+                for (off, v) in chunk.iter_mut().enumerate() {
+                    *v += (start + off) as u32 + 1;
+                }
+            });
+            let want: Vec<u32> = (1..=1003).collect();
+            assert_eq!(data, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_empty_and_tiny() {
+        let mut empty: Vec<u8> = Vec::new();
+        par_for_each_chunk(&mut empty, 4, Threads::exact(8), |_, _| panic!("no chunks"));
+        let mut one = vec![5u8];
+        par_for_each_chunk(&mut one, 100, Threads::exact(8), |start, chunk| {
+            assert_eq!(start, 0);
+            chunk[0] = 6;
+        });
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn map_rows_passes_row_indices() {
+        for threads in [1, 3, 16] {
+            let (nx, ny) = (7, 11);
+            let mut values = vec![0.0; nx * ny];
+            par_map_rows(&mut values, nx, Threads::exact(threads), |iy, row| {
+                assert_eq!(row.len(), nx);
+                for (ix, v) in row.iter_mut().enumerate() {
+                    *v = (iy * nx + ix) as f64;
+                }
+            });
+            let want: Vec<f64> = (0..nx * ny).map(|i| i as f64).collect();
+            assert_eq!(values, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn map_rows_rejects_ragged_buffer() {
+        let mut values = vec![0.0; 10];
+        par_map_rows(&mut values, 3, Threads::exact(1), |_, _| {});
+    }
+
+    #[test]
+    fn map_collects_in_index_order() {
+        for threads in [1, 2, 5, 32] {
+            let got = par_map(100, 7, Threads::exact(threads), |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        assert!(par_map(0, 4, Threads::exact(4), |i| i).is_empty());
+    }
+
+    #[test]
+    fn reduce_is_bit_identical_across_thread_counts() {
+        // A sum whose value depends on association order: catches any
+        // violation of the ordered-fold rule.
+        let data: Vec<f64> = (0..10_000)
+            .map(|i| ((i as f64) * 0.7153).sin() * 1e10 + 1e-7)
+            .collect();
+        let reduce = |threads: usize| {
+            par_reduce(
+                data.len(),
+                64,
+                Threads::exact(threads),
+                0.0f64,
+                |range| data[range].iter().sum::<f64>(),
+                |acc, part: f64| acc + part,
+            )
+        };
+        let reference = reduce(1);
+        for threads in [2, 3, 8, 64] {
+            let got = reduce(threads);
+            assert_eq!(got.to_bits(), reference.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_handles_empty_input() {
+        let got = par_reduce(
+            0,
+            8,
+            Threads::exact(4),
+            42u64,
+            |_range| 1u64,
+            |acc, p| acc + p,
+        );
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn thread_counts_exceeding_work_items() {
+        let mut data = vec![1u64; 3];
+        par_for_each_chunk(&mut data, 1, Threads::exact(100), |start, chunk| {
+            chunk[0] += start as u64;
+        });
+        assert_eq!(data, vec![1, 2, 3]);
+    }
+}

@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn timed_points_roundtrip() {
-        let pts = vec![TimedPoint::new(1.0, 2.0, 3.5), TimedPoint::new(-1.0, 0.0, 0.0)];
+        let pts = vec![
+            TimedPoint::new(1.0, 2.0, 3.5),
+            TimedPoint::new(-1.0, 0.0, 0.0),
+        ];
         let mut buf = Vec::new();
         write_timed_points(&mut buf, &pts).unwrap();
         let back = read_timed_points(buf.as_slice()).unwrap();

@@ -345,7 +345,11 @@ fn random_walk(
         }
         remaining -= room;
         // Arrive at a vertex; hop to a random incident edge.
-        let at: VertexId = if dir > 0.0 { net.edge(edge).v } else { net.edge(edge).u };
+        let at: VertexId = if dir > 0.0 {
+            net.edge(edge).v
+        } else {
+            net.edge(edge).u
+        };
         let nbrs: Vec<_> = net.neighbors(at).collect();
         if nbrs.is_empty() {
             return EdgePosition {

@@ -9,6 +9,7 @@
 
 use crate::metrics::{RunMetrics, WorkerMetrics, BYTES_PER_POINT};
 use crate::partition::{assign_owners, make_tiles, PartitionStrategy, PixelRect};
+use lsga_core::par::{par_map, Threads};
 use lsga_core::{DensityGrid, GridSpec, Kernel, Point};
 use lsga_index::GridIndex;
 use std::time::Instant;
@@ -37,46 +38,44 @@ pub fn distributed_kdv<K: Kernel>(
     }
     for (t, rect) in tiles.iter().enumerate() {
         let halo = rect.world_bounds(&spec).inflate(radius);
-        shipments[t] = points.iter().filter(|p| halo.contains(p)).copied().collect();
+        shipments[t] = points
+            .iter()
+            .filter(|p| halo.contains(p))
+            .copied()
+            .collect();
     }
 
-    // Workers rasterize their tiles concurrently.
+    // Workers rasterize their tiles concurrently on the shared pool.
+    // Tiles write disjoint pixel rects, so stitching is deterministic
+    // regardless of execution order.
     let wall_start = Instant::now();
-    let mut results: Vec<(usize, Vec<f64>, std::time::Duration)> = Vec::with_capacity(tiles.len());
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (t, rect) in tiles.iter().enumerate() {
+    let results: Vec<(usize, Vec<f64>, std::time::Duration)> =
+        par_map(tiles.len(), 1, Threads::auto(), |t| {
+            let rect = &tiles[t];
             let local = &shipments[t];
-            handles.push(scope.spawn(move |_| {
-                let start = Instant::now();
-                let r2 = radius * radius;
-                let mut values = vec![0.0f64; rect.len()];
-                if !local.is_empty() {
-                    let index = GridIndex::build(local, radius.max(1e-12));
-                    let width = rect.ix1 - rect.ix0;
-                    for iy in rect.iy0..rect.iy1 {
-                        let qy = spec.row_y(iy);
-                        for ix in rect.ix0..rect.ix1 {
-                            let q = Point::new(spec.col_x(ix), qy);
-                            let mut sum = 0.0;
-                            index.for_each_candidate(&q, radius, |_, p| {
-                                let d2 = q.dist_sq(p);
-                                if d2 <= r2 {
-                                    sum += kernel.eval_sq(d2);
-                                }
-                            });
-                            values[(iy - rect.iy0) * width + (ix - rect.ix0)] = sum;
-                        }
+            let start = Instant::now();
+            let r2 = radius * radius;
+            let mut values = vec![0.0f64; rect.len()];
+            if !local.is_empty() {
+                let index = GridIndex::build(local, radius.max(1e-12));
+                let width = rect.ix1 - rect.ix0;
+                for iy in rect.iy0..rect.iy1 {
+                    let qy = spec.row_y(iy);
+                    for ix in rect.ix0..rect.ix1 {
+                        let q = Point::new(spec.col_x(ix), qy);
+                        let mut sum = 0.0;
+                        index.for_each_candidate(&q, radius, |_, p| {
+                            let d2 = q.dist_sq(p);
+                            if d2 <= r2 {
+                                sum += kernel.eval_sq(d2);
+                            }
+                        });
+                        values[(iy - rect.iy0) * width + (ix - rect.ix0)] = sum;
                     }
                 }
-                (t, values, start.elapsed())
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("kdv worker panicked"));
-        }
-    })
-    .expect("kdv scope failed");
+            }
+            (t, values, start.elapsed())
+        });
     let wall = wall_start.elapsed();
 
     // Stitch.
@@ -130,10 +129,12 @@ mod tests {
         let pts = scatter(400);
         let k = Epanechnikov::new(9.0);
         let reference = grid_pruned_kdv(&pts, spec(), k, 1e-9);
-        for strategy in [PartitionStrategy::UniformBands, PartitionStrategy::BalancedKd] {
+        for strategy in [
+            PartitionStrategy::UniformBands,
+            PartitionStrategy::BalancedKd,
+        ] {
             for workers in [1, 2, 3, 8] {
-                let (grid, metrics) =
-                    distributed_kdv(&pts, spec(), k, 1e-9, workers, strategy);
+                let (grid, metrics) = distributed_kdv(&pts, spec(), k, 1e-9, workers, strategy);
                 assert!(
                     grid.linf_diff(&reference) <= reference.max() * 1e-12,
                     "{strategy:?} w={workers}"

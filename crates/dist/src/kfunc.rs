@@ -10,6 +10,7 @@
 
 use crate::metrics::{RunMetrics, WorkerMetrics, BYTES_PER_POINT};
 use crate::partition::{assign_owners, make_tiles, PartitionStrategy};
+use lsga_core::par::{par_map, Threads};
 use lsga_core::{GridSpec, Point};
 use lsga_index::GridIndex;
 use lsga_kfunc::KConfig;
@@ -43,37 +44,34 @@ pub fn distributed_k(
     let mut shipments: Vec<Vec<Point>> = Vec::with_capacity(tiles.len());
     for rect in &tiles {
         let halo = rect.world_bounds(&spec).inflate(s);
-        shipments.push(points.iter().filter(|p| halo.contains(p)).copied().collect());
+        shipments.push(
+            points
+                .iter()
+                .filter(|p| halo.contains(p))
+                .copied()
+                .collect(),
+        );
     }
 
     let wall_start = Instant::now();
-    let mut results: Vec<(usize, u64, std::time::Duration)> = Vec::with_capacity(tiles.len());
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..tiles.len() {
+    let results: Vec<(usize, u64, std::time::Duration)> =
+        par_map(tiles.len(), 1, Threads::auto(), |t| {
             let mine = &owned[t];
             let local = &shipments[t];
-            handles.push(scope.spawn(move |_| {
-                let start = Instant::now();
-                let mut count = 0u64;
-                if !local.is_empty() && !mine.is_empty() {
-                    let index = GridIndex::build(local, s.max(1e-12));
-                    for p in mine {
-                        count += index.count_within(p, s) as u64;
-                    }
-                    // Every owned point matched itself once in the local
-                    // index; drop the self-pairs here and re-add them
-                    // globally if configured.
-                    count -= mine.len() as u64;
+            let start = Instant::now();
+            let mut count = 0u64;
+            if !local.is_empty() && !mine.is_empty() {
+                let index = GridIndex::build(local, s.max(1e-12));
+                for p in mine {
+                    count += index.count_within(p, s) as u64;
                 }
-                (t, count, start.elapsed())
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("k-function worker panicked"));
-        }
-    })
-    .expect("k-function scope failed");
+                // Every owned point matched itself once in the local
+                // index; drop the self-pairs here and re-add them
+                // globally if configured.
+                count -= mine.len() as u64;
+            }
+            (t, count, start.elapsed())
+        });
     let wall = wall_start.elapsed();
 
     let mut total = if cfg.include_self {
@@ -123,9 +121,10 @@ mod tests {
             for s in [1.0, 5.0, 20.0, 100.0] {
                 let want = naive_k(&pts, s, cfg);
                 assert_eq!(grid_k(&pts, s, cfg), want);
-                for strategy in
-                    [PartitionStrategy::UniformBands, PartitionStrategy::BalancedKd]
-                {
+                for strategy in [
+                    PartitionStrategy::UniformBands,
+                    PartitionStrategy::BalancedKd,
+                ] {
                     for workers in [1, 3, 8] {
                         let (got, _) = distributed_k(&pts, s, cfg, workers, strategy);
                         assert_eq!(got, want, "s={s} {strategy:?} w={workers}");
@@ -146,7 +145,13 @@ mod tests {
 
     #[test]
     fn empty_dataset() {
-        let (k, m) = distributed_k(&[], 5.0, KConfig::default(), 4, PartitionStrategy::UniformBands);
+        let (k, m) = distributed_k(
+            &[],
+            5.0,
+            KConfig::default(),
+            4,
+            PartitionStrategy::UniformBands,
+        );
         assert_eq!(k, 0);
         assert!(m.workers.is_empty());
     }

@@ -185,25 +185,13 @@ fn split_recursive(
     cut = cut.max(lo + 1).min(hi - 1);
     let (a, b) = if split_x {
         (
-            PixelRect {
-                ix1: cut,
-                ..rect
-            },
-            PixelRect {
-                ix0: cut,
-                ..rect
-            },
+            PixelRect { ix1: cut, ..rect },
+            PixelRect { ix0: cut, ..rect },
         )
     } else {
         (
-            PixelRect {
-                iy1: cut,
-                ..rect
-            },
-            PixelRect {
-                iy0: cut,
-                ..rect
-            },
+            PixelRect { iy1: cut, ..rect },
+            PixelRect { iy0: cut, ..rect },
         )
     };
     split_recursive(spec, counts, a, n_left, out);
@@ -300,10 +288,7 @@ mod tests {
         }
         let max = *loads.iter().max().unwrap() as f64;
         let mean = pts.len() as f64 / n as f64;
-        assert!(
-            max / mean < 2.5,
-            "kd imbalance too high: loads {loads:?}"
-        );
+        assert!(max / mean < 2.5, "kd imbalance too high: loads {loads:?}");
 
         // Uniform bands on the same data are much worse (most points sit
         // in the bottom band).
@@ -314,7 +299,10 @@ mod tests {
             loads_b[*o as usize] += 1;
         }
         let max_b = *loads_b.iter().max().unwrap() as f64;
-        assert!(max_b / mean > max / mean, "bands {loads_b:?} vs kd {loads:?}");
+        assert!(
+            max_b / mean > max / mean,
+            "bands {loads_b:?} vs kd {loads:?}"
+        );
     }
 
     #[test]

@@ -51,7 +51,14 @@ impl BallTree {
         let mut original: Vec<u32> = (0..points.len() as u32).collect();
         let mut nodes = Vec::new();
         if !pts.is_empty() {
-            build_recursive(&mut pts, &mut original, 0, points.len(), leaf_size, &mut nodes);
+            build_recursive(
+                &mut pts,
+                &mut original,
+                0,
+                points.len(),
+                leaf_size,
+                &mut nodes,
+            );
         }
         BallTree {
             nodes,
@@ -200,10 +207,7 @@ fn build_recursive(
     let cx = slice.iter().map(|p| p.x).sum::<f64>() * inv;
     let cy = slice.iter().map(|p| p.y).sum::<f64>() * inv;
     let center = Point::new(cx, cy);
-    let radius = slice
-        .iter()
-        .map(|p| p.dist(&center))
-        .fold(0.0f64, f64::max);
+    let radius = slice.iter().map(|p| p.dist(&center)).fold(0.0f64, f64::max);
     let id = nodes.len();
     nodes.push(Node {
         center,
@@ -218,12 +222,16 @@ fn build_recursive(
         return id;
     }
     // Split on the dimension with the larger spread, at the median.
-    let (min_x, max_x) = slice.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
-        (lo.min(p.x), hi.max(p.x))
-    });
-    let (min_y, max_y) = slice.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
-        (lo.min(p.y), hi.max(p.y))
-    });
+    let (min_x, max_x) = slice
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.x), hi.max(p.x))
+        });
+    let (min_y, max_y) = slice
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.y), hi.max(p.y))
+        });
     let split_x = (max_x - min_x) >= (max_y - min_y);
     let mid = start + len / 2;
     {

@@ -188,10 +188,14 @@ impl GridIndex {
         let hi_x = center.x + radius;
         let lo_y = center.y - radius;
         let hi_y = center.y + radius;
-        let cx0 = (((lo_x - self.bbox.min_x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
-        let cy0 = (((lo_y - self.bbox.min_y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
-        let cx1 = (((hi_x - self.bbox.min_x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
-        let cy1 = (((hi_y - self.bbox.min_y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
+        let cx0 =
+            (((lo_x - self.bbox.min_x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
+        let cy0 =
+            (((lo_y - self.bbox.min_y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
+        let cx1 =
+            (((hi_x - self.bbox.min_x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
+        let cy1 =
+            (((hi_y - self.bbox.min_y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
         (cx0, cy0, cx1, cy1)
     }
 }

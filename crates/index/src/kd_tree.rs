@@ -55,7 +55,14 @@ impl KdTree {
         let mut original: Vec<u32> = (0..points.len() as u32).collect();
         let mut nodes = Vec::new();
         if !pts.is_empty() {
-            build_recursive(&mut pts, &mut original, 0, points.len(), leaf_size, &mut nodes);
+            build_recursive(
+                &mut pts,
+                &mut original,
+                0,
+                points.len(),
+                leaf_size,
+                &mut nodes,
+            );
         }
         KdTree {
             nodes,
@@ -159,7 +166,8 @@ impl KdTree {
                     stack.push(r);
                 }
                 None => {
-                    count += self.node_points(id)
+                    count += self
+                        .node_points(id)
                         .iter()
                         .filter(|p| p.dist_sq(center) <= r2)
                         .count();
@@ -191,7 +199,10 @@ impl KdTree {
                     stack.push(r);
                 }
                 None => {
-                    for (p, idx) in self.node_points(id).iter().zip(self.node_original_indices(id))
+                    for (p, idx) in self
+                        .node_points(id)
+                        .iter()
+                        .zip(self.node_original_indices(id))
                     {
                         if p.dist_sq(center) <= r2 {
                             out.push(*idx);
@@ -232,7 +243,10 @@ impl KdTree {
                     }
                 }
                 None => {
-                    for (p, idx) in self.node_points(id).iter().zip(self.node_original_indices(id))
+                    for (p, idx) in self
+                        .node_points(id)
+                        .iter()
+                        .zip(self.node_original_indices(id))
                     {
                         let d2 = p.dist_sq(center);
                         if heap.len() < k {
@@ -249,10 +263,7 @@ impl KdTree {
                 }
             }
         }
-        let mut items: Vec<(u32, f64)> = heap
-            .into_iter()
-            .map(|h| (h.idx, h.d2.sqrt()))
-            .collect();
+        let mut items: Vec<(u32, f64)> = heap.into_iter().map(|h| (h.idx, h.d2.sqrt())).collect();
         items.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         items
     }
@@ -405,7 +416,11 @@ mod tests {
             (Point::new(0.0, 0.0), 200.0), // covers everything
             (Point::new(0.0, 0.0), 0.0),
         ] {
-            assert_eq!(t.range_count(&c, r), brute_count(&pts, &c, r), "c={c:?} r={r}");
+            assert_eq!(
+                t.range_count(&c, r),
+                brute_count(&pts, &c, r),
+                "c={c:?} r={r}"
+            );
         }
     }
 
@@ -492,7 +507,11 @@ mod tests {
         let want: Vec<u32> = (0..64).collect();
         assert_eq!(seen, want);
         // Reordered points still map back to their originals.
-        for (p, i) in t.node_points(root).iter().zip(t.node_original_indices(root)) {
+        for (p, i) in t
+            .node_points(root)
+            .iter()
+            .zip(t.node_original_indices(root))
+        {
             assert_eq!(*p, pts[*i as usize]);
         }
     }

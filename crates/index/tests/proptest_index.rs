@@ -2,7 +2,7 @@
 //! linear scan on arbitrary inputs.
 
 use lsga_core::Point;
-use lsga_index::{BallTree, GridIndex, KdTree, RangeTree, RTree};
+use lsga_index::{BallTree, GridIndex, KdTree, RTree, RangeTree};
 use proptest::prelude::*;
 
 fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<Point>> {

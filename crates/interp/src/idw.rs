@@ -4,29 +4,53 @@
 //! A query coinciding with a sample returns that sample's value exactly
 //! (the limit of the weights).
 
+use lsga_core::par::{par_map_rows, Threads};
 use lsga_core::{DensityGrid, GridSpec, Point};
 use lsga_index::{GridIndex, KdTree};
 
 /// Exact global IDW — the `O(X·Y·n)` baseline of \[20\].
 pub fn idw_naive(samples: &[(Point, f64)], spec: GridSpec, power: f64) -> DensityGrid {
+    idw_naive_threads(samples, spec, power, Threads::auto())
+}
+
+/// [`idw_naive`] with an explicit [`Threads`] config. Grid rows are
+/// computed in parallel; output is bit-identical for any thread count.
+pub fn idw_naive_threads(
+    samples: &[(Point, f64)],
+    spec: GridSpec,
+    power: f64,
+    threads: Threads,
+) -> DensityGrid {
     assert!(power > 0.0, "power must be positive");
     let mut grid = DensityGrid::zeros(spec);
     if samples.is_empty() {
         return grid;
     }
-    for iy in 0..spec.ny {
+    par_map_rows(grid.values_mut(), spec.nx, threads, |iy, row| {
         let qy = spec.row_y(iy);
-        for ix in 0..spec.nx {
+        for (ix, out) in row.iter_mut().enumerate() {
             let q = Point::new(spec.col_x(ix), qy);
-            grid.set(ix, iy, idw_at(samples.iter(), &q, power));
+            *out = idw_at(samples.iter(), &q, power);
         }
-    }
+    });
     grid
 }
 
 /// Local IDW over the `k` nearest samples (Shepard's local method) via a
 /// kd-tree: `O(X·Y·(k + log n))`.
 pub fn idw_knn(samples: &[(Point, f64)], spec: GridSpec, power: f64, k: usize) -> DensityGrid {
+    idw_knn_threads(samples, spec, power, k, Threads::auto())
+}
+
+/// [`idw_knn`] with an explicit [`Threads`] config. Grid rows are
+/// computed in parallel; output is bit-identical for any thread count.
+pub fn idw_knn_threads(
+    samples: &[(Point, f64)],
+    spec: GridSpec,
+    power: f64,
+    k: usize,
+    threads: Threads,
+) -> DensityGrid {
     assert!(power > 0.0, "power must be positive");
     assert!(k >= 1, "k must be at least 1");
     let mut grid = DensityGrid::zeros(spec);
@@ -35,19 +59,14 @@ pub fn idw_knn(samples: &[(Point, f64)], spec: GridSpec, power: f64, k: usize) -
     }
     let pts: Vec<Point> = samples.iter().map(|(p, _)| *p).collect();
     let tree = KdTree::build(&pts);
-    for iy in 0..spec.ny {
+    par_map_rows(grid.values_mut(), spec.nx, threads, |iy, row| {
         let qy = spec.row_y(iy);
-        for ix in 0..spec.nx {
+        for (ix, out) in row.iter_mut().enumerate() {
             let q = Point::new(spec.col_x(ix), qy);
             let nbrs = tree.knn(&q, k);
-            let v = idw_at(
-                nbrs.iter().map(|(i, _)| &samples[*i as usize]),
-                &q,
-                power,
-            );
-            grid.set(ix, iy, v);
+            *out = idw_at(nbrs.iter().map(|(i, _)| &samples[*i as usize]), &q, power);
         }
-    }
+    });
     grid
 }
 
@@ -60,6 +79,19 @@ pub fn idw_radius(
     power: f64,
     radius: f64,
 ) -> DensityGrid {
+    idw_radius_threads(samples, spec, power, radius, Threads::auto())
+}
+
+/// [`idw_radius`] with an explicit [`Threads`] config. Grid rows are
+/// computed in parallel, each with its own candidate scratch buffer;
+/// output is bit-identical for any thread count.
+pub fn idw_radius_threads(
+    samples: &[(Point, f64)],
+    spec: GridSpec,
+    power: f64,
+    radius: f64,
+    threads: Threads,
+) -> DensityGrid {
     assert!(power > 0.0, "power must be positive");
     assert!(radius > 0.0, "radius must be positive");
     let mut grid = DensityGrid::zeros(spec);
@@ -70,10 +102,10 @@ pub fn idw_radius(
     let index = GridIndex::build(&pts, radius);
     let tree = KdTree::build(&pts); // nearest-sample fallback
     let r2 = radius * radius;
-    let mut in_range: Vec<u32> = Vec::new();
-    for iy in 0..spec.ny {
+    par_map_rows(grid.values_mut(), spec.nx, threads, |iy, row| {
         let qy = spec.row_y(iy);
-        for ix in 0..spec.nx {
+        let mut in_range: Vec<u32> = Vec::new();
+        for (ix, out) in row.iter_mut().enumerate() {
             let q = Point::new(spec.col_x(ix), qy);
             in_range.clear();
             index.for_each_candidate(&q, radius, |i, p| {
@@ -81,25 +113,20 @@ pub fn idw_radius(
                     in_range.push(i);
                 }
             });
-            let v = if in_range.is_empty() {
+            *out = if in_range.is_empty() {
                 let nn = tree.knn(&q, 1);
                 samples[nn[0].0 as usize].1
             } else {
                 idw_at(in_range.iter().map(|i| &samples[*i as usize]), &q, power)
             };
-            grid.set(ix, iy, v);
         }
-    }
+    });
     grid
 }
 
 /// IDW estimate at one query from an iterator of samples. An exact
 /// positional hit short-circuits to the sample value.
-fn idw_at<'a>(
-    samples: impl Iterator<Item = &'a (Point, f64)>,
-    q: &Point,
-    power: f64,
-) -> f64 {
+fn idw_at<'a>(samples: impl Iterator<Item = &'a (Point, f64)>, q: &Point, power: f64) -> f64 {
     let mut num = 0.0;
     let mut den = 0.0;
     for (p, z) in samples {

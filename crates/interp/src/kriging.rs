@@ -9,6 +9,7 @@
 
 use crate::variogram::VariogramModel;
 use lsga_core::linalg::{solve, Matrix};
+use lsga_core::par::{par_map, Threads};
 use lsga_core::{DensityGrid, GridSpec, LsgaError, Point, Result};
 use lsga_index::KdTree;
 
@@ -31,6 +32,20 @@ pub fn ordinary_kriging(
     model: &VariogramModel,
     neighborhood: usize,
 ) -> Result<KrigingPrediction> {
+    ordinary_kriging_threads(samples, spec, model, neighborhood, Threads::auto())
+}
+
+/// [`ordinary_kriging`] with an explicit [`Threads`] config. Rows of
+/// per-pixel solves run in parallel; a singular system anywhere reports
+/// the error of the first failing row in row order, so both the surface
+/// and the error are bit-identical for any thread count.
+pub fn ordinary_kriging_threads(
+    samples: &[(Point, f64)],
+    spec: GridSpec,
+    model: &VariogramModel,
+    neighborhood: usize,
+    threads: Threads,
+) -> Result<KrigingPrediction> {
     if samples.is_empty() {
         return Err(LsgaError::EmptyDataset("kriging samples"));
     }
@@ -41,16 +56,20 @@ pub fn ordinary_kriging(
     let mut variance = DensityGrid::zeros(spec);
     let k = neighborhood.min(samples.len());
 
-    for iy in 0..spec.ny {
+    let pts_ref = &pts;
+    let tree_ref = &tree;
+    let rows: Vec<Result<(Vec<f64>, Vec<f64>)>> = par_map(spec.ny, 1, threads, |iy| {
         let qy = spec.row_y(iy);
+        let mut pred_row = vec![0.0; spec.nx];
+        let mut var_row = vec![0.0; spec.nx];
         for ix in 0..spec.nx {
             let q = Point::new(spec.col_x(ix), qy);
-            let nbrs = tree.knn(&q, k);
+            let nbrs = tree_ref.knn(&q, k);
             // Exact hit: prediction is the sample, variance the nugget.
             if let Some((i0, d0)) = nbrs.first() {
                 if *d0 == 0.0 {
-                    prediction.set(ix, iy, samples[*i0 as usize].1);
-                    variance.set(ix, iy, model.nugget);
+                    pred_row[ix] = samples[*i0 as usize].1;
+                    var_row[ix] = model.nugget;
                     continue;
                 }
             }
@@ -58,8 +77,8 @@ pub fn ordinary_kriging(
             if m == 1 {
                 // Single sample: OK weights degenerate to copying it.
                 let (i0, d0) = nbrs[0];
-                prediction.set(ix, iy, samples[i0 as usize].1);
-                variance.set(ix, iy, 2.0 * model.gamma(d0));
+                pred_row[ix] = samples[i0 as usize].1;
+                var_row[ix] = 2.0 * model.gamma(d0);
                 continue;
             }
             // Ordinary kriging system:
@@ -68,9 +87,9 @@ pub fn ordinary_kriging(
             let mut a = Matrix::zeros(m + 1, m + 1);
             let mut rhs = vec![0.0; m + 1];
             for r in 0..m {
-                let pr = pts[nbrs[r].0 as usize];
+                let pr = pts_ref[nbrs[r].0 as usize];
                 for c in 0..m {
-                    let pc = pts[nbrs[c].0 as usize];
+                    let pc = pts_ref[nbrs[c].0 as usize];
                     a.set(r, c, model.gamma(pr.dist(&pc)));
                 }
                 a.set(r, m, 1.0);
@@ -85,9 +104,15 @@ pub fn ordinary_kriging(
                 pred += sol[r] * samples[*idx as usize].1;
                 var += sol[r] * rhs[r];
             }
-            prediction.set(ix, iy, pred);
-            variance.set(ix, iy, var.max(0.0));
+            pred_row[ix] = pred;
+            var_row[ix] = var.max(0.0);
         }
+        Ok((pred_row, var_row))
+    });
+    for (iy, row) in rows.into_iter().enumerate() {
+        let (pred_row, var_row) = row?;
+        prediction.row_mut(iy).copy_from_slice(&pred_row);
+        variance.row_mut(iy).copy_from_slice(&var_row);
     }
     Ok(KrigingPrediction {
         prediction,
@@ -232,7 +257,10 @@ mod tests {
         let fitted = fit_variogram(&bins, VariogramModelKind::Exponential).unwrap();
         let out = ordinary_kriging(&samples, spec(), &fitted, 10).unwrap();
         // Predictions stay within a loose hull of the sample values.
-        let zmin = samples.iter().map(|(_, z)| *z).fold(f64::INFINITY, f64::min);
+        let zmin = samples
+            .iter()
+            .map(|(_, z)| *z)
+            .fold(f64::INFINITY, f64::min);
         let zmax = samples
             .iter()
             .map(|(_, z)| *z)

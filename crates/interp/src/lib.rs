@@ -19,6 +19,11 @@ pub mod idw;
 pub mod kriging;
 pub mod variogram;
 
-pub use idw::{idw_knn, idw_naive, idw_radius};
-pub use kriging::{leave_one_out_rmse, loo_kriging_rmse, ordinary_kriging, KrigingPrediction};
-pub use variogram::{fit_variogram, empirical_variogram, VariogramModel, VariogramModelKind};
+pub use idw::{
+    idw_knn, idw_knn_threads, idw_naive, idw_naive_threads, idw_radius, idw_radius_threads,
+};
+pub use kriging::{
+    leave_one_out_rmse, loo_kriging_rmse, ordinary_kriging, ordinary_kriging_threads,
+    KrigingPrediction,
+};
+pub use variogram::{empirical_variogram, fit_variogram, VariogramModel, VariogramModelKind};

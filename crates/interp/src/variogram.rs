@@ -139,10 +139,7 @@ pub fn fit_variogram(bins: &[VariogramBin], kind: VariogramModelKind) -> Option<
         }
         let det = a11 * a22 - a12 * a12;
         let (mut nugget, mut psill) = if det.abs() > 1e-12 {
-            (
-                (b1 * a22 - b2 * a12) / det,
-                (a11 * b2 - a12 * b1) / det,
-            )
+            ((b1 * a22 - b2 * a12) / det, (a11 * b2 - a12 * b1) / det)
         } else {
             (0.0, b2 / a22.max(1e-12))
         };

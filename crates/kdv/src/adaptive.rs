@@ -88,8 +88,12 @@ pub fn adaptive_kdv(
         let mass_scale = base_mass / kernel.integral_2d();
         let radius = kernel.effective_radius(crate::DEFAULT_TAIL_EPS);
         // Pixel rectangle overlapping this point's support.
-        let x0 = ((p.x - radius - spec.bbox.min_x) / spec.dx()).floor().max(0.0) as usize;
-        let y0 = ((p.y - radius - spec.bbox.min_y) / spec.dy()).floor().max(0.0) as usize;
+        let x0 = ((p.x - radius - spec.bbox.min_x) / spec.dx())
+            .floor()
+            .max(0.0) as usize;
+        let y0 = ((p.y - radius - spec.bbox.min_y) / spec.dy())
+            .floor()
+            .max(0.0) as usize;
         let x1 = (((p.x + radius - spec.bbox.min_x) / spec.dx()).ceil() as usize).min(spec.nx);
         let y1 = (((p.y + radius - spec.bbox.min_y) / spec.dy()).ceil() as usize).min(spec.ny);
         let r2 = radius * radius;

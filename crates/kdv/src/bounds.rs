@@ -63,7 +63,9 @@ impl BoundsKdv {
     /// is exact.
     pub fn density_at<K: Kernel>(&self, q: &Point, kernel: K, eps: f64) -> f64 {
         assert!(eps >= 0.0, "epsilon must be non-negative");
-        let Some(root) = self.tree.root() else { return 0.0 };
+        let Some(root) = self.tree.root() else {
+            return 0.0;
+        };
         let mut exact = 0.0f64; // contributions evaluated point-by-point
         let mut lb_sum = 0.0f64;
         let mut ub_sum = 0.0f64;

@@ -279,7 +279,10 @@ mod tests {
         );
         // On the event's own edge the two agree (no junction crossed).
         let (first0, _) = lixels.edge_range(EdgeId(0));
-        assert!((esd.values()[first0 as usize + 1] - simple.values()[first0 as usize + 1]).abs() < 1e-12);
+        assert!(
+            (esd.values()[first0 as usize + 1] - simple.values()[first0 as usize + 1]).abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -295,11 +298,7 @@ mod tests {
         let lengths: Vec<f64> = lixels.all().iter().map(|l| l.length()).collect();
         let mass = |events: &[EdgePosition]| -> f64 {
             let d = nkdv_equal_split(&net, &lixels, events, k);
-            d.values()
-                .iter()
-                .zip(&lengths)
-                .map(|(v, l)| v * l)
-                .sum()
+            d.values().iter().zip(&lengths).map(|(v, l)| v * l).sum()
         };
         // Both events are ≥ 0.8 from every dead end.
         let near_junction = mass(&[EdgePosition {
@@ -317,11 +316,7 @@ mod tests {
         // The simple estimator inflates mass near the junction instead.
         let simple_mass = |events: &[EdgePosition]| -> f64 {
             let d = crate::nkdv::nkdv_forward(&net, &lixels, events, k);
-            d.values()
-                .iter()
-                .zip(&lengths)
-                .map(|(v, l)| v * l)
-                .sum()
+            d.values().iter().zip(&lengths).map(|(v, l)| v * l).sum()
         };
         let sj = simple_mass(&[EdgePosition {
             edge: EdgeId(0),

@@ -51,16 +51,16 @@ pub mod slam;
 pub mod stkdv;
 
 pub use adaptive::{adaptive_bandwidths, adaptive_kdv};
-pub use binned::binned_gaussian_kdv;
+pub use binned::{binned_gaussian_kdv, binned_gaussian_kdv_threads};
 pub use bounds::BoundsKdv;
 pub use equal_split::nkdv_equal_split;
 pub use naive::{grid_pruned_kdv, naive_kdv};
 pub use nkdv::{nkdv_forward, nkdv_naive, NetworkDensity};
-pub use parallel::parallel_kdv;
-pub use safe::{safe_multi_bandwidth, independent_multi_bandwidth};
+pub use parallel::{parallel_kdv, parallel_kdv_threads};
+pub use safe::{independent_multi_bandwidth, safe_multi_bandwidth};
 pub use sampling::{sample_size_for_guarantee, sampling_kdv};
 pub use slam::slam_kdv;
-pub use stkdv::{stkdv_naive, stkdv_sweep};
+pub use stkdv::{stkdv_naive, stkdv_sweep, stkdv_sweep_threads};
 
 /// Default tail tolerance used when truncating infinite-support kernels:
 /// contributions below `DEFAULT_TAIL_EPS · K(0)` are dropped.

@@ -143,9 +143,7 @@ pub fn nkdv_forward<K: Kernel>(
         let round = ev_round as u32;
         let e = net.edge(ev.edge);
         engine.run(&[(e.u, ev.to_u()), (e.v, ev.to_v(net))], radius);
-        let scatter = |edge: EdgeId,
-                           values: &mut Vec<f64>,
-                           engine: &DijkstraEngine<'_>| {
+        let scatter = |edge: EdgeId, values: &mut Vec<f64>, engine: &DijkstraEngine<'_>| {
             let rec = net.edge(edge);
             let du = engine.dist(rec.u).unwrap_or(f64::INFINITY);
             let dv = engine.dist(rec.v).unwrap_or(f64::INFINITY);

@@ -3,12 +3,14 @@
 //! The paper's fourth solution family throws parallel hardware (threads,
 //! GPU, FPGA, clusters) at the pixel loop, which is embarrassingly
 //! parallel across pixels. This module is the single-machine thread
-//! representative: pixel rows are dealt round-robin to scoped worker
-//! threads, each running the grid-pruned exact evaluation against a
-//! shared immutable index. Output is bit-identical to
-//! [`crate::naive::grid_pruned_kdv`]. The *simulated-cluster* distributed
-//! version (with partitioning and halo accounting) lives in `lsga-dist`.
+//! representative: a thin wrapper over [`lsga_core::par`] — pixel rows
+//! are claimed dynamically by the shared scoped-thread pool, each
+//! running the grid-pruned exact evaluation against a shared immutable
+//! index. Output is bit-identical to [`crate::naive::grid_pruned_kdv`]
+//! for every thread count. The *simulated-cluster* distributed version
+//! (with partitioning and halo accounting) lives in `lsga-dist`.
 
+use lsga_core::par::{par_map_rows, Threads};
 use lsga_core::{DensityGrid, GridSpec, Kernel, Point};
 use lsga_index::GridIndex;
 
@@ -22,7 +24,18 @@ pub fn parallel_kdv<K: Kernel>(
     tail_eps: f64,
     n_threads: usize,
 ) -> DensityGrid {
-    let n_threads = n_threads.max(1);
+    parallel_kdv_threads(points, spec, kernel, tail_eps, Threads::exact(n_threads))
+}
+
+/// [`parallel_kdv`] with an explicit [`Threads`] config (use
+/// [`Threads::auto`] to respect `LSGA_THREADS` / the machine size).
+pub fn parallel_kdv_threads<K: Kernel>(
+    points: &[Point],
+    spec: GridSpec,
+    kernel: K,
+    tail_eps: f64,
+    threads: Threads,
+) -> DensityGrid {
     let mut grid = DensityGrid::zeros(spec);
     if points.is_empty() {
         return grid;
@@ -31,46 +44,23 @@ pub fn parallel_kdv<K: Kernel>(
     let index = GridIndex::build(points, radius.max(1e-12));
     let r2 = radius * radius;
 
-    // Deal rows round-robin: contiguous chunks would unbalance clustered
-    // data (hot rows cost more), round-robin spreads hotspots evenly.
+    // Rows are claimed dynamically: clustered data makes hot rows cost
+    // more, and the claim counter lets fast workers absorb the slack.
     let nx = spec.nx;
-    let mut row_bufs: Vec<(usize, Vec<f64>)> = Vec::with_capacity(spec.ny);
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n_threads);
-        for t in 0..n_threads {
-            let index = &index;
-            handles.push(scope.spawn(move |_| {
-                let mut mine: Vec<(usize, Vec<f64>)> = Vec::new();
-                let mut iy = t;
-                while iy < spec.ny {
-                    let qy = spec.row_y(iy);
-                    let mut row = vec![0.0f64; nx];
-                    for (ix, cell) in row.iter_mut().enumerate() {
-                        let q = Point::new(spec.col_x(ix), qy);
-                        let mut sum = 0.0;
-                        index.for_each_candidate(&q, radius, |_, p| {
-                            let d2 = q.dist_sq(p);
-                            if d2 <= r2 {
-                                sum += kernel.eval_sq(d2);
-                            }
-                        });
-                        *cell = sum;
-                    }
-                    mine.push((iy, row));
-                    iy += n_threads;
+    par_map_rows(grid.values_mut(), nx, threads, |iy, row| {
+        let qy = spec.row_y(iy);
+        for (ix, cell) in row.iter_mut().enumerate() {
+            let q = Point::new(spec.col_x(ix), qy);
+            let mut sum = 0.0;
+            index.for_each_candidate(&q, radius, |_, p| {
+                let d2 = q.dist_sq(p);
+                if d2 <= r2 {
+                    sum += kernel.eval_sq(d2);
                 }
-                mine
-            }));
+            });
+            *cell = sum;
         }
-        for h in handles {
-            row_bufs.extend(h.join().expect("kdv worker panicked"));
-        }
-    })
-    .expect("kdv thread scope failed");
-
-    for (iy, row) in row_bufs {
-        grid.row_mut(iy).copy_from_slice(&row);
-    }
+    });
     grid
 }
 

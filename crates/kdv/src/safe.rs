@@ -35,7 +35,10 @@ pub fn safe_multi_bandwidth(
     // Ascending bandwidth order, remembering input positions.
     let mut order: Vec<usize> = (0..bandwidths.len()).collect();
     order.sort_by(|a, b| bandwidths[*a].total_cmp(&bandwidths[*b]));
-    let sorted_b2: Vec<f64> = order.iter().map(|&i| bandwidths[i] * bandwidths[i]).collect();
+    let sorted_b2: Vec<f64> = order
+        .iter()
+        .map(|&i| bandwidths[i] * bandwidths[i])
+        .collect();
     let b_max = bandwidths[*order.last().unwrap()];
 
     let mut grids: Vec<DensityGrid> = (0..bandwidths.len())

@@ -44,10 +44,7 @@ pub fn sampling_kdv<K: Kernel>(
     }
     let m = sample_size.min(n);
     let mut rng = StdRng::seed_from_u64(seed);
-    let sample: Vec<Point> = points
-        .choose_multiple(&mut rng, m)
-        .copied()
-        .collect();
+    let sample: Vec<Point> = points.choose_multiple(&mut rng, m).copied().collect();
     let mut grid = crate::naive::grid_pruned_kdv(&sample, spec, kernel, crate::DEFAULT_TAIL_EPS);
     grid.scale(n as f64 / m as f64);
     grid

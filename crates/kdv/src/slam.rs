@@ -22,15 +22,15 @@ use lsga_core::{DensityGrid, GridSpec, Kernel, Point, PolyKernel};
 /// `s[j][m] = Σ pxʲ · dyᵐ` for the j/m combinations `S₄` needs.
 #[derive(Debug, Default, Clone, Copy)]
 struct Moments {
-    c: f64,    // Σ 1
-    sx: f64,   // Σ px
-    sx2: f64,  // Σ px²
-    sx3: f64,  // Σ px³
-    sx4: f64,  // Σ px⁴
-    sy2: f64,  // Σ dy²
-    sxy2: f64, // Σ px·dy²
+    c: f64,     // Σ 1
+    sx: f64,    // Σ px
+    sx2: f64,   // Σ px²
+    sx3: f64,   // Σ px³
+    sx4: f64,   // Σ px⁴
+    sy2: f64,   // Σ dy²
+    sxy2: f64,  // Σ px·dy²
     sx2y2: f64, // Σ px²·dy²
-    sy4: f64,  // Σ dy⁴
+    sy4: f64,   // Σ dy⁴
 }
 
 impl Moments {
@@ -159,7 +159,11 @@ mod tests {
     }
 
     fn spec_at(shift: f64) -> GridSpec {
-        GridSpec::new(BBox::new(shift, shift, shift + 100.0, shift + 100.0), 40, 40)
+        GridSpec::new(
+            BBox::new(shift, shift, shift + 100.0, shift + 100.0),
+            40,
+            40,
+        )
     }
 
     fn check_against_naive(kind: KernelKind, b: f64, n: usize, shift: f64, tol: f64) {

@@ -14,6 +14,7 @@
 //!   `O(1)` after its enter/leave events — `O(X·Y·(n_loc log n_loc + T))`
 //!   total, versus naive `O(X·Y·T·n_loc)`.
 
+use lsga_core::par::{par_map, Threads};
 use lsga_core::{GridSpec, Kernel, Point, PolyKernel, SpaceTimeGrid, TimedPoint};
 use lsga_index::GridIndex;
 
@@ -108,6 +109,35 @@ pub fn stkdv_sweep<KS: Kernel>(
     temporal: PolyKernel,
     tail_eps: f64,
 ) -> SpaceTimeGrid {
+    stkdv_sweep_threads(
+        points,
+        spec,
+        t_min,
+        t_max,
+        nt,
+        spatial,
+        temporal,
+        tail_eps,
+        Threads::auto(),
+    )
+}
+
+/// [`stkdv_sweep`] with an explicit [`Threads`] config. Spatial rows run
+/// in parallel — each produces its full `nt × nx` slab of slice values,
+/// written back into the time-major cube in row order — so the cube is
+/// bit-identical for any thread count.
+#[allow(clippy::too_many_arguments)] // mirrors the problem's parameters
+pub fn stkdv_sweep_threads<KS: Kernel>(
+    points: &[TimedPoint],
+    spec: GridSpec,
+    t_min: f64,
+    t_max: f64,
+    nt: usize,
+    spatial: KS,
+    temporal: PolyKernel,
+    tail_eps: f64,
+    threads: Threads,
+) -> SpaceTimeGrid {
     let mut grid = SpaceTimeGrid::zeros(spec, t_min, t_max, nt);
     if points.is_empty() {
         return grid;
@@ -122,19 +152,23 @@ pub fn stkdv_sweep<KS: Kernel>(
     let planar: Vec<Point> = points.iter().map(|p| p.point).collect();
     let index = GridIndex::build(&planar, rs.max(1e-12));
     let times: Vec<f64> = (0..nt).map(|it| grid.time(it) - t0).collect();
+    let index_ref = &index;
+    let times_ref = &times;
 
-    // Per-pixel candidate buffer: (weight = K_s, shifted time).
-    let mut cands: Vec<(f64, f64)> = Vec::new();
-    // Event lists: (event time, weight, point time), sorted.
-    let mut enters: Vec<(f64, f64, f64)> = Vec::new();
-    let mut exits: Vec<(f64, f64, f64)> = Vec::new();
-
-    for iy in 0..spec.ny {
+    // One spatial row per task: slab[it * nx + ix] holds the row's value
+    // in slice it.
+    let slabs: Vec<Vec<f64>> = par_map(spec.ny, 1, threads, |iy| {
+        let mut slab = vec![0.0f64; nt * spec.nx];
+        // Per-pixel candidate buffer: (weight = K_s, shifted time).
+        let mut cands: Vec<(f64, f64)> = Vec::new();
+        // Event lists: (event time, weight, point time), sorted.
+        let mut enters: Vec<(f64, f64, f64)> = Vec::new();
+        let mut exits: Vec<(f64, f64, f64)> = Vec::new();
         let qy = spec.row_y(iy);
         for ix in 0..spec.nx {
             let q = Point::new(spec.col_x(ix), qy);
             cands.clear();
-            index.for_each_candidate(&q, rs, |i, p| {
+            index_ref.for_each_candidate(&q, rs, |i, p| {
                 let d2 = q.dist_sq(p);
                 if d2 <= rs2 {
                     let w = spatial.eval_sq(d2);
@@ -158,7 +192,7 @@ pub fn stkdv_sweep<KS: Kernel>(
             let mut m = TMoments::default();
             let mut ei = 0usize;
             let mut xi = 0usize;
-            for (it, &tau) in times.iter().enumerate() {
+            for (it, &tau) in times_ref.iter().enumerate() {
                 while ei < enters.len() && enters[ei].0 <= tau {
                     let (_, w, t) = enters[ei];
                     m.apply(w, t, 1.0);
@@ -170,6 +204,17 @@ pub fn stkdv_sweep<KS: Kernel>(
                     xi += 1;
                 }
                 let v = m.eval(tau, coeffs);
+                if v != 0.0 {
+                    slab[it * spec.nx + ix] = v;
+                }
+            }
+        }
+        slab
+    });
+    for (iy, slab) in slabs.into_iter().enumerate() {
+        for it in 0..nt {
+            for ix in 0..spec.nx {
+                let v = slab[it * spec.nx + ix];
                 if v != 0.0 {
                     grid.set(ix, iy, it, v);
                 }
@@ -188,7 +233,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let f = i as f64;
-                let (cx, ct) = if i % 2 == 0 { (30.0, 10.0) } else { (70.0, 40.0) };
+                let (cx, ct) = if i % 2 == 0 {
+                    (30.0, 10.0)
+                } else {
+                    (70.0, 40.0)
+                };
                 TimedPoint::new(
                     cx + (f * 0.831).sin() * 8.0,
                     50.0 + (f * 0.557).cos() * 8.0,
@@ -239,10 +288,7 @@ mod tests {
         // Early slice (t≈10): hotspot near x = 30; late (t≈40): near 70.
         let early = grid.slice(2).hotspot(); // slice centre t = 12.5
         let late = grid.slice(7).hotspot(); // t = 37.5
-        assert!(
-            (early.x - 30.0).abs() < 12.0,
-            "early hotspot at {early:?}"
-        );
+        assert!((early.x - 30.0).abs() < 12.0, "early hotspot at {early:?}");
         assert!((late.x - 70.0).abs() < 12.0, "late hotspot at {late:?}");
     }
 
@@ -251,7 +297,10 @@ mod tests {
         let ks = Epanechnikov::new(10.0);
         let kt = PolyKernel::new(KernelKind::Uniform, 5.0).unwrap();
         let g = stkdv_sweep(&[], spec(), 0.0, 10.0, 4, ks, kt, 1e-9);
-        assert_eq!(g.linf_diff(&SpaceTimeGrid::zeros(spec(), 0.0, 10.0, 4)), 0.0);
+        assert_eq!(
+            g.linf_diff(&SpaceTimeGrid::zeros(spec(), 0.0, 10.0, 4)),
+            0.0
+        );
     }
 
     #[test]

@@ -17,8 +17,10 @@
 //!   raw counts down). The corrected estimate rescales by the retained
 //!   fraction, making `K̂(s)` comparable to the CSR theory `π s²`.
 
-use crate::range_query::histogram_k_all;
+use crate::parallel::POINT_CHUNK;
+use crate::range_query::histogram_k_all_threads;
 use crate::KConfig;
+use lsga_core::par::{par_reduce, Threads};
 use lsga_core::{BBox, Point};
 use lsga_index::GridIndex;
 use rand::rngs::StdRng;
@@ -40,6 +42,20 @@ pub fn sampled_k(
     seed: u64,
     cfg: KConfig,
 ) -> Vec<f64> {
+    sampled_k_threads(points, thresholds, sample_size, seed, cfg, Threads::auto())
+}
+
+/// [`sampled_k`] with an explicit [`Threads`] config. The subsample draw
+/// is sequential (one RNG stream); the histogram pass over it is
+/// parallel and identical for any thread count.
+pub fn sampled_k_threads(
+    points: &[Point],
+    thresholds: &[f64],
+    sample_size: usize,
+    seed: u64,
+    cfg: KConfig,
+    threads: Threads,
+) -> Vec<f64> {
     let n = points.len();
     if n < 2 || sample_size < 2 || thresholds.is_empty() {
         let self_term = if cfg.include_self { n as f64 } else { 0.0 };
@@ -48,16 +64,19 @@ pub fn sampled_k(
     let m = sample_size.min(n);
     let mut rng = StdRng::seed_from_u64(seed);
     let sample: Vec<Point> = points.choose_multiple(&mut rng, m).copied().collect();
-    let raw = histogram_k_all(
+    let raw = histogram_k_all_threads(
         &sample,
         thresholds,
         KConfig {
             include_self: false,
         },
+        threads,
     );
     let scale = (n as f64 * (n as f64 - 1.0)) / (m as f64 * (m as f64 - 1.0));
     let self_term = if cfg.include_self { n as f64 } else { 0.0 };
-    raw.into_iter().map(|k| k as f64 * scale + self_term).collect()
+    raw.into_iter()
+        .map(|k| k as f64 * scale + self_term)
+        .collect()
 }
 
 /// Border-corrected Ripley's K: for each threshold `s`, count pairs
@@ -69,10 +88,19 @@ pub fn sampled_k(
 /// approximation of the intensity by `n/A`), unlike the raw count which
 /// loses the out-of-window disc area. Returns `(K̂(s), retained
 /// sources)` per threshold.
-pub fn border_corrected_k(
+pub fn border_corrected_k(points: &[Point], window: BBox, thresholds: &[f64]) -> Vec<(f64, usize)> {
+    border_corrected_k_threads(points, window, thresholds, Threads::auto())
+}
+
+/// [`border_corrected_k`] with an explicit [`Threads`] config. For each
+/// threshold the source sweep runs over parallel point chunks whose
+/// integer (pair count, interior count) partials are summed in chunk
+/// order, so the result is bit-identical for any thread count.
+pub fn border_corrected_k_threads(
     points: &[Point],
     window: BBox,
     thresholds: &[f64],
+    threads: Threads,
 ) -> Vec<(f64, usize)> {
     let n = points.len();
     if n == 0 || thresholds.is_empty() {
@@ -82,22 +110,34 @@ pub fn border_corrected_k(
     let index = GridIndex::build(points, s_max.max(1e-12));
     let area = window.area();
     let intensity_inv = area / n as f64; // A / n
+    let index_ref = &index;
     thresholds
         .iter()
         .map(|&s| {
-            let mut pair_count = 0u64;
-            let mut interior = 0usize;
-            for p in points {
-                let border_dist = (p.x - window.min_x)
-                    .min(window.max_x - p.x)
-                    .min(p.y - window.min_y)
-                    .min(window.max_y - p.y);
-                if border_dist < s {
-                    continue;
-                }
-                interior += 1;
-                pair_count += (index.count_within(p, s) - 1) as u64; // drop self
-            }
+            let (pair_count, interior) = par_reduce(
+                n,
+                POINT_CHUNK,
+                threads,
+                (0u64, 0usize),
+                |range| {
+                    let mut pairs = 0u64;
+                    let mut inner = 0usize;
+                    for i in range {
+                        let p = &points[i];
+                        let border_dist = (p.x - window.min_x)
+                            .min(window.max_x - p.x)
+                            .min(p.y - window.min_y)
+                            .min(window.max_y - p.y);
+                        if border_dist < s {
+                            continue;
+                        }
+                        inner += 1;
+                        pairs += (index_ref.count_within(p, s) - 1) as u64; // drop self
+                    }
+                    (pairs, inner)
+                },
+                |acc, part| (acc.0 + part.0, acc.1 + part.1),
+            );
             if interior == 0 {
                 return (f64::NAN, 0);
             }
@@ -177,7 +217,15 @@ mod tests {
     fn include_self_uses_full_n() {
         let pts = scatter(100);
         let a = sampled_k(&pts, &[10.0], 50, 1, KConfig { include_self: true });
-        let b = sampled_k(&pts, &[10.0], 50, 1, KConfig { include_self: false });
+        let b = sampled_k(
+            &pts,
+            &[10.0],
+            50,
+            1,
+            KConfig {
+                include_self: false,
+            },
+        );
         assert_eq!(a[0], b[0] + 100.0);
     }
 

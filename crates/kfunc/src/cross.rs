@@ -8,7 +8,10 @@
 //! sets, reshuffle the type labels, recompute; observed counts above
 //! the envelope mean the types attract, below that they repel.
 
+use crate::parallel::POINT_CHUNK;
 use crate::KConfig;
+use lsga_core::par::{par_map, par_reduce, Threads};
+use lsga_core::util::mix_seed;
 use lsga_core::Point;
 use lsga_index::GridIndex;
 use rand::rngs::StdRng;
@@ -19,6 +22,13 @@ use rand::SeedableRng;
 /// Counts are directed `P₁ → P₂` pairs; the statistic is symmetric in
 /// the two sets (`K₁₂ = K₂₁` in counts).
 pub fn cross_k(a: &[Point], b: &[Point], thresholds: &[f64]) -> Vec<u64> {
+    cross_k_threads(a, b, thresholds, Threads::auto())
+}
+
+/// [`cross_k`] with an explicit [`Threads`] config. Source points of
+/// `a` sweep in parallel chunks; the integer per-chunk histograms are
+/// summed in chunk order, so counts are identical for any thread count.
+pub fn cross_k_threads(a: &[Point], b: &[Point], thresholds: &[f64], threads: Threads) -> Vec<u64> {
     if a.is_empty() || b.is_empty() || thresholds.is_empty() {
         return vec![0; thresholds.len()];
     }
@@ -29,18 +39,35 @@ pub fn cross_k(a: &[Point], b: &[Point], thresholds: &[f64]) -> Vec<u64> {
     let s_max2 = s_max * s_max;
 
     let index = GridIndex::build(b, s_max.max(1e-12));
-    let mut hist = vec![0u64; sorted.len()];
-    for p in a {
-        index.for_each_candidate(p, s_max, |_, q| {
-            let d2 = p.dist_sq(q);
-            if d2 <= s_max2 {
-                let bucket = sorted.partition_point(|t| *t < d2.sqrt());
-                if bucket < hist.len() {
-                    hist[bucket] += 1;
-                }
+    let sorted_ref = &sorted;
+    let index_ref = &index;
+    let hist = par_reduce(
+        a.len(),
+        POINT_CHUNK,
+        threads,
+        vec![0u64; sorted.len()],
+        |range| {
+            let mut local = vec![0u64; sorted_ref.len()];
+            for p in &a[range] {
+                index_ref.for_each_candidate(p, s_max, |_, q| {
+                    let d2 = p.dist_sq(q);
+                    if d2 <= s_max2 {
+                        let bucket = sorted_ref.partition_point(|t| *t < d2.sqrt());
+                        if bucket < local.len() {
+                            local[bucket] += 1;
+                        }
+                    }
+                });
             }
-        });
-    }
+            local
+        },
+        |mut acc, part| {
+            for (x, y) in acc.iter_mut().zip(&part) {
+                *x += y;
+            }
+            acc
+        },
+    );
     let mut out = vec![0u64; thresholds.len()];
     let mut acc = 0u64;
     for (rank, &pos) in order.iter().enumerate() {
@@ -92,20 +119,42 @@ pub fn cross_k_plot(
     thresholds: &[f64],
     n_sims: usize,
     seed: u64,
+    cfg: KConfig,
+) -> CrossKPlot {
+    cross_k_plot_threads(a, b, thresholds, n_sims, seed, cfg, Threads::auto())
+}
+
+/// [`cross_k_plot`] with an explicit [`Threads`] config. Each relabelling
+/// simulation draws its shuffle from its own `(seed, sim)` RNG stream,
+/// so the simulations run in parallel with bit-identical envelopes for
+/// any thread count.
+#[allow(clippy::too_many_arguments)] // mirrors the univariate plot signature
+pub fn cross_k_plot_threads(
+    a: &[Point],
+    b: &[Point],
+    thresholds: &[f64],
+    n_sims: usize,
+    seed: u64,
     _cfg: KConfig,
+    threads: Threads,
 ) -> CrossKPlot {
     assert!(n_sims >= 1, "need at least one simulation");
-    let observed = cross_k(a, b, thresholds);
+    let observed = cross_k_threads(a, b, thresholds, threads);
     let mut pooled: Vec<Point> = Vec::with_capacity(a.len() + b.len());
     pooled.extend_from_slice(a);
     pooled.extend_from_slice(b);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let pooled_ref = &pooled;
+    let sims: Vec<Vec<u64>> = par_map(n_sims, 1, threads, |sim| {
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, sim as u64));
+        let mut relabelled = pooled_ref.clone();
+        relabelled.shuffle(&mut rng);
+        let (ra, rb) = relabelled.split_at(a.len());
+        // The simulations already occupy the pool: count sequentially.
+        cross_k_threads(ra, rb, thresholds, Threads::exact(1))
+    });
     let mut lower = vec![u64::MAX; thresholds.len()];
     let mut upper = vec![0u64; thresholds.len()];
-    for _ in 0..n_sims {
-        pooled.shuffle(&mut rng);
-        let (ra, rb) = pooled.split_at(a.len());
-        let ks = cross_k(ra, rb, thresholds);
+    for ks in &sims {
         for (i, v) in ks.iter().enumerate() {
             lower[i] = lower[i].min(*v);
             upper[i] = upper[i].max(*v);

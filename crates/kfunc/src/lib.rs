@@ -44,15 +44,19 @@ pub mod plot;
 pub mod range_query;
 pub mod spatiotemporal;
 
-pub use approx::{border_corrected_k, sampled_k};
-pub use cross::{cross_k, cross_k_plot, CrossKPlot};
+pub use approx::{border_corrected_k, border_corrected_k_threads, sampled_k, sampled_k_threads};
+pub use cross::{cross_k, cross_k_plot, cross_k_plot_threads, cross_k_threads, CrossKPlot};
 pub use naive::naive_k;
 pub use network::{network_k_naive, network_k_plot, network_k_shared, NetworkKPlot};
-pub use parallel::parallel_k;
+pub use parallel::{parallel_k, parallel_k_threads};
 pub use pcf::{pair_correlation, PcfBin};
 pub use plot::{k_function_plot, KFunctionPlot, Regime};
-pub use range_query::{ball_tree_k, grid_k, histogram_k_all, kd_tree_k, rtree_k};
-pub use spatiotemporal::{st_k_grid, st_k_naive, st_k_plot, StKPlot};
+pub use range_query::{
+    ball_tree_k, grid_k, histogram_k_all, histogram_k_all_threads, kd_tree_k, rtree_k,
+};
+pub use spatiotemporal::{
+    st_k_grid, st_k_grid_threads, st_k_naive, st_k_plot, st_k_plot_threads, StKPlot,
+};
 
 /// Pair-counting convention (see the crate docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -109,12 +109,7 @@ pub fn network_k_shared(
         .iter()
         .map(|ev| {
             let e = net.edge(ev.edge);
-            (
-                slot_of[&e.u],
-                slot_of[&e.v],
-                ev.to_u(),
-                ev.to_v(net),
-            )
+            (slot_of[&e.u], slot_of[&e.v], ev.to_u(), ev.to_v(net))
         })
         .collect();
 

@@ -8,36 +8,41 @@
 //! accounting lives in `lsga-dist`.
 
 use crate::KConfig;
+use lsga_core::par::{par_reduce, Threads};
 use lsga_core::Point;
 use lsga_index::GridIndex;
+
+/// Query points handled per work-stealing claim: large enough to
+/// amortize scheduling, small enough to balance clustered data.
+pub(crate) const POINT_CHUNK: usize = 1024;
 
 /// Parallel K-function over `n_threads` workers; identical output to
 /// [`crate::range_query::grid_k`].
 pub fn parallel_k(points: &[Point], s: f64, cfg: KConfig, n_threads: usize) -> u64 {
+    parallel_k_threads(points, s, cfg, Threads::exact(n_threads))
+}
+
+/// [`parallel_k`] with an explicit [`Threads`] config (use
+/// [`Threads::auto`] to respect `LSGA_THREADS` / the machine size).
+pub fn parallel_k_threads(points: &[Point], s: f64, cfg: KConfig, threads: Threads) -> u64 {
     if points.is_empty() {
         return 0;
     }
-    let n_threads = n_threads.max(1);
     let index = GridIndex::build(points, s.max(1e-12));
-    let chunk = points.len().div_ceil(n_threads);
-    let mut total = 0u64;
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for block in points.chunks(chunk) {
-            let index = &index;
-            handles.push(scope.spawn(move |_| {
-                let mut local = 0u64;
-                for p in block {
-                    local += index.count_within(p, s) as u64;
-                }
-                local
-            }));
-        }
-        for h in handles {
-            total += h.join().expect("k-function worker panicked");
-        }
-    })
-    .expect("k-function thread scope failed");
+    let total = par_reduce(
+        points.len(),
+        POINT_CHUNK,
+        threads,
+        0u64,
+        |range| {
+            let mut local = 0u64;
+            for p in &points[range] {
+                local += index.count_within(p, s) as u64;
+            }
+            local
+        },
+        |acc, part| acc + part,
+    );
     if cfg.include_self {
         total
     } else {

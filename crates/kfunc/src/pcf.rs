@@ -27,12 +27,7 @@ pub struct PcfBin {
 /// rings up to `max_r`, for points observed in `window` (used for the
 /// intensity normalization; no edge correction — expect a mild downward
 /// bias within `max_r` of the boundary, as with the raw K).
-pub fn pair_correlation(
-    points: &[Point],
-    window: BBox,
-    max_r: f64,
-    n_bins: usize,
-) -> Vec<PcfBin> {
+pub fn pair_correlation(points: &[Point], window: BBox, max_r: f64, n_bins: usize) -> Vec<PcfBin> {
     assert!(max_r > 0.0, "max_r must be positive");
     assert!(n_bins >= 1, "need at least one bin");
     let n = points.len();

@@ -3,8 +3,9 @@
 //! simulations, with a clustered / random / dispersed verdict per
 //! threshold.
 
-use crate::range_query::histogram_k_all;
+use crate::range_query::{histogram_k_all, histogram_k_all_threads};
 use crate::KConfig;
+use lsga_core::par::{par_map, Threads};
 use lsga_core::BBox;
 use lsga_data::uniform_points;
 
@@ -93,29 +94,14 @@ pub fn k_function_plot(
     assert!(!thresholds.is_empty(), "need at least one threshold");
     let observed = histogram_k_all(points, thresholds, cfg);
     let n = points.len();
-    let n_threads = n_threads.max(1);
 
-    // Each simulation: generate CSR of size n, evaluate all thresholds.
-    let mut sim_results: Vec<Vec<u64>> = Vec::with_capacity(n_sims);
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..n_threads {
-            handles.push(scope.spawn(move |_| {
-                let mut mine = Vec::new();
-                let mut sim = t;
-                while sim < n_sims {
-                    let r = uniform_points(n, window, seed.wrapping_add(sim as u64));
-                    mine.push(histogram_k_all(&r, thresholds, cfg));
-                    sim += n_threads;
-                }
-                mine
-            }));
-        }
-        for h in handles {
-            sim_results.extend(h.join().expect("simulation worker panicked"));
-        }
-    })
-    .expect("simulation scope failed");
+    // Each simulation is independently seeded (`seed + sim`), so results
+    // do not depend on which worker runs which simulation.
+    let sim_results: Vec<Vec<u64>> = par_map(n_sims, 1, Threads::exact(n_threads), |sim| {
+        let r = uniform_points(n, window, seed.wrapping_add(sim as u64));
+        // The simulations already occupy the pool: count sequentially.
+        histogram_k_all_threads(&r, thresholds, cfg, Threads::exact(1))
+    });
 
     let d = thresholds.len();
     let mut lower = vec![u64::MAX; d];
@@ -137,8 +123,8 @@ pub fn k_function_plot(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsga_data::{gaussian_mixture, hardcore_points, Hotspot};
     use lsga_core::Point;
+    use lsga_data::{gaussian_mixture, hardcore_points, Hotspot};
 
     fn window() -> BBox {
         BBox::new(0.0, 0.0, 100.0, 100.0)
@@ -163,15 +149,7 @@ mod tests {
             },
         ];
         let pts = gaussian_mixture(400, &hs, window(), 5);
-        let plot = k_function_plot(
-            &pts,
-            window(),
-            &thresholds(),
-            20,
-            99,
-            KConfig::default(),
-            4,
-        );
+        let plot = k_function_plot(&pts, window(), &thresholds(), 20, 99, KConfig::default(), 4);
         let regimes = plot.regimes();
         // At small-to-medium scales the clustering must be detected.
         assert!(
@@ -206,15 +184,7 @@ mod tests {
     fn dispersed_data_falls_below_envelope() {
         let pts = hardcore_points(350, 4.5, window(), 7);
         assert!(pts.len() > 300);
-        let plot = k_function_plot(
-            &pts,
-            window(),
-            &thresholds(),
-            20,
-            55,
-            KConfig::default(),
-            4,
-        );
+        let plot = k_function_plot(&pts, window(), &thresholds(), 20, 55, KConfig::default(), 4);
         let regimes = plot.regimes();
         // Below the hard-core distance the observed K is ~0 while CSR
         // envelopes are positive.
@@ -248,7 +218,15 @@ mod tests {
             window(),
             3,
         );
-        let plot = k_function_plot(&clustered, window(), &thresholds, 5, 2, KConfig::default(), 2);
+        let plot = k_function_plot(
+            &clustered,
+            window(),
+            &thresholds,
+            5,
+            2,
+            KConfig::default(),
+            2,
+        );
         for l in plot.l_curve(2000, window().area()) {
             assert!(l > 3.0, "clustered L-s = {l}");
         }

@@ -7,7 +7,9 @@
 //! K-function plot in one pass** — the computational sharing that makes
 //! Definition 3's `(L+1) × D` evaluations tractable.
 
+use crate::parallel::POINT_CHUNK;
 use crate::KConfig;
+use lsga_core::par::{par_reduce, Threads};
 use lsga_core::Point;
 use lsga_index::{BallTree, GridIndex, KdTree, RTree};
 
@@ -73,6 +75,19 @@ fn finish_ordered_count(raw: u64, n: usize, cfg: KConfig) -> u64 {
 /// yields all `D` values — `O(pairs(s_max) + D)` instead of
 /// `O(D · pairs(s_max))`.
 pub fn histogram_k_all(points: &[Point], thresholds: &[f64], cfg: KConfig) -> Vec<u64> {
+    histogram_k_all_threads(points, thresholds, cfg, Threads::auto())
+}
+
+/// [`histogram_k_all`] with an explicit [`Threads`] config. The pair
+/// sweep runs over parallel source-point chunks whose per-chunk
+/// histograms are summed in chunk order — integer counts, so the result
+/// is identical for any thread count.
+pub fn histogram_k_all_threads(
+    points: &[Point],
+    thresholds: &[f64],
+    cfg: KConfig,
+    threads: Threads,
+) -> Vec<u64> {
     if thresholds.is_empty() {
         return Vec::new();
     }
@@ -90,23 +105,41 @@ pub fn histogram_k_all(points: &[Point], thresholds: &[f64], cfg: KConfig) -> Ve
     let s_max2 = s_max * s_max;
 
     // Histogram over "first threshold covering this pair distance".
-    let mut hist = vec![0u64; sorted.len()];
     let index = GridIndex::build(points, s_max.max(1e-12));
-    for (i, p) in points.iter().enumerate() {
-        index.for_each_candidate(p, s_max, |j, q| {
-            // Each unordered pair once: require j > i.
-            if (j as usize) > i {
-                let d2 = p.dist_sq(q);
-                if d2 <= s_max2 {
-                    let d = d2.sqrt();
-                    let bucket = sorted.partition_point(|t| *t < d);
-                    if bucket < hist.len() {
-                        hist[bucket] += 2; // ordered pairs
+    let sorted_ref = &sorted;
+    let index_ref = &index;
+    let hist = par_reduce(
+        n,
+        POINT_CHUNK,
+        threads,
+        vec![0u64; sorted.len()],
+        |range| {
+            let mut local = vec![0u64; sorted_ref.len()];
+            for i in range {
+                let p = &points[i];
+                index_ref.for_each_candidate(p, s_max, |j, q| {
+                    // Each unordered pair once: require j > i.
+                    if (j as usize) > i {
+                        let d2 = p.dist_sq(q);
+                        if d2 <= s_max2 {
+                            let d = d2.sqrt();
+                            let bucket = sorted_ref.partition_point(|t| *t < d);
+                            if bucket < local.len() {
+                                local[bucket] += 2; // ordered pairs
+                            }
+                        }
                     }
-                }
+                });
             }
-        });
-    }
+            local
+        },
+        |mut acc, part| {
+            for (a, p) in acc.iter_mut().zip(&part) {
+                *a += p;
+            }
+            acc
+        },
+    );
     // Cumulate and un-permute.
     let mut out = vec![0u64; thresholds.len()];
     let mut acc = self_term;

@@ -8,7 +8,9 @@
 //! 2-D histogram evaluation matters: one pass over the spatially-close
 //! pairs fills the whole surface.
 
+use crate::parallel::POINT_CHUNK;
 use crate::KConfig;
+use lsga_core::par::{par_map, par_reduce, Threads};
 use lsga_core::{BBox, TimedPoint};
 use lsga_data::uniform_timed_points;
 use lsga_index::GridIndex;
@@ -58,6 +60,20 @@ pub fn st_k_grid(
     t_thresholds: &[f64],
     cfg: KConfig,
 ) -> Vec<u64> {
+    st_k_grid_threads(points, s_thresholds, t_thresholds, cfg, Threads::auto())
+}
+
+/// [`st_k_grid`] with an explicit [`Threads`] config. The pair sweep
+/// runs over parallel source-point chunks whose integer 2-D histograms
+/// are summed in chunk order, so the surface is identical for any
+/// thread count.
+pub fn st_k_grid_threads(
+    points: &[TimedPoint],
+    s_thresholds: &[f64],
+    t_thresholds: &[f64],
+    cfg: KConfig,
+    threads: Threads,
+) -> Vec<u64> {
     let m = s_thresholds.len();
     let t = t_thresholds.len();
     if m == 0 || t == 0 {
@@ -78,24 +94,43 @@ pub fn st_k_grid(
     let index = GridIndex::build(&planar, s_max.max(1e-12));
     // hist[a][b]: pairs whose first covering s-threshold is a and first
     // covering t-threshold is b (in sorted rank space).
-    let mut hist = vec![0u64; m * t];
-    for (i, p) in points.iter().enumerate() {
-        index.for_each_candidate(&p.point, s_max, |j, q_pt| {
-            if (j as usize) > i {
-                let d2 = p.point.dist_sq(q_pt);
-                if d2 <= s_max2 {
-                    let dt = (p.t - points[j as usize].t).abs();
-                    if dt <= t_max {
-                        let sa = s_sorted.partition_point(|v| *v < d2.sqrt());
-                        let tb = t_sorted.partition_point(|v| *v < dt);
-                        if sa < m && tb < t {
-                            hist[sa * t + tb] += 2;
+    let s_sorted_ref = &s_sorted;
+    let t_sorted_ref = &t_sorted;
+    let index_ref = &index;
+    let hist = par_reduce(
+        n,
+        POINT_CHUNK,
+        threads,
+        vec![0u64; m * t],
+        |range| {
+            let mut local = vec![0u64; m * t];
+            for i in range {
+                let p = &points[i];
+                index_ref.for_each_candidate(&p.point, s_max, |j, q_pt| {
+                    if (j as usize) > i {
+                        let d2 = p.point.dist_sq(q_pt);
+                        if d2 <= s_max2 {
+                            let dt = (p.t - points[j as usize].t).abs();
+                            if dt <= t_max {
+                                let sa = s_sorted_ref.partition_point(|v| *v < d2.sqrt());
+                                let tb = t_sorted_ref.partition_point(|v| *v < dt);
+                                if sa < m && tb < t {
+                                    local[sa * t + tb] += 2;
+                                }
+                            }
                         }
                     }
-                }
+                });
             }
-        });
-    }
+            local
+        },
+        |mut acc, part| {
+            for (x, y) in acc.iter_mut().zip(&part) {
+                *x += y;
+            }
+            acc
+        },
+    );
     // 2-D cumulative sum in sorted rank space.
     let mut cum = hist;
     for a in 0..m {
@@ -168,12 +203,40 @@ pub fn st_k_plot(
     seed: u64,
     cfg: KConfig,
 ) -> StKPlot {
+    st_k_plot_threads(
+        points,
+        window,
+        t_min,
+        t_max,
+        s_thresholds,
+        t_thresholds,
+        n_sims,
+        seed,
+        cfg,
+        Threads::auto(),
+    )
+}
+
+/// [`st_k_plot`] with an explicit [`Threads`] config. Each simulation
+/// is independently seeded (`seed + sim`), so the simulations run in
+/// parallel with bit-identical envelopes for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn st_k_plot_threads(
+    points: &[TimedPoint],
+    window: BBox,
+    t_min: f64,
+    t_max: f64,
+    s_thresholds: &[f64],
+    t_thresholds: &[f64],
+    n_sims: usize,
+    seed: u64,
+    cfg: KConfig,
+    threads: Threads,
+) -> StKPlot {
     assert!(n_sims >= 1);
-    let observed = st_k_grid(points, s_thresholds, t_thresholds, cfg);
+    let observed = st_k_grid_threads(points, s_thresholds, t_thresholds, cfg, threads);
     let cells = observed.len();
-    let mut lower = vec![u64::MAX; cells];
-    let mut upper = vec![0u64; cells];
-    for sim in 0..n_sims {
+    let sims: Vec<Vec<u64>> = par_map(n_sims, 1, threads, |sim| {
         let r = uniform_timed_points(
             points.len(),
             window,
@@ -181,7 +244,12 @@ pub fn st_k_plot(
             t_max,
             seed.wrapping_add(sim as u64),
         );
-        let ks = st_k_grid(&r, s_thresholds, t_thresholds, cfg);
+        // The simulations already occupy the pool: count sequentially.
+        st_k_grid_threads(&r, s_thresholds, t_thresholds, cfg, Threads::exact(1))
+    });
+    let mut lower = vec![u64::MAX; cells];
+    let mut upper = vec![0u64; cells];
+    for ks in &sims {
         for (i, v) in ks.iter().enumerate() {
             lower[i] = lower[i].min(*v);
             upper[i] = upper[i].max(*v);

@@ -304,7 +304,9 @@ fn cmd_kfunc(flags: &Flags) -> Result<(), String> {
     if max_s <= 0.0 || steps == 0 || sims == 0 {
         return Err("--max-s, --steps and --sims must be positive".into());
     }
-    let thresholds: Vec<f64> = (1..=steps).map(|i| max_s * i as f64 / steps as f64).collect();
+    let thresholds: Vec<f64> = (1..=steps)
+        .map(|i| max_s * i as f64 / steps as f64)
+        .collect();
     let plot = kfunc::k_function_plot(
         &points,
         window,

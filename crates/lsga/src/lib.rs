@@ -44,30 +44,30 @@
 
 /// Foundation types: geometry, kernels, rasters, bandwidth rules.
 pub use lsga_core as core;
-/// Spatial indexes: kd-tree, ball tree, bucket grid, range tree.
-pub use lsga_index as index;
-/// Road networks: graph, Dijkstra, snapping, lixels, generators.
-pub use lsga_network as network;
 /// Synthetic dataset generators and CSV I/O.
 pub use lsga_data as data;
+/// Simulated distributed cluster.
+pub use lsga_dist as dist;
+/// Spatial indexes: kd-tree, ball tree, bucket grid, range tree.
+pub use lsga_index as index;
+/// IDW and ordinary kriging.
+pub use lsga_interp as interp;
 /// KDV and variants (NKDV, STKDV) with all acceleration families.
 pub use lsga_kdv as kdv;
 /// K-function and variants with Monte-Carlo envelopes.
 pub use lsga_kfunc as kfunc;
+/// Road networks: graph, Dijkstra, snapping, lixels, generators.
+pub use lsga_network as network;
 /// Moran's I, Getis-Ord General G, DBSCAN, K-means.
 pub use lsga_stats as stats;
-/// IDW and ordinary kriging.
-pub use lsga_interp as interp;
-/// Simulated distributed cluster.
-pub use lsga_dist as dist;
 /// Heatmap and plot rendering.
 pub use lsga_viz as viz;
 
 /// The types most programs need, importable in one line.
 pub mod prelude {
     pub use lsga_core::{
-        AnyKernel, BBox, DensityGrid, Epanechnikov, Gaussian, GridSpec, Kernel, KernelKind,
-        Point, PolyKernel, Quartic, SpaceTimeGrid, TimedPoint, Uniform,
+        AnyKernel, BBox, DensityGrid, Epanechnikov, Gaussian, GridSpec, Kernel, KernelKind, Point,
+        PolyKernel, Quartic, SpaceTimeGrid, TimedPoint, Uniform,
     };
     pub use lsga_data::{Hotspot, Wave};
     pub use lsga_kfunc::{KConfig, KFunctionPlot, Regime};

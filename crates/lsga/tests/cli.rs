@@ -53,7 +53,11 @@ fn generate_then_kdv_then_kfunc_pipeline() {
         .args(["--seed", "7", "--out", csv.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(csv.exists());
 
     // kdv with auto bandwidth -> PNG
@@ -62,7 +66,11 @@ fn generate_then_kdv_then_kfunc_pipeline() {
         .args(["--out", png.to_str().unwrap(), "--width", "128"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let bytes = std::fs::read(&png).unwrap();
     assert_eq!(&bytes[1..4], b"PNG");
     let log = String::from_utf8(out.stderr).unwrap();
@@ -71,10 +79,21 @@ fn generate_then_kdv_then_kfunc_pipeline() {
     // kfunc -> CSV on stdout + SVG file
     let out = lsga()
         .args(["kfunc", "--in", csv.to_str().unwrap()])
-        .args(["--steps", "5", "--sims", "5", "--svg", svg.to_str().unwrap()])
+        .args([
+            "--steps",
+            "5",
+            "--sims",
+            "5",
+            "--svg",
+            svg.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let table = String::from_utf8(out.stdout).unwrap();
     assert!(table.starts_with("s,observed"));
     assert_eq!(table.lines().count(), 6); // header + 5 thresholds
@@ -89,24 +108,48 @@ fn kdv_methods_and_formats() {
     let dir = temp_dir("methods");
     let csv = dir.join("pts.csv");
     lsga()
-        .args(["generate", "--kind", "taxi", "--n", "2000", "--out", csv.to_str().unwrap()])
+        .args([
+            "generate",
+            "--kind",
+            "taxi",
+            "--n",
+            "2000",
+            "--out",
+            csv.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
 
     // grid method + gaussian kernel + ppm output
     let ppm = dir.join("heat.ppm");
     let out = lsga()
-        .args(["kdv", "--in", csv.to_str().unwrap(), "--out", ppm.to_str().unwrap()])
+        .args([
+            "kdv",
+            "--in",
+            csv.to_str().unwrap(),
+            "--out",
+            ppm.to_str().unwrap(),
+        ])
         .args(["--method", "grid", "--kernel", "gaussian", "--width", "64"])
         .args(["--colormap", "viridis"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(std::fs::read(&ppm).unwrap().starts_with(b"P6"));
 
     // binned method demands gaussian
     let out = lsga()
-        .args(["kdv", "--in", csv.to_str().unwrap(), "--out", ppm.to_str().unwrap()])
+        .args([
+            "kdv",
+            "--in",
+            csv.to_str().unwrap(),
+            "--out",
+            ppm.to_str().unwrap(),
+        ])
         .args(["--method", "binned", "--kernel", "quartic"])
         .output()
         .unwrap();
@@ -115,12 +158,20 @@ fn kdv_methods_and_formats() {
 
     // slam rejects non-polynomial kernels with a helpful message
     let out = lsga()
-        .args(["kdv", "--in", csv.to_str().unwrap(), "--out", ppm.to_str().unwrap()])
+        .args([
+            "kdv",
+            "--in",
+            csv.to_str().unwrap(),
+            "--out",
+            ppm.to_str().unwrap(),
+        ])
         .args(["--kernel", "gaussian"])
         .output()
         .unwrap();
     assert!(!out.status.success());
-    assert!(String::from_utf8(out.stderr).unwrap().contains("polynomial"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("polynomial"));
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -130,15 +181,35 @@ fn moran_and_dbscan_outputs() {
     let dir = temp_dir("stats");
     let csv = dir.join("pts.csv");
     lsga()
-        .args(["generate", "--kind", "crime", "--n", "4000", "--out", csv.to_str().unwrap()])
+        .args([
+            "generate",
+            "--kind",
+            "crime",
+            "--n",
+            "4000",
+            "--out",
+            csv.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
 
     let out = lsga()
-        .args(["moran", "--in", csv.to_str().unwrap(), "--cells", "12", "--perms", "49"])
+        .args([
+            "moran",
+            "--in",
+            csv.to_str().unwrap(),
+            "--cells",
+            "12",
+            "--perms",
+            "49",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let table = String::from_utf8(out.stdout).unwrap();
     assert!(table.contains("morans_i,"));
     assert!(table.contains("general_g,"));
@@ -160,7 +231,11 @@ fn moran_and_dbscan_outputs() {
         .args(["--min-pts", "10", "--out", labels.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&labels).unwrap();
     assert!(text.starts_with("x,y,label"));
     assert_eq!(text.lines().count(), 4001);
@@ -173,7 +248,15 @@ fn nkdv_subcommand_produces_svg_and_geojson() {
     let dir = temp_dir("nkdv");
     let csv = dir.join("pts.csv");
     lsga()
-        .args(["generate", "--kind", "crime", "--n", "1500", "--out", csv.to_str().unwrap()])
+        .args([
+            "generate",
+            "--kind",
+            "crime",
+            "--n",
+            "1500",
+            "--out",
+            csv.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     let svg = dir.join("roads.svg");
@@ -181,10 +264,19 @@ fn nkdv_subcommand_produces_svg_and_geojson() {
     let out = lsga()
         .args(["nkdv", "--in", csv.to_str().unwrap(), "--blocks", "8"])
         .args(["--estimator", "equal-split"])
-        .args(["--svg", svg.to_str().unwrap(), "--geojson", gj.to_str().unwrap()])
+        .args([
+            "--svg",
+            svg.to_str().unwrap(),
+            "--geojson",
+            gj.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
     let gj_text = std::fs::read_to_string(&gj).unwrap();
     assert!(gj_text.starts_with(r#"{"type":"FeatureCollection""#));
@@ -197,7 +289,13 @@ fn nkdv_subcommand_produces_svg_and_geojson() {
 #[test]
 fn missing_input_file_reports_cleanly() {
     let out = lsga()
-        .args(["kdv", "--in", "/nonexistent/nope.csv", "--out", "/tmp/x.png"])
+        .args([
+            "kdv",
+            "--in",
+            "/nonexistent/nope.csv",
+            "--out",
+            "/tmp/x.png",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

@@ -41,10 +41,12 @@ pub fn grid_network(nx: usize, ny: usize, spacing: f64) -> RoadNetwork {
         for i in 0..nx {
             let v = ids[j * nx + i];
             if i + 1 < nx {
-                b.add_edge(v, ids[j * nx + i + 1], None).expect("valid grid edge");
+                b.add_edge(v, ids[j * nx + i + 1], None)
+                    .expect("valid grid edge");
             }
             if j + 1 < ny {
-                b.add_edge(v, ids[(j + 1) * nx + i], None).expect("valid grid edge");
+                b.add_edge(v, ids[(j + 1) * nx + i], None)
+                    .expect("valid grid edge");
             }
         }
     }

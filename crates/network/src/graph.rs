@@ -65,7 +65,10 @@ impl NetworkBuilder {
             )));
         }
         if u == v {
-            return Err(LsgaError::GraphIndex(format!("self-loop at vertex {}", u.0)));
+            return Err(LsgaError::GraphIndex(format!(
+                "self-loop at vertex {}",
+                u.0
+            )));
         }
         let euclid = self.vertices[u.0 as usize].dist(&self.vertices[v.0 as usize]);
         let length = length.unwrap_or(euclid);
@@ -171,7 +174,9 @@ impl RoadNetwork {
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
         let s = self.adj_starts[v.0 as usize] as usize;
         let e = self.adj_starts[v.0 as usize + 1] as usize;
-        self.adj[s..e].iter().map(|(w, eid)| (VertexId(*w), EdgeId(*eid)))
+        self.adj[s..e]
+            .iter()
+            .map(|(w, eid)| (VertexId(*w), EdgeId(*eid)))
     }
 
     /// Degree of a vertex.

@@ -60,7 +60,11 @@ impl Lixels {
                 lixels.push(Lixel {
                     edge: EdgeId(eid as u32),
                     start: i as f64 * step,
-                    end: if i + 1 == k { e.length } else { (i + 1) as f64 * step },
+                    end: if i + 1 == k {
+                        e.length
+                    } else {
+                        (i + 1) as f64 * step
+                    },
                 });
             }
             edge_ranges.push((first, k));

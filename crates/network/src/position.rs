@@ -240,10 +240,7 @@ mod tests {
         let mut eng = DijkstraEngine::new(&net);
         let a = EdgePosition::new(&net, EdgeId(0), 2.0);
         let b = EdgePosition::new(&net, EdgeId(0), 7.5);
-        assert_eq!(
-            network_distance(&net, &mut eng, &a, &b, 100.0),
-            Some(5.5)
-        );
+        assert_eq!(network_distance(&net, &mut eng, &a, &b, 100.0), Some(5.5));
     }
 
     #[test]

@@ -7,10 +7,16 @@
 //! seeding, and [`adjusted_rand_index`] scores recovered labels against
 //! generator ground truth (experiment E15).
 
+use lsga_core::par::{par_for_each_chunk, par_map, Threads};
 use lsga_core::Point;
 use lsga_index::GridIndex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Points per work-stealing claim in the parallel ε-query and
+/// assignment loops.
+const POINT_CHUNK: usize = 512;
 
 /// Label used for DBSCAN noise points.
 pub const NOISE: i32 = -1;
@@ -28,6 +34,19 @@ pub struct DbscanResult {
 /// and `min_pts` (core threshold, **including** the point itself, the
 /// scikit-learn convention).
 pub fn dbscan(points: &[Point], eps: f64, min_pts: usize) -> DbscanResult {
+    dbscan_threads(points, eps, min_pts, Threads::auto())
+}
+
+/// [`dbscan`] with an explicit [`Threads`] config. The ε-neighbourhood
+/// queries (the dominant cost) run in parallel up front; the
+/// density-reachability BFS then walks the precomputed lists
+/// sequentially, so labels are bit-identical for every thread count.
+pub fn dbscan_threads(
+    points: &[Point],
+    eps: f64,
+    min_pts: usize,
+    threads: Threads,
+) -> DbscanResult {
     assert!(eps > 0.0, "eps must be positive");
     assert!(min_pts >= 1, "min_pts must be at least 1");
     let n = points.len();
@@ -39,14 +58,21 @@ pub fn dbscan(points: &[Point], eps: f64, min_pts: usize) -> DbscanResult {
         };
     }
     let index = GridIndex::build(points, eps);
+    // All ε-queries up front, in parallel: each point's neighbour list
+    // is independent of every other, and the BFS below consumes them in
+    // exactly the order the sequential algorithm would have issued them.
+    let neighbours: Vec<Vec<u32>> = par_map(n, POINT_CHUNK, threads, |i| {
+        let mut nbrs = Vec::new();
+        index.query_within(&points[i], eps, &mut nbrs);
+        nbrs
+    });
     let mut cluster = 0i32;
-    let mut nbrs = Vec::new();
     let mut frontier: Vec<u32> = Vec::new();
     for i in 0..n {
         if labels[i] != i32::MIN {
             continue;
         }
-        index.query_within(&points[i], eps, &mut nbrs);
+        let nbrs = &neighbours[i];
         if nbrs.len() < min_pts {
             labels[i] = NOISE;
             continue;
@@ -65,9 +91,13 @@ pub fn dbscan(points: &[Point], eps: f64, min_pts: usize) -> DbscanResult {
                 continue;
             }
             labels[j] = cluster;
-            index.query_within(&points[j], eps, &mut nbrs);
+            let nbrs = &neighbours[j];
             if nbrs.len() >= min_pts {
-                frontier.extend(nbrs.iter().copied().filter(|&k| labels[k as usize] == i32::MIN || labels[k as usize] == NOISE));
+                frontier.extend(
+                    nbrs.iter()
+                        .copied()
+                        .filter(|&k| labels[k as usize] == i32::MIN || labels[k as usize] == NOISE),
+                );
             }
         }
         cluster += 1;
@@ -93,6 +123,20 @@ pub struct KMeansResult {
 /// stops on assignment convergence or after `max_iters`. Panics when
 /// `k == 0` or `k > n`.
 pub fn kmeans(points: &[Point], k: usize, max_iters: usize, seed: u64) -> KMeansResult {
+    kmeans_threads(points, k, max_iters, seed, Threads::auto())
+}
+
+/// [`kmeans`] with an explicit [`Threads`] config. The assignment step
+/// (every point against every centroid) runs in parallel over disjoint
+/// label chunks; seeding and the centroid update stay sequential, so the
+/// result is bit-identical for every thread count.
+pub fn kmeans_threads(
+    points: &[Point],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+    threads: Threads,
+) -> KMeansResult {
     let n = points.len();
     assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -128,24 +172,30 @@ pub fn kmeans(points: &[Point], k: usize, max_iters: usize, seed: u64) -> KMeans
     let mut iterations = 0;
     for iter in 0..max_iters {
         iterations = iter + 1;
-        // Assignment.
-        let mut changed = false;
-        for (i, p) in points.iter().enumerate() {
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for (c, ctr) in centroids.iter().enumerate() {
-                let d = p.dist_sq(ctr);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
+        // Assignment: nearest-centroid per point over disjoint label
+        // chunks. Ties break on the lowest centroid index, exactly as
+        // the sequential scan would.
+        let changed = AtomicBool::new(false);
+        let centroids_ref = &centroids;
+        par_for_each_chunk(&mut labels, POINT_CHUNK, threads, |start, chunk| {
+            for (off, label) in chunk.iter_mut().enumerate() {
+                let p = &points[start + off];
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (c, ctr) in centroids_ref.iter().enumerate() {
+                    let d = p.dist_sq(ctr);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                if *label != best {
+                    *label = best;
+                    changed.store(true, Ordering::Relaxed);
                 }
             }
-            if labels[i] != best {
-                labels[i] = best;
-                changed = true;
-            }
-        }
-        if !changed && iter > 0 {
+        });
+        if !changed.load(Ordering::Relaxed) && iter > 0 {
             break;
         }
         // Update.

@@ -10,8 +10,10 @@
 //! every practical implementation offers permutation inference; with
 //! seeded RNG it is also exactly reproducible).
 
+use crate::moran::PERM_CHUNK;
 use crate::weights::SpatialWeights;
-use lsga_core::util::normal_two_sided_p;
+use lsga_core::par::{par_map, Threads};
+use lsga_core::util::{mix_seed, normal_two_sided_p};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -39,6 +41,19 @@ pub fn general_g(
     w: &SpatialWeights,
     permutations: usize,
     seed: u64,
+) -> Option<GeneralGResult> {
+    general_g_threads(values, w, permutations, seed, Threads::auto())
+}
+
+/// [`general_g`] with an explicit [`Threads`] config. Permutation
+/// replicates run in parallel, each with its own `(seed, replicate)`
+/// RNG stream; results are bit-identical for every thread count.
+pub fn general_g_threads(
+    values: &[f64],
+    w: &SpatialWeights,
+    permutations: usize,
+    seed: u64,
+    threads: Threads,
 ) -> Option<GeneralGResult> {
     let n = values.len();
     assert_eq!(n, w.n(), "value/weight dimension mismatch");
@@ -74,20 +89,25 @@ pub fn general_g(
     let g_obs = stat(values);
     let expected = s0 / (n as f64 * (n as f64 - 1.0));
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut shuffled = values.to_vec();
-    let mut perms = Vec::with_capacity(permutations);
-    let mut at_least = 0usize;
-    for _ in 0..permutations {
+    // Per-replicate RNG streams make the loop order-independent and
+    // therefore parallel with bit-identical output.
+    let perms: Vec<f64> = par_map(permutations, PERM_CHUNK, threads, |k| {
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, k as u64));
+        let mut shuffled = values.to_vec();
         shuffled.shuffle(&mut rng);
-        let gp = stat(&shuffled);
+        stat(&shuffled)
+    });
+    let mut at_least = 0usize;
+    for gp in &perms {
         if (gp - expected).abs() >= (g_obs - expected).abs() - 1e-15 {
             at_least += 1;
         }
-        perms.push(gp);
     }
     let mean_p = perms.iter().sum::<f64>() / permutations as f64;
-    let var_p = perms.iter().map(|v| (v - mean_p) * (v - mean_p)).sum::<f64>()
+    let var_p = perms
+        .iter()
+        .map(|v| (v - mean_p) * (v - mean_p))
+        .sum::<f64>()
         / permutations as f64;
     let z = if var_p > 0.0 {
         (g_obs - mean_p) / var_p.sqrt()

@@ -24,8 +24,14 @@ pub mod moran;
 pub mod weights;
 
 pub use areal::{quadrat_chi2_test, quadrat_counts, QuadratTest};
-pub use cluster::{adjusted_rand_index, dbscan, kmeans, DbscanResult, KMeansResult, NOISE};
-pub use getis::{general_g, GeneralGResult};
-pub use local::{lisa_quadrants, local_gi_star, local_morans_i, LisaQuadrant, LocalResult};
-pub use moran::{morans_i, MoranResult};
+pub use cluster::{
+    adjusted_rand_index, dbscan, dbscan_threads, kmeans, kmeans_threads, DbscanResult,
+    KMeansResult, NOISE,
+};
+pub use getis::{general_g, general_g_threads, GeneralGResult};
+pub use local::{
+    lisa_quadrants, local_gi_star, local_gi_star_threads, local_morans_i, local_morans_i_threads,
+    LisaQuadrant, LocalResult,
+};
+pub use moran::{morans_i, morans_i_threads, MoranResult};
 pub use weights::SpatialWeights;

@@ -7,11 +7,16 @@
 //! cell. They are included as the natural extension of the global
 //! statistics and feed the same quadrat-count pipeline.
 
+use crate::moran::PERM_CHUNK;
 use crate::weights::SpatialWeights;
-use lsga_core::util::normal_two_sided_p;
+use lsga_core::par::{par_map, par_reduce, Threads};
+use lsga_core::util::{mix_seed, normal_two_sided_p};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// Sites handled per work-stealing claim in the per-location maps.
+const SITE_CHUNK: usize = 256;
 
 /// Per-location result of a local statistic.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +77,17 @@ pub fn lisa_quadrants(values: &[f64], w: &SpatialWeights) -> Vec<LisaQuadrant> {
 /// with `w*` = `w` plus a unit self-weight. Positive z: cluster of high
 /// values ("hot spot"); negative: cluster of low values ("cold spot").
 pub fn local_gi_star(values: &[f64], w: &SpatialWeights) -> Vec<LocalResult> {
+    local_gi_star_threads(values, w, Threads::auto())
+}
+
+/// [`local_gi_star`] with an explicit [`Threads`] config. Each location
+/// is independent, so the site loop parallelizes with bit-identical
+/// results.
+pub fn local_gi_star_threads(
+    values: &[f64],
+    w: &SpatialWeights,
+    threads: Threads,
+) -> Vec<LocalResult> {
     let n = values.len();
     assert_eq!(n, w.n(), "value/weight dimension mismatch");
     assert!(n >= 2, "need at least two locations");
@@ -79,8 +95,8 @@ pub fn local_gi_star(values: &[f64], w: &SpatialWeights) -> Vec<LocalResult> {
     let mean = values.iter().sum::<f64>() / nf;
     let sum_sq: f64 = values.iter().map(|v| v * v).sum();
     let s = (sum_sq / nf - mean * mean).max(0.0).sqrt();
-    (0..n)
-        .map(|i| {
+    par_map(n, SITE_CHUNK, threads, |i| {
+        {
             let (cols, ws) = w.row(i);
             // Self-inclusive star weights.
             let mut lag = values[i]; // w*_ii = 1
@@ -102,8 +118,8 @@ pub fn local_gi_star(values: &[f64], w: &SpatialWeights) -> Vec<LocalResult> {
                 value: z,
                 p: normal_two_sided_p(z),
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Local Moran's I (Anselin's LISA) per location:
@@ -119,6 +135,20 @@ pub fn local_morans_i(
     w: &SpatialWeights,
     permutations: usize,
     seed: u64,
+) -> Vec<LocalResult> {
+    local_morans_i_threads(values, w, permutations, seed, Threads::auto())
+}
+
+/// [`local_morans_i`] with an explicit [`Threads`] config. Permutation
+/// replicates run in parallel, each with its own `(seed, replicate)`
+/// RNG stream; the per-site extreme counters are exact integers summed
+/// in chunk order, so results are bit-identical for every thread count.
+pub fn local_morans_i_threads(
+    values: &[f64],
+    w: &SpatialWeights,
+    permutations: usize,
+    seed: u64,
+    threads: Threads,
 ) -> Vec<LocalResult> {
     let n = values.len();
     assert_eq!(n, w.n(), "value/weight dimension mismatch");
@@ -140,25 +170,44 @@ pub fn local_morans_i(
             .map(|value| LocalResult { value, p: 1.0 })
             .collect();
     }
-    // Conditional permutation: hold z_i fixed, shuffle the others.
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut extreme = vec![0usize; n];
-    let mut shuffled = z.clone();
-    for _ in 0..permutations {
-        shuffled.shuffle(&mut rng);
-        // One global shuffle approximates the conditional draw for all
-        // sites at once (the standard fast LISA implementation trick):
-        // for each site, overwrite position i with its true z_i.
-        for i in 0..n {
-            let saved = shuffled[i];
-            shuffled[i] = z[i];
-            let ip = z[i] / m2 * lag_i(i, &shuffled);
-            if ip.abs() >= observed[i].abs() - 1e-15 {
-                extreme[i] += 1;
+    // Conditional permutation: hold z_i fixed, shuffle the others. Each
+    // replicate derives its RNG from (seed, replicate); per-site extreme
+    // counters accumulate per chunk and are merged in chunk order.
+    let extreme: Vec<usize> = par_reduce(
+        permutations,
+        PERM_CHUNK,
+        threads,
+        vec![0usize; n],
+        |range| {
+            let mut local = vec![0usize; n];
+            let mut shuffled = z.clone();
+            for k in range {
+                shuffled.copy_from_slice(&z);
+                let mut rng = StdRng::seed_from_u64(mix_seed(seed, k as u64));
+                shuffled.shuffle(&mut rng);
+                // One global shuffle approximates the conditional draw
+                // for all sites at once (the standard fast LISA
+                // implementation trick): for each site, overwrite
+                // position i with its true z_i.
+                for i in 0..n {
+                    let saved = shuffled[i];
+                    shuffled[i] = z[i];
+                    let ip = z[i] / m2 * lag_i(i, &shuffled);
+                    if ip.abs() >= observed[i].abs() - 1e-15 {
+                        local[i] += 1;
+                    }
+                    shuffled[i] = saved;
+                }
             }
-            shuffled[i] = saved;
-        }
-    }
+            local
+        },
+        |mut acc, part| {
+            for (a, p) in acc.iter_mut().zip(part) {
+                *a += p;
+            }
+            acc
+        },
+    );
     observed
         .into_iter()
         .zip(extreme)
@@ -279,7 +328,7 @@ mod tests {
         assert_eq!(quads[k + 1], LisaQuadrant::HighHigh); // hot core
         assert_eq!(quads[6 * k + 6], LisaQuadrant::LowLow); // far corner
         assert_eq!(quads[5 * k + 5], LisaQuadrant::HighLow); // the spike
-        // Neighbour of the spike: low value, raised lag.
+                                                             // Neighbour of the spike: low value, raised lag.
         assert_eq!(quads[5 * k + 4], LisaQuadrant::LowHigh);
         // Quadrant signs agree with the local I signs: HH/LL -> I >= 0.
         let lisa = local_morans_i(&values, &w, 0, 0);

@@ -9,10 +9,14 @@
 //! conditional permutation test (values shuffled over locations).
 
 use crate::weights::SpatialWeights;
-use lsga_core::util::normal_two_sided_p;
+use lsga_core::par::{par_map, Threads};
+use lsga_core::util::{mix_seed, normal_two_sided_p};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// Permutation replicates per work-stealing claim.
+pub(crate) const PERM_CHUNK: usize = 8;
 
 /// Result of a global Moran's I analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +44,20 @@ pub fn morans_i(
     w: &SpatialWeights,
     permutations: usize,
     seed: u64,
+) -> Option<MoranResult> {
+    morans_i_threads(values, w, permutations, seed, Threads::auto())
+}
+
+/// [`morans_i`] with an explicit [`Threads`] config. The permutation
+/// replicates run in parallel; each replicate derives its own RNG
+/// stream from `(seed, replicate)`, so the result is bit-identical for
+/// every thread count.
+pub fn morans_i_threads(
+    values: &[f64],
+    w: &SpatialWeights,
+    permutations: usize,
+    seed: u64,
+    threads: Threads,
 ) -> Option<MoranResult> {
     let n = values.len();
     assert_eq!(n, w.n(), "value/weight dimension mismatch");
@@ -84,21 +102,26 @@ pub fn morans_i(
     let p_norm = normal_two_sided_p(z_norm);
 
     let (z_perm, p_perm) = if permutations > 0 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut shuffled = z.clone();
-        let mut perms = Vec::with_capacity(permutations);
-        let mut at_least = 0usize;
-        for _ in 0..permutations {
+        // Each replicate owns an RNG derived from (seed, replicate), so
+        // the replicate loop parallelizes with bit-identical results.
+        let perms: Vec<f64> = par_map(permutations, PERM_CHUNK, threads, |k| {
+            let mut rng = StdRng::seed_from_u64(mix_seed(seed, k as u64));
+            let mut shuffled = z.clone();
             shuffled.shuffle(&mut rng);
-            let ip = stat(&shuffled);
+            stat(&shuffled)
+        });
+        let mut at_least = 0usize;
+        for ip in &perms {
             if (ip - expected).abs() >= (i_obs - expected).abs() - 1e-15 {
                 at_least += 1;
             }
-            perms.push(ip);
         }
         let mean_p = perms.iter().sum::<f64>() / permutations as f64;
-        let var_p =
-            perms.iter().map(|v| (v - mean_p) * (v - mean_p)).sum::<f64>() / permutations as f64;
+        let var_p = perms
+            .iter()
+            .map(|v| (v - mean_p) * (v - mean_p))
+            .sum::<f64>()
+            / permutations as f64;
         let zp = if var_p > 0.0 {
             (i_obs - mean_p) / var_p.sqrt()
         } else {

@@ -184,10 +184,7 @@ mod tests {
         let density = nkdv_forward(&net, &lixels, &events, Epanechnikov::new(8.0));
         let json = lixels_geojson(&net, &lixels, &density);
         assert_wellformed(&json);
-        assert_eq!(
-            json.matches(r#""type":"LineString""#).count(),
-            lixels.len()
-        );
+        assert_eq!(json.matches(r#""type":"LineString""#).count(), lixels.len());
         assert!(json.contains(r#""density":"#));
     }
 

@@ -22,6 +22,6 @@ pub mod svg;
 
 pub use colormap::Colormap;
 pub use geojson::{grid_geojson, lixels_geojson, points_geojson};
-pub use render::{ascii_heatmap, render_rgb, write_heatmap_png, write_heatmap_ppm};
 pub use network_svg::network_density_svg;
+pub use render::{ascii_heatmap, render_rgb, write_heatmap_png, write_heatmap_ppm};
 pub use svg::k_plot_svg;

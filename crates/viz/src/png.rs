@@ -10,12 +10,7 @@ use std::io::Write;
 
 /// Encode `rgb` (row-major, `3 * width * height` bytes, top row first)
 /// as an 8-bit RGB PNG.
-pub fn write_png<W: Write>(
-    mut w: W,
-    width: u32,
-    height: u32,
-    rgb: &[u8],
-) -> std::io::Result<()> {
+pub fn write_png<W: Write>(mut w: W, width: u32, height: u32, rgb: &[u8]) -> std::io::Result<()> {
     assert_eq!(
         rgb.len(),
         (3 * width * height) as usize,
@@ -165,7 +160,10 @@ mod tests {
     /// the signature, walks the chunks verifying every CRC, inflates the
     /// stored blocks, and checks the Adler.
     fn validate_png(bytes: &[u8]) -> (u32, u32, Vec<u8>) {
-        assert_eq!(&bytes[..8], &[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]);
+        assert_eq!(
+            &bytes[..8],
+            &[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]
+        );
         let mut pos = 8;
         let mut dims = (0u32, 0u32);
         let mut idat = Vec::new();
@@ -178,7 +176,12 @@ mod tests {
             let mut check = Crc32::new();
             check.update(tag);
             check.update(data);
-            assert_eq!(check.finish(), crc, "chunk {:?} CRC", std::str::from_utf8(tag));
+            assert_eq!(
+                check.finish(),
+                crc,
+                "chunk {:?} CRC",
+                std::str::from_utf8(tag)
+            );
             match tag {
                 b"IHDR" => {
                     dims = (

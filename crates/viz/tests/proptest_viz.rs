@@ -8,7 +8,10 @@ use proptest::prelude::*;
 /// Validate the chunk structure and CRCs of an encoded PNG; return the
 /// inflated raw scanline bytes.
 fn validate(bytes: &[u8]) -> (u32, u32, Vec<u8>) {
-    assert_eq!(&bytes[..8], &[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]);
+    assert_eq!(
+        &bytes[..8],
+        &[0x89, b'P', b'N', b'G', 0x0D, 0x0A, 0x1A, 0x0A]
+    );
     let mut pos = 8;
     let mut dims = (0u32, 0u32);
     let mut idat = Vec::new();

@@ -19,9 +19,7 @@ fn main() {
     let bars = data::uniform_points(300, window, 1);
     let mut burglaries: Vec<Point> = bars
         .iter()
-        .flat_map(|b| {
-            (0..4).map(move |k| Point::new(b.x + 3.0 + k as f64, b.y + 2.0))
-        })
+        .flat_map(|b| (0..4).map(move |k| Point::new(b.x + 3.0 + k as f64, b.y + 2.0)))
         .collect();
     burglaries.extend(data::uniform_points(800, window, 2));
     println!("bars: {}, burglaries: {}", bars.len(), burglaries.len());
@@ -35,7 +33,11 @@ fn main() {
         chi.dof,
         chi.z,
         chi.p,
-        if chi.z > 1.96 { "clustered" } else { "not clustered" }
+        if chi.z > 1.96 {
+            "clustered"
+        } else {
+            "not clustered"
+        }
     );
 
     // --- Pair correlation function: at which exact scales? ---------------
@@ -43,7 +45,12 @@ fn main() {
     println!("\npair correlation g(r) (1 = CSR):");
     for bin in &pcf {
         let bar_len = (bin.g * 20.0).min(60.0) as usize;
-        println!("  r = {:>5.1}: g = {:>6.2} {}", bin.r, bin.g, "#".repeat(bar_len));
+        println!(
+            "  r = {:>5.1}: g = {:>6.2} {}",
+            bin.r,
+            bin.g,
+            "#".repeat(bar_len)
+        );
     }
 
     // --- Cross-K: do burglaries cluster around bars? ----------------------

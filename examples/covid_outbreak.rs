@@ -85,17 +85,7 @@ fn main() {
     let ss: Vec<f64> = (1..=5).map(|i| i as f64).collect();
     let ts: Vec<f64> = (1..=5).map(|i| i as f64 * 5.0).collect();
     let t = Instant::now();
-    let surface = kfunc::st_k_plot(
-        &sub,
-        window,
-        t0,
-        t1,
-        &ss,
-        &ts,
-        10,
-        7,
-        KConfig::default(),
-    );
+    let surface = kfunc::st_k_plot(&sub, window, t0, t1, &ss, &ts, 10, 7, KConfig::default());
     println!(
         "\nspatiotemporal K surface over {} cases in {:.1?}:",
         sub.len(),

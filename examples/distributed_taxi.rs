@@ -29,9 +29,11 @@ fn main() {
     println!("  workers  strategy      wall      max-worker  imbalance  halo-pts    MB shipped");
     let mut reference: Option<DensityGrid> = None;
     for &workers in &worker_counts {
-        for strategy in [PartitionStrategy::UniformBands, PartitionStrategy::BalancedKd] {
-            let (grid, m) =
-                dist::distributed_kdv(&points, spec, kernel, 1e-9, workers, strategy);
+        for strategy in [
+            PartitionStrategy::UniformBands,
+            PartitionStrategy::BalancedKd,
+        ] {
+            let (grid, m) = dist::distributed_kdv(&points, spec, kernel, 1e-9, workers, strategy);
             if let Some(r) = &reference {
                 assert!(grid.linf_diff(r) < 1e-9, "distributed result drifted");
             } else {
@@ -74,10 +76,7 @@ fn main() {
         } else {
             want = Some(k);
         }
-        println!(
-            "  {workers:>7}  BalancedKd   {:>9.1?}  {k}",
-            m.wall
-        );
+        println!("  {workers:>7}  BalancedKd   {:>9.1?}  {k}", m.wall);
     }
 
     // Sanity anchor: single-node histogram agrees.

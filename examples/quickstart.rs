@@ -71,10 +71,8 @@ fn main() {
     // 3. Render: heatmap PNG (Fig. 1) and K-function plot SVG (Fig. 2).
     let out = std::path::Path::new("target/quickstart");
     std::fs::create_dir_all(out).expect("create output dir");
-    viz::write_heatmap_png(out.join("heatmap.png"), &density, Colormap::Heat)
-        .expect("write png");
-    std::fs::write(out.join("kplot.svg"), viz::k_plot_svg(&plot, 640, 480))
-        .expect("write svg");
+    viz::write_heatmap_png(out.join("heatmap.png"), &density, Colormap::Heat).expect("write png");
+    std::fs::write(out.join("kplot.svg"), viz::k_plot_svg(&plot, 640, 480)).expect("write svg");
     println!("wrote target/quickstart/heatmap.png and kplot.svg");
 
     // Bonus: a terminal glimpse of the density surface.

@@ -41,15 +41,24 @@ fn main() {
     let idw_local = interp::idw_knn(&readings, spec, 2.0, 12);
     let t_knn = t.elapsed();
     println!("\nIDW:");
-    println!("  naive global : {t_naive:>8.1?}   RMSE {:.2}", rmse(&idw_full));
-    println!("  kNN local k=12: {t_knn:>8.1?}   RMSE {:.2}", rmse(&idw_local));
+    println!(
+        "  naive global : {t_naive:>8.1?}   RMSE {:.2}",
+        rmse(&idw_full)
+    );
+    println!(
+        "  kNN local k=12: {t_knn:>8.1?}   RMSE {:.2}",
+        rmse(&idw_local)
+    );
 
     // --- Kriging: variogram fit + prediction ------------------------------
     let t = Instant::now();
     let bins = interp::empirical_variogram(&readings, 60.0, 15);
     println!("\nempirical variogram ({} bins):", bins.len());
     for b in bins.iter().step_by(3) {
-        println!("  lag {:>5.1}: gamma = {:>7.1} ({} pairs)", b.lag, b.gamma, b.pairs);
+        println!(
+            "  lag {:>5.1}: gamma = {:>7.1} ({} pairs)",
+            b.lag, b.gamma, b.pairs
+        );
     }
     let mut best: Option<interp::VariogramModel> = None;
     for kind in [
@@ -95,8 +104,12 @@ fn main() {
     let out = std::path::Path::new("target/sensor_interpolation");
     std::fs::create_dir_all(out).expect("create output dir");
     viz::write_heatmap_png(out.join("idw.png"), &idw_local, Colormap::Viridis).unwrap();
-    viz::write_heatmap_png(out.join("kriging.png"), &kriged.prediction, Colormap::Viridis)
-        .unwrap();
+    viz::write_heatmap_png(
+        out.join("kriging.png"),
+        &kriged.prediction,
+        Colormap::Viridis,
+    )
+    .unwrap();
     viz::write_heatmap_png(out.join("variance.png"), &kriged.variance, Colormap::Gray).unwrap();
     println!("wrote target/sensor_interpolation/{{idw,kriging,variance}}.png");
 }

@@ -78,9 +78,7 @@ fn main() {
     let naive_k = kfunc::network_k_naive(&net, &events, &thresholds, cfg);
     let t_naive = t.elapsed();
     assert_eq!(shared, naive_k);
-    println!(
-        "\nnetwork K-function: naive {t_naive:.1?}  vs  edge-shared {t_shared:.1?} (equal)"
-    );
+    println!("\nnetwork K-function: naive {t_naive:.1?}  vs  edge-shared {t_shared:.1?} (equal)");
 
     let planar_k = kfunc::histogram_k_all(&planar_events, &thresholds, cfg);
     let plot = kfunc::network_k_plot(&net, &events, &thresholds, 15, 5, cfg);

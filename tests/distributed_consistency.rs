@@ -1,9 +1,9 @@
 //! Distributed-layer invariants: exactness against single-node results,
 //! partition/halo accounting, and strategy behaviour under skew.
 
+use lsga::dist::PartitionStrategy;
 use lsga::prelude::*;
 use lsga::{data, dist, kdv, kfunc};
-use lsga::dist::PartitionStrategy;
 
 fn skewed(n: usize) -> (Vec<Point>, BBox) {
     let window = BBox::new(0.0, 0.0, 100.0, 100.0);
@@ -30,7 +30,10 @@ fn kdv_exact_across_strategies_and_widths() {
     for b in [3.0, 14.0] {
         let kernel = Epanechnikov::new(b);
         let reference = kdv::grid_pruned_kdv(&points, spec, kernel, 1e-9);
-        for strategy in [PartitionStrategy::UniformBands, PartitionStrategy::BalancedKd] {
+        for strategy in [
+            PartitionStrategy::UniformBands,
+            PartitionStrategy::BalancedKd,
+        ] {
             for workers in [1, 2, 5, 9, 16] {
                 let (grid, metrics) =
                     dist::distributed_kdv(&points, spec, kernel, 1e-9, workers, strategy);
@@ -57,7 +60,10 @@ fn kfunc_exact_across_strategies() {
     let cfg = KConfig::default();
     for s in [2.0, 10.0, 40.0] {
         let want = kfunc::grid_k(&points, s, cfg);
-        for strategy in [PartitionStrategy::UniformBands, PartitionStrategy::BalancedKd] {
+        for strategy in [
+            PartitionStrategy::UniformBands,
+            PartitionStrategy::BalancedKd,
+        ] {
             for workers in [2, 6, 12] {
                 let (got, metrics) = dist::distributed_k(&points, s, cfg, workers, strategy);
                 assert_eq!(got, want, "s={s} {strategy:?} w={workers}");

@@ -94,7 +94,10 @@ fn stkdv_tracks_moving_outbreak() {
     // (the paper's Fig. 4 phenomenon).
     let early = cube.slice(1).hotspot();
     let late = cube.slice(4).hotspot();
-    assert!(early.dist(&Point::new(20.0, 20.0)) < 12.0, "early {early:?}");
+    assert!(
+        early.dist(&Point::new(20.0, 20.0)) < 12.0,
+        "early {early:?}"
+    );
     assert!(late.dist(&Point::new(80.0, 75.0)) < 12.0, "late {late:?}");
 
     // And the spatiotemporal K-function confirms space-time clustering.

@@ -31,7 +31,11 @@ fn workload(n: usize) -> (Vec<Point>, BBox) {
 fn exact_methods_agree_for_polynomial_kernels() {
     let (points, window) = workload(1500);
     let spec = GridSpec::new(window, 48, 36);
-    for kind in [KernelKind::Uniform, KernelKind::Epanechnikov, KernelKind::Quartic] {
+    for kind in [
+        KernelKind::Uniform,
+        KernelKind::Epanechnikov,
+        KernelKind::Quartic,
+    ] {
         let b = 12.0;
         let kernel = kind.with_bandwidth(b);
         let naive = kdv::naive_kdv(&points, spec, kernel);
@@ -111,10 +115,7 @@ fn sampling_error_shrinks_with_sample_size() {
     // Average L-infinity error over several seeds must shrink as m grows.
     let mean_err = |m: usize| -> f64 {
         (0..5)
-            .map(|s| {
-                kdv::sampling_kdv(&points, spec, kernel, m, s)
-                    .linf_diff(&exact)
-            })
+            .map(|s| kdv::sampling_kdv(&points, spec, kernel, m, s).linf_diff(&exact))
             .sum::<f64>()
             / 5.0
     };

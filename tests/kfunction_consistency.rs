@@ -26,7 +26,9 @@ fn workload(n: usize) -> (Vec<Point>, BBox) {
 fn all_planar_methods_agree_exactly() {
     let (points, _) = workload(700);
     for cfg in [
-        KConfig { include_self: false },
+        KConfig {
+            include_self: false,
+        },
         KConfig { include_self: true },
     ] {
         for s in [0.5, 3.0, 12.0, 60.0] {
@@ -40,13 +42,8 @@ fn all_planar_methods_agree_exactly() {
                 want,
                 "hist s={s}"
             );
-            let (d, _) = dist::distributed_k(
-                &points,
-                s,
-                cfg,
-                4,
-                dist::PartitionStrategy::BalancedKd,
-            );
+            let (d, _) =
+                dist::distributed_k(&points, s, cfg, 4, dist::PartitionStrategy::BalancedKd);
             assert_eq!(d, want, "dist s={s}");
         }
     }

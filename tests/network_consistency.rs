@@ -29,7 +29,9 @@ fn network_k_implementations_agree_on_clustered_events() {
     let events = data::clustered_on_network(&net, 6, 10, 5.0, 17);
     let thresholds: Vec<f64> = (1..=8).map(|i| i as f64 * 3.0).collect();
     for cfg in [
-        KConfig { include_self: false },
+        KConfig {
+            include_self: false,
+        },
         KConfig { include_self: true },
     ] {
         assert_eq!(
@@ -105,7 +107,11 @@ fn fig3_barrier_separates_euclidean_neighbors() {
     let spec = GridSpec::new(BBox::new(0.0, -1.0, 40.0, 3.0), 80, 8);
     let planar = kdv::grid_pruned_kdv(&planar_events, spec, kernel, 1e-9);
     let (ix, iy) = spec.pixel_of(&Point::new(37.0, 2.0));
-    assert!(planar.at(ix, iy) > 5.0, "planar density {}", planar.at(ix, iy));
+    assert!(
+        planar.at(ix, iy) > 5.0,
+        "planar density {}",
+        planar.at(ix, iy)
+    );
 }
 
 #[test]

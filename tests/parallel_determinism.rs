@@ -1,0 +1,267 @@
+//! Cross-crate determinism suite for the scoped-thread work-stealing
+//! pool (`lsga_core::par`).
+//!
+//! Every parallelized tool in the workspace promises *bit-identical*
+//! output for every thread count: fixed chunk decomposition, one writer
+//! per output slot, and ordered folds of per-chunk partials. This suite
+//! enforces the promise end to end by running each converted tool at
+//! thread counts {1, 2, 3, 8, 64} — 64 deliberately exceeds the number
+//! of work items in most cases below, exercising the workers-without-
+//! work path — and asserting exact equality against the 1-thread run.
+
+use lsga::core::par::Threads;
+use lsga::core::{BBox, Epanechnikov, Gaussian, GridSpec, KernelKind, Point, PolyKernel};
+use lsga::interp::{VariogramModel, VariogramModelKind};
+use lsga::kfunc::KConfig;
+use lsga::stats::SpatialWeights;
+use lsga::{data, interp, kdv, kfunc, stats};
+
+/// The sweep: sequential baseline, small counts, the chunk-boundary
+/// count 3, a typical core count, and one far beyond the work items.
+const THREAD_COUNTS: [usize; 5] = [1, 2, 3, 8, 64];
+
+fn window() -> BBox {
+    BBox::new(0.0, 0.0, 100.0, 100.0)
+}
+
+fn points(n: usize, seed: u64) -> Vec<Point> {
+    data::uniform_points(n, window(), seed)
+}
+
+/// Run `f` at every thread count and assert all results equal the
+/// 1-thread baseline.
+fn assert_thread_invariant<T: PartialEq + std::fmt::Debug>(what: &str, f: impl Fn(Threads) -> T) {
+    let baseline = f(Threads::exact(1));
+    for t in THREAD_COUNTS {
+        let got = f(Threads::exact(t));
+        assert!(got == baseline, "{what}: {t} threads diverged from 1");
+    }
+}
+
+#[test]
+fn kdv_parallel_grid() {
+    let pts = points(800, 1);
+    let spec = GridSpec::new(window(), 40, 25);
+    assert_thread_invariant("parallel_kdv", |t| {
+        kdv::parallel_kdv_threads(&pts, spec, Epanechnikov::new(9.0), 1e-9, t)
+    });
+}
+
+#[test]
+fn kdv_binned_gaussian() {
+    let pts = points(500, 2);
+    let spec = GridSpec::new(window(), 24, 24);
+    assert_thread_invariant("binned_gaussian_kdv", |t| {
+        kdv::binned_gaussian_kdv_threads(&pts, spec, Gaussian::new(7.0), 4, 1e-9, t)
+    });
+}
+
+#[test]
+fn kdv_spatiotemporal_sweep() {
+    let pts = data::uniform_timed_points(400, window(), 0.0, 50.0, 3);
+    let spec = GridSpec::new(window(), 12, 12);
+    let kt = PolyKernel::new(KernelKind::Quartic, 8.0).unwrap();
+    assert_thread_invariant("stkdv_sweep", |t| {
+        kdv::stkdv_sweep_threads(
+            &pts,
+            spec,
+            0.0,
+            50.0,
+            10,
+            Epanechnikov::new(12.0),
+            kt,
+            1e-9,
+            t,
+        )
+    });
+}
+
+#[test]
+fn kfunc_single_threshold() {
+    let pts = points(900, 4);
+    for cfg in [
+        KConfig {
+            include_self: false,
+        },
+        KConfig { include_self: true },
+    ] {
+        assert_thread_invariant("parallel_k", |t| {
+            kfunc::parallel_k_threads(&pts, 8.0, cfg, t)
+        });
+    }
+}
+
+#[test]
+fn kfunc_histogram_all_thresholds() {
+    let pts = points(600, 5);
+    let ts = [15.0, 0.5, 3.0, 7.0, 40.0]; // deliberately unsorted
+    assert_thread_invariant("histogram_k_all", |t| {
+        kfunc::histogram_k_all_threads(&pts, &ts, KConfig::default(), t)
+    });
+}
+
+#[test]
+fn kfunc_sampled_and_border_corrected() {
+    let pts = points(700, 6);
+    let ts = [5.0, 12.0, 25.0];
+    assert_thread_invariant("sampled_k", |t| {
+        kfunc::sampled_k_threads(&pts, &ts, 200, 11, KConfig::default(), t)
+    });
+    assert_thread_invariant("border_corrected_k", |t| {
+        let ks = kfunc::border_corrected_k_threads(&pts, window(), &ts, t);
+        // NaN-free here, so bitwise comparison through PartialEq is sound.
+        ks.iter()
+            .map(|(k, n)| (k.to_bits(), *n))
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn kfunc_cross_type() {
+    let a = points(400, 7);
+    let b = points(350, 8);
+    let ts = [2.0, 6.0, 18.0];
+    assert_thread_invariant("cross_k", |t| kfunc::cross_k_threads(&a, &b, &ts, t));
+    assert_thread_invariant("cross_k_plot", |t| {
+        kfunc::cross_k_plot_threads(&a, &b, &ts, 6, 9, KConfig::default(), t)
+    });
+}
+
+#[test]
+fn kfunc_spatiotemporal_surface() {
+    let pts = data::uniform_timed_points(300, window(), 0.0, 40.0, 10);
+    let ss = [4.0, 10.0];
+    let ts = [3.0, 12.0];
+    assert_thread_invariant("st_k_grid", |t| {
+        kfunc::st_k_grid_threads(&pts, &ss, &ts, KConfig::default(), t)
+    });
+    assert_thread_invariant("st_k_plot", |t| {
+        kfunc::st_k_plot_threads(
+            &pts,
+            window(),
+            0.0,
+            40.0,
+            &ss,
+            &ts,
+            5,
+            13,
+            KConfig::default(),
+            t,
+        )
+    });
+}
+
+#[test]
+fn kfunc_plot_existing_thread_knob() {
+    let pts = points(200, 14);
+    let ts: Vec<f64> = (1..=6).map(|i| i as f64 * 2.0).collect();
+    let baseline = kfunc::k_function_plot(&pts, window(), &ts, 7, 21, KConfig::default(), 1);
+    for t in THREAD_COUNTS {
+        let got = kfunc::k_function_plot(&pts, window(), &ts, 7, 21, KConfig::default(), t);
+        assert_eq!(got, baseline, "k_function_plot: {t} threads");
+    }
+}
+
+fn lattice_weights(k: usize) -> SpatialWeights {
+    let pts: Vec<Point> = (0..k * k)
+        .map(|i| Point::new((i % k) as f64, (i / k) as f64))
+        .collect();
+    SpatialWeights::distance_band(&pts, 1.0)
+}
+
+#[test]
+fn stats_global_statistics() {
+    let k = 9;
+    let w = lattice_weights(k);
+    let values: Vec<f64> = (0..k * k).map(|i| ((i * 7) % 13) as f64).collect();
+    assert_thread_invariant("morans_i", |t| {
+        stats::morans_i_threads(&values, &w, 199, 5, t).unwrap()
+    });
+    assert_thread_invariant("general_g", |t| {
+        stats::general_g_threads(&values, &w, 199, 5, t).unwrap()
+    });
+    // Fewer permutations than any parallel split can fill 64 threads.
+    assert_thread_invariant("morans_i (tiny)", |t| {
+        stats::morans_i_threads(&values, &w, 3, 1, t).unwrap()
+    });
+}
+
+#[test]
+fn stats_local_statistics() {
+    let k = 8;
+    let w = lattice_weights(k);
+    let values: Vec<f64> = (0..k * k).map(|i| ((i * 11) % 17) as f64).collect();
+    assert_thread_invariant("local_gi_star", |t| {
+        stats::local_gi_star_threads(&values, &w, t)
+    });
+    assert_thread_invariant("local_morans_i", |t| {
+        stats::local_morans_i_threads(&values, &w, 99, 23, t)
+    });
+}
+
+#[test]
+fn stats_clustering() {
+    let pts = data::gaussian_mixture(
+        600,
+        &[
+            lsga::prelude::Hotspot {
+                center: Point::new(30.0, 30.0),
+                sigma: 4.0,
+                weight: 1.0,
+            },
+            lsga::prelude::Hotspot {
+                center: Point::new(70.0, 65.0),
+                sigma: 4.0,
+                weight: 1.0,
+            },
+        ],
+        window(),
+        31,
+    );
+    assert_thread_invariant("dbscan", |t| stats::dbscan_threads(&pts, 3.0, 5, t));
+    assert_thread_invariant("kmeans", |t| stats::kmeans_threads(&pts, 2, 40, 17, t));
+}
+
+fn samples() -> Vec<(Point, f64)> {
+    points(120, 40)
+        .into_iter()
+        .map(|p| (p, 3.0 + 0.08 * p.x - 0.05 * p.y))
+        .collect()
+}
+
+#[test]
+fn interp_idw_all_variants() {
+    let s = samples();
+    let spec = GridSpec::new(window(), 18, 15);
+    assert_thread_invariant("idw_naive", |t| interp::idw_naive_threads(&s, spec, 2.0, t));
+    assert_thread_invariant("idw_knn", |t| interp::idw_knn_threads(&s, spec, 2.0, 8, t));
+    assert_thread_invariant("idw_radius", |t| {
+        interp::idw_radius_threads(&s, spec, 2.0, 15.0, t)
+    });
+}
+
+#[test]
+fn interp_kriging() {
+    let s = samples();
+    let spec = GridSpec::new(window(), 10, 10);
+    let model = VariogramModel {
+        kind: VariogramModelKind::Spherical,
+        nugget: 0.1,
+        psill: 8.0,
+        range: 25.0,
+    };
+    assert_thread_invariant("ordinary_kriging", |t| {
+        interp::ordinary_kriging_threads(&s, spec, &model, 10, t).unwrap()
+    });
+}
+
+#[test]
+fn more_threads_than_rows() {
+    // A 3-row grid on 64 threads: most workers must find the claim
+    // counter exhausted and exit without touching the output.
+    let pts = points(150, 50);
+    let spec = GridSpec::new(window(), 16, 3);
+    assert_thread_invariant("parallel_kdv (3 rows)", |t| {
+        kdv::parallel_kdv_threads(&pts, spec, Epanechnikov::new(10.0), 1e-9, t)
+    });
+}
