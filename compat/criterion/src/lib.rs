@@ -55,17 +55,31 @@ impl From<String> for BenchmarkId {
 }
 
 /// Top-level driver handed to every bench function.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    /// `--test` smoke mode (upstream's `cargo bench -- --test`): run
+    /// every target exactly once with no warm-up or sampling, so CI can
+    /// verify benches build and execute without paying measurement time.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
             sample_size: 10,
             warm_up: Duration::from_millis(300),
             measurement: Duration::from_secs(2),
+            test_mode,
         }
     }
 
@@ -83,6 +97,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -128,6 +143,15 @@ impl BenchmarkGroup<'_> {
         } else {
             format!("{}/{}", self.name, id.id)
         };
+
+        if self.test_mode {
+            let mut b = Bencher {
+                samples: Vec::new(),
+            };
+            f(&mut b);
+            println!("test {full} ... ok");
+            return;
+        }
 
         // Warm-up: run the target until the warm-up budget elapses
         // (at least once).

@@ -14,6 +14,7 @@ use lsga::dist::{self, PartitionStrategy};
 use lsga::prelude::*;
 use lsga::stats::{self, areal, SpatialWeights};
 use lsga::{data, interp, kdv, kfunc, viz};
+use lsga_bench::report;
 use lsga_bench::workloads::{crime, csr, road_scenario, sensors, taxi, waves, window};
 use std::time::{Duration, Instant};
 
@@ -25,6 +26,10 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 
 fn ms(d: Duration) -> String {
     format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+fn msf(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
 }
 
 fn hw_threads() -> usize {
@@ -62,8 +67,13 @@ fn main() {
         if want(id) {
             println!("\n## {} — {title}\n", id.to_uppercase());
             let t = Instant::now();
+            report::start(id, title);
             f();
-            println!("\n[{} completed in {:.1?}]", id.to_uppercase(), t.elapsed());
+            let elapsed = t.elapsed();
+            if let Some(path) = report::finish(msf(elapsed)) {
+                println!("\n[wrote {}]", path.display());
+            }
+            println!("\n[{} completed in {:.1?}]", id.to_uppercase(), elapsed);
             ran += 1;
         }
     }
@@ -147,18 +157,30 @@ fn e3() {
     println!("|---|---|---|---|---|---|---|");
     for n in [10_000usize, 30_000, 100_000, 300_000] {
         let pts = crime(n);
+        let nf = n as f64;
+        let res = (spec.nx * spec.ny) as f64;
         let naive_col = if n <= 30_000 {
             let (_, t) = time(|| kdv::naive_kdv(&pts, spec, quartic));
+            report::row("naive", &[("n", nf), ("pixels", res)], msf(t));
             format!("{} ms", ms(t))
         } else {
             "— (extrapolates to minutes)".to_string()
         };
         let (_, t_grid) = time(|| kdv::grid_pruned_kdv(&pts, spec, quartic, 1e-9));
+        report::row("grid-pruned", &[("n", nf), ("pixels", res)], msf(t_grid));
         let (_, t_slam) = time(|| kdv::slam_kdv(&pts, spec, poly));
+        report::row("slam", &[("n", nf), ("pixels", res)], msf(t_slam));
         let engine = kdv::BoundsKdv::new(&pts);
         let (_, t_bounds) = time(|| engine.compute(spec, quartic, 0.1));
+        report::row("bounds", &[("n", nf), ("pixels", res)], msf(t_bounds));
         let (_, t_samp) = time(|| kdv::sampling_kdv(&pts, spec, quartic, 4096, 1));
+        report::row("sampling", &[("n", nf), ("pixels", res)], msf(t_samp));
         let (_, t_par) = time(|| kdv::parallel_kdv(&pts, spec, quartic, 1e-9, threads));
+        report::row(
+            "parallel",
+            &[("n", nf), ("pixels", res), ("threads", threads as f64)],
+            msf(t_par),
+        );
         println!(
             "| {n} | {naive_col} | {} ms | {} ms | {} ms | {} ms | {} ms |",
             ms(t_grid),
@@ -174,9 +196,17 @@ fn e3() {
     let pts = crime(100_000);
     for nx in [128usize, 256, 512, 1024] {
         let spec = GridSpec::with_width(window(), nx);
+        let res = (spec.nx * spec.ny) as f64;
         let (_, t_grid) = time(|| kdv::grid_pruned_kdv(&pts, spec, quartic, 1e-9));
+        report::row("grid-pruned", &[("n", 1e5), ("pixels", res)], msf(t_grid));
         let (_, t_slam) = time(|| kdv::slam_kdv(&pts, spec, poly));
+        report::row("slam", &[("n", 1e5), ("pixels", res)], msf(t_slam));
         let (_, t_par) = time(|| kdv::parallel_kdv(&pts, spec, quartic, 1e-9, threads));
+        report::row(
+            "parallel",
+            &[("n", 1e5), ("pixels", res), ("threads", threads as f64)],
+            msf(t_par),
+        );
         println!(
             "| {}x{} | {} ms | {} ms | {} ms |",
             spec.nx,
@@ -228,18 +258,33 @@ fn e5() {
     println!("|---|---|---|---|---|---|---|");
     for n in [5_000usize, 20_000, 80_000, 320_000] {
         let pts = taxi(n);
+        let nf = n as f64;
         let naive_col = if n <= 20_000 {
             let (k, t) = time(|| kfunc::naive_k(&pts, s, cfg));
             let _ = k;
+            report::row("naive", &[("n", nf), ("s", s)], msf(t));
             format!("{} ms", ms(t))
         } else {
             "—".to_string()
         };
         let (k_grid, t_grid) = time(|| kfunc::grid_k(&pts, s, cfg));
+        report::row("grid", &[("n", nf), ("s", s)], msf(t_grid));
         let (k_kd, t_kd) = time(|| kfunc::kd_tree_k(&pts, s, cfg));
+        report::row("kd-tree", &[("n", nf), ("s", s)], msf(t_kd));
         let (k_ball, t_ball) = time(|| kfunc::ball_tree_k(&pts, s, cfg));
+        report::row("ball-tree", &[("n", nf), ("s", s)], msf(t_ball));
         let (_, t_hist) = time(|| kfunc::histogram_k_all(&pts, &thresholds, cfg));
+        report::row(
+            "histogram",
+            &[("n", nf), ("thresholds", thresholds.len() as f64)],
+            msf(t_hist),
+        );
         let (k_par, t_par) = time(|| kfunc::parallel_k(&pts, s, cfg, threads));
+        report::row(
+            "parallel",
+            &[("n", nf), ("s", s), ("threads", threads as f64)],
+            msf(t_par),
+        );
         assert!(k_grid == k_kd && k_kd == k_ball && k_ball == k_par);
         println!(
             "| {n} | {naive_col} | {} ms | {} ms | {} ms | {} ms | {} ms |",

@@ -12,4 +12,5 @@
 //! [`workloads`] defines the shared synthetic datasets so that the
 //! binary and the benches measure identical inputs.
 
+pub mod report;
 pub mod workloads;

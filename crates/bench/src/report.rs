@@ -1,0 +1,155 @@
+//! Machine-readable benchmark reports for the `experiments` binary.
+//!
+//! Instrumented experiments record one [`row`] per timed method call;
+//! [`finish`] then writes a `BENCH_<ID>.json` file next to the printed
+//! markdown table so regressions can be diffed mechanically instead of
+//! by eyeballing tables. The writer is hand-rolled: the workspace is
+//! offline, so no serde.
+//!
+//! The JSON shape is flat and stable:
+//!
+//! ```json
+//! {
+//!   "id": "e3",
+//!   "title": "KDV method scaling (naive vs accelerated)",
+//!   "host_parallelism": 8,
+//!   "total_ms": 1234.5,
+//!   "rows": [
+//!     { "method": "grid-pruned", "params": { "n": 10000 }, "ms": 12.3 }
+//!   ]
+//! }
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+struct Row {
+    method: String,
+    params: Vec<(String, f64)>,
+    ms: f64,
+}
+
+struct Report {
+    id: String,
+    title: String,
+    rows: Vec<Row>,
+}
+
+static ACTIVE: Mutex<Option<Report>> = Mutex::new(None);
+
+/// Begin recording rows for experiment `id`. Any unfinished previous
+/// report is discarded.
+pub fn start(id: &str, title: &str) {
+    *ACTIVE.lock().unwrap() = Some(Report {
+        id: id.to_string(),
+        title: title.to_string(),
+        rows: Vec::new(),
+    });
+}
+
+/// Record one timed method invocation with its parameters (e.g.
+/// `("n", 10000.0)`, `("threads", 8.0)`). A no-op outside
+/// [`start`]/[`finish`].
+pub fn row(method: &str, params: &[(&str, f64)], ms: f64) {
+    if let Some(r) = ACTIVE.lock().unwrap().as_mut() {
+        r.rows.push(Row {
+            method: method.to_string(),
+            params: params.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            ms,
+        });
+    }
+}
+
+/// Close the active report. Experiments that recorded at least one row
+/// get `BENCH_<ID>.json` written to the working directory; the path is
+/// returned so the caller can announce it. Uninstrumented experiments
+/// produce no file.
+pub fn finish(total_ms: f64) -> Option<PathBuf> {
+    let report = ACTIVE.lock().unwrap().take()?;
+    if report.rows.is_empty() {
+        return None;
+    }
+    let path = PathBuf::from(format!("BENCH_{}.json", report.id.to_uppercase()));
+    std::fs::write(&path, render(&report, total_ms)).ok()?;
+    Some(path)
+}
+
+fn render(r: &Report, total_ms: f64) -> String {
+    let host = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"id\": \"{}\",\n", esc(&r.id)));
+    out.push_str(&format!("  \"title\": \"{}\",\n", esc(&r.title)));
+    out.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    out.push_str(&format!("  \"total_ms\": {},\n", num(total_ms)));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in r.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"method\": \"{}\", \"params\": {{ ",
+            esc(&row.method)
+        ));
+        for (j, (k, v)) in row.params.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", esc(k), num(*v)));
+        }
+        out.push_str(&format!(" }}, \"ms\": {} }}", num(row.ms)));
+        out.push_str(if i + 1 < r.rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// JSON string escaping for the ASCII control set plus quote/backslash.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON number; non-finite values (no JSON encoding) become null.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_writes_only_with_rows() {
+        start("e99-empty", "no rows");
+        assert!(finish(1.0).is_none());
+
+        start("unit-test", "quote \" and backslash \\");
+        row("naive", &[("n", 10_000.0), ("threads", 2.0)], 12.5);
+        row("weird", &[("eps", f64::INFINITY)], f64::NAN);
+        let path = finish(99.0).expect("file written");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(text.contains("\"id\": \"unit-test\""));
+        assert!(text.contains("quote \\\" and backslash \\\\"));
+        assert!(text.contains("\"n\": 10000"));
+        assert!(text.contains("\"eps\": null"));
+        assert!(text.contains("\"ms\": null"));
+        assert!(text.contains("\"total_ms\": 99"));
+        // Rows recorded after finish are dropped.
+        row("late", &[], 1.0);
+        assert!(finish(0.0).is_none());
+    }
+}

@@ -37,6 +37,42 @@ pub trait Kernel: Copy + Send + Sync + 'static {
         self.eval_sq(d * d)
     }
 
+    /// The kernel formula at `d²` **without** the support test.
+    ///
+    /// Inside the support this is bit-identical to [`Kernel::eval_sq`];
+    /// outside it may return any finite value (including negative ones —
+    /// e.g. `1 − d²/b²` keeps decreasing past `b`). The branch-free
+    /// microkernels in [`crate::soa`] multiply it by a `{0.0, 1.0}` mask
+    /// instead of branching, which is why the out-of-support value never
+    /// has to be correct, only finite.
+    #[inline]
+    fn eval_sq_raw(&self, d2: f64) -> f64 {
+        self.eval_sq(d2)
+    }
+
+    /// Squared support radius for branch-free masking: `support()²` for
+    /// finite-support kernels, `+∞` otherwise (every distance passes).
+    #[inline]
+    fn support_sq(&self) -> f64 {
+        self.support().map_or(f64::INFINITY, |s| s * s)
+    }
+
+    /// Batch evaluation: `out[i] = eval_sq(d2s[i])`, bit-identical per
+    /// element to the scalar method.
+    ///
+    /// The default is the scalar loop; the concrete kernels override it
+    /// with a branch-free multiply-by-mask form the compiler can
+    /// vectorize, and the kernels whose formula needs `d` (triangular,
+    /// cosine, exponential) take their single `sqrt` per lane here
+    /// instead of duplicating the sqrt-then-branch shape at call sites.
+    #[inline]
+    fn eval_sq_batch(&self, d2s: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(d2s.len(), out.len());
+        for (o, d2) in out.iter_mut().zip(d2s) {
+            *o = self.eval_sq(*d2);
+        }
+    }
+
     /// `Some(r)` if the kernel is exactly zero for all distances `> r`;
     /// `None` for infinite-support kernels (Gaussian, exponential).
     fn support(&self) -> Option<f64>;
@@ -86,6 +122,7 @@ pub struct Uniform {
 
 impl Uniform {
     /// Uniform kernel with bandwidth `b`. Panics if `b ≤ 0` or non-finite.
+    #[must_use]
     pub fn new(b: f64) -> Self {
         check_bandwidth!(b);
         Uniform {
@@ -107,6 +144,18 @@ impl Kernel for Uniform {
             self.inv_b
         } else {
             0.0
+        }
+    }
+    #[inline]
+    fn eval_sq_raw(&self, _d2: f64) -> f64 {
+        self.inv_b
+    }
+    #[inline]
+    fn eval_sq_batch(&self, d2s: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(d2s.len(), out.len());
+        for (o, d2) in out.iter_mut().zip(d2s) {
+            let m = (*d2 <= self.b2) as u64 as f64;
+            *o = m * self.inv_b + 0.0;
         }
     }
     #[inline]
@@ -138,6 +187,7 @@ pub struct Epanechnikov {
 
 impl Epanechnikov {
     /// Epanechnikov kernel with bandwidth `b`. Panics if `b ≤ 0`.
+    #[must_use]
     pub fn new(b: f64) -> Self {
         check_bandwidth!(b);
         Epanechnikov {
@@ -159,6 +209,18 @@ impl Kernel for Epanechnikov {
             1.0 - d2 * self.inv_b2
         } else {
             0.0
+        }
+    }
+    #[inline]
+    fn eval_sq_raw(&self, d2: f64) -> f64 {
+        1.0 - d2 * self.inv_b2
+    }
+    #[inline]
+    fn eval_sq_batch(&self, d2s: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(d2s.len(), out.len());
+        for (o, d2) in out.iter_mut().zip(d2s) {
+            let m = (*d2 <= self.b2) as u64 as f64;
+            *o = m * (1.0 - *d2 * self.inv_b2) + 0.0;
         }
     }
     #[inline]
@@ -190,6 +252,7 @@ pub struct Quartic {
 
 impl Quartic {
     /// Quartic kernel with bandwidth `b`. Panics if `b ≤ 0`.
+    #[must_use]
     pub fn new(b: f64) -> Self {
         check_bandwidth!(b);
         Quartic {
@@ -212,6 +275,20 @@ impl Kernel for Quartic {
             u * u
         } else {
             0.0
+        }
+    }
+    #[inline]
+    fn eval_sq_raw(&self, d2: f64) -> f64 {
+        let u = 1.0 - d2 * self.inv_b2;
+        u * u
+    }
+    #[inline]
+    fn eval_sq_batch(&self, d2s: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(d2s.len(), out.len());
+        for (o, d2) in out.iter_mut().zip(d2s) {
+            let m = (*d2 <= self.b2) as u64 as f64;
+            let u = 1.0 - *d2 * self.inv_b2;
+            *o = m * (u * u) + 0.0;
         }
     }
     #[inline]
@@ -241,6 +318,7 @@ pub struct Gaussian {
 
 impl Gaussian {
     /// Gaussian kernel with bandwidth `b`. Panics if `b ≤ 0`.
+    #[must_use]
     pub fn new(b: f64) -> Self {
         check_bandwidth!(b);
         Gaussian {
@@ -258,6 +336,15 @@ impl Kernel for Gaussian {
     #[inline]
     fn eval_sq(&self, d2: f64) -> f64 {
         (-d2 * self.inv_b2).exp()
+    }
+    // `eval_sq` has no support branch, so the default `eval_sq_raw` is
+    // already branch-free; only the batch loop is specialized.
+    #[inline]
+    fn eval_sq_batch(&self, d2s: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(d2s.len(), out.len());
+        for (o, d2) in out.iter_mut().zip(d2s) {
+            *o = (-*d2 * self.inv_b2).exp();
+        }
     }
     #[inline]
     fn support(&self) -> Option<f64> {
@@ -289,6 +376,7 @@ pub struct Triangular {
 
 impl Triangular {
     /// Triangular kernel with bandwidth `b`. Panics if `b ≤ 0`.
+    #[must_use]
     pub fn new(b: f64) -> Self {
         check_bandwidth!(b);
         Triangular {
@@ -310,6 +398,18 @@ impl Kernel for Triangular {
             1.0 - d2.sqrt() * self.inv_b
         } else {
             0.0
+        }
+    }
+    #[inline]
+    fn eval_sq_raw(&self, d2: f64) -> f64 {
+        1.0 - d2.sqrt() * self.inv_b
+    }
+    #[inline]
+    fn eval_sq_batch(&self, d2s: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(d2s.len(), out.len());
+        for (o, d2) in out.iter_mut().zip(d2s) {
+            let m = (*d2 <= self.b2) as u64 as f64;
+            *o = m * (1.0 - d2.sqrt() * self.inv_b) + 0.0;
         }
     }
     #[inline]
@@ -340,6 +440,7 @@ pub struct Cosine {
 
 impl Cosine {
     /// Cosine kernel with bandwidth `b`. Panics if `b ≤ 0`.
+    #[must_use]
     pub fn new(b: f64) -> Self {
         check_bandwidth!(b);
         Cosine {
@@ -361,6 +462,31 @@ impl Kernel for Cosine {
             (d2.sqrt() * self.half_pi_inv_b).cos()
         } else {
             0.0
+        }
+    }
+    // `cos` is a libm call the autovectorizer cannot fold, so unlike the
+    // polynomial kernels the branch-free mask form is a net loss here:
+    // it would pay sqrt+cos on every out-of-support candidate. Keeping
+    // the support branch in both hooks is still within the contract
+    // (0.0 is a finite value outside support) and bit-identical to
+    // `eval_sq` everywhere.
+    #[inline]
+    fn eval_sq_raw(&self, d2: f64) -> f64 {
+        if d2 <= self.b2 {
+            (d2.sqrt() * self.half_pi_inv_b).cos()
+        } else {
+            0.0
+        }
+    }
+    #[inline]
+    fn eval_sq_batch(&self, d2s: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(d2s.len(), out.len());
+        for (o, d2) in out.iter_mut().zip(d2s) {
+            *o = if *d2 <= self.b2 {
+                (d2.sqrt() * self.half_pi_inv_b).cos()
+            } else {
+                0.0
+            };
         }
     }
     #[inline]
@@ -390,6 +516,7 @@ pub struct Exponential {
 
 impl Exponential {
     /// Exponential kernel with bandwidth `b`. Panics if `b ≤ 0`.
+    #[must_use]
     pub fn new(b: f64) -> Self {
         check_bandwidth!(b);
         Exponential { b, inv_b: 1.0 / b }
@@ -404,6 +531,14 @@ impl Kernel for Exponential {
     #[inline]
     fn eval_sq(&self, d2: f64) -> f64 {
         (-d2.sqrt() * self.inv_b).exp()
+    }
+    // Infinite support: the default `eval_sq_raw` is already branch-free.
+    #[inline]
+    fn eval_sq_batch(&self, d2s: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(d2s.len(), out.len());
+        for (o, d2) in out.iter_mut().zip(d2s) {
+            *o = (-d2.sqrt() * self.inv_b).exp();
+        }
     }
     #[inline]
     fn support(&self) -> Option<f64> {
@@ -464,6 +599,7 @@ impl KernelKind {
     }
 
     /// Instantiate this kernel with bandwidth `b`.
+    #[must_use]
     pub fn with_bandwidth(&self, b: f64) -> AnyKernel {
         match self {
             KernelKind::Uniform => AnyKernel::Uniform(Uniform::new(b)),
@@ -524,6 +660,14 @@ impl Kernel for AnyKernel {
         dispatch!(self, k => k.eval_sq(d2))
     }
     #[inline]
+    fn eval_sq_raw(&self, d2: f64) -> f64 {
+        dispatch!(self, k => k.eval_sq_raw(d2))
+    }
+    #[inline]
+    fn eval_sq_batch(&self, d2s: &[f64], out: &mut [f64]) {
+        dispatch!(self, k => k.eval_sq_batch(d2s, out))
+    }
+    #[inline]
     fn support(&self) -> Option<f64> {
         dispatch!(self, k => k.support())
     }
@@ -558,6 +702,7 @@ impl PolyKernel {
     ///
     /// Returns `None` for non-polynomial kernels (Gaussian, triangular,
     /// cosine, exponential).
+    #[must_use]
     pub fn new(kind: KernelKind, b: f64) -> Option<Self> {
         check_bandwidth!(b);
         let b2 = b * b;
@@ -609,6 +754,21 @@ impl Kernel for PolyKernel {
             c0 + d2 * (c1 + d2 * c2)
         } else {
             0.0
+        }
+    }
+    #[inline]
+    fn eval_sq_raw(&self, d2: f64) -> f64 {
+        let [c0, c1, c2] = self.coeffs;
+        c0 + d2 * (c1 + d2 * c2)
+    }
+    #[inline]
+    fn eval_sq_batch(&self, d2s: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(d2s.len(), out.len());
+        let b2 = self.b * self.b;
+        let [c0, c1, c2] = self.coeffs;
+        for (o, d2) in out.iter_mut().zip(d2s) {
+            let m = (*d2 <= b2) as u64 as f64;
+            *o = m * (c0 + *d2 * (c1 + *d2 * c2)) + 0.0;
         }
     }
     #[inline]
@@ -817,6 +977,57 @@ mod tests {
         for k in all_kernels(0.8) {
             for d in [0.0, 0.1, 0.5, 0.79, 0.8, 1.0, 2.0] {
                 assert!((k.eval(d) - k.eval_sq(d * d)).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// The branch-free batch path must be *bit-identical* to the scalar
+    /// `eval_sq`, including at the support boundary and outside it (where
+    /// the mask must yield exactly `+0.0`, never `-0.0` or a negative
+    /// out-of-support polynomial value).
+    #[test]
+    fn eval_sq_batch_bit_equals_scalar() {
+        let b = 1.3;
+        let d2s: Vec<f64> = (0..400).map(|i| i as f64 * 0.01).collect();
+        let mut batch = vec![0.0; d2s.len()];
+        let mut check =
+            |name: &str, k: &dyn Fn(&[f64], &mut [f64]), scalar: &dyn Fn(f64) -> f64| {
+                k(&d2s, &mut batch);
+                for (d2, got) in d2s.iter().zip(&batch) {
+                    let want = scalar(*d2);
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{name} at d2={d2}: batch {got} vs scalar {want}"
+                    );
+                }
+            };
+        for kind in KernelKind::ALL {
+            let k = kind.with_bandwidth(b);
+            check(kind.name(), &|d2s, out| k.eval_sq_batch(d2s, out), &|d2| {
+                k.eval_sq(d2)
+            });
+        }
+        let p = PolyKernel::new(KernelKind::Quartic, b).unwrap();
+        check(
+            "poly-quartic",
+            &|d2s, out| p.eval_sq_batch(d2s, out),
+            &|d2| p.eval_sq(d2),
+        );
+    }
+
+    /// `eval_sq_raw` must agree bit-for-bit with `eval_sq` inside the
+    /// support (the masked microkernels rely on this).
+    #[test]
+    fn eval_sq_raw_matches_inside_support() {
+        for kind in KernelKind::ALL {
+            let k = kind.with_bandwidth(2.1);
+            let s2 = k.support_sq();
+            for i in 0..300 {
+                let d2 = i as f64 * 0.02;
+                if d2 <= s2 {
+                    assert_eq!(k.eval_sq_raw(d2).to_bits(), k.eval_sq(d2).to_bits());
+                }
             }
         }
     }

@@ -18,6 +18,7 @@ pub mod kernel;
 pub mod linalg;
 pub mod par;
 pub mod point;
+pub mod soa;
 pub mod util;
 
 pub use bandwidth::{scott_bandwidth, silverman_bandwidth};
@@ -29,3 +30,4 @@ pub use kernel::{
 };
 pub use par::{par_for_each_chunk, par_map, par_map_rows, par_reduce, Threads};
 pub use point::{BBox, Point, TimedPoint};
+pub use soa::PointsSoA;

@@ -1,0 +1,433 @@
+//! Structure-of-arrays point store and cache-blocked batch microkernels.
+//!
+//! The tool crates' hot loops are all O(n·m) pair sweeps — every pixel (or
+//! point) against every candidate point. Run over `Vec<Point>` they load
+//! interleaved `{x, y}` pairs and evaluate `Kernel::eval_sq` one pair at a
+//! time through a support branch, which defeats vectorization. This module
+//! provides the layer below thread parallelism:
+//!
+//! * [`PointsSoA`] — columnar `xs`/`ys` (plus optional `ts`/`ws` columns
+//!   for spatio-temporal and weighted tools), built once per invocation.
+//! * Cache-blocked microkernels — [`accumulate_density_row`],
+//!   [`accumulate_density_span`], [`distances_sq_tile`],
+//!   [`count_within_span`], [`scatter_scaled_row`] — that process
+//!   [`TILE`]-point blocks against [`LANES`]-query register blocks with
+//!   branch-free multiply-by-mask kernel evaluation.
+//!
+//! # Determinism contract
+//!
+//! Every microkernel folds each accumulator's contributions in **exact
+//! input (point) order** — tiling changes only *when* a contribution is
+//! computed, never the order it is added into its accumulator — so the
+//! results are bit-identical to the scalar loops they replace, and
+//! therefore identical across thread counts (the PR-1 pool already fixes
+//! the chunk decomposition). The mask trick is sound because for
+//! out-of-support distances the masked product is `±0.0`, and adding
+//! `±0.0` to a running sum that started at `+0.0` never changes its bits:
+//! `x + ±0.0 == x` for `x != 0`, and `(+0.0) + (±0.0) == +0.0` in
+//! round-to-nearest.
+//!
+//! Callers of the masked paths must pass `cutoff_r2` no larger than the
+//! kernel's [`Kernel::support_sq`] (use `r2.min(kernel.support_sq())`):
+//! beyond the support the *raw* formula keeps decreasing below zero, so a
+//! looser mask would add garbage the branchy scalar code never saw.
+
+use crate::kernel::Kernel;
+use crate::point::{Point, TimedPoint};
+
+/// Points per inner block: two `f64` columns of 512 points are 8 KiB,
+/// comfortably inside a 32 KiB L1 together with the query block and
+/// scratch.
+pub const TILE: usize = 512;
+
+/// Queries per register block. Eight accumulators fit the 16 vector
+/// registers of baseline x86-64 with room for the distance temporaries.
+pub const LANES: usize = 8;
+
+/// Columnar view of a point set: one `Vec<f64>` per coordinate.
+///
+/// `ts` (timestamps) and `ws` (weights / sample values) are optional
+/// side columns; constructors fill only what their input carries and
+/// leave the rest empty.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PointsSoA {
+    /// X coordinates, in input order.
+    pub xs: Vec<f64>,
+    /// Y coordinates, in input order.
+    pub ys: Vec<f64>,
+    /// Timestamps (empty unless built from timed points).
+    pub ts: Vec<f64>,
+    /// Weights or attached sample values (empty unless provided).
+    pub ws: Vec<f64>,
+}
+
+impl PointsSoA {
+    /// Columnarize a plain point set.
+    #[must_use]
+    pub fn from_points(points: &[Point]) -> Self {
+        PointsSoA {
+            xs: points.iter().map(|p| p.x).collect(),
+            ys: points.iter().map(|p| p.y).collect(),
+            ts: Vec::new(),
+            ws: Vec::new(),
+        }
+    }
+
+    /// Columnarize a spatio-temporal point set (fills `ts`).
+    #[must_use]
+    pub fn from_timed(points: &[TimedPoint]) -> Self {
+        PointsSoA {
+            xs: points.iter().map(|p| p.point.x).collect(),
+            ys: points.iter().map(|p| p.point.y).collect(),
+            ts: points.iter().map(|p| p.t).collect(),
+            ws: Vec::new(),
+        }
+    }
+
+    /// Columnarize weighted samples `(point, value)` (fills `ws`).
+    #[must_use]
+    pub fn from_samples(samples: &[(Point, f64)]) -> Self {
+        PointsSoA {
+            xs: samples.iter().map(|(p, _)| p.x).collect(),
+            ys: samples.iter().map(|(p, _)| p.y).collect(),
+            ts: Vec::new(),
+            ws: samples.iter().map(|(_, z)| *z).collect(),
+        }
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when the store holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+/// Accumulate masked kernel density of every query in a raster row
+/// against a point span: `acc[i] += Σ_j [d²(q_i, p_j) ≤ cutoff_r2] ·
+/// K_raw(d²)`, folding each `acc[i]`'s terms in point order.
+///
+/// Queries share the row ordinate `qy`; their abscissae are `qxs`. The
+/// span is blocked [`TILE`] points at a time (with `(qy − y_j)²` hoisted
+/// into a stack buffer per tile) and [`LANES`] queries at a time, so the
+/// inner loop is a branch-free 8-accumulator sweep the compiler can keep
+/// entirely in registers.
+///
+/// Bit-identical to the scalar loop
+/// `for j { if d2 <= cutoff_r2 { acc[i] += kernel.eval_sq(d2) } }`
+/// provided `cutoff_r2 ≤ kernel.support_sq()` (see the module docs).
+pub fn accumulate_density_row<K: Kernel>(
+    kernel: &K,
+    cutoff_r2: f64,
+    qxs: &[f64],
+    qy: f64,
+    xs: &[f64],
+    ys: &[f64],
+    acc: &mut [f64],
+) {
+    debug_assert_eq!(qxs.len(), acc.len());
+    debug_assert_eq!(xs.len(), ys.len());
+    let mut dy2 = [0.0f64; TILE];
+    let mut p0 = 0;
+    while p0 < xs.len() {
+        let p1 = (p0 + TILE).min(xs.len());
+        let txs = &xs[p0..p1];
+        for (s, y) in dy2[..p1 - p0].iter_mut().zip(&ys[p0..p1]) {
+            let dy = qy - *y;
+            *s = dy * dy;
+        }
+        let tdy2 = &dy2[..p1 - p0];
+
+        let mut q0 = 0;
+        while q0 < qxs.len() {
+            let q1 = (q0 + LANES).min(qxs.len());
+            let w = q1 - q0;
+            let mut accs = [0.0f64; LANES];
+            accs[..w].copy_from_slice(&acc[q0..q1]);
+            if w == LANES {
+                // Full register block: fixed-size arrays keep the lane
+                // loops unrollable and the accumulators in registers.
+                let mut qs = [0.0f64; LANES];
+                qs.copy_from_slice(&qxs[q0..q1]);
+                for (x, dy2j) in txs.iter().zip(tdy2) {
+                    let mut d2s = [0.0f64; LANES];
+                    for l in 0..LANES {
+                        let dx = qs[l] - *x;
+                        d2s[l] = dx * dx + *dy2j;
+                    }
+                    for l in 0..LANES {
+                        let m = (d2s[l] <= cutoff_r2) as u64 as f64;
+                        accs[l] += m * kernel.eval_sq_raw(d2s[l]);
+                    }
+                }
+            } else {
+                let qs = &qxs[q0..q1];
+                for (x, dy2j) in txs.iter().zip(tdy2) {
+                    for (a, qx) in accs[..w].iter_mut().zip(qs) {
+                        let dx = *qx - *x;
+                        let d2 = dx * dx + *dy2j;
+                        let m = (d2 <= cutoff_r2) as u64 as f64;
+                        *a += m * kernel.eval_sq_raw(d2);
+                    }
+                }
+            }
+            acc[q0..q1].copy_from_slice(&accs[..w]);
+            q0 = q1;
+        }
+        p0 = p1;
+    }
+}
+
+/// Masked kernel-density fold of a single query over a point span,
+/// starting from `init`: returns
+/// `init + Σ_j [d²(q, p_j) ≤ cutoff_r2] · K_raw(d²)` with terms added in
+/// point order. Same bit-equality contract as [`accumulate_density_row`].
+#[must_use]
+pub fn accumulate_density_span<K: Kernel>(
+    kernel: &K,
+    cutoff_r2: f64,
+    qx: f64,
+    qy: f64,
+    xs: &[f64],
+    ys: &[f64],
+    init: f64,
+) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    let mut acc = init;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = qx - *x;
+        let dy = qy - *y;
+        let d2 = dx * dx + dy * dy;
+        let m = (d2 <= cutoff_r2) as u64 as f64;
+        acc += m * kernel.eval_sq_raw(d2);
+    }
+    acc
+}
+
+/// Squared distances from one query to a point span:
+/// `out[j] = (qx − xs[j])² + (qy − ys[j])²`, bit-identical to
+/// `Point::dist_sq` in either argument order (the sign of the difference
+/// squares away exactly).
+pub fn distances_sq_tile(qx: f64, qy: f64, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(xs.len(), ys.len());
+    debug_assert_eq!(xs.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(xs).zip(ys) {
+        let dx = qx - *x;
+        let dy = qy - *y;
+        *o = dx * dx + dy * dy;
+    }
+}
+
+/// Branch-free range count over a point span: how many points lie within
+/// squared distance `r2` of `(qx, qy)` (boundary inclusive).
+#[must_use]
+pub fn count_within_span(qx: f64, qy: f64, xs: &[f64], ys: &[f64], r2: f64) -> usize {
+    debug_assert_eq!(xs.len(), ys.len());
+    let mut count = 0usize;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = qx - *x;
+        let dy = qy - *y;
+        count += ((dx * dx + dy * dy) <= r2) as usize;
+    }
+    count
+}
+
+/// Scatter one point's scaled kernel mass across a raster-row pixel span:
+/// `acc[i] += [d² ≤ cutoff_r2] · (scale · K_raw(d²))` for each query
+/// abscissa. The inner product is grouped `scale · raw` first so the
+/// masked value matches the scalar `scale * kernel.eval_sq(d2)` bits.
+#[allow(clippy::too_many_arguments)]
+pub fn scatter_scaled_row<K: Kernel>(
+    kernel: &K,
+    cutoff_r2: f64,
+    scale: f64,
+    px: f64,
+    py: f64,
+    qxs: &[f64],
+    qy: f64,
+    acc: &mut [f64],
+) {
+    debug_assert_eq!(qxs.len(), acc.len());
+    let dy = qy - py;
+    let dy2 = dy * dy;
+    for (a, qx) in acc.iter_mut().zip(qxs) {
+        let dx = *qx - px;
+        let d2 = dx * dx + dy2;
+        let m = (d2 <= cutoff_r2) as u64 as f64;
+        *a += m * (scale * kernel.eval_sq_raw(d2));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Epanechnikov, Gaussian, Kernel, KernelKind};
+
+    /// Deterministic pseudo-random coordinates (no external RNG needed).
+    fn coords(n: usize, seed: u64, span: f64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 * span
+            })
+            .collect()
+    }
+
+    fn scalar_row<K: Kernel>(
+        kernel: &K,
+        cutoff_r2: f64,
+        qxs: &[f64],
+        qy: f64,
+        xs: &[f64],
+        ys: &[f64],
+        acc: &mut [f64],
+    ) {
+        for (a, qx) in acc.iter_mut().zip(qxs) {
+            for (x, y) in xs.iter().zip(ys) {
+                let dx = qx - x;
+                let dy = qy - y;
+                let d2 = dx * dx + dy * dy;
+                if d2 <= cutoff_r2 {
+                    *a += kernel.eval_sq(d2);
+                }
+            }
+        }
+    }
+
+    /// The tiled row accumulator must match the branchy scalar loop
+    /// bit-for-bit at every awkward size: empty, sub-lane, lane
+    /// boundaries, and multi-tile spans.
+    #[test]
+    fn accumulate_density_row_bit_equals_scalar() {
+        for kind in KernelKind::ALL {
+            let kernel = kind.with_bandwidth(7.0);
+            let cutoff = kernel.support_sq().min(20.0 * 20.0);
+            for (nq, np) in [
+                (0, 17),
+                (1, 0),
+                (1, 1),
+                (3, 5),
+                (LANES - 1, TILE - 1),
+                (LANES, TILE),
+                (LANES + 1, TILE + 1),
+                (2 * LANES + 3, 2 * TILE + 7),
+            ] {
+                let qxs = coords(nq, 1, 30.0);
+                let xs = coords(np, 2, 30.0);
+                let ys = coords(np, 3, 30.0);
+                let qy = 11.5;
+                let mut want = vec![0.25; nq];
+                let mut got = want.clone();
+                scalar_row(&kernel, cutoff, &qxs, qy, &xs, &ys, &mut want);
+                accumulate_density_row(&kernel, cutoff, &qxs, qy, &xs, &ys, &mut got);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "{kind:?} nq={nq} np={np} pixel {i}: {g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn span_fold_bit_equals_scalar() {
+        let kernel = Epanechnikov::new(6.0);
+        let cutoff = kernel.support_sq();
+        let xs = coords(777, 5, 40.0);
+        let ys = coords(777, 6, 40.0);
+        let mut want = 1.5;
+        for (x, y) in xs.iter().zip(&ys) {
+            let d2 = (20.0 - x) * (20.0 - x) + (20.0 - y) * (20.0 - y);
+            if d2 <= cutoff {
+                want += kernel.eval_sq(d2);
+            }
+        }
+        let got = accumulate_density_span(&kernel, cutoff, 20.0, 20.0, &xs, &ys, 1.5);
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn distances_match_point_dist_sq() {
+        let xs = coords(100, 7, 50.0);
+        let ys = coords(100, 8, 50.0);
+        let q = Point::new(17.0, 23.0);
+        let mut out = vec![0.0; 100];
+        distances_sq_tile(q.x, q.y, &xs, &ys, &mut out);
+        for ((x, y), d2) in xs.iter().zip(&ys).zip(&out) {
+            let p = Point::new(*x, *y);
+            assert_eq!(d2.to_bits(), p.dist_sq(&q).to_bits());
+            assert_eq!(d2.to_bits(), q.dist_sq(&p).to_bits());
+        }
+    }
+
+    #[test]
+    fn count_matches_filtered_scalar() {
+        let xs = coords(333, 9, 25.0);
+        let ys = coords(333, 10, 25.0);
+        let r2 = 8.0 * 8.0;
+        let want = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, y)| {
+                let dx = 12.0 - **x;
+                let dy = 12.0 - **y;
+                dx * dx + dy * dy <= r2
+            })
+            .count();
+        assert_eq!(count_within_span(12.0, 12.0, &xs, &ys, r2), want);
+        assert!(want > 0, "degenerate test: no points in range");
+    }
+
+    #[test]
+    fn scatter_bit_equals_branchy_scatter() {
+        let kernel = Gaussian::new(4.0);
+        let radius = kernel.effective_radius(1e-9);
+        let cutoff = (radius * radius).min(kernel.support_sq());
+        let qxs: Vec<f64> = (0..40).map(|i| i as f64 * 0.7).collect();
+        let scale = 0.37;
+        let (px, py, qy) = (13.0, 5.0, 4.0);
+        let mut want = vec![0.5; qxs.len()];
+        for (a, qx) in want.iter_mut().zip(&qxs) {
+            let q = Point::new(*qx, qy);
+            let d2 = q.dist_sq(&Point::new(px, py));
+            if d2 <= cutoff {
+                *a += scale * kernel.eval_sq(d2);
+            }
+        }
+        let mut got = vec![0.5; qxs.len()];
+        scatter_scaled_row(&kernel, cutoff, scale, px, py, &qxs, qy, &mut got);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn soa_constructors_preserve_order_and_columns() {
+        let pts = vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)];
+        let soa = PointsSoA::from_points(&pts);
+        assert_eq!(soa.xs, vec![1.0, 3.0]);
+        assert_eq!(soa.ys, vec![2.0, 4.0]);
+        assert!(soa.ts.is_empty() && soa.ws.is_empty());
+        assert_eq!(soa.len(), 2);
+        assert!(!soa.is_empty());
+
+        let timed = vec![TimedPoint::new(1.0, 2.0, 9.0)];
+        let soa = PointsSoA::from_timed(&timed);
+        assert_eq!(soa.ts, vec![9.0]);
+
+        let samples = vec![(Point::new(5.0, 6.0), 42.0)];
+        let soa = PointsSoA::from_samples(&samples);
+        assert_eq!(soa.ws, vec![42.0]);
+        assert!(PointsSoA::default().is_empty());
+    }
+}

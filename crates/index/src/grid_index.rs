@@ -6,9 +6,18 @@
 //! in near-constant time per result and is the strongest practical
 //! baseline among the surveyed index structures.
 
+use lsga_core::soa::count_within_span;
 use lsga_core::{BBox, Point};
 
 /// Uniform grid over a bounding box, bucketing point indices per cell.
+///
+/// Besides the CSR bucket lists, the index stores the bucketed points'
+/// coordinates **in entry order** as two `f64` columns (`entry_xs` /
+/// `entry_ys`). Because the cells of one grid row are adjacent in CSR
+/// order, any `(cell row, cell-column interval)` becomes one contiguous
+/// slice of those columns ([`GridIndex::row_span`]) that the cache-blocked
+/// microkernels in `lsga_core::soa` can sweep without the
+/// pointer-chasing `entries → points` gather.
 #[derive(Debug, Clone)]
 pub struct GridIndex {
     bbox: BBox,
@@ -19,6 +28,10 @@ pub struct GridIndex {
     starts: Vec<u32>,
     entries: Vec<u32>,
     points: Vec<Point>,
+    /// X coordinates of `points[entries[k]]`, in entry order.
+    entry_xs: Vec<f64>,
+    /// Y coordinates of `points[entries[k]]`, in entry order.
+    entry_ys: Vec<f64>,
 }
 
 impl GridIndex {
@@ -85,6 +98,8 @@ impl GridIndex {
             entries[cursor[c] as usize] = i as u32;
             cursor[c] += 1;
         }
+        let entry_xs = entries.iter().map(|&i| points[i as usize].x).collect();
+        let entry_ys = entries.iter().map(|&i| points[i as usize].y).collect();
         GridIndex {
             bbox,
             cell: cell_size,
@@ -93,6 +108,8 @@ impl GridIndex {
             starts,
             entries,
             points: points.to_vec(),
+            entry_xs,
+            entry_ys,
         }
     }
 
@@ -124,6 +141,26 @@ impl GridIndex {
     #[inline]
     pub fn points(&self) -> &[Point] {
         &self.points
+    }
+
+    /// The full entry permutation: `entries()[k]` is the input index of
+    /// the `k`-th bucketed point. Parallel to [`GridIndex::entry_xs`] /
+    /// [`GridIndex::entry_ys`].
+    #[inline]
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+
+    /// X coordinates of the bucketed points, in entry order.
+    #[inline]
+    pub fn entry_xs(&self) -> &[f64] {
+        &self.entry_xs
+    }
+
+    /// Y coordinates of the bucketed points, in entry order.
+    #[inline]
+    pub fn entry_ys(&self) -> &[f64] {
+        &self.entry_ys
     }
 
     /// Cell coordinates containing `p` (clamped).
@@ -159,43 +196,83 @@ impl GridIndex {
     }
 
     /// Count points with `dist(center, p) ≤ radius`.
+    ///
+    /// Runs branch-free over the entry-ordered coordinate columns, one
+    /// contiguous slice per overlapped cell row.
     pub fn count_within(&self, center: &Point, radius: f64) -> usize {
         let r2 = radius * radius;
+        let (cx0, cx1) = self.cell_col_range(center.x - radius, center.x + radius);
+        let (cy0, cy1) = self.cell_row_range(center.y - radius, center.y + radius);
         let mut count = 0;
-        self.for_each_candidate(center, radius, |_, p| {
-            if p.dist_sq(center) <= r2 {
-                count += 1;
-            }
-        });
+        for cy in cy0..=cy1 {
+            let span = self.row_span(cy, cx0, cx1);
+            count += count_within_span(
+                center.x,
+                center.y,
+                &self.entry_xs[span.clone()],
+                &self.entry_ys[span],
+                r2,
+            );
+        }
         count
     }
 
     /// Collect indices of points with `dist(center, p) ≤ radius` into
-    /// `out` (cleared first).
+    /// `out` (cleared first), in candidate order (cell row, cell column,
+    /// entry order) — the same order `for_each_candidate` visits.
     pub fn query_within(&self, center: &Point, radius: f64, out: &mut Vec<u32>) {
         out.clear();
         let r2 = radius * radius;
-        self.for_each_candidate(center, radius, |i, p| {
-            if p.dist_sq(center) <= r2 {
-                out.push(i);
+        let (cx0, cx1) = self.cell_col_range(center.x - radius, center.x + radius);
+        let (cy0, cy1) = self.cell_row_range(center.y - radius, center.y + radius);
+        for cy in cy0..=cy1 {
+            for k in self.row_span(cy, cx0, cx1) {
+                let dx = center.x - self.entry_xs[k];
+                let dy = center.y - self.entry_ys[k];
+                if dx * dx + dy * dy <= r2 {
+                    out.push(self.entries[k]);
+                }
             }
-        });
+        }
+    }
+
+    /// Inclusive cell-column interval overlapping `[lo_x, hi_x]`
+    /// (clamped to the grid).
+    #[inline]
+    pub fn cell_col_range(&self, lo_x: f64, hi_x: f64) -> (usize, usize) {
+        let cx0 =
+            (((lo_x - self.bbox.min_x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
+        let cx1 =
+            (((hi_x - self.bbox.min_x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
+        (cx0, cx1)
+    }
+
+    /// Inclusive cell-row interval overlapping `[lo_y, hi_y]`
+    /// (clamped to the grid).
+    #[inline]
+    pub fn cell_row_range(&self, lo_y: f64, hi_y: f64) -> (usize, usize) {
+        let cy0 =
+            (((lo_y - self.bbox.min_y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
+        let cy1 =
+            (((hi_y - self.bbox.min_y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
+        (cy0, cy1)
+    }
+
+    /// The contiguous `entries` / `entry_xs` / `entry_ys` range holding
+    /// cells `(cx0..=cx1, cy)`: one grid row's cells are adjacent in CSR
+    /// order, so the whole interval is a single slice.
+    #[inline]
+    pub fn row_span(&self, cy: usize, cx0: usize, cx1: usize) -> std::ops::Range<usize> {
+        debug_assert!(cx0 <= cx1 && cx1 < self.nx && cy < self.ny);
+        let s = self.starts[cy * self.nx + cx0] as usize;
+        let e = self.starts[cy * self.nx + cx1 + 1] as usize;
+        s..e
     }
 
     /// The inclusive cell-coordinate rectangle overlapping the disc.
     fn cell_range(&self, center: &Point, radius: f64) -> (usize, usize, usize, usize) {
-        let lo_x = center.x - radius;
-        let hi_x = center.x + radius;
-        let lo_y = center.y - radius;
-        let hi_y = center.y + radius;
-        let cx0 =
-            (((lo_x - self.bbox.min_x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
-        let cy0 =
-            (((lo_y - self.bbox.min_y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
-        let cx1 =
-            (((hi_x - self.bbox.min_x) / self.cell).floor().max(0.0) as usize).min(self.nx - 1);
-        let cy1 =
-            (((hi_y - self.bbox.min_y) / self.cell).floor().max(0.0) as usize).min(self.ny - 1);
+        let (cx0, cx1) = self.cell_col_range(center.x - radius, center.x + radius);
+        let (cy0, cy1) = self.cell_row_range(center.y - radius, center.y + radius);
         (cx0, cy0, cx1, cy1)
     }
 }
@@ -297,5 +374,40 @@ mod tests {
         let pts = vec![Point::new(1.0, 1.0); 20];
         let g = GridIndex::build(&pts, 1.0);
         assert_eq!(g.count_within(&Point::new(1.0, 1.0), 0.0), 20);
+    }
+
+    /// The entry-ordered coordinate columns must mirror the permutation,
+    /// and every cell row's span must reproduce `for_each_candidate`'s
+    /// visit order (the DBSCAN neighbour lists depend on that order).
+    #[test]
+    fn entry_columns_and_row_spans_mirror_candidate_order() {
+        let pts = scatter(250);
+        let g = GridIndex::build(&pts, 3.5);
+        for (k, &i) in g.entries().iter().enumerate() {
+            assert_eq!(g.entry_xs()[k], pts[i as usize].x);
+            assert_eq!(g.entry_ys()[k], pts[i as usize].y);
+        }
+        let c = Point::new(2.0, -4.0);
+        let r = 11.0;
+        let mut visited = Vec::new();
+        g.for_each_candidate(&c, r, |i, _| visited.push(i));
+        let (cx0, cx1) = g.cell_col_range(c.x - r, c.x + r);
+        let (cy0, cy1) = g.cell_row_range(c.y - r, c.y + r);
+        let mut spanned = Vec::new();
+        for cy in cy0..=cy1 {
+            spanned.extend_from_slice(&g.entries()[g.row_span(cy, cx0, cx1)]);
+        }
+        assert_eq!(spanned, visited);
+        assert!(!visited.is_empty());
+
+        // query_within must keep exactly the filtered candidate order.
+        let mut got = Vec::new();
+        g.query_within(&c, r, &mut got);
+        let r2 = r * r;
+        let want: Vec<u32> = visited
+            .into_iter()
+            .filter(|&i| pts[i as usize].dist_sq(&c) <= r2)
+            .collect();
+        assert_eq!(got, want);
     }
 }

@@ -5,6 +5,7 @@
 //! (the limit of the weights).
 
 use lsga_core::par::{par_map_rows, Threads};
+use lsga_core::soa::PointsSoA;
 use lsga_core::{DensityGrid, GridSpec, Point};
 use lsga_index::{GridIndex, KdTree};
 
@@ -26,14 +27,47 @@ pub fn idw_naive_threads(
     if samples.is_empty() {
         return grid;
     }
+    let soa = PointsSoA::from_samples(samples);
     par_map_rows(grid.values_mut(), spec.nx, threads, |iy, row| {
         let qy = spec.row_y(iy);
+        // (qy − y_i)² is shared by every pixel of the row; hoist it.
+        let dy2: Vec<f64> = soa
+            .ys
+            .iter()
+            .map(|y| {
+                let dy = qy - *y;
+                dy * dy
+            })
+            .collect();
         for (ix, out) in row.iter_mut().enumerate() {
-            let q = Point::new(spec.col_x(ix), qy);
-            *out = idw_at(samples.iter(), &q, power);
+            *out = idw_from_cols(&soa.xs, &dy2, &soa.ws, spec.col_x(ix), power);
         }
     });
     grid
+}
+
+/// IDW estimate at one query from columnar samples, with the y-leg of
+/// the squared distance precomputed. Same fold order, exact-hit
+/// short-circuit, and `den > 0` guard as the point-at-a-time loop it
+/// replaced.
+fn idw_from_cols(xs: &[f64], dy2: &[f64], zs: &[f64], qx: f64, power: f64) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for ((x, d), z) in xs.iter().zip(dy2).zip(zs) {
+        let dx = qx - *x;
+        let d2 = dx * dx + *d;
+        if d2 == 0.0 {
+            return *z;
+        }
+        let w = d2.powf(-0.5 * power);
+        num += w * z;
+        den += w;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
 }
 
 /// Local IDW over the `k` nearest samples (Shepard's local method) via a
@@ -61,13 +95,49 @@ pub fn idw_knn_threads(
     let tree = KdTree::build(&pts);
     par_map_rows(grid.values_mut(), spec.nx, threads, |iy, row| {
         let qy = spec.row_y(iy);
+        // Row-local neighbour columns, reused across the row's pixels.
+        let mut nxs: Vec<f64> = Vec::with_capacity(k);
+        let mut nys: Vec<f64> = Vec::with_capacity(k);
+        let mut nzs: Vec<f64> = Vec::with_capacity(k);
         for (ix, out) in row.iter_mut().enumerate() {
             let q = Point::new(spec.col_x(ix), qy);
             let nbrs = tree.knn(&q, k);
-            *out = idw_at(nbrs.iter().map(|(i, _)| &samples[*i as usize]), &q, power);
+            nxs.clear();
+            nys.clear();
+            nzs.clear();
+            for (i, _) in &nbrs {
+                let (p, z) = samples[*i as usize];
+                nxs.push(p.x);
+                nys.push(p.y);
+                nzs.push(z);
+            }
+            *out = idw_gathered(&nxs, &nys, &nzs, q.x, q.y, power);
         }
     });
     grid
+}
+
+/// IDW estimate at one query from gathered neighbour columns —
+/// bit-identical to [`idw_from_cols`] for the same sample order.
+fn idw_gathered(xs: &[f64], ys: &[f64], zs: &[f64], qx: f64, qy: f64, power: f64) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for ((x, y), z) in xs.iter().zip(ys).zip(zs) {
+        let dx = qx - *x;
+        let dy = qy - *y;
+        let d2 = dx * dx + dy * dy;
+        if d2 == 0.0 {
+            return *z;
+        }
+        let w = d2.powf(-0.5 * power);
+        num += w * z;
+        den += w;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
 }
 
 /// Local IDW over the samples within `radius` (bucket grid). Pixels with
@@ -102,48 +172,56 @@ pub fn idw_radius_threads(
     let index = GridIndex::build(&pts, radius);
     let tree = KdTree::build(&pts); // nearest-sample fallback
     let r2 = radius * radius;
+    // Sample values in entry order, parallel to the index's coordinate
+    // columns — the in-range filter and accumulation fuse into one scan.
+    let ezs: Vec<f64> = index
+        .entries()
+        .iter()
+        .map(|&i| samples[i as usize].1)
+        .collect();
+    let (exs, eys) = (index.entry_xs(), index.entry_ys());
     par_map_rows(grid.values_mut(), spec.nx, threads, |iy, row| {
         let qy = spec.row_y(iy);
-        let mut in_range: Vec<u32> = Vec::new();
         for (ix, out) in row.iter_mut().enumerate() {
-            let q = Point::new(spec.col_x(ix), qy);
-            in_range.clear();
-            index.for_each_candidate(&q, radius, |i, p| {
-                if p.dist_sq(&q) <= r2 {
-                    in_range.push(i);
+            let qx = spec.col_x(ix);
+            let (cx0, cx1) = index.cell_col_range(qx - radius, qx + radius);
+            let (cy0, cy1) = index.cell_row_range(qy - radius, qy + radius);
+            let mut num = 0.0;
+            let mut den = 0.0;
+            let mut any = false;
+            let mut exact = None;
+            'cells: for cy in cy0..=cy1 {
+                for k in index.row_span(cy, cx0, cx1) {
+                    let dx = qx - exs[k];
+                    let dy = qy - eys[k];
+                    let d2 = dx * dx + dy * dy;
+                    if d2 <= r2 {
+                        let z = ezs[k];
+                        if d2 == 0.0 {
+                            exact = Some(z);
+                            break 'cells;
+                        }
+                        any = true;
+                        let w = d2.powf(-0.5 * power);
+                        num += w * z;
+                        den += w;
+                    }
                 }
-            });
-            *out = if in_range.is_empty() {
+            }
+            *out = if let Some(z) = exact {
+                z
+            } else if !any {
+                let q = Point::new(qx, qy);
                 let nn = tree.knn(&q, 1);
                 samples[nn[0].0 as usize].1
+            } else if den > 0.0 {
+                num / den
             } else {
-                idw_at(in_range.iter().map(|i| &samples[*i as usize]), &q, power)
+                0.0
             };
         }
     });
     grid
-}
-
-/// IDW estimate at one query from an iterator of samples. An exact
-/// positional hit short-circuits to the sample value.
-fn idw_at<'a>(samples: impl Iterator<Item = &'a (Point, f64)>, q: &Point, power: f64) -> f64 {
-    let mut num = 0.0;
-    let mut den = 0.0;
-    for (p, z) in samples {
-        let d2 = q.dist_sq(p);
-        if d2 == 0.0 {
-            return *z;
-        }
-        // 1/d^p computed from d² to halve the sqrt cost for even powers.
-        let w = d2.powf(-0.5 * power);
-        num += w * z;
-        den += w;
-    }
-    if den > 0.0 {
-        num / den
-    } else {
-        0.0
-    }
 }
 
 #[cfg(test)]

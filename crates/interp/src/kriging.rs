@@ -10,6 +10,7 @@
 use crate::variogram::VariogramModel;
 use lsga_core::linalg::{solve, Matrix};
 use lsga_core::par::{par_map, Threads};
+use lsga_core::soa::distances_sq_tile;
 use lsga_core::{DensityGrid, GridSpec, LsgaError, Point, Result};
 use lsga_index::KdTree;
 
@@ -62,6 +63,11 @@ pub fn ordinary_kriging_threads(
         let qy = spec.row_y(iy);
         let mut pred_row = vec![0.0; spec.nx];
         let mut var_row = vec![0.0; spec.nx];
+        // Row-local neighbour coordinate columns and squared-distance
+        // scratch, reused across the row's pixels.
+        let mut nxs: Vec<f64> = Vec::with_capacity(k);
+        let mut nys: Vec<f64> = Vec::with_capacity(k);
+        let mut d2row: Vec<f64> = vec![0.0; k];
         for ix in 0..spec.nx {
             let q = Point::new(spec.col_x(ix), qy);
             let nbrs = tree_ref.knn(&q, k);
@@ -86,11 +92,19 @@ pub fn ordinary_kriging_threads(
             // [ 1ᵀ 0 ] [μ] = [ 1  ]
             let mut a = Matrix::zeros(m + 1, m + 1);
             let mut rhs = vec![0.0; m + 1];
+            nxs.clear();
+            nys.clear();
+            for (idx, _) in &nbrs {
+                let p = pts_ref[*idx as usize];
+                nxs.push(p.x);
+                nys.push(p.y);
+            }
             for r in 0..m {
-                let pr = pts_ref[nbrs[r].0 as usize];
-                for c in 0..m {
-                    let pc = pts_ref[nbrs[c].0 as usize];
-                    a.set(r, c, model.gamma(pr.dist(&pc)));
+                // One batched distance row per matrix row; γ stays on
+                // d = √d², matching the scalar assembly bit-for-bit.
+                distances_sq_tile(nxs[r], nys[r], &nxs, &nys, &mut d2row[..m]);
+                for (c, d2) in d2row[..m].iter().enumerate() {
+                    a.set(r, c, model.gamma(d2.sqrt()));
                 }
                 a.set(r, m, 1.0);
                 a.set(m, r, 1.0);

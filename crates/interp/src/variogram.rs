@@ -6,6 +6,7 @@
 //! parameter with a constrained linear solve for nugget and partial
 //! sill — the standard practical recipe (gstat, PyKrige).
 
+use lsga_core::soa::{distances_sq_tile, PointsSoA, TILE};
 use lsga_core::Point;
 
 /// The bounded variogram model families every surveyed package offers.
@@ -91,17 +92,33 @@ pub fn empirical_variogram(
     let mut sum_sq = vec![0.0f64; n_bins];
     let mut sum_d = vec![0.0f64; n_bins];
     let mut count = vec![0usize; n_bins];
-    for (i, (p, zp)) in samples.iter().enumerate() {
-        for (q, zq) in &samples[i + 1..] {
-            let d = p.dist(q);
-            if d > max_lag || d == 0.0 {
-                continue;
+    // Pair distances batched over columnar tail spans; the lag filter
+    // and binning stay on d = √d² exactly as the scalar loop had them,
+    // so bin membership is unchanged.
+    let soa = PointsSoA::from_samples(samples);
+    let mut d2s = [0.0f64; TILE];
+    for i in 0..soa.len() {
+        let (px, py, zp) = (soa.xs[i], soa.ys[i], soa.ws[i]);
+        let txs = &soa.xs[i + 1..];
+        let tys = &soa.ys[i + 1..];
+        let tzs = &soa.ws[i + 1..];
+        let mut s0 = 0;
+        while s0 < txs.len() {
+            let s1 = (s0 + TILE).min(txs.len());
+            let len = s1 - s0;
+            distances_sq_tile(px, py, &txs[s0..s1], &tys[s0..s1], &mut d2s[..len]);
+            for (&d2, zq) in d2s[..len].iter().zip(&tzs[s0..s1]) {
+                let d = d2.sqrt();
+                if d > max_lag || d == 0.0 {
+                    continue;
+                }
+                let bin = ((d / width) as usize).min(n_bins - 1);
+                let dz = zp - zq;
+                sum_sq[bin] += dz * dz;
+                sum_d[bin] += d;
+                count[bin] += 1;
             }
-            let bin = ((d / width) as usize).min(n_bins - 1);
-            let dz = zp - zq;
-            sum_sq[bin] += dz * dz;
-            sum_d[bin] += d;
-            count[bin] += 1;
+            s0 = s1;
         }
     }
     (0..n_bins)

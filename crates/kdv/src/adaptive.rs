@@ -13,6 +13,7 @@
 //! own support — `O(Σ_i (b_i/Δ)²)` — so the cost adapts along with the
 //! bandwidths.
 
+use lsga_core::soa::{accumulate_density_span, scatter_scaled_row};
 use lsga_core::{DensityGrid, GridSpec, Kernel, KernelKind, Point};
 use lsga_index::GridIndex;
 
@@ -33,18 +34,29 @@ pub fn adaptive_bandwidths(
     let kernel = kind.with_bandwidth(pilot_bandwidth);
     let radius = kernel.effective_radius(crate::DEFAULT_TAIL_EPS);
     let index = GridIndex::build(points, radius.max(1e-12));
-    let r2 = radius * radius;
-    // Pilot density at every data point (self included — standard).
+    let cutoff = (radius * radius).min(kernel.support_sq());
+    // Pilot density at every data point (self included — standard),
+    // folded span-by-span over the index's entry-ordered columns in
+    // candidate order — bit-identical to the per-candidate scalar loop.
+    let (exs, eys) = (index.entry_xs(), index.entry_ys());
     let pilot: Vec<f64> = points
         .iter()
         .map(|p| {
+            let (cx0, cx1) = index.cell_col_range(p.x - radius, p.x + radius);
+            let (cy0, cy1) = index.cell_row_range(p.y - radius, p.y + radius);
             let mut sum = 0.0;
-            index.for_each_candidate(p, radius, |_, q| {
-                let d2 = p.dist_sq(q);
-                if d2 <= r2 {
-                    sum += kernel.eval_sq(d2);
-                }
-            });
+            for cy in cy0..=cy1 {
+                let span = index.row_span(cy, cx0, cx1);
+                sum = accumulate_density_span(
+                    &kernel,
+                    cutoff,
+                    p.x,
+                    p.y,
+                    &exs[span.clone()],
+                    &eys[span],
+                    sum,
+                );
+            }
             sum
         })
         .collect();
@@ -83,6 +95,7 @@ pub fn adaptive_kdv(
     let bandwidths = adaptive_bandwidths(points, kind, pilot_bandwidth, alpha);
     let base_mass = kind.with_bandwidth(pilot_bandwidth).integral_2d();
     let mut grid = DensityGrid::zeros(spec);
+    let qxs = crate::naive::pixel_xs(&spec);
     for (p, b) in points.iter().zip(&bandwidths) {
         let kernel = kind.with_bandwidth(*b);
         let mass_scale = base_mass / kernel.integral_2d();
@@ -96,16 +109,20 @@ pub fn adaptive_kdv(
             .max(0.0) as usize;
         let x1 = (((p.x + radius - spec.bbox.min_x) / spec.dx()).ceil() as usize).min(spec.nx);
         let y1 = (((p.y + radius - spec.bbox.min_y) / spec.dy()).ceil() as usize).min(spec.ny);
-        let r2 = radius * radius;
+        let cutoff = (radius * radius).min(kernel.support_sq());
         for iy in y0..y1 {
             let qy = spec.row_y(iy);
-            for ix in x0..x1 {
-                let q = Point::new(spec.col_x(ix), qy);
-                let d2 = q.dist_sq(p);
-                if d2 <= r2 {
-                    grid.add(ix, iy, mass_scale * kernel.eval_sq(d2));
-                }
-            }
+            let row = grid.row_mut(iy);
+            scatter_scaled_row(
+                &kernel,
+                cutoff,
+                mass_scale,
+                p.x,
+                p.y,
+                &qxs[x0..x1],
+                qy,
+                &mut row[x0..x1],
+            );
         }
     }
     grid

@@ -7,26 +7,99 @@
 //! the kernel's (effective) support, which is exact for finite-support
 //! kernels and truncated to a caller-chosen tail for Gaussian/exponential.
 
+use lsga_core::soa::{accumulate_density_row, PointsSoA};
 use lsga_core::{DensityGrid, GridSpec, Kernel, Point};
 use lsga_index::GridIndex;
 
+/// Pixel-centre abscissae of a raster row, shared by every row sweep.
+pub(crate) fn pixel_xs(spec: &GridSpec) -> Vec<f64> {
+    (0..spec.nx).map(|ix| spec.col_x(ix)).collect()
+}
+
 /// Literal Definition 1: evaluate `F_P(q) = Σ_p K(q, p)` at every pixel
 /// centre by scanning all points. Exact for every kernel, `O(X·Y·n)`.
+///
+/// The point set is columnarized once and each raster row runs through
+/// the cache-blocked masked microkernel; per pixel the fold stays in
+/// point order, so the output is bit-identical to the scalar double loop.
 pub fn naive_kdv<K: Kernel>(points: &[Point], spec: GridSpec, kernel: K) -> DensityGrid {
     let mut grid = DensityGrid::zeros(spec);
+    let soa = PointsSoA::from_points(points);
+    let cutoff = kernel.support_sq();
+    let qxs = pixel_xs(&spec);
     for iy in 0..spec.ny {
         let qy = spec.row_y(iy);
-        let row = grid.row_mut(iy);
-        for (ix, cell) in row.iter_mut().enumerate() {
-            let q = Point::new(spec.col_x(ix), qy);
-            let mut sum = 0.0;
-            for p in points {
-                sum += kernel.eval_sq(q.dist_sq(p));
-            }
-            *cell = sum;
-        }
+        accumulate_density_row(
+            &kernel,
+            cutoff,
+            &qxs,
+            qy,
+            &soa.xs,
+            &soa.ys,
+            grid.row_mut(iy),
+        );
     }
     grid
+}
+
+/// Compute one raster row of the grid-pruned KDV into `row`.
+///
+/// Shared by [`grid_pruned_kdv`] and the row-parallel variant so both
+/// produce bit-identical grids. Instead of gathering candidates per
+/// pixel, the row is swept cell-by-cell: the per-pixel candidate
+/// cell-column bounds are monotone non-decreasing across the row, so
+/// each candidate cell serves one contiguous pixel interval, found by
+/// binary search, and contributes through one tiled microkernel call.
+/// Every pixel still folds its candidates in exactly
+/// `GridIndex::for_each_candidate` order (cell row asc, cell column asc,
+/// entry order), so the result matches the scalar per-pixel loop bit for
+/// bit.
+pub(crate) fn pruned_kdv_row<K: Kernel>(
+    index: &GridIndex,
+    kernel: &K,
+    radius: f64,
+    cutoff_r2: f64,
+    qxs: &[f64],
+    qy: f64,
+    row: &mut [f64],
+) {
+    let nx = qxs.len();
+    if nx == 0 {
+        return;
+    }
+    let (cy0, cy1) = index.cell_row_range(qy - radius, qy + radius);
+    let mut cx0s = Vec::with_capacity(nx);
+    let mut cx1s = Vec::with_capacity(nx);
+    for qx in qxs {
+        let (c0, c1) = index.cell_col_range(qx - radius, qx + radius);
+        cx0s.push(c0);
+        cx1s.push(c1);
+    }
+    let exs = index.entry_xs();
+    let eys = index.entry_ys();
+    for cy in cy0..=cy1 {
+        for cx in cx0s[0]..=cx1s[nx - 1] {
+            // Pixels whose candidate column interval contains `cx`.
+            let lo = cx1s.partition_point(|&c| c < cx);
+            let hi = cx0s.partition_point(|&c| c <= cx);
+            if lo >= hi {
+                continue;
+            }
+            let span = index.row_span(cy, cx, cx);
+            if span.is_empty() {
+                continue;
+            }
+            accumulate_density_row(
+                kernel,
+                cutoff_r2,
+                &qxs[lo..hi],
+                qy,
+                &exs[span.clone()],
+                &eys[span],
+                &mut row[lo..hi],
+            );
+        }
+    }
 }
 
 /// Grid-pruned exact KDV: bucket the points with cell size equal to the
@@ -48,20 +121,13 @@ pub fn grid_pruned_kdv<K: Kernel>(
     }
     let radius = kernel.effective_radius(tail_eps);
     let index = GridIndex::build(points, radius.max(1e-12));
-    let r2 = radius * radius;
+    // The mask cutoff must not exceed the support: past it the raw
+    // formula goes negative, which the branchy code never added.
+    let cutoff = (radius * radius).min(kernel.support_sq());
+    let qxs = pixel_xs(&spec);
     for iy in 0..spec.ny {
         let qy = spec.row_y(iy);
-        for ix in 0..spec.nx {
-            let q = Point::new(spec.col_x(ix), qy);
-            let mut sum = 0.0;
-            index.for_each_candidate(&q, radius, |_, p| {
-                let d2 = q.dist_sq(p);
-                if d2 <= r2 {
-                    sum += kernel.eval_sq(d2);
-                }
-            });
-            grid.set(ix, iy, sum);
-        }
+        pruned_kdv_row(&index, &kernel, radius, cutoff, &qxs, qy, grid.row_mut(iy));
     }
     grid
 }

@@ -10,6 +10,7 @@
 //! for every thread count. The *simulated-cluster* distributed version
 //! (with partitioning and halo accounting) lives in `lsga-dist`.
 
+use crate::naive::{pixel_xs, pruned_kdv_row};
 use lsga_core::par::{par_map_rows, Threads};
 use lsga_core::{DensityGrid, GridSpec, Kernel, Point};
 use lsga_index::GridIndex;
@@ -42,24 +43,17 @@ pub fn parallel_kdv_threads<K: Kernel>(
     }
     let radius = kernel.effective_radius(tail_eps);
     let index = GridIndex::build(points, radius.max(1e-12));
-    let r2 = radius * radius;
+    let cutoff = (radius * radius).min(kernel.support_sq());
+    let qxs = pixel_xs(&spec);
 
     // Rows are claimed dynamically: clustered data makes hot rows cost
     // more, and the claim counter lets fast workers absorb the slack.
+    // Each row runs the same tiled routine as the sequential version,
+    // so the grid is bit-identical for every thread count.
     let nx = spec.nx;
     par_map_rows(grid.values_mut(), nx, threads, |iy, row| {
         let qy = spec.row_y(iy);
-        for (ix, cell) in row.iter_mut().enumerate() {
-            let q = Point::new(spec.col_x(ix), qy);
-            let mut sum = 0.0;
-            index.for_each_candidate(&q, radius, |_, p| {
-                let d2 = q.dist_sq(p);
-                if d2 <= r2 {
-                    sum += kernel.eval_sq(d2);
-                }
-            });
-            *cell = sum;
-        }
+        pruned_kdv_row(&index, &kernel, radius, cutoff, &qxs, qy, row);
     });
     grid
 }

@@ -15,6 +15,7 @@
 //!   total, versus naive `O(X·Y·T·n_loc)`.
 
 use lsga_core::par::{par_map, Threads};
+use lsga_core::soa::{distances_sq_tile, TILE};
 use lsga_core::{GridSpec, Kernel, Point, PolyKernel, SpaceTimeGrid, TimedPoint};
 use lsga_index::GridIndex;
 
@@ -152,8 +153,17 @@ pub fn stkdv_sweep_threads<KS: Kernel>(
     let planar: Vec<Point> = points.iter().map(|p| p.point).collect();
     let index = GridIndex::build(&planar, rs.max(1e-12));
     let times: Vec<f64> = (0..nt).map(|it| grid.time(it) - t0).collect();
+    // Shifted timestamps permuted to the index's entry order, so the
+    // candidate sweep reads times from the same contiguous spans as the
+    // coordinate columns.
+    let entry_ts: Vec<f64> = index
+        .entries()
+        .iter()
+        .map(|&i| points[i as usize].t - t0)
+        .collect();
     let index_ref = &index;
     let times_ref = &times;
+    let entry_ts_ref = &entry_ts;
 
     // One spatial row per task: slab[it * nx + ix] holds the row's value
     // in slice it.
@@ -164,19 +174,40 @@ pub fn stkdv_sweep_threads<KS: Kernel>(
         // Event lists: (event time, weight, point time), sorted.
         let mut enters: Vec<(f64, f64, f64)> = Vec::new();
         let mut exits: Vec<(f64, f64, f64)> = Vec::new();
+        // Tile scratch for the batched spatial-kernel evaluation.
+        let mut d2s = [0.0f64; TILE];
+        let mut wts = [0.0f64; TILE];
         let qy = spec.row_y(iy);
+        let (cy0, cy1) = index_ref.cell_row_range(qy - rs, qy + rs);
+        let exs = index_ref.entry_xs();
+        let eys = index_ref.entry_ys();
         for ix in 0..spec.nx {
-            let q = Point::new(spec.col_x(ix), qy);
+            let qx = spec.col_x(ix);
             cands.clear();
-            index_ref.for_each_candidate(&q, rs, |i, p| {
-                let d2 = q.dist_sq(p);
-                if d2 <= rs2 {
-                    let w = spatial.eval_sq(d2);
-                    if w != 0.0 {
-                        cands.push((w, points[i as usize].t - t0));
+            // Candidates in `for_each_candidate` order (cell row, cell
+            // column, entry), evaluated TILE at a time: squared
+            // distances, then the batched spatial kernel (bit-identical
+            // per element to `eval_sq`), then the same scalar filters.
+            let (cx0, cx1) = index_ref.cell_col_range(qx - rs, qx + rs);
+            for cy in cy0..=cy1 {
+                let span = index_ref.row_span(cy, cx0, cx1);
+                let mut s0 = span.start;
+                while s0 < span.end {
+                    let s1 = (s0 + TILE).min(span.end);
+                    let len = s1 - s0;
+                    distances_sq_tile(qx, qy, &exs[s0..s1], &eys[s0..s1], &mut d2s[..len]);
+                    spatial.eval_sq_batch(&d2s[..len], &mut wts[..len]);
+                    for k in 0..len {
+                        if d2s[k] <= rs2 {
+                            let w = wts[k];
+                            if w != 0.0 {
+                                cands.push((w, entry_ts_ref[s0 + k]));
+                            }
+                        }
                     }
+                    s0 = s1;
                 }
-            });
+            }
             if cands.is_empty() {
                 continue; // slices stay zero
             }

@@ -1,20 +1,21 @@
 //! The literal `O(n²)` K-function of paper Eq. 2.
 
 use crate::KConfig;
+use lsga_core::soa::{count_within_span, PointsSoA};
 use lsga_core::Point;
 
 /// Count ordered pairs with `dist(p_i, p_j) ≤ s` by scanning all pairs.
 /// Exact for every input; quadratic — the baseline every accelerated
-/// method in this crate is validated against.
+/// method in this crate is validated against. The scan runs branch-free
+/// over columnar coordinates: each source point counts its tail span
+/// `i+1..` in one pass, counting unordered pairs doubled.
 pub fn naive_k(points: &[Point], s: f64, cfg: KConfig) -> u64 {
     let s2 = s * s;
+    let soa = PointsSoA::from_points(points);
     let mut count = 0u64;
-    for (i, p) in points.iter().enumerate() {
-        for q in &points[i + 1..] {
-            if p.dist_sq(q) <= s2 {
-                count += 2; // ordered pairs: (i, j) and (j, i)
-            }
-        }
+    for i in 0..soa.len() {
+        let tail = count_within_span(soa.xs[i], soa.ys[i], &soa.xs[i + 1..], &soa.ys[i + 1..], s2);
+        count += 2 * tail as u64; // ordered pairs: (i, j) and (j, i)
     }
     if cfg.include_self {
         count += points.len() as u64;

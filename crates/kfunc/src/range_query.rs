@@ -10,6 +10,7 @@
 use crate::parallel::POINT_CHUNK;
 use crate::KConfig;
 use lsga_core::par::{par_reduce, Threads};
+use lsga_core::soa::{distances_sq_tile, TILE};
 use lsga_core::Point;
 use lsga_index::{BallTree, GridIndex, KdTree, RTree};
 
@@ -115,21 +116,41 @@ pub fn histogram_k_all_threads(
         vec![0u64; sorted.len()],
         |range| {
             let mut local = vec![0u64; sorted_ref.len()];
+            // Tile scratch for batched squared distances. Bucketing
+            // still compares on d = sqrt(d2), exactly as the scalar
+            // loop did — switching the comparison to d² could flip
+            // boundary ties through sqrt rounding.
+            let mut d2s = [0.0f64; TILE];
+            let exs = index_ref.entry_xs();
+            let eys = index_ref.entry_ys();
+            let ents = index_ref.entries();
             for i in range {
                 let p = &points[i];
-                index_ref.for_each_candidate(p, s_max, |j, q| {
-                    // Each unordered pair once: require j > i.
-                    if (j as usize) > i {
-                        let d2 = p.dist_sq(q);
-                        if d2 <= s_max2 {
-                            let d = d2.sqrt();
-                            let bucket = sorted_ref.partition_point(|t| *t < d);
-                            if bucket < local.len() {
-                                local[bucket] += 2; // ordered pairs
+                let (cx0, cx1) = index_ref.cell_col_range(p.x - s_max, p.x + s_max);
+                let (cy0, cy1) = index_ref.cell_row_range(p.y - s_max, p.y + s_max);
+                for cy in cy0..=cy1 {
+                    let span = index_ref.row_span(cy, cx0, cx1);
+                    let mut s0 = span.start;
+                    while s0 < span.end {
+                        let s1 = (s0 + TILE).min(span.end);
+                        let len = s1 - s0;
+                        distances_sq_tile(p.x, p.y, &exs[s0..s1], &eys[s0..s1], &mut d2s[..len]);
+                        for (k, &j) in ents[s0..s1].iter().enumerate() {
+                            // Each unordered pair once: require j > i.
+                            if (j as usize) > i {
+                                let d2 = d2s[k];
+                                if d2 <= s_max2 {
+                                    let d = d2.sqrt();
+                                    let bucket = sorted_ref.partition_point(|t| *t < d);
+                                    if bucket < local.len() {
+                                        local[bucket] += 2; // ordered pairs
+                                    }
+                                }
                             }
                         }
+                        s0 = s1;
                     }
-                });
+                }
             }
             local
         },

@@ -8,6 +8,7 @@
 //! generator ground truth (experiment E15).
 
 use lsga_core::par::{par_for_each_chunk, par_map, Threads};
+use lsga_core::soa::PointsSoA;
 use lsga_core::Point;
 use lsga_index::GridIndex;
 use rand::rngs::StdRng;
@@ -140,11 +141,25 @@ pub fn kmeans_threads(
     let n = points.len();
     assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n");
     let mut rng = StdRng::seed_from_u64(seed);
+    // Columnar coordinates drive the seeding updates, the assignment
+    // scan, and the inertia fold — all in input point order, so every
+    // value is bit-identical to the point-at-a-time loops they replace.
+    let soa = PointsSoA::from_points(points);
 
     // k-means++ seeding.
     let mut centroids: Vec<Point> = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..n)]);
-    let mut d2: Vec<f64> = points.iter().map(|p| p.dist_sq(&centroids[0])).collect();
+    let (c0x, c0y) = (centroids[0].x, centroids[0].y);
+    let mut d2: Vec<f64> = soa
+        .xs
+        .iter()
+        .zip(&soa.ys)
+        .map(|(x, y)| {
+            let dx = x - c0x;
+            let dy = y - c0y;
+            dx * dx + dy * dy
+        })
+        .collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -163,27 +178,41 @@ pub fn kmeans_threads(
             points[pick]
         };
         centroids.push(next);
-        for (i, p) in points.iter().enumerate() {
-            d2[i] = d2[i].min(p.dist_sq(&next));
+        for ((d, x), y) in d2.iter_mut().zip(&soa.xs).zip(&soa.ys) {
+            let dx = x - next.x;
+            let dy = y - next.y;
+            *d = (*d).min(dx * dx + dy * dy);
         }
     }
 
     let mut labels = vec![0usize; n];
     let mut iterations = 0;
+    // Centroid columns, rebuilt per iteration, keep the assignment
+    // scan's inner loop on two dense arrays instead of a Vec<Point>.
+    let mut cxs = vec![0.0f64; k];
+    let mut cys = vec![0.0f64; k];
     for iter in 0..max_iters {
         iterations = iter + 1;
+        for (c, ctr) in centroids.iter().enumerate() {
+            cxs[c] = ctr.x;
+            cys[c] = ctr.y;
+        }
         // Assignment: nearest-centroid per point over disjoint label
         // chunks. Ties break on the lowest centroid index, exactly as
         // the sequential scan would.
         let changed = AtomicBool::new(false);
-        let centroids_ref = &centroids;
+        let (cxs_ref, cys_ref) = (&cxs, &cys);
+        let soa_ref = &soa;
         par_for_each_chunk(&mut labels, POINT_CHUNK, threads, |start, chunk| {
             for (off, label) in chunk.iter_mut().enumerate() {
-                let p = &points[start + off];
+                let px = soa_ref.xs[start + off];
+                let py = soa_ref.ys[start + off];
                 let mut best = 0usize;
                 let mut best_d = f64::INFINITY;
-                for (c, ctr) in centroids_ref.iter().enumerate() {
-                    let d = p.dist_sq(ctr);
+                for (c, (cx, cy)) in cxs_ref.iter().zip(cys_ref).enumerate() {
+                    let dx = px - cx;
+                    let dy = py - cy;
+                    let d = dx * dx + dy * dy;
                     if d < best_d {
                         best_d = d;
                         best = c;
@@ -200,9 +229,9 @@ pub fn kmeans_threads(
         }
         // Update.
         let mut sums = vec![(0.0f64, 0.0f64, 0usize); k];
-        for (p, l) in points.iter().zip(&labels) {
-            sums[*l].0 += p.x;
-            sums[*l].1 += p.y;
+        for ((x, y), l) in soa.xs.iter().zip(&soa.ys).zip(&labels) {
+            sums[*l].0 += x;
+            sums[*l].1 += y;
             sums[*l].2 += 1;
         }
         for (c, (sx, sy, cnt)) in sums.into_iter().enumerate() {
@@ -213,10 +242,16 @@ pub fn kmeans_threads(
             // rare; keeping it stable preserves determinism).
         }
     }
-    let inertia = points
+    let inertia = soa
+        .xs
         .iter()
+        .zip(&soa.ys)
         .zip(&labels)
-        .map(|(p, l)| p.dist_sq(&centroids[*l]))
+        .map(|((x, y), l)| {
+            let dx = x - centroids[*l].x;
+            let dy = y - centroids[*l].y;
+            dx * dx + dy * dy
+        })
         .sum();
     KMeansResult {
         centroids,

@@ -1,0 +1,125 @@
+//! Property tests for the SoA microkernels: every columnar path must be
+//! **bit-identical** to the scalar point-at-a-time path it replaced, on
+//! random inputs. Fixed fold order plus the multiply-by-mask trick make
+//! this an exact equality, not an epsilon comparison — see DESIGN.md
+//! §3.11 for the argument.
+
+use lsga::core::soa::{
+    accumulate_density_row, accumulate_density_span, count_within_span, distances_sq_tile,
+    PointsSoA,
+};
+use lsga::prelude::*;
+use proptest::prelude::*;
+
+fn kernel_for(idx: usize, b: f64) -> AnyKernel {
+    KernelKind::ALL[idx % KernelKind::ALL.len()].with_bandwidth(b)
+}
+
+fn points_of(coords: &[(f64, f64)]) -> Vec<Point> {
+    coords.iter().map(|(x, y)| Point::new(*x, *y)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    fn row_microkernel_bit_equals_scalar(
+        coords in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..600),
+        qxs in prop::collection::vec(-60.0f64..60.0, 0..40),
+        qy in -60.0f64..60.0,
+        b in 0.5f64..30.0,
+        kidx in 0usize..7,
+    ) {
+        let kernel = kernel_for(kidx, b);
+        let pts = points_of(&coords);
+        let soa = PointsSoA::from_points(&pts);
+        let cutoff = kernel.support_sq();
+        // Nonzero init catches accumulators that reset instead of add.
+        let mut acc = vec![0.125f64; qxs.len()];
+        let mut want = acc.clone();
+        accumulate_density_row(&kernel, cutoff, &qxs, qy, &soa.xs, &soa.ys, &mut acc);
+        for (qx, w) in qxs.iter().zip(want.iter_mut()) {
+            let q = Point::new(*qx, qy);
+            for p in &pts {
+                let d2 = p.dist_sq(&q);
+                if d2 <= cutoff {
+                    *w += kernel.eval_sq(d2);
+                }
+            }
+        }
+        for (a, w) in acc.iter().zip(&want) {
+            prop_assert_eq!(a.to_bits(), w.to_bits());
+        }
+    }
+
+    fn span_fold_bit_equals_scalar(
+        coords in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..600),
+        q in (-60.0f64..60.0, -60.0f64..60.0),
+        b in 0.5f64..30.0,
+        kidx in 0usize..7,
+    ) {
+        let kernel = kernel_for(kidx, b);
+        let pts = points_of(&coords);
+        let soa = PointsSoA::from_points(&pts);
+        let cutoff = kernel.support_sq();
+        let got = accumulate_density_span(&kernel, cutoff, q.0, q.1, &soa.xs, &soa.ys, 0.25);
+        let qp = Point::new(q.0, q.1);
+        let mut want = 0.25;
+        for p in &pts {
+            let d2 = p.dist_sq(&qp);
+            if d2 <= cutoff {
+                want += kernel.eval_sq(d2);
+            }
+        }
+        prop_assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    fn distances_and_counts_match_scalar(
+        coords in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..600),
+        q in (-60.0f64..60.0, -60.0f64..60.0),
+        r in 0.0f64..100.0,
+    ) {
+        let pts = points_of(&coords);
+        let soa = PointsSoA::from_points(&pts);
+        let qp = Point::new(q.0, q.1);
+        let mut out = vec![0.0f64; pts.len()];
+        distances_sq_tile(q.0, q.1, &soa.xs, &soa.ys, &mut out);
+        for (p, d2) in pts.iter().zip(&out) {
+            prop_assert_eq!(d2.to_bits(), p.dist_sq(&qp).to_bits());
+        }
+        let r2 = r * r;
+        let want = pts.iter().filter(|p| p.dist_sq(&qp) <= r2).count();
+        prop_assert_eq!(count_within_span(q.0, q.1, &soa.xs, &soa.ys, r2), want);
+    }
+
+    fn eval_sq_batch_bit_equals_eval_sq(
+        d2s in prop::collection::vec(0.0f64..5_000.0, 0..600),
+        b in 0.5f64..30.0,
+        kidx in 0usize..7,
+    ) {
+        let kernel = kernel_for(kidx, b);
+        let mut out = vec![0.0f64; d2s.len()];
+        kernel.eval_sq_batch(&d2s, &mut out);
+        for (d2, o) in d2s.iter().zip(&out) {
+            prop_assert_eq!(o.to_bits(), kernel.eval_sq(*d2).to_bits());
+        }
+    }
+
+    fn soa_columns_preserve_order(
+        rows in prop::collection::vec(
+            (-50.0f64..50.0, -50.0f64..50.0, -10.0f64..10.0),
+            0..200,
+        ),
+    ) {
+        let samples: Vec<(Point, f64)> = rows
+            .iter()
+            .map(|(x, y, z)| (Point::new(*x, *y), *z))
+            .collect();
+        let soa = PointsSoA::from_samples(&samples);
+        prop_assert_eq!(soa.len(), samples.len());
+        for (i, (p, z)) in samples.iter().enumerate() {
+            prop_assert_eq!(soa.xs[i].to_bits(), p.x.to_bits());
+            prop_assert_eq!(soa.ys[i].to_bits(), p.y.to_bits());
+            prop_assert_eq!(soa.ws[i].to_bits(), z.to_bits());
+        }
+    }
+}
