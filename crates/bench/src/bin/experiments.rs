@@ -60,6 +60,7 @@ fn main() {
         ("e16", "future work: sampled & border-corrected K", e16),
         ("e17", "future work: binned separable Gaussian KDV", e17),
         ("e18", "extension: local Gi* / LISA hot-spot maps", e18),
+        ("e19", "fault injection & recovery overhead", e19),
     ];
 
     let mut ran = 0;
@@ -78,7 +79,7 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("unknown experiment id; use e1..e18 or all (e16-e18 are the implemented future-work extensions)");
+        eprintln!("unknown experiment id; use e1..e19 or all (e16-e18 are the implemented future-work extensions)");
         std::process::exit(2);
     }
 }
@@ -791,4 +792,113 @@ fn e18() {
     let z = gi[hy * spec.nx + hx].value;
     println!("| Gi* z at true hotspot cell | {z:.1} |");
     assert!(z > 1.96, "hotspot not detected");
+}
+
+// --------------------------------------------------------------- E19 ----
+fn e19() {
+    use lsga::dist::{FaultKind, FaultPlan, RetryPolicy};
+    let points = taxi(300_000);
+    let spec = GridSpec::new(window(), 256, 205);
+    let kernel = Epanechnikov::new(150.0);
+    let workers = 8usize;
+    let strategy = PartitionStrategy::BalancedKd;
+    let policy = RetryPolicy::default();
+
+    let (reference, base) = dist::distributed_kdv(&points, spec, kernel, 1e-9, workers, strategy);
+    let scenarios: [(&str, FaultPlan); 5] = [
+        ("fault-free", FaultPlan::none()),
+        (
+            "1 worker crash",
+            FaultPlan::none().with(0, 0, FaultKind::CrashMidTask),
+        ),
+        (
+            "straggler past deadline",
+            FaultPlan::none().with(1, 0, FaultKind::Straggle { ticks: 1_000 }),
+        ),
+        (
+            "dropped halo shipment",
+            FaultPlan::none().with(2, 0, FaultKind::DropHaloShipment),
+        ),
+        (
+            "seeded chaos (12 faults)",
+            FaultPlan::seeded_recoverable(7, workers, 12),
+        ),
+    ];
+
+    println!(
+        "### supervised distributed KDV (n = {}, {}x{} px, {workers} workers, BalancedKd)\n",
+        points.len(),
+        spec.nx,
+        spec.ny
+    );
+    println!("| scenario | retries | timeouts | recovered tiles | dead workers | re-shipped MB | total MB | sim ticks | wall | identical |");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+    for (name, plan) in &scenarios {
+        let (partial, m) = dist::supervised_kdv(
+            &points, spec, kernel, 1e-9, workers, strategy, plan, &policy,
+        )
+        .expect("finite inputs");
+        assert!(partial.coverage.is_complete(), "{name}: not recovered");
+        let identical = partial
+            .grid
+            .values()
+            .iter()
+            .zip(reference.values())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(identical, "{name}: recovery changed bits");
+        report::row(
+            name,
+            &[
+                ("workers", workers as f64),
+                ("retries", f64::from(m.total_retries())),
+                ("reshipped_mb", m.total_reshipped_bytes() as f64 / 1e6),
+                ("total_mb", m.total_bytes() as f64 / 1e6),
+                ("sim_ticks", m.sim_ticks as f64),
+            ],
+            msf(m.wall),
+        );
+        println!(
+            "| {name} | {} | {} | {} | {} | {:.1} | {:.1} | {} | {} ms | yes |",
+            m.total_retries(),
+            m.total_timeouts(),
+            m.recovered_tiles,
+            m.dead_workers,
+            m.total_reshipped_bytes() as f64 / 1e6,
+            m.total_bytes() as f64 / 1e6,
+            m.sim_ticks,
+            ms(m.wall)
+        );
+    }
+    println!(
+        "\nbaseline comms (fault-free): {:.1} MB shipped, wall {} ms",
+        base.total_bytes() as f64 / 1e6,
+        ms(base.wall)
+    );
+
+    // Graceful degradation: exhaust one tile's retry budget.
+    let mut doomed = FaultPlan::none();
+    for attempt in 0..policy.max_attempts {
+        doomed.push(3, attempt, FaultKind::TaskError);
+    }
+    let (partial, m) = dist::supervised_kdv(
+        &points, spec, kernel, 1e-9, workers, strategy, &doomed, &policy,
+    )
+    .expect("finite inputs");
+    report::row(
+        "degraded (tile abandoned)",
+        &[
+            ("workers", workers as f64),
+            ("retries", f64::from(m.total_retries())),
+            ("covered_fraction", partial.coverage.fraction()),
+            ("sim_ticks", m.sim_ticks as f64),
+        ],
+        msf(m.wall),
+    );
+    println!(
+        "\ndegraded run: {}/{} tiles executed, {:.1}% of pixels covered, abandoned tiles {:?}",
+        partial.coverage.executed_tiles,
+        partial.coverage.total_tiles,
+        100.0 * partial.coverage.fraction(),
+        partial.coverage.abandoned
+    );
 }

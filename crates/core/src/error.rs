@@ -25,6 +25,22 @@ pub enum LsgaError {
     Io(String),
     /// A graph vertex/edge reference was out of bounds.
     GraphIndex(String),
+    /// A distributed worker died (crash or lost heartbeat) while holding
+    /// a task.
+    WorkerLost { worker: usize, tile: usize },
+    /// A per-task deadline fired before the task completed (simulated
+    /// ticks, not wall-clock).
+    Timeout { what: &'static str, ticks: u64 },
+    /// A data shipment to a worker was lost in transit and must be
+    /// re-sent.
+    ShipmentLost { tile: usize },
+    /// A distributed task failed; `attempts` is how many times it had
+    /// been tried when the error was recorded.
+    TaskFailed {
+        tile: usize,
+        attempts: u32,
+        message: String,
+    },
 }
 
 impl fmt::Display for LsgaError {
@@ -40,6 +56,25 @@ impl fmt::Display for LsgaError {
             }
             LsgaError::Io(message) => write!(f, "I/O error: {message}"),
             LsgaError::GraphIndex(message) => write!(f, "graph index error: {message}"),
+            LsgaError::WorkerLost { worker, tile } => {
+                write!(f, "worker {worker} lost while running tile {tile}")
+            }
+            LsgaError::Timeout { what, ticks } => {
+                write!(f, "timeout after {ticks} ticks: {what}")
+            }
+            LsgaError::ShipmentLost { tile } => {
+                write!(f, "shipment for tile {tile} lost in transit")
+            }
+            LsgaError::TaskFailed {
+                tile,
+                attempts,
+                message,
+            } => {
+                write!(
+                    f,
+                    "task for tile {tile} failed after {attempts} attempt(s): {message}"
+                )
+            }
         }
     }
 }
@@ -74,6 +109,33 @@ mod tests {
         }
         .to_string()
         .contains("line 3"));
+    }
+
+    #[test]
+    fn distributed_failure_messages() {
+        assert_eq!(
+            LsgaError::WorkerLost { worker: 3, tile: 7 }.to_string(),
+            "worker 3 lost while running tile 7"
+        );
+        assert_eq!(
+            LsgaError::Timeout {
+                what: "straggling task",
+                ticks: 40
+            }
+            .to_string(),
+            "timeout after 40 ticks: straggling task"
+        );
+        assert_eq!(
+            LsgaError::ShipmentLost { tile: 2 }.to_string(),
+            "shipment for tile 2 lost in transit"
+        );
+        let e = LsgaError::TaskFailed {
+            tile: 1,
+            attempts: 4,
+            message: "retry budget exhausted".into(),
+        };
+        assert!(e.to_string().contains("tile 1"));
+        assert!(e.to_string().contains("4 attempt(s)"));
     }
 
     #[test]

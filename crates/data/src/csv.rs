@@ -76,10 +76,20 @@ fn parse_rows<R: Read>(r: R, fields: usize) -> Result<Vec<Vec<f64>>> {
         }
         let mut row = Vec::with_capacity(fields);
         for part in &parts {
-            row.push(part.parse::<f64>().map_err(|e| LsgaError::Parse {
+            let value = part.parse::<f64>().map_err(|e| LsgaError::Parse {
                 line: line_no,
                 message: format!("bad float {part:?}: {e}"),
-            })?);
+            })?;
+            // "NaN"/"inf" parse as floats but poison every downstream
+            // analytic (NaN coordinates silently bin into pixel 0 or trip
+            // bbox assertions): reject them at the boundary.
+            if !value.is_finite() {
+                return Err(LsgaError::Parse {
+                    line: line_no,
+                    message: format!("non-finite value {part:?}"),
+                });
+            }
+            row.push(value);
         }
         rows.push(row);
     }
@@ -141,6 +151,21 @@ mod tests {
                 assert!(message.contains("foo"));
             }
             other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_values_rejected() {
+        // Regression: "NaN,2" used to parse into a point that later
+        // corrupted rasters / panicked the partitioner.
+        for bad in ["NaN,2\n", "1,inf\n", "1,2\n-inf,0\n"] {
+            let err = read_points(bad.as_bytes()).unwrap_err();
+            match err {
+                LsgaError::Parse { message, .. } => {
+                    assert!(message.contains("non-finite"), "{bad:?}: {message}")
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
         }
     }
 

@@ -1,0 +1,351 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! Real clusters straggle, crash, and lose boundary shipments; the
+//! simulated cluster reproduces those unhappy paths *deterministically*
+//! so that recovery can be property-tested. A [`FaultPlan`] is plain
+//! data: a list of [`FaultEvent`]s, each naming the tile, the attempt
+//! number, and the [`FaultKind`] to inject when the supervisor reaches
+//! that (tile, attempt) pair. Plans are either built explicitly or
+//! generated from a seed ([`FaultPlan::seeded`]), so every chaotic run
+//! reproduces exactly — there is no wall-clock randomness anywhere in
+//! the failure model.
+//!
+//! Time is simulated too: the supervisor advances a [`SimClock`] in
+//! logical *ticks* (task durations, timeouts, and backoff delays are
+//! all tick counts carried by [`RetryPolicy`]), which keeps the retry /
+//! timeout schedule a pure function of `(plan, policy)`.
+
+/// Named interception points in the worker loop where faults fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interception {
+    /// While the halo shipment travels to the worker.
+    ShipHalo,
+    /// After the shipment arrives, before the task starts.
+    TaskStart,
+    /// While the task is running.
+    TaskRun,
+}
+
+/// What goes wrong at an interception point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker dies before starting its attempt ([`Interception::TaskStart`]).
+    /// Detected by the per-task timeout; the worker is marked dead and
+    /// the tile is re-assigned to a survivor (halo re-shipped).
+    CrashBeforeTask,
+    /// The worker dies mid-task ([`Interception::TaskRun`]); any partial
+    /// output is discarded and the tile is re-assigned to a survivor.
+    CrashMidTask,
+    /// The attempt takes `ticks` simulated ticks instead of the nominal
+    /// [`RetryPolicy::task_ticks`] ([`Interception::TaskRun`]). If
+    /// `ticks` exceeds the per-task timeout the supervisor abandons the
+    /// straggler and retries; otherwise the attempt merely adds latency.
+    Straggle { ticks: u64 },
+    /// The halo shipment is lost in transit ([`Interception::ShipHalo`]).
+    /// Detected by the shipment acknowledgement timeout; re-shipped on
+    /// retry (and the re-shipped bytes are charged to the run metrics).
+    DropHaloShipment,
+    /// The task reports a transient error ([`Interception::TaskRun`]):
+    /// supervisor-visible, retried with backoff.
+    TaskError,
+}
+
+impl FaultKind {
+    /// The interception point this fault fires at.
+    pub fn interception(&self) -> Interception {
+        match self {
+            FaultKind::DropHaloShipment => Interception::ShipHalo,
+            FaultKind::CrashBeforeTask => Interception::TaskStart,
+            FaultKind::CrashMidTask | FaultKind::Straggle { .. } | FaultKind::TaskError => {
+                Interception::TaskRun
+            }
+        }
+    }
+
+    /// True for faults that kill the executing worker.
+    pub fn kills_worker(&self) -> bool {
+        matches!(self, FaultKind::CrashBeforeTask | FaultKind::CrashMidTask)
+    }
+}
+
+/// One injected fault: fires when `tile` runs its `attempt`-th attempt
+/// (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub tile: usize,
+    pub attempt: u32,
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule for one distributed run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: the fault-free run.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builder: add one fault.
+    pub fn with(mut self, tile: usize, attempt: u32, kind: FaultKind) -> Self {
+        self.push(tile, attempt, kind);
+        self
+    }
+
+    /// Add one fault. Later events for the same `(tile, attempt)` pair
+    /// are ignored by [`FaultPlan::fault_at`] (first match wins), so a
+    /// plan is unambiguous however it was built.
+    pub fn push(&mut self, tile: usize, attempt: u32, kind: FaultKind) {
+        self.events.push(FaultEvent {
+            tile,
+            attempt,
+            kind,
+        });
+    }
+
+    /// The fault injected at `(tile, attempt)`, if any.
+    pub fn fault_at(&self, tile: usize, attempt: u32) -> Option<FaultKind> {
+        self.events
+            .iter()
+            .find(|e| e.tile == tile && e.attempt == attempt)
+            .map(|e| e.kind)
+    }
+
+    /// All scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Seeded pseudo-random plan over `n_tiles` tiles with `n_faults`
+    /// events drawn from every [`FaultKind`] (crashes included), at
+    /// attempts `0..3`. Deterministic: the same `(seed, n_tiles,
+    /// n_faults)` always yields the same plan.
+    pub fn seeded(seed: u64, n_tiles: usize, n_faults: usize) -> Self {
+        let mut state = seed ^ 0x6c73_6761_2d66_6c74; // "lsga-flt"
+        let mut plan = FaultPlan::none();
+        if n_tiles == 0 {
+            return plan;
+        }
+        for _ in 0..n_faults {
+            let tile = (splitmix64(&mut state) % n_tiles as u64) as usize;
+            let attempt = (splitmix64(&mut state) % 3) as u32;
+            let kind = match splitmix64(&mut state) % 5 {
+                0 => FaultKind::CrashBeforeTask,
+                1 => FaultKind::CrashMidTask,
+                2 => FaultKind::Straggle {
+                    // Some below, some above the default 40-tick timeout.
+                    ticks: 1 + splitmix64(&mut state) % 80,
+                },
+                3 => FaultKind::DropHaloShipment,
+                _ => FaultKind::TaskError,
+            };
+            plan.push(tile, attempt, kind);
+        }
+        plan
+    }
+
+    /// Seeded plan restricted to faults that never kill a worker
+    /// (stragglers, dropped shipments, transient errors), with at most
+    /// two faults per tile: always recoverable under the default
+    /// [`RetryPolicy`] for any worker count, which the chaos suite's
+    /// bit-identity property relies on.
+    pub fn seeded_recoverable(seed: u64, n_tiles: usize, n_faults: usize) -> Self {
+        let mut state = seed ^ 0x6c73_6761_2d72_6563; // "lsga-rec"
+        let mut plan = FaultPlan::none();
+        if n_tiles == 0 {
+            return plan;
+        }
+        let mut per_tile = vec![0u32; n_tiles];
+        for _ in 0..n_faults {
+            let tile = (splitmix64(&mut state) % n_tiles as u64) as usize;
+            if per_tile[tile] >= 2 {
+                continue;
+            }
+            // Consecutive attempts from 0: the fault is always reached.
+            let attempt = per_tile[tile];
+            per_tile[tile] += 1;
+            let kind = match splitmix64(&mut state) % 3 {
+                0 => FaultKind::Straggle {
+                    ticks: 1 + splitmix64(&mut state) % 80,
+                },
+                1 => FaultKind::DropHaloShipment,
+                _ => FaultKind::TaskError,
+            };
+            plan.push(tile, attempt, kind);
+        }
+        plan
+    }
+}
+
+/// Retry/timeout configuration of the supervisor. All durations are
+/// simulated ticks — the schedule is data, not wall-clock measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per tile (>= 1). When exhausted the tile is
+    /// abandoned and reported in the coverage report.
+    pub max_attempts: u32,
+    /// Nominal duration of a healthy task attempt.
+    pub task_ticks: u64,
+    /// Per-attempt deadline: crashes, lost shipments, and stragglers
+    /// beyond this are detected when it fires.
+    pub timeout_ticks: u64,
+    /// First retry delay; doubles (times `backoff_multiplier`) per
+    /// subsequent retry.
+    pub base_backoff_ticks: u64,
+    /// Exponential backoff base.
+    pub backoff_multiplier: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            task_ticks: 10,
+            timeout_ticks: 40,
+            base_backoff_ticks: 2,
+            backoff_multiplier: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay scheduled after failed attempt `attempt` (0-based):
+    /// `base · multiplier^attempt`, saturating.
+    pub fn backoff_after(&self, attempt: u32) -> u64 {
+        self.base_backoff_ticks
+            .saturating_mul(self.backoff_multiplier.saturating_pow(attempt))
+    }
+}
+
+/// Injected logical clock: the supervisor's only notion of time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now: u64,
+}
+
+impl SimClock {
+    pub fn advance(&mut self, ticks: u64) {
+        self.now = self.now.saturating_add(ticks);
+    }
+
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+}
+
+/// SplitMix64: the seeded plan generator's PRNG (the `rand` compat
+/// crate is a dev-dependency only, and two lines of arithmetic keep the
+/// library dependency-free).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_first_match_wins() {
+        let plan = FaultPlan::none()
+            .with(2, 0, FaultKind::TaskError)
+            .with(2, 0, FaultKind::CrashMidTask)
+            .with(1, 1, FaultKind::DropHaloShipment);
+        assert_eq!(plan.fault_at(2, 0), Some(FaultKind::TaskError));
+        assert_eq!(plan.fault_at(1, 1), Some(FaultKind::DropHaloShipment));
+        assert_eq!(plan.fault_at(0, 0), None);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn interception_points() {
+        assert_eq!(
+            FaultKind::DropHaloShipment.interception(),
+            Interception::ShipHalo
+        );
+        assert_eq!(
+            FaultKind::CrashBeforeTask.interception(),
+            Interception::TaskStart
+        );
+        for k in [
+            FaultKind::CrashMidTask,
+            FaultKind::Straggle { ticks: 5 },
+            FaultKind::TaskError,
+        ] {
+            assert_eq!(k.interception(), Interception::TaskRun);
+        }
+        assert!(FaultKind::CrashBeforeTask.kills_worker());
+        assert!(FaultKind::CrashMidTask.kills_worker());
+        assert!(!FaultKind::TaskError.kills_worker());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(7, 8, 12);
+        let b = FaultPlan::seeded(7, 8, 12);
+        let c = FaultPlan::seeded(8, 8, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 12);
+        for e in a.events() {
+            assert!(e.tile < 8);
+            assert!(e.attempt < 3);
+        }
+        assert!(FaultPlan::seeded(1, 0, 10).is_empty());
+    }
+
+    #[test]
+    fn recoverable_plans_avoid_crashes_and_cap_per_tile() {
+        for seed in 0..32u64 {
+            let plan = FaultPlan::seeded_recoverable(seed, 6, 20);
+            let mut per_tile = [0u32; 6];
+            for e in plan.events() {
+                assert!(!e.kind.kills_worker(), "seed {seed}: {:?}", e.kind);
+                // Attempts are consecutive from 0 so every fault fires.
+                assert_eq!(e.attempt, per_tile[e.tile]);
+                per_tile[e.tile] += 1;
+            }
+            assert!(per_tile.iter().all(|c| *c <= 2));
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_data() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_after(0), 2);
+        assert_eq!(p.backoff_after(1), 4);
+        assert_eq!(p.backoff_after(2), 8);
+        let huge = RetryPolicy {
+            base_backoff_ticks: u64::MAX,
+            ..p
+        };
+        assert_eq!(huge.backoff_after(3), u64::MAX); // saturates
+    }
+
+    #[test]
+    fn sim_clock_advances_and_saturates() {
+        let mut c = SimClock::default();
+        assert_eq!(c.now(), 0);
+        c.advance(7);
+        c.advance(3);
+        assert_eq!(c.now(), 10);
+        c.advance(u64::MAX);
+        assert_eq!(c.now(), u64::MAX);
+    }
+}

@@ -6,13 +6,29 @@
 //! Stitching the tiles reproduces the single-node result exactly: any
 //! point that can influence a tile's pixels lies within the inflated
 //! bounds, so no kernel mass is lost at tile boundaries.
+//!
+//! Both drivers run through the [`crate::supervisor`]:
+//! [`distributed_kdv`] is the fault-free path ([`FaultPlan::none`]),
+//! [`supervised_kdv`] additionally injects a seeded [`FaultPlan`] and
+//! recovers from it — bit-identically whenever every tile is
+//! recoverable, and with an exact [`CoverageReport`] when not.
 
+use crate::fault::{FaultPlan, RetryPolicy};
 use crate::metrics::{RunMetrics, WorkerMetrics, BYTES_PER_POINT};
 use crate::partition::{assign_owners, make_tiles, PartitionStrategy, PixelRect};
-use lsga_core::par::{par_map, Threads};
-use lsga_core::{DensityGrid, GridSpec, Kernel, Point};
+use crate::supervisor::{run_supervised, validate_points, CoverageReport};
+use lsga_core::{DensityGrid, GridSpec, Kernel, LsgaError, Point, Result};
 use lsga_index::GridIndex;
 use std::time::Instant;
+
+/// A possibly partial distributed KDV result: the stitched raster
+/// (abandoned tiles left at 0.0) plus the exact account of what was
+/// covered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialKdv {
+    pub grid: DensityGrid,
+    pub coverage: CoverageReport,
+}
 
 /// Exact distributed KDV. Returns the stitched raster and the run's
 /// communication/compute metrics. Output equals
@@ -25,6 +41,71 @@ pub fn distributed_kdv<K: Kernel>(
     n_workers: usize,
     strategy: PartitionStrategy,
 ) -> (DensityGrid, RunMetrics) {
+    let (partial, metrics) = supervised_kdv_inner(
+        points,
+        spec,
+        kernel,
+        tail_eps,
+        n_workers,
+        strategy,
+        &FaultPlan::none(),
+        &RetryPolicy::default(),
+    );
+    debug_assert!(partial.coverage.is_complete(), "fault-free run is total");
+    (partial.grid, metrics)
+}
+
+/// Distributed KDV under a fault plan, with supervisor recovery.
+///
+/// Validates the input (non-finite coordinates are a structured error,
+/// not silent raster corruption), then runs the supervised cluster.
+/// When every tile recovers, `grid` is bit-identical to the fault-free
+/// [`distributed_kdv`] output; otherwise abandoned tiles stay zero and
+/// are listed exactly in the coverage report.
+#[allow(clippy::too_many_arguments)]
+pub fn supervised_kdv<K: Kernel>(
+    points: &[Point],
+    spec: GridSpec,
+    kernel: K,
+    tail_eps: f64,
+    n_workers: usize,
+    strategy: PartitionStrategy,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<(PartialKdv, RunMetrics)> {
+    validate_points(points)?;
+    // The kernels assert 0 < tail_eps < 1 (and NaN fails the comparison
+    // backwards): reject it here as a worker-path parameter error rather
+    // than a panic deep inside effective_radius.
+    if !(tail_eps > 0.0 && tail_eps < 1.0) {
+        return Err(LsgaError::InvalidParameter {
+            name: "tail_eps",
+            message: format!("tail_eps must lie in (0, 1), got {tail_eps}"),
+        });
+    }
+    let radius = kernel.effective_radius(tail_eps);
+    if !radius.is_finite() {
+        return Err(LsgaError::InvalidParameter {
+            name: "tail_eps",
+            message: format!("kernel effective radius is not finite ({radius})"),
+        });
+    }
+    Ok(supervised_kdv_inner(
+        points, spec, kernel, tail_eps, n_workers, strategy, plan, policy,
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn supervised_kdv_inner<K: Kernel>(
+    points: &[Point],
+    spec: GridSpec,
+    kernel: K,
+    tail_eps: f64,
+    n_workers: usize,
+    strategy: PartitionStrategy,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> (PartialKdv, RunMetrics) {
     let n_workers = n_workers.max(1);
     let radius = kernel.effective_radius(tail_eps);
     let tiles = make_tiles(&spec, points, n_workers, strategy);
@@ -44,51 +125,58 @@ pub fn distributed_kdv<K: Kernel>(
             .copied()
             .collect();
     }
+    let shipment_sizes: Vec<usize> = shipments.iter().map(Vec::len).collect();
 
-    // Workers rasterize their tiles concurrently on the shared pool.
-    // Tiles write disjoint pixel rects, so stitching is deterministic
-    // regardless of execution order.
+    // Supervised workers rasterize their tiles concurrently on the
+    // shared pool. The tile value is a pure function of the shipment,
+    // and tiles write disjoint pixel rects, so stitching is
+    // deterministic regardless of execution order, thread count, or how
+    // many times the supervisor had to retry.
     let wall_start = Instant::now();
-    let results: Vec<(usize, Vec<f64>, std::time::Duration)> =
-        par_map(tiles.len(), 1, Threads::auto(), |t| {
-            let rect = &tiles[t];
-            let local = &shipments[t];
-            let start = Instant::now();
-            let r2 = radius * radius;
-            let mut values = vec![0.0f64; rect.len()];
-            if !local.is_empty() {
-                let index = GridIndex::build(local, radius.max(1e-12));
-                let width = rect.ix1 - rect.ix0;
-                for iy in rect.iy0..rect.iy1 {
-                    let qy = spec.row_y(iy);
-                    for ix in rect.ix0..rect.ix1 {
-                        let q = Point::new(spec.col_x(ix), qy);
-                        let mut sum = 0.0;
-                        index.for_each_candidate(&q, radius, |_, p| {
-                            let d2 = q.dist_sq(p);
-                            if d2 <= r2 {
-                                sum += kernel.eval_sq(d2);
-                            }
-                        });
-                        values[(iy - rect.iy0) * width + (ix - rect.ix0)] = sum;
-                    }
+    let sup = run_supervised(&shipment_sizes, plan, policy, |t| -> Result<Vec<f64>> {
+        let rect = &tiles[t];
+        let local = &shipments[t];
+        let r2 = radius * radius;
+        let mut values = vec![0.0f64; rect.len()];
+        if !local.is_empty() {
+            let index = GridIndex::build(local, radius.max(1e-12));
+            let width = rect.ix1 - rect.ix0;
+            for iy in rect.iy0..rect.iy1 {
+                let qy = spec.row_y(iy);
+                for ix in rect.ix0..rect.ix1 {
+                    let q = Point::new(spec.col_x(ix), qy);
+                    let mut sum = 0.0;
+                    index.for_each_candidate(&q, radius, |_, p| {
+                        let d2 = q.dist_sq(p);
+                        if d2 <= r2 {
+                            sum += kernel.eval_sq(d2);
+                        }
+                    });
+                    values[(iy - rect.iy0) * width + (ix - rect.ix0)] = sum;
                 }
             }
-            (t, values, start.elapsed())
-        });
+        }
+        Ok(values)
+    });
     let wall = wall_start.elapsed();
 
-    // Stitch.
+    // Stitch executed tiles in tile order.
     let mut grid = DensityGrid::zeros(spec);
     let mut workers = Vec::with_capacity(tiles.len());
-    for (t, values, compute) in results {
+    for (t, slot) in sup.per_tile.iter().enumerate() {
         let rect: PixelRect = tiles[t];
-        let width = rect.ix1 - rect.ix0;
-        for iy in rect.iy0..rect.iy1 {
-            for ix in rect.ix0..rect.ix1 {
-                grid.set(ix, iy, values[(iy - rect.iy0) * width + (ix - rect.ix0)]);
+        let outcome = &sup.schedule.tiles[t];
+        let compute = if let Some((values, compute)) = slot {
+            let width = rect.ix1 - rect.ix0;
+            for iy in rect.iy0..rect.iy1 {
+                for ix in rect.ix0..rect.ix1 {
+                    grid.set(ix, iy, values[(iy - rect.iy0) * width + (ix - rect.ix0)]);
+                }
             }
-        }
+            *compute
+        } else {
+            std::time::Duration::ZERO
+        };
         workers.push(WorkerMetrics {
             worker: t,
             owned_work: rect.len(),
@@ -96,15 +184,29 @@ pub fn distributed_kdv<K: Kernel>(
             shipped_points: shipments[t].len(),
             bytes_shipped: shipments[t].len() as u64 * BYTES_PER_POINT,
             compute,
+            retries: outcome.retries,
+            timeouts: outcome.timeouts,
+            reshipped_bytes: outcome.reshipped_bytes,
         });
     }
     workers.sort_by_key(|w| w.worker);
-    (grid, RunMetrics { workers, wall })
+    let work: Vec<usize> = tiles.iter().map(PixelRect::len).collect();
+    let coverage = CoverageReport::from_schedule(&sup.schedule, &work);
+    let metrics = RunMetrics {
+        workers,
+        wall,
+        recovered_tiles: coverage.recovered_tiles,
+        failed_tiles: coverage.abandoned.len(),
+        dead_workers: sup.schedule.dead_workers.len(),
+        sim_ticks: sup.schedule.sim_ticks,
+    };
+    (PartialKdv { grid, coverage }, metrics)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultKind;
     use lsga_core::{BBox, Epanechnikov, Gaussian};
     use lsga_kdv::grid_pruned_kdv;
 
@@ -140,6 +242,8 @@ mod tests {
                     "{strategy:?} w={workers}"
                 );
                 assert!(!metrics.workers.is_empty());
+                assert_eq!(metrics.total_retries(), 0);
+                assert_eq!(metrics.failed_tiles, 0);
             }
         }
     }
@@ -214,5 +318,81 @@ mod tests {
         );
         assert_eq!(grid.sum(), 0.0);
         assert_eq!(metrics.total_bytes(), 0);
+    }
+
+    #[test]
+    fn recovered_run_is_bit_identical() {
+        let pts = scatter(250);
+        let k = Epanechnikov::new(8.0);
+        let (reference, _) =
+            distributed_kdv(&pts, spec(), k, 1e-9, 4, PartitionStrategy::BalancedKd);
+        let plan = FaultPlan::none()
+            .with(0, 0, FaultKind::CrashMidTask)
+            .with(2, 0, FaultKind::DropHaloShipment)
+            .with(3, 0, FaultKind::TaskError);
+        let (partial, metrics) = supervised_kdv(
+            &pts,
+            spec(),
+            k,
+            1e-9,
+            4,
+            PartitionStrategy::BalancedKd,
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(partial.coverage.is_complete());
+        assert_eq!(partial.coverage.recovered_tiles, 3);
+        for (a, b) in partial.grid.values().iter().zip(reference.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(metrics.total_retries(), 3);
+        assert_eq!(metrics.dead_workers, 1);
+        assert!(metrics.total_reshipped_bytes() > 0);
+        assert!(metrics.sim_ticks > RetryPolicy::default().task_ticks);
+    }
+
+    #[test]
+    fn non_finite_points_are_a_structured_error() {
+        // Regression: NaN coordinates used to bin silently into pixel
+        // (0, 0) and corrupt the raster.
+        let mut pts = scatter(10);
+        pts.push(Point::new(f64::NAN, 5.0));
+        let err = supervised_kdv(
+            &pts,
+            spec(),
+            Epanechnikov::new(5.0),
+            1e-9,
+            2,
+            PartitionStrategy::UniformBands,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LsgaError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn non_finite_radius_is_a_structured_error() {
+        // Regression: a NaN tail_eps produced a NaN effective radius and
+        // nonsense halos downstream.
+        let err = supervised_kdv(
+            &scatter(10),
+            spec(),
+            Gaussian::new(5.0),
+            f64::NAN,
+            2,
+            PartitionStrategy::UniformBands,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            LsgaError::InvalidParameter {
+                name: "tail_eps",
+                ..
+            }
+        ));
     }
 }

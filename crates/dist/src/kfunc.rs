@@ -7,14 +7,38 @@
 //! by the owner of `i` — so no boundary deduplication pass is needed and
 //! the global sum equals the single-node count exactly (the scheme of
 //! the distributed Ripley's K in Zhang et al. \[106\]).
+//!
+//! Both drivers run through the [`crate::supervisor`]:
+//! [`distributed_k`] is the fault-free path, [`supervised_k`] injects a
+//! seeded [`FaultPlan`] and recovers from it — the count is bit-identical
+//! whenever every tile recovers, and otherwise the partial count is the
+//! exact sum over the executed tiles (self-pairs included only for
+//! points whose owning tile actually ran).
 
+use crate::fault::{FaultPlan, RetryPolicy};
 use crate::metrics::{RunMetrics, WorkerMetrics, BYTES_PER_POINT};
 use crate::partition::{assign_owners, make_tiles, PartitionStrategy};
-use lsga_core::par::{par_map, Threads};
-use lsga_core::{GridSpec, Point};
+use crate::supervisor::{run_supervised, validate_points, CoverageReport};
+use lsga_core::{GridSpec, LsgaError, Point, Result};
 use lsga_index::GridIndex;
 use lsga_kfunc::KConfig;
 use std::time::Instant;
+
+/// A possibly partial distributed K result: the pair count over the
+/// executed tiles plus the exact account of what was covered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialK {
+    pub count: u64,
+    pub coverage: CoverageReport,
+}
+
+/// The partitioning raster `distributed_k` uses internally for a point
+/// set: the inflated data bounds at a fixed 128-column granularity.
+/// Exposed so tests can reconstruct the exact tiles/owners of a run.
+pub fn partition_spec_for_k(points: &[Point]) -> GridSpec {
+    let bbox = lsga_core::BBox::of_points(points).inflate(1e-9);
+    GridSpec::with_width(bbox, 128)
+}
 
 /// Exact distributed K-function. Returns the global ordered-pair count
 /// and the run metrics. Output equals `lsga_kfunc::grid_k` exactly.
@@ -25,14 +49,67 @@ pub fn distributed_k(
     n_workers: usize,
     strategy: PartitionStrategy,
 ) -> (u64, RunMetrics) {
+    let (partial, metrics) = supervised_k_inner(
+        points,
+        s,
+        cfg,
+        n_workers,
+        strategy,
+        &FaultPlan::none(),
+        &RetryPolicy::default(),
+    );
+    debug_assert!(partial.coverage.is_complete(), "fault-free run is total");
+    (partial.count, metrics)
+}
+
+/// Distributed K-function under a fault plan, with supervisor recovery.
+///
+/// Validates the input (non-finite coordinates or a non-finite `s` are
+/// a structured error — historically NaN points panicked deep inside
+/// the partitioner), then runs the supervised cluster.
+pub fn supervised_k(
+    points: &[Point],
+    s: f64,
+    cfg: KConfig,
+    n_workers: usize,
+    strategy: PartitionStrategy,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<(PartialK, RunMetrics)> {
+    validate_points(points)?;
+    if !s.is_finite() || s < 0.0 {
+        return Err(LsgaError::InvalidParameter {
+            name: "s",
+            message: format!("distance threshold must be finite and non-negative, got {s}"),
+        });
+    }
+    Ok(supervised_k_inner(
+        points, s, cfg, n_workers, strategy, plan, policy,
+    ))
+}
+
+fn supervised_k_inner(
+    points: &[Point],
+    s: f64,
+    cfg: KConfig,
+    n_workers: usize,
+    strategy: PartitionStrategy,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> (PartialK, RunMetrics) {
     if points.is_empty() {
-        return (0, RunMetrics::default());
+        return (
+            PartialK {
+                count: 0,
+                coverage: CoverageReport::default(),
+            },
+            RunMetrics::default(),
+        );
     }
     let n_workers = n_workers.max(1);
     // Partition over a virtual raster of the data bounds: resolution is
     // only a partitioning granularity, not a correctness knob.
-    let bbox = lsga_core::BBox::of_points(points).inflate(1e-9);
-    let spec = GridSpec::with_width(bbox, 128);
+    let spec = partition_spec_for_k(points);
     let tiles = make_tiles(&spec, points, n_workers, strategy);
     let owners = assign_owners(&spec, &tiles, points);
 
@@ -52,36 +129,50 @@ pub fn distributed_k(
                 .collect(),
         );
     }
+    let shipment_sizes: Vec<usize> = shipments.iter().map(Vec::len).collect();
 
     let wall_start = Instant::now();
-    let results: Vec<(usize, u64, std::time::Duration)> =
-        par_map(tiles.len(), 1, Threads::auto(), |t| {
-            let mine = &owned[t];
-            let local = &shipments[t];
-            let start = Instant::now();
-            let mut count = 0u64;
-            if !local.is_empty() && !mine.is_empty() {
-                let index = GridIndex::build(local, s.max(1e-12));
-                for p in mine {
-                    count += index.count_within(p, s) as u64;
-                }
-                // Every owned point matched itself once in the local
-                // index; drop the self-pairs here and re-add them
-                // globally if configured.
-                count -= mine.len() as u64;
+    let sup = run_supervised(&shipment_sizes, plan, policy, |t| -> Result<u64> {
+        let mine = &owned[t];
+        let local = &shipments[t];
+        let mut count = 0u64;
+        if !local.is_empty() && !mine.is_empty() {
+            let index = GridIndex::build(local, s.max(1e-12));
+            for p in mine {
+                count += index.count_within(p, s) as u64;
             }
-            (t, count, start.elapsed())
-        });
+            // Every owned point matched itself once in the local index;
+            // drop the self-pairs here and re-add them globally if
+            // configured. The shipment always contains the owned points,
+            // so the subtraction cannot underflow — but a defensive
+            // checked_sub turns any future regression into a structured
+            // task failure instead of a worker panic.
+            count = count
+                .checked_sub(mine.len() as u64)
+                .ok_or_else(|| LsgaError::TaskFailed {
+                    tile: t,
+                    attempts: 1,
+                    message: "self-pair count exceeded local pair count".into(),
+                })?;
+        }
+        Ok(count)
+    });
     let wall = wall_start.elapsed();
 
-    let mut total = if cfg.include_self {
-        points.len() as u64
-    } else {
-        0
-    };
+    // Merge in tile order; self-pairs only for executed tiles' owners.
+    let mut total = 0u64;
     let mut workers = Vec::with_capacity(tiles.len());
-    for (t, count, compute) in results {
-        total += count;
+    for (t, slot) in sup.per_tile.iter().enumerate() {
+        let outcome = &sup.schedule.tiles[t];
+        let compute = if let Some((count, compute)) = slot {
+            total += count;
+            if cfg.include_self {
+                total += owned[t].len() as u64;
+            }
+            *compute
+        } else {
+            std::time::Duration::ZERO
+        };
         workers.push(WorkerMetrics {
             worker: t,
             owned_work: owned[t].len(),
@@ -89,15 +180,35 @@ pub fn distributed_k(
             shipped_points: shipments[t].len(),
             bytes_shipped: shipments[t].len() as u64 * BYTES_PER_POINT,
             compute,
+            retries: outcome.retries,
+            timeouts: outcome.timeouts,
+            reshipped_bytes: outcome.reshipped_bytes,
         });
     }
     workers.sort_by_key(|w| w.worker);
-    (total, RunMetrics { workers, wall })
+    let work: Vec<usize> = owned.iter().map(Vec::len).collect();
+    let coverage = CoverageReport::from_schedule(&sup.schedule, &work);
+    let metrics = RunMetrics {
+        workers,
+        wall,
+        recovered_tiles: coverage.recovered_tiles,
+        failed_tiles: coverage.abandoned.len(),
+        dead_workers: sup.schedule.dead_workers.len(),
+        sim_ticks: sup.schedule.sim_ticks,
+    };
+    (
+        PartialK {
+            count: total,
+            coverage,
+        },
+        metrics,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultKind;
     use lsga_kfunc::{grid_k, naive_k};
 
     fn scatter(n: usize) -> Vec<Point> {
@@ -166,5 +277,111 @@ mod tests {
         let want = naive_k(&pts, 3.0, cfg);
         let (got, _) = distributed_k(&pts, 3.0, cfg, 5, PartitionStrategy::BalancedKd);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn recovered_run_matches_fault_free_count() {
+        let pts = scatter(300);
+        let cfg = KConfig { include_self: true };
+        let (want, _) = distributed_k(&pts, 8.0, cfg, 4, PartitionStrategy::UniformBands);
+        let plan = FaultPlan::none()
+            .with(1, 0, FaultKind::CrashBeforeTask)
+            .with(2, 0, FaultKind::Straggle { ticks: 500 });
+        let (partial, metrics) = supervised_k(
+            &pts,
+            8.0,
+            cfg,
+            4,
+            PartitionStrategy::UniformBands,
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(partial.coverage.is_complete());
+        assert_eq!(partial.count, want);
+        assert_eq!(metrics.total_retries(), 2);
+        assert_eq!(metrics.dead_workers, 1);
+    }
+
+    #[test]
+    fn abandoned_tile_gives_exact_partial_count() {
+        let pts = scatter(300);
+        let cfg = KConfig { include_self: true };
+        // Fail tile 2 on every attempt: it must be abandoned, and the
+        // partial count must equal the fault-free total minus exactly
+        // tile 2's contribution (recomputable from the exposed spec).
+        let policy = RetryPolicy::default();
+        let mut plan = FaultPlan::none();
+        for attempt in 0..policy.max_attempts {
+            plan = plan.with(2, attempt, FaultKind::TaskError);
+        }
+        let (partial, metrics) = supervised_k(
+            &pts,
+            8.0,
+            cfg,
+            4,
+            PartitionStrategy::UniformBands,
+            &plan,
+            &policy,
+        )
+        .unwrap();
+        assert!(!partial.coverage.is_complete());
+        assert_eq!(partial.coverage.abandoned, vec![2]);
+        assert_eq!(metrics.failed_tiles, 1);
+
+        // Recompute tile 2's contribution by hand.
+        let spec = partition_spec_for_k(&pts);
+        let tiles = make_tiles(&spec, &pts, 4, PartitionStrategy::UniformBands);
+        let owners = assign_owners(&spec, &tiles, &pts);
+        let mine: Vec<Point> = pts
+            .iter()
+            .zip(&owners)
+            .filter(|(_, o)| **o == 2)
+            .map(|(p, _)| *p)
+            .collect();
+        let mut tile2 = 0u64;
+        for p in &mine {
+            for q in &pts {
+                if p.dist_sq(q) <= 64.0 {
+                    tile2 += 1;
+                }
+            }
+        }
+        // `tile2` counted each owned point against the full set, which
+        // includes itself: with include_self that is exactly the tile's
+        // share of the fault-free total.
+        let (want, _) = distributed_k(&pts, 8.0, cfg, 4, PartitionStrategy::UniformBands);
+        assert_eq!(partial.count + tile2, want);
+    }
+
+    #[test]
+    fn non_finite_inputs_are_structured_errors() {
+        // Regression: a NaN coordinate used to trip the empty-bbox
+        // assertion inside GridSpec (f64::min ignores NaN).
+        let mut pts = scatter(10);
+        pts.push(Point::new(0.0, f64::INFINITY));
+        let err = supervised_k(
+            &pts,
+            5.0,
+            KConfig::default(),
+            2,
+            PartitionStrategy::UniformBands,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LsgaError::InvalidParameter { .. }));
+
+        let err = supervised_k(
+            &scatter(10),
+            f64::NAN,
+            KConfig::default(),
+            2,
+            PartitionStrategy::UniformBands,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LsgaError::InvalidParameter { name: "s", .. }));
     }
 }

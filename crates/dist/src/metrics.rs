@@ -21,10 +21,17 @@ pub struct WorkerMetrics {
     pub owned_points: usize,
     /// Points shipped to the worker (owned + halo replicas).
     pub shipped_points: usize,
-    /// Simulated communication volume.
+    /// Simulated communication volume of the initial shipment.
     pub bytes_shipped: u64,
     /// Measured compute time of the worker's task.
     pub compute: Duration,
+    /// Failed attempts the supervisor retried (0 on the happy path).
+    pub retries: u32,
+    /// Per-task deadlines that fired for this tile.
+    pub timeouts: u32,
+    /// Extra bytes from halo re-shipments (crash re-assignment or a
+    /// dropped shipment) — on top of `bytes_shipped`.
+    pub reshipped_bytes: u64,
 }
 
 /// A whole distributed run.
@@ -33,12 +40,39 @@ pub struct RunMetrics {
     pub workers: Vec<WorkerMetrics>,
     /// Wall-clock time of the parallel section.
     pub wall: Duration,
+    /// Tiles that needed at least one retry but completed.
+    pub recovered_tiles: usize,
+    /// Tiles abandoned after the retry budget (0 = complete result).
+    pub failed_tiles: usize,
+    /// Workers that died during the run.
+    pub dead_workers: usize,
+    /// Simulated elapsed ticks of the supervised run (slowest tile).
+    pub sim_ticks: u64,
 }
 
 impl RunMetrics {
-    /// Total simulated communication volume.
+    /// Total simulated communication volume, including recovery
+    /// re-shipments.
     pub fn total_bytes(&self) -> u64 {
-        self.workers.iter().map(|w| w.bytes_shipped).sum()
+        self.workers
+            .iter()
+            .map(|w| w.bytes_shipped + w.reshipped_bytes)
+            .sum()
+    }
+
+    /// Failed attempts retried across all tiles.
+    pub fn total_retries(&self) -> u32 {
+        self.workers.iter().map(|w| w.retries).sum()
+    }
+
+    /// Per-task deadlines fired across all tiles.
+    pub fn total_timeouts(&self) -> u32 {
+        self.workers.iter().map(|w| w.timeouts).sum()
+    }
+
+    /// Bytes spent re-shipping halos during recovery.
+    pub fn total_reshipped_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.reshipped_bytes).sum()
     }
 
     /// Total points shipped (owned + halo over all workers).
@@ -95,6 +129,9 @@ mod tests {
             shipped_points: shipped,
             bytes_shipped: shipped as u64 * BYTES_PER_POINT,
             compute: Duration::from_millis(ms),
+            retries: 0,
+            timeouts: 0,
+            reshipped_bytes: 0,
         }
     }
 
@@ -103,6 +140,7 @@ mod tests {
         let run = RunMetrics {
             workers: vec![w(100, 120, 10), w(100, 130, 30)],
             wall: Duration::from_millis(31),
+            ..Default::default()
         };
         assert_eq!(run.total_shipped(), 250);
         assert_eq!(run.replicated_points(), 50);
@@ -110,6 +148,30 @@ mod tests {
         assert_eq!(run.compute_sum(), Duration::from_millis(40));
         assert_eq!(run.compute_max(), Duration::from_millis(30));
         assert!((run.load_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_aggregates() {
+        let mut a = w(10, 12, 5);
+        a.retries = 2;
+        a.timeouts = 1;
+        a.reshipped_bytes = 12 * BYTES_PER_POINT;
+        let b = w(10, 10, 5);
+        let run = RunMetrics {
+            workers: vec![a, b],
+            wall: Duration::from_millis(10),
+            recovered_tiles: 1,
+            failed_tiles: 0,
+            dead_workers: 1,
+            sim_ticks: 64,
+        };
+        assert_eq!(run.total_retries(), 2);
+        assert_eq!(run.total_timeouts(), 1);
+        assert_eq!(run.total_reshipped_bytes(), 12 * 16);
+        // total_bytes charges the re-shipments on top of the base halo.
+        assert_eq!(run.total_bytes(), (12 + 10) * 16 + 12 * 16);
+        assert_eq!(run.recovered_tiles, 1);
+        assert_eq!(run.sim_ticks, 64);
     }
 
     #[test]

@@ -59,15 +59,17 @@ pub enum PartitionStrategy {
     BalancedKd,
 }
 
-/// Split `spec` into exactly `n` non-overlapping tiles covering every
-/// pixel. `points` only influence [`PartitionStrategy::BalancedKd`].
+/// Split `spec` into `n` non-overlapping tiles covering every pixel.
+/// `points` only influence [`PartitionStrategy::BalancedKd`]. `n` is
+/// clamped to `1..=spec.len()`, so degenerate requests (zero workers,
+/// more workers than pixels) never panic.
 pub fn make_tiles(
     spec: &GridSpec,
     points: &[Point],
     n: usize,
     strategy: PartitionStrategy,
 ) -> Vec<PixelRect> {
-    assert!(n >= 1, "need at least one tile");
+    let n = n.max(1); // worker-path input, not a programmer error
     let full = PixelRect {
         ix0: 0,
         iy0: 0,
@@ -95,7 +97,9 @@ pub fn make_tiles(
                 start = end;
             }
             // Guarantee full coverage even with rounding.
-            out.last_mut().expect("n >= 1").iy1 = rows;
+            if let Some(last) = out.last_mut() {
+                last.iy1 = rows;
+            }
             out.retain(|r| !r.is_empty());
             out
         }
@@ -314,6 +318,20 @@ mod tests {
         for (p, o) in pts.iter().zip(&owners) {
             let (ix, iy) = spec().pixel_of(p);
             assert!(tiles[*o as usize].contains(ix, iy));
+        }
+    }
+
+    #[test]
+    fn zero_tiles_clamps_to_one_without_panicking() {
+        // Regression: `make_tiles` used to assert `n >= 1`, aborting the
+        // worker path on a degenerate request.
+        for strategy in [
+            PartitionStrategy::UniformBands,
+            PartitionStrategy::BalancedKd,
+        ] {
+            let tiles = make_tiles(&spec(), &clustered_points(), 0, strategy);
+            assert_eq!(tiles.len(), 1);
+            assert_partition(&tiles, &spec());
         }
     }
 

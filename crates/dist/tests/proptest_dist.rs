@@ -2,6 +2,7 @@
 //! partition/halo accounting consistent on arbitrary inputs.
 
 use lsga_core::{BBox, Epanechnikov, GridSpec, Point};
+use lsga_dist::partition::assign_owners;
 use lsga_dist::{distributed_k, distributed_kdv, make_tiles, PartitionStrategy};
 use lsga_kfunc::{grid_k, KConfig};
 use proptest::prelude::*;
@@ -51,6 +52,86 @@ proptest! {
         let (grid, _) =
             distributed_kdv(&pts, spec, k, 1e-9, workers, PartitionStrategy::BalancedKd);
         prop_assert!(grid.linf_diff(&reference) <= reference.max().max(1.0) * 1e-12);
+    }
+
+    #[test]
+    fn tiles_cover_each_pixel_exactly_once(
+        pts in arb_points(150),
+        n in 1usize..24,
+        nx in 1usize..30,
+        ny in 1usize..30,
+        kd in any::<bool>(),
+    ) {
+        // Painting check: stronger than the sum-of-areas invariant — it
+        // catches overlapping tiles whose areas still add up.
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), nx, ny);
+        let strategy = if kd {
+            PartitionStrategy::BalancedKd
+        } else {
+            PartitionStrategy::UniformBands
+        };
+        let tiles = make_tiles(&spec, &pts, n, strategy);
+        prop_assert!(!tiles.is_empty());
+        prop_assert!(tiles.len() <= n.max(1));
+        let mut paint = vec![0u32; spec.len()];
+        for t in &tiles {
+            prop_assert!(!t.is_empty(), "empty tile {t:?}");
+            for iy in t.iy0..t.iy1 {
+                for ix in t.ix0..t.ix1 {
+                    paint[spec.index(ix, iy)] += 1;
+                }
+            }
+        }
+        prop_assert!(paint.iter().all(|c| *c == 1), "gap or overlap in cover");
+    }
+
+    #[test]
+    fn owners_live_in_their_tile(
+        pts in arb_points(200),
+        n in 1usize..16,
+        kd in any::<bool>(),
+    ) {
+        let spec = GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 25, 25);
+        let strategy = if kd {
+            PartitionStrategy::BalancedKd
+        } else {
+            PartitionStrategy::UniformBands
+        };
+        let tiles = make_tiles(&spec, &pts, n, strategy);
+        let owners = assign_owners(&spec, &tiles, &pts);
+        prop_assert_eq!(owners.len(), pts.len());
+        for (p, o) in pts.iter().zip(&owners) {
+            prop_assert!((*o as usize) < tiles.len());
+            let (ix, iy) = spec.pixel_of(p);
+            prop_assert!(
+                tiles[*o as usize].contains(ix, iy),
+                "point {p:?} owned by tile {o} which does not contain its pixel ({ix}, {iy})"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_partitions_never_panic(
+        pts in arb_points(40),
+        n in 0usize..400,
+        kd in any::<bool>(),
+    ) {
+        // Zero workers, more workers than pixels, tiny grids, empty point
+        // sets: all must yield a valid exact cover, never a panic.
+        let strategy = if kd {
+            PartitionStrategy::BalancedKd
+        } else {
+            PartitionStrategy::UniformBands
+        };
+        for (nx, ny) in [(1, 1), (1, 7), (13, 1), (3, 3)] {
+            let spec = GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), nx, ny);
+            let tiles = make_tiles(&spec, &pts, n, strategy);
+            let covered: usize = tiles.iter().map(|t| t.len()).sum();
+            prop_assert_eq!(covered, spec.len());
+            prop_assert!(tiles.len() <= spec.len(), "more tiles than pixels");
+            let owners = assign_owners(&spec, &tiles, &pts);
+            prop_assert!(owners.iter().all(|o| (*o as usize) < tiles.len()));
+        }
     }
 
     #[test]

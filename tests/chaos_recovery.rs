@@ -1,0 +1,575 @@
+//! Chaos suite: deterministic fault injection and recovery.
+//!
+//! The headline invariant (DESIGN.md §3): **any recoverable fault
+//! schedule yields results bit-identical to the fault-free run**, for
+//! every partition strategy and worker count. Non-recoverable schedules
+//! must degrade gracefully — a structured partial result with an exact
+//! coverage report, never a panic.
+//!
+//! Run under `LSGA_THREADS=1` and `LSGA_THREADS=8` in CI: the schedule
+//! is planned sequentially and tasks are pure, so thread count must not
+//! change a single bit.
+
+use lsga::core::{BBox, Epanechnikov, GridSpec, LsgaError, Point};
+use lsga::dist::partition::assign_owners;
+use lsga::dist::{
+    distributed_k, distributed_kdv, make_tiles, partition_spec_for_k, supervised_k, supervised_kdv,
+    FaultKind, FaultPlan, PartitionStrategy, RetryPolicy,
+};
+use lsga::kfunc::KConfig;
+use proptest::prelude::*;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn scatter(n: usize, seed: u64) -> Vec<Point> {
+    // Deterministic pseudo-random points in the [0, 100]² window.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| Point::new(next() * 100.0, next() * 100.0))
+        .collect()
+}
+
+fn spec() -> GridSpec {
+    GridSpec::new(BBox::new(0.0, 0.0, 100.0, 100.0), 24, 24)
+}
+
+fn strategy_of(kd: bool) -> PartitionStrategy {
+    if kd {
+        PartitionStrategy::BalancedKd
+    } else {
+        PartitionStrategy::UniformBands
+    }
+}
+
+/// Brute-force contribution of one K-function tile: owned points of
+/// `tile` counted against the full set (self-matches included — with
+/// `include_self` that is exactly the tile's share of the total).
+fn k_tile_contribution(
+    pts: &[Point],
+    workers: usize,
+    strat: PartitionStrategy,
+    tile: u32,
+    s: f64,
+) -> u64 {
+    let spec = partition_spec_for_k(pts);
+    let tiles = make_tiles(&spec, pts, workers.max(1), strat);
+    let owners = assign_owners(&spec, &tiles, pts);
+    let mut count = 0u64;
+    for (p, o) in pts.iter().zip(&owners) {
+        if *o != tile {
+            continue;
+        }
+        for q in pts {
+            if p.dist_sq(q) <= s * s {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Headline property (KDV): a seeded recoverable plan — stragglers,
+    /// dropped shipments, transient errors, but no crashes — always
+    /// completes and the raster is bit-identical to the fault-free run.
+    #[test]
+    fn recoverable_kdv_is_bit_identical(
+        seed in any::<u64>(),
+        n_faults in 0usize..12,
+        widx in 0usize..WORKER_COUNTS.len(),
+        kd in any::<bool>(),
+        b in 2.0f64..20.0,
+    ) {
+        let workers = WORKER_COUNTS[widx];
+        let strat = strategy_of(kd);
+        let pts = scatter(120, seed);
+        let kernel = Epanechnikov::new(b);
+        let (reference, base) = distributed_kdv(&pts, spec(), kernel, 1e-9, workers, strat);
+        let plan = FaultPlan::seeded_recoverable(seed, workers, n_faults);
+        let (partial, metrics) = supervised_kdv(
+            &pts, spec(), kernel, 1e-9, workers, strat, &plan, &RetryPolicy::default(),
+        ).unwrap();
+        prop_assert!(partial.coverage.is_complete(), "plan {plan:?} did not recover");
+        prop_assert_eq!(partial.coverage.fraction(), 1.0);
+        for (a, r) in partial.grid.values().iter().zip(reference.values()) {
+            prop_assert_eq!(a.to_bits(), r.to_bits());
+        }
+        // Recovery never loses the base shipment accounting.
+        prop_assert_eq!(metrics.total_shipped(), base.total_shipped());
+        prop_assert!(metrics.total_bytes() >= base.total_bytes());
+        prop_assert_eq!(metrics.failed_tiles, 0);
+        prop_assert_eq!(metrics.dead_workers, 0);
+    }
+
+    /// Headline property (K-function): same invariant for the pair count.
+    #[test]
+    fn recoverable_k_count_is_identical(
+        seed in any::<u64>(),
+        n_faults in 0usize..12,
+        widx in 0usize..WORKER_COUNTS.len(),
+        kd in any::<bool>(),
+        s in 1.0f64..40.0,
+        include_self in any::<bool>(),
+    ) {
+        let workers = WORKER_COUNTS[widx];
+        let strat = strategy_of(kd);
+        let pts = scatter(150, seed ^ 0xabcd);
+        let cfg = KConfig { include_self };
+        let (want, _) = distributed_k(&pts, s, cfg, workers, strat);
+        let plan = FaultPlan::seeded_recoverable(seed, workers, n_faults);
+        let (partial, metrics) = supervised_k(
+            &pts, s, cfg, workers, strat, &plan, &RetryPolicy::default(),
+        ).unwrap();
+        prop_assert!(partial.coverage.is_complete());
+        prop_assert_eq!(partial.count, want);
+        prop_assert_eq!(metrics.failed_tiles, 0);
+    }
+
+    /// General seeded plans (crashes included): either the run recovers —
+    /// then it is bit-identical — or it degrades to an exact partial:
+    /// executed tiles match the reference bit-for-bit, abandoned tiles
+    /// are zero, and the coverage report accounts for every tile.
+    #[test]
+    fn arbitrary_kdv_plans_never_panic_and_partials_are_exact(
+        seed in any::<u64>(),
+        n_faults in 0usize..16,
+        widx in 0usize..WORKER_COUNTS.len(),
+        kd in any::<bool>(),
+    ) {
+        let workers = WORKER_COUNTS[widx];
+        let strat = strategy_of(kd);
+        let pts = scatter(100, seed ^ 0x5eed);
+        let kernel = Epanechnikov::new(8.0);
+        let (reference, _) = distributed_kdv(&pts, spec(), kernel, 1e-9, workers, strat);
+        let plan = FaultPlan::seeded(seed, workers, n_faults);
+        let (partial, metrics) = supervised_kdv(
+            &pts, spec(), kernel, 1e-9, workers, strat, &plan, &RetryPolicy::default(),
+        ).unwrap();
+        let cov = &partial.coverage;
+        // Coverage arithmetic is exact.
+        prop_assert_eq!(cov.executed_tiles + cov.abandoned.len(), cov.total_tiles);
+        prop_assert_eq!(cov.failures.len(), cov.abandoned.len());
+        prop_assert_eq!(metrics.failed_tiles, cov.abandoned.len());
+        prop_assert!(cov.recovered_tiles <= cov.executed_tiles);
+        prop_assert_eq!(metrics.recovered_tiles, cov.recovered_tiles);
+        prop_assert!(cov.fraction() >= 0.0 && cov.fraction() <= 1.0);
+        // Per-tile exactness: executed tiles carry the reference bits,
+        // abandoned tiles stay zero.
+        let tiles = make_tiles(&spec(), &pts, workers.max(1), strat);
+        for (t, rect) in tiles.iter().enumerate() {
+            let abandoned = cov.abandoned.contains(&t);
+            for iy in rect.iy0..rect.iy1 {
+                for ix in rect.ix0..rect.ix1 {
+                    let got = partial.grid.at(ix, iy);
+                    if abandoned {
+                        prop_assert_eq!(got, 0.0);
+                    } else {
+                        prop_assert_eq!(got.to_bits(), reference.at(ix, iy).to_bits());
+                    }
+                }
+            }
+        }
+        if cov.is_complete() {
+            prop_assert_eq!(cov.executed_tiles, cov.total_tiles);
+        }
+    }
+
+    /// General seeded plans for the K-function: the partial count equals
+    /// the fault-free total minus exactly the abandoned tiles' brute-force
+    /// contributions.
+    #[test]
+    fn arbitrary_k_plans_yield_exact_partial_counts(
+        seed in any::<u64>(),
+        n_faults in 0usize..16,
+        widx in 0usize..WORKER_COUNTS.len(),
+        kd in any::<bool>(),
+    ) {
+        let workers = WORKER_COUNTS[widx];
+        let strat = strategy_of(kd);
+        let pts = scatter(90, seed ^ 0x6bff);
+        let s = 9.0;
+        let cfg = KConfig { include_self: true };
+        let (want, _) = distributed_k(&pts, s, cfg, workers, strat);
+        let plan = FaultPlan::seeded(seed, workers, n_faults);
+        let (partial, _) = supervised_k(
+            &pts, s, cfg, workers, strat, &plan, &RetryPolicy::default(),
+        ).unwrap();
+        let mut missing = 0u64;
+        for t in &partial.coverage.abandoned {
+            missing += k_tile_contribution(&pts, workers, strat, *t as u32, s);
+        }
+        prop_assert_eq!(partial.count + missing, want);
+    }
+
+    /// Planning and execution are deterministic end to end: the same
+    /// seeded plan replayed gives identical metrics, coverage, and bits.
+    #[test]
+    fn supervised_runs_replay_identically(
+        seed in any::<u64>(),
+        n_faults in 0usize..16,
+        widx in 0usize..WORKER_COUNTS.len(),
+    ) {
+        let workers = WORKER_COUNTS[widx];
+        let pts = scatter(80, seed);
+        let kernel = Epanechnikov::new(6.0);
+        let plan = FaultPlan::seeded(seed, workers, n_faults);
+        let run = || supervised_kdv(
+            &pts, spec(), kernel, 1e-9, workers,
+            PartitionStrategy::BalancedKd, &plan, &RetryPolicy::default(),
+        ).unwrap();
+        let (pa, ma) = run();
+        let (pb, mb) = run();
+        prop_assert_eq!(pa.coverage, pb.coverage);
+        prop_assert_eq!(pa.grid.values(), pb.grid.values());
+        prop_assert_eq!(ma.total_retries(), mb.total_retries());
+        prop_assert_eq!(ma.total_reshipped_bytes(), mb.total_reshipped_bytes());
+        prop_assert_eq!(ma.sim_ticks, mb.sim_ticks);
+        prop_assert_eq!(ma.dead_workers, mb.dead_workers);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Directed scenarios: one per fault kind / interception point.
+// ---------------------------------------------------------------------
+
+fn run_kdv_with(
+    plan: &FaultPlan,
+    workers: usize,
+) -> (lsga::dist::PartialKdv, lsga::dist::RunMetrics) {
+    let pts = scatter(150, 7);
+    supervised_kdv(
+        &pts,
+        spec(),
+        Epanechnikov::new(9.0),
+        1e-9,
+        workers,
+        PartitionStrategy::BalancedKd,
+        plan,
+        &RetryPolicy::default(),
+    )
+    .unwrap()
+}
+
+fn reference_kdv(workers: usize) -> lsga::core::DensityGrid {
+    let pts = scatter(150, 7);
+    distributed_kdv(
+        &pts,
+        spec(),
+        Epanechnikov::new(9.0),
+        1e-9,
+        workers,
+        PartitionStrategy::BalancedKd,
+    )
+    .0
+}
+
+fn assert_bits_equal(a: &lsga::core::DensityGrid, b: &lsga::core::DensityGrid) {
+    for (x, y) in a.values().iter().zip(b.values()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn crash_before_task_recovers_on_survivor() {
+    let plan = FaultPlan::none().with(1, 0, FaultKind::CrashBeforeTask);
+    let (partial, metrics) = run_kdv_with(&plan, 4);
+    assert!(partial.coverage.is_complete());
+    assert_eq!(partial.coverage.recovered_tiles, 1);
+    assert_eq!(metrics.dead_workers, 1);
+    assert_eq!(metrics.total_retries(), 1);
+    assert_eq!(metrics.total_timeouts(), 1);
+    assert!(
+        metrics.total_reshipped_bytes() > 0,
+        "halo re-shipped to survivor"
+    );
+    assert_bits_equal(&partial.grid, &reference_kdv(4));
+}
+
+#[test]
+fn crash_mid_task_discards_partial_output() {
+    let plan = FaultPlan::none().with(0, 0, FaultKind::CrashMidTask);
+    let (partial, metrics) = run_kdv_with(&plan, 3);
+    assert!(partial.coverage.is_complete());
+    assert_eq!(metrics.dead_workers, 1);
+    assert_bits_equal(&partial.grid, &reference_kdv(3));
+}
+
+#[test]
+fn dropped_halo_shipment_is_reshipped() {
+    let plan = FaultPlan::none().with(2, 0, FaultKind::DropHaloShipment);
+    let (partial, metrics) = run_kdv_with(&plan, 4);
+    assert!(partial.coverage.is_complete());
+    assert_eq!(metrics.dead_workers, 0, "a lost shipment kills nobody");
+    assert_eq!(metrics.total_timeouts(), 1);
+    let w = &metrics.workers[2];
+    assert_eq!(
+        w.reshipped_bytes, w.bytes_shipped,
+        "same halo shipped twice"
+    );
+    assert_bits_equal(&partial.grid, &reference_kdv(4));
+}
+
+#[test]
+fn straggler_within_deadline_is_latency_only() {
+    let policy = RetryPolicy::default();
+    let plan = FaultPlan::none().with(
+        1,
+        0,
+        FaultKind::Straggle {
+            ticks: policy.timeout_ticks,
+        },
+    );
+    let (partial, metrics) = run_kdv_with(&plan, 4);
+    assert!(partial.coverage.is_complete());
+    assert_eq!(metrics.total_retries(), 0, "no retry, just slow");
+    assert_eq!(metrics.recovered_tiles, 0);
+    assert_eq!(
+        metrics.sim_ticks, policy.timeout_ticks,
+        "slowest tile dominates"
+    );
+    assert_bits_equal(&partial.grid, &reference_kdv(4));
+}
+
+#[test]
+fn straggler_past_deadline_is_abandoned_and_retried() {
+    let policy = RetryPolicy::default();
+    let plan = FaultPlan::none().with(1, 0, FaultKind::Straggle { ticks: 10_000 });
+    let (partial, metrics) = run_kdv_with(&plan, 4);
+    assert!(partial.coverage.is_complete());
+    assert_eq!(metrics.total_retries(), 1);
+    assert_eq!(metrics.total_timeouts(), 1);
+    assert_eq!(
+        metrics.sim_ticks,
+        policy.timeout_ticks + policy.backoff_after(0) + policy.task_ticks
+    );
+    assert_bits_equal(&partial.grid, &reference_kdv(4));
+}
+
+#[test]
+fn transient_task_errors_back_off_and_recover() {
+    let policy = RetryPolicy::default();
+    let plan = FaultPlan::none()
+        .with(0, 0, FaultKind::TaskError)
+        .with(0, 1, FaultKind::TaskError);
+    let (partial, metrics) = run_kdv_with(&plan, 2);
+    assert!(partial.coverage.is_complete());
+    assert_eq!(metrics.total_retries(), 2);
+    // Two failed task runs, two backoffs (2 then 4 ticks), one success.
+    assert_eq!(
+        metrics.sim_ticks,
+        2 * policy.task_ticks
+            + policy.backoff_after(0)
+            + policy.backoff_after(1)
+            + policy.task_ticks
+    );
+    assert_bits_equal(&partial.grid, &reference_kdv(2));
+}
+
+#[test]
+fn exhausted_retry_budget_degrades_to_partial() {
+    let policy = RetryPolicy::default();
+    let mut plan = FaultPlan::none();
+    for attempt in 0..policy.max_attempts {
+        plan.push(2, attempt, FaultKind::TaskError);
+    }
+    let (partial, metrics) = run_kdv_with(&plan, 4);
+    let cov = &partial.coverage;
+    assert!(!cov.is_complete());
+    assert_eq!(cov.abandoned, vec![2]);
+    assert_eq!(cov.executed_tiles, 3);
+    assert_eq!(cov.total_tiles, 4);
+    assert!(cov.fraction() < 1.0 && cov.fraction() > 0.0);
+    assert_eq!(cov.failures.len(), 1);
+    assert!(matches!(
+        cov.failures[0],
+        LsgaError::TaskFailed { tile: 2, .. }
+    ));
+    assert_eq!(metrics.failed_tiles, 1);
+    // Executed tiles still carry the reference bits; tile 2 stays zero.
+    let pts = scatter(150, 7);
+    let tiles = make_tiles(&spec(), &pts, 4, PartitionStrategy::BalancedKd);
+    let reference = reference_kdv(4);
+    for (t, rect) in tiles.iter().enumerate() {
+        for iy in rect.iy0..rect.iy1 {
+            for ix in rect.ix0..rect.ix1 {
+                if t == 2 {
+                    assert_eq!(partial.grid.at(ix, iy), 0.0);
+                } else {
+                    assert_eq!(
+                        partial.grid.at(ix, iy).to_bits(),
+                        reference.at(ix, iy).to_bits()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn losing_every_worker_degrades_without_panicking() {
+    // Two workers; tile 0's attempts kill both. Nothing survives to run
+    // any tile: the run must still return, with full accounting.
+    let plan = FaultPlan::none()
+        .with(0, 0, FaultKind::CrashBeforeTask)
+        .with(0, 1, FaultKind::CrashMidTask);
+    let (partial, metrics) = run_kdv_with(&plan, 2);
+    let cov = &partial.coverage;
+    assert!(!cov.is_complete());
+    assert_eq!(cov.abandoned, vec![0, 1]);
+    assert_eq!(cov.executed_tiles, 0);
+    assert_eq!(cov.fraction(), 0.0);
+    assert_eq!(metrics.dead_workers, 2);
+    assert!(partial.grid.values().iter().all(|v| *v == 0.0));
+    // The coverage report names the terminal error of each tile.
+    assert_eq!(cov.failures.len(), 2);
+}
+
+#[test]
+fn recovery_metrics_reach_the_run_report() {
+    let plan = FaultPlan::none()
+        .with(0, 0, FaultKind::DropHaloShipment)
+        .with(1, 0, FaultKind::CrashMidTask)
+        .with(2, 0, FaultKind::Straggle { ticks: 999 });
+    let (partial, metrics) = run_kdv_with(&plan, 4);
+    assert!(partial.coverage.is_complete());
+    assert_eq!(metrics.recovered_tiles, 3);
+    assert_eq!(metrics.total_retries(), 3);
+    assert_eq!(metrics.total_timeouts(), 3);
+    assert_eq!(metrics.dead_workers, 1);
+    assert!(metrics.sim_ticks > 0);
+    assert!(metrics.total_reshipped_bytes() > 0);
+    assert!(metrics.total_bytes() > metrics.total_shipped() as u64 * 16 - 1);
+    // Per-worker attribution: faulted tiles carry their own retries.
+    for t in [0usize, 1, 2] {
+        assert_eq!(metrics.workers[t].retries, 1, "tile {t}");
+    }
+    assert_eq!(metrics.workers[3].retries, 0);
+}
+
+#[test]
+fn k_function_supervised_matches_through_crashes() {
+    let pts = scatter(200, 11);
+    let cfg = KConfig { include_self: true };
+    for workers in WORKER_COUNTS {
+        let (want, _) = distributed_k(&pts, 12.0, cfg, workers, PartitionStrategy::UniformBands);
+        let plan = FaultPlan::none().with(0, 0, FaultKind::CrashMidTask).with(
+            workers.saturating_sub(1),
+            0,
+            FaultKind::DropHaloShipment,
+        );
+        let (partial, metrics) = supervised_k(
+            &pts,
+            12.0,
+            cfg,
+            workers,
+            PartitionStrategy::UniformBands,
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        if partial.coverage.is_complete() {
+            assert_eq!(partial.count, want, "workers={workers}");
+        } else {
+            // Single worker that crashes: nothing survives.
+            assert_eq!(workers, 1);
+            assert_eq!(partial.count, 0);
+            assert_eq!(metrics.dead_workers, 1);
+        }
+    }
+}
+
+#[test]
+fn invalid_inputs_are_structured_errors_not_panics() {
+    // Regression tests for the unwrap/panic audit: worker-path input
+    // problems surface as LsgaError, not as panics deep in the stack.
+    let nan_pts = vec![Point::new(f64::NAN, 1.0)];
+    assert!(matches!(
+        supervised_kdv(
+            &nan_pts,
+            spec(),
+            Epanechnikov::new(5.0),
+            1e-9,
+            2,
+            PartitionStrategy::UniformBands,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        ),
+        Err(LsgaError::InvalidParameter { name: "points", .. })
+    ));
+    assert!(matches!(
+        supervised_k(
+            &nan_pts,
+            5.0,
+            KConfig::default(),
+            2,
+            PartitionStrategy::UniformBands,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        ),
+        Err(LsgaError::InvalidParameter { name: "points", .. })
+    ));
+    assert!(matches!(
+        supervised_kdv(
+            &scatter(10, 3),
+            spec(),
+            Epanechnikov::new(5.0),
+            f64::NAN,
+            2,
+            PartitionStrategy::UniformBands,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        ),
+        Err(LsgaError::InvalidParameter {
+            name: "tail_eps",
+            ..
+        })
+    ));
+    assert!(matches!(
+        supervised_k(
+            &scatter(10, 3),
+            -1.0,
+            KConfig::default(),
+            2,
+            PartitionStrategy::UniformBands,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        ),
+        Err(LsgaError::InvalidParameter { name: "s", .. })
+    ));
+    // Degenerate worker counts are clamped, not panicked on.
+    let (grid, _) = distributed_kdv(
+        &scatter(20, 3),
+        spec(),
+        Epanechnikov::new(5.0),
+        1e-9,
+        0,
+        PartitionStrategy::BalancedKd,
+    );
+    assert!(grid.sum() > 0.0);
+}
+
+#[test]
+fn empty_dataset_under_faults_is_trivially_complete() {
+    let plan = FaultPlan::seeded(42, 4, 8);
+    let (partial, metrics) = supervised_k(
+        &[],
+        5.0,
+        KConfig::default(),
+        4,
+        PartitionStrategy::UniformBands,
+        &plan,
+        &RetryPolicy::default(),
+    )
+    .unwrap();
+    assert_eq!(partial.count, 0);
+    assert!(partial.coverage.is_complete());
+    assert_eq!(metrics.total_bytes(), 0);
+}
