@@ -177,21 +177,33 @@ impl DensityGrid {
         &mut self.values[iy * nx..(iy + 1) * nx]
     }
 
-    /// Maximum density value (0 for an all-zero grid).
+    /// Maximum density value. Total: a zero-length grid (a [`GridSpec`]
+    /// built from literal zero dims) reports `0.0`, not `-inf`.
     pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
         self.values
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// Minimum density value.
+    /// Minimum density value. Total: a zero-length grid reports `0.0`,
+    /// not `+inf`.
     pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
         self.values.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
     /// Pixel `(ix, iy)` holding the maximum value (first occurrence).
+    /// Total: a zero-length grid reports `(0, 0)` instead of panicking.
     pub fn argmax(&self) -> (usize, usize) {
+        if self.values.is_empty() {
+            return (0, 0);
+        }
         let mut best = 0;
         for (i, v) in self.values.iter().enumerate() {
             if *v > self.values[best] {
@@ -503,5 +515,33 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn from_values_checks_len() {
         let _ = DensityGrid::from_values(spec(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn extrema_are_total_on_zero_length_grids() {
+        // GridSpec::new rejects zero dims, but the fields are public,
+        // so zero-length grids exist; the extrema must stay total on
+        // them instead of reporting ∓inf or panicking.
+        let empty = GridSpec {
+            bbox: BBox::new(0.0, 0.0, 1.0, 1.0),
+            nx: 0,
+            ny: 0,
+        };
+        let g = DensityGrid::zeros(empty);
+        assert_eq!(g.values().len(), 0);
+        assert_eq!(g.max(), 0.0);
+        assert_eq!(g.min(), 0.0);
+        assert_eq!(g.argmax(), (0, 0));
+    }
+
+    #[test]
+    fn extrema_on_single_pixel_grid() {
+        let one = GridSpec::new(BBox::new(0.0, 0.0, 1.0, 1.0), 1, 1);
+        let mut g = DensityGrid::zeros(one);
+        g.set(0, 0, -2.5);
+        assert_eq!(g.max(), -2.5);
+        assert_eq!(g.min(), -2.5);
+        assert_eq!(g.argmax(), (0, 0));
+        assert_eq!(g.hotspot(), Point::new(0.5, 0.5));
     }
 }

@@ -73,6 +73,7 @@ pub fn supervised_kdv<K: Kernel>(
     plan: &FaultPlan,
     policy: &RetryPolicy,
 ) -> Result<(PartialKdv, RunMetrics)> {
+    let _span = lsga_obs::span("dist.supervised_kdv");
     validate_points(points)?;
     // The kernels assert 0 < tail_eps < 1 (and NaN fails the comparison
     // backwards): reject it here as a worker-path parameter error rather

@@ -76,6 +76,7 @@ pub fn supervised_k(
     plan: &FaultPlan,
     policy: &RetryPolicy,
 ) -> Result<(PartialK, RunMetrics)> {
+    let _span = lsga_obs::span("dist.supervised_k");
     validate_points(points)?;
     if !s.is_finite() || s < 0.0 {
         return Err(LsgaError::InvalidParameter {

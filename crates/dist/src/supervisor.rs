@@ -29,6 +29,7 @@ use crate::fault::{FaultKind, FaultPlan, RetryPolicy, SimClock};
 use crate::metrics::BYTES_PER_POINT;
 use lsga_core::par::{par_map, Threads};
 use lsga_core::{LsgaError, Point, Result};
+use lsga_obs::{self as obs, Counter, Hist};
 use std::time::{Duration, Instant};
 
 /// What happened to one tile over the whole run.
@@ -262,6 +263,19 @@ pub fn plan_schedule(shipment_sizes: &[usize], plan: &FaultPlan, policy: &RetryP
     }
     let dead_workers: Vec<usize> = (0..n).filter(|w| dead[*w]).collect();
     let sim_ticks = tiles.iter().map(|o| o.ticks).max().unwrap_or(0);
+    // Publish the schedule's recovery activity to the metrics registry.
+    // The simulation above is sequential, so these totals are trivially
+    // identical for every thread count.
+    for o in &tiles {
+        obs::add(Counter::DistRetries, o.retries as u64);
+        obs::add(Counter::DistTimeouts, o.timeouts as u64);
+        obs::add(Counter::DistReshipments, o.reshipments as u64);
+        obs::add(Counter::DistReshippedBytes, o.reshipped_bytes);
+        obs::record(Hist::DistTileAttempts, o.attempts as u64);
+        for _ in 0..o.reshipments {
+            obs::instant("dist.reshipment");
+        }
+    }
     Schedule {
         tiles,
         dead_workers,
@@ -290,6 +304,7 @@ where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
+    let _span = obs::span("dist.run_supervised");
     let mut schedule = plan_schedule(shipment_sizes, plan, policy);
     let raw: Vec<Option<(Result<T>, Duration)>> =
         par_map(shipment_sizes.len(), 1, Threads::auto(), |t| {

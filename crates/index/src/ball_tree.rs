@@ -9,6 +9,7 @@
 //! `p` in the node.
 
 use lsga_core::Point;
+use lsga_obs::{self as obs, Counter};
 
 #[derive(Debug, Clone)]
 struct Node {
@@ -165,8 +166,10 @@ impl BallTree {
     pub fn range_count(&self, center: &Point, radius: f64) -> usize {
         let Some(root) = self.root() else { return 0 };
         let mut count = 0usize;
+        let mut visited: u64 = 0;
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
+            visited += 1;
             if self.min_dist(id, center) > radius {
                 continue;
             }
@@ -189,6 +192,7 @@ impl BallTree {
                 }
             }
         }
+        obs::add(Counter::IndexNodesVisited, visited);
         count
     }
 }

@@ -8,6 +8,7 @@
 
 use lsga_core::soa::count_within_span;
 use lsga_core::{BBox, Point};
+use lsga_obs::{self as obs, Counter};
 
 /// Uniform grid over a bounding box, bucketing point indices per cell.
 ///
@@ -204,8 +205,10 @@ impl GridIndex {
         let (cx0, cx1) = self.cell_col_range(center.x - radius, center.x + radius);
         let (cy0, cy1) = self.cell_row_range(center.y - radius, center.y + radius);
         let mut count = 0;
+        let mut scanned: u64 = 0;
         for cy in cy0..=cy1 {
             let span = self.row_span(cy, cx0, cx1);
+            scanned += span.len() as u64;
             count += count_within_span(
                 center.x,
                 center.y,
@@ -214,6 +217,7 @@ impl GridIndex {
                 r2,
             );
         }
+        obs::add(Counter::IndexEntriesScanned, scanned);
         count
     }
 
@@ -225,8 +229,11 @@ impl GridIndex {
         let r2 = radius * radius;
         let (cx0, cx1) = self.cell_col_range(center.x - radius, center.x + radius);
         let (cy0, cy1) = self.cell_row_range(center.y - radius, center.y + radius);
+        let mut scanned: u64 = 0;
         for cy in cy0..=cy1 {
-            for k in self.row_span(cy, cx0, cx1) {
+            let span = self.row_span(cy, cx0, cx1);
+            scanned += span.len() as u64;
+            for k in span {
                 let dx = center.x - self.entry_xs[k];
                 let dy = center.y - self.entry_ys[k];
                 if dx * dx + dy * dy <= r2 {
@@ -234,6 +241,7 @@ impl GridIndex {
                 }
             }
         }
+        obs::add(Counter::IndexEntriesScanned, scanned);
     }
 
     /// Inclusive cell-column interval overlapping `[lo_x, hi_x]`

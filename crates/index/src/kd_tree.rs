@@ -10,6 +10,7 @@
 //!   `LB(q)`/`UB(q)` bounds of paper Eq. 6.
 
 use lsga_core::{BBox, Point};
+use lsga_obs::{self as obs, Counter};
 
 /// Identifier of a kd-tree node (index into the node arena).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -150,8 +151,10 @@ impl KdTree {
         let Some(root) = self.root() else { return 0 };
         let r2 = radius * radius;
         let mut count = 0usize;
+        let mut visited: u64 = 0;
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
+            visited += 1;
             let node = &self.nodes[id.0];
             if node.bbox.min_dist_sq(center) > r2 {
                 continue;
@@ -174,6 +177,7 @@ impl KdTree {
                 }
             }
         }
+        obs::add(Counter::IndexNodesVisited, visited);
         count
     }
 
@@ -183,8 +187,10 @@ impl KdTree {
         out.clear();
         let Some(root) = self.root() else { return };
         let r2 = radius * radius;
+        let mut visited: u64 = 0;
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
+            visited += 1;
             let node = &self.nodes[id.0];
             if node.bbox.min_dist_sq(center) > r2 {
                 continue;
@@ -211,6 +217,7 @@ impl KdTree {
                 }
             }
         }
+        obs::add(Counter::IndexNodesVisited, visited);
     }
 
     /// The `k` nearest neighbours of `center` as
@@ -223,8 +230,10 @@ impl KdTree {
         // Max-heap of the best k candidates, keyed by distance².
         let mut heap: std::collections::BinaryHeap<HeapItem> = std::collections::BinaryHeap::new();
         let mut worst = f64::INFINITY;
+        let mut visited: u64 = 0;
         let mut stack = vec![self.root().unwrap()];
         while let Some(id) = stack.pop() {
+            visited += 1;
             let node = &self.nodes[id.0];
             if heap.len() == k && node.bbox.min_dist_sq(center) > worst {
                 continue;
@@ -263,6 +272,7 @@ impl KdTree {
                 }
             }
         }
+        obs::add(Counter::IndexNodesVisited, visited);
         let mut items: Vec<(u32, f64)> = heap.into_iter().map(|h| (h.idx, h.d2.sqrt())).collect();
         items.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         items

@@ -11,6 +11,7 @@
 //! interchangeable in the K-function implementations.
 
 use lsga_core::{BBox, Point};
+use lsga_obs::{self as obs, Counter};
 
 /// Maximum entries per node (leaf points or internal children).
 const NODE_CAPACITY: usize = 16;
@@ -138,8 +139,10 @@ impl RTree {
         let Some(root) = self.root else { return 0 };
         let r2 = radius * radius;
         let mut count = 0usize;
+        let mut visited: u64 = 0;
         let mut stack = vec![root];
         while let Some(idx) = stack.pop() {
+            visited += 1;
             let node = &self.nodes[idx];
             if node.bbox.min_dist_sq(center) > r2 {
                 continue;
@@ -164,6 +167,7 @@ impl RTree {
                 }
             }
         }
+        obs::add(Counter::IndexNodesVisited, visited);
         count
     }
 
@@ -173,8 +177,10 @@ impl RTree {
         out.clear();
         let Some(root) = self.root else { return };
         let r2 = radius * radius;
+        let mut visited: u64 = 0;
         let mut stack = vec![root];
         while let Some(idx) = stack.pop() {
+            visited += 1;
             let node = &self.nodes[idx];
             if node.bbox.min_dist_sq(center) > r2 {
                 continue;
@@ -196,6 +202,7 @@ impl RTree {
                 }
             }
         }
+        obs::add(Counter::IndexNodesVisited, visited);
     }
 
     /// Count points inside the axis-aligned box (inclusive bounds).

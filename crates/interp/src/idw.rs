@@ -3,11 +3,28 @@
 //! `F(q) = Σ_i w_i·z_i / Σ_i w_i` with `w_i = 1 / dist(q, p_i)^power`.
 //! A query coinciding with a sample returns that sample's value exactly
 //! (the limit of the weights).
+//!
+//! # Numeric robustness
+//!
+//! `w = d2^(−power/2)` overflows to `+inf` once `d2` drops below
+//! ~`1e-308^(2/power)` — two near-coincident samples then accumulate
+//! `num = den = inf` and the estimate collapses to `inf/inf = NaN`.
+//! The accumulation loops below keep their fast form bit-for-bit, but
+//! a non-finite (or vanished) accumulator triggers a repair pass
+//! ([`idw_stable`]) that forms the weights in log space, so no public
+//! IDW entry point returns a non-finite value for finite inputs. Every
+//! repair bumps [`Counter::NumericAnomalies`].
+//!
+//! A squared distance that *underflows* to `0.0` (separation below
+//! ~`1.5e-162`) is deliberately treated as an exact hit: the first
+//! such sample in fold order wins. This keeps the exact-hit branch a
+//! single comparison and is the limit behaviour anyway.
 
 use lsga_core::par::{par_map_rows, Threads};
 use lsga_core::soa::PointsSoA;
 use lsga_core::{DensityGrid, GridSpec, Point};
 use lsga_index::{GridIndex, KdTree};
+use lsga_obs::{self as obs, Counter};
 
 /// Exact global IDW — the `O(X·Y·n)` baseline of \[20\].
 pub fn idw_naive(samples: &[(Point, f64)], spec: GridSpec, power: f64) -> DensityGrid {
@@ -23,6 +40,7 @@ pub fn idw_naive_threads(
     threads: Threads,
 ) -> DensityGrid {
     assert!(power > 0.0, "power must be positive");
+    let _span = obs::span("interp.idw_naive");
     let mut grid = DensityGrid::zeros(spec);
     if samples.is_empty() {
         return grid;
@@ -42,14 +60,15 @@ pub fn idw_naive_threads(
         for (ix, out) in row.iter_mut().enumerate() {
             *out = idw_from_cols(&soa.xs, &dy2, &soa.ws, spec.col_x(ix), power);
         }
+        obs::add(Counter::InterpPairs, (soa.xs.len() * row.len()) as u64);
     });
     grid
 }
 
 /// IDW estimate at one query from columnar samples, with the y-leg of
-/// the squared distance precomputed. Same fold order, exact-hit
-/// short-circuit, and `den > 0` guard as the point-at-a-time loop it
-/// replaced.
+/// the squared distance precomputed. Same fold order and exact-hit
+/// short-circuit as the point-at-a-time loop it replaced; a non-finite
+/// or vanished accumulator diverts to the [`idw_stable`] repair pass.
 fn idw_from_cols(xs: &[f64], dy2: &[f64], zs: &[f64], qx: f64, power: f64) -> f64 {
     let mut num = 0.0;
     let mut den = 0.0;
@@ -63,11 +82,50 @@ fn idw_from_cols(xs: &[f64], dy2: &[f64], zs: &[f64], qx: f64, power: f64) -> f6
         num += w * z;
         den += w;
     }
-    if den > 0.0 {
+    if num.is_finite() && den.is_finite() && den > 0.0 {
         num / den
     } else {
-        0.0
+        obs::incr(Counter::NumericAnomalies);
+        let pairs: Vec<(f64, f64)> = xs
+            .iter()
+            .zip(dy2)
+            .zip(zs)
+            .map(|((x, d), z)| {
+                let dx = qx - *x;
+                (dx * dx + *d, *z)
+            })
+            .collect();
+        idw_stable(&pairs, power)
     }
+}
+
+/// Numerically robust IDW fallback, used only after the fast
+/// accumulation over- or underflowed. Weights are formed in log space
+/// (`ln w = −(power/2)·ln d2`, finite for every positive `d2`) and
+/// rescaled by the maximum, which preserves weight *ratios* even where
+/// `d2^(−power/2)` itself is `inf` or `0`. Callers guarantee `pairs`
+/// is non-empty and every `d2 > 0` (exact hits short-circuit earlier).
+fn idw_stable(pairs: &[(f64, f64)], power: f64) -> f64 {
+    debug_assert!(!pairs.is_empty());
+    let lw = |d2: f64| -0.5 * power * d2.ln();
+    let lmax = pairs
+        .iter()
+        .map(|(d2, _)| lw(*d2))
+        .fold(f64::NEG_INFINITY, f64::max);
+    if lmax == f64::NEG_INFINITY {
+        // Every d2 overflowed to +inf: all weights vanish together, so
+        // the only defensible estimate left is the unweighted mean.
+        let n = pairs.len() as f64;
+        return pairs.iter().map(|(_, z)| *z).sum::<f64>() / n;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (d2, z) in pairs {
+        let r = (lw(*d2) - lmax).exp(); // in [0, 1]; the nearest sample gets 1
+        num += r * z;
+        den += r;
+    }
+    num / den
 }
 
 /// Local IDW over the `k` nearest samples (Shepard's local method) via a
@@ -87,6 +145,7 @@ pub fn idw_knn_threads(
 ) -> DensityGrid {
     assert!(power > 0.0, "power must be positive");
     assert!(k >= 1, "k must be at least 1");
+    let _span = obs::span("interp.idw_knn");
     let mut grid = DensityGrid::zeros(spec);
     if samples.is_empty() {
         return grid;
@@ -99,9 +158,11 @@ pub fn idw_knn_threads(
         let mut nxs: Vec<f64> = Vec::with_capacity(k);
         let mut nys: Vec<f64> = Vec::with_capacity(k);
         let mut nzs: Vec<f64> = Vec::with_capacity(k);
+        let mut gathered: u64 = 0;
         for (ix, out) in row.iter_mut().enumerate() {
             let q = Point::new(spec.col_x(ix), qy);
             let nbrs = tree.knn(&q, k);
+            gathered += nbrs.len() as u64;
             nxs.clear();
             nys.clear();
             nzs.clear();
@@ -113,6 +174,7 @@ pub fn idw_knn_threads(
             }
             *out = idw_gathered(&nxs, &nys, &nzs, q.x, q.y, power);
         }
+        obs::add(Counter::InterpPairs, gathered);
     });
     grid
 }
@@ -133,10 +195,21 @@ fn idw_gathered(xs: &[f64], ys: &[f64], zs: &[f64], qx: f64, qy: f64, power: f64
         num += w * z;
         den += w;
     }
-    if den > 0.0 {
+    if num.is_finite() && den.is_finite() && den > 0.0 {
         num / den
     } else {
-        0.0
+        obs::incr(Counter::NumericAnomalies);
+        let pairs: Vec<(f64, f64)> = xs
+            .iter()
+            .zip(ys)
+            .zip(zs)
+            .map(|((x, y), z)| {
+                let dx = qx - *x;
+                let dy = qy - *y;
+                (dx * dx + dy * dy, *z)
+            })
+            .collect();
+        idw_stable(&pairs, power)
     }
 }
 
@@ -164,6 +237,7 @@ pub fn idw_radius_threads(
 ) -> DensityGrid {
     assert!(power > 0.0, "power must be positive");
     assert!(radius > 0.0, "radius must be positive");
+    let _span = obs::span("interp.idw_radius");
     let mut grid = DensityGrid::zeros(spec);
     if samples.is_empty() {
         return grid;
@@ -182,6 +256,7 @@ pub fn idw_radius_threads(
     let (exs, eys) = (index.entry_xs(), index.entry_ys());
     par_map_rows(grid.values_mut(), spec.nx, threads, |iy, row| {
         let qy = spec.row_y(iy);
+        let mut scanned: u64 = 0;
         for (ix, out) in row.iter_mut().enumerate() {
             let qx = spec.col_x(ix);
             let (cx0, cx1) = index.cell_col_range(qx - radius, qx + radius);
@@ -192,6 +267,7 @@ pub fn idw_radius_threads(
             let mut exact = None;
             'cells: for cy in cy0..=cy1 {
                 for k in index.row_span(cy, cx0, cx1) {
+                    scanned += 1;
                     let dx = qx - exs[k];
                     let dy = qy - eys[k];
                     let d2 = dx * dx + dy * dy;
@@ -214,12 +290,28 @@ pub fn idw_radius_threads(
                 let q = Point::new(qx, qy);
                 let nn = tree.knn(&q, 1);
                 samples[nn[0].0 as usize].1
-            } else if den > 0.0 {
+            } else if num.is_finite() && den.is_finite() && den > 0.0 {
                 num / den
             } else {
-                0.0
+                // Rare repair pass: rescan the same spans with the
+                // log-space accumulation. `exact` is None here, so
+                // every in-range d2 is positive.
+                obs::incr(Counter::NumericAnomalies);
+                let mut pairs: Vec<(f64, f64)> = Vec::new();
+                for cy in cy0..=cy1 {
+                    for k in index.row_span(cy, cx0, cx1) {
+                        let dx = qx - exs[k];
+                        let dy = qy - eys[k];
+                        let d2 = dx * dx + dy * dy;
+                        if d2 <= r2 {
+                            pairs.push((d2, ezs[k]));
+                        }
+                    }
+                }
+                idw_stable(&pairs, power)
             };
         }
+        obs::add(Counter::InterpPairs, scanned);
     });
     grid
 }
@@ -310,6 +402,89 @@ mod tests {
         let grid = idw_naive(&s, spec(), 2.0);
         for v in grid.values() {
             assert!((*v - 42.0).abs() < 1e-9, "got {v}");
+        }
+    }
+
+    #[test]
+    fn near_coincident_samples_do_not_produce_nan() {
+        // The headline bug: samples at x = 1e-160 and 2e-160 give the
+        // centre pixel (query at the origin) d² ≈ 1e-320, so
+        // w = d2^(−power/2) overflows to +inf for power ≥ 2 and the
+        // old accumulation returned inf/inf = NaN. The repair path
+        // must keep every pixel finite and within the sample range.
+        for power in [1.0, 2.0, 4.0] {
+            let s = vec![
+                (Point::new(1e-160, 0.0), 3.0),
+                (Point::new(2e-160, 0.0), 5.0),
+            ];
+            let spec = GridSpec::new(BBox::new(-1.0, -1.0, 1.0, 1.0), 3, 3);
+            let naive = idw_naive(&s, spec, power);
+            let knn = idw_knn(&s, spec, power, 2);
+            let radius = idw_radius(&s, spec, power, 4.0);
+            for g in [&naive, &knn, &radius] {
+                for v in g.values() {
+                    assert!(v.is_finite(), "power {power}: got {v}");
+                    assert!(
+                        *v >= 3.0 - 1e-9 && *v <= 5.0 + 1e-9,
+                        "power {power}: got {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_preserves_weight_ratios() {
+        // At the origin, d₁² ≈ 1e-320 and d₂² ≈ 4e-320: the power-2
+        // weight ratio is ≈ 4:1, i.e. the estimate ≈ (4·3 + 5)/5 =
+        // 3.4. The log-space repair must reproduce the ratio between
+        // the actual (subnormal) squared distances even though both
+        // raw weights are +inf.
+        let s = vec![
+            (Point::new(1e-160, 0.0), 3.0),
+            (Point::new(2e-160, 0.0), 5.0),
+        ];
+        let spec = GridSpec::new(BBox::new(-1.0, -1.0, 1.0, 1.0), 3, 3);
+        let grid = idw_naive(&s, spec, 2.0);
+        let s1 = 1e-160_f64 * 1e-160;
+        let s2 = 2e-160_f64 * 2e-160;
+        let r = (s1.ln() - s2.ln()).exp(); // w₂/w₁ at power 2
+        let expect = (3.0 + r * 5.0) / (1.0 + r);
+        assert!((expect - 3.4).abs() < 1e-3, "repro drifted: {expect}");
+        assert!(
+            (grid.at(1, 1) - expect).abs() < 1e-12,
+            "got {}, expect {expect}",
+            grid.at(1, 1)
+        );
+    }
+
+    #[test]
+    fn underflowing_separation_is_an_exact_hit() {
+        // |q − p| = 1e-200 ⇒ d² underflows to exactly 0.0. Documented
+        // semantics: treated as an exact hit, first sample in fold
+        // order wins.
+        let spec = GridSpec::new(BBox::new(-1.0, -1.0, 1.0, 1.0), 3, 3);
+        let s = vec![
+            (Point::new(1e-200, 0.0), 7.0),
+            (Point::new(-1e-200, 0.0), 9.0),
+        ];
+        let grid = idw_naive(&s, spec, 2.0);
+        assert_eq!(grid.at(1, 1), 7.0);
+    }
+
+    #[test]
+    fn all_weights_underflowing_fall_back_to_mean() {
+        // Samples ~1e170 away: d² overflows to +inf, every weight is
+        // exactly 0, and the old code returned the bogus constant 0.0.
+        // The repair yields the unweighted mean instead.
+        let spec = GridSpec::new(BBox::new(-1.0, -1.0, 1.0, 1.0), 3, 3);
+        let s = vec![
+            (Point::new(1e170, 0.0), 2.0),
+            (Point::new(-1e170, 0.0), 4.0),
+        ];
+        let grid = idw_naive(&s, spec, 2.0);
+        for v in grid.values() {
+            assert!((*v - 3.0).abs() < 1e-9, "got {v}");
         }
     }
 

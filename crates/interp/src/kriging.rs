@@ -13,6 +13,7 @@ use lsga_core::par::{par_map, Threads};
 use lsga_core::soa::distances_sq_tile;
 use lsga_core::{DensityGrid, GridSpec, LsgaError, Point, Result};
 use lsga_index::KdTree;
+use lsga_obs::{self as obs, Counter, Hist};
 
 /// Kriging output: predicted surface and per-pixel kriging variance.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +52,7 @@ pub fn ordinary_kriging_threads(
         return Err(LsgaError::EmptyDataset("kriging samples"));
     }
     assert!(neighborhood >= 1, "neighbourhood must be at least 1");
+    let _span = obs::span("interp.kriging");
     let pts: Vec<Point> = samples.iter().map(|(p, _)| *p).collect();
     let tree = KdTree::build(&pts);
     let mut prediction = DensityGrid::zeros(spec);
@@ -68,6 +70,8 @@ pub fn ordinary_kriging_threads(
         let mut nxs: Vec<f64> = Vec::with_capacity(k);
         let mut nys: Vec<f64> = Vec::with_capacity(k);
         let mut d2row: Vec<f64> = vec![0.0; k];
+        let mut solves: u64 = 0;
+        let mut weighed: u64 = 0;
         for ix in 0..spec.nx {
             let q = Point::new(spec.col_x(ix), qy);
             let nbrs = tree_ref.knn(&q, k);
@@ -112,15 +116,31 @@ pub fn ordinary_kriging_threads(
             }
             rhs[m] = 1.0;
             let sol = solve(a, rhs.clone())?;
+            solves += 1;
+            weighed += m as u64;
+            obs::record(Hist::KrigingSystemSize, (m + 1) as u64);
             let mut pred = 0.0;
             let mut var = sol[m]; // Lagrange multiplier μ
             for (r, (idx, _)) in nbrs.iter().enumerate() {
                 pred += sol[r] * samples[*idx as usize].1;
                 var += sol[r] * rhs[r];
             }
-            pred_row[ix] = pred;
-            var_row[ix] = var.max(0.0);
+            if pred.is_finite() && var.is_finite() {
+                pred_row[ix] = pred;
+                var_row[ix] = var.max(0.0);
+            } else {
+                // Near-singular system: the solve succeeded but the
+                // weights blew up. Repair like the m == 1 branch —
+                // nearest sample, distance-based variance. (`var.max`
+                // alone would silently turn a NaN variance into 0.)
+                obs::incr(Counter::NumericAnomalies);
+                let (i0, d0) = nbrs[0];
+                pred_row[ix] = samples[i0 as usize].1;
+                var_row[ix] = 2.0 * model.gamma(d0);
+            }
         }
+        obs::add(Counter::KrigingSolves, solves);
+        obs::add(Counter::InterpPairs, weighed);
         Ok((pred_row, var_row))
     });
     for (iy, row) in rows.into_iter().enumerate() {

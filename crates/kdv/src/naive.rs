@@ -10,6 +10,7 @@
 use lsga_core::soa::{accumulate_density_row, PointsSoA};
 use lsga_core::{DensityGrid, GridSpec, Kernel, Point};
 use lsga_index::GridIndex;
+use lsga_obs::{self as obs, Counter};
 
 /// Pixel-centre abscissae of a raster row, shared by every row sweep.
 pub(crate) fn pixel_xs(spec: &GridSpec) -> Vec<f64> {
@@ -23,6 +24,7 @@ pub(crate) fn pixel_xs(spec: &GridSpec) -> Vec<f64> {
 /// the cache-blocked masked microkernel; per pixel the fold stays in
 /// point order, so the output is bit-identical to the scalar double loop.
 pub fn naive_kdv<K: Kernel>(points: &[Point], spec: GridSpec, kernel: K) -> DensityGrid {
+    let _span = obs::span("kdv.naive");
     let mut grid = DensityGrid::zeros(spec);
     let soa = PointsSoA::from_points(points);
     let cutoff = kernel.support_sq();
@@ -38,6 +40,7 @@ pub fn naive_kdv<K: Kernel>(points: &[Point], spec: GridSpec, kernel: K) -> Dens
             &soa.ys,
             grid.row_mut(iy),
         );
+        obs::add(Counter::KdvPairs, (qxs.len() * soa.xs.len()) as u64);
     }
     grid
 }
@@ -77,18 +80,23 @@ pub(crate) fn pruned_kdv_row<K: Kernel>(
     }
     let exs = index.entry_xs();
     let eys = index.entry_ys();
+    let mut pairs: u64 = 0;
+    let mut pruned: u64 = 0;
     for cy in cy0..=cy1 {
         for cx in cx0s[0]..=cx1s[nx - 1] {
             // Pixels whose candidate column interval contains `cx`.
             let lo = cx1s.partition_point(|&c| c < cx);
             let hi = cx0s.partition_point(|&c| c <= cx);
             if lo >= hi {
+                pruned += 1;
                 continue;
             }
             let span = index.row_span(cy, cx, cx);
             if span.is_empty() {
+                pruned += 1;
                 continue;
             }
+            pairs += ((hi - lo) * span.len()) as u64;
             accumulate_density_row(
                 kernel,
                 cutoff_r2,
@@ -100,6 +108,8 @@ pub(crate) fn pruned_kdv_row<K: Kernel>(
             );
         }
     }
+    obs::add(Counter::KdvPairs, pairs);
+    obs::add(Counter::KdvCellsPruned, pruned);
 }
 
 /// Grid-pruned exact KDV: bucket the points with cell size equal to the
@@ -115,6 +125,7 @@ pub fn grid_pruned_kdv<K: Kernel>(
     kernel: K,
     tail_eps: f64,
 ) -> DensityGrid {
+    let _span = obs::span("kdv.grid_pruned");
     let mut grid = DensityGrid::zeros(spec);
     if points.is_empty() {
         return grid;

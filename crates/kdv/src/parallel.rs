@@ -37,6 +37,7 @@ pub fn parallel_kdv_threads<K: Kernel>(
     tail_eps: f64,
     threads: Threads,
 ) -> DensityGrid {
+    let _span = lsga_obs::span("kdv.parallel");
     let mut grid = DensityGrid::zeros(spec);
     if points.is_empty() {
         return grid;

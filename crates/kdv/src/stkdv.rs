@@ -18,6 +18,7 @@ use lsga_core::par::{par_map, Threads};
 use lsga_core::soa::{distances_sq_tile, TILE};
 use lsga_core::{GridSpec, Kernel, Point, PolyKernel, SpaceTimeGrid, TimedPoint};
 use lsga_index::GridIndex;
+use lsga_obs::{self as obs, Counter};
 
 /// Literal STKDV: evaluate the product kernel at every `(pixel, slice)`.
 /// Exact for every kernel pair.
@@ -30,10 +31,12 @@ pub fn stkdv_naive<KS: Kernel, KT: Kernel>(
     spatial: KS,
     temporal: KT,
 ) -> SpaceTimeGrid {
+    let _span = obs::span("kdv.stkdv_naive");
     let mut grid = SpaceTimeGrid::zeros(spec, t_min, t_max, nt);
     for it in 0..nt {
         let tau = grid.time(it);
         for iy in 0..spec.ny {
+            obs::add(Counter::KdvPairs, (spec.nx * points.len()) as u64);
             let qy = spec.row_y(iy);
             for ix in 0..spec.nx {
                 let q = Point::new(spec.col_x(ix), qy);
@@ -139,6 +142,7 @@ pub fn stkdv_sweep_threads<KS: Kernel>(
     tail_eps: f64,
     threads: Threads,
 ) -> SpaceTimeGrid {
+    let _span = obs::span("kdv.stkdv_sweep");
     let mut grid = SpaceTimeGrid::zeros(spec, t_min, t_max, nt);
     if points.is_empty() {
         return grid;
@@ -168,6 +172,7 @@ pub fn stkdv_sweep_threads<KS: Kernel>(
     // One spatial row per task: slab[it * nx + ix] holds the row's value
     // in slice it.
     let slabs: Vec<Vec<f64>> = par_map(spec.ny, 1, threads, |iy| {
+        let mut candidates: u64 = 0;
         let mut slab = vec![0.0f64; nt * spec.nx];
         // Per-pixel candidate buffer: (weight = K_s, shifted time).
         let mut cands: Vec<(f64, f64)> = Vec::new();
@@ -195,6 +200,7 @@ pub fn stkdv_sweep_threads<KS: Kernel>(
                 while s0 < span.end {
                     let s1 = (s0 + TILE).min(span.end);
                     let len = s1 - s0;
+                    candidates += len as u64;
                     distances_sq_tile(qx, qy, &exs[s0..s1], &eys[s0..s1], &mut d2s[..len]);
                     spatial.eval_sq_batch(&d2s[..len], &mut wts[..len]);
                     for k in 0..len {
@@ -240,6 +246,7 @@ pub fn stkdv_sweep_threads<KS: Kernel>(
                 }
             }
         }
+        obs::add(Counter::KdvPairs, candidates);
         slab
     });
     for (iy, slab) in slabs.into_iter().enumerate() {

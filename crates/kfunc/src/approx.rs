@@ -61,6 +61,7 @@ pub fn sampled_k_threads(
         let self_term = if cfg.include_self { n as f64 } else { 0.0 };
         return vec![self_term; thresholds.len()];
     }
+    let _span = lsga_obs::span("kfunc.sampled");
     let m = sample_size.min(n);
     let mut rng = StdRng::seed_from_u64(seed);
     let sample: Vec<Point> = points.choose_multiple(&mut rng, m).copied().collect();
@@ -106,6 +107,7 @@ pub fn border_corrected_k_threads(
     if n == 0 || thresholds.is_empty() {
         return vec![(0.0, 0); thresholds.len()];
     }
+    let _span = lsga_obs::span("kfunc.border_corrected");
     let s_max = thresholds.iter().copied().fold(0.0f64, f64::max);
     let index = GridIndex::build(points, s_max.max(1e-12));
     let area = window.area();

@@ -3,6 +3,7 @@
 use crate::KConfig;
 use lsga_core::soa::{count_within_span, PointsSoA};
 use lsga_core::Point;
+use lsga_obs::{self as obs, Counter};
 
 /// Count ordered pairs with `dist(p_i, p_j) ≤ s` by scanning all pairs.
 /// Exact for every input; quadratic — the baseline every accelerated
@@ -10,13 +11,16 @@ use lsga_core::Point;
 /// over columnar coordinates: each source point counts its tail span
 /// `i+1..` in one pass, counting unordered pairs doubled.
 pub fn naive_k(points: &[Point], s: f64, cfg: KConfig) -> u64 {
+    let _span = obs::span("kfunc.naive");
     let s2 = s * s;
     let soa = PointsSoA::from_points(points);
+    let n = soa.len() as u64;
     let mut count = 0u64;
     for i in 0..soa.len() {
         let tail = count_within_span(soa.xs[i], soa.ys[i], &soa.xs[i + 1..], &soa.ys[i + 1..], s2);
         count += 2 * tail as u64; // ordered pairs: (i, j) and (j, i)
     }
+    obs::add(Counter::KfuncPairs, n * n.saturating_sub(1) / 2);
     if cfg.include_self {
         count += points.len() as u64;
     }

@@ -28,6 +28,7 @@ pub fn parallel_k_threads(points: &[Point], s: f64, cfg: KConfig, threads: Threa
     if points.is_empty() {
         return 0;
     }
+    let _span = lsga_obs::span("kfunc.parallel");
     let index = GridIndex::build(points, s.max(1e-12));
     let total = par_reduce(
         points.len(),
@@ -35,6 +36,8 @@ pub fn parallel_k_threads(points: &[Point], s: f64, cfg: KConfig, threads: Threa
         threads,
         0u64,
         |range| {
+            // Pair work happens inside `count_within`, accounted by the
+            // index's own `index.entries_scanned` counter.
             let mut local = 0u64;
             for p in &points[range] {
                 local += index.count_within(p, s) as u64;

@@ -13,6 +13,7 @@ use lsga_core::par::{par_reduce, Threads};
 use lsga_core::soa::{distances_sq_tile, TILE};
 use lsga_core::Point;
 use lsga_index::{BallTree, GridIndex, KdTree, RTree};
+use lsga_obs::{self as obs, Counter};
 
 /// K-function via a bucket-grid range count per point.
 pub fn grid_k(points: &[Point], s: f64, cfg: KConfig) -> u64 {
@@ -92,6 +93,7 @@ pub fn histogram_k_all_threads(
     if thresholds.is_empty() {
         return Vec::new();
     }
+    let _span = obs::span("kfunc.histogram");
     let n = points.len();
     let self_term = if cfg.include_self { n as u64 } else { 0 };
     if n == 0 {
@@ -116,6 +118,7 @@ pub fn histogram_k_all_threads(
         vec![0u64; sorted.len()],
         |range| {
             let mut local = vec![0u64; sorted_ref.len()];
+            let mut scanned: u64 = 0;
             // Tile scratch for batched squared distances. Bucketing
             // still compares on d = sqrt(d2), exactly as the scalar
             // loop did — switching the comparison to d² could flip
@@ -134,6 +137,7 @@ pub fn histogram_k_all_threads(
                     while s0 < span.end {
                         let s1 = (s0 + TILE).min(span.end);
                         let len = s1 - s0;
+                        scanned += len as u64;
                         distances_sq_tile(p.x, p.y, &exs[s0..s1], &eys[s0..s1], &mut d2s[..len]);
                         for (k, &j) in ents[s0..s1].iter().enumerate() {
                             // Each unordered pair once: require j > i.
@@ -152,6 +156,7 @@ pub fn histogram_k_all_threads(
                     }
                 }
             }
+            obs::add(Counter::KfuncPairs, scanned);
             local
         },
         |mut acc, part| {

@@ -58,6 +58,8 @@ pub use lsga_kdv as kdv;
 pub use lsga_kfunc as kfunc;
 /// Road networks: graph, Dijkstra, snapping, lixels, generators.
 pub use lsga_network as network;
+/// Tracing spans and work/anomaly counters (off by default).
+pub use lsga_obs as obs;
 /// Moran's I, Getis-Ord General G, DBSCAN, K-means.
 pub use lsga_stats as stats;
 /// Heatmap and plot rendering.

@@ -1,0 +1,212 @@
+//! Spans and instant events with per-worker buffering.
+//!
+//! [`span`] returns an RAII guard that records `(start, duration)` on
+//! drop; [`instant`] records a point-in-time marker. Each thread lazily
+//! registers one mutex-protected buffer in a global sink list, so
+//! recording locks only the recorder's own (uncontended) mutex — safe
+//! under `lsga_core::par`'s scoped worker threads, which come and go
+//! per parallel region. Buffers of exited threads stay reachable
+//! through the sink list until drained, then the registration is
+//! garbage-collected.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// What one recorded event is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A closed span with its duration in nanoseconds.
+    Span { dur_ns: u64 },
+    /// A point-in-time marker.
+    Instant,
+}
+
+/// One recorded event on the trace timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Static site name, dotted (`"kdv.parallel"`, `"dist.reshipment"`).
+    pub name: &'static str,
+    /// Nanoseconds since the trace epoch (first [`crate::enable`]).
+    pub t_ns: u64,
+    /// Small dense id of the recording thread (registration order).
+    pub tid: u32,
+    pub kind: EventKind,
+}
+
+type Sink = Arc<Mutex<Vec<Event>>>;
+
+static SINKS: Mutex<Vec<Sink>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static LOCAL: RefCell<Option<(u32, Sink)>> = const { RefCell::new(None) };
+}
+
+/// The trace epoch (`ts = 0`); pinned on first use.
+pub(crate) fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn push(event: Event) {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let (_, sink) = slot.get_or_insert_with(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let sink: Sink = Arc::new(Mutex::new(Vec::new()));
+            SINKS.lock().expect("obs sink registry").push(sink.clone());
+            (tid, sink)
+        });
+        sink.lock().expect("own obs sink").push(event);
+    });
+}
+
+fn local_tid() -> u32 {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let (tid, _) = slot.get_or_insert_with(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let sink: Sink = Arc::new(Mutex::new(Vec::new()));
+            SINKS.lock().expect("obs sink registry").push(sink.clone());
+            (tid, sink)
+        });
+        *tid
+    })
+}
+
+/// RAII span: records one [`EventKind::Span`] event when dropped.
+/// Constructed disabled (a no-op) unless the collector is on.
+#[must_use = "a span measures the scope it is bound to"]
+pub struct SpanGuard {
+    live: Option<(&'static str, u64)>,
+}
+
+/// Open a span named `name`. One relaxed atomic load when disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if crate::enabled() {
+        SpanGuard {
+            live: Some((name, now_ns())),
+        }
+    } else {
+        SpanGuard { live: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.live.take() {
+            push(Event {
+                name,
+                t_ns: start,
+                tid: local_tid(),
+                kind: EventKind::Span {
+                    dur_ns: now_ns().saturating_sub(start),
+                },
+            });
+        }
+    }
+}
+
+/// Record an instant event (a vertical marker on the trace timeline).
+#[inline]
+pub fn instant(name: &'static str) {
+    if crate::enabled() {
+        push(Event {
+            name,
+            t_ns: now_ns(),
+            tid: local_tid(),
+            kind: EventKind::Instant,
+        });
+    }
+}
+
+/// Take every buffered event, merged deterministically: sorted by
+/// `(t_ns, name, tid, kind)`, so the same multiset of records always
+/// drains in the same order regardless of which worker recorded what.
+/// Registrations of exited threads are garbage-collected.
+pub(crate) fn take_events() -> Vec<Event> {
+    let mut sinks = SINKS.lock().expect("obs sink registry");
+    let mut events = Vec::new();
+    for sink in sinks.iter() {
+        events.append(&mut sink.lock().expect("obs sink"));
+    }
+    // A strong count of 1 means only the registry still holds the
+    // buffer: its thread is gone and the buffer was just emptied.
+    sinks.retain(|s| Arc::strong_count(s) > 1);
+    drop(sinks);
+    events.sort_by(|a, b| {
+        let ka = (a.t_ns, a.name, a.tid, dur_of(a));
+        let kb = (b.t_ns, b.name, b.tid, dur_of(b));
+        ka.cmp(&kb)
+    });
+    events
+}
+
+fn dur_of(e: &Event) -> u64 {
+    match e.kind {
+        EventKind::Span { dur_ns } => dur_ns,
+        EventKind::Instant => 0,
+    }
+}
+
+/// Drop every buffered event.
+pub(crate) fn clear() {
+    let _ = take_events();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_buffers_merge_and_gc() {
+        let _g = crate::tests::TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::enable();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let _s = span("scoped.work");
+                });
+            }
+        });
+        instant("main.marker");
+        let events = take_events();
+        crate::disable();
+        assert_eq!(events.len(), 5);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == "scoped.work" && matches!(e.kind, EventKind::Span { .. }))
+                .count(),
+            4
+        );
+        // The four scoped threads exited; their registrations are gone
+        // (only long-lived threads keep sinks registered).
+        assert!(SINKS.lock().unwrap().len() <= 1 + NEXT_TID.load(Ordering::Relaxed) as usize);
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn sort_is_total_and_stable_for_equal_times() {
+        let mk = |name, t_ns, tid| Event {
+            name,
+            t_ns,
+            tid,
+            kind: EventKind::Instant,
+        };
+        let mut a = [mk("b", 5, 1), mk("a", 5, 2), mk("a", 1, 9)];
+        a.sort_by(|x, y| (x.t_ns, x.name, x.tid).cmp(&(y.t_ns, y.name, y.tid)));
+        assert_eq!(a[0].name, "a");
+        assert_eq!(a[0].t_ns, 1);
+        assert_eq!(a[1].name, "a");
+        assert_eq!(a[2].name, "b");
+    }
+}

@@ -1,0 +1,318 @@
+//! Snapshot of a drained collector plus the three exporters: summary
+//! table, chrome://tracing JSON, and the flat `OBS_<id>.json` metrics
+//! document. All writers are hand-rolled — the workspace is offline,
+//! so no serde.
+
+use crate::events::{Event, EventKind};
+use crate::registry::HistSnapshot;
+
+/// Aggregated view of all spans sharing one name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    pub name: &'static str,
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Total time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+/// Everything one [`crate::drain`] captured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    counters: Vec<(&'static str, u64)>,
+    hists: Vec<HistSnapshot>,
+    events: Vec<Event>,
+}
+
+impl Snapshot {
+    pub(crate) fn collect() -> Self {
+        Snapshot {
+            counters: crate::registry::take_counters(),
+            hists: crate::registry::take_hists(),
+            events: crate::events::take_events(),
+        }
+    }
+
+    /// Value of the counter with this dotted name (0 if unknown).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// `(name, value)` for every counter, in registry order.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    /// Every histogram, in registry order.
+    pub fn histograms(&self) -> &[HistSnapshot] {
+        &self.hists
+    }
+
+    /// Every event, in the deterministic drain order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// True when nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+            && self.counters.iter().all(|(_, v)| *v == 0)
+            && self.hists.iter().all(|h| h.count == 0)
+    }
+
+    /// Aggregate spans by name, ordered by first appearance on the
+    /// (deterministically sorted) timeline.
+    pub fn spans(&self) -> Vec<SpanStat> {
+        let mut stats: Vec<SpanStat> = Vec::new();
+        for e in &self.events {
+            let EventKind::Span { dur_ns } = e.kind else {
+                continue;
+            };
+            match stats.iter_mut().find(|s| s.name == e.name) {
+                Some(s) => {
+                    s.count += 1;
+                    s.total_ns += dur_ns;
+                    s.max_ns = s.max_ns.max(dur_ns);
+                }
+                None => stats.push(SpanStat {
+                    name: e.name,
+                    count: 1,
+                    total_ns: dur_ns,
+                    max_ns: dur_ns,
+                }),
+            }
+        }
+        stats
+    }
+
+    /// Human-readable summary: non-zero counters, histogram means,
+    /// span aggregates — the table the experiments binary prints.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("counter                          value\n");
+        out.push_str("-------------------------------  ------------------\n");
+        for (name, v) in &self.counters {
+            if *v > 0 {
+                out.push_str(&format!("{name:<32} {v}\n"));
+            }
+        }
+        for h in &self.hists {
+            if h.count > 0 {
+                out.push_str(&format!(
+                    "{:<32} n={} mean={:.1} max_bucket<={}\n",
+                    h.name,
+                    h.count,
+                    h.mean(),
+                    h.buckets.last().map_or(0, |(hi, _)| *hi),
+                ));
+            }
+        }
+        let spans = self.spans();
+        if !spans.is_empty() {
+            out.push_str("\nspan                             count    total_ms\n");
+            out.push_str("-------------------------------  -------  ----------\n");
+            for s in &spans {
+                out.push_str(&format!(
+                    "{:<32} {:<8} {:.3}\n",
+                    s.name,
+                    s.count,
+                    s.total_ms()
+                ));
+            }
+        }
+        out
+    }
+
+    /// The chrome://tracing / Perfetto *trace event format*: complete
+    /// (`ph:"X"`) events for spans, `ph:"i"` for instants, one `tid`
+    /// per recording thread. Load via `chrome://tracing` or
+    /// <https://ui.perfetto.dev>.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            let ts = e.t_ns as f64 / 1e3; // microseconds
+            match e.kind {
+                EventKind::Span { dur_ns } => out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                    esc(e.name),
+                    e.tid,
+                    ts,
+                    dur_ns as f64 / 1e3
+                )),
+                EventKind::Instant => out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{},\"ts\":{:.3}}}",
+                    esc(e.name),
+                    e.tid,
+                    ts
+                )),
+            }
+            out.push_str(if i + 1 < self.events.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// The flat `OBS_<id>.json` document: counters (all, including
+    /// zeros, so audits can assert on exact values), histograms, and
+    /// span aggregates. Counters fed thread-count-invariant work are
+    /// identical across `LSGA_THREADS` — CI diffs this object between
+    /// 1- and 8-thread runs.
+    pub fn to_json(&self, id: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": \"{}\",\n", esc(id)));
+        out.push_str("  \"counters\": {\n");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(&format!("    \"{}\": {}", esc(name), v));
+            out.push_str(if i + 1 < self.counters.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"histograms\": [\n");
+        for (i, h) in self.hists.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+                esc(h.name),
+                h.count,
+                h.sum
+            ));
+            for (j, (hi, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{hi}, {n}]"));
+            }
+            out.push_str("] }");
+            out.push_str(if i + 1 < self.hists.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"spans\": [\n");
+        let spans = self.spans();
+        for (i, s) in spans.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"count\": {}, \"total_ms\": {:.3}, \"max_ms\": {:.3} }}",
+                esc(s.name),
+                s.count,
+                s.total_ms(),
+                s.max_ns as f64 / 1e6
+            ));
+            out.push_str(if i + 1 < spans.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// JSON string escaping for the ASCII control set plus quote/backslash.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{add, instant, span, Counter};
+
+    fn example_snapshot() -> Snapshot {
+        let _g = crate::tests::TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::enable();
+        add(Counter::KdvPairs, 100);
+        add(Counter::NumericAnomalies, 2);
+        crate::record(crate::Hist::KrigingSystemSize, 9);
+        {
+            let _a = span("outer");
+            let _b = span("inner");
+            instant("marker");
+        }
+        let snap = crate::drain();
+        crate::disable();
+        snap
+    }
+
+    #[test]
+    fn span_aggregation_counts_and_orders() {
+        let snap = example_snapshot();
+        let spans = snap.spans();
+        assert_eq!(spans.len(), 2);
+        // "outer" opened first -> earlier timestamp -> listed first.
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].count, 1);
+        assert!(spans[0].total_ns >= spans[1].total_ns);
+    }
+
+    #[test]
+    fn summary_lists_nonzero_counters_and_spans() {
+        let snap = example_snapshot();
+        let text = snap.summary();
+        assert!(text.contains("kdv.pairs_evaluated"));
+        assert!(text.contains("numeric.anomalies_repaired"));
+        assert!(text.contains("interp.kriging_system_size"));
+        assert!(text.contains("outer"));
+        assert!(!text.contains("dist.retries"), "zero counters omitted");
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let snap = example_snapshot();
+        let trace = snap.chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"ph\":\"i\""));
+        assert!(trace.contains("\"name\":\"inner\""));
+        assert!(trace.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn obs_json_shape_and_zero_counters_present() {
+        let snap = example_snapshot();
+        let json = snap.to_json("e99");
+        assert!(json.contains("\"id\": \"e99\""));
+        assert!(json.contains("\"kdv.pairs_evaluated\": 100"));
+        assert!(json.contains("\"numeric.anomalies_repaired\": 2"));
+        // Zero counters are explicitly present for mechanical diffing.
+        assert!(json.contains("\"dist.retries\": 0"));
+        assert!(json.contains("\"buckets\": [[16, 1]]"));
+        assert!(json.contains("\"name\": \"outer\""));
+    }
+
+    #[test]
+    fn counter_lookup_and_emptiness() {
+        let snap = example_snapshot();
+        assert_eq!(snap.counter("kdv.pairs_evaluated"), 100);
+        assert_eq!(snap.counter("no.such.counter"), 0);
+        assert!(!snap.is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! The counter / histogram registry: a fixed set of named work
+//! counters backed by relaxed atomics.
+//!
+//! A fixed enum (not a string-keyed map) keeps the enabled fast path
+//! at one array index plus one relaxed `fetch_add`, and keeps the
+//! crate dependency-free. Counts are integers, so accumulation
+//! commutes: any counter fed a thread-count-invariant quantity reads
+//! identically for every `LSGA_THREADS`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Work counters the algorithm crates bump. Each counts a quantity
+/// that is a pure function of the input (never of thread count or
+/// timing), except the `Dist*` counters which mirror the seeded —
+/// hence equally deterministic — fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Point–pixel kernel evaluations across all KDV variants.
+    KdvPairs,
+    /// Candidate grid cells skipped (empty, or serving no pixel) by
+    /// the pruned KDV row sweep.
+    KdvCellsPruned,
+    /// Point pairs examined across all K-function variants.
+    KfuncPairs,
+    /// Sample–query weight evaluations across IDW and kriging.
+    InterpPairs,
+    /// Weighted cross-products across Moran / Getis-Ord / LISA.
+    StatsPairs,
+    /// Neighbour-list entries gathered by DBSCAN ε-queries.
+    StatsNeighbors,
+    /// Candidate entries scanned inside bucket-grid queries.
+    IndexEntriesScanned,
+    /// Tree nodes visited by kd-tree queries (range + knn).
+    IndexNodesVisited,
+    /// Ordinary-kriging linear systems solved.
+    KrigingSolves,
+    /// Non-finite intermediates detected **and repaired** (IDW weight
+    /// overflow, kriging weight blow-up). Zero on every
+    /// well-conditioned input — `tests/finiteness.rs` asserts it.
+    NumericAnomalies,
+    /// Failed attempts the dist supervisor retried.
+    DistRetries,
+    /// Per-task deadlines that fired in the dist supervisor.
+    DistTimeouts,
+    /// Halo re-shipments during recovery.
+    DistReshipments,
+    /// Bytes those re-shipments cost.
+    DistReshippedBytes,
+}
+
+impl Counter {
+    /// Every counter, in export order.
+    pub const ALL: [Counter; 14] = [
+        Counter::KdvPairs,
+        Counter::KdvCellsPruned,
+        Counter::KfuncPairs,
+        Counter::InterpPairs,
+        Counter::StatsPairs,
+        Counter::StatsNeighbors,
+        Counter::IndexEntriesScanned,
+        Counter::IndexNodesVisited,
+        Counter::KrigingSolves,
+        Counter::NumericAnomalies,
+        Counter::DistRetries,
+        Counter::DistTimeouts,
+        Counter::DistReshipments,
+        Counter::DistReshippedBytes,
+    ];
+
+    /// Stable dotted name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::KdvPairs => "kdv.pairs_evaluated",
+            Counter::KdvCellsPruned => "kdv.cells_pruned",
+            Counter::KfuncPairs => "kfunc.pairs_evaluated",
+            Counter::InterpPairs => "interp.pairs_evaluated",
+            Counter::StatsPairs => "stats.pairs_evaluated",
+            Counter::StatsNeighbors => "stats.neighbors_gathered",
+            Counter::IndexEntriesScanned => "index.entries_scanned",
+            Counter::IndexNodesVisited => "index.nodes_visited",
+            Counter::KrigingSolves => "interp.kriging_solves",
+            Counter::NumericAnomalies => "numeric.anomalies_repaired",
+            Counter::DistRetries => "dist.retries",
+            Counter::DistTimeouts => "dist.timeouts",
+            Counter::DistReshipments => "dist.halo_reshipments",
+            Counter::DistReshippedBytes => "dist.reshipped_bytes",
+        }
+    }
+}
+
+const N_COUNTERS: usize = Counter::ALL.len();
+
+#[allow(clippy::declare_interior_mutable_const)] // array-init idiom
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static COUNTERS: [AtomicU64; N_COUNTERS] = [ZERO; N_COUNTERS];
+
+/// Add `n` to a counter (no-op while the collector is disabled).
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    if crate::enabled() {
+        COUNTERS[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Add one (no-op while disabled).
+#[inline]
+pub fn incr(c: Counter) {
+    add(c, 1);
+}
+
+/// Current value of a counter (0 while nothing was recorded).
+pub fn counter_value(c: Counter) -> u64 {
+    COUNTERS[c as usize].load(Ordering::Relaxed)
+}
+
+/// Histograms over per-item sizes, log₂-bucketed: bucket `b` holds
+/// values in `[2^(b−1)+1 … 2^b]` with bucket 0 holding `{0, 1}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Rows+columns of each ordinary-kriging system (`k + 1`).
+    KrigingSystemSize,
+    /// Neighbours returned per DBSCAN ε-query.
+    DbscanNeighborsPerQuery,
+    /// Attempts per supervised dist tile (1 on the happy path).
+    DistTileAttempts,
+}
+
+impl Hist {
+    /// Every histogram, in export order.
+    pub const ALL: [Hist; 3] = [
+        Hist::KrigingSystemSize,
+        Hist::DbscanNeighborsPerQuery,
+        Hist::DistTileAttempts,
+    ];
+
+    /// Stable dotted name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::KrigingSystemSize => "interp.kriging_system_size",
+            Hist::DbscanNeighborsPerQuery => "stats.dbscan_neighbors_per_query",
+            Hist::DistTileAttempts => "dist.tile_attempts",
+        }
+    }
+}
+
+const N_HISTS: usize = Hist::ALL.len();
+/// log₂ buckets cover the full `u64` range.
+const N_BUCKETS: usize = 64;
+
+struct HistSlot {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)] // array-init idiom
+const EMPTY_SLOT: HistSlot = HistSlot {
+    buckets: [ZERO; N_BUCKETS],
+    count: ZERO,
+    sum: ZERO,
+};
+static HISTS: [HistSlot; N_HISTS] = [EMPTY_SLOT; N_HISTS];
+
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    // 0 and 1 land in bucket 0; 2^(b-1)+1 ..= 2^b in bucket b; the
+    // top bucket absorbs everything past 2^63.
+    ((64 - value.saturating_sub(1).leading_zeros()) as usize).min(N_BUCKETS - 1)
+}
+
+/// Record one observation into a histogram (no-op while disabled).
+#[inline]
+pub fn record(h: Hist, value: u64) {
+    if crate::enabled() {
+        let slot = &HISTS[h as usize];
+        slot.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(value, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub name: &'static str,
+    pub count: u64,
+    pub sum: u64,
+    /// `(bucket_upper_bound, count)` for non-empty buckets, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Copy-and-reset every counter, returning `(name, value)` pairs in
+/// [`Counter::ALL`] order.
+pub(crate) fn take_counters() -> Vec<(&'static str, u64)> {
+    Counter::ALL
+        .iter()
+        .map(|c| (c.name(), COUNTERS[*c as usize].swap(0, Ordering::Relaxed)))
+        .collect()
+}
+
+/// Copy-and-reset every histogram.
+pub(crate) fn take_hists() -> Vec<HistSnapshot> {
+    Hist::ALL
+        .iter()
+        .map(|h| {
+            let slot = &HISTS[*h as usize];
+            let mut buckets = Vec::new();
+            for (b, cell) in slot.buckets.iter().enumerate() {
+                let n = cell.swap(0, Ordering::Relaxed);
+                if n > 0 {
+                    let hi = if b == 0 { 1 } else { 1u64 << b.min(63) };
+                    buckets.push((hi, n));
+                }
+            }
+            HistSnapshot {
+                name: h.name(),
+                count: slot.count.swap(0, Ordering::Relaxed),
+                sum: slot.sum.swap(0, Ordering::Relaxed),
+                buckets,
+            }
+        })
+        .collect()
+}
+
+/// Zero every counter and histogram.
+pub(crate) fn reset() {
+    let _ = take_counters();
+    let _ = take_hists();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(8), 3);
+        assert_eq!(bucket_of(9), 4);
+        assert_eq!(bucket_of(1u64 << 62), 62);
+        assert_eq!(bucket_of(u64::MAX), 63); // clamped into the top bucket
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(Hist::ALL.iter().map(|h| h.name()));
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+
+    #[test]
+    fn hist_records_gated_and_aggregated() {
+        let _g = crate::tests::TEST_LOCK.lock().unwrap();
+        crate::reset();
+        crate::enable();
+        for v in [1u64, 1, 4, 9] {
+            record(Hist::KrigingSystemSize, v);
+        }
+        let snap = crate::drain();
+        crate::disable();
+        let h = snap
+            .histograms()
+            .iter()
+            .find(|h| h.name == "interp.kriging_system_size")
+            .unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 15);
+        assert_eq!(h.buckets, vec![(1, 2), (4, 1), (16, 1)]);
+        assert!((h.mean() - 3.75).abs() < 1e-12);
+    }
+}

@@ -58,6 +58,7 @@ pub fn dbscan_threads(
             n_clusters: 0,
         };
     }
+    let _span = lsga_obs::span("stats.dbscan");
     let index = GridIndex::build(points, eps);
     // All ε-queries up front, in parallel: each point's neighbour list
     // is independent of every other, and the BFS below consumes them in
@@ -65,6 +66,8 @@ pub fn dbscan_threads(
     let neighbours: Vec<Vec<u32>> = par_map(n, POINT_CHUNK, threads, |i| {
         let mut nbrs = Vec::new();
         index.query_within(&points[i], eps, &mut nbrs);
+        lsga_obs::add(lsga_obs::Counter::StatsNeighbors, nbrs.len() as u64);
+        lsga_obs::record(lsga_obs::Hist::DbscanNeighborsPerQuery, nbrs.len() as u64);
         nbrs
     });
     let mut cluster = 0i32;

@@ -75,15 +75,19 @@ pub fn general_g_threads(
     if denom <= 0.0 {
         return None;
     }
+    let _span = lsga_obs::span("stats.general_g");
     let stat = |x: &[f64]| -> f64 {
         let mut num = 0.0;
+        let mut nnz: u64 = 0;
         for i in 0..n {
             let (cols, ws) = w.row(i);
+            nnz += cols.len() as u64;
             let xi = x[i];
             for (c, wv) in cols.iter().zip(ws) {
                 num += wv * xi * x[*c as usize];
             }
         }
+        lsga_obs::add(lsga_obs::Counter::StatsPairs, nnz);
         num / denom
     };
     let g_obs = stat(values);

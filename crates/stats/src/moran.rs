@@ -74,15 +74,19 @@ pub fn morans_i_threads(
     if ss == 0.0 {
         return None;
     }
+    let _span = lsga_obs::span("stats.morans_i");
     let stat = |z: &[f64]| -> f64 {
         let mut cross = 0.0;
+        let mut nnz: u64 = 0;
         for i in 0..n {
             let (cols, ws) = w.row(i);
+            nnz += cols.len() as u64;
             let zi = z[i];
             for (c, wv) in cols.iter().zip(ws) {
                 cross += wv * zi * z[*c as usize];
             }
         }
+        lsga_obs::add(lsga_obs::Counter::StatsPairs, nnz);
         (n as f64 / s0) * (cross / ss)
     };
     let i_obs = stat(&z);

@@ -1,0 +1,227 @@
+//! Thread-count invariance of the `lsga-obs` work counters.
+//!
+//! The counters account for algorithmic work (pairs evaluated, cells
+//! pruned, index nodes visited, solves), and every instrumented hot
+//! path accumulates into per-chunk locals inside the same deterministic
+//! decomposition the output computation uses. Integer adds commute, so
+//! the drained totals must be **identical** for every `LSGA_THREADS` —
+//! the telemetry obeys the same discipline `tests/parallel_determinism.rs`
+//! enforces on the results themselves. This suite runs a cross-crate
+//! workload at 1 and 8 threads and diffs the full counter tables.
+
+use lsga::core::par::Threads;
+use lsga::core::{BBox, Epanechnikov, GridSpec, Point, PolyKernel};
+use lsga::interp::{VariogramModel, VariogramModelKind};
+use lsga::kfunc::KConfig;
+use lsga::prelude::KernelKind;
+use lsga::stats::SpatialWeights;
+use lsga::{data, dist, interp, kdv, kfunc, obs, stats};
+use std::sync::Mutex;
+
+// The obs registry is process-global; every test that enables/drains it
+// serializes here.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn window() -> BBox {
+    BBox::new(0.0, 0.0, 100.0, 100.0)
+}
+
+type CounterTable = Vec<(&'static str, u64)>;
+type HistTotals = Vec<(&'static str, u64, u64)>;
+
+/// Run the instrumented cross-crate workload at a given thread count
+/// and return the drained counter table and histogram totals.
+fn workload_counters(t: usize) -> (CounterTable, HistTotals) {
+    let threads = Threads::exact(t);
+    obs::reset();
+    obs::enable();
+
+    // KDV: naive per-row pairs + grid-pruned pairs/pruned cells.
+    let pts = data::uniform_points(600, window(), 11);
+    let spec = GridSpec::new(window(), 32, 20);
+    let _ = kdv::parallel_kdv_threads(&pts, spec, Epanechnikov::new(9.0), 1e-9, threads);
+    let tpts = data::uniform_timed_points(250, window(), 0.0, 50.0, 3);
+    let kt = PolyKernel::new(KernelKind::Quartic, 8.0).unwrap();
+    let _ = kdv::stkdv_sweep_threads(
+        &tpts,
+        GridSpec::new(window(), 10, 10),
+        0.0,
+        50.0,
+        8,
+        Epanechnikov::new(12.0),
+        kt,
+        1e-9,
+        threads,
+    );
+
+    // K-function: histogram pair sweep + index-backed range counts.
+    let _ = kfunc::histogram_k_all_threads(&pts, &[2.0, 8.0, 20.0], KConfig::default(), threads);
+    let _ = kfunc::parallel_k_threads(&pts, 8.0, KConfig::default(), threads);
+
+    // Stats: weight-matrix sweeps + DBSCAN ε-queries.
+    let k = 8;
+    let wpts: Vec<Point> = (0..k * k)
+        .map(|i| Point::new((i % k) as f64, (i / k) as f64))
+        .collect();
+    let w = SpatialWeights::distance_band(&wpts, 1.0);
+    let values: Vec<f64> = (0..k * k).map(|i| ((i * 7) % 13) as f64).collect();
+    let _ = stats::morans_i_threads(&values, &w, 49, 5, threads);
+    let _ = stats::general_g_threads(&values, &w, 49, 5, threads);
+    let _ = stats::dbscan_threads(&pts, 3.0, 5, threads);
+
+    // Interpolation: IDW pair scans + kriging solves.
+    let samples: Vec<(Point, f64)> = data::uniform_points(80, window(), 13)
+        .into_iter()
+        .map(|p| (p, 3.0 + 0.08 * p.x - 0.05 * p.y))
+        .collect();
+    let ispec = GridSpec::new(window(), 12, 10);
+    let _ = interp::idw_naive_threads(&samples, ispec, 2.0, threads);
+    let _ = interp::idw_knn_threads(&samples, ispec, 2.0, 8, threads);
+    let _ = interp::idw_radius_threads(&samples, ispec, 2.0, 15.0, threads);
+    let model = VariogramModel {
+        kind: VariogramModelKind::Spherical,
+        nugget: 0.1,
+        psill: 8.0,
+        range: 25.0,
+    };
+    let _ = interp::ordinary_kriging_threads(&samples, ispec, &model, 10, threads);
+
+    // Distributed recovery: the schedule simulation is sequential, so
+    // its counters are trivially invariant — included to pin that the
+    // wiring stays on this path.
+    let plan = dist::FaultPlan::none()
+        .with(1, 0, dist::FaultKind::CrashMidTask)
+        .with(2, 0, dist::FaultKind::DropHaloShipment);
+    let _ = dist::plan_schedule(&[40, 40, 40, 40], &plan, &dist::RetryPolicy::default());
+
+    let snap = obs::drain();
+    obs::disable();
+    let hists = snap
+        .histograms()
+        .iter()
+        .map(|h| (h.name, h.count, h.sum))
+        .collect();
+    (snap.counters().to_vec(), hists)
+}
+
+#[test]
+fn counters_identical_across_thread_counts() {
+    let _g = LOCK.lock().unwrap();
+    let (c1, h1) = workload_counters(1);
+    let (c8, h8) = workload_counters(8);
+    assert_eq!(c1, c8, "counter tables diverged between 1 and 8 threads");
+    assert_eq!(h1, h8, "histogram totals diverged between 1 and 8 threads");
+
+    // The workload must actually exercise every counter family.
+    let get = |name: &str| {
+        c1.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("unknown counter {name}"))
+    };
+    for name in [
+        "kdv.pairs_evaluated",
+        "kfunc.pairs_evaluated",
+        "interp.pairs_evaluated",
+        "interp.kriging_solves",
+        "stats.pairs_evaluated",
+        "stats.neighbors_gathered",
+        "index.entries_scanned",
+        "dist.retries",
+        "dist.halo_reshipments",
+        "dist.reshipped_bytes",
+    ] {
+        assert!(get(name) > 0, "workload never bumped {name}");
+    }
+}
+
+#[test]
+fn kdv_pair_counter_matches_complexity_model() {
+    // The naive KDV pair counter must equal exactly X·Y·n — the O(X·Y·n)
+    // cost the paper quotes, audited from the run's own telemetry.
+    let _g = LOCK.lock().unwrap();
+    obs::reset();
+    obs::enable();
+    let pts = data::uniform_points(321, window(), 17);
+    let spec = GridSpec::new(window(), 23, 19);
+    let _ = kdv::naive_kdv(&pts, spec, Epanechnikov::new(9.0));
+    let snap = obs::drain();
+    obs::disable();
+    assert_eq!(snap.counter("kdv.pairs_evaluated"), (23 * 19 * 321) as u64);
+}
+
+#[test]
+fn pruned_kdv_accounts_pairs_plus_pruned_cells() {
+    // Grid-pruned KDV must report strictly fewer pairs than the naive
+    // bound and a non-zero pruned-cell count on clustered data.
+    let _g = LOCK.lock().unwrap();
+    let pts = data::gaussian_mixture(
+        500,
+        &[lsga::prelude::Hotspot {
+            center: Point::new(25.0, 25.0),
+            sigma: 4.0,
+            weight: 1.0,
+        }],
+        window(),
+        29,
+    );
+    let spec = GridSpec::new(window(), 40, 40);
+    obs::reset();
+    obs::enable();
+    let _ = kdv::grid_pruned_kdv(&pts, spec, Epanechnikov::new(6.0), 1e-9);
+    let snap = obs::drain();
+    obs::disable();
+    let pairs = snap.counter("kdv.pairs_evaluated");
+    let pruned = snap.counter("kdv.cells_pruned");
+    assert!(pairs > 0);
+    assert!(pruned > 0, "clustered data must prune empty regions");
+    assert!(
+        pairs < (40 * 40 * 500) as u64,
+        "pruning must beat the naive O(X·Y·n) bound: {pairs}"
+    );
+}
+
+#[test]
+fn dist_counters_mirror_schedule_outcomes() {
+    let _g = LOCK.lock().unwrap();
+    obs::reset();
+    obs::enable();
+    let plan = dist::FaultPlan::none()
+        .with(0, 0, dist::FaultKind::CrashMidTask)
+        .with(2, 0, dist::FaultKind::DropHaloShipment);
+    let policy = dist::RetryPolicy::default();
+    let schedule = dist::plan_schedule(&[10, 20, 30], &plan, &policy);
+    let snap = obs::drain();
+    obs::disable();
+    let sum = |f: fn(&dist::TileOutcome) -> u64| schedule.tiles.iter().map(f).sum::<u64>();
+    assert_eq!(snap.counter("dist.retries"), sum(|o| o.retries as u64));
+    assert_eq!(snap.counter("dist.timeouts"), sum(|o| o.timeouts as u64));
+    assert_eq!(
+        snap.counter("dist.halo_reshipments"),
+        sum(|o| o.reshipments as u64)
+    );
+    assert_eq!(
+        snap.counter("dist.reshipped_bytes"),
+        sum(|o| o.reshipped_bytes)
+    );
+    // One instant marker per re-shipment.
+    let markers = snap
+        .events()
+        .iter()
+        .filter(|e| e.name == "dist.reshipment")
+        .count() as u64;
+    assert_eq!(markers, sum(|o| o.reshipments as u64));
+}
+
+#[test]
+fn disabled_collector_records_nothing_across_the_workspace() {
+    let _g = LOCK.lock().unwrap();
+    obs::reset();
+    obs::disable();
+    let pts = data::uniform_points(200, window(), 3);
+    let spec = GridSpec::new(window(), 10, 10);
+    let _ = kdv::parallel_kdv_threads(&pts, spec, Epanechnikov::new(9.0), 1e-9, Threads::exact(4));
+    let _ = kfunc::histogram_k_all(&pts, &[5.0], KConfig::default());
+    let snap = obs::drain();
+    assert!(snap.is_empty(), "disabled collector must stay silent");
+}
