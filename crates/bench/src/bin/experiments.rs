@@ -62,6 +62,11 @@ fn main() {
         ("e18", "extension: local Gi* / LISA hot-spot maps", e18),
         ("e19", "fault injection & recovery overhead", e19),
         ("e20", "observability overhead & counter audit", e20),
+        (
+            "e21",
+            "serving layer: tile cache, single-flight, invalidation",
+            e21,
+        ),
     ];
 
     let mut ran = 0;
@@ -93,7 +98,7 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("unknown experiment id; use e1..e20 or all (e16-e18 are the implemented future-work extensions)");
+        eprintln!("unknown experiment id; use e1..e21 or all (e16-e18 are the implemented future-work extensions)");
         std::process::exit(2);
     }
 }
@@ -1017,5 +1022,186 @@ fn e20() {
             ("kfunc_pairs", k_pairs as f64),
         ],
         0.0,
+    );
+}
+
+// ---------------------------------------------------------------- E21 ----
+fn e21() {
+    use lsga::core::par::Threads;
+    use lsga::obs::{self, Counter};
+    use lsga::serve::{TileCoord, TileServer, TileServerConfig};
+    use std::sync::{Arc, Barrier};
+
+    let n = 150_000;
+    let points = crime(n);
+    let kernel = KernelKind::Quartic.with_bandwidth(250.0);
+    let tile_px = 256;
+    let server = Arc::new(TileServer::new(TileServerConfig {
+        tile_px,
+        max_zoom: 5,
+        shards: 16,
+        // Generous: the experiment's working set (~81 × 0.5 MB tiles)
+        // must fit even in the worst-hashed shard, or eviction would
+        // blur the invalidation accounting below.
+        byte_budget: 256 << 20,
+        threads: Threads::exact(hw_threads()),
+    }));
+    let layer = server
+        .add_layer(points, window(), kernel, 1e-9)
+        .expect("crime layer");
+    let delta = |c: Counter, before: u64| obs::counter_value(c) - before;
+
+    // Part 1 — cold vs warm: a 16-tile zoom-2 viewport, first from an
+    // empty cache (every tile computed), then repeated (every tile a
+    // cache hit).
+    let viewport: Vec<TileCoord> = (0..4)
+        .flat_map(|x| (0..4).map(move |y| TileCoord::new(2, x, y)))
+        .collect();
+    let h0 = obs::counter_value(Counter::ServeCacheHits);
+    let m0 = obs::counter_value(Counter::ServeCacheMisses);
+    let c0 = obs::counter_value(Counter::ServeTilesComputed);
+    let (_, t_cold) = time(|| server.get_tiles(layer, &viewport).expect("cold batch"));
+    let cold_computed = delta(Counter::ServeTilesComputed, c0);
+    let (_, t_warm) = time(|| server.get_tiles(layer, &viewport).expect("warm batch"));
+    let hits = delta(Counter::ServeCacheHits, h0);
+    let misses = delta(Counter::ServeCacheMisses, m0);
+    let hit_rate = 100.0 * hits as f64 / (hits + misses) as f64;
+    let speedup = t_cold.as_secs_f64() / t_warm.as_secs_f64();
+    println!("| phase | tiles | time | per tile |");
+    println!("|---|---|---|---|");
+    println!(
+        "| cold viewport (z=2, 16 tiles, {cold_computed} computed) | 16 | {} ms | {:.1} ms |",
+        ms(t_cold),
+        msf(t_cold) / 16.0
+    );
+    println!(
+        "| warm viewport ({hits} hits / {} requests, {hit_rate:.0}% hit rate) | 16 | {} ms | {:.3} ms |",
+        hits + misses,
+        ms(t_warm),
+        msf(t_warm) / 16.0
+    );
+    println!("| warm speedup | | {speedup:.0}x | |");
+    report::row(
+        "cold viewport z2",
+        &[("tiles", 16.0), ("computed", cold_computed as f64)],
+        msf(t_cold),
+    );
+    report::row(
+        "warm viewport z2",
+        &[("hit_rate_pct", hit_rate), ("speedup_x", speedup)],
+        msf(t_warm),
+    );
+
+    // Part 2 — single-flight: 16 threads storm one cold zoom-4 tile.
+    // The compute hook holds the leader until all 15 followers have
+    // parked, so the coalescing factor is exact, not racy.
+    let w0 = obs::counter_value(Counter::ServeCoalescedWaits);
+    let c1 = obs::counter_value(Counter::ServeTilesComputed);
+    server.set_compute_hook(Some(Arc::new(move |_| {
+        while obs::counter_value(Counter::ServeCoalescedWaits) - w0 < 15 {
+            std::thread::yield_now();
+        }
+    })));
+    let barrier = Arc::new(Barrier::new(16));
+    let (_, t_storm) = time(|| {
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    server.get_tile(0, 4, 9, 7).expect("storm tile")
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("storm thread");
+        }
+    });
+    server.set_compute_hook(None);
+    let storm_computed = delta(Counter::ServeTilesComputed, c1);
+    let coalesced = delta(Counter::ServeCoalescedWaits, w0);
+    println!("\n| single-flight storm | value |");
+    println!("|---|---|");
+    println!("| concurrent requests | 16 |");
+    println!("| computations | {storm_computed} |");
+    println!("| coalesced waits | {coalesced} |");
+    println!(
+        "| coalescing factor | {:.0}x |",
+        16.0 / storm_computed as f64
+    );
+    assert_eq!(storm_computed, 1, "single-flight must compute once");
+    assert_eq!(coalesced, 15, "15 requests must coalesce");
+    report::row(
+        "single-flight storm",
+        &[("requests", 16.0), ("computed", storm_computed as f64)],
+        msf(t_storm),
+    );
+
+    // Part 3 — append-driven invalidation: warm all of zoom 2 and 3
+    // (16 + 64 tiles), then land 1 000 new points in one hotspot.
+    // Only tiles within kernel reach of the batch's bbox recompute.
+    let z3: Vec<TileCoord> = (0..8)
+        .flat_map(|x| (0..8).map(move |y| TileCoord::new(3, x, y)))
+        .collect();
+    let _ = server.get_tiles(layer, &z3).expect("warm z3");
+    let cached_before = server.cached_tiles();
+    let fresh = data::gaussian_mixture(
+        1_000,
+        &[Hotspot {
+            center: Point::new(2_500.0, 2_000.0),
+            sigma: 200.0,
+            weight: 1.0,
+        }],
+        window(),
+        777,
+    );
+    let i0 = obs::counter_value(Counter::ServeTilesInvalidated);
+    let (_, t_insert) = time(|| server.insert_points(layer, &fresh).expect("insert"));
+    let invalidated = delta(Counter::ServeTilesInvalidated, i0);
+    let c2 = obs::counter_value(Counter::ServeTilesComputed);
+    let (_, t_reheat) = time(|| {
+        server.get_tiles(layer, &viewport).expect("reheat z2");
+        server.get_tiles(layer, &z3).expect("reheat z3");
+    });
+    let recomputed = delta(Counter::ServeTilesComputed, c2);
+    println!("\n| post-insert | value |");
+    println!("|---|---|");
+    println!("| cached tiles before insert | {cached_before} |");
+    println!("| points inserted | 1000 |");
+    println!("| tiles invalidated | {invalidated} |");
+    println!(
+        "| insert (rebuild index + invalidate) | {} ms |",
+        ms(t_insert)
+    );
+    println!(
+        "| re-request both viewports | {} ms ({recomputed} recomputed) |",
+        ms(t_reheat)
+    );
+    assert_eq!(
+        invalidated, recomputed,
+        "exactly the invalidated tiles recompute"
+    );
+    assert!(
+        invalidated < cached_before as u64,
+        "localized insert must not dirty the whole pyramid"
+    );
+    report::row(
+        "insert 1k points",
+        &[
+            ("invalidated", invalidated as f64),
+            ("cached_before", cached_before as f64),
+        ],
+        msf(t_insert),
+    );
+    report::row(
+        "re-request after insert",
+        &[("recomputed", recomputed as f64)],
+        msf(t_reheat),
+    );
+    println!(
+        "\ncache: {} tiles resident, {:.1} MB",
+        server.cached_tiles(),
+        server.cache_bytes() as f64 / (1024.0 * 1024.0)
     );
 }

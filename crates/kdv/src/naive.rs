@@ -143,6 +143,37 @@ pub fn grid_pruned_kdv<K: Kernel>(
     grid
 }
 
+/// Grid-pruned exact KDV over a caller-supplied bucket index.
+///
+/// Identical numerics to [`grid_pruned_kdv`], but the candidate index is
+/// built once by the caller and reused across many rasters — the serving
+/// layer evaluates every tile of a pyramid against one shared index. The
+/// bit pattern of each pixel depends on the index's cell decomposition
+/// (it fixes the candidate fold order), so callers that require
+/// bit-identical results across calls must hold the index's bounding box
+/// and cell size fixed; `GridIndex::with_bbox` over a fixed window does
+/// exactly that.
+pub fn grid_pruned_kdv_with_index<K: Kernel>(
+    index: &GridIndex,
+    spec: GridSpec,
+    kernel: K,
+    tail_eps: f64,
+) -> DensityGrid {
+    let _span = obs::span("kdv.grid_pruned");
+    let mut grid = DensityGrid::zeros(spec);
+    if index.is_empty() {
+        return grid;
+    }
+    let radius = kernel.effective_radius(tail_eps);
+    let cutoff = (radius * radius).min(kernel.support_sq());
+    let qxs = pixel_xs(&spec);
+    for iy in 0..spec.ny {
+        let qy = spec.row_y(iy);
+        pruned_kdv_row(index, &kernel, radius, cutoff, &qxs, qy, grid.row_mut(iy));
+    }
+    grid
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -60,6 +60,8 @@ pub use lsga_kfunc as kfunc;
 pub use lsga_network as network;
 /// Tracing spans and work/anomaly counters (off by default).
 pub use lsga_obs as obs;
+/// Analytic tile server: pyramid, sharded LRU cache, single-flight.
+pub use lsga_serve as serve;
 /// Moran's I, Getis-Ord General G, DBSCAN, K-means.
 pub use lsga_stats as stats;
 /// Heatmap and plot rendering.
@@ -74,6 +76,7 @@ pub mod prelude {
     pub use lsga_data::{Hotspot, Wave};
     pub use lsga_kfunc::{KConfig, KFunctionPlot, Regime};
     pub use lsga_network::{EdgeId, EdgePosition, Lixels, NetworkBuilder, RoadNetwork, VertexId};
+    pub use lsga_serve::{TileCoord, TileServer, TileServerConfig};
     pub use lsga_viz::Colormap;
 }
 

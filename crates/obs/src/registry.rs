@@ -12,7 +12,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Work counters the algorithm crates bump. Each counts a quantity
 /// that is a pure function of the input (never of thread count or
 /// timing), except the `Dist*` counters which mirror the seeded —
-/// hence equally deterministic — fault schedule.
+/// hence equally deterministic — fault schedule, and the `Serve*`
+/// counters which mirror cache dynamics: hit/miss/eviction totals are
+/// deterministic for a fixed request sequence, but coalesced waits and
+/// stale discards depend on genuine request concurrency (they count
+/// how often the serving layer saved work, not how much algorithmic
+/// work was done).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
 pub enum Counter {
@@ -47,11 +52,30 @@ pub enum Counter {
     DistReshipments,
     /// Bytes those re-shipments cost.
     DistReshippedBytes,
+    /// Tile requests answered straight from the serving cache.
+    ServeCacheHits,
+    /// Tile requests that missed the cache.
+    ServeCacheMisses,
+    /// Tiles actually computed by the serving layer (one per
+    /// single-flight group, however many requests coalesced onto it).
+    ServeTilesComputed,
+    /// Requests that waited on another request's in-flight computation
+    /// instead of recomputing (single-flight coalescing).
+    ServeCoalescedWaits,
+    /// Tiles evicted by the byte-budgeted LRU (explicit cache clears
+    /// included).
+    ServeTilesEvicted,
+    /// Cached tiles dropped because an append intersected their
+    /// kernel-support-inflated bounding box.
+    ServeTilesInvalidated,
+    /// Computed tiles discarded instead of cached because the layer
+    /// changed while they were being computed.
+    ServeStaleDiscards,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 21] = [
         Counter::KdvPairs,
         Counter::KdvCellsPruned,
         Counter::KfuncPairs,
@@ -66,6 +90,13 @@ impl Counter {
         Counter::DistTimeouts,
         Counter::DistReshipments,
         Counter::DistReshippedBytes,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
+        Counter::ServeTilesComputed,
+        Counter::ServeCoalescedWaits,
+        Counter::ServeTilesEvicted,
+        Counter::ServeTilesInvalidated,
+        Counter::ServeStaleDiscards,
     ];
 
     /// Stable dotted name used by every exporter.
@@ -85,6 +116,13 @@ impl Counter {
             Counter::DistTimeouts => "dist.timeouts",
             Counter::DistReshipments => "dist.halo_reshipments",
             Counter::DistReshippedBytes => "dist.reshipped_bytes",
+            Counter::ServeCacheHits => "serve.cache_hits",
+            Counter::ServeCacheMisses => "serve.cache_misses",
+            Counter::ServeTilesComputed => "serve.tiles_computed",
+            Counter::ServeCoalescedWaits => "serve.coalesced_waits",
+            Counter::ServeTilesEvicted => "serve.tiles_evicted",
+            Counter::ServeTilesInvalidated => "serve.tiles_invalidated",
+            Counter::ServeStaleDiscards => "serve.stale_discards",
         }
     }
 }
@@ -125,14 +163,17 @@ pub enum Hist {
     DbscanNeighborsPerQuery,
     /// Attempts per supervised dist tile (1 on the happy path).
     DistTileAttempts,
+    /// Unique tiles per batched multi-tile request, after dedup.
+    ServeBatchUniqueTiles,
 }
 
 impl Hist {
     /// Every histogram, in export order.
-    pub const ALL: [Hist; 3] = [
+    pub const ALL: [Hist; 4] = [
         Hist::KrigingSystemSize,
         Hist::DbscanNeighborsPerQuery,
         Hist::DistTileAttempts,
+        Hist::ServeBatchUniqueTiles,
     ];
 
     /// Stable dotted name used by every exporter.
@@ -141,6 +182,7 @@ impl Hist {
             Hist::KrigingSystemSize => "interp.kriging_system_size",
             Hist::DbscanNeighborsPerQuery => "stats.dbscan_neighbors_per_query",
             Hist::DistTileAttempts => "dist.tile_attempts",
+            Hist::ServeBatchUniqueTiles => "serve.batch_unique_tiles",
         }
     }
 }

@@ -1,0 +1,363 @@
+//! Sharded, byte-budgeted LRU tile cache.
+//!
+//! The key space is split across a fixed power-of-two number of shards
+//! by an FNV-1a hash of the [`TileKey`]; each shard is an independent
+//! `Mutex`-guarded LRU so concurrent requests for different tiles only
+//! contend when they hash to the same shard. Inside a shard the entries
+//! live in a slab (`Vec<Option<Entry>>` plus a free list) threaded with
+//! an intrusive doubly-linked recency list — no per-operation
+//! allocation once the slab has grown, and every operation is O(1)
+//! except predicate invalidation, which scans the shard's live entries.
+//!
+//! The eviction budget is bytes, not entry counts: tiles at different
+//! `tile_px` have very different footprints, and the total budget is
+//! divided evenly across shards (a deliberately simple static split —
+//! a hot shard cannot steal headroom from a cold one, which bounds
+//! worst-case memory exactly at `budget` regardless of skew). Inserting
+//! a tile larger than its shard's slice simply evicts everything else
+//! and then the tile itself is dropped; the cache never over-commits.
+
+use crate::tile::{Tile, TileCoord, TileKey};
+use lsga_obs::{self as obs, Counter};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: TileKey,
+    tile: Arc<Tile>,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+struct Shard {
+    map: HashMap<TileKey, usize>,
+    slab: Vec<Option<Entry>>,
+    free: Vec<usize>,
+    /// Most-recently-used entry, or NIL when empty.
+    head: usize,
+    /// Least-recently-used entry, or NIL when empty.
+    tail: usize,
+    bytes: usize,
+    budget: usize,
+}
+
+impl Shard {
+    fn new(budget: usize) -> Self {
+        Shard {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+            budget,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let e = self.slab[idx].as_ref().expect("unlink of free slot");
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].as_mut().expect("broken lru link").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].as_mut().expect("broken lru link").prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        let old_head = self.head;
+        {
+            let e = self.slab[idx].as_mut().expect("push of free slot");
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head].as_mut().expect("broken lru link").prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Remove `idx` from the list, map and slab; returns its key.
+    fn remove(&mut self, idx: usize) -> TileKey {
+        self.unlink(idx);
+        let e = self.slab[idx].take().expect("remove of free slot");
+        self.map.remove(&e.key);
+        self.bytes -= e.bytes;
+        self.free.push(idx);
+        e.key
+    }
+
+    /// Evict from the LRU tail until the shard fits its budget.
+    fn evict_to_budget(&mut self) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > self.budget && self.tail != NIL {
+            self.remove(self.tail);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// The sharded cache. All methods take `&self`; interior mutability is
+/// one `Mutex` per shard and no operation ever holds two shard locks,
+/// so the cache cannot deadlock against itself.
+pub struct ShardedTileCache {
+    shards: Vec<Mutex<Shard>>,
+    mask: usize,
+}
+
+/// FNV-1a over the key's fields; cheap, deterministic across runs, and
+/// good enough dispersion for shard selection.
+fn shard_hash(key: &TileKey) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(key.layer as u64);
+    eat(u64::from(key.coord.z));
+    eat(u64::from(key.coord.x));
+    eat(u64::from(key.coord.y));
+    h
+}
+
+impl ShardedTileCache {
+    /// Create a cache with `shards` shards (rounded up to a power of
+    /// two, min 1) splitting `byte_budget` evenly.
+    #[must_use]
+    pub fn new(shards: usize, byte_budget: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = byte_budget / n;
+        ShardedTileCache {
+            shards: (0..n).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            mask: n - 1,
+        }
+    }
+
+    fn shard(&self, key: &TileKey) -> &Mutex<Shard> {
+        &self.shards[(shard_hash(key) as usize) & self.mask]
+    }
+
+    /// Look up `key`, promoting a hit to most-recently-used.
+    pub fn get(&self, key: &TileKey) -> Option<Arc<Tile>> {
+        let mut s = self.shard(key).lock().expect("cache shard poisoned");
+        let idx = *s.map.get(key)?;
+        s.unlink(idx);
+        s.push_front(idx);
+        Some(Arc::clone(
+            &s.slab[idx].as_ref().expect("mapped free slot").tile,
+        ))
+    }
+
+    /// Insert (or replace) `key`, then evict LRU entries until the
+    /// shard fits its budget again. Evictions bump
+    /// `serve.tiles_evicted`.
+    pub fn insert(&self, key: TileKey, tile: Arc<Tile>) {
+        let bytes = tile.bytes();
+        let mut s = self.shard(&key).lock().expect("cache shard poisoned");
+        if let Some(&idx) = s.map.get(&key) {
+            s.remove(idx);
+        }
+        let idx = match s.free.pop() {
+            Some(i) => {
+                s.slab[i] = Some(Entry {
+                    key,
+                    tile,
+                    bytes,
+                    prev: NIL,
+                    next: NIL,
+                });
+                i
+            }
+            None => {
+                s.slab.push(Some(Entry {
+                    key,
+                    tile,
+                    bytes,
+                    prev: NIL,
+                    next: NIL,
+                }));
+                s.slab.len() - 1
+            }
+        };
+        s.map.insert(key, idx);
+        s.bytes += bytes;
+        s.push_front(idx);
+        let evicted = s.evict_to_budget();
+        if evicted > 0 {
+            obs::add(Counter::ServeTilesEvicted, evicted);
+        }
+    }
+
+    /// Drop every cached tile of `layer` whose coordinate satisfies
+    /// `dirty`; returns how many were dropped. The caller charges the
+    /// count to the appropriate counter (invalidation vs clear).
+    pub fn invalidate<F>(&self, layer: usize, dirty: F) -> u64
+    where
+        F: Fn(TileCoord) -> bool,
+    {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            let victims: Vec<usize> = s
+                .map
+                .iter()
+                .filter(|(k, _)| k.layer == layer && dirty(k.coord))
+                .map(|(_, &idx)| idx)
+                .collect();
+            for idx in victims {
+                s.remove(idx);
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Drop everything; returns how many tiles were held.
+    pub fn clear(&self) -> u64 {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut s = shard.lock().expect("cache shard poisoned");
+            while s.tail != NIL {
+                let tail = s.tail;
+                s.remove(tail);
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Total resident bytes across shards (racy snapshot; for tests
+    /// and reporting).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").bytes)
+            .sum()
+    }
+
+    /// Total cached tiles across shards (racy snapshot).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when no tile is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::tile_spec;
+    use lsga_core::{BBox, DensityGrid};
+
+    fn key(layer: usize, z: u8, x: u32, y: u32) -> TileKey {
+        TileKey {
+            layer,
+            coord: TileCoord::new(z, x, y),
+        }
+    }
+
+    fn tile(k: TileKey, px: usize) -> Arc<Tile> {
+        let w = BBox::new(0.0, 0.0, 100.0, 100.0);
+        Arc::new(Tile {
+            key: k,
+            grid: DensityGrid::zeros(tile_spec(&w, px, k.coord)),
+        })
+    }
+
+    #[test]
+    fn get_returns_inserted_tile() {
+        let c = ShardedTileCache::new(4, 1 << 20);
+        let k = key(0, 2, 1, 3);
+        assert!(c.get(&k).is_none());
+        c.insert(k, tile(k, 8));
+        let got = c.get(&k).expect("hit");
+        assert_eq!(got.key, k);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_first() {
+        // One shard so recency order is global; budget fits 2 tiles.
+        let per_tile = tile(key(0, 0, 0, 0), 8).bytes();
+        let c = ShardedTileCache::new(1, 2 * per_tile);
+        let (a, b, d) = (key(0, 3, 0, 0), key(0, 3, 1, 0), key(0, 3, 2, 0));
+        c.insert(a, tile(a, 8));
+        c.insert(b, tile(b, 8));
+        let _ = c.get(&a); // a is now MRU, b is LRU
+        c.insert(d, tile(d, 8));
+        assert!(c.get(&a).is_some(), "recently used survives");
+        assert!(c.get(&b).is_none(), "LRU evicted");
+        assert!(c.get(&d).is_some());
+    }
+
+    #[test]
+    fn oversized_tile_never_resides() {
+        let c = ShardedTileCache::new(1, 64); // smaller than any tile
+        let k = key(0, 1, 0, 1);
+        c.insert(k, tile(k, 8));
+        assert!(c.get(&k).is_none());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn invalidate_is_layer_scoped_and_predicate_driven() {
+        let c = ShardedTileCache::new(4, 1 << 20);
+        for layer in 0..2 {
+            for x in 0..4 {
+                let k = key(layer, 2, x, 0);
+                c.insert(k, tile(k, 4));
+            }
+        }
+        let dropped = c.invalidate(0, |coord| coord.x < 2);
+        assert_eq!(dropped, 2);
+        assert!(c.get(&key(0, 2, 0, 0)).is_none());
+        assert!(c.get(&key(0, 2, 3, 0)).is_some());
+        assert!(c.get(&key(1, 2, 1, 0)).is_some(), "other layer untouched");
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let c = ShardedTileCache::new(8, 1 << 20);
+        for x in 0..16 {
+            let k = key(0, 4, x, x);
+            c.insert(k, tile(k, 4));
+        }
+        assert_eq!(c.clear(), 16);
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let c = ShardedTileCache::new(1, 1 << 20);
+        let k = key(0, 2, 1, 1);
+        c.insert(k, tile(k, 8));
+        let once = c.bytes();
+        c.insert(k, tile(k, 8));
+        assert_eq!(c.bytes(), once, "replacement must not double-count");
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Single-flight request coalescing.
+//!
+//! When N requests miss the cache on the same key simultaneously, only
+//! the first (the *leader*) computes; the rest block on the flight's
+//! condvar and receive the leader's `Arc<Tile>`. The flight table maps
+//! in-progress keys to flights; its mutex is only ever held for the
+//! map operation itself — never while computing, waiting, or touching
+//! any other lock — so it cannot participate in a deadlock cycle.
+//!
+//! Lifecycle: the leader computes, [`Flight::publish`]es the result
+//! (waking all waiters), and then removes the key from the table.
+//! A request that arrives between publish and removal still joins the
+//! finished flight and returns immediately with the published tile;
+//! one that arrives after removal starts a fresh flight, by which time
+//! the tile is normally already in the cache.
+
+use crate::tile::{Tile, TileKey};
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-progress tile computation that any number of requests can
+/// wait on.
+pub(crate) struct Flight {
+    result: Mutex<Option<Arc<Tile>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Leader side: deposit the computed tile and wake every waiter.
+    pub fn publish(&self, tile: Arc<Tile>) {
+        let mut slot = self.result.lock().expect("flight poisoned");
+        *slot = Some(tile);
+        self.cv.notify_all();
+    }
+
+    /// Waiter side: block until the leader publishes.
+    pub fn wait(&self) -> Arc<Tile> {
+        let mut slot = self.result.lock().expect("flight poisoned");
+        loop {
+            if let Some(tile) = slot.as_ref() {
+                return Arc::clone(tile);
+            }
+            slot = self.cv.wait(slot).expect("flight poisoned");
+        }
+    }
+}
+
+/// Map of keys currently being computed.
+pub(crate) struct FlightTable {
+    flights: Mutex<HashMap<TileKey, Arc<Flight>>>,
+}
+
+impl FlightTable {
+    pub fn new() -> Self {
+        FlightTable {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Join the flight for `key`, creating it if absent. Returns the
+    /// flight and whether this caller is the leader (and therefore
+    /// responsible for computing, publishing, and completing).
+    pub fn join(&self, key: TileKey) -> (Arc<Flight>, bool) {
+        let mut map = self.flights.lock().expect("flight table poisoned");
+        match map.entry(key) {
+            MapEntry::Occupied(e) => (Arc::clone(e.get()), false),
+            MapEntry::Vacant(v) => {
+                let f = Arc::new(Flight::new());
+                v.insert(Arc::clone(&f));
+                (f, true)
+            }
+        }
+    }
+
+    /// Leader side: retire the flight after publishing.
+    pub fn complete(&self, key: &TileKey) {
+        self.flights
+            .lock()
+            .expect("flight table poisoned")
+            .remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::{tile_spec, TileCoord};
+    use lsga_core::{BBox, DensityGrid};
+    use std::thread;
+
+    fn key() -> TileKey {
+        TileKey {
+            layer: 0,
+            coord: TileCoord::new(1, 0, 1),
+        }
+    }
+
+    fn tile() -> Arc<Tile> {
+        let w = BBox::new(0.0, 0.0, 10.0, 10.0);
+        Arc::new(Tile {
+            key: key(),
+            grid: DensityGrid::zeros(tile_spec(&w, 4, key().coord)),
+        })
+    }
+
+    #[test]
+    fn first_join_leads_rest_follow() {
+        let t = FlightTable::new();
+        let (_f, leader) = t.join(key());
+        assert!(leader);
+        let (_f, follower) = t.join(key());
+        assert!(!follower);
+        t.complete(&key());
+        let (_f, again) = t.join(key());
+        assert!(again, "completed key starts a fresh flight");
+    }
+
+    #[test]
+    fn waiters_receive_published_tile() {
+        let table = Arc::new(FlightTable::new());
+        let (flight, leader) = table.join(key());
+        assert!(leader);
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let (f, lead) = table.join(key());
+                assert!(!lead);
+                thread::spawn(move || f.wait().key)
+            })
+            .collect();
+        flight.publish(tile());
+        table.complete(&key());
+        for w in waiters {
+            assert_eq!(w.join().expect("waiter panicked"), key());
+        }
+    }
+
+    #[test]
+    fn late_join_on_published_flight_returns_immediately() {
+        let t = FlightTable::new();
+        let (f, _) = t.join(key());
+        f.publish(tile());
+        // Key not yet completed: a late request joins as follower and
+        // wait() must not block.
+        let (f2, leader) = t.join(key());
+        assert!(!leader);
+        assert_eq!(f2.wait().key, key());
+    }
+}

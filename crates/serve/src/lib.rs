@@ -1,0 +1,38 @@
+//! # lsga-serve — in-memory analytic tile serving
+//!
+//! The paper's motivating deployments are interactive: KDV heatmaps and
+//! K-function dashboards that "serve heavy traffic from millions of
+//! users". Raw kernel throughput (lsga-kdv, lsga-core::par) is not a
+//! serving story on its own — every pan/zoom would recompute full
+//! rasters. This crate adds the missing layer on top of the existing
+//! exact analytics:
+//!
+//! - a **multi-resolution tile pyramid** ([`tile`]): at zoom `z` the
+//!   layer window splits into `2^z × 2^z` tiles, each a fixed-size
+//!   raster evaluated by the grid-pruned exact KDV path;
+//! - a **sharded, byte-budgeted LRU cache** ([`cache`]): per-shard
+//!   mutexes keep unrelated requests from contending, and eviction is
+//!   charged in bytes so memory is bounded regardless of tile size;
+//! - **single-flight coalescing** ([`flight`]): N concurrent misses on
+//!   one tile trigger exactly one computation, the rest wait;
+//! - **append-driven invalidation** ([`server`]): inserting points
+//!   dirties exactly the cached tiles whose kernel-support-inflated
+//!   bounding boxes the new data intersects — every other tile is
+//!   provably still bit-exact (see the proof sketch in [`server`]).
+//!
+//! The crate inherits the repo's determinism discipline: a served tile
+//! is **bit-identical** to [`compute_tile_direct`] on the layer's
+//! current point sequence, under any cache state, eviction pressure,
+//! thread count, and request interleaving. `tests/serve_coherence.rs`
+//! drives randomized interleavings against that oracle and
+//! `tests/serve_singleflight.rs` pins the coalescing accounting via
+//! the `lsga-obs` counter table (`serve.*`).
+
+pub mod cache;
+pub mod flight;
+pub mod server;
+pub mod tile;
+
+pub use cache::ShardedTileCache;
+pub use server::{compute_tile_direct, tile_grid_spec, TileServer, TileServerConfig};
+pub use tile::{tile_bbox, tile_spec, LayerId, Tile, TileCoord, TileKey};

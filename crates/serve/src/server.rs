@@ -1,0 +1,635 @@
+//! The tile server: layers, request path, batching, invalidation.
+//!
+//! # Bit-identity
+//!
+//! The headline invariant is that a served tile is bit-identical to
+//! [`compute_tile_direct`] over the layer's current point sequence, no
+//! matter what the cache did in between. Three facts make that hold:
+//!
+//! 1. **Fixed decomposition.** Every layer index is built with
+//!    `GridIndex::with_bbox` over the layer's *fixed window* and the
+//!    kernel's effective radius, so the cell grid never depends on
+//!    where the points happen to sit. The pruned KDV sweep folds each
+//!    pixel's candidates in (cell row, cell column, entry order); with
+//!    the decomposition pinned, that order is a pure function of the
+//!    point sequence.
+//! 2. **Appends preserve entry order.** The index's counting sort is
+//!    stable in input order within each cell, and `insert_points`
+//!    appends new points after the existing sequence — so for every
+//!    cell, old candidates keep their order and new ones come after.
+//! 3. **Masked adds are bit-inert.** Candidates past the kernel cutoff
+//!    contribute `0.0 · K_raw(d²)` = ±0.0 to a non-negative
+//!    accumulator, which cannot change its bits. Hence a tile farther
+//!    than the kernel radius from every inserted point produces the
+//!    exact bits it produced before the insert.
+//!
+//! (1)+(2)+(3) give the invalidation bound: after an insert with
+//! bounding box `B`, a cached tile is stale **iff** `B.inflate(radius)`
+//! intersects its bbox. `insert_points` drops exactly those tiles;
+//! everything else in the cache is still bit-exact, so serving it is
+//! indistinguishable from recomputing.
+//!
+//! # Locking
+//!
+//! Lock order is `layers → cache shard`; the flight-table and flight
+//! mutexes are leaves (never held across another acquisition). Tile
+//! computation runs with no locks held. A leader captures its layer
+//! snapshot (an `Arc` — inserts swap the slot, they never mutate), and
+//! caches the result only after re-checking, *under the layers lock*,
+//! that the layer generation is unchanged; `insert_points` invalidates
+//! under the same lock. Either serialization order is correct: if the
+//! insert lands first the stale compute is discarded
+//! (`serve.stale_discards`), and if the cache-insert lands first the
+//! invalidation sweep removes it iff it is dirty.
+
+use crate::cache::ShardedTileCache;
+use crate::flight::FlightTable;
+use crate::tile::{tile_bbox, tile_spec, LayerId, Tile, TileCoord, TileKey};
+use lsga_core::error::{LsgaError, Result};
+use lsga_core::par::{par_map, Threads};
+use lsga_core::{AnyKernel, BBox, DensityGrid, GridSpec, Kernel, Point};
+use lsga_index::GridIndex;
+use lsga_kdv::grid_pruned_kdv_with_index;
+use lsga_obs::{self as obs, Counter, Hist};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Server-wide knobs. The defaults suit a city-scale layer on a
+/// workstation; tests shrink the budget to force eviction.
+#[derive(Clone, Copy, Debug)]
+pub struct TileServerConfig {
+    /// Pixels per tile side; every tile is `tile_px × tile_px`.
+    pub tile_px: usize,
+    /// Deepest zoom level served (level `z` has `4^z` tiles).
+    pub max_zoom: u8,
+    /// Cache shard count, rounded up to a power of two.
+    pub shards: usize,
+    /// Total cache budget in bytes, split evenly across shards.
+    pub byte_budget: usize,
+    /// Pool used for batched requests and tile sweeps.
+    pub threads: Threads,
+}
+
+impl Default for TileServerConfig {
+    fn default() -> Self {
+        TileServerConfig {
+            tile_px: 256,
+            max_zoom: 8,
+            shards: 16,
+            byte_budget: 256 << 20,
+            threads: Threads::auto(),
+        }
+    }
+}
+
+/// Immutable view of a layer at one generation. `insert_points`
+/// replaces the whole snapshot; readers clone the `Arc` and compute
+/// lock-free against a consistent point set + index.
+struct LayerSnapshot {
+    window: BBox,
+    kernel: AnyKernel,
+    tail_eps: f64,
+    /// Kernel effective radius at `tail_eps` — the invalidation
+    /// inflation margin and the index cell size.
+    radius: f64,
+    points: Vec<Point>,
+    index: GridIndex,
+    generation: u64,
+}
+
+impl LayerSnapshot {
+    fn build(
+        window: BBox,
+        kernel: AnyKernel,
+        tail_eps: f64,
+        points: Vec<Point>,
+        generation: u64,
+    ) -> Self {
+        let radius = kernel.effective_radius(tail_eps);
+        let index = GridIndex::with_bbox(&points, radius.max(1e-12), window);
+        LayerSnapshot {
+            window,
+            kernel,
+            tail_eps,
+            radius,
+            points,
+            index,
+            generation,
+        }
+    }
+}
+
+/// Hook invoked by a flight leader after winning the flight and before
+/// computing — lets tests pin request interleavings (e.g. hold the
+/// leader until all coalescing waiters have parked).
+type ComputeHook = Arc<dyn Fn(TileKey) + Send + Sync>;
+
+/// In-memory analytic tile server over KDV layers.
+///
+/// ```
+/// use lsga_core::{BBox, KernelKind, Point};
+/// use lsga_serve::{TileServer, TileServerConfig};
+///
+/// let window = BBox::new(0.0, 0.0, 100.0, 100.0);
+/// let points = vec![Point::new(40.0, 60.0), Point::new(42.0, 58.0)];
+/// let server = TileServer::new(TileServerConfig {
+///     tile_px: 32,
+///     ..TileServerConfig::default()
+/// });
+/// let layer = server
+///     .add_layer(points, window, KernelKind::Quartic.with_bandwidth(10.0), 1e-9)
+///     .unwrap();
+/// let tile = server.get_tile(layer, 2, 1, 2).unwrap(); // cold: computed
+/// let again = server.get_tile(layer, 2, 1, 2).unwrap(); // warm: cached
+/// assert!(std::ptr::eq(&*tile, &*again));
+/// ```
+pub struct TileServer {
+    cfg: TileServerConfig,
+    layers: Mutex<Vec<Arc<LayerSnapshot>>>,
+    cache: ShardedTileCache,
+    flights: FlightTable,
+    compute_hook: Mutex<Option<ComputeHook>>,
+}
+
+impl TileServer {
+    /// Create an empty server.
+    #[must_use]
+    pub fn new(cfg: TileServerConfig) -> Self {
+        let cache = ShardedTileCache::new(cfg.shards, cfg.byte_budget);
+        TileServer {
+            cfg,
+            layers: Mutex::new(Vec::new()),
+            cache,
+            flights: FlightTable::new(),
+            compute_hook: Mutex::new(None),
+        }
+    }
+
+    /// The configuration this server was built with.
+    #[must_use]
+    pub fn config(&self) -> &TileServerConfig {
+        &self.cfg
+    }
+
+    /// Register a KDV layer over a fixed `window` and return its id.
+    ///
+    /// The window is the pyramid's extent *and* the index frame every
+    /// future append reuses, so it must be non-empty and contain every
+    /// point — including points inserted later.
+    pub fn add_layer(
+        &self,
+        points: Vec<Point>,
+        window: BBox,
+        kernel: AnyKernel,
+        tail_eps: f64,
+    ) -> Result<LayerId> {
+        if window.is_empty() {
+            return Err(LsgaError::InvalidParameter {
+                name: "window",
+                message: "layer window must be non-empty".into(),
+            });
+        }
+        if !(tail_eps.is_finite() && tail_eps > 0.0) {
+            return Err(LsgaError::InvalidParameter {
+                name: "tail_eps",
+                message: format!("tail_eps must be finite and positive, got {tail_eps}"),
+            });
+        }
+        validate_in_window(&points, &window)?;
+        let snap = LayerSnapshot::build(window, kernel, tail_eps, points, 0);
+        let mut layers = self.layers.lock().expect("layers poisoned");
+        layers.push(Arc::new(snap));
+        Ok(layers.len() - 1)
+    }
+
+    fn snapshot(&self, layer: LayerId) -> Result<Arc<LayerSnapshot>> {
+        let layers = self.layers.lock().expect("layers poisoned");
+        layers
+            .get(layer)
+            .cloned()
+            .ok_or(LsgaError::InvalidParameter {
+                name: "layer",
+                message: format!("unknown layer id {layer} ({} registered)", layers.len()),
+            })
+    }
+
+    fn validate_coord(&self, coord: TileCoord) -> Result<()> {
+        if coord.z > self.cfg.max_zoom {
+            return Err(LsgaError::InvalidParameter {
+                name: "z",
+                message: format!("zoom {} exceeds max_zoom {}", coord.z, self.cfg.max_zoom),
+            });
+        }
+        let n = coord.tiles_per_axis();
+        if coord.x >= n || coord.y >= n {
+            return Err(LsgaError::InvalidParameter {
+                name: "tile",
+                message: format!(
+                    "tile ({}, {}) out of range at zoom {} ({n} per axis)",
+                    coord.x, coord.y, coord.z
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serve one tile: cache hit, coalesced wait, or leader compute.
+    pub fn get_tile(&self, layer: LayerId, z: u8, x: u32, y: u32) -> Result<Arc<Tile>> {
+        let coord = TileCoord::new(z, x, y);
+        self.validate_coord(coord)?;
+        let key = TileKey { layer, coord };
+        if let Some(tile) = self.cache.get(&key) {
+            obs::incr(Counter::ServeCacheHits);
+            return Ok(tile);
+        }
+        obs::incr(Counter::ServeCacheMisses);
+
+        let (flight, leader) = self.flights.join(key);
+        if !leader {
+            // Counted before parking so a test (or dashboard) watching
+            // the counter knows how many requests are already waiting.
+            obs::incr(Counter::ServeCoalescedWaits);
+            return Ok(flight.wait());
+        }
+
+        // Leader: snapshot the layer, compute with no locks held.
+        let snap = match self.snapshot(layer) {
+            Ok(s) => s,
+            Err(e) => {
+                // Nothing to publish; retire the flight so waiters on
+                // this bogus key (same bad id) re-drive and also fail.
+                self.flights.complete(&key);
+                return Err(e);
+            }
+        };
+        let hook = self
+            .compute_hook
+            .lock()
+            .expect("hook poisoned")
+            .as_ref()
+            .map(Arc::clone);
+        if let Some(hook) = hook {
+            hook(key);
+        }
+        let tile = {
+            let _span = obs::span("serve.compute_tile");
+            obs::incr(Counter::ServeTilesComputed);
+            let spec = tile_spec(&snap.window, self.cfg.tile_px, coord);
+            Arc::new(Tile {
+                key,
+                grid: grid_pruned_kdv_with_index(&snap.index, spec, snap.kernel, snap.tail_eps),
+            })
+        };
+        flight.publish(Arc::clone(&tile));
+
+        // Cache only if the layer has not moved on since the snapshot;
+        // checked under the layers lock so it serializes with
+        // `insert_points`' swap+invalidate (see module docs).
+        {
+            let layers = self.layers.lock().expect("layers poisoned");
+            if layers[layer].generation == snap.generation {
+                self.cache.insert(key, Arc::clone(&tile));
+            } else {
+                obs::incr(Counter::ServeStaleDiscards);
+            }
+        }
+        self.flights.complete(&key);
+        Ok(tile)
+    }
+
+    /// Serve a batch of tiles for one layer: deduplicates, schedules
+    /// the unique tiles across the pool, and returns tiles aligned
+    /// with `coords` (duplicates share one `Arc`).
+    pub fn get_tiles(&self, layer: LayerId, coords: &[TileCoord]) -> Result<Vec<Arc<Tile>>> {
+        for &c in coords {
+            self.validate_coord(c)?;
+        }
+        let _span = obs::span("serve.batch");
+        let mut unique: Vec<TileCoord> = Vec::new();
+        let mut slot: HashMap<TileCoord, usize> = HashMap::new();
+        for &c in coords {
+            slot.entry(c).or_insert_with(|| {
+                unique.push(c);
+                unique.len() - 1
+            });
+        }
+        obs::record(Hist::ServeBatchUniqueTiles, unique.len() as u64);
+        let fetched: Vec<Result<Arc<Tile>>> = par_map(unique.len(), 1, self.cfg.threads, |i| {
+            let c = unique[i];
+            self.get_tile(layer, c.z, c.x, c.y)
+        });
+        let mut tiles: Vec<Option<Arc<Tile>>> = vec![None; unique.len()];
+        for (i, r) in fetched.into_iter().enumerate() {
+            tiles[i] = Some(r?);
+        }
+        Ok(coords
+            .iter()
+            .map(|c| Arc::clone(tiles[slot[c]].as_ref().expect("slot filled")))
+            .collect())
+    }
+
+    /// Append points to a layer, dirtying exactly the cached tiles
+    /// whose kernel-inflated bboxes the new data touches.
+    pub fn insert_points(&self, layer: LayerId, points: &[Point]) -> Result<()> {
+        if points.is_empty() {
+            return Err(LsgaError::EmptyDataset("insert_points batch"));
+        }
+        let mut layers = self.layers.lock().expect("layers poisoned");
+        let old = layers
+            .get(layer)
+            .cloned()
+            .ok_or(LsgaError::InvalidParameter {
+                name: "layer",
+                message: format!("unknown layer id {layer} ({} registered)", layers.len()),
+            })?;
+        validate_in_window(points, &old.window)?;
+
+        let mut all = old.points.clone();
+        all.extend_from_slice(points);
+        let next = LayerSnapshot::build(
+            old.window,
+            old.kernel,
+            old.tail_eps,
+            all,
+            old.generation + 1,
+        );
+        let radius = next.radius;
+        let window = next.window;
+        layers[layer] = Arc::new(next);
+
+        // Still under the layers lock (order: layers → shard): dirty
+        // exactly the tiles within kernel reach of the new data.
+        let dirty = BBox::of_points(points).inflate(radius);
+        let dropped = self
+            .cache
+            .invalidate(layer, |coord| dirty.intersects(&tile_bbox(&window, coord)));
+        if dropped > 0 {
+            obs::add(Counter::ServeTilesInvalidated, dropped);
+        }
+        Ok(())
+    }
+
+    /// Drop every cached tile (counts as eviction).
+    pub fn clear_cache(&self) {
+        let dropped = self.cache.clear();
+        if dropped > 0 {
+            obs::add(Counter::ServeTilesEvicted, dropped);
+        }
+    }
+
+    /// Resident cache bytes (snapshot, for reporting).
+    #[must_use]
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.bytes()
+    }
+
+    /// Cached tile count (snapshot, for reporting).
+    #[must_use]
+    pub fn cached_tiles(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Install (or clear) the leader compute hook. Test-oriented; see
+    /// [`ComputeHook`].
+    pub fn set_compute_hook(&self, hook: Option<Arc<dyn Fn(TileKey) + Send + Sync>>) {
+        *self.compute_hook.lock().expect("hook poisoned") = hook;
+    }
+}
+
+fn validate_in_window(points: &[Point], window: &BBox) -> Result<()> {
+    for (i, p) in points.iter().enumerate() {
+        if !(p.x.is_finite() && p.y.is_finite()) {
+            return Err(LsgaError::InvalidParameter {
+                name: "points",
+                message: format!("point {i} is non-finite: ({}, {})", p.x, p.y),
+            });
+        }
+        if !window.contains(p) {
+            return Err(LsgaError::InvalidParameter {
+                name: "points",
+                message: format!("point {i} ({}, {}) lies outside the layer window", p.x, p.y),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The oracle the test suites compare against: compute the tile's
+/// region from scratch — fresh index over the same fixed window, same
+/// pruned sweep — with no server, cache, or flight in the loop.
+/// A served tile must match this bit for bit.
+#[must_use]
+pub fn compute_tile_direct(
+    points: &[Point],
+    window: &BBox,
+    kernel: AnyKernel,
+    tail_eps: f64,
+    tile_px: usize,
+    coord: TileCoord,
+) -> DensityGrid {
+    let radius = kernel.effective_radius(tail_eps);
+    let index = GridIndex::with_bbox(points, radius.max(1e-12), *window);
+    grid_pruned_kdv_with_index(&index, tile_spec(window, tile_px, coord), kernel, tail_eps)
+}
+
+/// Convenience for callers that want a one-off spec without a server
+/// (e.g. to rasterize the direct answer at tile geometry).
+#[must_use]
+pub fn tile_grid_spec(window: &BBox, tile_px: usize, coord: TileCoord) -> GridSpec {
+    tile_spec(window, tile_px, coord)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::KernelKind;
+
+    fn window() -> BBox {
+        BBox::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(
+                    50.0 + (f * 0.831).sin() * 45.0,
+                    50.0 + (f * 0.557).cos() * 45.0,
+                )
+            })
+            .collect()
+    }
+
+    fn server(budget: usize) -> TileServer {
+        TileServer::new(TileServerConfig {
+            tile_px: 16,
+            max_zoom: 5,
+            shards: 4,
+            byte_budget: budget,
+            threads: Threads::exact(2),
+        })
+    }
+
+    #[test]
+    fn served_tile_matches_direct_computation() {
+        let pts = scatter(200);
+        let s = server(1 << 20);
+        let kernel = KernelKind::Quartic.with_bandwidth(12.0);
+        let layer = s.add_layer(pts.clone(), window(), kernel, 1e-9).unwrap();
+        for (z, x, y) in [(0, 0, 0), (1, 1, 0), (3, 5, 2), (5, 31, 31)] {
+            let tile = s.get_tile(layer, z, x, y).unwrap();
+            let direct =
+                compute_tile_direct(&pts, &window(), kernel, 1e-9, 16, TileCoord::new(z, x, y));
+            assert_eq!(
+                tile.grid
+                    .values()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                direct
+                    .values()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "tile ({z},{x},{y}) diverged from direct computation"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_request_returns_cached_arc() {
+        let s = server(1 << 20);
+        let layer = s
+            .add_layer(
+                scatter(50),
+                window(),
+                KernelKind::Epanechnikov.with_bandwidth(8.0),
+                1e-9,
+            )
+            .unwrap();
+        let a = s.get_tile(layer, 2, 1, 1).unwrap();
+        let b = s.get_tile(layer, 2, 1, 1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "warm hit must share the cached tile");
+    }
+
+    #[test]
+    fn insert_only_invalidates_tiles_within_kernel_reach() {
+        let s = server(1 << 24);
+        let kernel = KernelKind::Quartic.with_bandwidth(5.0);
+        let layer = s.add_layer(scatter(100), window(), kernel, 1e-9).unwrap();
+        // Warm all 16 tiles at zoom 2 (tile side 25 > radius 5).
+        for x in 0..4 {
+            for y in 0..4 {
+                let _ = s.get_tile(layer, 2, x, y).unwrap();
+            }
+        }
+        assert_eq!(s.cached_tiles(), 16);
+        // A point in the middle of tile (0,0) reaches only the 25-unit
+        // tiles adjacent to its 5-unit radius — i.e. tile (0,0) alone
+        // here, since 12.5 ± 5 stays inside [0, 25).
+        s.insert_points(layer, &[Point::new(12.5, 12.5)]).unwrap();
+        assert_eq!(s.cached_tiles(), 15, "exactly one tile dirtied");
+        assert!(s.get_tile(layer, 2, 3, 3).is_ok());
+    }
+
+    #[test]
+    fn post_insert_tiles_reflect_new_points() {
+        let mut pts = scatter(80);
+        let s = server(1 << 22);
+        let kernel = KernelKind::Gaussian.with_bandwidth(6.0);
+        let layer = s.add_layer(pts.clone(), window(), kernel, 1e-9).unwrap();
+        let _ = s.get_tile(layer, 1, 0, 0).unwrap();
+        let extra = vec![Point::new(20.0, 20.0), Point::new(21.0, 19.0)];
+        s.insert_points(layer, &extra).unwrap();
+        pts.extend_from_slice(&extra);
+        let tile = s.get_tile(layer, 1, 0, 0).unwrap();
+        let direct =
+            compute_tile_direct(&pts, &window(), kernel, 1e-9, 16, TileCoord::new(1, 0, 0));
+        for (a, b) in tile.grid.values().iter().zip(direct.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_dedupes_and_aligns_output() {
+        let s = server(1 << 22);
+        let layer = s
+            .add_layer(
+                scatter(60),
+                window(),
+                KernelKind::Triangular.with_bandwidth(10.0),
+                1e-9,
+            )
+            .unwrap();
+        let coords = vec![
+            TileCoord::new(1, 0, 0),
+            TileCoord::new(1, 1, 1),
+            TileCoord::new(1, 0, 0), // duplicate
+            TileCoord::new(1, 1, 0),
+        ];
+        let tiles = s.get_tiles(layer, &coords).unwrap();
+        assert_eq!(tiles.len(), 4);
+        assert!(Arc::ptr_eq(&tiles[0], &tiles[2]), "duplicate shares Arc");
+        for (t, c) in tiles.iter().zip(&coords) {
+            assert_eq!(t.key.coord, *c);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        let s = server(1 << 20);
+        let layer = s
+            .add_layer(
+                scatter(10),
+                window(),
+                KernelKind::Uniform.with_bandwidth(5.0),
+                1e-9,
+            )
+            .unwrap();
+        assert!(s.get_tile(layer, 6, 0, 0).is_err(), "zoom beyond max");
+        assert!(s.get_tile(layer, 2, 4, 0).is_err(), "column out of range");
+        assert!(s.get_tile(layer + 1, 0, 0, 0).is_err(), "unknown layer");
+        assert!(
+            s.insert_points(layer, &[Point::new(-1.0, 0.0)]).is_err(),
+            "outside window"
+        );
+        assert!(s.insert_points(layer, &[]).is_err(), "empty batch");
+        assert!(
+            s.add_layer(
+                vec![],
+                BBox::empty(),
+                KernelKind::Uniform.with_bandwidth(1.0),
+                1e-9
+            )
+            .is_err(),
+            "empty window"
+        );
+    }
+
+    #[test]
+    fn eviction_pressure_never_breaks_identity() {
+        let pts = scatter(120);
+        let kernel = KernelKind::Epanechnikov.with_bandwidth(9.0);
+        // Budget fits ~2 tiles: nearly every request recomputes.
+        let s = server(2 * (16 * 16 * 8 + 128));
+        let layer = s.add_layer(pts.clone(), window(), kernel, 1e-9).unwrap();
+        for pass in 0..3 {
+            for x in 0..4 {
+                for y in 0..4 {
+                    let tile = s.get_tile(layer, 2, x, y).unwrap();
+                    let direct = compute_tile_direct(
+                        &pts,
+                        &window(),
+                        kernel,
+                        1e-9,
+                        16,
+                        TileCoord::new(2, x, y),
+                    );
+                    for (a, b) in tile.grid.values().iter().zip(direct.values()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "pass {pass} tile ({x},{y})");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -4,6 +4,10 @@
 //! compared, Moran's I / General G significance, DBSCAN profiling.
 //!
 //! Run with: `cargo run --release --example crime_hotspots`
+//!
+//! `LSGA_EXAMPLE_N` overrides the incident count (default 200 000) —
+//! CI runs the example end-to-end on a tiny n to keep it honest
+//! without burning minutes.
 
 use lsga::prelude::*;
 use lsga::stats::{self, areal, SpatialWeights};
@@ -11,8 +15,12 @@ use lsga::{data, kdv};
 use std::time::Instant;
 
 fn main() {
+    let n: usize = std::env::var("LSGA_EXAMPLE_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
     let window = BBox::new(0.0, 0.0, 2000.0, 1500.0);
-    let points = data::taxi_like(200_000, window, 0.55, 11);
+    let points = data::taxi_like(n, window, 0.55, 11);
     println!("incidents: {}", points.len());
 
     // --- KDV method comparison on one grid ------------------------------
@@ -30,7 +38,7 @@ fn main() {
     let t_slam = t.elapsed();
 
     let t = Instant::now();
-    let sampled = kdv::sampling_kdv(&points, spec, quartic, 20_000, 3);
+    let sampled = kdv::sampling_kdv(&points, spec, quartic, (n / 10).max(1_000), 3);
     let t_sample = t.elapsed();
 
     let threads = std::thread::available_parallelism().map_or(4, |p| p.get());

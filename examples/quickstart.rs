@@ -2,9 +2,20 @@
 //! K-function plot, rasterize a KDV heatmap, and render both.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! `LSGA_EXAMPLE_N` overrides the dataset size (default 50 000) — CI
+//! runs the example end-to-end on a tiny n to keep it honest without
+//! burning minutes.
 
 use lsga::prelude::*;
 use lsga::{data, kdv, kfunc, viz};
+
+fn example_n(default: usize) -> usize {
+    std::env::var("LSGA_EXAMPLE_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn main() {
     // A city-scale window with two crime-like hotspots over background.
@@ -26,7 +37,7 @@ fn main() {
             weight: 1.0,
         },
     ];
-    let points = data::gaussian_mixture(50_000, &hotspots, window, 42);
+    let points = data::gaussian_mixture(example_n(50_000), &hotspots, window, 42);
     println!("generated {} points", points.len());
 
     // 1. Is the clustering statistically meaningful? (Definition 3)

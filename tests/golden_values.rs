@@ -1,0 +1,163 @@
+//! Golden-value regression suite: exact bit-level digests of the core
+//! analytics on small seeded datasets.
+//!
+//! Every constant below is an FNV-1a hash over the little-endian bytes
+//! of `f64::to_bits` (or the raw `u64`s for count outputs) of a
+//! deterministic computation. The repo's discipline is that refactors —
+//! SoA microkernels, thread pools, caches, serving layers — must be
+//! **bit-identical** to the code they replace, so these digests should
+//! never change by accident; silent numeric drift fails this suite
+//! loudly instead of surfacing months later as a subtly different
+//! heatmap.
+//!
+//! # Update procedure
+//!
+//! If a change *intentionally* alters numerics (e.g. a new kernel
+//! definition or a deliberate fold-order change), rerun with the
+//! environment variable `LSGA_PRINT_GOLDEN=1`:
+//!
+//! ```text
+//! LSGA_PRINT_GOLDEN=1 cargo test --test golden_values -- --nocapture
+//! ```
+//!
+//! each test prints `name = 0x…;` lines — paste them over the
+//! constants below, and justify the change in the PR description
+//! (which fold order moved, why the old bits were not canonical).
+//! Never update these constants to quiet a failure you cannot explain.
+//!
+//! The digests are pinned at `LSGA_THREADS`-invariant code paths, so
+//! they must pass identically at any thread count (CI runs 1 and 8).
+
+use lsga::core::par::Threads;
+use lsga::prelude::*;
+use lsga::serve::{compute_tile_direct, TileCoord};
+use lsga::stats::SpatialWeights;
+use lsga::{data, interp, kdv, kfunc, stats};
+
+/// FNV-1a over little-endian bytes.
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn digest_f64(values: &[f64]) -> u64 {
+    fnv1a(values.iter().flat_map(|v| v.to_bits().to_le_bytes()))
+}
+
+fn digest_u64(values: &[u64]) -> u64 {
+    fnv1a(values.iter().flat_map(|v| v.to_le_bytes()))
+}
+
+fn check(name: &str, actual: u64) {
+    if std::env::var("LSGA_PRINT_GOLDEN").is_ok() {
+        println!("{name} = {actual:#018x};");
+    }
+}
+
+fn window() -> BBox {
+    BBox::new(0.0, 0.0, 100.0, 100.0)
+}
+
+#[test]
+fn golden_kdv_grid_pruned() {
+    const GOLDEN: u64 = 0xd80de57d402ef081;
+    let pts = data::gaussian_mixture(
+        400,
+        &[Hotspot {
+            center: Point::new(35.0, 60.0),
+            sigma: 7.0,
+            weight: 1.0,
+        }],
+        window(),
+        42,
+    );
+    let spec = GridSpec::new(window(), 32, 24);
+    let grid = kdv::grid_pruned_kdv(&pts, spec, KernelKind::Quartic.with_bandwidth(8.0), 1e-9);
+    let actual = digest_f64(grid.values());
+    check("golden_kdv_grid_pruned", actual);
+    assert_eq!(actual, GOLDEN, "KDV raster bits drifted: {actual:#018x}");
+}
+
+#[test]
+fn golden_kdv_naive_gaussian() {
+    const GOLDEN: u64 = 0x2f1d2987d5d1da67;
+    let pts = data::uniform_points(200, window(), 7);
+    let spec = GridSpec::new(window(), 16, 16);
+    let grid = kdv::naive_kdv(&pts, spec, Gaussian::new(6.0));
+    let actual = digest_f64(grid.values());
+    check("golden_kdv_naive_gaussian", actual);
+    assert_eq!(actual, GOLDEN, "naive KDV bits drifted: {actual:#018x}");
+}
+
+#[test]
+fn golden_k_function_counts() {
+    const GOLDEN: u64 = 0x2d284c736ba7ca7a;
+    let pts = data::uniform_points(300, window(), 11);
+    let counts = kfunc::histogram_k_all(&pts, &[2.0, 5.0, 10.0, 20.0], KConfig::default());
+    let actual = digest_u64(&counts);
+    check("golden_k_function_counts", actual);
+    assert_eq!(actual, GOLDEN, "K-function counts drifted: {actual:#018x}");
+}
+
+#[test]
+fn golden_morans_i() {
+    const GOLDEN: u64 = 0x1ca2f30cc13ba644;
+    let k = 9;
+    let pts: Vec<Point> = (0..k * k)
+        .map(|i| Point::new((i % k) as f64, (i / k) as f64))
+        .collect();
+    let w = SpatialWeights::distance_band(&pts, 1.0);
+    let values: Vec<f64> = (0..k * k).map(|i| ((i * 7) % 13) as f64).collect();
+    let r = stats::morans_i_threads(&values, &w, 99, 5, Threads::auto()).expect("defined");
+    let fields = [
+        r.i,
+        r.expected,
+        r.z_norm,
+        r.p_norm,
+        r.z_perm.expect("permutations ran"),
+        r.p_perm.expect("permutations ran"),
+    ];
+    let actual = digest_f64(&fields);
+    check("golden_morans_i", actual);
+    assert_eq!(actual, GOLDEN, "Moran's I drifted: {actual:#018x}");
+}
+
+#[test]
+fn golden_idw() {
+    const GOLDEN: u64 = 0xbc7c3abd112d16ea;
+    let samples: Vec<(Point, f64)> = data::uniform_points(60, window(), 13)
+        .into_iter()
+        .map(|p| (p, 3.0 + 0.08 * p.x - 0.05 * p.y))
+        .collect();
+    let spec = GridSpec::new(window(), 12, 10);
+    let grid = interp::idw_naive(&samples, spec, 2.0);
+    let actual = digest_f64(grid.values());
+    check("golden_idw", actual);
+    assert_eq!(actual, GOLDEN, "IDW raster bits drifted: {actual:#018x}");
+}
+
+#[test]
+fn golden_served_tile() {
+    // Pins the serving layer's tile geometry *and* the pruned sweep
+    // over a `with_bbox` index — the exact bits `TileServer` serves.
+    const GOLDEN: u64 = 0x66ef73e5d1b5f51a;
+    let pts = data::gaussian_mixture(
+        250,
+        &[Hotspot {
+            center: Point::new(70.0, 30.0),
+            sigma: 6.0,
+            weight: 1.0,
+        }],
+        window(),
+        21,
+    );
+    let kernel = KernelKind::Epanechnikov.with_bandwidth(9.0);
+    let grid = compute_tile_direct(&pts, &window(), kernel, 1e-9, 32, TileCoord::new(2, 2, 1));
+    let actual = digest_f64(grid.values());
+    check("golden_served_tile", actual);
+    assert_eq!(actual, GOLDEN, "served-tile bits drifted: {actual:#018x}");
+}

@@ -1,0 +1,239 @@
+//! Cache-coherence property suite for the serving layer.
+//!
+//! The headline invariant of `lsga-serve`: **a served tile is
+//! bit-identical to the same region computed directly**, whatever the
+//! cache did in between. This suite drives randomized interleavings of
+//! get / batch-get / insert / clear against a mirror of the layer's
+//! point sequence, with byte budgets small enough that eviction fires
+//! constantly (including budget 0, where nothing ever resides and every
+//! request takes the recompute path). After every read the served
+//! pixels are compared to [`compute_tile_direct`] — fresh index, no
+//! server — with `to_bits` equality, not epsilon.
+//!
+//! Every scenario runs the server pool at 1 and 8 threads; CI repeats
+//! the whole binary under `LSGA_THREADS` {1, 8} which additionally
+//! covers the `Threads::auto()` default path.
+
+use lsga::core::par::Threads;
+use lsga::prelude::*;
+use lsga::serve::{compute_tile_direct, TileCoord, TileServer, TileServerConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const TILE_PX: usize = 8;
+const MAX_ZOOM: u8 = 3;
+const TAIL_EPS: f64 = 1e-6;
+
+fn window() -> BBox {
+    BBox::new(0.0, 0.0, 100.0, 100.0)
+}
+
+fn kernel_for(idx: usize, b: f64) -> AnyKernel {
+    KernelKind::ALL[idx % KernelKind::ALL.len()].with_bandwidth(b)
+}
+
+/// Deterministic scatter inside the window.
+fn scatter(n: usize, salt: u64) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let f = (i as f64) + (salt as f64) * 0.618;
+            Point::new(
+                50.0 + (f * 0.831).sin() * 49.0,
+                50.0 + (f * 0.557).cos() * 49.0,
+            )
+        })
+        .collect()
+}
+
+fn coord(z: u8, xr: u32, yr: u32) -> TileCoord {
+    let z = z % (MAX_ZOOM + 1);
+    let n = 1u32 << z;
+    TileCoord::new(z, xr % n, yr % n)
+}
+
+fn assert_tile_matches(
+    served: &lsga::serve::Tile,
+    mirror: &[Point],
+    kernel: AnyKernel,
+    c: TileCoord,
+) -> Result<(), TestCaseError> {
+    let direct = compute_tile_direct(mirror, &window(), kernel, TAIL_EPS, TILE_PX, c);
+    for (i, (a, b)) in served.grid.values().iter().zip(direct.values()).enumerate() {
+        prop_assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "pixel {} of tile ({},{},{}) diverged from direct computation",
+            i,
+            c.z,
+            c.x,
+            c.y
+        );
+    }
+    Ok(())
+}
+
+/// One randomized interleaving at a given pool width.
+#[allow(clippy::too_many_arguments)]
+fn run_interleaving(
+    threads: usize,
+    budget: usize,
+    kidx: usize,
+    bandwidth: f64,
+    n0: usize,
+    ops: &[(u32, u32, u32, u32, u32)],
+) -> Result<(), TestCaseError> {
+    let kernel = kernel_for(kidx, bandwidth);
+    let mut mirror = scatter(n0, 1);
+    let server = TileServer::new(TileServerConfig {
+        tile_px: TILE_PX,
+        max_zoom: MAX_ZOOM,
+        shards: 2,
+        byte_budget: budget,
+        threads: Threads::exact(threads),
+    });
+    let layer = server
+        .add_layer(mirror.clone(), window(), kernel, TAIL_EPS)
+        .expect("layer");
+
+    for (step, &(kind, z, xr, yr, n)) in ops.iter().enumerate() {
+        let z = (z % 8) as u8;
+        match kind % 4 {
+            // Single get, checked against the oracle.
+            0 => {
+                let c = coord(z, xr, yr);
+                let tile = server.get_tile(layer, c.z, c.x, c.y).expect("get_tile");
+                assert_tile_matches(&tile, &mirror, kernel, c)?;
+            }
+            // Batch get (with a duplicate), every tile checked.
+            1 => {
+                let coords = vec![
+                    coord(z, xr, yr),
+                    coord(z.wrapping_add(1), xr / 2, yr / 2),
+                    coord(z, xr, yr), // duplicate: must dedupe, same Arc
+                    coord(z.wrapping_add(2), xr.wrapping_add(1), yr),
+                ];
+                let tiles = server.get_tiles(layer, &coords).expect("get_tiles");
+                prop_assert!(Arc::ptr_eq(&tiles[0], &tiles[2]), "step {step}: dup split");
+                for (tile, &c) in tiles.iter().zip(&coords) {
+                    assert_tile_matches(tile, &mirror, kernel, c)?;
+                }
+            }
+            // Append a small cluster; the mirror appends identically.
+            2 => {
+                let cx = 5.0 + f64::from(xr % 90);
+                let cy = 5.0 + f64::from(yr % 90);
+                let batch: Vec<Point> = (0..=(n % 4) as usize)
+                    .map(|i| {
+                        let o = i as f64 * 0.37;
+                        Point::new((cx + o).min(100.0), (cy - o).max(0.0))
+                    })
+                    .collect();
+                server.insert_points(layer, &batch).expect("insert");
+                mirror.extend_from_slice(&batch);
+            }
+            // Full eviction.
+            _ => server.clear_cache(),
+        }
+    }
+
+    // Final sweep: every tile of zoom 0..=2 must still match the
+    // mirror after the whole interleaving.
+    for z in 0..=2u8 {
+        for x in 0..(1u32 << z) {
+            for y in 0..(1u32 << z) {
+                let tile = server.get_tile(layer, z, x, y).expect("final get");
+                assert_tile_matches(&tile, &mirror, kernel, TileCoord::new(z, x, y))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    fn served_tiles_bit_identical_under_any_interleaving(
+        budget in 0usize..4096,
+        kidx in 0usize..7,
+        bandwidth in 2.0f64..15.0,
+        n0 in 1usize..80,
+        ops in prop::collection::vec(
+            (0u32..8, 0u32..8, 0u32..64, 0u32..64, 0u32..8),
+            1..24,
+        ),
+    ) {
+        for threads in [1usize, 8] {
+            run_interleaving(threads, budget, kidx, bandwidth, n0, &ops)?;
+        }
+    }
+}
+
+#[test]
+fn zero_budget_cache_still_serves_exact_tiles() {
+    // Nothing ever resides: every get is a miss + compute + immediate
+    // eviction of the inserted tile. Identity must be unaffected.
+    let ops = vec![
+        (0u32, 2u32, 1u32, 1u32, 0u32),
+        (0, 2, 1, 1, 0),
+        (2, 0, 30, 40, 3),
+        (0, 2, 1, 1, 0),
+    ];
+    run_interleaving(8, 0, 3, 9.0, 40, &ops).expect("zero-budget interleaving");
+}
+
+#[test]
+fn eviction_churn_with_repeated_inserts_stays_exact() {
+    // A budget of ~2 tiles with inserts sprinkled between reads: tiles
+    // constantly recompute over a moving point set.
+    let mut ops = Vec::new();
+    for i in 0..12u32 {
+        ops.push((0u32, 2u32, i % 4, (i / 4) % 4, 0u32)); // get
+        if i % 3 == 2 {
+            ops.push((2, 0, 10 + i * 7, 20 + i * 5, 2)); // insert
+        }
+        if i % 5 == 4 {
+            ops.push((3, 0, 0, 0, 0)); // clear
+        }
+    }
+    let tile_bytes = TILE_PX * TILE_PX * 8 + 128;
+    for threads in [1usize, 8] {
+        run_interleaving(threads, 2 * tile_bytes, 1, 6.0, 60, &ops).expect("churn interleaving");
+    }
+}
+
+#[test]
+fn concurrent_readers_all_serve_exact_tiles() {
+    // 8 OS threads hammer overlapping tiles of a fixed layer (no
+    // inserts, so the oracle is stable); every served pixel must match.
+    let kernel = kernel_for(2, 8.0);
+    let pts = scatter(70, 3);
+    let server = Arc::new(TileServer::new(TileServerConfig {
+        tile_px: TILE_PX,
+        max_zoom: MAX_ZOOM,
+        shards: 4,
+        byte_budget: 6 * (TILE_PX * TILE_PX * 8 + 128), // forces eviction races
+        threads: Threads::exact(2),
+    }));
+    let layer = server
+        .add_layer(pts.clone(), window(), kernel, TAIL_EPS)
+        .expect("layer");
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let pts = pts.clone();
+            std::thread::spawn(move || {
+                for i in 0..30u32 {
+                    let c = coord((i % 3) as u8 + 1, i + t, i * 3 + t);
+                    let tile = server.get_tile(layer, c.z, c.x, c.y).expect("get");
+                    let direct = compute_tile_direct(&pts, &window(), kernel, TAIL_EPS, TILE_PX, c);
+                    for (a, b) in tile.grid.values().iter().zip(direct.values()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "thread {t} tile {c:?}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("reader thread panicked");
+    }
+}
