@@ -41,6 +41,11 @@ pub enum LsgaError {
         attempts: u32,
         message: String,
     },
+    /// A computation running on behalf of this request panicked — e.g.
+    /// a single-flight leader that other requests had coalesced onto.
+    /// The panic itself propagates in the computing thread; waiters
+    /// receive this error instead of blocking forever.
+    Panicked(&'static str),
 }
 
 impl fmt::Display for LsgaError {
@@ -75,6 +80,7 @@ impl fmt::Display for LsgaError {
                     "task for tile {tile} failed after {attempts} attempt(s): {message}"
                 )
             }
+            LsgaError::Panicked(what) => write!(f, "computation panicked: {what}"),
         }
     }
 }

@@ -2,19 +2,25 @@
 //!
 //! When N requests miss the cache on the same key simultaneously, only
 //! the first (the *leader*) computes; the rest block on the flight's
-//! condvar and receive the leader's `Arc<Tile>`. The flight table maps
+//! condvar and receive the leader's outcome. The flight table maps
 //! in-progress keys to flights; its mutex is only ever held for the
 //! map operation itself — never while computing, waiting, or touching
 //! any other lock — so it cannot participate in a deadlock cycle.
 //!
-//! Lifecycle: the leader computes, [`Flight::publish`]es the result
-//! (waking all waiters), and then removes the key from the table.
-//! A request that arrives between publish and removal still joins the
-//! finished flight and returns immediately with the published tile;
-//! one that arrives after removal starts a fresh flight, by which time
-//! the tile is normally already in the cache.
+//! Lifecycle: the leader computes and deposits exactly one terminal
+//! outcome — [`Flight::publish`] (the tile) or [`Flight::fail`] (an
+//! error) — waking all waiters, and removes the key from the table.
+//! Every leader exit path must reach one of the two: an unpublished
+//! flight would park its waiters forever, so the server wraps the
+//! leader section in a guard that fails the flight on error returns
+//! *and* on unwind (see `TileServer::lead_flight`). A request that
+//! arrives between the deposit and removal still joins the finished
+//! flight and returns immediately with the published outcome; one that
+//! arrives after removal starts a fresh flight, by which time a
+//! successful tile is normally already in the cache.
 
 use crate::tile::{Tile, TileKey};
+use lsga_core::error::{LsgaError, Result};
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
@@ -22,7 +28,7 @@ use std::sync::{Arc, Condvar, Mutex};
 /// One in-progress tile computation that any number of requests can
 /// wait on.
 pub(crate) struct Flight {
-    result: Mutex<Option<Arc<Tile>>>,
+    result: Mutex<Option<Result<Arc<Tile>>>>,
     cv: Condvar,
 }
 
@@ -34,19 +40,35 @@ impl Flight {
         }
     }
 
-    /// Leader side: deposit the computed tile and wake every waiter.
-    pub fn publish(&self, tile: Arc<Tile>) {
+    /// Deposit the terminal outcome and wake every waiter. The first
+    /// deposit wins; later ones are ignored — so a panic guard that
+    /// fires after an explicit `fail` cannot overwrite the real error.
+    fn deposit(&self, outcome: Result<Arc<Tile>>) {
         let mut slot = self.result.lock().expect("flight poisoned");
-        *slot = Some(tile);
-        self.cv.notify_all();
+        if slot.is_none() {
+            *slot = Some(outcome);
+            self.cv.notify_all();
+        }
     }
 
-    /// Waiter side: block until the leader publishes.
-    pub fn wait(&self) -> Arc<Tile> {
+    /// Leader side: deposit the computed tile and wake every waiter.
+    pub fn publish(&self, tile: Arc<Tile>) {
+        self.deposit(Ok(tile));
+    }
+
+    /// Leader side: the computation failed (error return or panic);
+    /// wake every waiter with the error instead of leaving them parked
+    /// on the condvar forever.
+    pub fn fail(&self, err: LsgaError) {
+        self.deposit(Err(err));
+    }
+
+    /// Waiter side: block until the leader publishes or fails.
+    pub fn wait(&self) -> Result<Arc<Tile>> {
         let mut slot = self.result.lock().expect("flight poisoned");
         loop {
-            if let Some(tile) = slot.as_ref() {
-                return Arc::clone(tile);
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
             }
             slot = self.cv.wait(slot).expect("flight poisoned");
         }
@@ -67,7 +89,8 @@ impl FlightTable {
 
     /// Join the flight for `key`, creating it if absent. Returns the
     /// flight and whether this caller is the leader (and therefore
-    /// responsible for computing, publishing, and completing).
+    /// responsible for computing, depositing an outcome, and
+    /// completing).
     pub fn join(&self, key: TileKey) -> (Arc<Flight>, bool) {
         let mut map = self.flights.lock().expect("flight table poisoned");
         match map.entry(key) {
@@ -80,7 +103,9 @@ impl FlightTable {
         }
     }
 
-    /// Leader side: retire the flight after publishing.
+    /// Leader side: retire the flight. Callers must have deposited an
+    /// outcome (or do so immediately after, for flights retired early
+    /// so racing requests restart fresh).
     pub fn complete(&self, key: &TileKey) {
         self.flights
             .lock()
@@ -132,7 +157,7 @@ mod tests {
             .map(|_| {
                 let (f, lead) = table.join(key());
                 assert!(!lead);
-                thread::spawn(move || f.wait().key)
+                thread::spawn(move || f.wait().expect("published tile").key)
             })
             .collect();
         flight.publish(tile());
@@ -140,6 +165,39 @@ mod tests {
         for w in waiters {
             assert_eq!(w.join().expect("waiter panicked"), key());
         }
+    }
+
+    #[test]
+    fn failed_flight_wakes_waiters_with_the_error() {
+        let table = Arc::new(FlightTable::new());
+        let (flight, leader) = table.join(key());
+        assert!(leader);
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let (f, lead) = table.join(key());
+                assert!(!lead);
+                thread::spawn(move || f.wait())
+            })
+            .collect();
+        flight.fail(LsgaError::Panicked("test leader"));
+        table.complete(&key());
+        for w in waiters {
+            let got = w.join().expect("waiter panicked");
+            assert_eq!(got.unwrap_err(), LsgaError::Panicked("test leader"));
+        }
+    }
+
+    #[test]
+    fn first_deposit_wins() {
+        let t = FlightTable::new();
+        let (f, _) = t.join(key());
+        f.fail(LsgaError::Panicked("real error"));
+        f.publish(tile());
+        assert_eq!(
+            f.wait().unwrap_err(),
+            LsgaError::Panicked("real error"),
+            "a later deposit must not overwrite the first"
+        );
     }
 
     #[test]
@@ -151,6 +209,6 @@ mod tests {
         // wait() must not block.
         let (f2, leader) = t.join(key());
         assert!(!leader);
-        assert_eq!(f2.wait().key, key());
+        assert_eq!(f2.wait().expect("published tile").key, key());
     }
 }

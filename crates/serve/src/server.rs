@@ -31,19 +31,44 @@
 //!
 //! # Locking
 //!
-//! Lock order is `layers → cache shard`; the flight-table and flight
-//! mutexes are leaves (never held across another acquisition). Tile
-//! computation runs with no locks held. A leader captures its layer
-//! snapshot (an `Arc` — inserts swap the slot, they never mutate), and
-//! caches the result only after re-checking, *under the layers lock*,
-//! that the layer generation is unchanged; `insert_points` invalidates
-//! under the same lock. Either serialization order is correct: if the
-//! insert lands first the stale compute is discarded
-//! (`serve.stale_discards`), and if the cache-insert lands first the
-//! invalidation sweep removes it iff it is dirty.
+//! Lock order is `layers → cache shard → flight table`; flight-table
+//! and per-flight mutexes are leaves (never held across another
+//! acquisition). Tile computation runs with no locks held: a leader
+//! captures its layer snapshot (an `Arc` — inserts swap the slot, they
+//! never mutate) and computes against it.
+//!
+//! The leader **commit** is one atomic step under the layers lock:
+//! re-check the layer generation, insert into the cache, and retire
+//! the flight. Because `insert_points` swaps the snapshot and sweeps
+//! the cache under the same lock, every insert either completes before
+//! the commit (the generation re-check fails and the leader recomputes
+//! against the fresh snapshot — `serve.stale_discards`) or after it
+//! (the sweep removes the just-cached tile iff dirty, and any request
+//! arriving later starts a fresh flight because the old one is already
+//! retired). That closes the stale-join window: a request that begins
+//! after an insert has completed can never receive pre-insert bits —
+//! it hits the post-commit cache or leads a fresh flight; only
+//! requests that genuinely overlap the insert may observe either side,
+//! which is linearizable. The tile is published to waiters *after* the
+//! commit; waiters joined before the flight was retired, hence before
+//! the generation re-check, so the published bits are current for all
+//! of them.
+//!
+//! Every leader exit path deposits a terminal flight outcome: success
+//! publishes the tile, an error (unknown layer) fails the flight with
+//! that error, and a panic in the compute path is caught by a drop
+//! guard that retires the flight and fails it with
+//! [`LsgaError::Panicked`] — so waiters can never be left parked on an
+//! abandoned flight.
+//!
+//! `insert_points` builds the successor snapshot (point clone + index
+//! rebuild, O(n)) *outside* the layers lock and swaps it in only if
+//! the generation is still the one it read; concurrent inserts retry
+//! on top of the winner. The critical section is just the swap and the
+//! invalidation sweep.
 
 use crate::cache::ShardedTileCache;
-use crate::flight::FlightTable;
+use crate::flight::{Flight, FlightTable};
 use crate::tile::{tile_bbox, tile_spec, LayerId, Tile, TileCoord, TileKey};
 use lsga_core::error::{LsgaError, Result};
 use lsga_core::par::{par_map, Threads};
@@ -249,51 +274,95 @@ impl TileServer {
             // Counted before parking so a test (or dashboard) watching
             // the counter knows how many requests are already waiting.
             obs::incr(Counter::ServeCoalescedWaits);
-            return Ok(flight.wait());
+            return flight.wait();
         }
+        self.lead_flight(key, &flight)
+    }
 
-        // Leader: snapshot the layer, compute with no locks held.
-        let snap = match self.snapshot(layer) {
-            Ok(s) => s,
-            Err(e) => {
-                // Nothing to publish; retire the flight so waiters on
-                // this bogus key (same bad id) re-drive and also fail.
-                self.flights.complete(&key);
-                return Err(e);
-            }
-        };
-        let hook = self
-            .compute_hook
-            .lock()
-            .expect("hook poisoned")
-            .as_ref()
-            .map(Arc::clone);
-        if let Some(hook) = hook {
-            hook(key);
+    /// Leader side of a flight: compute, commit, publish. Guaranteed
+    /// to deposit a terminal outcome on the flight on **every** exit —
+    /// success, error return, or panic — so waiters are never left
+    /// parked and the key never wedges (see module docs).
+    fn lead_flight(&self, key: TileKey, flight: &Flight) -> Result<Arc<Tile>> {
+        /// On unwind (or any exit before `disarm`), retire the flight
+        /// and fail it so current waiters wake with an error and
+        /// future requests lead a fresh flight.
+        struct AbortGuard<'a> {
+            flights: &'a FlightTable,
+            flight: &'a Flight,
+            key: TileKey,
+            armed: bool,
         }
-        let tile = {
-            let _span = obs::span("serve.compute_tile");
-            obs::incr(Counter::ServeTilesComputed);
-            let spec = tile_spec(&snap.window, self.cfg.tile_px, coord);
-            Arc::new(Tile {
-                key,
-                grid: grid_pruned_kdv_with_index(&snap.index, spec, snap.kernel, snap.tail_eps),
-            })
+        impl Drop for AbortGuard<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.flights.complete(&self.key);
+                    self.flight.fail(LsgaError::Panicked("tile computation"));
+                }
+            }
+        }
+        let mut guard = AbortGuard {
+            flights: &self.flights,
+            flight,
+            key,
+            armed: true,
         };
+
+        let tile = loop {
+            // Snapshot the layer; compute runs with no locks held.
+            let snap = match self.snapshot(key.layer) {
+                Ok(s) => s,
+                Err(e) => {
+                    // Retire first so racing requests lead fresh
+                    // flights, then wake parked waiters with the real
+                    // error (`fail` before the guard's generic one).
+                    guard.armed = false;
+                    self.flights.complete(&key);
+                    flight.fail(e.clone());
+                    return Err(e);
+                }
+            };
+            let hook = self
+                .compute_hook
+                .lock()
+                .expect("hook poisoned")
+                .as_ref()
+                .map(Arc::clone);
+            if let Some(hook) = hook {
+                hook(key);
+            }
+            let tile = {
+                let _span = obs::span("serve.compute_tile");
+                obs::incr(Counter::ServeTilesComputed);
+                let spec = tile_spec(&snap.window, self.cfg.tile_px, key.coord);
+                Arc::new(Tile {
+                    key,
+                    grid: grid_pruned_kdv_with_index(&snap.index, spec, snap.kernel, snap.tail_eps),
+                })
+            };
+            // Commit: generation re-check, cache insert, and flight
+            // retirement form one atomic step under the layers lock,
+            // serialized against `insert_points`' swap+invalidate. A
+            // request arriving after this point finds the tile in the
+            // cache or leads a fresh flight — it can no longer join
+            // this one, so no insert completing after the commit can
+            // make these bits stale for anyone who receives them.
+            {
+                let layers = self.layers.lock().expect("layers poisoned");
+                if layers[key.layer].generation == snap.generation {
+                    self.cache.insert(key, Arc::clone(&tile));
+                    self.flights.complete(&key);
+                    break tile;
+                }
+            }
+            // An insert completed between snapshot and commit: a
+            // waiter may have joined *after* that insert, so these
+            // bits must not be published. Recompute against the fresh
+            // snapshot and try to commit again.
+            obs::incr(Counter::ServeStaleDiscards);
+        };
+        guard.armed = false;
         flight.publish(Arc::clone(&tile));
-
-        // Cache only if the layer has not moved on since the snapshot;
-        // checked under the layers lock so it serializes with
-        // `insert_points`' swap+invalidate (see module docs).
-        {
-            let layers = self.layers.lock().expect("layers poisoned");
-            if layers[layer].generation == snap.generation {
-                self.cache.insert(key, Arc::clone(&tile));
-            } else {
-                obs::incr(Counter::ServeStaleDiscards);
-            }
-        }
-        self.flights.complete(&key);
         Ok(tile)
     }
 
@@ -330,43 +399,53 @@ impl TileServer {
 
     /// Append points to a layer, dirtying exactly the cached tiles
     /// whose kernel-inflated bboxes the new data touches.
+    ///
+    /// The O(n) work — cloning the point sequence and rebuilding the
+    /// index — happens *outside* the layers lock, so concurrent
+    /// snapshots (every cold get) and leader commits are never blocked
+    /// behind it. The critical section is only the generation check,
+    /// the snapshot swap, and the invalidation sweep; if another
+    /// insert won the race in the meantime, the build retries on top
+    /// of the winner's snapshot so both batches land.
     pub fn insert_points(&self, layer: LayerId, points: &[Point]) -> Result<()> {
         if points.is_empty() {
             return Err(LsgaError::EmptyDataset("insert_points batch"));
         }
-        let mut layers = self.layers.lock().expect("layers poisoned");
-        let old = layers
-            .get(layer)
-            .cloned()
-            .ok_or(LsgaError::InvalidParameter {
-                name: "layer",
-                message: format!("unknown layer id {layer} ({} registered)", layers.len()),
-            })?;
-        validate_in_window(points, &old.window)?;
+        loop {
+            let old = self.snapshot(layer)?;
+            validate_in_window(points, &old.window)?;
 
-        let mut all = old.points.clone();
-        all.extend_from_slice(points);
-        let next = LayerSnapshot::build(
-            old.window,
-            old.kernel,
-            old.tail_eps,
-            all,
-            old.generation + 1,
-        );
-        let radius = next.radius;
-        let window = next.window;
-        layers[layer] = Arc::new(next);
+            let mut all = old.points.clone();
+            all.extend_from_slice(points);
+            let next = LayerSnapshot::build(
+                old.window,
+                old.kernel,
+                old.tail_eps,
+                all,
+                old.generation + 1,
+            );
+            let radius = next.radius;
+            let window = next.window;
 
-        // Still under the layers lock (order: layers → shard): dirty
-        // exactly the tiles within kernel reach of the new data.
-        let dirty = BBox::of_points(points).inflate(radius);
-        let dropped = self
-            .cache
-            .invalidate(layer, |coord| dirty.intersects(&tile_bbox(&window, coord)));
-        if dropped > 0 {
-            obs::add(Counter::ServeTilesInvalidated, dropped);
+            let mut layers = self.layers.lock().expect("layers poisoned");
+            if layers[layer].generation != old.generation {
+                drop(layers);
+                continue;
+            }
+            layers[layer] = Arc::new(next);
+
+            // Still under the layers lock (order: layers → shard):
+            // dirty exactly the tiles within kernel reach of the new
+            // data, atomically with the swap (see module docs).
+            let dirty = BBox::of_points(points).inflate(radius);
+            let dropped = self
+                .cache
+                .invalidate(layer, |coord| dirty.intersects(&tile_bbox(&window, coord)));
+            if dropped > 0 {
+                obs::add(Counter::ServeTilesInvalidated, dropped);
+            }
+            return Ok(());
         }
-        Ok(())
     }
 
     /// Drop every cached tile (counts as eviction).

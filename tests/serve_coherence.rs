@@ -202,6 +202,110 @@ fn eviction_churn_with_repeated_inserts_stays_exact() {
 }
 
 #[test]
+fn gets_racing_inserts_never_serve_stale_generations() {
+    // Readers hammer a fixed set of tiles while an inserter appends
+    // batches. A get that *starts* after the v-th insert completed
+    // must serve bits from version ≥ v (overlapping either side is
+    // linearizable, serving older is the stale-join bug): each read
+    // records the completed-insert count first, then asserts the tile
+    // bit-matches one of the still-admissible prefix oracles.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let kernel = kernel_for(4, 7.0);
+    let base = scatter(50, 9);
+    let batches: Vec<Vec<Point>> = (0..4u32)
+        .map(|b| {
+            (0..3)
+                .map(|i| {
+                    let f = f64::from(b * 3 + i);
+                    Point::new(10.0 + f * 6.3, 90.0 - f * 5.1)
+                })
+                .collect()
+        })
+        .collect();
+    // versions[v] = point sequence after v inserts; oracle grids for
+    // every (tile, version) are precomputed up front.
+    let mut versions = vec![base.clone()];
+    for b in &batches {
+        let mut next = versions.last().unwrap().clone();
+        next.extend_from_slice(b);
+        versions.push(next);
+    }
+    let coords: Vec<TileCoord> = (0..2)
+        .flat_map(|x| (0..2).map(move |y| TileCoord::new(1, x, y)))
+        .collect();
+    let oracles: Vec<Vec<Vec<u64>>> = coords
+        .iter()
+        .map(|&c| {
+            versions
+                .iter()
+                .map(|pts| {
+                    compute_tile_direct(pts, &window(), kernel, TAIL_EPS, TILE_PX, c)
+                        .values()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let server = Arc::new(TileServer::new(TileServerConfig {
+        tile_px: TILE_PX,
+        max_zoom: MAX_ZOOM,
+        shards: 2,
+        byte_budget: 3 * (TILE_PX * TILE_PX * 8 + 128), // eviction churn too
+        threads: Threads::exact(2),
+    }));
+    let layer = server
+        .add_layer(base, window(), kernel, TAIL_EPS)
+        .expect("layer");
+    let completed = Arc::new(AtomicUsize::new(0));
+
+    let inserter = {
+        let server = Arc::clone(&server);
+        let completed = Arc::clone(&completed);
+        let batches = batches.clone();
+        std::thread::spawn(move || {
+            for b in &batches {
+                server.insert_points(layer, b).expect("insert");
+                completed.fetch_add(1, Ordering::SeqCst);
+                for _ in 0..50 {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+    let readers: Vec<_> = (0..6)
+        .map(|t: usize| {
+            let server = Arc::clone(&server);
+            let completed = Arc::clone(&completed);
+            let coords = coords.clone();
+            let oracles = oracles.clone();
+            std::thread::spawn(move || {
+                for i in 0..60usize {
+                    let ci = (i + t) % coords.len();
+                    let c = coords[ci];
+                    let floor = completed.load(Ordering::SeqCst);
+                    let tile = server.get_tile(layer, c.z, c.x, c.y).expect("get");
+                    let bits: Vec<u64> = tile.grid.values().iter().map(|v| v.to_bits()).collect();
+                    let admissible = &oracles[ci][floor..];
+                    assert!(
+                        admissible.contains(&bits),
+                        "thread {t} read {i}: tile {c:?} matches no version ≥ {floor} \
+                         — stale pre-insert bits were served"
+                    );
+                }
+            })
+        })
+        .collect();
+    inserter.join().expect("inserter panicked");
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+}
+
+#[test]
 fn concurrent_readers_all_serve_exact_tiles() {
     // 8 OS threads hammer overlapping tiles of a fixed layer (no
     // inserts, so the oracle is stable); every served pixel must match.

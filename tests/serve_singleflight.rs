@@ -10,11 +10,13 @@
 //! table then certifies the accounting: 16 misses, 1 tile computed,
 //! 15 coalesced waits, 0 hits.
 
+use lsga::core::error::LsgaError;
 use lsga::core::par::Threads;
 use lsga::obs::Counter;
 use lsga::prelude::*;
-use lsga::serve::{TileServer, TileServerConfig};
+use lsga::serve::{compute_tile_direct, TileCoord, TileServer, TileServerConfig};
 use lsga::{data, obs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::thread;
 
@@ -108,6 +110,155 @@ fn sixteen_concurrent_requests_coalesce_to_one_computation() {
         .map(|sp| sp.count)
         .sum::<u64>();
     assert_eq!(compute_spans, 1, "one serve.compute_tile span");
+}
+
+#[test]
+fn leader_panic_fails_waiters_and_unwedges_the_key() {
+    // A panic in the leader's compute path must not strand coalesced
+    // waiters on the condvar or wedge the key: the abort guard fails
+    // the flight (waiters get `LsgaError::Panicked`) and retires it
+    // (the next request leads a fresh, working flight).
+    let _g = LOCK.lock().unwrap();
+    obs::reset();
+    obs::enable();
+    let s = Arc::new(server());
+    let pts = data::uniform_points(200, window(), 17);
+    let layer = s
+        .add_layer(
+            pts.clone(),
+            window(),
+            KernelKind::Quartic.with_bandwidth(10.0),
+            1e-9,
+        )
+        .expect("layer");
+
+    // First hook invocation (the doomed leader): wait until the other
+    // request has provably parked as a coalesced waiter, then panic.
+    // Later invocations are no-ops so the retry below computes.
+    let fired = Arc::new(AtomicBool::new(false));
+    let fired_hook = Arc::clone(&fired);
+    s.set_compute_hook(Some(Arc::new(move |_key| {
+        if !fired_hook.swap(true, Ordering::SeqCst) {
+            while obs::counter_value(Counter::ServeCoalescedWaits) < 1 {
+                thread::yield_now();
+            }
+            panic!("injected leader panic");
+        }
+    })));
+
+    let barrier = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let s = Arc::clone(&s);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                s.get_tile(0, 2, 1, 1)
+            })
+        })
+        .collect();
+    let mut panicked = 0;
+    let mut failed_waits = 0;
+    for h in handles {
+        match h.join() {
+            Err(_) => panicked += 1, // the leader: panic propagates in its thread
+            Ok(Err(LsgaError::Panicked(_))) => failed_waits += 1,
+            Ok(other) => panic!("expected panic or Panicked error, got {other:?}"),
+        }
+    }
+    assert_eq!(panicked, 1, "exactly one request led and panicked");
+    assert_eq!(failed_waits, 1, "the waiter woke with the leader's failure");
+
+    // The key is not wedged: a fresh request leads a new flight and
+    // serves exact bits.
+    let tile = s.get_tile(0, 2, 1, 1).expect("post-panic request");
+    let direct = compute_tile_direct(
+        &pts,
+        &window(),
+        KernelKind::Quartic.with_bandwidth(10.0),
+        1e-9,
+        32,
+        TileCoord::new(2, 1, 1),
+    );
+    for (a, b) in tile.grid.values().iter().zip(direct.values()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    s.set_compute_hook(None);
+    let _ = layer;
+    obs::disable();
+}
+
+#[test]
+fn insert_completing_before_publish_forces_recompute() {
+    // The stale-publish race from the review: a leader snapshots, an
+    // insert completes while it computes, and a fresh request could
+    // join the still-running flight *after* the insert. The commit
+    // protocol must detect the generation bump and recompute before
+    // publishing — nobody may receive pre-insert bits.
+    let _g = LOCK.lock().unwrap();
+    obs::reset();
+    obs::enable();
+    let s = Arc::new(server());
+    let kernel = KernelKind::Epanechnikov.with_bandwidth(8.0);
+    let mut pts = data::uniform_points(150, window(), 23);
+    let layer = s
+        .add_layer(pts.clone(), window(), kernel, 1e-9)
+        .expect("layer");
+
+    // First hook invocation: hold the leader mid-flight (snapshot
+    // taken, nothing computed) until the insert below has completed.
+    // The recompute iteration passes through untouched.
+    let entered = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let first = Arc::new(AtomicBool::new(true));
+    let (entered_h, release_h, first_h) = (
+        Arc::clone(&entered),
+        Arc::clone(&release),
+        Arc::clone(&first),
+    );
+    s.set_compute_hook(Some(Arc::new(move |_key| {
+        if first_h.swap(false, Ordering::SeqCst) {
+            entered_h.store(true, Ordering::SeqCst);
+            while !release_h.load(Ordering::SeqCst) {
+                thread::yield_now();
+            }
+        }
+    })));
+
+    let reader = {
+        let s = Arc::clone(&s);
+        thread::spawn(move || s.get_tile(0, 2, 0, 0).expect("get_tile"))
+    };
+    while !entered.load(Ordering::SeqCst) {
+        thread::yield_now();
+    }
+    // Leader is parked on its pre-insert snapshot; complete an insert.
+    let batch = vec![Point::new(10.0, 12.0), Point::new(11.0, 9.0)];
+    s.insert_points(layer, &batch).expect("insert");
+    pts.extend_from_slice(&batch);
+    release.store(true, Ordering::SeqCst);
+
+    let tile = reader.join().expect("reader panicked");
+    s.set_compute_hook(None);
+
+    // The served tile reflects the post-insert point set, bit for bit.
+    let direct = compute_tile_direct(&pts, &window(), kernel, 1e-9, 32, TileCoord::new(2, 0, 0));
+    for (i, (a, b)) in tile.grid.values().iter().zip(direct.values()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "pixel {i} served pre-insert bits");
+    }
+
+    let snap = obs::drain();
+    obs::disable();
+    assert_eq!(
+        snap.counter("serve.stale_discards"),
+        1,
+        "the pre-insert computation was discarded"
+    );
+    assert_eq!(
+        snap.counter("serve.tiles_computed"),
+        2,
+        "one stale compute + one recompute"
+    );
 }
 
 #[test]
