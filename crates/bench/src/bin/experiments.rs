@@ -67,6 +67,11 @@ fn main() {
             "serving layer: tile cache, single-flight, invalidation",
             e21,
         ),
+        (
+            "e22",
+            "incremental ingest: segment stack vs monolithic rebuild",
+            e22,
+        ),
     ];
 
     let mut ran = 0;
@@ -98,7 +103,7 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("unknown experiment id; use e1..e21 or all (e16-e18 are the implemented future-work extensions)");
+        eprintln!("unknown experiment id; use e1..e22 or all (e16-e18 are the implemented future-work extensions)");
         std::process::exit(2);
     }
 }
@@ -1203,5 +1208,199 @@ fn e21() {
         "\ncache: {} tiles resident, {:.1} MB",
         server.cached_tiles(),
         server.cache_bytes() as f64 / (1024.0 * 1024.0)
+    );
+}
+
+// ---------------------------------------------------------------- E22 ----
+fn e22() {
+    use lsga::core::par::Threads;
+    use lsga::index::GridIndex;
+    use lsga::obs::{self, Counter};
+    use lsga::serve::{compute_tile_direct, TileCoord, TileServer, TileServerConfig};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let n0 = 100_000;
+    let batch_len = 1_000;
+    let batches = 50usize;
+    let mut points = crime(n0);
+    let kernel = KernelKind::Quartic.with_bandwidth(250.0);
+    let radius = kernel.effective_radius(1e-9);
+    let server = Arc::new(TileServer::new(TileServerConfig {
+        tile_px: 256,
+        max_zoom: 5,
+        shards: 16,
+        byte_budget: 256 << 20,
+        threads: Threads::exact(hw_threads()),
+    }));
+    let layer = server
+        .add_layer(points.clone(), window(), kernel, 1e-9)
+        .expect("crime layer");
+    let fresh: Vec<Vec<Point>> = (0..batches)
+        .map(|b| {
+            data::gaussian_mixture(
+                batch_len,
+                &[Hotspot {
+                    center: Point::new(2_500.0, 2_000.0),
+                    sigma: 300.0,
+                    weight: 1.0,
+                }],
+                window(),
+                900 + b as u64,
+            )
+        })
+        .collect();
+
+    // Baseline — what every batch cost before the segment stack: clone
+    // the n-point sequence and rebuild the monolithic index over
+    // n + batch points. Measured directly (no server) at n = 100k.
+    let (_, t_mono) = time(|| {
+        let mut all = points.clone();
+        all.extend_from_slice(&fresh[0]);
+        GridIndex::with_bbox(&all, radius, window())
+    });
+
+    // Part 1 — sustained ingest: land the 50 batches, timing each
+    // `insert_points` (batch index + tier compaction + swap + sweep).
+    let s0 = obs::counter_value(Counter::IngestSegmentsCreated);
+    let m0 = obs::counter_value(Counter::IngestSegmentsMerged);
+    let b0 = obs::counter_value(Counter::IngestMergeBytes);
+    let mut append_ms: Vec<f64> = Vec::with_capacity(batches);
+    for batch in &fresh {
+        let (_, t) = time(|| server.insert_points(layer, batch).expect("insert"));
+        append_ms.push(msf(t));
+        points.extend_from_slice(batch);
+    }
+    let avg_append = append_ms.iter().sum::<f64>() / batches as f64;
+    let max_append = append_ms.iter().cloned().fold(0.0, f64::max);
+    let speedup = msf(t_mono) / avg_append;
+    let depth = server.segment_count(layer).expect("depth");
+    let merged = obs::counter_value(Counter::IngestSegmentsMerged) - m0;
+    let merge_mb = (obs::counter_value(Counter::IngestMergeBytes) - b0) as f64 / (1024.0 * 1024.0);
+    assert_eq!(
+        obs::counter_value(Counter::IngestSegmentsCreated) - s0,
+        batches as u64,
+        "one segment per batch, never a rebuild"
+    );
+    println!("| append path (batch = {batch_len} pts onto {n0}) | value |");
+    println!("|---|---|");
+    println!(
+        "| monolithic rebuild (seed design, measured) | {} ms |",
+        ms(t_mono)
+    );
+    println!("| segmented append, mean of {batches} | {avg_append:.3} ms |");
+    println!("| segmented append, max (compaction batch) | {max_append:.3} ms |");
+    println!("| speedup vs rebuild | {speedup:.0}x |");
+    println!("| final stack depth | {depth} segments |");
+    println!("| segments merged / bytes rewritten | {merged} / {merge_mb:.1} MB |");
+    report::row(
+        "append 1k batch",
+        &[
+            ("mono_rebuild_ms", msf(t_mono)),
+            ("max_append_ms", max_append),
+            ("speedup_x", speedup),
+            ("final_depth", depth as f64),
+        ],
+        avg_append,
+    );
+
+    // Part 2 — read cost across the stack: the same cold zoom-3 tile
+    // computed against depth-1 (fresh monolithic oracle) vs the final
+    // multi-segment stack, plus bit-identity of the served result.
+    let c = TileCoord::new(3, 1, 1);
+    let (direct, t_direct) = time(|| compute_tile_direct(&points, &window(), kernel, 1e-9, 256, c));
+    server.clear_cache();
+    let (tile, t_seg) = time(|| server.get_tile(layer, c.z, c.x, c.y).expect("cold tile"));
+    for (a, b) in tile.grid.values().iter().zip(direct.values()) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "segmented read diverged from oracle"
+        );
+    }
+    println!("\n| cold read, zoom-3 hotspot tile | value |");
+    println!("|---|---|");
+    println!(
+        "| monolithic rebuild + compute (oracle) | {} ms |",
+        ms(t_direct)
+    );
+    println!("| served from {depth}-segment stack | {} ms |", ms(t_seg));
+    println!("| bit-identical | yes ({} px) |", tile.grid.values().len());
+    report::row(
+        "cold read depth vs mono",
+        &[("oracle_ms", msf(t_direct)), ("depth", depth as f64)],
+        msf(t_seg),
+    );
+
+    // Part 3 — reads during sustained ingest: 4 reader threads hammer a
+    // warm far-corner viewport (outside kernel reach of the hotspot
+    // batches, so never invalidated) while the writer lands 20 more
+    // batches. Warm hits check the cache before any lock and the layer
+    // table is an RwLock, so reader latency must not degrade behind
+    // the writer — the contention note in EXPERIMENTS.md E22.
+    let far: Vec<TileCoord> = (6..8)
+        .flat_map(|x| (6..8).map(move |y| TileCoord::new(3, x, y)))
+        .collect();
+    let _ = server.get_tiles(layer, &far).expect("warm far viewport");
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let h1 = obs::counter_value(Counter::ServeCacheHits);
+    let readers: Vec<_> = (0..4)
+        .map(|t: usize| {
+            let server = Arc::clone(&server);
+            let far = far.clone();
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            std::thread::spawn(move || {
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let c = far[i % far.len()];
+                    let _ = server.get_tile(layer, c.z, c.x, c.y).expect("warm get");
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    let (_, t_ingest) = time(|| {
+        for b in 0..20usize {
+            let batch = data::gaussian_mixture(
+                batch_len,
+                &[Hotspot {
+                    center: Point::new(2_500.0, 2_000.0),
+                    sigma: 300.0,
+                    weight: 1.0,
+                }],
+                window(),
+                2_000 + b as u64,
+            );
+            server
+                .insert_points(layer, &batch)
+                .expect("insert under read");
+        }
+    });
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+    let warm_reads = reads.load(Ordering::Relaxed);
+    let warm_hits = obs::counter_value(Counter::ServeCacheHits) - h1;
+    let reads_per_s = warm_reads as f64 / t_ingest.as_secs_f64();
+    println!("\n| reads during sustained ingest (20 batches) | value |");
+    println!("|---|---|");
+    println!("| warm reads completed | {warm_reads} ({warm_hits} cache hits) |");
+    println!("| read throughput under writer | {reads_per_s:.0} tiles/s |");
+    println!("| ingest wall time | {} ms |", ms(t_ingest));
+    assert!(
+        warm_hits >= warm_reads,
+        "far viewport must never be invalidated by hotspot batches"
+    );
+    report::row(
+        "reads under ingest",
+        &[
+            ("reads_per_s", reads_per_s),
+            ("warm_reads", warm_reads as f64),
+        ],
+        msf(t_ingest),
     );
 }

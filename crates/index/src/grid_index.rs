@@ -6,6 +6,7 @@
 //! in near-constant time per result and is the strongest practical
 //! baseline among the surveyed index structures.
 
+use lsga_core::par::{par_map, Threads};
 use lsga_core::soa::count_within_span;
 use lsga_core::{BBox, Point};
 use lsga_obs::{self as obs, Counter};
@@ -114,6 +115,97 @@ impl GridIndex {
         }
     }
 
+    /// Merge segment indexes — all built over the **identical** bounding
+    /// box and cell size — into one index whose contents are exactly
+    /// what [`GridIndex::with_bbox`] would produce over the
+    /// concatenation of the segments' point sequences (in segment
+    /// order), entry permutation and coordinate columns included.
+    ///
+    /// The equivalence is structural, not numeric: the counting sort is
+    /// stable in input order, so in the monolithic build every cell's
+    /// entry run is the per-segment runs for that cell concatenated in
+    /// segment order — which is precisely how this merge fills each
+    /// cell. No point is re-bucketed and no float is recomputed, so the
+    /// merge is a pure integer/memcpy pass: `O(cells · k + Σ lens)` for
+    /// `k` segments, with the per-cell-row fill spread across the
+    /// `lsga_core::par` pool (output is a pure function of the inputs,
+    /// so the thread count cannot change a bit of it).
+    ///
+    /// Panics if `segments` is empty or the geometries differ.
+    pub fn merged_threads(segments: &[&GridIndex], threads: Threads) -> GridIndex {
+        let first = *segments.first().expect("merge of zero segments");
+        for s in &segments[1..] {
+            assert!(
+                same_geometry(first, s),
+                "segment grids must share bbox, cell size and dimensions"
+            );
+        }
+        let (nx, ny) = (first.nx, first.ny);
+        let ncells = nx * ny;
+
+        // Input-index base of each segment in the concatenated order.
+        let mut bases = Vec::with_capacity(segments.len());
+        let mut total = 0u32;
+        for s in segments {
+            bases.push(total);
+            total += s.len() as u32;
+        }
+
+        // CSR starts of the merged index: per-cell counts are the sums
+        // of the per-segment cell counts (an integer pass).
+        let mut starts = vec![0u32; ncells + 1];
+        for s in segments {
+            for c in 0..ncells {
+                starts[c + 1] += s.starts[c + 1] - s.starts[c];
+            }
+        }
+        for c in 1..=ncells {
+            starts[c] += starts[c - 1];
+        }
+
+        // Fill cell rows on the pool: each row's merged entries are a
+        // contiguous output run, so rows concatenate in order.
+        type Row = (Vec<u32>, Vec<f64>, Vec<f64>);
+        let rows: Vec<Row> = par_map(ny, 1, threads, |cy| {
+            let mut e = Vec::new();
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for cx in 0..nx {
+                let c = cy * nx + cx;
+                for (s, seg) in segments.iter().enumerate() {
+                    let (s0, s1) = (seg.starts[c] as usize, seg.starts[c + 1] as usize);
+                    e.extend(seg.entries[s0..s1].iter().map(|&i| i + bases[s]));
+                    xs.extend_from_slice(&seg.entry_xs[s0..s1]);
+                    ys.extend_from_slice(&seg.entry_ys[s0..s1]);
+                }
+            }
+            (e, xs, ys)
+        });
+        let mut entries = Vec::with_capacity(total as usize);
+        let mut entry_xs = Vec::with_capacity(total as usize);
+        let mut entry_ys = Vec::with_capacity(total as usize);
+        for (e, xs, ys) in rows {
+            entries.extend_from_slice(&e);
+            entry_xs.extend_from_slice(&xs);
+            entry_ys.extend_from_slice(&ys);
+        }
+        let mut points = Vec::with_capacity(total as usize);
+        for s in segments {
+            points.extend_from_slice(&s.points);
+        }
+        GridIndex {
+            bbox: first.bbox,
+            cell: first.cell,
+            nx,
+            ny,
+            starts,
+            entries,
+            points,
+            entry_xs,
+            entry_ys,
+        }
+    }
+
     /// Number of indexed points.
     #[inline]
     pub fn len(&self) -> usize {
@@ -130,6 +222,12 @@ impl GridIndex {
     #[inline]
     pub fn cell_size(&self) -> f64 {
         self.cell
+    }
+
+    /// The bounding box the grid was built over.
+    #[inline]
+    pub fn bbox(&self) -> BBox {
+        self.bbox
     }
 
     /// Grid dimensions `(nx, ny)` in cells.
@@ -285,6 +383,19 @@ impl GridIndex {
     }
 }
 
+/// True when two grids share the exact decomposition: same bounding box
+/// (bitwise — the cell mapping divides by these ordinates), same
+/// effective cell size, same dimensions.
+pub(crate) fn same_geometry(a: &GridIndex, b: &GridIndex) -> bool {
+    a.bbox.min_x.to_bits() == b.bbox.min_x.to_bits()
+        && a.bbox.min_y.to_bits() == b.bbox.min_y.to_bits()
+        && a.bbox.max_x.to_bits() == b.bbox.max_x.to_bits()
+        && a.bbox.max_y.to_bits() == b.bbox.max_y.to_bits()
+        && a.cell.to_bits() == b.cell.to_bits()
+        && a.nx == b.nx
+        && a.ny == b.ny
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,6 +493,53 @@ mod tests {
         let pts = vec![Point::new(1.0, 1.0); 20];
         let g = GridIndex::build(&pts, 1.0);
         assert_eq!(g.count_within(&Point::new(1.0, 1.0), 0.0), 20);
+    }
+
+    /// A CSR merge of consecutive segments must be indistinguishable —
+    /// entries, starts, coordinate columns, points, all of it — from
+    /// `with_bbox` over the concatenated point sequence. This is the
+    /// structural fact the segmented ingest path's bit-identity proof
+    /// rests on, so it is asserted exactly, at every thread count.
+    #[test]
+    fn merged_equals_monolithic_rebuild() {
+        let all = scatter(377);
+        let bbox = BBox::new(-30.0, -30.0, 30.0, 30.0);
+        for cell in [1.7, 6.0, 80.0] {
+            for splits in [vec![377], vec![1, 376], vec![120, 7, 0, 250]] {
+                let mut segs = Vec::new();
+                let mut off = 0;
+                for n in &splits {
+                    segs.push(GridIndex::with_bbox(&all[off..off + n], cell, bbox));
+                    off += n;
+                }
+                assert_eq!(off, all.len());
+                let refs: Vec<&GridIndex> = segs.iter().collect();
+                let mono = GridIndex::with_bbox(&all, cell, bbox);
+                for threads in [1usize, 4] {
+                    let merged = GridIndex::merged_threads(&refs, Threads::exact(threads));
+                    assert!(same_geometry(&mono, &merged));
+                    assert_eq!(merged.starts, mono.starts, "cell={cell} {splits:?}");
+                    assert_eq!(merged.entries, mono.entries, "cell={cell} {splits:?}");
+                    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&merged.entry_xs), bits(&mono.entry_xs));
+                    assert_eq!(bits(&merged.entry_ys), bits(&mono.entry_ys));
+                    assert_eq!(merged.points.len(), mono.points.len());
+                    for (a, b) in merged.points.iter().zip(&mono.points) {
+                        assert_eq!(a.x.to_bits(), b.x.to_bits());
+                        assert_eq!(a.y.to_bits(), b.y.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share bbox")]
+    fn merge_rejects_mismatched_geometry() {
+        let pts = scatter(10);
+        let a = GridIndex::with_bbox(&pts, 2.0, BBox::new(-30.0, -30.0, 30.0, 30.0));
+        let b = GridIndex::with_bbox(&pts, 3.0, BBox::new(-30.0, -30.0, 30.0, 30.0));
+        let _ = GridIndex::merged_threads(&[&a, &b], Threads::exact(1));
     }
 
     /// The entry-ordered coordinate columns must mirror the permutation,

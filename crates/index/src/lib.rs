@@ -25,9 +25,11 @@ pub mod grid_index;
 pub mod kd_tree;
 pub mod range_tree;
 pub mod rtree;
+pub mod segmented;
 
 pub use ball_tree::{BallNodeId, BallTree};
 pub use grid_index::GridIndex;
 pub use kd_tree::{KdNodeId, KdTree};
 pub use range_tree::RangeTree;
 pub use rtree::RTree;
+pub use segmented::SegmentedGrid;

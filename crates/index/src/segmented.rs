@@ -1,0 +1,202 @@
+//! A tiered stack of immutable [`GridIndex`] segments.
+//!
+//! The incremental ingest engine (`lsga-serve`) never rebuilds a
+//! layer's index on append. Instead every batch becomes its own small
+//! immutable segment — a [`GridIndex`] built over the *same* fixed
+//! window and cell size as every other segment of the layer — and the
+//! layer's logical index is the ordered stack of those segments, oldest
+//! first. Because all segments share one cell decomposition, any
+//! candidate cell of the monolithic index corresponds to the same cell
+//! in every segment, and the monolithic cell's entry run is exactly the
+//! per-segment runs concatenated in segment order (the counting sort is
+//! stable and batches append after all earlier points). A reader that
+//! folds each candidate cell segment-by-segment in stack order
+//! therefore reproduces the monolithic fold **bit for bit** — see
+//! `lsga_kdv::grid_pruned_kdv_segmented`.
+//!
+//! `SegmentedGrid` is that stack: a validated, immutable sequence of
+//! `Arc<GridIndex>` segments with identical geometry. It is cheap to
+//! clone structurally (the successor of an append shares every
+//! surviving segment `Arc`), and compaction replaces a contiguous
+//! suffix with its CSR merge ([`GridIndex::merged_threads`]) without
+//! disturbing the concatenated point order.
+
+use crate::grid_index::{same_geometry, GridIndex};
+use lsga_core::{BBox, Point};
+use std::sync::Arc;
+
+/// An ordered, geometry-validated stack of immutable index segments
+/// over one shared window. Oldest segment first; the logical point
+/// sequence is the concatenation of the segments' point sequences.
+#[derive(Debug, Clone)]
+pub struct SegmentedGrid {
+    segments: Vec<Arc<GridIndex>>,
+    total: usize,
+}
+
+impl SegmentedGrid {
+    /// Wrap an ordered segment stack. Panics if `segments` is empty or
+    /// any two segments disagree on bbox, cell size, or dimensions —
+    /// the shared decomposition is what makes the segment-major fold
+    /// bit-identical to the monolithic one, so it is enforced, not
+    /// assumed.
+    #[must_use]
+    pub fn from_segments(segments: Vec<Arc<GridIndex>>) -> Self {
+        let first = segments.first().expect("segment stack must be non-empty");
+        for s in &segments[1..] {
+            assert!(
+                same_geometry(first.as_ref(), s.as_ref()),
+                "segment grids must share bbox, cell size and dimensions"
+            );
+        }
+        let total = segments.iter().map(|s| s.len()).sum();
+        SegmentedGrid { segments, total }
+    }
+
+    /// A single-segment stack (the state of a freshly registered layer).
+    #[must_use]
+    pub fn single(index: GridIndex) -> Self {
+        Self::from_segments(vec![Arc::new(index)])
+    }
+
+    /// The segments, oldest first.
+    #[inline]
+    #[must_use]
+    pub fn segments(&self) -> &[Arc<GridIndex>] {
+        &self.segments
+    }
+
+    /// Stack depth (number of resident segments).
+    #[inline]
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total indexed points across all segments.
+    #[inline]
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// True when no segment holds any point.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The shared bounding box.
+    #[inline]
+    #[must_use]
+    pub fn bbox(&self) -> BBox {
+        self.segments[0].bbox()
+    }
+
+    /// The shared cell size.
+    #[inline]
+    #[must_use]
+    pub fn cell_size(&self) -> f64 {
+        self.segments[0].cell_size()
+    }
+
+    /// The shared grid dimensions `(nx, ny)` in cells.
+    #[inline]
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize) {
+        self.segments[0].dims()
+    }
+
+    /// The geometry carrier: any segment answers `cell_col_range` /
+    /// `cell_row_range` / `row_span` queries for the whole stack.
+    #[inline]
+    #[must_use]
+    pub fn geometry(&self) -> &GridIndex {
+        &self.segments[0]
+    }
+
+    /// The logical point sequence: every segment's points concatenated
+    /// in stack order — exactly the sequence a monolithic rebuild would
+    /// index. Allocates; meant for oracles, exports, and tests.
+    #[must_use]
+    pub fn collect_points(&self) -> Vec<Point> {
+        let mut out = Vec::with_capacity(self.total);
+        for s in &self.segments {
+            out.extend_from_slice(s.points());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::par::Threads;
+
+    fn scatter(n: usize, salt: u64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64 + salt as f64 * 0.37;
+                Point::new((f * 0.917).sin() * 25.0, (f * 0.613).cos() * 25.0)
+            })
+            .collect()
+    }
+
+    fn bbox() -> BBox {
+        BBox::new(-30.0, -30.0, 30.0, 30.0)
+    }
+
+    #[test]
+    fn stack_accounting_and_point_order() {
+        let a = scatter(40, 1);
+        let b = scatter(7, 2);
+        let g = SegmentedGrid::from_segments(vec![
+            Arc::new(GridIndex::with_bbox(&a, 5.0, bbox())),
+            Arc::new(GridIndex::with_bbox(&b, 5.0, bbox())),
+        ]);
+        assert_eq!(g.depth(), 2);
+        assert_eq!(g.total_len(), 47);
+        assert_eq!(g.dims(), g.segments()[1].dims());
+        let mut want = a.clone();
+        want.extend_from_slice(&b);
+        let got = g.collect_points();
+        assert_eq!(got.len(), want.len());
+        for (p, q) in got.iter().zip(&want) {
+            assert_eq!(p.x.to_bits(), q.x.to_bits());
+            assert_eq!(p.y.to_bits(), q.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn merged_suffix_preserves_logical_sequence() {
+        let a = scatter(30, 3);
+        let b = scatter(9, 4);
+        let c = scatter(5, 5);
+        let segs = vec![
+            Arc::new(GridIndex::with_bbox(&a, 4.0, bbox())),
+            Arc::new(GridIndex::with_bbox(&b, 4.0, bbox())),
+            Arc::new(GridIndex::with_bbox(&c, 4.0, bbox())),
+        ];
+        let flat = SegmentedGrid::from_segments(segs.clone()).collect_points();
+        let tail = GridIndex::merged_threads(&[&segs[1], &segs[2]], Threads::exact(1));
+        let compacted = SegmentedGrid::from_segments(vec![Arc::clone(&segs[0]), Arc::new(tail)]);
+        assert_eq!(compacted.depth(), 2);
+        let flat2 = compacted.collect_points();
+        assert_eq!(flat.len(), flat2.len());
+        for (p, q) in flat.iter().zip(&flat2) {
+            assert_eq!(p.x.to_bits(), q.x.to_bits());
+            assert_eq!(p.y.to_bits(), q.y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share bbox")]
+    fn rejects_mismatched_segment_geometry() {
+        let pts = scatter(10, 0);
+        let _ = SegmentedGrid::from_segments(vec![
+            Arc::new(GridIndex::with_bbox(&pts, 2.0, bbox())),
+            Arc::new(GridIndex::with_bbox(&pts, 9.0, bbox())),
+        ]);
+    }
+}

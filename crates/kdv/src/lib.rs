@@ -54,7 +54,9 @@ pub use adaptive::{adaptive_bandwidths, adaptive_kdv};
 pub use binned::{binned_gaussian_kdv, binned_gaussian_kdv_threads};
 pub use bounds::BoundsKdv;
 pub use equal_split::nkdv_equal_split;
-pub use naive::{grid_pruned_kdv, grid_pruned_kdv_with_index, naive_kdv};
+pub use naive::{
+    grid_pruned_kdv, grid_pruned_kdv_segmented, grid_pruned_kdv_with_index, naive_kdv,
+};
 pub use nkdv::{nkdv_forward, nkdv_naive, NetworkDensity};
 pub use parallel::{parallel_kdv, parallel_kdv_threads};
 pub use safe::{independent_multi_bandwidth, safe_multi_bandwidth};

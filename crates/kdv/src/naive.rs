@@ -9,7 +9,7 @@
 
 use lsga_core::soa::{accumulate_density_row, PointsSoA};
 use lsga_core::{DensityGrid, GridSpec, Kernel, Point};
-use lsga_index::GridIndex;
+use lsga_index::{GridIndex, SegmentedGrid};
 use lsga_obs::{self as obs, Counter};
 
 /// Pixel-centre abscissae of a raster row, shared by every row sweep.
@@ -66,20 +66,49 @@ pub(crate) fn pruned_kdv_row<K: Kernel>(
     qy: f64,
     row: &mut [f64],
 ) {
+    pruned_kdv_row_multi(&[index], kernel, radius, cutoff_r2, qxs, qy, row);
+}
+
+/// The multi-segment generalization of [`pruned_kdv_row`]: the point
+/// set is an ordered stack of segment indexes sharing one cell
+/// decomposition, and each candidate cell is folded **segment-minor** —
+/// oldest segment's entries first, then the next segment's, and so on.
+///
+/// That order is not a convention, it is the bit-identity proof: the
+/// monolithic index over the concatenated point sequence buckets each
+/// cell's entries in input order (stable counting sort), which *is*
+/// segment order followed by within-segment entry order. The SoA
+/// microkernel is a strict per-pixel left-fold with the accumulator
+/// carried in `row`, so folding a cell's span as k back-to-back segment
+/// spans produces the same bits as one monolithic span. Hence a single
+/// segment reproduces [`pruned_kdv_row`] exactly, and k segments
+/// reproduce the monolithic rebuild exactly.
+///
+/// Work accounting also matches the monolithic sweep: pair counts sum
+/// to the same total, and a cell counts as pruned iff it serves no
+/// pixel or is empty in *every* segment.
+pub(crate) fn pruned_kdv_row_multi<K: Kernel>(
+    segments: &[&GridIndex],
+    kernel: &K,
+    radius: f64,
+    cutoff_r2: f64,
+    qxs: &[f64],
+    qy: f64,
+    row: &mut [f64],
+) {
     let nx = qxs.len();
     if nx == 0 {
         return;
     }
-    let (cy0, cy1) = index.cell_row_range(qy - radius, qy + radius);
+    let geom = segments[0];
+    let (cy0, cy1) = geom.cell_row_range(qy - radius, qy + radius);
     let mut cx0s = Vec::with_capacity(nx);
     let mut cx1s = Vec::with_capacity(nx);
     for qx in qxs {
-        let (c0, c1) = index.cell_col_range(qx - radius, qx + radius);
+        let (c0, c1) = geom.cell_col_range(qx - radius, qx + radius);
         cx0s.push(c0);
         cx1s.push(c1);
     }
-    let exs = index.entry_xs();
-    let eys = index.entry_ys();
     let mut pairs: u64 = 0;
     let mut pruned: u64 = 0;
     for cy in cy0..=cy1 {
@@ -91,21 +120,27 @@ pub(crate) fn pruned_kdv_row<K: Kernel>(
                 pruned += 1;
                 continue;
             }
-            let span = index.row_span(cy, cx, cx);
-            if span.is_empty() {
-                pruned += 1;
-                continue;
+            let mut occupied = false;
+            for seg in segments {
+                let span = seg.row_span(cy, cx, cx);
+                if span.is_empty() {
+                    continue;
+                }
+                occupied = true;
+                pairs += ((hi - lo) * span.len()) as u64;
+                accumulate_density_row(
+                    kernel,
+                    cutoff_r2,
+                    &qxs[lo..hi],
+                    qy,
+                    &seg.entry_xs()[span.clone()],
+                    &seg.entry_ys()[span],
+                    &mut row[lo..hi],
+                );
             }
-            pairs += ((hi - lo) * span.len()) as u64;
-            accumulate_density_row(
-                kernel,
-                cutoff_r2,
-                &qxs[lo..hi],
-                qy,
-                &exs[span.clone()],
-                &eys[span],
-                &mut row[lo..hi],
-            );
+            if !occupied {
+                pruned += 1;
+            }
         }
     }
     obs::add(Counter::KdvPairs, pairs);
@@ -170,6 +205,38 @@ pub fn grid_pruned_kdv_with_index<K: Kernel>(
     for iy in 0..spec.ny {
         let qy = spec.row_y(iy);
         pruned_kdv_row(index, &kernel, radius, cutoff, &qxs, qy, grid.row_mut(iy));
+    }
+    grid
+}
+
+/// Grid-pruned exact KDV over a tiered segment stack — the entry point
+/// the incremental ingest engine serves tiles through.
+///
+/// Numerically this **is** [`grid_pruned_kdv_with_index`] over the
+/// monolithic index of the stack's concatenated point sequence, bit for
+/// bit: all segments share one cell decomposition, each candidate cell
+/// is folded oldest-segment-first (matching the stable counting sort's
+/// within-cell input order), and the SoA microkernel's per-pixel fold
+/// is a strict left-fold — see [`pruned_kdv_row_multi`]. The caller
+/// never pays the monolithic rebuild, only the fold.
+pub fn grid_pruned_kdv_segmented<K: Kernel>(
+    segments: &SegmentedGrid,
+    spec: GridSpec,
+    kernel: K,
+    tail_eps: f64,
+) -> DensityGrid {
+    let _span = obs::span("kdv.grid_pruned");
+    let mut grid = DensityGrid::zeros(spec);
+    if segments.is_empty() {
+        return grid;
+    }
+    let radius = kernel.effective_radius(tail_eps);
+    let cutoff = (radius * radius).min(kernel.support_sq());
+    let qxs = pixel_xs(&spec);
+    let refs: Vec<&GridIndex> = segments.segments().iter().map(|s| s.as_ref()).collect();
+    for iy in 0..spec.ny {
+        let qy = spec.row_y(iy);
+        pruned_kdv_row_multi(&refs, &kernel, radius, cutoff, &qxs, qy, grid.row_mut(iy));
     }
     grid
 }
@@ -249,6 +316,62 @@ mod tests {
         // Error bounded by n · tail_eps · K(0).
         let bound = pts.len() as f64 * tail * 1.0;
         assert!(exact.linf_diff(&pruned) <= bound + 1e-12);
+    }
+
+    /// The segmented fold must be bit-identical to the monolithic
+    /// rebuild for every way of slicing the point sequence into
+    /// consecutive batches — including empty batches and a pre-merged
+    /// (compacted) suffix. This is the serving layer's headline
+    /// invariant, pinned at the kdv layer where it is proven.
+    #[test]
+    fn segmented_fold_bit_identical_to_monolithic() {
+        use lsga_core::par::Threads;
+        use lsga_index::SegmentedGrid;
+        use std::sync::Arc;
+
+        let all = scatter(400);
+        let window = BBox::new(0.0, 0.0, 100.0, 100.0);
+        for kind in [KernelKind::Quartic, KernelKind::Gaussian] {
+            for b in [4.0, 18.0] {
+                let k = kind.with_bandwidth(b);
+                let tail = 1e-7;
+                let radius = k.effective_radius(tail).max(1e-12);
+                let mono = GridIndex::with_bbox(&all, radius, window);
+                let want = grid_pruned_kdv_with_index(&mono, spec(), k, tail);
+                for splits in [vec![400], vec![1, 399], vec![130, 0, 200, 70]] {
+                    let mut segs = Vec::new();
+                    let mut off = 0;
+                    for n in &splits {
+                        segs.push(Arc::new(GridIndex::with_bbox(
+                            &all[off..off + n],
+                            radius,
+                            window,
+                        )));
+                        off += n;
+                    }
+                    let stack = SegmentedGrid::from_segments(segs.clone());
+                    let got = grid_pruned_kdv_segmented(&stack, spec(), k, tail);
+                    for (a, w) in got.values().iter().zip(want.values()) {
+                        assert_eq!(a.to_bits(), w.to_bits(), "{kind:?} b={b} {splits:?}");
+                    }
+                    // A compacted suffix (CSR merge of the newest
+                    // segments) must not move a bit either.
+                    if segs.len() >= 2 {
+                        let tail_refs: Vec<&GridIndex> =
+                            segs[1..].iter().map(|s| s.as_ref()).collect();
+                        let merged = GridIndex::merged_threads(&tail_refs, Threads::exact(2));
+                        let compacted = SegmentedGrid::from_segments(vec![
+                            Arc::clone(&segs[0]),
+                            Arc::new(merged),
+                        ]);
+                        let got = grid_pruned_kdv_segmented(&compacted, spec(), k, tail);
+                        for (a, w) in got.values().iter().zip(want.values()) {
+                            assert_eq!(a.to_bits(), w.to_bits(), "compacted {kind:?} b={b}");
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

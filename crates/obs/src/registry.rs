@@ -71,11 +71,22 @@ pub enum Counter {
     /// Computed tiles discarded instead of cached because the layer
     /// changed while they were being computed.
     ServeStaleDiscards,
+    /// Append segments built by the ingest path — exactly one per
+    /// `insert_points` batch, however many CAS retries it takes (the
+    /// segment is re-stamped, never rebuilt, on a generation conflict).
+    IngestSegmentsCreated,
+    /// Segments consumed by tier compactions (a k-way merge counts k).
+    IngestSegmentsMerged,
+    /// Bytes of segment payload (points + entry permutation + the
+    /// entry-ordered coordinate columns) rewritten by tier compactions.
+    IngestMergeBytes,
+    /// Points appended across all `insert_points` batches.
+    IngestPointsAppended,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 25] = [
         Counter::KdvPairs,
         Counter::KdvCellsPruned,
         Counter::KfuncPairs,
@@ -97,6 +108,10 @@ impl Counter {
         Counter::ServeTilesEvicted,
         Counter::ServeTilesInvalidated,
         Counter::ServeStaleDiscards,
+        Counter::IngestSegmentsCreated,
+        Counter::IngestSegmentsMerged,
+        Counter::IngestMergeBytes,
+        Counter::IngestPointsAppended,
     ];
 
     /// Stable dotted name used by every exporter.
@@ -123,6 +138,10 @@ impl Counter {
             Counter::ServeTilesEvicted => "serve.tiles_evicted",
             Counter::ServeTilesInvalidated => "serve.tiles_invalidated",
             Counter::ServeStaleDiscards => "serve.stale_discards",
+            Counter::IngestSegmentsCreated => "ingest.segments_created",
+            Counter::IngestSegmentsMerged => "ingest.segments_merged",
+            Counter::IngestMergeBytes => "ingest.merge_bytes",
+            Counter::IngestPointsAppended => "ingest.points_appended",
         }
     }
 }
@@ -165,15 +184,19 @@ pub enum Hist {
     DistTileAttempts,
     /// Unique tiles per batched multi-tile request, after dedup.
     ServeBatchUniqueTiles,
+    /// Layer segment-stack depth observed after each committed append
+    /// (the tier invariant keeps this logarithmic in layer size).
+    IngestSegmentCount,
 }
 
 impl Hist {
     /// Every histogram, in export order.
-    pub const ALL: [Hist; 4] = [
+    pub const ALL: [Hist; 5] = [
         Hist::KrigingSystemSize,
         Hist::DbscanNeighborsPerQuery,
         Hist::DistTileAttempts,
         Hist::ServeBatchUniqueTiles,
+        Hist::IngestSegmentCount,
     ];
 
     /// Stable dotted name used by every exporter.
@@ -183,6 +206,7 @@ impl Hist {
             Hist::DbscanNeighborsPerQuery => "stats.dbscan_neighbors_per_query",
             Hist::DistTileAttempts => "dist.tile_attempts",
             Hist::ServeBatchUniqueTiles => "serve.batch_unique_tiles",
+            Hist::IngestSegmentCount => "ingest.segment_count",
         }
     }
 }

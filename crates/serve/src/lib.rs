@@ -30,6 +30,7 @@
 
 pub mod cache;
 pub mod flight;
+pub(crate) mod segment;
 pub mod server;
 pub mod tile;
 

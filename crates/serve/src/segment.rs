@@ -1,0 +1,187 @@
+//! Size-tiered compaction for a layer's segment stack.
+//!
+//! Every `insert_points` batch becomes one immutable [`GridIndex`]
+//! segment pushed on the layer's stack. Left alone, a sustained ingest
+//! of small batches would grow an unbounded stack and every read would
+//! pay a per-segment fold overhead per candidate cell. Compaction keeps
+//! the stack logarithmic: after each push, the newest run absorbs every
+//! older neighbour that is no longer at least [`TIER_GROWTH`]× larger
+//! than everything newer than it, and the absorbed suffix is rewritten
+//! as one CSR merge ([`GridIndex::merged_threads`] — a pure
+//! integer/memcpy pass that never recomputes a float, so compaction
+//! cannot move a served bit).
+//!
+//! # Tier policy and amortized cost
+//!
+//! Scanning from the top of the stack with `total` = points newer than
+//! the candidate, a segment of length `L` is absorbed iff
+//! `L <= TIER_GROWTH · total`. The surviving stack therefore always
+//! satisfies `len(seg[i]) > TIER_GROWTH · Σ len(seg[i+1..])`, which
+//! bounds the depth by `log_{1+TIER_GROWTH}(n) + O(1)` — with
+//! `TIER_GROWTH = 2`, under 12 segments at a hundred million points.
+//! Whenever a run is rewritten, the merge that produced it grew it by
+//! at least a `(1 + 1/TIER_GROWTH)` factor over its largest input, so
+//! each point is copied O(log n) times over its lifetime: amortized
+//! O(log n) per appended point, versus the O(n) full rebuild the
+//! monolithic snapshot paid on *every* batch.
+
+use lsga_core::par::Threads;
+use lsga_index::GridIndex;
+use lsga_obs as obs;
+use std::sync::Arc;
+
+/// A resident segment must be more than `TIER_GROWTH`× the total size
+/// of everything newer, or it is absorbed by the next compaction. A
+/// const rather than a config knob: the geometric invariant is what the
+/// depth bound and the amortized-cost argument are proved against.
+pub(crate) const TIER_GROWTH: usize = 2;
+
+/// Bytes rewritten per merged point: the `Point` itself (16 B) plus the
+/// CSR entry it becomes — two coordinate columns (16 B) and a `u32`
+/// id (4 B).
+const MERGE_BYTES_PER_POINT: usize = 36;
+
+/// What one [`compact_tiers`] call rewrote (all zeros when the tier
+/// invariant already held and no merge ran).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct MergeStats {
+    /// Segments absorbed into the merged run (0 or ≥ 2).
+    pub merged_segments: usize,
+    /// Points living in those segments.
+    pub merged_points: usize,
+}
+
+impl MergeStats {
+    /// Bytes the merge rewrote, for the `ingest.merge_bytes` counter.
+    pub fn merged_bytes(&self) -> usize {
+        self.merged_points * MERGE_BYTES_PER_POINT
+    }
+}
+
+/// Restore the tier invariant after a push: find the longest suffix
+/// whose older members each fail the `TIER_GROWTH`× rule against the
+/// accumulated newer total, and replace it with its CSR merge. At most
+/// one merge per call — the merged run is at least `1 + 1/TIER_GROWTH`
+/// times its largest input, so the invariant holds below it too.
+///
+/// Pure stack transformation: the concatenated point sequence (and so
+/// every served bit) is unchanged. Runs on the caller's `par` pool.
+pub(crate) fn compact_tiers(segments: &mut Vec<Arc<GridIndex>>, threads: Threads) -> MergeStats {
+    let k = segments.len();
+    if k < 2 {
+        return MergeStats::default();
+    }
+    let mut j = k - 1;
+    let mut total = segments[j].len();
+    while j > 0 && segments[j - 1].len() <= TIER_GROWTH * total {
+        total += segments[j - 1].len();
+        j -= 1;
+    }
+    if j == k - 1 {
+        return MergeStats::default();
+    }
+    let _span = obs::span("ingest.compact");
+    let refs: Vec<&GridIndex> = segments[j..].iter().map(|s| s.as_ref()).collect();
+    let merged = GridIndex::merged_threads(&refs, threads);
+    let stats = MergeStats {
+        merged_segments: k - j,
+        merged_points: total,
+    };
+    segments.truncate(j);
+    segments.push(Arc::new(merged));
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::{BBox, Point};
+
+    fn bbox() -> BBox {
+        BBox::new(0.0, 0.0, 100.0, 100.0)
+    }
+
+    fn seg(n: usize, salt: u64) -> Arc<GridIndex> {
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let f = i as f64 + salt as f64 * 0.77;
+                Point::new(
+                    50.0 + (f * 0.831).sin() * 45.0,
+                    50.0 + (f * 0.557).cos() * 45.0,
+                )
+            })
+            .collect();
+        Arc::new(GridIndex::with_bbox(&pts, 8.0, bbox()))
+    }
+
+    fn lens(segments: &[Arc<GridIndex>]) -> Vec<usize> {
+        segments.iter().map(|s| s.len()).collect()
+    }
+
+    #[test]
+    fn no_merge_when_tier_invariant_holds() {
+        let mut stack = vec![seg(64, 0), seg(20, 1), seg(6, 2)];
+        let stats = compact_tiers(&mut stack, Threads::exact(1));
+        assert_eq!(stats.merged_segments, 0);
+        assert_eq!(lens(&stack), vec![64, 20, 6]);
+    }
+
+    #[test]
+    fn small_suffix_is_absorbed_in_one_merge() {
+        // 6 <= 2·5 and 20 <= 2·(6+5): both absorbed; 64 > 2·31 survives.
+        let mut stack = vec![seg(64, 0), seg(20, 1), seg(6, 2), seg(5, 3)];
+        let stats = compact_tiers(&mut stack, Threads::exact(2));
+        assert_eq!(stats.merged_segments, 3);
+        assert_eq!(stats.merged_points, 31);
+        assert_eq!(stats.merged_bytes(), 31 * 36);
+        assert_eq!(lens(&stack), vec![64, 31]);
+    }
+
+    #[test]
+    fn equal_sizes_collapse_fully() {
+        let mut stack = vec![seg(8, 0), seg(8, 1)];
+        let stats = compact_tiers(&mut stack, Threads::exact(1));
+        assert_eq!(stats.merged_segments, 2);
+        assert_eq!(lens(&stack), vec![16]);
+    }
+
+    #[test]
+    fn merge_preserves_concatenated_point_order() {
+        let mut stack = vec![seg(16, 4), seg(9, 5), seg(7, 6)];
+        let mut want: Vec<Point> = Vec::new();
+        for s in &stack {
+            want.extend_from_slice(s.points());
+        }
+        compact_tiers(&mut stack, Threads::exact(2));
+        let mut got: Vec<Point> = Vec::new();
+        for s in &stack {
+            got.extend_from_slice(s.points());
+        }
+        assert_eq!(got.len(), want.len());
+        for (p, q) in got.iter().zip(&want) {
+            assert_eq!(p.x.to_bits(), q.x.to_bits());
+            assert_eq!(p.y.to_bits(), q.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn sustained_unit_batches_stay_logarithmic() {
+        let mut stack: Vec<Arc<GridIndex>> = Vec::new();
+        for i in 0..256 {
+            stack.push(seg(1, 100 + i));
+            compact_tiers(&mut stack, Threads::exact(1));
+            let n: usize = stack.iter().map(|s| s.len()).sum();
+            assert!(
+                stack.len() <= (n as f64).log2() as usize + 2,
+                "depth {} too deep for {} points",
+                stack.len(),
+                n
+            );
+        }
+        // Tier invariant: every segment outweighs everything newer 2×.
+        for j in 1..stack.len() {
+            let newer: usize = stack[j..].iter().map(|s| s.len()).sum();
+            assert!(stack[j - 1].len() > TIER_GROWTH * newer);
+        }
+    }
+}

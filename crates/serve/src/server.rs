@@ -37,6 +37,16 @@
 //! captures its layer snapshot (an `Arc` — inserts swap the slot, they
 //! never mutate) and computes against it.
 //!
+//! `layers` is an `RwLock`: the hot read path (every snapshot capture
+//! and every leader commit) takes it shared, so concurrent requests —
+//! including commits for *different* tiles — never serialize on the
+//! layer table; single-flight already guarantees at most one leader
+//! per key, so two shared-mode commits can never race on the same
+//! cache entry. Only `add_layer` and the `insert_points` swap+sweep
+//! take it exclusively, which preserves the atomic-commit argument
+//! below verbatim: an exclusive swap still cannot interleave with any
+//! shared commit's generation re-check.
+//!
 //! The leader **commit** is one atomic step under the layers lock:
 //! re-check the layer generation, insert into the cache, and retire
 //! the flight. Because `insert_points` swaps the snapshot and sweeps
@@ -61,23 +71,42 @@
 //! [`LsgaError::Panicked`] — so waiters can never be left parked on an
 //! abandoned flight.
 //!
-//! `insert_points` builds the successor snapshot (point clone + index
-//! rebuild, O(n)) *outside* the layers lock and swaps it in only if
-//! the generation is still the one it read; concurrent inserts retry
-//! on top of the winner. The critical section is just the swap and the
-//! invalidation sweep.
+//! # Ingest: the tiered segment stack
+//!
+//! A layer's index is not one monolithic `GridIndex` but a
+//! [`SegmentedGrid`] — an ordered stack of immutable segments sharing
+//! the layer's fixed cell decomposition. `insert_points` indexes only
+//! its own batch (an O(batch) counting sort), pushes it as a new
+//! segment, and lets size-tiered compaction ([`crate::segment`]) keep
+//! the stack logarithmic — so a batch append is amortized
+//! O(batch · log n) instead of the O(n) clone-and-rebuild the previous
+//! design paid. Reads fold each candidate cell segment-by-segment in
+//! stack order, which reproduces the monolithic fold bit for bit (the
+//! proof lives on [`SegmentedGrid`] and
+//! [`lsga_kdv::grid_pruned_kdv_segmented`]); compaction is a pure CSR
+//! merge that never recomputes a float, so no served bit ever depends
+//! on how far compaction has progressed.
+//!
+//! The successor stack (shared `Arc`s + the one new segment, plus any
+//! compaction merge) is assembled *outside* the layers lock and
+//! swapped in only if the generation is still the one it was built
+//! against; concurrent inserts retry on top of the winner,
+//! **re-stamping the same already-built batch segment** rather than
+//! re-indexing anything. The exclusive critical section is just the
+//! swap and the invalidation sweep.
 
 use crate::cache::ShardedTileCache;
 use crate::flight::{Flight, FlightTable};
+use crate::segment::compact_tiers;
 use crate::tile::{tile_bbox, tile_spec, LayerId, Tile, TileCoord, TileKey};
 use lsga_core::error::{LsgaError, Result};
 use lsga_core::par::{par_map, Threads};
 use lsga_core::{AnyKernel, BBox, DensityGrid, GridSpec, Kernel, Point};
-use lsga_index::GridIndex;
-use lsga_kdv::grid_pruned_kdv_with_index;
+use lsga_index::{GridIndex, SegmentedGrid};
+use lsga_kdv::{grid_pruned_kdv_segmented, grid_pruned_kdv_with_index};
 use lsga_obs::{self as obs, Counter, Hist};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Server-wide knobs. The defaults suit a city-scale layer on a
 /// workstation; tests shrink the budget to force eviction.
@@ -109,7 +138,9 @@ impl Default for TileServerConfig {
 
 /// Immutable view of a layer at one generation. `insert_points`
 /// replaces the whole snapshot; readers clone the `Arc` and compute
-/// lock-free against a consistent point set + index.
+/// lock-free against a consistent segment stack. Successive snapshots
+/// share every surviving segment `Arc`, so a swap is O(depth) — the
+/// layer's point data is never cloned.
 struct LayerSnapshot {
     window: BBox,
     kernel: AnyKernel,
@@ -117,29 +148,23 @@ struct LayerSnapshot {
     /// Kernel effective radius at `tail_eps` — the invalidation
     /// inflation margin and the index cell size.
     radius: f64,
-    points: Vec<Point>,
-    index: GridIndex,
+    segments: SegmentedGrid,
     generation: u64,
 }
 
 impl LayerSnapshot {
-    fn build(
-        window: BBox,
-        kernel: AnyKernel,
-        tail_eps: f64,
-        points: Vec<Point>,
-        generation: u64,
-    ) -> Self {
+    /// Generation-zero snapshot: the registration points become the
+    /// stack's base segment.
+    fn seed(window: BBox, kernel: AnyKernel, tail_eps: f64, points: &[Point]) -> Self {
         let radius = kernel.effective_radius(tail_eps);
-        let index = GridIndex::with_bbox(&points, radius.max(1e-12), window);
+        let index = GridIndex::with_bbox(points, radius.max(1e-12), window);
         LayerSnapshot {
             window,
             kernel,
             tail_eps,
             radius,
-            points,
-            index,
-            generation,
+            segments: SegmentedGrid::single(index),
+            generation: 0,
         }
     }
 }
@@ -148,6 +173,13 @@ impl LayerSnapshot {
 /// computing — lets tests pin request interleavings (e.g. hold the
 /// leader until all coalescing waiters have parked).
 type ComputeHook = Arc<dyn Fn(TileKey) + Send + Sync>;
+
+/// Hook invoked by `insert_points` after the batch segment is built
+/// but before the first commit attempt, with `(layer, batch_len)` —
+/// lets tests pin writer/writer and writer/reader interleavings (e.g.
+/// park one writer so another steals its generation and forces the
+/// CAS re-stamp path).
+type InsertHook = Arc<dyn Fn(LayerId, usize) + Send + Sync>;
 
 /// In-memory analytic tile server over KDV layers.
 ///
@@ -170,10 +202,11 @@ type ComputeHook = Arc<dyn Fn(TileKey) + Send + Sync>;
 /// ```
 pub struct TileServer {
     cfg: TileServerConfig,
-    layers: Mutex<Vec<Arc<LayerSnapshot>>>,
+    layers: RwLock<Vec<Arc<LayerSnapshot>>>,
     cache: ShardedTileCache,
     flights: FlightTable,
     compute_hook: Mutex<Option<ComputeHook>>,
+    insert_hook: Mutex<Option<InsertHook>>,
 }
 
 impl TileServer {
@@ -183,10 +216,11 @@ impl TileServer {
         let cache = ShardedTileCache::new(cfg.shards, cfg.byte_budget);
         TileServer {
             cfg,
-            layers: Mutex::new(Vec::new()),
+            layers: RwLock::new(Vec::new()),
             cache,
             flights: FlightTable::new(),
             compute_hook: Mutex::new(None),
+            insert_hook: Mutex::new(None),
         }
     }
 
@@ -221,14 +255,14 @@ impl TileServer {
             });
         }
         validate_in_window(&points, &window)?;
-        let snap = LayerSnapshot::build(window, kernel, tail_eps, points, 0);
-        let mut layers = self.layers.lock().expect("layers poisoned");
+        let snap = LayerSnapshot::seed(window, kernel, tail_eps, &points);
+        let mut layers = self.layers.write().expect("layers poisoned");
         layers.push(Arc::new(snap));
         Ok(layers.len() - 1)
     }
 
     fn snapshot(&self, layer: LayerId) -> Result<Arc<LayerSnapshot>> {
-        let layers = self.layers.lock().expect("layers poisoned");
+        let layers = self.layers.read().expect("layers poisoned");
         layers
             .get(layer)
             .cloned()
@@ -337,18 +371,27 @@ impl TileServer {
                 let spec = tile_spec(&snap.window, self.cfg.tile_px, key.coord);
                 Arc::new(Tile {
                     key,
-                    grid: grid_pruned_kdv_with_index(&snap.index, spec, snap.kernel, snap.tail_eps),
+                    grid: grid_pruned_kdv_segmented(
+                        &snap.segments,
+                        spec,
+                        snap.kernel,
+                        snap.tail_eps,
+                    ),
                 })
             };
             // Commit: generation re-check, cache insert, and flight
-            // retirement form one atomic step under the layers lock,
-            // serialized against `insert_points`' swap+invalidate. A
-            // request arriving after this point finds the tile in the
-            // cache or leads a fresh flight — it can no longer join
-            // this one, so no insert completing after the commit can
-            // make these bits stale for anyone who receives them.
+            // retirement form one atomic step against `insert_points`'
+            // swap+invalidate, which holds the lock exclusively. Shared
+            // mode suffices here: the only writer this must not
+            // interleave with is the exclusive swap, and same-key
+            // commits cannot coexist (single-flight — this thread is
+            // the key's only leader). A request arriving after this
+            // point finds the tile in the cache or leads a fresh
+            // flight — it can no longer join this one, so no insert
+            // completing after the commit can make these bits stale
+            // for anyone who receives them.
             {
-                let layers = self.layers.lock().expect("layers poisoned");
+                let layers = self.layers.read().expect("layers poisoned");
                 if layers[key.layer].generation == snap.generation {
                     self.cache.insert(key, Arc::clone(&tile));
                     self.flights.complete(&key);
@@ -400,43 +443,73 @@ impl TileServer {
     /// Append points to a layer, dirtying exactly the cached tiles
     /// whose kernel-inflated bboxes the new data touches.
     ///
-    /// The O(n) work — cloning the point sequence and rebuilding the
-    /// index — happens *outside* the layers lock, so concurrent
-    /// snapshots (every cold get) and leader commits are never blocked
-    /// behind it. The critical section is only the generation check,
-    /// the snapshot swap, and the invalidation sweep; if another
-    /// insert won the race in the meantime, the build retries on top
-    /// of the winner's snapshot so both batches land.
+    /// The batch is indexed **once**, into its own immutable segment —
+    /// an O(batch) counting sort over the layer's fixed decomposition,
+    /// never an O(n) rebuild. The successor stack (shared `Arc`s + the
+    /// new segment, tier-compacted) is assembled outside the layers
+    /// lock, so concurrent snapshots (every cold get) and leader
+    /// commits are never blocked behind ingest work. The exclusive
+    /// critical section is only the generation check, the snapshot
+    /// swap, and the invalidation sweep. If another insert won the
+    /// race in the meantime, the retry re-stamps the *same* segment
+    /// onto the winner's stack — compaction work against the stale
+    /// stack is discarded, the batch index is not.
     pub fn insert_points(&self, layer: LayerId, points: &[Point]) -> Result<()> {
         if points.is_empty() {
             return Err(LsgaError::EmptyDataset("insert_points batch"));
         }
-        loop {
-            let old = self.snapshot(layer)?;
-            validate_in_window(points, &old.window)?;
+        let _span = obs::span("ingest.append");
+        let mut old = self.snapshot(layer)?;
+        validate_in_window(points, &old.window)?;
 
-            let mut all = old.points.clone();
-            all.extend_from_slice(points);
-            let next = LayerSnapshot::build(
-                old.window,
-                old.kernel,
-                old.tail_eps,
-                all,
-                old.generation + 1,
-            );
+        // The one and only index build for this batch. Window, kernel,
+        // and tail_eps are fixed at registration, so the segment's
+        // geometry is valid for every future generation too.
+        let segment = Arc::new(GridIndex::with_bbox(
+            points,
+            old.radius.max(1e-12),
+            old.window,
+        ));
+        obs::incr(Counter::IngestSegmentsCreated);
+        obs::add(Counter::IngestPointsAppended, points.len() as u64);
+
+        let hook = self
+            .insert_hook
+            .lock()
+            .expect("hook poisoned")
+            .as_ref()
+            .map(Arc::clone);
+        if let Some(hook) = hook {
+            hook(layer, points.len());
+        }
+
+        loop {
+            let mut segs: Vec<Arc<GridIndex>> = old.segments.segments().to_vec();
+            segs.push(Arc::clone(&segment));
+            let stats = compact_tiers(&mut segs, self.cfg.threads);
+            let next = LayerSnapshot {
+                window: old.window,
+                kernel: old.kernel,
+                tail_eps: old.tail_eps,
+                radius: old.radius,
+                segments: SegmentedGrid::from_segments(segs),
+                generation: old.generation + 1,
+            };
             let radius = next.radius;
             let window = next.window;
+            let depth = next.segments.depth();
 
-            let mut layers = self.layers.lock().expect("layers poisoned");
+            let mut layers = self.layers.write().expect("layers poisoned");
             if layers[layer].generation != old.generation {
                 drop(layers);
+                old = self.snapshot(layer)?;
                 continue;
             }
             layers[layer] = Arc::new(next);
 
-            // Still under the layers lock (order: layers → shard):
-            // dirty exactly the tiles within kernel reach of the new
-            // data, atomically with the swap (see module docs).
+            // Still under the exclusive layers lock (order: layers →
+            // shard): dirty exactly the tiles within kernel reach of
+            // the new data, atomically with the swap (see module docs).
             let dirty = BBox::of_points(points).inflate(radius);
             let dropped = self
                 .cache
@@ -444,8 +517,22 @@ impl TileServer {
             if dropped > 0 {
                 obs::add(Counter::ServeTilesInvalidated, dropped);
             }
+            // Merge accounting is recorded only for the committed
+            // attempt, so the ingest tables are a deterministic
+            // function of the committed batch sequence.
+            if stats.merged_segments > 0 {
+                obs::add(Counter::IngestSegmentsMerged, stats.merged_segments as u64);
+                obs::add(Counter::IngestMergeBytes, stats.merged_bytes() as u64);
+            }
+            obs::record(Hist::IngestSegmentCount, depth as u64);
             return Ok(());
         }
+    }
+
+    /// Resident segment count of a layer's index stack — bounded by
+    /// `log_3 n + O(1)` under the tier policy (see [`crate::segment`]).
+    pub fn segment_count(&self, layer: LayerId) -> Result<usize> {
+        Ok(self.snapshot(layer)?.segments.depth())
     }
 
     /// Drop every cached tile (counts as eviction).
@@ -472,6 +559,12 @@ impl TileServer {
     /// [`ComputeHook`].
     pub fn set_compute_hook(&self, hook: Option<Arc<dyn Fn(TileKey) + Send + Sync>>) {
         *self.compute_hook.lock().expect("hook poisoned") = hook;
+    }
+
+    /// Install (or clear) the insert hook. Test-oriented; see
+    /// [`InsertHook`].
+    pub fn set_insert_hook(&self, hook: Option<Arc<dyn Fn(LayerId, usize) + Send + Sync>>) {
+        *self.insert_hook.lock().expect("hook poisoned") = hook;
     }
 }
 
@@ -683,6 +776,44 @@ mod tests {
             .is_err(),
             "empty window"
         );
+    }
+
+    #[test]
+    fn sustained_appends_tier_the_stack_and_keep_identity() {
+        let mut pts = scatter(64);
+        let s = server(1 << 22);
+        let kernel = KernelKind::Quartic.with_bandwidth(10.0);
+        let layer = s.add_layer(pts.clone(), window(), kernel, 1e-9).unwrap();
+        assert_eq!(s.segment_count(layer).unwrap(), 1);
+        for batch_no in 0..40 {
+            let batch: Vec<Point> = (0..3)
+                .map(|i| {
+                    let f = (batch_no * 3 + i) as f64;
+                    Point::new(
+                        50.0 + (f * 0.413).sin() * 40.0,
+                        50.0 + (f * 0.739).cos() * 40.0,
+                    )
+                })
+                .collect();
+            s.insert_points(layer, &batch).unwrap();
+            pts.extend_from_slice(&batch);
+            let n = pts.len() as f64;
+            assert!(
+                s.segment_count(layer).unwrap() <= n.log2() as usize + 2,
+                "stack depth {} after batch {batch_no} exceeds log bound",
+                s.segment_count(layer).unwrap()
+            );
+        }
+        // Compaction has provably run (40 batches, depth stayed ≤ 9)
+        // and the served bits still match the monolithic oracle.
+        for (z, x, y) in [(0, 0, 0), (2, 1, 2), (4, 9, 7)] {
+            let tile = s.get_tile(layer, z, x, y).unwrap();
+            let direct =
+                compute_tile_direct(&pts, &window(), kernel, 1e-9, 16, TileCoord::new(z, x, y));
+            for (a, b) in tile.grid.values().iter().zip(direct.values()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "tile ({z},{x},{y})");
+            }
+        }
     }
 
     #[test]

@@ -225,3 +225,76 @@ fn disabled_collector_records_nothing_across_the_workspace() {
     let snap = obs::drain();
     assert!(snap.is_empty(), "disabled collector must stay silent");
 }
+
+#[test]
+fn ingest_tables_identical_across_server_pool_widths() {
+    // The ingest counters account batches, appended points, and
+    // compaction rewrites. Compaction is a deterministic function of
+    // the committed batch sequence and its CSR merge is filled on the
+    // `par` pool with a fixed decomposition — so for a single-writer
+    // batch sequence the whole `ingest.*` table (and the segment-count
+    // histogram) must not depend on the server's pool width.
+    let _g = LOCK.lock().unwrap();
+    let run = |t: usize| {
+        use lsga::serve::{TileServer, TileServerConfig};
+        obs::reset();
+        obs::enable();
+        let s = TileServer::new(TileServerConfig {
+            tile_px: 16,
+            max_zoom: 3,
+            shards: 2,
+            byte_budget: 1 << 20,
+            threads: Threads::exact(t),
+        });
+        let layer = s
+            .add_layer(
+                data::uniform_points(300, window(), 19),
+                window(),
+                KernelKind::Quartic.with_bandwidth(8.0),
+                1e-9,
+            )
+            .expect("layer");
+        for b in 0..24u64 {
+            let batch = data::uniform_points(5 + (b as usize % 9), window(), 100 + b);
+            s.insert_points(layer, &batch).expect("insert");
+            let _ = s.get_tile(layer, 1, (b % 2) as u32, ((b / 2) % 2) as u32);
+        }
+        let snap = obs::drain();
+        obs::disable();
+        let ingest: Vec<(&'static str, u64)> = snap
+            .counters()
+            .iter()
+            .copied()
+            .filter(|(n, _)| n.starts_with("ingest."))
+            .collect();
+        let hist = snap
+            .histograms()
+            .iter()
+            .find(|h| h.name == "ingest.segment_count")
+            .map(|h| (h.count, h.sum))
+            .expect("segment-count histogram recorded");
+        (ingest, hist)
+    };
+    let (c1, h1) = run(1);
+    let (c8, h8) = run(8);
+    assert_eq!(c1, c8, "ingest counter tables diverged across pool widths");
+    assert_eq!(
+        h1, h8,
+        "segment-count histogram diverged across pool widths"
+    );
+
+    // And the workload genuinely exercised the whole family.
+    let get = |name: &str| {
+        c1.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("unknown counter {name}"))
+    };
+    assert_eq!(get("ingest.segments_created"), 24);
+    assert_eq!(
+        get("ingest.points_appended"),
+        (0..24u64).map(|b| 5 + (b % 9)).sum::<u64>()
+    );
+    assert!(get("ingest.segments_merged") >= 2, "compaction never ran");
+    assert!(get("ingest.merge_bytes") > 0);
+}
