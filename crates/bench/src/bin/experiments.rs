@@ -72,6 +72,11 @@ fn main() {
             "incremental ingest: segment stack vs monolithic rebuild",
             e22,
         ),
+        (
+            "e23",
+            "quality tiers: deadline-aware degradation under Zipfian overload",
+            e23,
+        ),
     ];
 
     let mut ran = 0;
@@ -103,7 +108,7 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("unknown experiment id; use e1..e22 or all (e16-e18 are the implemented future-work extensions)");
+        eprintln!("unknown experiment id; use e1..e23 or all (e16-e18 are the implemented future-work extensions)");
         std::process::exit(2);
     }
 }
@@ -1050,6 +1055,7 @@ fn e21() {
         // blur the invalidation accounting below.
         byte_budget: 256 << 20,
         threads: Threads::exact(hw_threads()),
+        ..TileServerConfig::default()
     }));
     let layer = server
         .add_layer(points, window(), kernel, 1e-9)
@@ -1232,6 +1238,7 @@ fn e22() {
         shards: 16,
         byte_budget: 256 << 20,
         threads: Threads::exact(hw_threads()),
+        ..TileServerConfig::default()
     }));
     let layer = server
         .add_layer(points.clone(), window(), kernel, 1e-9)
@@ -1402,5 +1409,255 @@ fn e22() {
             ("warm_reads", warm_reads as f64),
         ],
         msf(t_ingest),
+    );
+}
+
+// ---------------------------------------------------------------- E23 ---
+fn e23() {
+    use lsga::core::par::Threads;
+    use lsga::serve::{
+        compute_tile_direct, ApproxMode, QualityPolicy, TileCoord, TileServer, TileServerConfig,
+        TileTier,
+    };
+    use lsga_bench::load::{run_load, LoadConfig};
+
+    let n = 100_000;
+    let points = crime(n);
+    let kernel = KernelKind::Quartic.with_bandwidth(250.0);
+    let (eps, delta) = (0.1, 0.01);
+    let tile_px = 128u32;
+    // ~45 tiles of 128² f64 fit the budget, out of a 341-tile pyramid:
+    // the Zipf head stays resident, the tail thrashes, so cold exact
+    // computes keep arriving for the whole run instead of only during a
+    // fill phase.
+    let cfg = || TileServerConfig {
+        tile_px: tile_px as usize,
+        max_zoom: 4,
+        shards: 8,
+        byte_budget: 6 << 20,
+        threads: Threads::exact(hw_threads()),
+        ..TileServerConfig::default()
+    };
+    let zipf_s = 1.1;
+    let workers = 32;
+    let seed = 4242;
+
+    // Calibration on a throwaway server: one cold exact tile for the
+    // deadline, then a closed-loop run for the sustainable exact-path
+    // throughput under this exact trace (cache hits, misses, eviction
+    // churn included). 2.5× that rate is the overload point.
+    let calib = TileServer::new(cfg());
+    let layer = calib
+        .add_layer(points.clone(), window(), kernel, 1e-9)
+        .expect("calibration layer");
+    let (_, t_tile) = time(|| calib.get_tile(layer, 4, 7, 7).expect("cold tile"));
+    let closed = LoadConfig {
+        workers,
+        rate_rps: None,
+        warmup: 200,
+        requests: 600,
+        zipf_s,
+        seed,
+    };
+    let cap = run_load(&calib, layer, &closed, None);
+    drop(calib);
+    let overload_rps = cap.achieved_rps * 2.5;
+    println!("| calibration | value |");
+    println!("|---|---|");
+    println!(
+        "| points / pyramid | {n} pts, zoom ≤ 4 ({} px tiles) |",
+        tile_px
+    );
+    println!("| cold exact tile | {} ms |", ms(t_tile));
+    println!(
+        "| closed-loop capacity ({workers} workers) | {:.0} req/s |",
+        cap.achieved_rps
+    );
+    println!("| open-loop overload rate (2.5×) | {overload_rps:.0} req/s |");
+    report::row(
+        "calibration",
+        &[
+            ("capacity_rps", cap.achieved_rps),
+            ("overload_rps", overload_rps),
+        ],
+        msf(t_tile),
+    );
+
+    // The two head-to-head runs replay the *same* seeded trace at the
+    // same overload rate against fresh servers; only the policy differs.
+    let open = LoadConfig {
+        workers,
+        rate_rps: Some(overload_rps),
+        warmup: 300,
+        requests: 2_000,
+        zipf_s,
+        seed,
+    };
+
+    let exact_srv = TileServer::new(cfg());
+    let layer_a = exact_srv
+        .add_layer(points.clone(), window(), kernel, 1e-9)
+        .expect("exact-run layer");
+    let exact_rep = run_load(&exact_srv, layer_a, &open, None);
+    drop(exact_srv);
+
+    let deadline = t_tile.mul_f64(2.0);
+    let policy = QualityPolicy::new(
+        deadline,
+        ApproxMode::Sampling {
+            eps,
+            delta,
+            seed: 7,
+        },
+    )
+    .expect("tier policy");
+    let tiered_srv = TileServer::new(cfg());
+    let layer_b = tiered_srv
+        .add_layer(points.clone(), window(), kernel, 1e-9)
+        .expect("tiered-run layer");
+    // Seed the admission EWMA so the controller is armed from the first
+    // measured request instead of only after its first exact compute.
+    tiered_srv.set_compute_estimate(t_tile);
+    let tiered_rep = run_load(&tiered_srv, layer_b, &open, Some(&policy));
+
+    println!(
+        "\n| open loop @ {overload_rps:.0} req/s, {} reqs | p50 | p99 | p999 | max | degraded |",
+        open.requests
+    );
+    println!("|---|---|---|---|---|---|");
+    println!(
+        "| exact only | {:.1} ms | {:.1} ms | {:.1} ms | {:.1} ms | 0% |",
+        exact_rep.p50_ms, exact_rep.p99_ms, exact_rep.p999_ms, exact_rep.max_ms
+    );
+    println!(
+        "| tiered (deadline {:.1} ms, ε = {eps}) | {:.1} ms | {:.1} ms | {:.1} ms | {:.1} ms | {:.1}% |",
+        deadline.as_secs_f64() * 1e3,
+        tiered_rep.p50_ms,
+        tiered_rep.p99_ms,
+        tiered_rep.p999_ms,
+        tiered_rep.max_ms,
+        tiered_rep.degraded_frac * 100.0
+    );
+    println!(
+        "| p999 ratio (tiered / exact) | {:.3} |  |  |  |  |",
+        tiered_rep.p999_ms / exact_rep.p999_ms
+    );
+    report::row(
+        "exact only",
+        &[
+            ("p50_ms", exact_rep.p50_ms),
+            ("p99_ms", exact_rep.p99_ms),
+            ("p999_ms", exact_rep.p999_ms),
+            ("degraded_frac", 0.0),
+            ("achieved_rps", exact_rep.achieved_rps),
+        ],
+        exact_rep.p999_ms,
+    );
+    report::row(
+        "tiered",
+        &[
+            ("p50_ms", tiered_rep.p50_ms),
+            ("p99_ms", tiered_rep.p99_ms),
+            ("p999_ms", tiered_rep.p999_ms),
+            ("degraded_frac", tiered_rep.degraded_frac),
+            ("achieved_rps", tiered_rep.achieved_rps),
+        ],
+        tiered_rep.p999_ms,
+    );
+    assert!(
+        tiered_rep.degraded > 0,
+        "overload must push some requests onto the degraded tier"
+    );
+    assert!(
+        tiered_rep.p999_ms <= 0.5 * exact_rep.p999_ms,
+        "tiered p999 {:.1} ms must be ≤ 0.5× exact-only p999 {:.1} ms",
+        tiered_rep.p999_ms,
+        exact_rep.p999_ms
+    );
+
+    // Guarantee audit on a fresh server: force every miss onto the
+    // degraded tier, check each degraded raster against the exact
+    // oracle within the Hoeffding bound ε·n·K(0), then drain the
+    // refinement queue and require the cache to hold bit-identical
+    // exact tiles.
+    let verif = TileServer::new(cfg());
+    let layer_v = verif
+        .add_layer(points.clone(), window(), kernel, 1e-9)
+        .expect("verification layer");
+    verif.set_compute_estimate(Duration::from_secs(1));
+    let force = QualityPolicy::new(
+        Duration::ZERO,
+        ApproxMode::Sampling {
+            eps,
+            delta,
+            seed: 7,
+        },
+    )
+    .expect("forced-degrade policy");
+    let probes = [
+        TileCoord::new(0, 0, 0),
+        TileCoord::new(2, 1, 1),
+        TileCoord::new(4, 8, 7),
+    ];
+    let bound = eps * n as f64 * kernel.max_value();
+    let mut max_linf = 0.0f64;
+    for c in probes {
+        let tile = verif
+            .get_tile_with_policy(layer_v, c.z, c.x, c.y, &force)
+            .expect("degraded probe");
+        assert!(
+            !tile.tier.is_exact(),
+            "forced degrade must stamp a degraded tier"
+        );
+        let oracle = compute_tile_direct(&points, &window(), kernel, 1e-9, tile_px as usize, c);
+        let linf = tile
+            .grid
+            .values()
+            .iter()
+            .zip(oracle.values())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        // 2× slack absorbs the δ = 1% failure probability; a broken
+        // estimator overshoots by orders of magnitude, not 2×.
+        assert!(
+            linf <= 2.0 * bound,
+            "degraded tile {c:?} L∞ {linf:.3} exceeds Hoeffding bound {bound:.3}"
+        );
+        max_linf = max_linf.max(linf);
+    }
+    verif.set_compute_estimate(Duration::ZERO);
+    verif.drain_refinements();
+    for c in probes {
+        assert!(
+            matches!(
+                verif.cached_tier(layer_v, c.z, c.x, c.y),
+                Some(TileTier::Exact)
+            ),
+            "refinement must upgrade {c:?} to the exact tier"
+        );
+        let tile = verif
+            .get_tile(layer_v, c.z, c.x, c.y)
+            .expect("refined tile");
+        let oracle = compute_tile_direct(&points, &window(), kernel, 1e-9, tile_px as usize, c);
+        for (a, b) in tile.grid.values().iter().zip(oracle.values()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "refined tile diverged from oracle"
+            );
+        }
+    }
+    println!(
+        "\n| guarantee audit ({} probe tiles) | value |",
+        probes.len()
+    );
+    println!("|---|---|");
+    println!("| Hoeffding bound ε·n·K(0) | {bound:.3} |");
+    println!("| worst degraded L∞ vs oracle | {max_linf:.3} |");
+    println!("| post-refinement tiles | bit-identical to direct compute |");
+    report::row(
+        "guarantee audit",
+        &[("bound", bound), ("max_linf", max_linf)],
+        0.0,
     );
 }

@@ -12,5 +12,6 @@
 //! [`workloads`] defines the shared synthetic datasets so that the
 //! binary and the benches measure identical inputs.
 
+pub mod load;
 pub mod report;
 pub mod workloads;

@@ -1,0 +1,286 @@
+//! In-process load generator for the tile server: Zipfian tile
+//! popularity over the pyramid, open- or closed-loop arrivals, and
+//! tail-latency reporting.
+//!
+//! The open-loop mode is the one that can demonstrate a p999 cliff
+//! honestly: requests are scheduled on a fixed arrival timetable
+//! (`i / rate` from the run's start), each worker sleeps until its
+//! request's scheduled arrival, and **latency is measured from the
+//! scheduled arrival, not from when the worker got around to issuing
+//! it** — so a server that stalls accumulates queueing delay in the
+//! recorded latencies instead of silently thinning the arrival stream
+//! (the coordinated-omission trap). Closed-loop mode (`rate_rps:
+//! None`) issues back-to-back requests per worker and measures pure
+//! service time, which is the right mode for measuring capacity before
+//! choosing an overload rate.
+//!
+//! Tile popularity is Zipfian over the whole pyramid: every coordinate
+//! of every zoom level is ranked by a seeded shuffle and drawn with
+//! probability ∝ `1 / rank^s` — a few hot tiles absorb most traffic
+//! (they stay cached) while a long tail of cold tiles forces real
+//! computes, which is exactly the mix that makes admission control
+//! earn its keep.
+
+use lsga::serve::{LayerId, QualityPolicy, TileCoord, TileServer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Zipfian popularity over every tile of a pyramid (zoom `0..=max_zoom`).
+pub struct ZipfTiles {
+    tiles: Vec<TileCoord>,
+    /// Cumulative probability per rank, last entry 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfTiles {
+    /// Enumerate the pyramid, assign ranks by a seeded shuffle, and
+    /// weight rank `r` (0-based) by `1 / (r + 1)^s`.
+    #[must_use]
+    pub fn new(max_zoom: u8, s: f64, seed: u64) -> Self {
+        let mut tiles = Vec::new();
+        for z in 0..=max_zoom {
+            let n = 1u32 << z;
+            for x in 0..n {
+                for y in 0..n {
+                    tiles.push(TileCoord::new(z, x, y));
+                }
+            }
+        }
+        tiles.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut cdf = Vec::with_capacity(tiles.len());
+        let mut acc = 0.0;
+        for r in 0..tiles.len() {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfTiles { tiles, cdf }
+    }
+
+    /// Number of tiles in the universe.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// True when the pyramid is empty (never, for `max_zoom ≥ 0`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// Draw one coordinate.
+    pub fn draw<R: Rng>(&self, rng: &mut R) -> TileCoord {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        self.tiles[idx.min(self.tiles.len() - 1)]
+    }
+}
+
+/// Knobs for one load run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadConfig {
+    /// Concurrent request workers.
+    pub workers: usize,
+    /// Open-loop target arrival rate; `None` = closed loop.
+    pub rate_rps: Option<f64>,
+    /// Leading requests excluded from the measurement (cache and EWMA
+    /// warmup).
+    pub warmup: usize,
+    /// Measured requests after warmup.
+    pub requests: usize,
+    /// Zipf skew `s` for tile popularity.
+    pub zipf_s: f64,
+    /// Seed for the popularity ranking and the request sequence.
+    pub seed: u64,
+}
+
+/// Latency percentiles and degraded accounting for one run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadReport {
+    /// Measured requests.
+    pub n: usize,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+    pub max_ms: f64,
+    pub mean_ms: f64,
+    /// Measured requests answered at a degraded tier.
+    pub degraded: usize,
+    /// `degraded / n`.
+    pub degraded_frac: f64,
+    /// Measured requests / measured wall time.
+    pub achieved_rps: f64,
+    /// Wall time of the measurement phase.
+    pub wall_ms: f64,
+}
+
+fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() as f64) * q).ceil() as usize;
+    sorted_ns[rank.clamp(1, sorted_ns.len()) - 1] as f64 / 1e6
+}
+
+/// Run one load phase against `server`. The request sequence (tile per
+/// request index) is pre-generated from `cfg.seed`, so two runs with
+/// different policies replay identical traffic.
+pub fn run_load(
+    server: &TileServer,
+    layer: LayerId,
+    cfg: &LoadConfig,
+    policy: Option<&QualityPolicy>,
+) -> LoadReport {
+    let zipf = ZipfTiles::new(server.config().max_zoom, cfg.zipf_s, cfg.seed);
+    let total = cfg.warmup + cfg.requests;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9);
+    let schedule: Vec<TileCoord> = (0..total).map(|_| zipf.draw(&mut rng)).collect();
+
+    let next = AtomicUsize::new(0);
+    let interval_ns = cfg.rate_rps.map(|r| 1e9 / r);
+    let start = Instant::now();
+    // (latency_ns, degraded, request index) per measured request.
+    let mut samples: Vec<(u64, bool, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.workers.max(1))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(u64, bool, usize)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let c = schedule[i];
+                        // Open loop: hold until the request's scheduled
+                        // arrival, then charge latency from that
+                        // arrival. Closed loop: charge from issue time.
+                        let measure_from = match interval_ns {
+                            Some(gap) => {
+                                let arrival = Duration::from_nanos((gap * i as f64) as u64);
+                                loop {
+                                    let now = start.elapsed();
+                                    if now >= arrival {
+                                        break;
+                                    }
+                                    std::thread::sleep(arrival - now);
+                                }
+                                arrival
+                            }
+                            None => start.elapsed(),
+                        };
+                        let tile = match policy {
+                            Some(p) => server
+                                .get_tile_with_policy(layer, c.z, c.x, c.y, p)
+                                .expect("load request failed"),
+                            None => server
+                                .get_tile(layer, c.z, c.x, c.y)
+                                .expect("load request failed"),
+                        };
+                        let latency = start.elapsed().saturating_sub(measure_from);
+                        if i >= cfg.warmup {
+                            local.push((
+                                latency.as_nanos().min(u128::from(u64::MAX)) as u64,
+                                !tile.tier.is_exact(),
+                                i,
+                            ));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    samples.sort_by_key(|&(_, _, i)| i);
+    let degraded = samples.iter().filter(|&&(_, d, _)| d).count();
+    let mut lat: Vec<u64> = samples.iter().map(|&(ns, _, _)| ns).collect();
+    lat.sort_unstable();
+    let n = lat.len();
+    let mean_ms = if n == 0 {
+        0.0
+    } else {
+        lat.iter().map(|&v| v as f64).sum::<f64>() / n as f64 / 1e6
+    };
+    LoadReport {
+        n,
+        p50_ms: percentile_ms(&lat, 0.50),
+        p99_ms: percentile_ms(&lat, 0.99),
+        p999_ms: percentile_ms(&lat, 0.999),
+        max_ms: lat.last().map_or(0.0, |&v| v as f64 / 1e6),
+        mean_ms,
+        degraded,
+        degraded_frac: if n == 0 {
+            0.0
+        } else {
+            degraded as f64 / n as f64
+        },
+        achieved_rps: if wall_ms > 0.0 {
+            n as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        wall_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_universe_covers_the_pyramid() {
+        let z = ZipfTiles::new(3, 1.0, 5);
+        assert_eq!(z.len(), 1 + 4 + 16 + 64);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let c = z.draw(&mut rng);
+            assert!(c.z <= 3 && c.x < (1 << c.z) && c.y < (1 << c.z));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_seed_deterministic() {
+        let z = ZipfTiles::new(4, 1.1, 42);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = std::collections::HashMap::new();
+        let draws = 20_000;
+        for _ in 0..draws {
+            *counts.entry(z.draw(&mut rng)).or_insert(0usize) += 1;
+        }
+        let hottest = *counts.values().max().unwrap();
+        assert!(
+            hottest * 10 > draws,
+            "rank-1 tile should absorb ≫ uniform share: {hottest}/{draws}"
+        );
+        // Same seeds -> identical sequence.
+        let z2 = ZipfTiles::new(4, 1.1, 42);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            assert_eq!(z.draw(&mut a), z2.draw(&mut b));
+        }
+    }
+
+    #[test]
+    fn percentiles_pick_order_statistics() {
+        let ns: Vec<u64> = (1..=1000).map(|i| i * 1_000_000).collect();
+        assert_eq!(percentile_ms(&ns, 0.50), 500.0);
+        assert_eq!(percentile_ms(&ns, 0.99), 990.0);
+        assert_eq!(percentile_ms(&ns, 0.999), 999.0);
+        assert_eq!(percentile_ms(&ns, 1.0), 1000.0);
+    }
+}

@@ -60,7 +60,7 @@ pub use naive::{
 pub use nkdv::{nkdv_forward, nkdv_naive, NetworkDensity};
 pub use parallel::{parallel_kdv, parallel_kdv_threads};
 pub use safe::{independent_multi_bandwidth, safe_multi_bandwidth};
-pub use sampling::{sample_size_for_guarantee, sampling_kdv};
+pub use sampling::{sample_size_for_guarantee, sampling_kdv, sampling_kdv_segmented};
 pub use slam::slam_kdv;
 pub use stkdv::{stkdv_naive, stkdv_sweep, stkdv_sweep_threads};
 

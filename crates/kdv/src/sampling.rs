@@ -11,18 +11,32 @@
 //! error of `ε·n·K(0)` with probability `1 − δ` — *independent of n*,
 //! which is the whole point of the sampling family (\[77–79, 110, 111\]).
 
-use lsga_core::{DensityGrid, GridSpec, Kernel, Point};
+use lsga_core::{DensityGrid, GridSpec, Kernel, LsgaError, Point, Result};
+use lsga_index::SegmentedGrid;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 
 /// Sample size for the Hoeffding guarantee: additive error `ε·n·K(0)` per
-/// query with probability `1 − δ`. Panics unless `0 < eps` and
-/// `0 < delta < 1`.
-pub fn sample_size_for_guarantee(eps: f64, delta: f64) -> usize {
-    assert!(eps > 0.0, "eps must be positive");
-    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
-    ((2.0f64 / delta).ln() / (2.0 * eps * eps)).ceil() as usize
+/// query with probability `1 − δ`. Requires finite `eps > 0` and
+/// `0 < delta < 1`; anything else (including NaN/∞, which would silently
+/// turn into a garbage or overflowing sample size) is rejected as
+/// [`LsgaError::InvalidParameter`].
+pub fn sample_size_for_guarantee(eps: f64, delta: f64) -> Result<usize> {
+    if !eps.is_finite() || eps <= 0.0 {
+        return Err(LsgaError::InvalidParameter {
+            name: "eps",
+            message: format!("must be a finite positive number, got {eps}"),
+        });
+    }
+    if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+        return Err(LsgaError::InvalidParameter {
+            name: "delta",
+            message: format!("must lie strictly inside (0, 1), got {delta}"),
+        });
+    }
+    Ok(((2.0f64 / delta).ln() / (2.0 * eps * eps)).ceil() as usize)
 }
 
 /// Approximate KDV from a uniform sample of `sample_size` points
@@ -45,6 +59,61 @@ pub fn sampling_kdv<K: Kernel>(
     let m = sample_size.min(n);
     let mut rng = StdRng::seed_from_u64(seed);
     let sample: Vec<Point> = points.choose_multiple(&mut rng, m).copied().collect();
+    let mut grid = crate::naive::grid_pruned_kdv(&sample, spec, kernel, crate::DEFAULT_TAIL_EPS);
+    grid.scale(n as f64 / m as f64);
+    grid
+}
+
+/// [`sampling_kdv`] over a layer's segment stack, without flattening it.
+///
+/// Samples `sample_size` distinct **logical** point indices (Floyd's
+/// algorithm, deterministic in `seed`), sorts them ascending, and
+/// gathers the points by walking the stack once. Because the draw is
+/// over logical indices and the gather follows logical order, the
+/// result is bit-identical for every segmentation of the same logical
+/// point sequence — a layer before and after compaction serves the same
+/// degraded tile. The sample evaluation itself is the sequential
+/// grid-pruned method, so the output is also independent of
+/// `LSGA_THREADS`.
+///
+/// Note the index-set draw differs from [`sampling_kdv`]'s partial
+/// shuffle, so the two entry points agree in distribution and guarantee
+/// but not bit-for-bit at the same seed.
+pub fn sampling_kdv_segmented<K: Kernel>(
+    layer: &SegmentedGrid,
+    spec: GridSpec,
+    kernel: K,
+    sample_size: usize,
+    seed: u64,
+) -> DensityGrid {
+    let n = layer.total_len();
+    if n == 0 || sample_size == 0 {
+        return DensityGrid::zeros(spec);
+    }
+    let m = sample_size.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Floyd's O(m) distinct-index sample over [0, n).
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(m);
+    for j in (n - m)..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let mut idx: Vec<usize> = chosen.into_iter().collect();
+    idx.sort_unstable();
+    // Gather in logical order with one forward walk over the stack.
+    let mut sample = Vec::with_capacity(m);
+    let mut segs = layer.segments().iter();
+    let mut seg = segs.next().expect("segment stack is non-empty");
+    let mut base = 0usize;
+    for i in idx {
+        while i >= base + seg.len() {
+            base += seg.len();
+            seg = segs.next().expect("logical index within total_len");
+        }
+        sample.push(seg.points()[i - base]);
+    }
     let mut grid = crate::naive::grid_pruned_kdv(&sample, spec, kernel, crate::DEFAULT_TAIL_EPS);
     grid.scale(n as f64 / m as f64);
     grid
@@ -73,17 +142,30 @@ mod tests {
     #[test]
     fn sample_size_formula() {
         // eps = 0.05, delta = 0.01 -> ln(200)/0.005 = 1059.66...
-        assert_eq!(sample_size_for_guarantee(0.05, 0.01), 1060);
+        assert_eq!(sample_size_for_guarantee(0.05, 0.01).unwrap(), 1060);
         // Tighter eps needs quadratically more samples.
-        let loose = sample_size_for_guarantee(0.1, 0.1);
-        let tight = sample_size_for_guarantee(0.01, 0.1);
+        let loose = sample_size_for_guarantee(0.1, 0.1).unwrap();
+        let tight = sample_size_for_guarantee(0.01, 0.1).unwrap();
         assert!(tight >= 99 * loose && tight <= 101 * loose);
     }
 
     #[test]
-    #[should_panic(expected = "eps")]
-    fn bad_eps_rejected() {
-        let _ = sample_size_for_guarantee(0.0, 0.1);
+    fn nonsensical_guarantee_parameters_rejected() {
+        use lsga_core::LsgaError;
+        for eps in [0.0, -0.3, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = sample_size_for_guarantee(eps, 0.1).unwrap_err();
+            assert!(
+                matches!(err, LsgaError::InvalidParameter { name: "eps", .. }),
+                "eps {eps} -> {err:?}"
+            );
+        }
+        for delta in [0.0, 1.0, -0.2, 7.0, f64::NAN, f64::INFINITY] {
+            let err = sample_size_for_guarantee(0.05, delta).unwrap_err();
+            assert!(
+                matches!(err, LsgaError::InvalidParameter { name: "delta", .. }),
+                "delta {delta} -> {err:?}"
+            );
+        }
     }
 
     #[test]
@@ -104,7 +186,7 @@ mod tests {
         let k = Gaussian::new(10.0);
         let exact = naive_kdv(&pts, spec(), k);
         let eps = 0.05;
-        let m = sample_size_for_guarantee(eps, 0.01);
+        let m = sample_size_for_guarantee(eps, 0.01).unwrap();
         let approx = sampling_kdv(&pts, spec(), k, m, 42);
         // Additive bound ε·n·K(0); allow the δ slack by checking the
         // observed max against 2× the bound (a failed seed would exceed
@@ -153,5 +235,44 @@ mod tests {
         assert_eq!(sampling_kdv(&[], spec(), k, 100, 1).sum(), 0.0);
         let pts = clustered(10);
         assert_eq!(sampling_kdv(&pts, spec(), k, 0, 1).sum(), 0.0);
+    }
+
+    #[test]
+    fn segmented_sampling_invariant_under_segmentation() {
+        use lsga_index::{GridIndex, SegmentedGrid};
+        use std::sync::Arc;
+        let pts = clustered(700);
+        let bbox = BBox::new(0.0, 0.0, 100.0, 100.0);
+        let k = Epanechnikov::new(11.0);
+        let mono = SegmentedGrid::single(GridIndex::with_bbox(&pts, 11.0, bbox));
+        // The same logical sequence split 3 ways.
+        let split = SegmentedGrid::from_segments(vec![
+            Arc::new(GridIndex::with_bbox(&pts[..250], 11.0, bbox)),
+            Arc::new(GridIndex::with_bbox(&pts[250..300], 11.0, bbox)),
+            Arc::new(GridIndex::with_bbox(&pts[300..], 11.0, bbox)),
+        ]);
+        let a = sampling_kdv_segmented(&mono, spec(), k, 160, 9);
+        let b = sampling_kdv_segmented(&split, spec(), k, 160, 9);
+        let bits = |g: &DensityGrid| g.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b), "sample must not see segmentation");
+        // Repeated runs are bit-identical; a different seed is not.
+        let c = sampling_kdv_segmented(&split, spec(), k, 160, 9);
+        assert_eq!(bits(&b), bits(&c));
+        let d = sampling_kdv_segmented(&split, spec(), k, 160, 10);
+        assert!(a.linf_diff(&d) > 0.0);
+    }
+
+    #[test]
+    fn segmented_full_sample_is_exact() {
+        use lsga_index::{GridIndex, SegmentedGrid};
+        let pts = clustered(150);
+        let bbox = BBox::new(0.0, 0.0, 100.0, 100.0);
+        let k = Epanechnikov::new(12.0);
+        let stack = SegmentedGrid::single(GridIndex::with_bbox(&pts, 12.0, bbox));
+        let full = sampling_kdv_segmented(&stack, spec(), k, 150, 1);
+        let exact = naive_kdv(&pts, spec(), k);
+        assert!(full.linf_diff(&exact) < 1e-9);
+        // Empty sample request degenerates to zeros.
+        assert_eq!(sampling_kdv_segmented(&stack, spec(), k, 0, 1).sum(), 0.0);
     }
 }

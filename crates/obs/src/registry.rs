@@ -71,6 +71,19 @@ pub enum Counter {
     /// Computed tiles discarded instead of cached because the layer
     /// changed while they were being computed.
     ServeStaleDiscards,
+    /// Tiles served at a degraded (ε-guaranteed approximate) quality
+    /// tier because the admission controller judged the exact queue
+    /// too deep for the request's deadline. Counts fresh degraded
+    /// computes only; a degraded tile served again from the cache is a
+    /// regular `serve.cache_hits`.
+    ServeDegradedTiles,
+    /// Background refinements that committed: a cached degraded tile
+    /// upgraded to the exact, bit-identical one.
+    ServeRefinedTiles,
+    /// Refinement tasks dropped without committing — the layer
+    /// generation moved under them (like stale flights), the cache
+    /// entry was already exact, or the bounded queue overflowed.
+    ServeRefineDiscards,
     /// Append segments built by the ingest path — exactly one per
     /// `insert_points` batch, however many CAS retries it takes (the
     /// segment is re-stamped, never rebuilt, on a generation conflict).
@@ -86,7 +99,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 28] = [
         Counter::KdvPairs,
         Counter::KdvCellsPruned,
         Counter::KfuncPairs,
@@ -108,6 +121,9 @@ impl Counter {
         Counter::ServeTilesEvicted,
         Counter::ServeTilesInvalidated,
         Counter::ServeStaleDiscards,
+        Counter::ServeDegradedTiles,
+        Counter::ServeRefinedTiles,
+        Counter::ServeRefineDiscards,
         Counter::IngestSegmentsCreated,
         Counter::IngestSegmentsMerged,
         Counter::IngestMergeBytes,
@@ -138,6 +154,9 @@ impl Counter {
             Counter::ServeTilesEvicted => "serve.tiles_evicted",
             Counter::ServeTilesInvalidated => "serve.tiles_invalidated",
             Counter::ServeStaleDiscards => "serve.stale_discards",
+            Counter::ServeDegradedTiles => "serve.degraded_tiles",
+            Counter::ServeRefinedTiles => "serve.refined_tiles",
+            Counter::ServeRefineDiscards => "serve.refine_discards",
             Counter::IngestSegmentsCreated => "ingest.segments_created",
             Counter::IngestSegmentsMerged => "ingest.segments_merged",
             Counter::IngestMergeBytes => "ingest.merge_bytes",
@@ -187,16 +206,21 @@ pub enum Hist {
     /// Layer segment-stack depth observed after each committed append
     /// (the tier invariant keeps this logarithmic in layer size).
     IngestSegmentCount,
+    /// Estimated exact-path response time (µs) observed by each
+    /// deadline-checked admission decision: `(inflight + 1) × EWMA`
+    /// of recent exact tile computes.
+    ServeQueueWait,
 }
 
 impl Hist {
     /// Every histogram, in export order.
-    pub const ALL: [Hist; 5] = [
+    pub const ALL: [Hist; 6] = [
         Hist::KrigingSystemSize,
         Hist::DbscanNeighborsPerQuery,
         Hist::DistTileAttempts,
         Hist::ServeBatchUniqueTiles,
         Hist::IngestSegmentCount,
+        Hist::ServeQueueWait,
     ];
 
     /// Stable dotted name used by every exporter.
@@ -207,6 +231,7 @@ impl Hist {
             Hist::DistTileAttempts => "dist.tile_attempts",
             Hist::ServeBatchUniqueTiles => "serve.batch_unique_tiles",
             Hist::IngestSegmentCount => "ingest.segment_count",
+            Hist::ServeQueueWait => "serve.queue_wait",
         }
     }
 }

@@ -151,7 +151,9 @@ impl ShardedTileCache {
         &self.shards[(shard_hash(key) as usize) & self.mask]
     }
 
-    /// Look up `key`, promoting a hit to most-recently-used.
+    /// Look up `key`, promoting a hit to most-recently-used. Returns
+    /// whatever tier is resident — callers that demand exact bits use
+    /// [`get_exact`](Self::get_exact).
     pub fn get(&self, key: &TileKey) -> Option<Arc<Tile>> {
         let mut s = self.shard(key).lock().expect("cache shard poisoned");
         let idx = *s.map.get(key)?;
@@ -162,13 +164,68 @@ impl ShardedTileCache {
         ))
     }
 
+    /// Look up `key` but treat a degraded-tier entry as a miss (left
+    /// in place, not promoted): an exact request must never receive
+    /// approximate bits, however fresh.
+    pub fn get_exact(&self, key: &TileKey) -> Option<Arc<Tile>> {
+        let mut s = self.shard(key).lock().expect("cache shard poisoned");
+        let idx = *s.map.get(key)?;
+        if !s.slab[idx]
+            .as_ref()
+            .expect("mapped free slot")
+            .tile
+            .tier
+            .is_exact()
+        {
+            return None;
+        }
+        s.unlink(idx);
+        s.push_front(idx);
+        Some(Arc::clone(
+            &s.slab[idx].as_ref().expect("mapped free slot").tile,
+        ))
+    }
+
+    /// Look up `key` without touching recency — for background workers
+    /// and tests that must not perturb eviction order.
+    pub fn peek(&self, key: &TileKey) -> Option<Arc<Tile>> {
+        let s = self.shard(key).lock().expect("cache shard poisoned");
+        let idx = *s.map.get(key)?;
+        Some(Arc::clone(
+            &s.slab[idx].as_ref().expect("mapped free slot").tile,
+        ))
+    }
+
     /// Insert (or replace) `key`, then evict LRU entries until the
     /// shard fits its budget again. Evictions bump
     /// `serve.tiles_evicted`.
     pub fn insert(&self, key: TileKey, tile: Arc<Tile>) {
+        self.insert_inner(key, tile, false);
+    }
+
+    /// Insert a **degraded** tile — refused (returning `false`) when an
+    /// exact tile is already resident, so approximate bits can never
+    /// shadow exact ones. A resident degraded entry is replaced (the
+    /// newcomer was computed at a generation no older than it).
+    pub fn insert_degraded(&self, key: TileKey, tile: Arc<Tile>) -> bool {
+        debug_assert!(!tile.tier.is_exact(), "use insert for exact tiles");
+        self.insert_inner(key, tile, true)
+    }
+
+    fn insert_inner(&self, key: TileKey, tile: Arc<Tile>, keep_exact: bool) -> bool {
         let bytes = tile.bytes();
         let mut s = self.shard(&key).lock().expect("cache shard poisoned");
         if let Some(&idx) = s.map.get(&key) {
+            if keep_exact
+                && s.slab[idx]
+                    .as_ref()
+                    .expect("mapped free slot")
+                    .tile
+                    .tier
+                    .is_exact()
+            {
+                return false;
+            }
             s.remove(idx);
         }
         let idx = match s.free.pop() {
@@ -200,6 +257,7 @@ impl ShardedTileCache {
         if evicted > 0 {
             obs::add(Counter::ServeTilesEvicted, evicted);
         }
+        true
     }
 
     /// Drop every cached tile of `layer` whose coordinate satisfies
@@ -280,10 +338,15 @@ mod tests {
     }
 
     fn tile(k: TileKey, px: usize) -> Arc<Tile> {
+        tiered(k, px, crate::policy::TileTier::Exact)
+    }
+
+    fn tiered(k: TileKey, px: usize, tier: crate::policy::TileTier) -> Arc<Tile> {
         let w = BBox::new(0.0, 0.0, 100.0, 100.0);
         Arc::new(Tile {
             key: k,
             grid: DensityGrid::zeros(tile_spec(&w, px, k.coord)),
+            tier,
         })
     }
 
@@ -348,6 +411,29 @@ mod tests {
         assert_eq!(c.clear(), 16);
         assert!(c.is_empty());
         assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn tier_rules_guard_exact_entries() {
+        use crate::policy::TileTier;
+        let degraded = TileTier::Bounds { eps: 0.1 };
+        let c = ShardedTileCache::new(1, 1 << 20);
+        let k = key(0, 2, 2, 2);
+        // Degraded fills an empty slot and is visible to get/peek but
+        // not to get_exact.
+        assert!(c.insert_degraded(k, tiered(k, 8, degraded)));
+        assert!(c.get(&k).is_some());
+        assert!(c.peek(&k).is_some());
+        assert!(c.get_exact(&k).is_none(), "exact lookup must miss");
+        // A fresher degraded tile replaces a degraded one...
+        assert!(c.insert_degraded(k, tiered(k, 8, degraded)));
+        assert_eq!(c.len(), 1);
+        // ...an exact insert upgrades it...
+        c.insert(k, tile(k, 8));
+        assert!(c.get_exact(&k).unwrap().tier.is_exact());
+        // ...and once exact, degraded inserts are refused.
+        assert!(!c.insert_degraded(k, tiered(k, 8, degraded)));
+        assert!(c.peek(&k).unwrap().tier.is_exact());
     }
 
     #[test]

@@ -133,6 +133,7 @@ mod tests {
         Arc::new(Tile {
             key: key(),
             grid: DensityGrid::zeros(tile_spec(&w, 4, key().coord)),
+            tier: crate::policy::TileTier::Exact,
         })
     }
 

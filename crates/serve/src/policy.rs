@@ -1,0 +1,192 @@
+//! Quality tiers: deadlines, approximation modes, and tier metadata.
+//!
+//! A [`QualityPolicy`] rides on a request and tells the server two
+//! things: how long the caller is willing to wait (`deadline`), and
+//! which §2.2 approximation family to fall back on when the exact
+//! queue is judged too deep ([`ApproxMode`]). The server stamps every
+//! tile it returns with a [`TileTier`], so a caller (or a test oracle)
+//! can always tell exact bits from guaranteed-ε bits and can recompute
+//! the guarantee from the metadata alone.
+//!
+//! Validation lives in the constructor: a policy that exists is a
+//! policy whose ε/δ are sane, so the hot request path never re-checks
+//! them. The ε/δ rules are the same ones
+//! [`lsga_kdv::sample_size_for_guarantee`] enforces — constructing a
+//! sampling policy *is* evaluating Eq. 7.
+
+use lsga_core::{LsgaError, Result};
+use std::time::Duration;
+
+/// Which approximation family serves the degraded tier.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ApproxMode {
+    /// Data sampling with the Eq. 7 Hoeffding guarantee: additive
+    /// per-pixel error ≤ `eps · n · K(0)` with probability `1 − delta`,
+    /// from a seeded subset whose size is fixed at policy construction.
+    Sampling { eps: f64, delta: f64, seed: u64 },
+    /// Bound-refinement (Eq. 6) over the layer's points: deterministic
+    /// relative guarantee `(1 − eps)·F ≤ result ≤ (1 + eps)·F` per
+    /// pixel.
+    Bounds { eps: f64 },
+}
+
+/// Tier metadata stamped on every served tile. `Exact` tiles are
+/// bit-identical to `compute_tile_direct`; degraded tiers carry enough
+/// metadata to recompute their ε guarantee against an exact oracle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TileTier {
+    /// The exact grid-pruned evaluation — the only tier the plain
+    /// `get_tile` path ever serves.
+    Exact,
+    /// Eq. 7 sampling: L∞ vs exact ≤ `eps · n · K(0)` w.p. `1 − delta`,
+    /// where `n` is the layer's point count at compute time.
+    Sampled {
+        eps: f64,
+        delta: f64,
+        seed: u64,
+        /// Points actually drawn (the Eq. 7 size clamped to `n`).
+        sample_size: usize,
+        /// Layer point count the guarantee is scaled by.
+        n: usize,
+    },
+    /// Eq. 6 bound-refinement: relative error ≤ `eps` per pixel,
+    /// deterministically.
+    Bounds { eps: f64 },
+}
+
+impl TileTier {
+    /// True for the exact tier.
+    #[inline]
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        matches!(self, TileTier::Exact)
+    }
+}
+
+/// A request-scoped deadline plus the degraded-tier fallback. Validated
+/// at construction; immutable afterwards.
+#[derive(Clone, Copy, Debug)]
+pub struct QualityPolicy {
+    deadline: Duration,
+    mode: ApproxMode,
+    /// Eq. 7 sample size for `Sampling` mode (0 for `Bounds`),
+    /// precomputed so admission never pays the `ln`.
+    sample_size: usize,
+}
+
+impl QualityPolicy {
+    /// Build a policy, rejecting nonsensical guarantee parameters with
+    /// [`LsgaError::InvalidParameter`] — the same rules as
+    /// [`lsga_kdv::sample_size_for_guarantee`] (finite `eps > 0`,
+    /// `0 < delta < 1`).
+    pub fn new(deadline: Duration, mode: ApproxMode) -> Result<Self> {
+        let sample_size = match mode {
+            ApproxMode::Sampling { eps, delta, .. } => {
+                lsga_kdv::sample_size_for_guarantee(eps, delta)?
+            }
+            ApproxMode::Bounds { eps } => {
+                if !eps.is_finite() || eps <= 0.0 {
+                    return Err(LsgaError::InvalidParameter {
+                        name: "eps",
+                        message: format!("must be a finite positive number, got {eps}"),
+                    });
+                }
+                0
+            }
+        };
+        Ok(QualityPolicy {
+            deadline,
+            mode,
+            sample_size,
+        })
+    }
+
+    /// The latency budget admission control compares its queue-wait
+    /// estimate against.
+    #[inline]
+    #[must_use]
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+
+    /// The degraded-tier approximation family.
+    #[inline]
+    #[must_use]
+    pub fn mode(&self) -> ApproxMode {
+        self.mode
+    }
+
+    /// The precomputed Eq. 7 sample size (0 in `Bounds` mode).
+    #[inline]
+    #[must_use]
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_policy_precomputes_eq7_size() {
+        let p = QualityPolicy::new(
+            Duration::from_millis(5),
+            ApproxMode::Sampling {
+                eps: 0.05,
+                delta: 0.01,
+                seed: 7,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            p.sample_size(),
+            lsga_kdv::sample_size_for_guarantee(0.05, 0.01).unwrap()
+        );
+        assert_eq!(p.deadline(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn nonsensical_policies_rejected() {
+        for (eps, delta) in [
+            (0.0, 0.1),
+            (-1.0, 0.1),
+            (f64::NAN, 0.1),
+            (0.05, 0.0),
+            (0.05, 1.0),
+            (0.05, f64::INFINITY),
+        ] {
+            let err = QualityPolicy::new(
+                Duration::ZERO,
+                ApproxMode::Sampling {
+                    eps,
+                    delta,
+                    seed: 0,
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, LsgaError::InvalidParameter { .. }),
+                "eps {eps} delta {delta} -> {err:?}"
+            );
+        }
+        for eps in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            assert!(QualityPolicy::new(Duration::ZERO, ApproxMode::Bounds { eps }).is_err());
+        }
+        assert!(QualityPolicy::new(Duration::ZERO, ApproxMode::Bounds { eps: 0.25 }).is_ok());
+    }
+
+    #[test]
+    fn tier_exactness_predicate() {
+        assert!(TileTier::Exact.is_exact());
+        assert!(!TileTier::Bounds { eps: 0.1 }.is_exact());
+        assert!(!TileTier::Sampled {
+            eps: 0.1,
+            delta: 0.1,
+            seed: 0,
+            sample_size: 10,
+            n: 100
+        }
+        .is_exact());
+    }
+}

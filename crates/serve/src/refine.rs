@@ -1,0 +1,169 @@
+//! The background refinement queue: degraded cache entries are
+//! upgraded to exact, bit-identical tiles off the request path.
+//!
+//! The queue is a bounded FIFO of [`TileKey`]s with a pending map that
+//! dedups re-enqueues in place: pushing a key that is already queued
+//! just re-stamps its enqueue generation (the request path re-enqueues
+//! on every degraded cache hit, so popular degraded tiles would
+//! otherwise flood the queue). A push that would grow the queue past
+//! its cap is refused — the caller charges `serve.refine_discards` —
+//! so a storm of degraded serves can delay refinement but never grow
+//! memory without bound.
+//!
+//! `drain` blocks until the queue is empty **and** every popped task
+//! has finished processing; tests use it to make the asynchronous
+//! upgrade deterministic, and it is the shutdown-safe way to observe
+//! "all refinements settled".
+
+use crate::tile::TileKey;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+struct State {
+    queue: VecDeque<TileKey>,
+    /// Latest enqueue generation per queued key; re-pushes overwrite.
+    pending: HashMap<TileKey, u64>,
+    /// Tasks popped but not yet reported done.
+    active: usize,
+    shutdown: bool,
+}
+
+pub(crate) struct RefineQueue {
+    state: Mutex<State>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl RefineQueue {
+    pub fn new(cap: usize) -> Self {
+        RefineQueue {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                pending: HashMap::new(),
+                active: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueue `key` observed at `generation`. Returns `false` iff the
+    /// push was refused because the queue is full (the key was not
+    /// already pending). Re-pushing a pending key updates its
+    /// generation in place and always succeeds.
+    pub fn push(&self, key: TileKey, generation: u64) -> bool {
+        let mut s = self.state.lock().expect("refine queue poisoned");
+        if s.shutdown {
+            return false;
+        }
+        if let Some(g) = s.pending.get_mut(&key) {
+            *g = generation;
+            return true;
+        }
+        if s.queue.len() >= self.cap {
+            return false;
+        }
+        s.queue.push_back(key);
+        s.pending.insert(key, generation);
+        self.cv.notify_all();
+        true
+    }
+
+    /// Worker side: block for the next task; `None` means shutdown.
+    pub fn pop(&self) -> Option<(TileKey, u64)> {
+        let mut s = self.state.lock().expect("refine queue poisoned");
+        loop {
+            if let Some(key) = s.queue.pop_front() {
+                let generation = s
+                    .pending
+                    .remove(&key)
+                    .expect("pending entry for queued key");
+                s.active += 1;
+                return Some((key, generation));
+            }
+            if s.shutdown {
+                return None;
+            }
+            s = self.cv.wait(s).expect("refine queue poisoned");
+        }
+    }
+
+    /// Worker side: the task returned by the matching `pop` has
+    /// finished (committed or discarded).
+    pub fn task_done(&self) {
+        let mut s = self.state.lock().expect("refine queue poisoned");
+        s.active -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Block until no task is queued or in flight.
+    pub fn drain(&self) {
+        let mut s = self.state.lock().expect("refine queue poisoned");
+        while !(s.queue.is_empty() && s.active == 0) {
+            s = self.cv.wait(s).expect("refine queue poisoned");
+        }
+    }
+
+    /// Wake every worker with `None`; subsequent pushes are refused.
+    pub fn shutdown(&self) {
+        let mut s = self.state.lock().expect("refine queue poisoned");
+        s.shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::TileCoord;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn key(x: u32) -> TileKey {
+        TileKey {
+            layer: 0,
+            coord: TileCoord::new(3, x, 0),
+        }
+    }
+
+    #[test]
+    fn repush_restamps_generation_without_duplicating() {
+        let q = RefineQueue::new(4);
+        assert!(q.push(key(1), 5));
+        assert!(q.push(key(1), 9), "re-push of a pending key succeeds");
+        let (k, g) = q.pop().unwrap();
+        assert_eq!((k, g), (key(1), 9), "latest generation wins");
+        q.task_done();
+        q.shutdown();
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn full_queue_refuses_new_keys_but_accepts_repush() {
+        let q = RefineQueue::new(2);
+        assert!(q.push(key(1), 0));
+        assert!(q.push(key(2), 0));
+        assert!(!q.push(key(3), 0), "cap exceeded");
+        assert!(q.push(key(2), 1), "pending key still re-stamps");
+    }
+
+    #[test]
+    fn drain_waits_for_active_tasks() {
+        let q = Arc::new(RefineQueue::new(8));
+        q.push(key(1), 0);
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let (k, _) = q.pop().unwrap();
+                thread::sleep(std::time::Duration::from_millis(20));
+                q.task_done();
+                k
+            })
+        };
+        q.drain();
+        // drain returned: the task must have completed.
+        assert_eq!(worker.join().unwrap(), key(1));
+        q.shutdown();
+    }
+}

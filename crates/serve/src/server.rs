@@ -94,19 +94,67 @@
 //! **re-stamping the same already-built batch segment** rather than
 //! re-indexing anything. The exclusive critical section is just the
 //! swap and the invalidation sweep.
+//!
+//! # Quality tiers: degrade now, refine later
+//!
+//! [`TileServer::get_tile_with_policy`] adds deadline-aware admission
+//! control in front of the exact path. The server keeps an EWMA of
+//! recent foreground exact-tile compute times and counts the exact
+//! leaders currently computing; a request with a [`QualityPolicy`] is
+//! admitted to the exact path only while
+//! `(inflight + 1) × ewma ≤ deadline`. The estimate deliberately
+//! ignores how many workers drain the queue — it is a conservative
+//! serialized-queue model, which keeps the degrade/admit decision (and
+//! therefore the `serve.*` tier counters) independent of the host's
+//! thread count. Past the budget, the request is served a degraded
+//! tile computed **inline, without joining any flight**: an O(sample)
+//! seeded Eq. 7 evaluation ([`lsga_kdv::sampling_kdv_segmented`]) or
+//! an Eq. 6 bound-refined evaluation, stamped with its [`TileTier`]
+//! metadata. Degraded computes skip the flight table on purpose —
+//! coalescing behind an exact leader is exactly the queue the caller
+//! asked to bypass, and duplicate O(sample) computes are the cheap,
+//! bounded price of never waiting.
+//!
+//! The tier state machine per cache entry is `absent → degraded →
+//! exact` (or `absent → exact` directly): a degraded insert never
+//! replaces an exact tile ([`ShardedTileCache::insert_degraded`]), the
+//! plain exact path looks up with
+//! [`ShardedTileCache::get_exact`] so an exact request can never
+//! receive approximate bits, and every committed degraded serve
+//! enqueues a background **refinement** that recomputes the tile
+//! exactly and upgrades the entry. Refinements are generation-checked
+//! twice — at dequeue against the generation observed when the
+//! degraded tile was served, and again under the layers lock at commit
+//! — and a mismatch discards the task (`serve.refine_discards`),
+//! exactly like a stale flight; the entry stays degraded until the
+//! next degraded cache hit re-enqueues it at the current generation. A
+//! refinement may race a foreground exact leader on the same key; both
+//! commit under the same generation check, so they write identical
+//! bits and the race is benign. Degraded serves themselves commit to
+//! the cache only if the generation is unchanged since their snapshot
+//! (otherwise `serve.stale_discards`, no retry — the caller still gets
+//! the tile, which is linearizable for a request that overlapped the
+//! insert, but the stale approximation is never published).
 
 use crate::cache::ShardedTileCache;
 use crate::flight::{Flight, FlightTable};
+use crate::policy::{ApproxMode, QualityPolicy, TileTier};
+use crate::refine::RefineQueue;
 use crate::segment::compact_tiers;
 use crate::tile::{tile_bbox, tile_spec, LayerId, Tile, TileCoord, TileKey};
 use lsga_core::error::{LsgaError, Result};
 use lsga_core::par::{par_map, Threads};
 use lsga_core::{AnyKernel, BBox, DensityGrid, GridSpec, Kernel, Point};
 use lsga_index::{GridIndex, SegmentedGrid};
-use lsga_kdv::{grid_pruned_kdv_segmented, grid_pruned_kdv_with_index};
+use lsga_kdv::{
+    grid_pruned_kdv_segmented, grid_pruned_kdv_with_index, sampling_kdv_segmented, BoundsKdv,
+};
 use lsga_obs::{self as obs, Counter, Hist};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Server-wide knobs. The defaults suit a city-scale layer on a
 /// workstation; tests shrink the budget to force eviction.
@@ -122,6 +170,12 @@ pub struct TileServerConfig {
     pub byte_budget: usize,
     /// Pool used for batched requests and tile sweeps.
     pub threads: Threads,
+    /// Dedicated background threads upgrading degraded cache entries
+    /// to exact tiles (clamped to at least 1).
+    pub refine_workers: usize,
+    /// Bound on queued refinement tasks; pushes past the cap are
+    /// dropped and charged to `serve.refine_discards`.
+    pub refine_queue_cap: usize,
 }
 
 impl Default for TileServerConfig {
@@ -132,6 +186,8 @@ impl Default for TileServerConfig {
             shards: 16,
             byte_budget: 256 << 20,
             threads: Threads::auto(),
+            refine_workers: 1,
+            refine_queue_cap: 1024,
         }
     }
 }
@@ -150,6 +206,11 @@ struct LayerSnapshot {
     radius: f64,
     segments: SegmentedGrid,
     generation: u64,
+    /// Lazily built Eq. 6 kd-tree for `ApproxMode::Bounds` degraded
+    /// serves. Per-snapshot, so an insert naturally invalidates it;
+    /// the build cost is paid by the first bounds-tier request of a
+    /// generation and amortized across the rest.
+    bounds: OnceLock<Arc<BoundsKdv>>,
 }
 
 impl LayerSnapshot {
@@ -165,7 +226,14 @@ impl LayerSnapshot {
             radius,
             segments: SegmentedGrid::single(index),
             generation: 0,
+            bounds: OnceLock::new(),
         }
+    }
+
+    /// The Eq. 6 index over this snapshot's logical point sequence.
+    fn bounds_index(&self) -> &Arc<BoundsKdv> {
+        self.bounds
+            .get_or_init(|| Arc::new(BoundsKdv::new(&self.segments.collect_points())))
     }
 }
 
@@ -180,6 +248,11 @@ type ComputeHook = Arc<dyn Fn(TileKey) + Send + Sync>;
 /// park one writer so another steals its generation and forces the
 /// CAS re-stamp path).
 type InsertHook = Arc<dyn Fn(LayerId, usize) + Send + Sync>;
+
+/// Hook invoked by a refinement worker after dequeueing a task and
+/// before any generation check — lets tests park a refinement so an
+/// insert can land under it and force the discard path.
+type RefineHook = Arc<dyn Fn(TileKey) + Send + Sync>;
 
 /// In-memory analytic tile server over KDV layers.
 ///
@@ -201,35 +274,225 @@ type InsertHook = Arc<dyn Fn(LayerId, usize) + Send + Sync>;
 /// assert!(std::ptr::eq(&*tile, &*again));
 /// ```
 pub struct TileServer {
+    core: Arc<ServerCore>,
+    /// The refinement worker threads; joined on drop.
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Everything the request path and the refinement workers share. The
+/// public [`TileServer`] is a thin handle over one `Arc` of this.
+struct ServerCore {
     cfg: TileServerConfig,
     layers: RwLock<Vec<Arc<LayerSnapshot>>>,
     cache: ShardedTileCache,
     flights: FlightTable,
+    refine: RefineQueue,
+    /// EWMA (ns) of foreground exact-tile compute times; 0 = no
+    /// estimate yet, which disables degrading (the first requests must
+    /// run exact to seed it). Updated with relaxed RMW — the estimate
+    /// is advisory, not a synchronization point.
+    ewma_tile_ns: AtomicU64,
+    /// Foreground exact leaders currently computing.
+    inflight_exact: AtomicUsize,
     compute_hook: Mutex<Option<ComputeHook>>,
     insert_hook: Mutex<Option<InsertHook>>,
+    refine_hook: Mutex<Option<RefineHook>>,
+}
+
+/// A refinement worker's whole life: pop, process, report done —
+/// `task_done` fires even if processing unwinds, so `drain` can never
+/// hang on a lost task.
+fn refine_worker(core: Arc<ServerCore>) {
+    struct Done<'a>(&'a RefineQueue);
+    impl Drop for Done<'_> {
+        fn drop(&mut self) {
+            self.0.task_done();
+        }
+    }
+    while let Some((key, generation)) = core.refine.pop() {
+        let _done = Done(&core.refine);
+        core.process_refinement(key, generation);
+    }
 }
 
 impl TileServer {
-    /// Create an empty server.
+    /// Create an empty server, spawning its refinement workers.
     #[must_use]
     pub fn new(cfg: TileServerConfig) -> Self {
-        let cache = ShardedTileCache::new(cfg.shards, cfg.byte_budget);
-        TileServer {
+        let core = Arc::new(ServerCore {
             cfg,
             layers: RwLock::new(Vec::new()),
-            cache,
+            cache: ShardedTileCache::new(cfg.shards, cfg.byte_budget),
             flights: FlightTable::new(),
+            refine: RefineQueue::new(cfg.refine_queue_cap),
+            ewma_tile_ns: AtomicU64::new(0),
+            inflight_exact: AtomicUsize::new(0),
             compute_hook: Mutex::new(None),
             insert_hook: Mutex::new(None),
-        }
+            refine_hook: Mutex::new(None),
+        });
+        let workers = (0..cfg.refine_workers.max(1))
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("lsga-refine-{i}"))
+                    .spawn(move || refine_worker(core))
+                    .expect("spawn refinement worker")
+            })
+            .collect();
+        TileServer { core, workers }
     }
 
     /// The configuration this server was built with.
     #[must_use]
     pub fn config(&self) -> &TileServerConfig {
-        &self.cfg
+        &self.core.cfg
     }
 
+    /// Register a KDV layer over a fixed `window` and return its id.
+    ///
+    /// The window is the pyramid's extent *and* the index frame every
+    /// future append reuses, so it must be non-empty and contain every
+    /// point — including points inserted later.
+    pub fn add_layer(
+        &self,
+        points: Vec<Point>,
+        window: BBox,
+        kernel: AnyKernel,
+        tail_eps: f64,
+    ) -> Result<LayerId> {
+        self.core.add_layer(points, window, kernel, tail_eps)
+    }
+
+    /// Serve one tile at the **exact** tier: cache hit, coalesced
+    /// wait, or leader compute. A degraded cache entry is a miss for
+    /// this path — it never returns approximate bits.
+    pub fn get_tile(&self, layer: LayerId, z: u8, x: u32, y: u32) -> Result<Arc<Tile>> {
+        self.core.get_tile(layer, z, x, y)
+    }
+
+    /// Serve one tile under a deadline: exact while the estimated
+    /// queue wait fits the budget, otherwise a guaranteed-ε degraded
+    /// tile computed inline (see the module docs' tier section). The
+    /// returned tile's [`Tile::tier`] says which happened.
+    pub fn get_tile_with_policy(
+        &self,
+        layer: LayerId,
+        z: u8,
+        x: u32,
+        y: u32,
+        policy: &QualityPolicy,
+    ) -> Result<Arc<Tile>> {
+        self.core.get_tile_with_policy(layer, z, x, y, policy)
+    }
+
+    /// Serve a batch of tiles for one layer: deduplicates, schedules
+    /// the unique tiles across the pool, and returns tiles aligned
+    /// with `coords` (duplicates share one `Arc`).
+    pub fn get_tiles(&self, layer: LayerId, coords: &[TileCoord]) -> Result<Vec<Arc<Tile>>> {
+        self.core.get_tiles(layer, coords, None)
+    }
+
+    /// [`get_tiles`](Self::get_tiles) with a per-request
+    /// [`QualityPolicy`] applied to every tile in the batch.
+    pub fn get_tiles_with_policy(
+        &self,
+        layer: LayerId,
+        coords: &[TileCoord],
+        policy: &QualityPolicy,
+    ) -> Result<Vec<Arc<Tile>>> {
+        self.core.get_tiles(layer, coords, Some(policy))
+    }
+
+    /// Append points to a layer, dirtying exactly the cached tiles
+    /// whose kernel-inflated bboxes the new data touches.
+    pub fn insert_points(&self, layer: LayerId, points: &[Point]) -> Result<()> {
+        self.core.insert_points(layer, points)
+    }
+
+    /// Resident segment count of a layer's index stack — bounded by
+    /// `log_3 n + O(1)` under the tier policy (see [`crate::segment`]).
+    pub fn segment_count(&self, layer: LayerId) -> Result<usize> {
+        self.core.segment_count(layer)
+    }
+
+    /// Drop every cached tile (counts as eviction).
+    pub fn clear_cache(&self) {
+        self.core.clear_cache();
+    }
+
+    /// Resident cache bytes (snapshot, for reporting).
+    #[must_use]
+    pub fn cache_bytes(&self) -> usize {
+        self.core.cache.bytes()
+    }
+
+    /// Cached tile count (snapshot, for reporting).
+    #[must_use]
+    pub fn cached_tiles(&self) -> usize {
+        self.core.cache.len()
+    }
+
+    /// Tier of the cached tile at `(layer, z, x, y)`, if resident —
+    /// observability for tests and dashboards, no LRU side effects.
+    #[must_use]
+    pub fn cached_tier(&self, layer: LayerId, z: u8, x: u32, y: u32) -> Option<TileTier> {
+        let key = TileKey {
+            layer,
+            coord: TileCoord::new(z, x, y),
+        };
+        self.core.cache.peek(&key).map(|t| t.tier)
+    }
+
+    /// Seed (or override) the exact-compute cost estimate admission
+    /// control multiplies by the in-flight depth. Operationally this
+    /// warms the controller before traffic arrives; tests use it to
+    /// pin the degrade decision deterministically.
+    /// `Duration::ZERO` clears the estimate, which disables degrading
+    /// until the next foreground exact compute re-seeds it.
+    pub fn set_compute_estimate(&self, estimate: Duration) {
+        let ns = estimate.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.core.ewma_tile_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Block until every queued refinement has committed or been
+    /// discarded. Makes the asynchronous upgrade observable: after
+    /// this returns (with no concurrent traffic), every cache entry a
+    /// degraded serve left behind is either refined to exact bits or
+    /// accounted in `serve.refine_discards`.
+    pub fn drain_refinements(&self) {
+        self.core.refine.drain();
+    }
+
+    /// Install (or clear) the leader compute hook. Test-oriented; see
+    /// [`ComputeHook`].
+    pub fn set_compute_hook(&self, hook: Option<Arc<dyn Fn(TileKey) + Send + Sync>>) {
+        *self.core.compute_hook.lock().expect("hook poisoned") = hook;
+    }
+
+    /// Install (or clear) the insert hook. Test-oriented; see
+    /// [`InsertHook`].
+    pub fn set_insert_hook(&self, hook: Option<Arc<dyn Fn(LayerId, usize) + Send + Sync>>) {
+        *self.core.insert_hook.lock().expect("hook poisoned") = hook;
+    }
+
+    /// Install (or clear) the refinement hook. Test-oriented; see
+    /// [`RefineHook`].
+    pub fn set_refine_hook(&self, hook: Option<Arc<dyn Fn(TileKey) + Send + Sync>>) {
+        *self.core.refine_hook.lock().expect("hook poisoned") = hook;
+    }
+}
+
+impl Drop for TileServer {
+    fn drop(&mut self) {
+        self.core.refine.shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl ServerCore {
     /// Register a KDV layer over a fixed `window` and return its id.
     ///
     /// The window is the pyramid's extent *and* the index frame every
@@ -292,12 +555,15 @@ impl TileServer {
         Ok(())
     }
 
-    /// Serve one tile: cache hit, coalesced wait, or leader compute.
-    pub fn get_tile(&self, layer: LayerId, z: u8, x: u32, y: u32) -> Result<Arc<Tile>> {
+    /// Serve one tile at the exact tier: cache hit, coalesced wait, or
+    /// leader compute. Uses [`ShardedTileCache::get_exact`], so a
+    /// resident degraded tile is a miss here and gets replaced by the
+    /// leader's exact commit.
+    fn get_tile(&self, layer: LayerId, z: u8, x: u32, y: u32) -> Result<Arc<Tile>> {
         let coord = TileCoord::new(z, x, y);
         self.validate_coord(coord)?;
         let key = TileKey { layer, coord };
-        if let Some(tile) = self.cache.get(&key) {
+        if let Some(tile) = self.cache.get_exact(&key) {
             obs::incr(Counter::ServeCacheHits);
             return Ok(tile);
         }
@@ -311,6 +577,184 @@ impl TileServer {
             return flight.wait();
         }
         self.lead_flight(key, &flight)
+    }
+
+    /// Deadline-checked request path (see module docs): any-tier cache
+    /// hit, else an admission decision between the exact flight path
+    /// and an inline degraded compute.
+    fn get_tile_with_policy(
+        &self,
+        layer: LayerId,
+        z: u8,
+        x: u32,
+        y: u32,
+        policy: &QualityPolicy,
+    ) -> Result<Arc<Tile>> {
+        let coord = TileCoord::new(z, x, y);
+        self.validate_coord(coord)?;
+        let key = TileKey { layer, coord };
+        if let Some(tile) = self.cache.get(&key) {
+            obs::incr(Counter::ServeCacheHits);
+            if !tile.tier.is_exact() {
+                // A degraded hit re-arms the upgrade: if an earlier
+                // refinement was discarded under a racing insert, this
+                // retries it at the current generation.
+                let generation = self.snapshot(layer)?.generation;
+                if !self.refine.push(key, generation) {
+                    obs::incr(Counter::ServeRefineDiscards);
+                }
+            }
+            return Ok(tile);
+        }
+        obs::incr(Counter::ServeCacheMisses);
+
+        // Admission: a conservative serialized-queue estimate of what
+        // joining the exact path would cost. Deliberately not divided
+        // by any worker count — see module docs.
+        let ewma = self.ewma_tile_ns.load(Ordering::Relaxed);
+        let depth = self.inflight_exact.load(Ordering::Relaxed) as u64;
+        let est_ns = (depth + 1).saturating_mul(ewma);
+        obs::record(Hist::ServeQueueWait, est_ns / 1_000);
+        let deadline_ns = policy.deadline().as_nanos().min(u128::from(u64::MAX)) as u64;
+        if ewma > 0 && est_ns > deadline_ns {
+            return self.serve_degraded(key, policy);
+        }
+
+        let (flight, leader) = self.flights.join(key);
+        if !leader {
+            obs::incr(Counter::ServeCoalescedWaits);
+            return flight.wait();
+        }
+        self.lead_flight(key, &flight)
+    }
+
+    /// Compute and serve a guaranteed-ε degraded tile inline — no
+    /// flight, no queue. Commits to the cache (and enqueues the
+    /// background refinement) only if the layer generation is
+    /// unchanged since the snapshot; the caller receives the tile
+    /// either way.
+    fn serve_degraded(&self, key: TileKey, policy: &QualityPolicy) -> Result<Arc<Tile>> {
+        let snap = self.snapshot(key.layer)?;
+        let tile = {
+            let _span = obs::span("serve.degraded_tile");
+            let spec = tile_spec(&snap.window, self.cfg.tile_px, key.coord);
+            let n = snap.segments.total_len();
+            let (grid, tier) = match policy.mode() {
+                ApproxMode::Sampling { eps, delta, seed } => (
+                    sampling_kdv_segmented(
+                        &snap.segments,
+                        spec,
+                        snap.kernel,
+                        policy.sample_size(),
+                        seed,
+                    ),
+                    TileTier::Sampled {
+                        eps,
+                        delta,
+                        seed,
+                        sample_size: policy.sample_size().min(n),
+                        n,
+                    },
+                ),
+                ApproxMode::Bounds { eps } => (
+                    snap.bounds_index().compute(spec, snap.kernel, eps),
+                    TileTier::Bounds { eps },
+                ),
+            };
+            obs::incr(Counter::ServeDegradedTiles);
+            Arc::new(Tile { key, grid, tier })
+        };
+        // Commit under the layers lock (read mode suffices — the only
+        // writer to exclude is the insert swap, same as exact commits).
+        let (stale, enqueue) = {
+            let layers = self.layers.read().expect("layers poisoned");
+            if layers[key.layer].generation == snap.generation {
+                // Refused = an exact tile is already resident (a
+                // foreground leader beat us): nothing to refine.
+                (false, self.cache.insert_degraded(key, Arc::clone(&tile)))
+            } else {
+                (true, false)
+            }
+        };
+        if stale {
+            // A racing insert landed mid-compute: these bits are still
+            // linearizable for this caller but must not be published.
+            obs::incr(Counter::ServeStaleDiscards);
+        } else if enqueue && !self.refine.push(key, snap.generation) {
+            obs::incr(Counter::ServeRefineDiscards);
+        }
+        Ok(tile)
+    }
+
+    /// One dequeued refinement task: recompute `key` exactly against
+    /// the current snapshot and upgrade the cache entry, unless a
+    /// generation move, an eviction, or an already-exact entry makes
+    /// the task moot (every such exit counts `serve.refine_discards`).
+    fn process_refinement(&self, key: TileKey, enqueue_generation: u64) {
+        let hook = self
+            .refine_hook
+            .lock()
+            .expect("hook poisoned")
+            .as_ref()
+            .map(Arc::clone);
+        if let Some(hook) = hook {
+            hook(key);
+        }
+        let Ok(snap) = self.snapshot(key.layer) else {
+            obs::incr(Counter::ServeRefineDiscards);
+            return;
+        };
+        // Raced by an insert since the degraded serve: discarded like
+        // a stale flight. The entry stays degraded until the next
+        // degraded cache hit re-enqueues at the current generation.
+        if snap.generation != enqueue_generation {
+            obs::incr(Counter::ServeRefineDiscards);
+            return;
+        }
+        // Upgraded or evicted already: nothing to do.
+        match self.cache.peek(&key) {
+            Some(t) if !t.tier.is_exact() => {}
+            _ => {
+                obs::incr(Counter::ServeRefineDiscards);
+                return;
+            }
+        }
+        let tile = {
+            let _span = obs::span("serve.refine_tile");
+            obs::incr(Counter::ServeTilesComputed);
+            let spec = tile_spec(&snap.window, self.cfg.tile_px, key.coord);
+            Arc::new(Tile {
+                key,
+                grid: grid_pruned_kdv_segmented(&snap.segments, spec, snap.kernel, snap.tail_eps),
+                tier: TileTier::Exact,
+            })
+        };
+        let layers = self.layers.read().expect("layers poisoned");
+        if layers[key.layer].generation == snap.generation {
+            // May race a foreground exact leader on the same key: both
+            // passed the same generation check, so both hold identical
+            // bits and either commit order serves the same tile.
+            self.cache.insert(key, tile);
+            obs::incr(Counter::ServeRefinedTiles);
+        } else {
+            obs::incr(Counter::ServeRefineDiscards);
+        }
+    }
+
+    /// Fold one foreground exact compute's duration into the EWMA
+    /// (`new = old·7/8 + sample/8`; the first sample seeds it). Relaxed
+    /// RMW — a lost update under contention only delays convergence.
+    fn observe_exact_cost(&self, elapsed: Duration) {
+        let sample = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let _ = self
+            .ewma_tile_ns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                Some(if old == 0 {
+                    sample
+                } else {
+                    old - old / 8 + sample / 8
+                })
+            });
     }
 
     /// Leader side of a flight: compute, commit, publish. Guaranteed
@@ -342,6 +786,17 @@ impl TileServer {
             armed: true,
         };
 
+        // Depth accounting for admission control: this thread is now a
+        // foreground exact leader; decremented on every exit path.
+        struct DepthGuard<'a>(&'a AtomicUsize);
+        impl Drop for DepthGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        self.inflight_exact.fetch_add(1, Ordering::Relaxed);
+        let _depth = DepthGuard(&self.inflight_exact);
+
         let tile = loop {
             // Snapshot the layer; compute runs with no locks held.
             let snap = match self.snapshot(key.layer) {
@@ -365,6 +820,7 @@ impl TileServer {
             if let Some(hook) = hook {
                 hook(key);
             }
+            let started = Instant::now();
             let tile = {
                 let _span = obs::span("serve.compute_tile");
                 obs::incr(Counter::ServeTilesComputed);
@@ -377,8 +833,10 @@ impl TileServer {
                         snap.kernel,
                         snap.tail_eps,
                     ),
+                    tier: TileTier::Exact,
                 })
             };
+            self.observe_exact_cost(started.elapsed());
             // Commit: generation re-check, cache insert, and flight
             // retirement form one atomic step against `insert_points`'
             // swap+invalidate, which holds the lock exclusively. Shared
@@ -411,8 +869,14 @@ impl TileServer {
 
     /// Serve a batch of tiles for one layer: deduplicates, schedules
     /// the unique tiles across the pool, and returns tiles aligned
-    /// with `coords` (duplicates share one `Arc`).
-    pub fn get_tiles(&self, layer: LayerId, coords: &[TileCoord]) -> Result<Vec<Arc<Tile>>> {
+    /// with `coords` (duplicates share one `Arc`). With a policy, each
+    /// unique tile takes the deadline-checked path independently.
+    fn get_tiles(
+        &self,
+        layer: LayerId,
+        coords: &[TileCoord],
+        policy: Option<&QualityPolicy>,
+    ) -> Result<Vec<Arc<Tile>>> {
         for &c in coords {
             self.validate_coord(c)?;
         }
@@ -428,7 +892,10 @@ impl TileServer {
         obs::record(Hist::ServeBatchUniqueTiles, unique.len() as u64);
         let fetched: Vec<Result<Arc<Tile>>> = par_map(unique.len(), 1, self.cfg.threads, |i| {
             let c = unique[i];
-            self.get_tile(layer, c.z, c.x, c.y)
+            match policy {
+                Some(p) => self.get_tile_with_policy(layer, c.z, c.x, c.y, p),
+                None => self.get_tile(layer, c.z, c.x, c.y),
+            }
         });
         let mut tiles: Vec<Option<Arc<Tile>>> = vec![None; unique.len()];
         for (i, r) in fetched.into_iter().enumerate() {
@@ -494,6 +961,7 @@ impl TileServer {
                 radius: old.radius,
                 segments: SegmentedGrid::from_segments(segs),
                 generation: old.generation + 1,
+                bounds: OnceLock::new(),
             };
             let radius = next.radius;
             let window = next.window;
@@ -531,40 +999,16 @@ impl TileServer {
 
     /// Resident segment count of a layer's index stack — bounded by
     /// `log_3 n + O(1)` under the tier policy (see [`crate::segment`]).
-    pub fn segment_count(&self, layer: LayerId) -> Result<usize> {
+    fn segment_count(&self, layer: LayerId) -> Result<usize> {
         Ok(self.snapshot(layer)?.segments.depth())
     }
 
     /// Drop every cached tile (counts as eviction).
-    pub fn clear_cache(&self) {
+    fn clear_cache(&self) {
         let dropped = self.cache.clear();
         if dropped > 0 {
             obs::add(Counter::ServeTilesEvicted, dropped);
         }
-    }
-
-    /// Resident cache bytes (snapshot, for reporting).
-    #[must_use]
-    pub fn cache_bytes(&self) -> usize {
-        self.cache.bytes()
-    }
-
-    /// Cached tile count (snapshot, for reporting).
-    #[must_use]
-    pub fn cached_tiles(&self) -> usize {
-        self.cache.len()
-    }
-
-    /// Install (or clear) the leader compute hook. Test-oriented; see
-    /// [`ComputeHook`].
-    pub fn set_compute_hook(&self, hook: Option<Arc<dyn Fn(TileKey) + Send + Sync>>) {
-        *self.compute_hook.lock().expect("hook poisoned") = hook;
-    }
-
-    /// Install (or clear) the insert hook. Test-oriented; see
-    /// [`InsertHook`].
-    pub fn set_insert_hook(&self, hook: Option<Arc<dyn Fn(LayerId, usize) + Send + Sync>>) {
-        *self.insert_hook.lock().expect("hook poisoned") = hook;
     }
 }
 
@@ -639,6 +1083,7 @@ mod tests {
             shards: 4,
             byte_budget: budget,
             threads: Threads::exact(2),
+            ..TileServerConfig::default()
         })
     }
 

@@ -12,6 +12,7 @@
 //! means calling the same KDV path on the spec returned by
 //! [`tile_spec`]. Pixel centres then agree bit-for-bit by construction.
 
+use crate::policy::TileTier;
 use lsga_core::{BBox, DensityGrid, GridSpec};
 
 /// Index of a layer registered with a
@@ -85,6 +86,11 @@ pub fn tile_spec(window: &BBox, tile_px: usize, coord: TileCoord) -> GridSpec {
 pub struct Tile {
     pub key: TileKey,
     pub grid: DensityGrid,
+    /// Which quality tier produced `grid` — `Exact` for bit-identical
+    /// tiles, or a degraded tier carrying its ε guarantee (see
+    /// [`TileTier`]). Stamped at compute time, immutable afterwards: a
+    /// refinement replaces the whole tile, it never mutates one.
+    pub tier: TileTier,
 }
 
 impl Tile {
@@ -146,6 +152,7 @@ mod tests {
                 coord: TileCoord::new(0, 0, 0),
             },
             grid: DensityGrid::zeros(spec),
+            tier: TileTier::Exact,
         };
         assert!(t.bytes() >= 8 * 8 * 8);
     }

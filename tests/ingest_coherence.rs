@@ -59,6 +59,7 @@ fn server(threads: usize) -> TileServer {
         shards: 2,
         byte_budget: 1 << 20,
         threads: Threads::exact(threads),
+        ..TileServerConfig::default()
     })
 }
 

@@ -245,6 +245,7 @@ fn ingest_tables_identical_across_server_pool_widths() {
             shards: 2,
             byte_budget: 1 << 20,
             threads: Threads::exact(t),
+            ..TileServerConfig::default()
         });
         let layer = s
             .add_layer(
@@ -297,4 +298,132 @@ fn ingest_tables_identical_across_server_pool_widths() {
     );
     assert!(get("ingest.segments_merged") >= 2, "compaction never ran");
     assert!(get("ingest.merge_bytes") > 0);
+}
+
+#[test]
+fn tier_tables_identical_across_server_pool_widths() {
+    // The admission model is a serialized-queue estimate — `(inflight +
+    // 1) × EWMA` — deliberately *not* divided by the pool width, so for
+    // a sequential request sequence with a pinned compute estimate the
+    // degrade decisions, the whole `serve.*` counter table, and the
+    // `serve.queue_wait` histogram must not depend on `Threads::exact`.
+    let _g = LOCK.lock().unwrap();
+    let run = |t: usize| {
+        use lsga::serve::{ApproxMode, QualityPolicy, TileServer, TileServerConfig};
+        use std::time::Duration;
+        obs::reset();
+        obs::enable();
+        let s = TileServer::new(TileServerConfig {
+            tile_px: 16,
+            max_zoom: 3,
+            shards: 2,
+            byte_budget: 1 << 20,
+            threads: Threads::exact(t),
+            ..TileServerConfig::default()
+        });
+        let layer = s
+            .add_layer(
+                data::uniform_points(400, window(), 23),
+                window(),
+                KernelKind::Quartic.with_bandwidth(8.0),
+                1e-9,
+            )
+            .expect("layer");
+        // Pin the EWMA: with a 1 ms estimate and a zero deadline every
+        // cold policy request degrades; the generous-deadline policy
+        // always admits. Sequential requests keep inflight at 0. The
+        // estimate is re-pinned before every request because admitted
+        // exact computes fold their *measured* (pool-width-dependent)
+        // wall time into the EWMA, and the queue-wait histogram must
+        // stay a function of the request sequence alone.
+        let pin = || s.set_compute_estimate(Duration::from_millis(1));
+        let degrade = QualityPolicy::new(
+            Duration::ZERO,
+            ApproxMode::Sampling {
+                eps: 0.2,
+                delta: 0.1,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let admit = QualityPolicy::new(
+            Duration::from_secs(60),
+            ApproxMode::Sampling {
+                eps: 0.2,
+                delta: 0.1,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        for i in 0..12u32 {
+            let (x, y) = (i % 4, (i / 4) % 4);
+            let p = if i % 3 == 0 { &admit } else { &degrade };
+            pin();
+            let _ = s
+                .get_tile_with_policy(layer, 2, x, y, p)
+                .expect("policy get");
+        }
+        // Settle the refinement queue, then revisit a prefix: every
+        // entry is exact by now, so the revisits are plain hits and the
+        // table stays a deterministic function of the request sequence.
+        s.drain_refinements();
+        for i in 0..6u32 {
+            pin();
+            let _ = s
+                .get_tile_with_policy(layer, 2, i % 4, (i / 4) % 4, &degrade)
+                .expect("revisit");
+        }
+        s.drain_refinements();
+        let snap = obs::drain();
+        obs::disable();
+        let serve: Vec<(&'static str, u64)> = snap
+            .counters()
+            .iter()
+            .copied()
+            .filter(|(n, _)| n.starts_with("serve."))
+            .collect();
+        let hist = snap
+            .histograms()
+            .iter()
+            .find(|h| h.name == "serve.queue_wait")
+            .map(|h| (h.count, h.sum))
+            .expect("queue-wait histogram recorded");
+        (serve, hist)
+    };
+    let (c1, h1) = run(1);
+    let (c8, h8) = run(8);
+    assert_eq!(c1, c8, "serve counter tables diverged across pool widths");
+    assert_eq!(h1, h8, "queue-wait histogram diverged across pool widths");
+
+    // The workload exercised every leg of the tier machinery.
+    let get = |name: &str| {
+        c1.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("unknown counter {name}"))
+    };
+    assert_eq!(
+        get("serve.degraded_tiles"),
+        8,
+        "8 of 12 cold requests degrade"
+    );
+    assert_eq!(
+        get("serve.refined_tiles"),
+        8,
+        "every committed degraded entry is refined"
+    );
+    assert_eq!(get("serve.refine_discards"), 0);
+    assert_eq!(get("serve.stale_discards"), 0);
+    assert_eq!(get("serve.cache_misses"), 12);
+    assert_eq!(
+        get("serve.cache_hits"),
+        6,
+        "revisits must hit exact entries"
+    );
+    assert_eq!(
+        get("serve.tiles_computed"),
+        12,
+        "4 admitted + 8 refinement exact computes"
+    );
+    assert_eq!(h1.0, 12, "one queue-wait sample per admission decision");
 }

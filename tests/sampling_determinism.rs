@@ -1,0 +1,171 @@
+//! Seeded-sampling determinism and the Eq. 7 guarantee, end to end.
+//!
+//! The degraded serving tier leans on two properties of the sampling
+//! estimator that this suite pins down:
+//!
+//! 1. **Determinism** — a fixed seed yields a bit-identical raster on
+//!    every run, at every `LSGA_THREADS` (the sample draw and the
+//!    grid-pruned evaluation over the sample are sequential), and for
+//!    [`sampling_kdv_segmented`] under every segmentation of the same
+//!    logical point sequence. CI runs this binary at `LSGA_THREADS`
+//!    1 and 8; the in-process tests additionally pin two servers at
+//!    `Threads::exact(1)` and `Threads::exact(8)` against each other.
+//! 2. **The guarantee** — at the Eq. 7 sample size
+//!    `m = ⌈ln(2/δ)/(2ε²)⌉`, the observed L∞ error against the exact
+//!    density stays within the additive Hoeffding bound `ε·n·K(0)`
+//!    (2× slack for the δ failure probability), across every kernel
+//!    family and a range of bandwidths.
+
+use lsga::core::par::Threads;
+use lsga::index::{GridIndex, SegmentedGrid};
+use lsga::kdv::{naive_kdv, sample_size_for_guarantee, sampling_kdv, sampling_kdv_segmented};
+use lsga::prelude::*;
+use lsga::serve::{ApproxMode, QualityPolicy, TileServer, TileServerConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn window() -> BBox {
+    BBox::new(0.0, 0.0, 100.0, 100.0)
+}
+
+fn clustered(n: usize, jitter: u64) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let f = (i as f64) + (jitter % 97) as f64;
+            let cx = if i % 3 == 0 { 30.0 } else { 70.0 };
+            Point::new(
+                (cx + (f * 0.831).sin() * 12.0).clamp(0.0, 100.0),
+                (50.0 + (f * 0.557).cos() * 12.0).clamp(0.0, 100.0),
+            )
+        })
+        .collect()
+}
+
+fn spec() -> GridSpec {
+    GridSpec::new(window(), 24, 24)
+}
+
+fn bits(grid: &DensityGrid) -> Vec<u64> {
+    grid.values().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn fixed_seed_is_bitwise_stable_across_runs() {
+    let pts = clustered(3_000, 0);
+    let k = KernelKind::Quartic.with_bandwidth(8.0);
+    let m = sample_size_for_guarantee(0.1, 0.01).unwrap();
+    let a = sampling_kdv(&pts, spec(), k, m, 42);
+    let b = sampling_kdv(&pts, spec(), k, m, 42);
+    assert_eq!(bits(&a), bits(&b), "same seed must replay bit-for-bit");
+    let c = sampling_kdv(&pts, spec(), k, m, 43);
+    assert_ne!(bits(&a), bits(&c), "a different seed must draw differently");
+}
+
+#[test]
+fn segmented_sampling_is_segmentation_and_run_invariant() {
+    let pts = clustered(4_000, 7);
+    let k = KernelKind::Epanechnikov.with_bandwidth(10.0);
+    let m = sample_size_for_guarantee(0.1, 0.01).unwrap();
+    let radius = k.effective_radius(1e-9);
+
+    let seg = |parts: &[&[Point]]| {
+        SegmentedGrid::from_segments(
+            parts
+                .iter()
+                .map(|p| Arc::new(GridIndex::with_bbox(p, radius, window())))
+                .collect(),
+        )
+    };
+    let mono = seg(&[&pts]);
+    let (head, tail) = pts.split_at(1_100);
+    let (mid, last) = tail.split_at(1_700);
+    let split = seg(&[head, mid, last]);
+
+    let a = sampling_kdv_segmented(&mono, spec(), k, m, 9);
+    let b = sampling_kdv_segmented(&split, spec(), k, m, 9);
+    let c = sampling_kdv_segmented(&split, spec(), k, m, 9);
+    assert_eq!(
+        bits(&a),
+        bits(&b),
+        "logical-index draw must not see segment boundaries"
+    );
+    assert_eq!(bits(&b), bits(&c), "repeat run must be bit-identical");
+}
+
+/// The full degraded serving path — admission, segment-stack sampling,
+/// tile assembly — replayed on two servers whose only difference is the
+/// worker pool width. The rasters must match bit for bit.
+#[test]
+fn degraded_tiles_are_thread_count_invariant() {
+    let pts = clustered(5_000, 3);
+    let k = KernelKind::Quartic.with_bandwidth(8.0);
+    let policy = QualityPolicy::new(
+        Duration::ZERO,
+        ApproxMode::Sampling {
+            eps: 0.1,
+            delta: 0.01,
+            seed: 11,
+        },
+    )
+    .unwrap();
+
+    let tile_for = |threads: usize| {
+        let s = TileServer::new(TileServerConfig {
+            tile_px: 32,
+            max_zoom: 3,
+            shards: 4,
+            byte_budget: 1 << 22,
+            threads: Threads::exact(threads),
+            ..TileServerConfig::default()
+        });
+        let layer = s.add_layer(pts.clone(), window(), k, 1e-9).expect("layer");
+        // Arm the admission controller: with a 1 s estimate and a zero
+        // deadline every cold request degrades deterministically.
+        s.set_compute_estimate(Duration::from_secs(1));
+        let t = s
+            .get_tile_with_policy(layer, 2, 1, 2, &policy)
+            .expect("degraded tile");
+        assert!(!t.tier.is_exact(), "probe must be served degraded");
+        bits(&t.grid)
+    };
+
+    let one = tile_for(1);
+    let eight = tile_for(8);
+    assert_eq!(one, eight, "degraded raster must not depend on pool width");
+    assert_eq!(one, tile_for(1), "and must replay bit-identically");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Eq. 7 honoured in practice: at `m = ⌈ln(2/δ)/(2ε²)⌉` the observed
+    /// L∞ error vs the exact density stays within `2 · ε·n·K(0)` for
+    /// every kernel family and bandwidth (the 2× absorbs δ = 1%).
+    fn hoeffding_linf_bound_over_kernels_and_bandwidths(
+        kidx in 0usize..7,
+        b in 4.0f64..40.0,
+        eidx in 0usize..3,
+        seed in 0u64..1_000,
+        jitter in 0u64..97,
+    ) {
+        let eps = [0.05f64, 0.1, 0.2][eidx];
+        let kernel = KernelKind::ALL[kidx].with_bandwidth(b);
+        let pts = clustered(2_000, jitter);
+        let m = sample_size_for_guarantee(eps, 0.01).unwrap();
+        let exact = naive_kdv(&pts, spec(), kernel);
+        let approx = sampling_kdv(&pts, spec(), kernel, m, seed);
+        let bound = eps * pts.len() as f64 * kernel.max_value();
+        let linf = approx
+            .values()
+            .iter()
+            .zip(exact.values())
+            .map(|(a, e)| (a - e).abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!(
+            linf <= 2.0 * bound,
+            "L∞ {} exceeds 2× Hoeffding bound {} (kernel {:?}, b {}, eps {})",
+            linf, 2.0 * bound, KernelKind::ALL[kidx], b, eps
+        );
+    }
+}

@@ -90,6 +90,7 @@ fn run_interleaving(
         shards: 2,
         byte_budget: budget,
         threads: Threads::exact(threads),
+        ..TileServerConfig::default()
     });
     let layer = server
         .add_layer(mirror.clone(), window(), kernel, TAIL_EPS)
@@ -256,6 +257,7 @@ fn gets_racing_inserts_never_serve_stale_generations() {
         shards: 2,
         byte_budget: 3 * (TILE_PX * TILE_PX * 8 + 128), // eviction churn too
         threads: Threads::exact(2),
+        ..TileServerConfig::default()
     }));
     let layer = server
         .add_layer(base, window(), kernel, TAIL_EPS)
@@ -317,6 +319,7 @@ fn concurrent_readers_all_serve_exact_tiles() {
         shards: 4,
         byte_budget: 6 * (TILE_PX * TILE_PX * 8 + 128), // forces eviction races
         threads: Threads::exact(2),
+        ..TileServerConfig::default()
     }));
     let layer = server
         .add_layer(pts.clone(), window(), kernel, TAIL_EPS)

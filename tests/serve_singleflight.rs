@@ -35,6 +35,7 @@ fn server() -> TileServer {
         shards: 4,
         byte_budget: 1 << 22,
         threads: Threads::exact(1),
+        ..TileServerConfig::default()
     })
 }
 
