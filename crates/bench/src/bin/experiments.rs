@@ -77,6 +77,11 @@ fn main() {
             "quality tiers: deadline-aware degradation under Zipfian overload",
             e23,
         ),
+        (
+            "e24",
+            "served tiers: HTTP front-end under overload, exact vs tiered",
+            e24,
+        ),
     ];
 
     let mut ran = 0;
@@ -108,7 +113,7 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("unknown experiment id; use e1..e23 or all (e16-e18 are the implemented future-work extensions)");
+        eprintln!("unknown experiment id; use e1..e24 or all (e16-e18 are the implemented future-work extensions)");
         std::process::exit(2);
     }
 }
@@ -1658,6 +1663,260 @@ fn e23() {
     report::row(
         "guarantee audit",
         &[("bound", bound), ("max_linf", max_linf)],
+        0.0,
+    );
+}
+
+// ---------------------------------------------------------------- E24 ---
+fn e24() {
+    use lsga::core::par::Threads;
+    use lsga::http::{client, HttpServer, HttpServerConfig};
+    use lsga::serve::{compute_tile_direct, TileCoord, TileServer, TileServerConfig};
+    use lsga_bench::load::{run_load_http, LoadConfig};
+    use std::sync::Arc;
+
+    let n = 50_000;
+    let points = crime(n);
+    let kernel = KernelKind::Quartic.with_bandwidth(250.0);
+    let eps = 0.1;
+    let tile_px = 64usize;
+    // Same shape as E23 but sized down one notch: every request now
+    // pays a TCP connect + parse + encode round trip, so the pyramid
+    // uses 64 px tiles and the byte budget keeps only the Zipf head
+    // resident (~32 of 341 tiles) to preserve a steady cold-compute mix.
+    let cfg = || TileServerConfig {
+        tile_px,
+        max_zoom: 4,
+        shards: 8,
+        byte_budget: 1 << 20,
+        threads: Threads::exact(hw_threads()),
+        ..TileServerConfig::default()
+    };
+    let http_cfg = || HttpServerConfig {
+        workers: 4,
+        queue_cap: 64,
+        ..HttpServerConfig::default()
+    };
+    let timeout = Duration::from_secs(30);
+    let zipf_s = 1.1;
+    let gen_workers = 16;
+    let seed = 2424;
+
+    // Calibration through the full stack: one cold served tile for the
+    // deadline, then closed-loop capacity over sockets. 2.5× that is
+    // the overload point, identical in spirit to E23's but measured
+    // with the wire in the loop.
+    let calib_tiles = Arc::new(TileServer::new(cfg()));
+    let layer = calib_tiles
+        .add_layer(points.clone(), window(), kernel, 1e-9)
+        .expect("calibration layer");
+    let calib = HttpServer::start(Arc::clone(&calib_tiles), http_cfg()).expect("calibration bind");
+    let t0 = Instant::now();
+    let cold =
+        client::get(calib.local_addr(), "/tiles/0/4/7/7", &[], timeout).expect("cold served tile");
+    let t_tile = t0.elapsed();
+    assert_eq!(cold.status, 200, "calibration GET failed");
+    let closed = LoadConfig {
+        workers: gen_workers,
+        rate_rps: None,
+        warmup: 150,
+        requests: 450,
+        zipf_s,
+        seed,
+    };
+    let cap = run_load_http(calib.local_addr(), layer, 4, &closed, None);
+    calib.shutdown();
+    let overload_rps = cap.achieved_rps * 2.5;
+    println!("| calibration (served) | value |");
+    println!("|---|---|");
+    println!("| points / pyramid | {n} pts, zoom ≤ 4 ({tile_px} px tiles) |");
+    println!(
+        "| cold served tile (connect + compute + wire) | {} ms |",
+        ms(t_tile)
+    );
+    println!(
+        "| closed-loop capacity ({gen_workers} client workers) | {:.0} req/s |",
+        cap.achieved_rps
+    );
+    println!("| open-loop overload rate (2.5×) | {overload_rps:.0} req/s |");
+    report::row(
+        "calibration",
+        &[
+            ("capacity_rps", cap.achieved_rps),
+            ("overload_rps", overload_rps),
+        ],
+        msf(t_tile),
+    );
+
+    // Head to head over sockets: identical seeded trace, fresh server
+    // each run, only the query string differs.
+    let open = LoadConfig {
+        workers: gen_workers,
+        rate_rps: Some(overload_rps),
+        warmup: 200,
+        requests: 1_200,
+        zipf_s,
+        seed,
+    };
+
+    let exact_tiles = Arc::new(TileServer::new(cfg()));
+    let layer_a = exact_tiles
+        .add_layer(points.clone(), window(), kernel, 1e-9)
+        .expect("exact-run layer");
+    let exact_http = HttpServer::start(exact_tiles, http_cfg()).expect("exact bind");
+    let exact_rep = run_load_http(exact_http.local_addr(), layer_a, 4, &open, None);
+    exact_http.shutdown();
+
+    let deadline_ms = ((t_tile.as_secs_f64() * 2e3).ceil() as u64).max(1);
+    let tier_query = format!("deadline_ms={deadline_ms}&eps={eps}&delta=0.01&seed=7");
+    let tiered_tiles = Arc::new(TileServer::new(cfg()));
+    let layer_b = tiered_tiles
+        .add_layer(points.clone(), window(), kernel, 1e-9)
+        .expect("tiered-run layer");
+    // Arm the admission EWMA before the first request, as in E23.
+    tiered_tiles.set_compute_estimate(t_tile);
+    let tiered_http =
+        HttpServer::start(Arc::clone(&tiered_tiles), http_cfg()).expect("tiered bind");
+    let tiered_rep = run_load_http(
+        tiered_http.local_addr(),
+        layer_b,
+        4,
+        &open,
+        Some(&tier_query),
+    );
+
+    println!(
+        "\n| served open loop @ {overload_rps:.0} req/s, {} reqs | p50 | p99 | p999 | max | degraded | rejected |",
+        open.requests
+    );
+    println!("|---|---|---|---|---|---|---|");
+    println!(
+        "| exact only | {:.1} ms | {:.1} ms | {:.1} ms | {:.1} ms | 0% | {:.1}% |",
+        exact_rep.p50_ms,
+        exact_rep.p99_ms,
+        exact_rep.p999_ms,
+        exact_rep.max_ms,
+        exact_rep.rejected_frac * 100.0
+    );
+    println!(
+        "| tiered (?deadline_ms={deadline_ms}, ε = {eps}) | {:.1} ms | {:.1} ms | {:.1} ms | {:.1} ms | {:.1}% | {:.1}% |",
+        tiered_rep.p50_ms,
+        tiered_rep.p99_ms,
+        tiered_rep.p999_ms,
+        tiered_rep.max_ms,
+        tiered_rep.degraded_frac * 100.0,
+        tiered_rep.rejected_frac * 100.0
+    );
+    println!(
+        "| p999 ratio (tiered / exact) | {:.3} |  |  |  |  |  |",
+        tiered_rep.p999_ms / exact_rep.p999_ms
+    );
+    report::row(
+        "exact only",
+        &[
+            ("p50_ms", exact_rep.p50_ms),
+            ("p99_ms", exact_rep.p99_ms),
+            ("p999_ms", exact_rep.p999_ms),
+            ("degraded_frac", 0.0),
+            ("rejected_frac", exact_rep.rejected_frac),
+            ("achieved_rps", exact_rep.achieved_rps),
+        ],
+        exact_rep.p999_ms,
+    );
+    report::row(
+        "tiered",
+        &[
+            ("p50_ms", tiered_rep.p50_ms),
+            ("p99_ms", tiered_rep.p99_ms),
+            ("p999_ms", tiered_rep.p999_ms),
+            ("degraded_frac", tiered_rep.degraded_frac),
+            ("rejected_frac", tiered_rep.rejected_frac),
+            ("achieved_rps", tiered_rep.achieved_rps),
+        ],
+        tiered_rep.p999_ms,
+    );
+    assert!(
+        tiered_rep.degraded > 0,
+        "served overload must push some requests onto the degraded tier"
+    );
+    // The wire adds the same constant cost to both runs, which
+    // compresses the ratio relative to E23's in-process 0.5 floor.
+    assert!(
+        tiered_rep.p999_ms <= 0.6 * exact_rep.p999_ms,
+        "served tiered p999 {:.1} ms must be ≤ 0.6× exact-only p999 {:.1} ms",
+        tiered_rep.p999_ms,
+        exact_rep.p999_ms
+    );
+
+    // Wire audit on the still-running tiered server, estimate cleared
+    // so the exact path serves: the f64 payload must be bit-identical
+    // to the direct computation, and the u8 payload within half a
+    // quantization step.
+    tiered_tiles.set_compute_estimate(Duration::ZERO);
+    tiered_tiles.clear_cache();
+    let probes = [
+        TileCoord::new(0, 0, 0),
+        TileCoord::new(2, 1, 1),
+        TileCoord::new(4, 8, 7),
+    ];
+    let addr = tiered_http.local_addr();
+    let mut bits_checked = 0usize;
+    let mut u8_max_err_steps = 0.0f64;
+    for c in probes {
+        let oracle = compute_tile_direct(&points, &window(), kernel, 1e-9, tile_px, c);
+        let f64_resp = client::get(
+            addr,
+            &format!("/tiles/{layer_b}/{}/{}/{}", c.z, c.x, c.y),
+            &[],
+            timeout,
+        )
+        .expect("f64 probe");
+        assert_eq!(f64_resp.status, 200);
+        let served = f64_resp.decode_f64();
+        assert_eq!(served.len(), oracle.values().len());
+        for (a, b) in served.iter().zip(oracle.values()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "served f64 tile {c:?} diverged from direct compute"
+            );
+        }
+        bits_checked += served.len();
+
+        let u8_resp = client::get(
+            addr,
+            &format!("/tiles/{layer_b}/{}/{}/{}?fmt=u8", c.z, c.x, c.y),
+            &[],
+            timeout,
+        )
+        .expect("u8 probe");
+        assert_eq!(u8_resp.status, 200);
+        let dec = u8_resp.decode_u8().expect("u8 range headers");
+        let min: f64 = u8_resp.header("x-lsga-min").unwrap().parse().unwrap();
+        let max: f64 = u8_resp.header("x-lsga-max").unwrap().parse().unwrap();
+        let step = ((max - min) / 255.0).max(f64::MIN_POSITIVE);
+        for (a, b) in dec.iter().zip(oracle.values()) {
+            let err_steps = (a - b).abs() / step;
+            assert!(
+                err_steps <= 0.5 + 1e-9,
+                "u8 tile {c:?} dequantization off by {err_steps:.3} steps"
+            );
+            u8_max_err_steps = u8_max_err_steps.max(err_steps);
+        }
+    }
+    tiered_http.shutdown();
+    println!("\n| wire audit ({} probe tiles) | value |", probes.len());
+    println!("|---|---|");
+    println!("| f64 pixels bit-compared | {bits_checked} (all identical) |");
+    println!(
+        "| worst u8 dequantization error | {u8_max_err_steps:.3} quantization steps (bound 0.5) |"
+    );
+    report::row(
+        "wire audit",
+        &[
+            ("f64_bits_checked", bits_checked as f64),
+            ("u8_max_err_steps", u8_max_err_steps),
+        ],
         0.0,
     );
 }

@@ -20,7 +20,18 @@
 //! (they stay cached) while a long tail of cold tiles forces real
 //! computes, which is exactly the mix that makes admission control
 //! earn its keep.
+//!
+//! Both an **in-process** mode ([`run_load`], calling the
+//! [`TileServer`] directly) and a **socket** mode ([`run_load_http`],
+//! one TCP connection per request against a bound
+//! [`HttpServer`](lsga::http::HttpServer)) replay the same seeded
+//! trace, so E23 (in-process tiers) and E24 (served tiers) measure the
+//! same workload with and without the wire in the loop. Socket mode
+//! uses connection-per-request deliberately: persistent connections
+//! would pin generator workers to server workers and turn the
+//! open-loop schedule back into a closed loop.
 
+use lsga::http::client;
 use lsga::serve::{LayerId, QualityPolicy, TileCoord, TileServer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -115,10 +126,26 @@ pub struct LoadReport {
     pub degraded: usize,
     /// `degraded / n`.
     pub degraded_frac: f64,
+    /// Measured requests refused with `503` (socket mode only; the
+    /// in-process path has no admission queue to overflow). Rejected
+    /// requests are **excluded from the latency percentiles** — a fast
+    /// refusal is not a served request, and folding it in would make
+    /// an overloaded server look faster the more it sheds.
+    pub rejected: usize,
+    /// `rejected / n`.
+    pub rejected_frac: f64,
     /// Measured requests / measured wall time.
     pub achieved_rps: f64,
     /// Wall time of the measurement phase.
     pub wall_ms: f64,
+}
+
+/// What one issued request came back as.
+pub struct ReqOutcome {
+    /// Answered at a non-exact tier.
+    pub degraded: bool,
+    /// Refused with `503` (queue full).
+    pub rejected: bool,
 }
 
 fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
@@ -129,16 +156,80 @@ fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
     sorted_ns[rank.clamp(1, sorted_ns.len()) - 1] as f64 / 1e6
 }
 
-/// Run one load phase against `server`. The request sequence (tile per
-/// request index) is pre-generated from `cfg.seed`, so two runs with
-/// different policies replay identical traffic.
+/// Run one load phase against `server`, in process. The request
+/// sequence (tile per request index) is pre-generated from `cfg.seed`,
+/// so two runs with different policies replay identical traffic.
 pub fn run_load(
     server: &TileServer,
     layer: LayerId,
     cfg: &LoadConfig,
     policy: Option<&QualityPolicy>,
 ) -> LoadReport {
-    let zipf = ZipfTiles::new(server.config().max_zoom, cfg.zipf_s, cfg.seed);
+    run_load_core(server.config().max_zoom, cfg, &|c| {
+        let tile = match policy {
+            Some(p) => server
+                .get_tile_with_policy(layer, c.z, c.x, c.y, p)
+                .expect("load request failed"),
+            None => server
+                .get_tile(layer, c.z, c.x, c.y)
+                .expect("load request failed"),
+        };
+        ReqOutcome {
+            degraded: !tile.tier.is_exact(),
+            rejected: false,
+        }
+    })
+}
+
+/// Run one load phase against a live [`HttpServer`] over TCP, one
+/// connection per request. `extra_query` (e.g.
+/// `"deadline_ms=12&eps=0.1&seed=7"`) is appended to every tile URL —
+/// this is how a whole run opts into the deadline/tier path. The same
+/// `cfg.seed` replays the identical trace as [`run_load`].
+///
+/// `503` responses count as rejected; any other non-`200` status is a
+/// harness bug and panics.
+///
+/// [`HttpServer`]: lsga::http::HttpServer
+pub fn run_load_http(
+    addr: std::net::SocketAddr,
+    layer: LayerId,
+    max_zoom: u8,
+    cfg: &LoadConfig,
+    extra_query: Option<&str>,
+) -> LoadReport {
+    let timeout = Duration::from_secs(30);
+    run_load_core(max_zoom, cfg, &|c| {
+        let target = match extra_query {
+            Some(q) => format!("/tiles/{layer}/{}/{}/{}?{q}", c.z, c.x, c.y),
+            None => format!("/tiles/{layer}/{}/{}/{}", c.z, c.x, c.y),
+        };
+        let resp = client::get(addr, &target, &[], timeout).expect("http load request failed");
+        match resp.status {
+            200 => ReqOutcome {
+                degraded: resp.header("x-lsga-tier") != Some("exact"),
+                rejected: false,
+            },
+            503 => ReqOutcome {
+                degraded: false,
+                rejected: true,
+            },
+            other => panic!(
+                "unexpected status {other} for {target}: {}",
+                String::from_utf8_lossy(&resp.body)
+            ),
+        }
+    })
+}
+
+/// The shared engine: seeded trace generation, open/closed-loop
+/// scheduling, and percentile accounting over an `issue` closure.
+fn run_load_core(
+    max_zoom: u8,
+    cfg: &LoadConfig,
+    issue: &(dyn Fn(TileCoord) -> ReqOutcome + Sync),
+) -> LoadReport {
+    let zipf = ZipfTiles::new(max_zoom, cfg.zipf_s, cfg.seed);
     let total = cfg.warmup + cfg.requests;
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9);
     let schedule: Vec<TileCoord> = (0..total).map(|_| zipf.draw(&mut rng)).collect();
@@ -146,12 +237,12 @@ pub fn run_load(
     let next = AtomicUsize::new(0);
     let interval_ns = cfg.rate_rps.map(|r| 1e9 / r);
     let start = Instant::now();
-    // (latency_ns, degraded, request index) per measured request.
-    let mut samples: Vec<(u64, bool, usize)> = std::thread::scope(|scope| {
+    // (latency_ns, degraded, rejected, request index) per measured request.
+    let mut samples: Vec<(u64, bool, bool, usize)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.workers.max(1))
             .map(|_| {
                 scope.spawn(|| {
-                    let mut local: Vec<(u64, bool, usize)> = Vec::new();
+                    let mut local: Vec<(u64, bool, bool, usize)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= total {
@@ -175,19 +266,13 @@ pub fn run_load(
                             }
                             None => start.elapsed(),
                         };
-                        let tile = match policy {
-                            Some(p) => server
-                                .get_tile_with_policy(layer, c.z, c.x, c.y, p)
-                                .expect("load request failed"),
-                            None => server
-                                .get_tile(layer, c.z, c.x, c.y)
-                                .expect("load request failed"),
-                        };
+                        let outcome = issue(c);
                         let latency = start.elapsed().saturating_sub(measure_from);
                         if i >= cfg.warmup {
                             local.push((
                                 latency.as_nanos().min(u128::from(u64::MAX)) as u64,
-                                !tile.tier.is_exact(),
+                                outcome.degraded,
+                                outcome.rejected,
                                 i,
                             ));
                         }
@@ -203,15 +288,22 @@ pub fn run_load(
     });
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
-    samples.sort_by_key(|&(_, _, i)| i);
-    let degraded = samples.iter().filter(|&&(_, d, _)| d).count();
-    let mut lat: Vec<u64> = samples.iter().map(|&(ns, _, _)| ns).collect();
+    samples.sort_by_key(|&(_, _, _, i)| i);
+    let degraded = samples.iter().filter(|&&(_, d, _, _)| d).count();
+    let rejected = samples.iter().filter(|&&(_, _, r, _)| r).count();
+    // Latency percentiles cover served requests only (see LoadReport).
+    let mut lat: Vec<u64> = samples
+        .iter()
+        .filter(|&&(_, _, r, _)| !r)
+        .map(|&(ns, _, _, _)| ns)
+        .collect();
     lat.sort_unstable();
-    let n = lat.len();
-    let mean_ms = if n == 0 {
+    let n = samples.len();
+    let served = lat.len();
+    let mean_ms = if served == 0 {
         0.0
     } else {
-        lat.iter().map(|&v| v as f64).sum::<f64>() / n as f64 / 1e6
+        lat.iter().map(|&v| v as f64).sum::<f64>() / served as f64 / 1e6
     };
     LoadReport {
         n,
@@ -225,6 +317,12 @@ pub fn run_load(
             0.0
         } else {
             degraded as f64 / n as f64
+        },
+        rejected,
+        rejected_frac: if n == 0 {
+            0.0
+        } else {
+            rejected as f64 / n as f64
         },
         achieved_rps: if wall_ms > 0.0 {
             n as f64 / (wall_ms / 1e3)
@@ -273,6 +371,58 @@ mod tests {
         for _ in 0..200 {
             assert_eq!(z.draw(&mut a), z2.draw(&mut b));
         }
+    }
+
+    #[test]
+    fn http_mode_replays_the_trace_over_sockets() {
+        use lsga::core::par::Threads;
+        use lsga::http::{HttpServer, HttpServerConfig};
+        use lsga::prelude::*;
+        use lsga::serve::{TileServer, TileServerConfig};
+        use std::sync::Arc;
+
+        let tiles = Arc::new(TileServer::new(TileServerConfig {
+            tile_px: 8,
+            max_zoom: 2,
+            shards: 2,
+            threads: Threads::exact(2),
+            ..TileServerConfig::default()
+        }));
+        let pts: Vec<Point> = (0..40)
+            .map(|i| Point::new(10.0 + (i % 7) as f64, 20.0 + (i % 5) as f64))
+            .collect();
+        let layer = tiles
+            .add_layer(
+                pts,
+                BBox::new(0.0, 0.0, 100.0, 100.0),
+                KernelKind::Quartic.with_bandwidth(15.0),
+                1e-6,
+            )
+            .expect("layer");
+        let server = HttpServer::start(tiles, HttpServerConfig::default()).expect("bind");
+        let cfg = LoadConfig {
+            workers: 2,
+            rate_rps: None,
+            warmup: 4,
+            requests: 24,
+            zipf_s: 1.0,
+            seed: 11,
+        };
+        let rep = run_load_http(server.local_addr(), layer, 2, &cfg, None);
+        assert_eq!(rep.n, 24);
+        assert_eq!(rep.rejected, 0, "idle server must not shed");
+        assert_eq!(rep.degraded, 0, "no deadline, no degradation");
+        assert!(rep.p50_ms > 0.0 && rep.p999_ms >= rep.p50_ms);
+        // Deadline query drives the tier path end to end.
+        let tiered = run_load_http(
+            server.local_addr(),
+            layer,
+            2,
+            &cfg,
+            Some("deadline_ms=1000&eps=0.1&seed=7"),
+        );
+        assert_eq!(tiered.n, 24);
+        server.shutdown();
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! A minimal blocking HTTP/1.1 client — just enough to talk to
+//! [`HttpServer`](crate::HttpServer) from tests and the bench load
+//! generator, with decode helpers that are the official inverse of the
+//! wire formats in [`crate::wire`].
+//!
+//! The response reader consumes the head byte-by-byte and then exactly
+//! `Content-Length` body bytes, never over-reading, so multiple
+//! responses on one keep-alive (or pipelined) connection can be read
+//! back-to-back from the same stream.
+
+use crate::wire::dequantize;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on a response head the client will buffer.
+const MAX_RESPONSE_HEAD: usize = 64 * 1024;
+
+/// A fully read response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    pub status: u16,
+    /// Header fields in wire order, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with this (lowercase) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Decode an `application/x-lsga-f64` body: row-major
+    /// little-endian f64 pixels, bit-exact.
+    #[must_use]
+    pub fn decode_f64(&self) -> Vec<f64> {
+        self.body
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Decode an `application/x-lsga-u8` body back to f64 pixels using
+    /// the `X-Lsga-Min`/`X-Lsga-Max` range headers. `None` if the
+    /// headers are absent or unparsable.
+    #[must_use]
+    pub fn decode_u8(&self) -> Option<Vec<f64>> {
+        let min: f64 = self.header("x-lsga-min")?.parse().ok()?;
+        let max: f64 = self.header("x-lsga-max")?.parse().ok()?;
+        Some(self.body.iter().map(|&q| dequantize(q, min, max)).collect())
+    }
+}
+
+/// Read one response from a stream. Stops exactly at the end of the
+/// declared body so the stream stays positioned for the next response.
+pub fn read_response<R: Read>(r: &mut R) -> io::Result<ClientResponse> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        if r.read(&mut byte)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response-head",
+            ));
+        }
+        head.push(byte[0]);
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_RESPONSE_HEAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response head too large",
+            ));
+        }
+    }
+    let text =
+        std::str::from_utf8(&head).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut lines = text.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line: {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (n, v) = line.split_once(':').ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad header line: {line:?}"),
+            )
+        })?;
+        headers.push((n.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    let len: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Open a connection with the given timeout applied to connect, read,
+/// and write.
+pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    Ok(stream)
+}
+
+/// Send raw request bytes on a fresh connection and read one response.
+pub fn send(addr: SocketAddr, request: &[u8], timeout: Duration) -> io::Result<ClientResponse> {
+    let mut stream = connect(addr, timeout)?;
+    stream.write_all(request)?;
+    read_response(&mut stream)
+}
+
+/// `GET {target}` on a fresh connection (`Connection: close`), with
+/// optional extra headers.
+pub fn get(
+    addr: SocketAddr,
+    target: &str,
+    extra_headers: &[(&str, &str)],
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    let mut req = format!("GET {target} HTTP/1.1\r\nHost: lsga\r\nConnection: close\r\n");
+    for (n, v) in extra_headers {
+        req.push_str(&format!("{n}: {v}\r\n"));
+    }
+    req.push_str("\r\n");
+    send(addr, req.as_bytes(), timeout)
+}
+
+/// `POST {target}` with a binary body on a fresh connection.
+pub fn post(
+    addr: SocketAddr,
+    target: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    let mut req = format!(
+        "POST {target} HTTP/1.1\r\nHost: lsga\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    send(addr, &req, timeout)
+}
+
+/// Encode a point batch as the `POST /layers/{layer}/points` body
+/// format: little-endian (x, y) f64 pairs.
+#[must_use]
+pub fn encode_points(points: &[lsga_core::Point]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(points.len() * 16);
+    for p in points {
+        body.extend_from_slice(&p.x.to_le_bytes());
+        body.extend_from_slice(&p.y.to_le_bytes());
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_a_framed_response_without_overreading() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 2\r\n\r\nhiHTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+        let mut cursor = io::Cursor::new(&wire[..]);
+        let first = read_response(&mut cursor).unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, b"hi");
+        assert_eq!(first.header("content-type"), Some("text/plain"));
+        let second = read_response(&mut cursor).unwrap();
+        assert_eq!(second.status, 404);
+        assert!(second.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_responses_are_errors_not_panics() {
+        for wire in [
+            &b"garbage\r\n\r\n"[..],
+            &b"HTTP/1.1\r\n\r\n"[..],
+            &b"HTTP/1.1 200 OK\r\nNo-Colon\r\n\r\n"[..],
+            &b"HTTP/1.1 200 OK\r\nContent-Length: ten\r\n\r\n"[..],
+        ] {
+            let mut cursor = io::Cursor::new(wire);
+            assert!(read_response(&mut cursor).is_err());
+        }
+        // Truncated body.
+        let mut cursor = io::Cursor::new(&b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhi"[..]);
+        assert!(read_response(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn point_batch_round_trips() {
+        let pts = vec![
+            lsga_core::Point::new(1.5, -2.25),
+            lsga_core::Point::new(0.0, 4.0),
+        ];
+        let body = encode_points(&pts);
+        assert_eq!(body.len(), 32);
+        let decoded: Vec<f64> = body
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(decoded, vec![1.5, -2.25, 0.0, 4.0]);
+    }
+}

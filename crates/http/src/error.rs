@@ -1,0 +1,207 @@
+//! The HTTP error type: an HTTP status paired with the underlying
+//! [`LsgaError`].
+//!
+//! Every failure on the socket and parse paths flows through exactly
+//! one of the constructors here — `io::Error` through [`HttpError::io`],
+//! `Utf8Error` through [`HttpError::utf8`], integer/float parse
+//! failures through [`HttpError::parse`] — so there is no branch that
+//! can panic or lose the reason. `tests/http_conformance.rs` exercises
+//! every constructor and the [`status_for`] mapping branch by branch.
+
+use lsga_core::error::LsgaError;
+use std::str::Utf8Error;
+
+/// Result alias for the request path.
+pub type HttpResult<T> = std::result::Result<T, HttpError>;
+
+/// A request-scoped failure: the status the client receives plus the
+/// [`LsgaError`] that caused it (the error's `Display` becomes the
+/// response body, so a failing client sees *why*).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpError {
+    pub status: u16,
+    pub source: LsgaError,
+}
+
+impl HttpError {
+    /// A generic 400 with a parse-shaped cause.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        HttpError {
+            status: 400,
+            source: LsgaError::Parse {
+                line: 0,
+                message: message.into(),
+            },
+        }
+    }
+
+    /// 404: the path shape is fine but names nothing servable.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        HttpError {
+            status: 404,
+            source: LsgaError::InvalidParameter {
+                name: "path",
+                message: message.into(),
+            },
+        }
+    }
+
+    /// An `io::Error` on the socket. Timeouts (a truncated request
+    /// that never completes) become `408 Request Timeout`; every other
+    /// transport failure is a 400 — the bytes on the wire were not a
+    /// complete request.
+    pub fn io(e: std::io::Error, what: &str) -> Self {
+        use std::io::ErrorKind;
+        let status = match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => 408,
+            _ => 400,
+        };
+        HttpError {
+            status,
+            source: LsgaError::Io(format!("{what}: {e}")),
+        }
+    }
+
+    /// Non-UTF-8 bytes where ASCII text is required (request line,
+    /// header block).
+    pub fn utf8(e: Utf8Error, what: &str) -> Self {
+        HttpError {
+            status: 400,
+            source: LsgaError::Parse {
+                line: 0,
+                message: format!("{what}: {e}"),
+            },
+        }
+    }
+
+    /// A numeric field that failed to parse (path segment, query
+    /// value, `Content-Length`).
+    pub fn parse(what: &str, raw: &str) -> Self {
+        HttpError {
+            status: 400,
+            source: LsgaError::Parse {
+                line: 0,
+                message: format!("{what}: cannot parse {raw:?}"),
+            },
+        }
+    }
+
+    /// Wrap an [`LsgaError`] coming back from the tile server with the
+    /// status [`status_for`] assigns it.
+    pub fn from_lsga(e: LsgaError) -> Self {
+        HttpError {
+            status: status_for(&e),
+            source: e,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: {}",
+            self.status,
+            reason(self.status),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Which status a tile-server error surfaces as. Requests naming
+/// something that does not exist (unknown layer, out-of-pyramid
+/// coordinates) are 404s; requests whose *values* are illegal (bad ε,
+/// out-of-window points) are 400s; anything else — a panicked leader,
+/// an internal invariant failure — is the server's fault, 500.
+#[must_use]
+pub fn status_for(e: &LsgaError) -> u16 {
+    match e {
+        LsgaError::InvalidParameter { name, .. } => match *name {
+            "layer" | "z" | "tile" | "path" => 404,
+            _ => 400,
+        },
+        LsgaError::EmptyDataset(_) | LsgaError::Parse { .. } => 400,
+        LsgaError::Io(_) => 400,
+        _ => 500,
+    }
+}
+
+/// Canonical reason phrase for the statuses this crate emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        406 => "Not Acceptable",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_timeout_maps_to_408_and_other_io_to_400() {
+        let t = HttpError::io(
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "slow"),
+            "head",
+        );
+        assert_eq!(t.status, 408);
+        assert!(matches!(t.source, LsgaError::Io(_)));
+        let w = HttpError::io(
+            std::io::Error::new(std::io::ErrorKind::WouldBlock, "slow"),
+            "head",
+        );
+        assert_eq!(w.status, 408);
+        let r = HttpError::io(
+            std::io::Error::new(std::io::ErrorKind::ConnectionReset, "gone"),
+            "body",
+        );
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    #[allow(invalid_from_utf8)] // the invalid bytes are the point
+    fn utf8_and_parse_map_to_400_parse_errors() {
+        let bad = std::str::from_utf8(&[0xff, 0xfe]).unwrap_err();
+        let e = HttpError::utf8(bad, "head");
+        assert_eq!(e.status, 400);
+        assert!(matches!(e.source, LsgaError::Parse { .. }));
+        let p = HttpError::parse("z", "abc");
+        assert_eq!(p.status, 400);
+        assert!(p.source.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn lsga_statuses_split_not_found_from_bad_value() {
+        for name in ["layer", "z", "tile"] {
+            let e = LsgaError::InvalidParameter {
+                name,
+                message: "nope".into(),
+            };
+            assert_eq!(status_for(&e), 404, "{name}");
+        }
+        assert_eq!(
+            status_for(&LsgaError::InvalidParameter {
+                name: "eps",
+                message: "bad".into()
+            }),
+            400
+        );
+        assert_eq!(status_for(&LsgaError::EmptyDataset("points")), 400);
+        assert_eq!(status_for(&LsgaError::Panicked("tile")), 500);
+        assert_eq!(status_for(&LsgaError::SingularSystem("k")), 500);
+    }
+}

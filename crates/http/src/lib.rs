@@ -1,0 +1,47 @@
+//! # lsga-http — dependency-free HTTP/1.1 tile front-end
+//!
+//! Puts the serving layer (`lsga-serve`) on a real socket. Built
+//! entirely on `std::net::TcpListener` — no async runtime, no HTTP
+//! library — because the paper's serving problem (bounded-latency tile
+//! delivery under overload) is about *admission and degradation
+//! policy*, not protocol plumbing, and a thread-per-shard blocking
+//! design keeps every policy decision visible and testable.
+//!
+//! Endpoints:
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /tiles/{layer}/{z}/{x}/{y}` | One KDV tile; `?fmt=f64\|u8` or `Accept:` picks the payload; `?deadline_ms=` (or `X-Lsga-Deadline-Ms:`) routes through the EWMA admission controller |
+//! | `POST /layers/{layer}/points` | Append little-endian `(x, y)` f64 pairs to a layer (segmented ingest path) |
+//! | `GET /metrics` | Drain the `lsga-obs` tables as JSON |
+//! | `GET /healthz` | Liveness |
+//!
+//! The f64 tile payload is the *bit-identity* format: exactly the
+//! row-major pixels of the tile, each `f64::to_le_bytes`, so a client
+//! (and `tests/http_coherence.rs`) can check equality against
+//! [`lsga_serve::compute_tile_direct`] down to the last bit. The u8
+//! payload is an 8×-smaller linear quantization with its range in
+//! response headers.
+//!
+//! Overload behaviour is explicit: acceptors feed bounded per-worker
+//! connection queues, and when all queues are full the acceptor
+//! answers `503` + `Retry-After` itself (see [`server`] for the
+//! two-layer admission story and the graceful-shutdown protocol).
+//!
+//! Module map: [`parse`] (bytes → request → route, total over
+//! arbitrary input), [`wire`] (response encoding, payload formats),
+//! [`error`] (status mapping — every `io::Error`, `Utf8Error`, and
+//! parse failure becomes an [`HttpError`]), [`server`] (threads,
+//! queues, lifecycle), [`client`] (test/bench client + decoders).
+
+pub mod client;
+pub mod error;
+pub mod parse;
+pub mod server;
+pub mod wire;
+
+pub use client::{read_response, ClientResponse};
+pub use error::{reason, status_for, HttpError, HttpResult};
+pub use parse::{parse_head, route, Method, PayloadFmt, RawRequest, Route};
+pub use server::{HttpServer, HttpServerConfig};
+pub use wire::{dequantize, error_response, tier_name, tile_response, Response};

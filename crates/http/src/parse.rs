@@ -1,0 +1,593 @@
+//! Request parsing: bytes → [`RawRequest`] → [`Route`].
+//!
+//! Everything here is a pure function over a byte slice, which is what
+//! makes the conformance suite possible: `tests/http_conformance.rs`
+//! feeds the same functions the server's socket loop uses, both
+//! directly (directed malformed-input matrix, one test per error
+//! branch) and through real sockets (proptest byte-mangling). The
+//! contract is total: **any** byte sequence produces either a
+//! `RawRequest` or an [`HttpError`] with a 4xx status — never a panic,
+//! and never an unbounded scan (every dimension is capped below).
+//!
+//! Parsing is deliberately strict where strictness is cheap insurance:
+//! unknown or duplicate query keys are 400s rather than silently
+//! ignored, so a typo'd `deadine_ms=5` can never masquerade as an
+//! exact request that just happened to be slow.
+
+use crate::error::{HttpError, HttpResult};
+use lsga_serve::{ApproxMode, QualityPolicy};
+use std::time::Duration;
+
+/// Cap on the request head (request line + headers + blank line).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Cap on the request line alone.
+pub const MAX_REQUEST_LINE: usize = 4 * 1024;
+/// Cap on the number of header fields.
+pub const MAX_HEADERS: usize = 64;
+/// Default cap on a request body (`POST /layers/{l}/points`).
+pub const DEFAULT_MAX_BODY: usize = 16 << 20;
+
+/// The two methods the endpoint speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    Get,
+    Post,
+}
+
+/// A parsed request head: method, split target, lowercased headers.
+#[derive(Debug, Clone)]
+pub struct RawRequest {
+    pub method: Method,
+    /// Path component of the target (before `?`), percent-encoding
+    /// left untouched — tile paths are pure ASCII digits.
+    pub path: String,
+    /// Query pairs in wire order, keys and values raw.
+    pub query: Vec<(String, String)>,
+    /// Header fields in wire order, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Whether the connection survives this exchange (HTTP/1.1 default
+    /// minus `Connection: close`, HTTP/1.0 opt-in).
+    pub keep_alive: bool,
+}
+
+impl RawRequest {
+    /// First header with this (lowercase) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query value for this key.
+    #[must_use]
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The declared body length. Absent → `None`; non-numeric or
+    /// conflicting duplicates → 400.
+    pub fn content_length(&self) -> HttpResult<Option<usize>> {
+        let mut found: Option<usize> = None;
+        for (n, v) in &self.headers {
+            if n == "content-length" {
+                let len: usize = v
+                    .parse()
+                    .map_err(|_| HttpError::parse("content-length", v))?;
+                if let Some(prev) = found {
+                    if prev != len {
+                        return Err(HttpError::bad_request("conflicting content-length headers"));
+                    }
+                }
+                found = Some(len);
+            }
+        }
+        Ok(found)
+    }
+}
+
+/// Parse a request head (everything before the blank line, terminator
+/// excluded). Lines may end in CRLF or bare LF.
+pub fn parse_head(head: &[u8]) -> HttpResult<RawRequest> {
+    if head.len() > MAX_HEAD_BYTES {
+        return Err(HttpError {
+            status: 431,
+            source: lsga_core::LsgaError::Parse {
+                line: 0,
+                message: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            },
+        });
+    }
+    let text = std::str::from_utf8(head).map_err(|e| HttpError::utf8(e, "request head"))?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let (method, path, query, http11) = parse_request_line(request_line)?;
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminating blank line (or a stray one)
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError {
+                status: 431,
+                source: lsga_core::LsgaError::Parse {
+                    line: 0,
+                    message: format!("more than {MAX_HEADERS} header fields"),
+                },
+            });
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::bad_request(format!("header line without ':': {line:?}")))?;
+        let name = name.trim();
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(HttpError::bad_request(format!(
+                "illegal header name: {name:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut keep_alive = http11;
+    if let Some(c) = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+    {
+        if c == "close" {
+            keep_alive = false;
+        } else if c == "keep-alive" {
+            keep_alive = true;
+        }
+    }
+    Ok(RawRequest {
+        method,
+        path,
+        query,
+        headers,
+        keep_alive,
+    })
+}
+
+/// RFC 7230 token characters (header names).
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Parsed request line: method, path, decoded query pairs, and
+/// whether the version was HTTP/1.1 (keep-alive default).
+type RequestLine = (Method, String, Vec<(String, String)>, bool);
+
+fn parse_request_line(line: &str) -> HttpResult<RequestLine> {
+    if line.len() > MAX_REQUEST_LINE {
+        return Err(HttpError {
+            status: 414,
+            source: lsga_core::LsgaError::Parse {
+                line: 0,
+                message: format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+            },
+        });
+    }
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::bad_request(format!(
+            "request line is not 'METHOD TARGET VERSION': {line:?}"
+        )));
+    };
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        other => {
+            return Err(HttpError {
+                status: 405,
+                source: lsga_core::LsgaError::Parse {
+                    line: 0,
+                    message: format!("unsupported method {other:?}"),
+                },
+            })
+        }
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(HttpError::bad_request(format!(
+                "unsupported protocol version {other:?}"
+            )))
+        }
+    };
+    if !target.starts_with('/') {
+        return Err(HttpError::bad_request(format!(
+            "target must be origin-form (start with '/'): {target:?}"
+        )));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let mut query = Vec::new();
+    if let Some(q) = query_str {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((k.to_string(), v.to_string()));
+        }
+    }
+    Ok((method, path.to_string(), query, http11))
+}
+
+/// Requested payload encoding for a tile response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadFmt {
+    /// Raw little-endian `f64` pixels, row-major — the bit-identity
+    /// format.
+    F64,
+    /// Linearly quantized `u8` pixels with `X-Lsga-Min`/`X-Lsga-Max`
+    /// headers carrying the dequantization range.
+    U8,
+}
+
+impl PayloadFmt {
+    /// The `Content-Type` each format is served under (and matched
+    /// against `Accept`).
+    #[must_use]
+    pub fn content_type(self) -> &'static str {
+        match self {
+            PayloadFmt::F64 => "application/x-lsga-f64",
+            PayloadFmt::U8 => "application/x-lsga-u8",
+        }
+    }
+}
+
+/// A fully validated request, ready to execute against the tile server.
+#[derive(Debug)]
+pub enum Route {
+    /// `GET /tiles/{layer}/{z}/{x}/{y}` — serve one tile.
+    Tile {
+        layer: usize,
+        z: u8,
+        x: u32,
+        y: u32,
+        fmt: PayloadFmt,
+        /// Present iff the request carried a deadline (query param or
+        /// `X-Lsga-Deadline-Ms` header): route through the admission
+        /// controller instead of the always-exact path.
+        policy: Option<QualityPolicy>,
+    },
+    /// `POST /layers/{layer}/points` — append a batch of points.
+    IngestPoints { layer: usize },
+    /// `GET /metrics` — drain the obs tables as JSON.
+    Metrics,
+    /// `GET /healthz` — liveness probe.
+    Health,
+}
+
+/// Which query keys each route accepts; anything else is a 400.
+const TILE_QUERY_KEYS: [&str; 6] = ["fmt", "deadline_ms", "mode", "eps", "delta", "seed"];
+
+fn check_query_keys(req: &RawRequest, allowed: &[&str]) -> HttpResult<()> {
+    for (i, (k, _)) in req.query.iter().enumerate() {
+        if !allowed.contains(&k.as_str()) {
+            return Err(HttpError::bad_request(format!(
+                "unknown query parameter {k:?}"
+            )));
+        }
+        if req.query[..i].iter().any(|(prev, _)| prev == k) {
+            return Err(HttpError::bad_request(format!(
+                "duplicate query parameter {k:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn parse_seg<T: std::str::FromStr>(what: &'static str, raw: &str) -> HttpResult<T> {
+    raw.parse().map_err(|_| HttpError::parse(what, raw))
+}
+
+/// Resolve the payload format: `?fmt=` wins, then `Accept`, then the
+/// f64 default. An `Accept` naming neither lsga media type (nor a
+/// wildcard / octet-stream) is a 406.
+fn negotiate_fmt(req: &RawRequest) -> HttpResult<PayloadFmt> {
+    if let Some(v) = req.query_value("fmt") {
+        return match v {
+            "f64" => Ok(PayloadFmt::F64),
+            "u8" => Ok(PayloadFmt::U8),
+            other => Err(HttpError::parse("fmt", other)),
+        };
+    }
+    match req.header("accept") {
+        None => Ok(PayloadFmt::F64),
+        Some(a) => {
+            if a.contains("application/x-lsga-u8") {
+                Ok(PayloadFmt::U8)
+            } else if a.contains("application/x-lsga-f64")
+                || a.contains("*/*")
+                || a.contains("application/octet-stream")
+            {
+                Ok(PayloadFmt::F64)
+            } else {
+                Err(HttpError {
+                    status: 406,
+                    source: lsga_core::LsgaError::InvalidParameter {
+                        name: "accept",
+                        message: format!("no acceptable representation among {a:?}"),
+                    },
+                })
+            }
+        }
+    }
+}
+
+/// Build the request's [`QualityPolicy`], if it carries a deadline.
+/// The approximation knobs are only legal alongside one — a bare
+/// `eps=` with no deadline is a contradiction, not a default.
+fn build_policy(req: &RawRequest) -> HttpResult<Option<QualityPolicy>> {
+    let deadline_ms: Option<u64> = match req.query_value("deadline_ms") {
+        Some(v) => Some(parse_seg("deadline_ms", v)?),
+        None => match req.header("x-lsga-deadline-ms") {
+            Some(v) => Some(parse_seg("x-lsga-deadline-ms", v)?),
+            None => None,
+        },
+    };
+    let Some(ms) = deadline_ms else {
+        for knob in ["mode", "eps", "delta", "seed"] {
+            if req.query_value(knob).is_some() {
+                return Err(HttpError::bad_request(format!(
+                    "{knob:?} requires deadline_ms"
+                )));
+            }
+        }
+        return Ok(None);
+    };
+    let eps: f64 = match req.query_value("eps") {
+        Some(v) => parse_seg("eps", v)?,
+        None => 0.1,
+    };
+    let mode = match req.query_value("mode").unwrap_or("sampling") {
+        "sampling" => {
+            let delta: f64 = match req.query_value("delta") {
+                Some(v) => parse_seg("delta", v)?,
+                None => 0.01,
+            };
+            let seed: u64 = match req.query_value("seed") {
+                Some(v) => parse_seg("seed", v)?,
+                None => 0,
+            };
+            ApproxMode::Sampling { eps, delta, seed }
+        }
+        "bounds" => {
+            for knob in ["delta", "seed"] {
+                if req.query_value(knob).is_some() {
+                    return Err(HttpError::bad_request(format!(
+                        "{knob:?} applies to mode=sampling only"
+                    )));
+                }
+            }
+            ApproxMode::Bounds { eps }
+        }
+        other => return Err(HttpError::parse("mode", other)),
+    };
+    let policy =
+        QualityPolicy::new(Duration::from_millis(ms), mode).map_err(HttpError::from_lsga)?;
+    Ok(Some(policy))
+}
+
+/// Dispatch a parsed head onto the endpoint's route table.
+pub fn route(req: &RawRequest) -> HttpResult<Route> {
+    let segs: Vec<&str> = req.path.split('/').skip(1).collect();
+    match (req.method, segs.as_slice()) {
+        (Method::Get, ["tiles", layer, z, x, y]) => {
+            check_query_keys(req, &TILE_QUERY_KEYS)?;
+            Ok(Route::Tile {
+                layer: parse_seg("layer", layer)?,
+                z: parse_seg("z", z)?,
+                x: parse_seg("x", x)?,
+                y: parse_seg("y", y)?,
+                fmt: negotiate_fmt(req)?,
+                policy: build_policy(req)?,
+            })
+        }
+        (Method::Post, ["layers", layer, "points"]) => {
+            check_query_keys(req, &[])?;
+            Ok(Route::IngestPoints {
+                layer: parse_seg("layer", layer)?,
+            })
+        }
+        (Method::Get, ["metrics"]) => {
+            check_query_keys(req, &[])?;
+            Ok(Route::Metrics)
+        }
+        (Method::Get, ["healthz"]) => {
+            check_query_keys(req, &[])?;
+            Ok(Route::Health)
+        }
+        // Known resources addressed with the wrong method get a 405…
+        (Method::Post, ["tiles", ..] | ["metrics"] | ["healthz"])
+        | (Method::Get, ["layers", _, "points"]) => Err(HttpError {
+            status: 405,
+            source: lsga_core::LsgaError::InvalidParameter {
+                name: "method",
+                message: format!("method not allowed for {:?}", req.path),
+            },
+        }),
+        // …everything else is simply not there.
+        _ => Err(HttpError::not_found(format!("no route for {:?}", req.path))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head(s: &str) -> HttpResult<RawRequest> {
+        parse_head(s.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_plain_tile_request() {
+        let r = head("GET /tiles/0/2/1/3 HTTP/1.1\r\nHost: localhost\r\n").unwrap();
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path, "/tiles/0/2/1/3");
+        assert!(r.keep_alive);
+        assert_eq!(r.header("host"), Some("localhost"));
+        let Route::Tile {
+            layer,
+            z,
+            x,
+            y,
+            fmt,
+            policy,
+        } = route(&r).unwrap()
+        else {
+            panic!("expected tile route");
+        };
+        assert_eq!((layer, z, x, y), (0, 2, 1, 3));
+        assert_eq!(fmt, PayloadFmt::F64);
+        assert!(policy.is_none());
+    }
+
+    #[test]
+    fn query_and_header_negotiate_format_and_policy() {
+        let r = head(
+            "GET /tiles/0/1/0/0?fmt=u8&deadline_ms=5&eps=0.2&seed=9 HTTP/1.1\r\n\
+             Accept: application/x-lsga-f64\r\n",
+        )
+        .unwrap();
+        let Route::Tile { fmt, policy, .. } = route(&r).unwrap() else {
+            panic!("expected tile route");
+        };
+        assert_eq!(fmt, PayloadFmt::U8, "?fmt= must beat Accept");
+        let p = policy.expect("deadline_ms implies a policy");
+        assert_eq!(p.deadline(), Duration::from_millis(5));
+        assert!(matches!(
+            p.mode(),
+            ApproxMode::Sampling { eps, seed: 9, .. } if (eps - 0.2).abs() < 1e-12
+        ));
+
+        let r = head("GET /tiles/0/1/0/0 HTTP/1.1\r\nX-Lsga-Deadline-Ms: 7\r\n").unwrap();
+        let Route::Tile { policy, .. } = route(&r).unwrap() else {
+            panic!("expected tile route");
+        };
+        assert_eq!(
+            policy.expect("header deadline").deadline(),
+            Duration::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn strict_query_rejections() {
+        for q in [
+            "?bogus=1",
+            "?fmt=png",
+            "?fmt=f64&fmt=f64",
+            "?eps=0.1", // knob without a deadline
+            "?deadline_ms=abc",
+            "?deadline_ms=5&mode=carrier-pigeon",
+            "?deadline_ms=5&eps=-1", // rejected by QualityPolicy::new
+            "?deadline_ms=5&mode=bounds&seed=3",
+        ] {
+            let r = head(&format!("GET /tiles/0/1/0/0{q} HTTP/1.1\r\n")).unwrap();
+            let e = route(&r).unwrap_err();
+            assert_eq!(e.status, 400, "{q} -> {e}");
+        }
+    }
+
+    #[test]
+    fn malformed_heads_are_4xx() {
+        for (raw, status) in [
+            ("", 400u16),
+            ("GET\r\n", 400),
+            ("GET /tiles HTTP/1.1 extra\r\n", 400),
+            ("BREW /tiles/0/0/0/0 HTTP/1.1\r\n", 405),
+            ("GET /tiles/0/0/0/0 HTCPCP/1.0\r\n", 400),
+            ("GET tiles/0/0/0/0 HTTP/1.1\r\n", 400),
+            ("GET /tiles/0/0/0/0 HTTP/1.1\r\nNo-Colon-Here\r\n", 400),
+            ("GET /tiles/0/0/0/0 HTTP/1.1\r\nBad Name: v\r\n", 400),
+            ("GET /tiles/0/0/0/0 HTTP/1.1\r\n: empty name\r\n", 400),
+            (": / HTTP/1.1\r\n", 405), // ':' parses as an unknown method
+        ] {
+            let e = head(raw).expect_err(raw);
+            assert_eq!(e.status, status, "{raw:?} -> {e}");
+        }
+        // Non-UTF-8 head.
+        let e = parse_head(&[0x47, 0x45, 0x54, 0x20, 0xff, 0xfe]).unwrap_err();
+        assert_eq!(e.status, 400);
+        // Oversized request line and header block.
+        let long = format!("GET /{} HTTP/1.1\r\n", "a".repeat(MAX_REQUEST_LINE + 10));
+        assert_eq!(head(&long).unwrap_err().status, 414);
+        let mut many = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS + 1 {
+            many.push_str(&format!("h{i}: v\r\n"));
+        }
+        assert_eq!(head(&many).unwrap_err().status, 431);
+        assert_eq!(
+            parse_head(&vec![b'a'; MAX_HEAD_BYTES + 1])
+                .unwrap_err()
+                .status,
+            431
+        );
+    }
+
+    #[test]
+    fn route_table_edges() {
+        let cases = [
+            ("GET / HTTP/1.1\r\n", 404u16),
+            ("GET /tiles/0/0/0 HTTP/1.1\r\n", 404),
+            ("GET /tiles/0/0/0/0/0 HTTP/1.1\r\n", 404),
+            ("GET /tiles/0/abc/0/0 HTTP/1.1\r\n", 400),
+            ("GET /tiles/-1/0/0/0 HTTP/1.1\r\n", 400),
+            ("GET /tiles/0/999/0/0 HTTP/1.1\r\n", 400), // z > u8
+            ("POST /tiles/0/0/0/0 HTTP/1.1\r\n", 405),
+            ("GET /layers/0/points HTTP/1.1\r\n", 405),
+            ("POST /metrics HTTP/1.1\r\n", 405),
+            ("GET /metrics?x=1 HTTP/1.1\r\n", 400),
+        ];
+        for (raw, status) in cases {
+            let r = head(raw).unwrap();
+            let e = route(&r).expect_err(raw);
+            assert_eq!(e.status, status, "{raw:?} -> {e}");
+        }
+        let r = head("POST /layers/3/points HTTP/1.1\r\n").unwrap();
+        assert!(matches!(
+            route(&r).unwrap(),
+            Route::IngestPoints { layer: 3 }
+        ));
+    }
+
+    #[test]
+    fn connection_and_content_length_semantics() {
+        let r = head("GET / HTTP/1.0\r\n").unwrap();
+        assert!(!r.keep_alive, "HTTP/1.0 defaults to close");
+        let r = head("GET / HTTP/1.0\r\nConnection: keep-alive\r\n").unwrap();
+        assert!(r.keep_alive);
+        let r = head("GET / HTTP/1.1\r\nConnection: close\r\n").unwrap();
+        assert!(!r.keep_alive);
+
+        let r = head("POST /layers/0/points HTTP/1.1\r\nContent-Length: 32\r\n").unwrap();
+        assert_eq!(r.content_length().unwrap(), Some(32));
+        let r = head("POST /x HTTP/1.1\r\nContent-Length: twelve\r\n").unwrap();
+        assert_eq!(r.content_length().unwrap_err().status, 400);
+        let r = head("POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n").unwrap();
+        assert_eq!(r.content_length().unwrap_err().status, 400);
+        let r = head("GET / HTTP/1.1\r\n").unwrap();
+        assert_eq!(r.content_length().unwrap(), None);
+    }
+
+    #[test]
+    fn accept_negotiation() {
+        let u8_req =
+            head("GET /tiles/0/0/0/0 HTTP/1.1\r\nAccept: application/x-lsga-u8\r\n").unwrap();
+        assert_eq!(negotiate_fmt(&u8_req).unwrap(), PayloadFmt::U8);
+        let any = head("GET /tiles/0/0/0/0 HTTP/1.1\r\nAccept: */*\r\n").unwrap();
+        assert_eq!(negotiate_fmt(&any).unwrap(), PayloadFmt::F64);
+        let img = head("GET /tiles/0/0/0/0 HTTP/1.1\r\nAccept: image/png\r\n").unwrap();
+        assert_eq!(negotiate_fmt(&img).unwrap_err().status, 406);
+    }
+}

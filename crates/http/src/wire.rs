@@ -1,0 +1,269 @@
+//! Response encoding: status line, headers, and the two tile payload
+//! formats.
+//!
+//! The f64 format is the bit-identity format: the body is exactly the
+//! tile's row-major `f64` pixels, each little-endian, nothing else.
+//! `tests/http_coherence.rs` decodes these bytes and compares them
+//! `to_bits`-for-`to_bits` against [`lsga_serve::compute_tile_direct`],
+//! so this module must never "helpfully" normalize, truncate, or
+//! re-round a value.
+//!
+//! The u8 format trades that for 8× smaller payloads: pixels are
+//! linearly quantized into `0..=255` between the tile's min and max,
+//! which travel back in `X-Lsga-Min`/`X-Lsga-Max` headers (Rust's f64
+//! `Display` round-trips exactly, so the client can dequantize with a
+//! worst-case error of half a quantization step).
+
+use crate::error::{reason, HttpError};
+use crate::parse::PayloadFmt;
+use lsga_serve::{Tile, TileTier};
+
+/// A response under construction. `encode` produces the wire bytes.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    #[must_use]
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[must_use]
+    pub fn header(mut self, name: &str, value: impl std::fmt::Display) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    #[must_use]
+    pub fn body(mut self, content_type: &str, bytes: Vec<u8>) -> Self {
+        self.headers
+            .push(("Content-Type".to_string(), content_type.to_string()));
+        self.body = bytes;
+        self
+    }
+
+    /// Serialize to wire bytes. `Content-Length` and `Connection` are
+    /// emitted here so no call site can forget them; every response
+    /// carries an explicit length (no chunked encoding, no implicit
+    /// EOF framing) which is what makes pipelined reads unambiguous.
+    #[must_use]
+    pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status)).as_bytes(),
+        );
+        for (n, v) in &self.headers {
+            out.extend_from_slice(format!("{n}: {v}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(
+            if keep_alive {
+                "Connection: keep-alive\r\n"
+            } else {
+                "Connection: close\r\n"
+            }
+            .as_bytes(),
+        );
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// The `X-Lsga-Tier` header value for a tier.
+#[must_use]
+pub fn tier_name(tier: &TileTier) -> &'static str {
+    match tier {
+        TileTier::Exact => "exact",
+        TileTier::Sampled { .. } => "sampled",
+        TileTier::Bounds { .. } => "bounds",
+    }
+}
+
+/// Encode a tile into a 200 response in the negotiated format.
+#[must_use]
+pub fn tile_response(tile: &Tile, fmt: PayloadFmt) -> Response {
+    let values = tile.grid.values();
+    let px = (values.len() as f64).sqrt().round() as usize;
+    let resp = Response::new(200)
+        .header("X-Lsga-Tier", tier_name(&tile.tier))
+        .header("X-Lsga-Px", px);
+    match fmt {
+        PayloadFmt::F64 => {
+            let mut body = Vec::with_capacity(values.len() * 8);
+            for v in values {
+                body.extend_from_slice(&v.to_le_bytes());
+            }
+            resp.body(fmt.content_type(), body)
+        }
+        PayloadFmt::U8 => {
+            let (min, max) = values
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            let scale = max - min;
+            let body: Vec<u8> = values
+                .iter()
+                .map(|&v| {
+                    if scale > 0.0 {
+                        ((v - min) / scale * 255.0).round() as u8
+                    } else {
+                        0 // constant tile: every pixel equals `min`
+                    }
+                })
+                .collect();
+            resp.header("X-Lsga-Min", min)
+                .header("X-Lsga-Max", max)
+                .body(fmt.content_type(), body)
+        }
+    }
+}
+
+/// Encode an [`HttpError`] as a response. 503s advertise when to come
+/// back; the body is the underlying error's `Display` so clients can
+/// see the actual reason, not just a status code.
+#[must_use]
+pub fn error_response(e: &HttpError) -> Response {
+    let mut resp = Response::new(e.status);
+    if e.status == 503 {
+        resp = resp.header("Retry-After", 1);
+    }
+    let mut msg = e.source.to_string();
+    msg.push('\n');
+    resp.body("text/plain; charset=utf-8", msg.into_bytes())
+}
+
+/// Dequantize one u8 payload byte back to an f64 given the header
+/// range. The inverse of the u8 encoding up to half a step; exposed so
+/// tests and clients share one definition.
+#[must_use]
+pub fn dequantize(q: u8, min: f64, max: f64) -> f64 {
+    if max > min {
+        min + (q as f64 / 255.0) * (max - min)
+    } else {
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsga_core::LsgaError;
+    use lsga_serve::{Tile, TileCoord, TileKey};
+
+    fn tile_with(values: Vec<f64>, tier: TileTier) -> Tile {
+        let px = (values.len() as f64).sqrt() as usize;
+        let spec = lsga_core::GridSpec::new(lsga_core::BBox::new(0.0, 0.0, 1.0, 1.0), px, px);
+        Tile {
+            key: TileKey {
+                layer: 0,
+                coord: TileCoord::new(0, 0, 0),
+            },
+            grid: lsga_core::DensityGrid::from_values(spec, values),
+            tier,
+        }
+    }
+
+    #[test]
+    fn f64_payload_is_bit_exact() {
+        let vals = vec![0.0, 1.5, -3.25, f64::MIN_POSITIVE];
+        let t = tile_with(vals.clone(), TileTier::Exact);
+        let r = tile_response(&t, PayloadFmt::F64);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body.len(), vals.len() * 8);
+        for (chunk, v) in r.body.chunks_exact(8).zip(&vals) {
+            let decoded = f64::from_le_bytes(chunk.try_into().unwrap());
+            assert_eq!(decoded.to_bits(), v.to_bits());
+        }
+        assert!(r
+            .headers
+            .iter()
+            .any(|(n, v)| n == "X-Lsga-Tier" && v == "exact"));
+    }
+
+    #[test]
+    fn u8_payload_dequantizes_within_half_step() {
+        let vals = vec![0.0, 0.1, 0.5, 1.0];
+        let t = tile_with(vals.clone(), TileTier::Exact);
+        let r = tile_response(&t, PayloadFmt::U8);
+        let min: f64 = header(&r, "X-Lsga-Min").parse().unwrap();
+        let max: f64 = header(&r, "X-Lsga-Max").parse().unwrap();
+        assert_eq!(min, 0.0);
+        assert_eq!(max, 1.0);
+        let half_step = (max - min) / 255.0 / 2.0;
+        for (&q, &v) in r.body.iter().zip(&vals) {
+            assert!((dequantize(q, min, max) - v).abs() <= half_step + 1e-12);
+        }
+        // Endpoints are exact.
+        assert_eq!(r.body[0], 0);
+        assert_eq!(r.body[3], 255);
+    }
+
+    #[test]
+    fn constant_tile_quantizes_to_zero_and_dequantizes_to_min() {
+        let t = tile_with(vec![2.5; 4], TileTier::Exact);
+        let r = tile_response(&t, PayloadFmt::U8);
+        assert!(r.body.iter().all(|&q| q == 0));
+        let min: f64 = header(&r, "X-Lsga-Min").parse().unwrap();
+        let max: f64 = header(&r, "X-Lsga-Max").parse().unwrap();
+        assert_eq!(dequantize(0, min, max), 2.5);
+    }
+
+    #[test]
+    fn header_min_max_round_trip_through_display() {
+        // Rust's f64 Display prints the shortest string that parses
+        // back to the same bits — the u8 format depends on this.
+        for v in [0.1f64, 1.0 / 3.0, 1e-300, 12345.678901234567] {
+            let s = format!("{v}");
+            assert_eq!(s.parse::<f64>().unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn encode_frames_status_headers_and_length() {
+        let r = Response::new(200).body("text/plain", b"hi".to_vec());
+        let bytes = r.encode(true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+        let closed = String::from_utf8(Response::new(204).encode(false)).unwrap();
+        assert!(closed.contains("Connection: close\r\n"));
+        assert!(closed.contains("Content-Length: 0\r\n"));
+    }
+
+    #[test]
+    fn error_responses_carry_reason_and_retry_after() {
+        let e = HttpError {
+            status: 503,
+            source: LsgaError::Io("queue full".into()),
+        };
+        let r = error_response(&e);
+        assert_eq!(r.status, 503);
+        assert_eq!(header(&r, "Retry-After"), "1");
+        assert!(String::from_utf8(r.body.clone())
+            .unwrap()
+            .contains("queue full"));
+        let nf = error_response(&HttpError::not_found("no such tile"));
+        assert_eq!(nf.status, 404);
+        assert!(!nf.headers.iter().any(|(n, _)| n == "Retry-After"));
+    }
+
+    fn header<'a>(r: &'a Response, name: &str) -> &'a str {
+        r.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or_else(|| panic!("missing header {name}"))
+    }
+}

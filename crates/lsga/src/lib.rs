@@ -48,6 +48,8 @@ pub use lsga_core as core;
 pub use lsga_data as data;
 /// Simulated distributed cluster.
 pub use lsga_dist as dist;
+/// HTTP/1.1 tile front-end: bounded queues, admission, wire formats.
+pub use lsga_http as http;
 /// Spatial indexes: kd-tree, ball tree, bucket grid, range tree.
 pub use lsga_index as index;
 /// IDW and ordinary kriging.

@@ -95,11 +95,32 @@ pub enum Counter {
     IngestMergeBytes,
     /// Points appended across all `insert_points` batches.
     IngestPointsAppended,
+    /// TCP connections accepted by the HTTP front-end's acceptors.
+    HttpConnsAccepted,
+    /// Requests a worker pulled off its queue and handled (malformed
+    /// ones included — every parse attempt counts).
+    HttpRequests,
+    /// HTTP responses written with a 2xx status.
+    HttpResponses2xx,
+    /// HTTP responses written with a 4xx status (malformed requests,
+    /// unknown routes/layers, out-of-pyramid coordinates).
+    HttpResponses4xx,
+    /// HTTP responses written with a 5xx status (queue-full 503s and
+    /// shutdown sheds included).
+    HttpResponses5xx,
+    /// Connections refused with `503 + Retry-After` because every
+    /// bounded worker queue was full at accept time.
+    HttpQueueRejections,
+    /// Queued-but-unstarted connections answered `503` during graceful
+    /// shutdown (in-flight requests complete instead).
+    HttpShedShutdown,
+    /// Response bytes written to sockets (status line + headers + body).
+    HttpBytesOut,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 28] = [
+    pub const ALL: [Counter; 36] = [
         Counter::KdvPairs,
         Counter::KdvCellsPruned,
         Counter::KfuncPairs,
@@ -128,6 +149,14 @@ impl Counter {
         Counter::IngestSegmentsMerged,
         Counter::IngestMergeBytes,
         Counter::IngestPointsAppended,
+        Counter::HttpConnsAccepted,
+        Counter::HttpRequests,
+        Counter::HttpResponses2xx,
+        Counter::HttpResponses4xx,
+        Counter::HttpResponses5xx,
+        Counter::HttpQueueRejections,
+        Counter::HttpShedShutdown,
+        Counter::HttpBytesOut,
     ];
 
     /// Stable dotted name used by every exporter.
@@ -161,6 +190,14 @@ impl Counter {
             Counter::IngestSegmentsMerged => "ingest.segments_merged",
             Counter::IngestMergeBytes => "ingest.merge_bytes",
             Counter::IngestPointsAppended => "ingest.points_appended",
+            Counter::HttpConnsAccepted => "http.connections_accepted",
+            Counter::HttpRequests => "http.requests",
+            Counter::HttpResponses2xx => "http.responses_2xx",
+            Counter::HttpResponses4xx => "http.responses_4xx",
+            Counter::HttpResponses5xx => "http.responses_5xx",
+            Counter::HttpQueueRejections => "http.queue_rejections",
+            Counter::HttpShedShutdown => "http.shed_on_shutdown",
+            Counter::HttpBytesOut => "http.bytes_out",
         }
     }
 }
@@ -210,17 +247,21 @@ pub enum Hist {
     /// deadline-checked admission decision: `(inflight + 1) × EWMA`
     /// of recent exact tile computes.
     ServeQueueWait,
+    /// Connections resident in the chosen worker's bounded queue at
+    /// each successful enqueue (depth after the push).
+    HttpQueueDepth,
 }
 
 impl Hist {
     /// Every histogram, in export order.
-    pub const ALL: [Hist; 6] = [
+    pub const ALL: [Hist; 7] = [
         Hist::KrigingSystemSize,
         Hist::DbscanNeighborsPerQuery,
         Hist::DistTileAttempts,
         Hist::ServeBatchUniqueTiles,
         Hist::IngestSegmentCount,
         Hist::ServeQueueWait,
+        Hist::HttpQueueDepth,
     ];
 
     /// Stable dotted name used by every exporter.
@@ -232,6 +273,7 @@ impl Hist {
             Hist::ServeBatchUniqueTiles => "serve.batch_unique_tiles",
             Hist::IngestSegmentCount => "ingest.segment_count",
             Hist::ServeQueueWait => "serve.queue_wait",
+            Hist::HttpQueueDepth => "http.queue_depth",
         }
     }
 }

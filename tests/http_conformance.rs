@@ -1,0 +1,618 @@
+//! Wire-level conformance suite for `lsga-http`.
+//!
+//! The contract under test: **any** byte sequence arriving on the
+//! socket produces a well-formed HTTP response with the documented
+//! status — never a panic, never a hang, never a connection that the
+//! server silently wedges. Three layers of evidence:
+//!
+//! - a **directed matrix** of malformed inputs, one per parse/route
+//!   error branch, each pinned to its expected 4xx status over a real
+//!   socket (the in-process halves of these branches are unit-tested
+//!   next to the code; here the same inputs travel the wire);
+//! - **proptest byte-mangling**: valid requests are truncated, bit
+//!   flipped, stuffed with junk, and doubled, then fired at a live
+//!   server; the only legal outcomes are a `2xx..5xx` response or a
+//!   clean close within the server's read-timeout budget;
+//! - **lifecycle tests**: graceful shutdown completes the in-flight
+//!   request, sheds queued connections with `503`, joins every thread
+//!   the server spawned (verified against `/proc/self/task` by thread
+//!   name prefix), and releases the listening port.
+
+use lsga::core::par::Threads;
+use lsga::http::{client, HttpServer, HttpServerConfig};
+use lsga::obs::{self, Counter};
+use lsga::prelude::*;
+use lsga::serve::{TileServer, TileServerConfig};
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+const TILE_PX: usize = 8;
+const MAX_ZOOM: u8 = 2;
+const TAIL_EPS: f64 = 1e-6;
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn window() -> BBox {
+    BBox::new(0.0, 0.0, 100.0, 100.0)
+}
+
+fn points(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let f = i as f64;
+            Point::new(
+                50.0 + (f * 0.831).sin() * 49.0,
+                50.0 + (f * 0.557).cos() * 49.0,
+            )
+        })
+        .collect()
+}
+
+fn start_server(cfg: HttpServerConfig) -> HttpServer {
+    let tiles = Arc::new(TileServer::new(TileServerConfig {
+        tile_px: TILE_PX,
+        max_zoom: MAX_ZOOM,
+        shards: 2,
+        threads: Threads::exact(2),
+        ..TileServerConfig::default()
+    }));
+    tiles
+        .add_layer(
+            points(60),
+            window(),
+            KernelKind::Quartic.with_bandwidth(20.0),
+            TAIL_EPS,
+        )
+        .expect("layer");
+    HttpServer::start(tiles, cfg).expect("bind")
+}
+
+/// One shared server for the stateless directed cases (cheaper than a
+/// server per case; each case uses its own connection).
+fn shared_server() -> &'static HttpServer {
+    static SERVER: OnceLock<HttpServer> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        start_server(HttpServerConfig {
+            read_timeout: Duration::from_millis(300),
+            max_body_bytes: 4096,
+            ..HttpServerConfig::default()
+        })
+    })
+}
+
+#[test]
+fn directed_malformed_requests_yield_their_documented_4xx() {
+    let addr = shared_server().local_addr();
+    let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(5000));
+    let mut many_headers = String::from("GET /healthz HTTP/1.1\r\n");
+    for i in 0..70 {
+        many_headers.push_str(&format!("x-h{i}: v\r\n"));
+    }
+    many_headers.push_str("\r\n");
+    let huge_head = format!(
+        "GET /healthz HTTP/1.1\r\nx-pad: {}\r\n\r\n",
+        "b".repeat(9000)
+    );
+
+    let cases: Vec<(&str, String, u16)> = vec![
+        ("empty request line", "\r\n\r\n".into(), 400),
+        ("one-token request line", "GARBAGE\r\n\r\n".into(), 400),
+        (
+            "four-token request line",
+            "GET /healthz HTTP/1.1 extra\r\n\r\n".into(),
+            400,
+        ),
+        (
+            "unknown method",
+            "BREW /healthz HTTP/1.1\r\n\r\n".into(),
+            405,
+        ),
+        (
+            "unsupported protocol",
+            "GET /healthz HTCPCP/1.0\r\n\r\n".into(),
+            400,
+        ),
+        (
+            "non-origin-form target",
+            "GET healthz HTTP/1.1\r\n\r\n".into(),
+            400,
+        ),
+        (
+            "header without colon",
+            "GET /healthz HTTP/1.1\r\nNoColonHere\r\n\r\n".into(),
+            400,
+        ),
+        (
+            "header name with space",
+            "GET /healthz HTTP/1.1\r\nBad Name: v\r\n\r\n".into(),
+            400,
+        ),
+        ("unknown path", "GET /nope HTTP/1.1\r\n\r\n".into(), 404),
+        (
+            "short tile path",
+            "GET /tiles/0/1/0 HTTP/1.1\r\n\r\n".into(),
+            404,
+        ),
+        (
+            "non-numeric z",
+            "GET /tiles/0/zoom/0/0 HTTP/1.1\r\n\r\n".into(),
+            400,
+        ),
+        (
+            "negative x",
+            "GET /tiles/0/1/-1/0 HTTP/1.1\r\n\r\n".into(),
+            400,
+        ),
+        (
+            "zoom past the pyramid",
+            format!("GET /tiles/0/{}/0/0 HTTP/1.1\r\n\r\n", MAX_ZOOM + 1),
+            404,
+        ),
+        (
+            "column outside the level",
+            "GET /tiles/0/1/2/0 HTTP/1.1\r\n\r\n".into(),
+            404,
+        ),
+        (
+            "unknown layer",
+            "GET /tiles/9/0/0/0 HTTP/1.1\r\n\r\n".into(),
+            404,
+        ),
+        (
+            "unknown query key",
+            "GET /tiles/0/0/0/0?zoom=1 HTTP/1.1\r\n\r\n".into(),
+            400,
+        ),
+        (
+            "duplicate query key",
+            "GET /tiles/0/0/0/0?fmt=f64&fmt=f64 HTTP/1.1\r\n\r\n".into(),
+            400,
+        ),
+        (
+            "approximation knob without deadline",
+            "GET /tiles/0/0/0/0?eps=0.1 HTTP/1.1\r\n\r\n".into(),
+            400,
+        ),
+        (
+            "non-numeric deadline",
+            "GET /tiles/0/0/0/0?deadline_ms=soon HTTP/1.1\r\n\r\n".into(),
+            400,
+        ),
+        (
+            "illegal eps for the policy",
+            "GET /tiles/0/0/0/0?deadline_ms=5&eps=-1 HTTP/1.1\r\n\r\n".into(),
+            400,
+        ),
+        (
+            "unacceptable accept",
+            "GET /tiles/0/0/0/0 HTTP/1.1\r\nAccept: image/png\r\n\r\n".into(),
+            406,
+        ),
+        (
+            "method not allowed on tiles",
+            "POST /tiles/0/0/0/0 HTTP/1.1\r\nContent-Length: 0\r\n\r\n".into(),
+            405,
+        ),
+        (
+            "method not allowed on points",
+            "GET /layers/0/points HTTP/1.1\r\n\r\n".into(),
+            405,
+        ),
+        ("request line too long", long_line, 414),
+        ("too many header fields", many_headers, 431),
+        ("head past the byte cap", huge_head, 431),
+    ];
+
+    for (what, raw, expected) in cases {
+        let resp = client::send(addr, raw.as_bytes(), CLIENT_TIMEOUT)
+            .unwrap_or_else(|e| panic!("{what}: no response ({e})"));
+        assert_eq!(
+            resp.status,
+            expected,
+            "{what}: got {} — body {:?}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        );
+        // Every error closes the connection so a poisoned byte stream
+        // can never smear into a next request.
+        assert_eq!(resp.header("connection"), Some("close"), "{what}");
+        assert!(!resp.body.is_empty(), "{what}: error body must say why");
+    }
+}
+
+#[test]
+fn truncated_and_stalled_heads_get_400_and_408() {
+    let addr = shared_server().local_addr();
+
+    // Half-close after a partial head: EOF mid-request is a 400.
+    let mut conn = client::connect(addr, CLIENT_TIMEOUT).expect("connect");
+    conn.write_all(b"GET /tiles/0/0").expect("partial write");
+    conn.shutdown(Shutdown::Write).expect("half-close");
+    let resp = client::read_response(&mut conn).expect("response to truncated head");
+    assert_eq!(resp.status, 400);
+
+    // Stalling mid-head past the server's read timeout is a 408.
+    let mut conn = client::connect(addr, CLIENT_TIMEOUT).expect("connect");
+    conn.write_all(b"GET /tiles/0/0").expect("partial write");
+    let t0 = Instant::now();
+    let resp = client::read_response(&mut conn).expect("response to stalled head");
+    assert_eq!(resp.status, 408);
+    assert!(
+        t0.elapsed() >= Duration::from_millis(250),
+        "408 must wait out the read timeout, got it after {:?}",
+        t0.elapsed()
+    );
+
+    // Connecting and saying nothing at all: the server just closes.
+    let mut conn = client::connect(addr, CLIENT_TIMEOUT).expect("connect");
+    let err = client::read_response(&mut conn).expect_err("silent connection closes quietly");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+}
+
+#[test]
+fn post_body_framing_is_strictly_validated() {
+    let addr = shared_server().local_addr();
+
+    // No Content-Length: 411.
+    let resp = client::send(
+        addr,
+        b"POST /layers/0/points HTTP/1.1\r\nHost: lsga\r\n\r\n",
+        CLIENT_TIMEOUT,
+    )
+    .expect("411 response");
+    assert_eq!(resp.status, 411);
+
+    // Non-numeric Content-Length: 400.
+    let resp = client::send(
+        addr,
+        b"POST /layers/0/points HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+        CLIENT_TIMEOUT,
+    )
+    .expect("400 response");
+    assert_eq!(resp.status, 400);
+
+    // Not a multiple of the 16-byte point stride: 400, body unread.
+    let resp = client::send(
+        addr,
+        b"POST /layers/0/points HTTP/1.1\r\nContent-Length: 15\r\n\r\n0123456789abcde",
+        CLIENT_TIMEOUT,
+    )
+    .expect("400 response");
+    assert_eq!(resp.status, 400);
+
+    // Declared length past the cap (4096 here): 413 without reading.
+    let resp = client::send(
+        addr,
+        b"POST /layers/0/points HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n",
+        CLIENT_TIMEOUT,
+    )
+    .expect("413 response");
+    assert_eq!(resp.status, 413);
+
+    // Unknown layer with a well-formed body: 404.
+    let body = client::encode_points(&[Point::new(50.0, 50.0)]);
+    let resp = client::post(addr, "/layers/9/points", &body, CLIENT_TIMEOUT).expect("404");
+    assert_eq!(resp.status, 404);
+
+    // And the happy path, to prove the validations above are the only
+    // gate: a correct POST appends and reports the count.
+    let resp = client::post(addr, "/layers/0/points", &body, CLIENT_TIMEOUT).expect("200");
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(resp.header("x-lsga-points"), Some("1"));
+}
+
+#[test]
+fn pipelined_garbage_after_a_valid_request_answers_then_closes() {
+    let addr = shared_server().local_addr();
+    let mut conn = client::connect(addr, CLIENT_TIMEOUT).expect("connect");
+    let mut bytes = b"GET /tiles/0/0/0/0 HTTP/1.1\r\nHost: lsga\r\n\r\n".to_vec();
+    bytes.extend_from_slice(b"\x00\x01\xffnot http at all\r\n\r\n");
+    conn.write_all(&bytes).expect("write");
+
+    let first = client::read_response(&mut conn).expect("valid request served");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.body.len(), TILE_PX * TILE_PX * 8);
+    let second = client::read_response(&mut conn).expect("garbage answered");
+    assert_eq!(second.status, 400);
+    assert_eq!(second.header("connection"), Some("close"));
+    // After the error the server hangs up.
+    let end = client::read_response(&mut conn).expect_err("closed after error");
+    assert_eq!(end.kind(), std::io::ErrorKind::UnexpectedEof);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Byte-mangling fuzz: start from a valid request, apply a random
+    /// mutation, fire it at a live server. The server must answer with
+    /// some status or close the connection — within the client timeout,
+    /// which is generous against the server's 300 ms read timeout — and
+    /// must never hang or crash. (A panic in a worker would surface as
+    /// every later case timing out.)
+    fn mangled_requests_never_hang_the_server(
+        corpus in 0usize..4,
+        op in 0usize..4,
+        pos in 0usize..120,
+        val32 in 0u32..256,
+        extra32 in prop::collection::vec(0u32..256, 0..24),
+    ) {
+        let val = val32 as u8;
+        let extra: Vec<u8> = extra32.iter().map(|&b| b as u8).collect();
+        let addr = shared_server().local_addr();
+        let base: Vec<u8> = match corpus {
+            0 => b"GET /tiles/0/1/1/0?fmt=u8 HTTP/1.1\r\nHost: lsga\r\n\r\n".to_vec(),
+            1 => b"GET /tiles/0/0/0/0?deadline_ms=50 HTTP/1.1\r\nAccept: */*\r\n\r\n".to_vec(),
+            2 => {
+                let body = client::encode_points(&[Point::new(10.0, 10.0)]);
+                let mut req = format!(
+                    "POST /layers/0/points HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                ).into_bytes();
+                req.extend_from_slice(&body);
+                req
+            }
+            _ => b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+        };
+        let mut bytes = base.clone();
+        match op {
+            // Flip one byte.
+            0 => {
+                let i = pos % bytes.len();
+                bytes[i] = val;
+            }
+            // Truncate.
+            1 => bytes.truncate(pos % (bytes.len() + 1)),
+            // Insert junk.
+            2 => {
+                let i = pos % (bytes.len() + 1);
+                bytes.splice(i..i, extra.iter().copied());
+            }
+            // Pipeline the request after itself, then mangle the tail.
+            _ => {
+                bytes.extend_from_slice(&base);
+                let i = base.len() + pos % base.len();
+                bytes[i] = val;
+            }
+        }
+
+        let mut conn = client::connect(addr, CLIENT_TIMEOUT).expect("connect");
+        // A write error just means the server already rejected us.
+        let _ = conn.write_all(&bytes);
+        let _ = conn.shutdown(Shutdown::Write);
+        loop {
+            match client::read_response(&mut conn) {
+                Ok(resp) => {
+                    prop_assert!(
+                        (200..600).contains(&resp.status),
+                        "nonsense status {}",
+                        resp.status
+                    );
+                    if resp.header("connection") == Some("close") {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    prop_assert!(
+                        !matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ),
+                        "server hung on mangled input ({e})"
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Threads of this process whose name starts with `prefix`, via
+/// `/proc/self/task`. `None` when the platform has no procfs.
+fn threads_with_prefix(prefix: &str) -> Option<usize> {
+    let dir = std::fs::read_dir("/proc/self/task").ok()?;
+    Some(
+        dir.filter_map(|e| {
+            let comm = std::fs::read_to_string(e.ok()?.path().join("comm")).ok()?;
+            comm.trim().starts_with(prefix).then_some(())
+        })
+        .count(),
+    )
+}
+
+#[test]
+fn graceful_shutdown_completes_inflight_sheds_queued_and_joins() {
+    let server = start_server(HttpServerConfig {
+        workers: 1,
+        queue_cap: 4,
+        read_timeout: Duration::from_millis(500),
+        ..HttpServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let prefix = server.thread_prefix();
+    let tiles = Arc::clone(server.tiles());
+    // Names are set by each spawned thread itself, so give them a
+    // moment to appear before counting.
+    if threads_with_prefix(&prefix).is_some() {
+        let spin = Instant::now() + CLIENT_TIMEOUT;
+        while threads_with_prefix(&prefix) != Some(2) {
+            assert!(
+                Instant::now() < spin,
+                "expected 1 acceptor + 1 worker running, saw {:?}",
+                threads_with_prefix(&prefix)
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    // Park the worker inside a compute so we control what "in flight"
+    // means.
+    let gate = Arc::new(AtomicBool::new(false));
+    let entered = Arc::new(AtomicBool::new(false));
+    {
+        let gate = Arc::clone(&gate);
+        let entered = Arc::clone(&entered);
+        tiles.set_compute_hook(Some(Arc::new(move |_key| {
+            entered.store(true, Ordering::SeqCst);
+            while !gate.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })));
+    }
+    let mut inflight = client::connect(addr, CLIENT_TIMEOUT).expect("connect");
+    inflight
+        .write_all(b"GET /tiles/0/1/0/0 HTTP/1.1\r\nHost: lsga\r\n\r\n")
+        .expect("write");
+    let spin = Instant::now() + CLIENT_TIMEOUT;
+    while !entered.load(Ordering::SeqCst) {
+        assert!(Instant::now() < spin, "request never reached compute");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Two more connections sit in the worker's queue.
+    let mut queued = Vec::new();
+    for _ in 0..2 {
+        let mut conn = client::connect(addr, CLIENT_TIMEOUT).expect("connect");
+        conn.write_all(b"GET /tiles/0/1/1/0 HTTP/1.1\r\nHost: lsga\r\n\r\n")
+            .expect("write");
+        queued.push(conn);
+    }
+    let spin = Instant::now() + CLIENT_TIMEOUT;
+    while server.queue_depths().iter().sum::<usize>() < 2 {
+        assert!(Instant::now() < spin, "queue never filled");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Shut down while the worker is parked; release the gate shortly
+    // after so the in-flight request can finish.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let shutter = std::thread::spawn(move || {
+        server.shutdown();
+        let _ = tx.send(());
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    gate.store(true, Ordering::SeqCst);
+
+    // In-flight request completes — with a close, since we're draining.
+    let resp = client::read_response(&mut inflight).expect("in-flight response");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("connection"), Some("close"));
+    // Queued connections are shed with 503.
+    for mut conn in queued {
+        let resp = client::read_response(&mut conn).expect("queued response");
+        assert_eq!(resp.status, 503, "{}", String::from_utf8_lossy(&resp.body));
+        assert_eq!(resp.header("retry-after"), Some("1"));
+    }
+
+    // The whole teardown joins within the watchdog budget.
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("shutdown did not join within 10s");
+    shutter.join().expect("shutter thread");
+    tiles.set_compute_hook(None);
+
+    // No leaked threads, and the port is released.
+    if let Some(n) = threads_with_prefix(&prefix) {
+        assert_eq!(n, 0, "server threads leaked past shutdown");
+    }
+    match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+        Err(_) => {}
+        Ok(mut conn) => {
+            // Extremely unlikely (port reuse), but if something
+            // accepted, it must not be our server still alive.
+            let _ = conn.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            assert!(
+                client::read_response(&mut conn).is_err(),
+                "listener still serving after shutdown"
+            );
+        }
+    }
+}
+
+/// Serializes the tests that enable the process-global obs registry.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn metrics_endpoint_drains_the_obs_tables_as_json() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    obs::enable();
+    obs::reset();
+    // Dedicated server so the traffic below is the dominant signal
+    // (other tests' servers also count while obs is enabled, so the
+    // assertions are lower bounds, not exact).
+    let server = start_server(HttpServerConfig::default());
+    let addr = server.local_addr();
+
+    for _ in 0..3 {
+        let resp = client::get(addr, "/tiles/0/1/0/0", &[], CLIENT_TIMEOUT).expect("GET");
+        assert_eq!(resp.status, 200);
+    }
+    let resp = client::get(addr, "/tiles/9/0/0/0", &[], CLIENT_TIMEOUT).expect("404 GET");
+    assert_eq!(resp.status, 404);
+
+    let resp = client::get(addr, "/metrics", &[], CLIENT_TIMEOUT).expect("metrics");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+    let body = String::from_utf8(resp.body.clone()).expect("json is utf-8");
+    for needle in [
+        "\"http.connections_accepted\"",
+        "\"http.requests\"",
+        "\"http.responses_2xx\"",
+        "\"http.responses_4xx\"",
+        "\"http.queue_depth\"",
+    ] {
+        assert!(
+            body.contains(needle),
+            "metrics JSON missing {needle}: {body}"
+        );
+    }
+    let count_of = |name: &str| -> u64 {
+        body.lines()
+            .find(|l| l.contains(&format!("\"{name}\"")))
+            .and_then(|l| l.rsplit(':').next())
+            .and_then(|v| v.trim().trim_end_matches(',').parse().ok())
+            .unwrap_or_else(|| panic!("counter {name} not parseable from {body}"))
+    };
+    assert!(count_of("http.requests") >= 5, "3 tiles + 1 miss + metrics");
+    assert!(count_of("http.responses_2xx") >= 3);
+    assert!(count_of("http.responses_4xx") >= 1);
+
+    // Draining means a quiesced second scrape starts over near zero.
+    let resp2 = client::get(addr, "/metrics", &[], CLIENT_TIMEOUT).expect("second scrape");
+    assert_eq!(resp2.status, 200);
+    let body2 = String::from_utf8(resp2.body).expect("utf-8");
+    let requests_after: u64 = body2
+        .lines()
+        .find(|l| l.contains("\"http.requests\""))
+        .and_then(|l| l.rsplit(':').next())
+        .and_then(|v| v.trim().trim_end_matches(',').parse().ok())
+        .unwrap_or(0);
+    assert!(
+        requests_after <= count_of("http.requests"),
+        "drain did not reset the request counter"
+    );
+    obs::disable();
+    obs::reset();
+    server.shutdown();
+
+    // Branch audit rider: the counter enum names the metrics suite
+    // depends on exist and are distinct.
+    let names: Vec<&str> = [
+        Counter::HttpConnsAccepted,
+        Counter::HttpRequests,
+        Counter::HttpResponses2xx,
+        Counter::HttpResponses4xx,
+        Counter::HttpResponses5xx,
+        Counter::HttpQueueRejections,
+        Counter::HttpShedShutdown,
+        Counter::HttpBytesOut,
+    ]
+    .iter()
+    .map(|c| c.name())
+    .collect();
+    let mut unique = names.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), names.len(), "duplicate counter names");
+}
