@@ -82,6 +82,11 @@ fn main() {
             "served tiers: HTTP front-end under overload, exact vs tiered",
             e24,
         ),
+        (
+            "e25",
+            "multi-node cluster: shard routing, node-death re-homing, coverage degradation",
+            e25,
+        ),
     ];
 
     let mut ran = 0;
@@ -113,7 +118,7 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("unknown experiment id; use e1..e24 or all (e16-e18 are the implemented future-work extensions)");
+        eprintln!("unknown experiment id; use e1..e25 or all (e16-e18 are the implemented future-work extensions)");
         std::process::exit(2);
     }
 }
@@ -1916,6 +1921,259 @@ fn e24() {
         &[
             ("f64_bits_checked", bits_checked as f64),
             ("u8_max_err_steps", u8_max_err_steps),
+        ],
+        0.0,
+    );
+}
+
+// ---------------------------------------------------------------- E25 ---
+/// Multi-node tile serving over the dist fault machinery: Z-order shard
+/// routing, a node death mid-storm with the dead range re-homed to the
+/// survivors, an exactly-audited supervised recovery, and a doomed plan
+/// degrading to a coverage report. Every served tile in every leg is
+/// checked bit-identical against the single-node oracle.
+fn e25() {
+    use lsga::core::par::Threads;
+    use lsga::dist::{FaultKind, FaultPlan, RetryPolicy};
+    use lsga::obs::Counter;
+    use lsga::serve::{
+        compute_tile_direct, home_node, ClusterConfig, ClusterServer, TileCoord, TileServerConfig,
+    };
+
+    let n = 30_000;
+    let points = crime(n);
+    let kernel = KernelKind::Quartic.with_bandwidth(250.0);
+    let tail_eps = 1e-9;
+    let tile_px = 64usize;
+    let max_zoom = 3u8;
+    let nodes = 4usize;
+    let cfg = ClusterConfig {
+        nodes,
+        node: TileServerConfig {
+            tile_px,
+            max_zoom,
+            shards: 4,
+            byte_budget: 8 << 20,
+            threads: Threads::exact(hw_threads()),
+            ..TileServerConfig::default()
+        },
+    };
+    let pyramid: Vec<TileCoord> = (0..=max_zoom)
+        .flat_map(|z| {
+            let side = 1u32 << z;
+            (0..side).flat_map(move |y| (0..side).map(move |x| TileCoord::new(z, x, y)))
+        })
+        .collect();
+    let n_tiles = pyramid.len();
+    let pct = |lat: &mut Vec<f64>, q: f64| -> f64 {
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat.len() as f64 * q).ceil() as usize).clamp(1, lat.len()) - 1;
+        lat[idx]
+    };
+
+    // The oracle the whole experiment is audited against; recomputed
+    // after the mid-storm append.
+    let oracle_for = |pts: &[Point]| -> Vec<Vec<f64>> {
+        pyramid
+            .iter()
+            .map(|&c| {
+                compute_tile_direct(pts, &window(), kernel, tail_eps, tile_px, c)
+                    .values()
+                    .to_vec()
+            })
+            .collect()
+    };
+    let assert_oracle = |tile: &lsga::serve::Tile, oracle: &[f64], what: &str| {
+        for (a, b) in tile.grid.values().iter().zip(oracle) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{what}: served bits diverged");
+        }
+    };
+
+    // ---- Leg 1: routed storm, fault-free vs node-death-mid-storm.
+    // Identical request trace (16 passes over the pyramid with one
+    // broadcast append after pass 2); run B kills a node after pass 4
+    // and its whole range re-homes to the survivors.
+    let passes = 16usize;
+    let kill_after_pass = 4usize;
+    let append = crime(2_000).iter().map(|p| Point::new(p.x * 0.5 + 1_000.0, p.y * 0.5 + 800.0)).collect::<Vec<_>>();
+    let run_storm = |kill: Option<usize>| -> (Vec<f64>, Vec<f64>, ClusterServer) {
+        let cluster = ClusterServer::new(cfg).expect("cluster");
+        let layer = cluster
+            .add_layer(points.clone(), window(), kernel, tail_eps)
+            .expect("layer");
+        let mut oracle = oracle_for(&points);
+        let mut mirror = points.clone();
+        let victim = kill.unwrap_or(usize::MAX);
+        let mut all_ms = Vec::with_capacity(passes * n_tiles);
+        let mut rehomed_ms = Vec::new();
+        for pass in 0..passes {
+            if pass == 3 {
+                cluster.insert_points(layer, &append).expect("broadcast");
+                mirror.extend_from_slice(&append);
+                oracle = oracle_for(&mirror);
+            }
+            if kill == Some(victim) && pass == kill_after_pass && cluster.is_alive(victim) {
+                cluster.kill_node(victim);
+            }
+            for (t, &c) in pyramid.iter().enumerate() {
+                let t0 = Instant::now();
+                let tile = cluster.get_tile(layer, c.z, c.x, c.y).expect("routed serve");
+                let dt = t0.elapsed().as_secs_f64() * 1e3;
+                all_ms.push(dt);
+                if pass >= kill_after_pass && kill.is_some() && home_node(c, nodes) == victim {
+                    rehomed_ms.push(dt);
+                }
+                assert_oracle(&tile, &oracle[t], "storm");
+            }
+        }
+        (all_ms, rehomed_ms, cluster)
+    };
+
+    let routed_before = lsga::obs::counter_value(Counter::ClusterRoutedRequests);
+    let (mut ff_all, _, _) = run_storm(None);
+    let victim = 2usize;
+    let (mut nd_all, mut nd_rehomed, survivors) = run_storm(Some(victim));
+    let routed_delta =
+        lsga::obs::counter_value(Counter::ClusterRoutedRequests) - routed_before;
+    assert_eq!(
+        routed_delta,
+        (2 * passes * n_tiles) as u64,
+        "routed_requests must count every storm request"
+    );
+    assert_eq!(survivors.alive_nodes().len(), nodes - 1);
+
+    let ff = (pct(&mut ff_all, 0.50), pct(&mut ff_all, 0.99), pct(&mut ff_all, 0.999));
+    let nd = (pct(&mut nd_all, 0.50), pct(&mut nd_all, 0.99), pct(&mut nd_all, 0.999));
+    let re = (
+        pct(&mut nd_rehomed, 0.50),
+        pct(&mut nd_rehomed, 0.99),
+        pct(&mut nd_rehomed, 0.999),
+    );
+    println!("| routed storm ({passes} passes × {n_tiles} tiles, {nodes} nodes) | p50 | p99 | p999 |");
+    println!("|---|---|---|---|");
+    println!("| fault-free | {:.3} ms | {:.3} ms | {:.3} ms |", ff.0, ff.1, ff.2);
+    println!("| node {victim} killed after pass {kill_after_pass} | {:.3} ms | {:.3} ms | {:.3} ms |", nd.0, nd.1, nd.2);
+    println!("| re-homed range only (post-death) | {:.3} ms | {:.3} ms | {:.3} ms |", re.0, re.1, re.2);
+    println!(
+        "| re-homed p999 / fault-free p999 | {:.2}× |  |  |",
+        re.2 / ff.2.max(1e-9)
+    );
+    report::row(
+        "faultfree storm",
+        &[("p50_ms", ff.0), ("p99_ms", ff.1), ("p999_ms", ff.2)],
+        ff.2,
+    );
+    report::row(
+        "node death storm",
+        &[
+            ("p50_ms", nd.0),
+            ("p99_ms", nd.1),
+            ("p999_ms", nd.2),
+            ("rehomed_p50_ms", re.0),
+            ("rehomed_p999_ms", re.2),
+            ("rehomed_vs_faultfree_p999", re.2 / ff.2.max(1e-9)),
+        ],
+        nd.2,
+    );
+
+    // ---- Leg 2: supervised recovery with an exact re-home audit. A
+    // directed crash plus recoverable noise; the obs counters must
+    // equal the schedule's own sums, and coverage must be complete.
+    let cluster = ClusterServer::new(cfg).expect("audit cluster");
+    let layer = cluster
+        .add_layer(points.clone(), window(), kernel, tail_eps)
+        .expect("audit layer");
+    let oracle = oracle_for(&points);
+    let policy = RetryPolicy::default();
+    let mut plan = FaultPlan::seeded_recoverable(2525, n_tiles, 6);
+    let crash_tile = 7usize;
+    let crash_home = home_node(pyramid[crash_tile], nodes);
+    plan.push(crash_tile, 0, FaultKind::CrashBeforeTask);
+    let before = (
+        lsga::obs::counter_value(Counter::ClusterTilesRehomed),
+        lsga::obs::counter_value(Counter::ClusterReshippedBytes),
+        lsga::obs::counter_value(Counter::ClusterNodeDeaths),
+    );
+    let t0 = Instant::now();
+    let out = cluster
+        .get_tiles_supervised(layer, &pyramid, &plan, &policy)
+        .expect("supervised");
+    let t_sup = t0.elapsed();
+    let rehomed: u64 = out
+        .schedule
+        .tiles
+        .iter()
+        .filter(|o| o.executed() && o.final_worker != Some(o.initial_worker))
+        .count() as u64;
+    let reshipped: u64 = out.schedule.tiles.iter().map(|o| o.reshipped_bytes).sum();
+    let after = (
+        lsga::obs::counter_value(Counter::ClusterTilesRehomed),
+        lsga::obs::counter_value(Counter::ClusterReshippedBytes),
+        lsga::obs::counter_value(Counter::ClusterNodeDeaths),
+    );
+    assert_eq!(after.0 - before.0, rehomed, "tiles_rehomed audit");
+    assert_eq!(after.1 - before.1, reshipped, "reshipped_bytes audit");
+    assert_eq!(after.2 - before.2, 1, "exactly the directed crash dies");
+    assert_eq!(out.schedule.dead_workers, vec![crash_home]);
+    assert!(out.report.is_complete(), "recoverable plan must cover all");
+    assert!(rehomed >= 1 && reshipped > 0);
+    let mut bits = 0usize;
+    for (t, tile) in out.tiles.iter().enumerate() {
+        let tile = tile.as_ref().expect("covered");
+        assert_oracle(tile, &oracle[t], "supervised");
+        bits += tile.grid.values().len();
+    }
+    println!("\n| supervised recovery (directed crash + 6 recoverable faults) | value |");
+    println!("|---|---|");
+    println!("| schedule | {} tiles, node {crash_home} dead, {} sim ticks |", n_tiles, out.schedule.sim_ticks);
+    println!("| tiles re-homed / halo bytes re-shipped | {rehomed} / {reshipped} B |");
+    println!("| served pixels bit-checked vs oracle | {bits} |");
+    println!("| wall time | {} ms |", ms(t_sup));
+    report::row(
+        "supervised audit",
+        &[
+            ("tiles_rehomed", rehomed as f64),
+            ("reshipped_bytes", reshipped as f64),
+            ("node_deaths", 1.0),
+            ("pixels_bit_checked", bits as f64),
+            ("coverage_fraction", out.report.fraction()),
+        ],
+        msf(t_sup),
+    );
+
+    // ---- Leg 3: a doomed plan degrades to an exact coverage report.
+    let doomed_tiles = [3usize, 11];
+    let mut doom = FaultPlan::seeded_recoverable(77, n_tiles, 4);
+    for &t in &doomed_tiles {
+        for attempt in 0..policy.max_attempts {
+            doom.push(t, attempt, FaultKind::TaskError);
+        }
+    }
+    let out = cluster
+        .get_tiles_supervised(layer, &pyramid, &doom, &policy)
+        .expect("doomed plan still returns");
+    assert_eq!(out.report.abandoned, doomed_tiles.to_vec());
+    assert!(!out.report.is_complete());
+    assert!(out.report.fraction() < 1.0);
+    for (t, tile) in out.tiles.iter().enumerate() {
+        match tile {
+            Some(tile) => assert_oracle(tile, &oracle[t], "doomed-plan survivor"),
+            None => assert!(doomed_tiles.contains(&t)),
+        }
+    }
+    println!("\n| doomed plan (retry budget exhausted on {} tiles) | value |", doomed_tiles.len());
+    println!("|---|---|");
+    println!("| coverage | {:.4} ({} of {n_tiles} tiles) |", out.report.fraction(), out.report.executed_tiles);
+    println!("| abandoned tile indices | {:?} |", out.report.abandoned);
+    report::row(
+        "doomed degradation",
+        &[
+            ("coverage_fraction", out.report.fraction()),
+            ("abandoned_tiles", out.report.abandoned.len() as f64),
+            ("executed_tiles", out.report.executed_tiles as f64),
         ],
         0.0,
     );

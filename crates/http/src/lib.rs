@@ -44,4 +44,4 @@ pub use client::{read_response, ClientResponse};
 pub use error::{reason, status_for, HttpError, HttpResult};
 pub use parse::{parse_head, route, Method, PayloadFmt, RawRequest, Route};
 pub use server::{HttpServer, HttpServerConfig};
-pub use wire::{dequantize, error_response, tier_name, tile_response, Response};
+pub use wire::{dequantize, error_response, retry_after_secs, tier_name, tile_response, Response};

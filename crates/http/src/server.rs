@@ -34,7 +34,7 @@
 
 use crate::error::{HttpError, HttpResult};
 use crate::parse::{self, RawRequest, Route};
-use crate::wire::{error_response, tile_response, Response};
+use crate::wire::{error_response, retry_after_secs, tile_response, Response};
 use lsga_core::{LsgaError, Point};
 use lsga_obs as obs;
 use lsga_serve::TileServer;
@@ -267,7 +267,7 @@ fn dispatch(conn: TcpStream, shared: &Shared) {
     obs::incr(obs::Counter::HttpQueueRejections);
     respond_and_close(
         conn,
-        &shared.cfg,
+        shared,
         &HttpError {
             status: 503,
             source: LsgaError::Io("all request queues are full".to_string()),
@@ -275,10 +275,14 @@ fn dispatch(conn: TcpStream, shared: &Shared) {
     );
 }
 
-/// Write one error response on a connection we are about to drop.
-fn respond_and_close(mut conn: TcpStream, cfg: &HttpServerConfig, e: &HttpError) {
-    let _ = conn.set_write_timeout(Some(cfg.read_timeout));
-    let bytes = error_response(e).encode(false);
+/// Write one error response on a connection we are about to drop. The
+/// `Retry-After` hint on a 503 comes from the tile server's live
+/// queue-wait estimate, so a backed-up server tells clients to stay
+/// away longer than an idle one.
+fn respond_and_close(mut conn: TcpStream, shared: &Shared, e: &HttpError) {
+    let _ = conn.set_write_timeout(Some(shared.cfg.read_timeout));
+    let retry = retry_after_secs(shared.tiles.estimated_queue_wait());
+    let bytes = error_response(e, retry).encode(false);
     count_response(e.status, bytes.len());
     let _ = conn.write_all(&bytes);
 }
@@ -317,7 +321,7 @@ fn worker_loop(shared: &Shared, idx: usize) {
             obs::incr(obs::Counter::HttpShedShutdown);
             respond_and_close(
                 conn,
-                &shared.cfg,
+                shared,
                 &HttpError {
                     status: 503,
                     source: LsgaError::Io("server is shutting down".to_string()),
@@ -343,7 +347,7 @@ fn serve_conn(mut conn: TcpStream, shared: &Shared) {
             Ok(None) => return,
             Err(e) => {
                 obs::incr(obs::Counter::HttpRequests);
-                let bytes = error_response(&e).encode(false);
+                let bytes = error_response(&e, 1).encode(false);
                 count_response(e.status, bytes.len());
                 let _ = conn.write_all(&bytes);
                 return;
@@ -351,14 +355,16 @@ fn serve_conn(mut conn: TcpStream, shared: &Shared) {
         };
         obs::incr(obs::Counter::HttpRequests);
         let (resp, keep_alive) = match parse::parse_head(&head) {
-            Err(e) => (error_response(&e), false),
+            Err(e) => (error_response(&e, 1), false),
             Ok(req) => {
                 let wants_keep_alive = req.keep_alive;
                 match execute(&req, &mut buf, &mut conn, shared) {
                     Ok(resp) => (resp, wants_keep_alive),
                     // 4xx/5xx close the connection: after a framing or
                     // routing error we cannot trust the byte stream.
-                    Err(e) => (error_response(&e), false),
+                    // (These paths never carry a 503, so the backoff
+                    // hint argument is inert here.)
+                    Err(e) => (error_response(&e, 1), false),
                 }
             }
         };

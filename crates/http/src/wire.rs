@@ -111,16 +111,31 @@ pub fn tile_response(tile: &Tile, fmt: PayloadFmt) -> Response {
                     (lo.min(v), hi.max(v))
                 });
             let scale = max - min;
-            let body: Vec<u8> = values
-                .iter()
-                .map(|&v| {
-                    if scale > 0.0 {
-                        ((v - min) / scale * 255.0).round() as u8
-                    } else {
-                        0 // constant tile: every pixel equals `min`
-                    }
-                })
-                .collect();
+            // Totality over extreme ranges. A *subnormal* scale is the
+            // trap: `scale > 0.0` admits it, but `(v - min) / scale`
+            // overflows to inf and `inf * 255.0 as u8` saturates every
+            // pixel to 255 — the dequantized tile reads as max instead
+            // of min. Any range narrower than one normal float is
+            // below u8 resolution anyway, so it takes the constant-tile
+            // encoding. A range *wider* than f64 (max − min overflows
+            // to inf) quantizes in halved space, which cannot overflow
+            // for finite min/max; `dequantize` mirrors the halving.
+            let body: Vec<u8> = if scale >= f64::MIN_POSITIVE && scale.is_finite() {
+                values
+                    .iter()
+                    .map(|&v| ((v - min) / scale * 255.0).round() as u8)
+                    .collect()
+            } else if scale.is_finite() || !(min.is_finite() && max.is_finite()) {
+                // Constant (or sub-resolution, or degenerate non-finite)
+                // tile: every pixel decodes to `min`.
+                vec![0; values.len()]
+            } else {
+                let (hmin, hscale) = (min / 2.0, max / 2.0 - min / 2.0);
+                values
+                    .iter()
+                    .map(|&v| ((v / 2.0 - hmin) / hscale * 255.0).round() as u8)
+                    .collect()
+            };
             resp.header("X-Lsga-Min", min)
                 .header("X-Lsga-Max", max)
                 .body(fmt.content_type(), body)
@@ -128,14 +143,28 @@ pub fn tile_response(tile: &Tile, fmt: PayloadFmt) -> Response {
     }
 }
 
-/// Encode an [`HttpError`] as a response. 503s advertise when to come
-/// back; the body is the underlying error's `Display` so clients can
-/// see the actual reason, not just a status code.
+/// Round the admission controller's queue-wait estimate up to whole
+/// seconds for a `Retry-After` header, clamped to `1..=8`: never tell
+/// a client "0" (come back instantly — that is the overload), never
+/// park one for longer than the estimate stays meaningful. An
+/// unseeded estimate (zero) clamps to the 1-second floor.
 #[must_use]
-pub fn error_response(e: &HttpError) -> Response {
+pub fn retry_after_secs(estimate: std::time::Duration) -> u64 {
+    let ns = estimate.as_nanos().min(u128::from(u64::MAX)) as u64;
+    ns.div_ceil(1_000_000_000).clamp(1, 8)
+}
+
+/// Encode an [`HttpError`] as a response. 503s advertise when to come
+/// back via `retry_after` seconds (derive it with [`retry_after_secs`]
+/// from the tile server's queue-wait estimate; it is re-clamped to
+/// `1..=8` here so no call site can emit a nonsensical hint). The body
+/// is the underlying error's `Display` so clients can see the actual
+/// reason, not just a status code.
+#[must_use]
+pub fn error_response(e: &HttpError, retry_after: u64) -> Response {
     let mut resp = Response::new(e.status);
     if e.status == 503 {
-        resp = resp.header("Retry-After", 1);
+        resp = resp.header("Retry-After", retry_after.clamp(1, 8));
     }
     let mut msg = e.source.to_string();
     msg.push('\n');
@@ -144,13 +173,17 @@ pub fn error_response(e: &HttpError) -> Response {
 
 /// Dequantize one u8 payload byte back to an f64 given the header
 /// range. The inverse of the u8 encoding up to half a step; exposed so
-/// tests and clients share one definition.
+/// tests and clients share one definition, including the halved-space
+/// inverse for ranges whose width overflows f64.
 #[must_use]
 pub fn dequantize(q: u8, min: f64, max: f64) -> f64 {
-    if max > min {
-        min + (q as f64 / 255.0) * (max - min)
-    } else {
+    let scale = max - min;
+    if scale >= f64::MIN_POSITIVE && scale.is_finite() {
+        min + (q as f64 / 255.0) * scale
+    } else if scale.is_finite() || !(min.is_finite() && max.is_finite()) {
         min
+    } else {
+        (min / 2.0 + (q as f64 / 255.0) * (max / 2.0 - min / 2.0)) * 2.0
     }
 }
 
@@ -248,15 +281,72 @@ mod tests {
             status: 503,
             source: LsgaError::Io("queue full".into()),
         };
-        let r = error_response(&e);
+        let r = error_response(&e, 3);
         assert_eq!(r.status, 503);
-        assert_eq!(header(&r, "Retry-After"), "1");
+        assert_eq!(header(&r, "Retry-After"), "3");
         assert!(String::from_utf8(r.body.clone())
             .unwrap()
             .contains("queue full"));
-        let nf = error_response(&HttpError::not_found("no such tile"));
+        // Out-of-band hints are re-clamped at the encoder.
+        assert_eq!(header(&error_response(&e, 0), "Retry-After"), "1");
+        assert_eq!(header(&error_response(&e, 999), "Retry-After"), "8");
+        let nf = error_response(&HttpError::not_found("no such tile"), 1);
         assert_eq!(nf.status, 404);
         assert!(!nf.headers.iter().any(|(n, _)| n == "Retry-After"));
+    }
+
+    #[test]
+    fn retry_after_rounds_up_and_clamps() {
+        use std::time::Duration;
+        // Unseeded estimate → the 1-second floor, never 0.
+        assert_eq!(retry_after_secs(Duration::ZERO), 1);
+        assert_eq!(retry_after_secs(Duration::from_millis(1)), 1);
+        // Partial seconds round up, not down.
+        assert_eq!(retry_after_secs(Duration::from_millis(1500)), 2);
+        assert_eq!(retry_after_secs(Duration::from_secs(2)), 2);
+        assert_eq!(retry_after_secs(Duration::from_nanos(2_000_000_001)), 3);
+        // Deep overload clamps to the 8-second ceiling.
+        assert_eq!(retry_after_secs(Duration::from_secs(100)), 8);
+        assert_eq!(retry_after_secs(Duration::from_secs(u64::MAX)), 8);
+    }
+
+    #[test]
+    fn subnormal_scale_takes_the_constant_tile_encoding() {
+        // Regression: a subnormal range made `(v - min) / scale`
+        // overflow to inf and saturated every pixel to 255, so the
+        // dequantized tile read as `max` instead of `min`.
+        let min: f64 = 1.0e-308;
+        let max = f64::from_bits(min.to_bits() + 1);
+        let vals = vec![min, max, min, max];
+        let scale = max - min;
+        assert!(scale > 0.0 && scale < f64::MIN_POSITIVE, "setup: subnormal");
+        let t = tile_with(vals, TileTier::Exact);
+        let r = tile_response(&t, PayloadFmt::U8);
+        assert!(r.body.iter().all(|&q| q == 0), "got {:?}", r.body);
+        let hmin: f64 = header(&r, "X-Lsga-Min").parse().unwrap();
+        let hmax: f64 = header(&r, "X-Lsga-Max").parse().unwrap();
+        assert!((dequantize(0, hmin, hmax) - min).abs() <= scale);
+    }
+
+    #[test]
+    fn overflowing_range_quantizes_in_halved_space() {
+        let (min, max): (f64, f64) = (-1.6e308, 1.6e308);
+        assert!((max - min).is_infinite(), "setup: range overflows");
+        let vals = vec![min, 0.0, max, min];
+        let t = tile_with(vals.clone(), TileTier::Exact);
+        let r = tile_response(&t, PayloadFmt::U8);
+        assert_eq!(r.body[0], 0);
+        assert_eq!(r.body[2], 255);
+        let hmin: f64 = header(&r, "X-Lsga-Min").parse().unwrap();
+        let hmax: f64 = header(&r, "X-Lsga-Max").parse().unwrap();
+        // Half a step of the (halved-space) quantization grid, scaled
+        // back up: (max/2 − min/2)/255 · 2 / 2.
+        let half_step = (hmax / 2.0 - hmin / 2.0) / 255.0;
+        for (&q, &v) in r.body.iter().zip(&vals) {
+            let d = dequantize(q, hmin, hmax);
+            assert!(d.is_finite());
+            assert!((d - v).abs() <= half_step * 1.0000001, "q={q} v={v} d={d}");
+        }
     }
 
     fn header<'a>(r: &'a Response, name: &str) -> &'a str {

@@ -116,11 +116,25 @@ pub enum Counter {
     HttpShedShutdown,
     /// Response bytes written to sockets (status line + headers + body).
     HttpBytesOut,
+    /// Tile requests routed by the cluster front to an owner node
+    /// (every routed `get_tile`/`get_tiles` element counts one).
+    ClusterRoutedRequests,
+    /// Per-node invalidation deliveries: one per *alive* node for each
+    /// cluster `insert_points` broadcast.
+    ClusterInvalidationsBroadcast,
+    /// Simulated node deaths observed by the cluster planner (a node
+    /// killed by several faults still dies once).
+    ClusterNodeDeaths,
+    /// Tiles whose serving re-homed from a dead owner to a survivor.
+    ClusterTilesRehomed,
+    /// Bytes of halo data re-shipped to the adopting node for each
+    /// re-homed tile (`points_in_inflated_bbox × BYTES_PER_POINT`).
+    ClusterReshippedBytes,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 41] = [
         Counter::KdvPairs,
         Counter::KdvCellsPruned,
         Counter::KfuncPairs,
@@ -157,6 +171,11 @@ impl Counter {
         Counter::HttpQueueRejections,
         Counter::HttpShedShutdown,
         Counter::HttpBytesOut,
+        Counter::ClusterRoutedRequests,
+        Counter::ClusterInvalidationsBroadcast,
+        Counter::ClusterNodeDeaths,
+        Counter::ClusterTilesRehomed,
+        Counter::ClusterReshippedBytes,
     ];
 
     /// Stable dotted name used by every exporter.
@@ -198,6 +217,11 @@ impl Counter {
             Counter::HttpQueueRejections => "http.queue_rejections",
             Counter::HttpShedShutdown => "http.shed_on_shutdown",
             Counter::HttpBytesOut => "http.bytes_out",
+            Counter::ClusterRoutedRequests => "cluster.routed_requests",
+            Counter::ClusterInvalidationsBroadcast => "cluster.invalidations_broadcast",
+            Counter::ClusterNodeDeaths => "cluster.node_deaths",
+            Counter::ClusterTilesRehomed => "cluster.tiles_rehomed",
+            Counter::ClusterReshippedBytes => "cluster.reshipped_bytes",
         }
     }
 }
@@ -250,11 +274,14 @@ pub enum Hist {
     /// Connections resident in the chosen worker's bounded queue at
     /// each successful enqueue (depth after the push).
     HttpQueueDepth,
+    /// Tiles adopted per surviving node in each re-home pass (how
+    /// evenly a dead node's range spreads over the survivors).
+    ClusterRehomeBatch,
 }
 
 impl Hist {
     /// Every histogram, in export order.
-    pub const ALL: [Hist; 7] = [
+    pub const ALL: [Hist; 8] = [
         Hist::KrigingSystemSize,
         Hist::DbscanNeighborsPerQuery,
         Hist::DistTileAttempts,
@@ -262,6 +289,7 @@ impl Hist {
         Hist::IngestSegmentCount,
         Hist::ServeQueueWait,
         Hist::HttpQueueDepth,
+        Hist::ClusterRehomeBatch,
     ];
 
     /// Stable dotted name used by every exporter.
@@ -274,6 +302,7 @@ impl Hist {
             Hist::IngestSegmentCount => "ingest.segment_count",
             Hist::ServeQueueWait => "serve.queue_wait",
             Hist::HttpQueueDepth => "http.queue_depth",
+            Hist::ClusterRehomeBatch => "cluster.rehome_batch",
         }
     }
 }

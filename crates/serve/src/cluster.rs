@@ -1,0 +1,564 @@
+//! Multi-node tile serving: shard ownership, invalidation broadcast,
+//! and fault re-homing over the `lsga-dist` failure machinery.
+//!
+//! A [`ClusterServer`] simulates an N-node serving tier in-process.
+//! Each node runs its own full [`TileServer`] — its own cache shards,
+//! flight tables, and admission controller — over a **replicated
+//! store**: `add_layer` and `insert_points` apply the same batch
+//! sequence to every live node, so every live replica holds identical
+//! layer state at the same generation. What the cluster *shards* is
+//! the serving work: caches, single-flight coalescing, and tile
+//! compute are partitioned by an ownership map so that each tile's
+//! working set lives on exactly one node.
+//!
+//! # Ownership map
+//!
+//! Tiles are laid on the linearized-quadtree Z-order curve:
+//! [`z_order_key`] is the level offset `(4^z − 1)/3` plus the Morton
+//! interleave of `(x, y)`. The home node of a tile is that key modulo
+//! the node count ([`home_node`]) — contiguous Z-order runs stripe
+//! round-robin across nodes, which balances any spatially-coherent
+//! request storm without coordination. Routing ([`ClusterServer::route`])
+//! sends a tile to the first *live* node in the rotation
+//! `(home, home+1, …) mod n`, so a dead node's entire tile range
+//! re-homes to the survivors deterministically, with no routing table
+//! to rebuild.
+//!
+//! # Invalidation broadcast
+//!
+//! An append ([`ClusterServer::insert_points`]) is delivered to every
+//! live node in node order. Each delivery runs that node's own
+//! append path — segment build, generation bump, dirty-region cache
+//! sweep — so cross-node cache coherence falls out of the per-node
+//! invariant rather than a separate protocol. The cluster stamps each
+//! committed broadcast with a monotone generation
+//! ([`ClusterServer::generation`]); because every live node sees the
+//! same batch sequence, per-node snapshot generations advance in
+//! lockstep and a router never needs to compare them. A dead node
+//! misses broadcasts and its replica goes stale — which is safe,
+//! because routing never selects a dead node and there is no rejoin.
+//!
+//! # Fault re-homing
+//!
+//! [`ClusterServer::get_tiles_supervised`] serves a batch under a
+//! seeded [`FaultPlan`], reusing the two-phase determinism argument of
+//! `lsga_dist::supervisor` (DESIGN.md §3.13):
+//!
+//! 1. **Planning** is a sequential simulation over tiles in index
+//!    order — a pure function of `(plan, policy, ownership, alive
+//!    set)`. It charges halo re-shipments (the points within the
+//!    tile's kernel-inflated bbox, at `BYTES_PER_POINT` each) whenever
+//!    a tile is adopted by a node that does not hold its serving
+//!    state, kills nodes on crash faults, and abandons tiles whose
+//!    retry budget is exhausted.
+//! 2. **Execution** serves each scheduled-successful tile from its
+//!    final node's exact path. A tile is a pure function of the layer
+//!    replica, every live replica is identical, and the per-node exact
+//!    tier is bit-stable — so any recoverable schedule yields tiles
+//!    bit-identical to [`crate::server::compute_tile_direct`], for
+//!    every thread count. Doomed plans degrade to a partial result
+//!    with an exact [`CoverageReport`] instead of an error.
+//!
+//! All `cluster.*` counters are published from the sequential planning
+//! loop (or from sequential routing), so observability is invariant
+//! under `LSGA_THREADS` — the property `tests/obs_invariance.rs`
+//! checks for the rest of the registry and
+//! `tests/cluster_coherence.rs` checks here.
+
+use crate::policy::QualityPolicy;
+use crate::server::{TileServer, TileServerConfig};
+use crate::tile::{tile_bbox, LayerId, Tile, TileCoord};
+use lsga_core::error::{LsgaError, Result};
+use lsga_core::{AnyKernel, BBox, Kernel, Point};
+use lsga_dist::metrics::BYTES_PER_POINT;
+use lsga_dist::supervisor::{CoverageReport, Schedule, TileOutcome};
+use lsga_dist::{FaultKind, FaultPlan, RetryPolicy, SimClock};
+use lsga_obs::{self as obs, Counter, Hist};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Spread the low 32 bits of `v` so they occupy the even bit
+/// positions of the result (Morton/Z-order bit interleave half).
+fn spread_bits(v: u32) -> u64 {
+    let mut x = u64::from(v);
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Linearized-quadtree Z-order key of a tile: the level offset
+/// `(4^z − 1)/3` (total tiles above level `z`) plus the Morton
+/// interleave of `(x, y)` within the level. Distinct tiles of the
+/// pyramid get distinct keys, and keys within one zoom level follow
+/// the Z-order space-filling curve.
+#[must_use]
+pub fn z_order_key(coord: TileCoord) -> u64 {
+    // Zoom is clamped to 31 only to keep the shift defined; real
+    // pyramids are bounded far below by `TileServerConfig::max_zoom`.
+    let z = u32::from(coord.z).min(31);
+    let offset = ((1u64 << (2 * z)) - 1) / 3;
+    offset + (spread_bits(coord.x) | (spread_bits(coord.y) << 1))
+}
+
+/// The home (owning) node of a tile in an `nodes`-node cluster:
+/// [`z_order_key`] modulo the node count.
+#[must_use]
+pub fn home_node(coord: TileCoord, nodes: usize) -> usize {
+    debug_assert!(nodes > 0);
+    (z_order_key(coord) % nodes as u64) as usize
+}
+
+/// Configuration of a simulated serving cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of simulated nodes (>= 1).
+    pub nodes: usize,
+    /// Per-node tile-server configuration; every node gets its own
+    /// independent instance (cache budget is *per node*).
+    pub node: TileServerConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            node: TileServerConfig::default(),
+        }
+    }
+}
+
+/// Per-layer ledger the cluster keeps beside the per-node replicas:
+/// the window/radius that define tile halos plus the full point set,
+/// used to account halo re-shipment bytes exactly.
+struct LayerLedger {
+    window: BBox,
+    /// Kernel effective radius at the layer's `tail_eps` — the halo
+    /// margin around a tile's bbox (same inflation the per-node
+    /// invalidation sweep uses).
+    radius: f64,
+    points: Vec<Point>,
+}
+
+/// A batch served under a fault plan: per-tile results (abandoned
+/// tiles are `None`), the exact coverage report, and the full
+/// simulated schedule for auditing.
+pub struct SupervisedTiles {
+    /// One entry per requested coordinate, in request order.
+    pub tiles: Vec<Option<Arc<Tile>>>,
+    /// Exact account of what the partial result covers; complete iff
+    /// every tile executed.
+    pub report: CoverageReport,
+    /// The simulated failure/recovery schedule (attempts, re-homings,
+    /// re-shipped bytes, node deaths).
+    pub schedule: Schedule,
+}
+
+/// An N-node simulated tile-serving cluster. See the module docs for
+/// the ownership, broadcast, and re-homing model.
+pub struct ClusterServer {
+    nodes: Vec<TileServer>,
+    /// Liveness mask; `false` nodes are never routed to and miss
+    /// broadcasts. Guarded by a mutex so routing, broadcast, and
+    /// planning observe a consistent membership.
+    alive: Mutex<Vec<bool>>,
+    ledgers: Mutex<Vec<LayerLedger>>,
+    /// Monotone broadcast generation, bumped once per committed
+    /// append.
+    generation: AtomicU64,
+}
+
+impl ClusterServer {
+    /// Build a cluster of `cfg.nodes` independent tile servers.
+    pub fn new(cfg: ClusterConfig) -> Result<Self> {
+        if cfg.nodes == 0 {
+            return Err(LsgaError::InvalidParameter {
+                name: "nodes",
+                message: "a cluster needs at least one node".into(),
+            });
+        }
+        let nodes = (0..cfg.nodes).map(|_| TileServer::new(cfg.node)).collect();
+        Ok(ClusterServer {
+            nodes,
+            alive: Mutex::new(vec![true; cfg.nodes]),
+            ledgers: Mutex::new(Vec::new()),
+            generation: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of nodes (live and dead).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Direct access to one node's server — tests use this to inspect
+    /// per-node caches and to compare against single-node behaviour.
+    #[must_use]
+    pub fn node(&self, i: usize) -> &TileServer {
+        &self.nodes[i]
+    }
+
+    /// Indices of the currently live nodes, ascending.
+    #[must_use]
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        let alive = self.alive.lock().unwrap();
+        (0..alive.len()).filter(|&i| alive[i]).collect()
+    }
+
+    /// Whether node `i` is live.
+    #[must_use]
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive.lock().unwrap()[i]
+    }
+
+    /// The cluster broadcast generation: number of committed appends.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Register a layer on **every** node (dead nodes included, so
+    /// layer ids stay aligned across the cluster) and open its ledger.
+    pub fn add_layer(
+        &self,
+        points: Vec<Point>,
+        window: BBox,
+        kernel: AnyKernel,
+        tail_eps: f64,
+    ) -> Result<LayerId> {
+        let radius = kernel.effective_radius(tail_eps);
+        // Hold the ledger lock for the whole registration so two
+        // concurrent `add_layer` calls cannot interleave per-node
+        // registrations and hand out diverged ids.
+        let mut ledgers = self.ledgers.lock().unwrap();
+        let mut id: Option<LayerId> = None;
+        for node in &self.nodes {
+            let lid = node.add_layer(points.clone(), window, kernel, tail_eps)?;
+            match id {
+                None => id = Some(lid),
+                Some(prev) => assert_eq!(prev, lid, "layer ids diverged across nodes"),
+            }
+        }
+        let id = id.expect("cluster has at least one node");
+        assert_eq!(id, ledgers.len(), "ledger out of step with layer ids");
+        ledgers.push(LayerLedger {
+            window,
+            radius,
+            points,
+        });
+        Ok(id)
+    }
+
+    /// The node a tile is routed to right now: the first live node in
+    /// the rotation starting at its home. Errs only when every node is
+    /// dead.
+    pub fn route(&self, coord: TileCoord) -> Result<usize> {
+        let alive = self.alive.lock().unwrap();
+        Self::route_in(&alive, coord, self.nodes.len())
+    }
+
+    fn route_in(alive: &[bool], coord: TileCoord, n: usize) -> Result<usize> {
+        let home = home_node(coord, n);
+        (0..n)
+            .map(|k| (home + k) % n)
+            .find(|&w| alive[w])
+            .ok_or_else(|| LsgaError::TaskFailed {
+                tile: (z_order_key(coord) % usize::MAX as u64) as usize,
+                attempts: 0,
+                message: "no live cluster nodes to route to".into(),
+            })
+    }
+
+    /// Serve one tile at the exact tier from its owning node.
+    pub fn get_tile(&self, layer: LayerId, z: u8, x: u32, y: u32) -> Result<Arc<Tile>> {
+        let coord = TileCoord::new(z, x, y);
+        let w = self.route(coord)?;
+        obs::incr(Counter::ClusterRoutedRequests);
+        self.nodes[w].get_tile(layer, z, x, y)
+    }
+
+    /// Serve one tile under a quality policy from its owning node.
+    pub fn get_tile_with_policy(
+        &self,
+        layer: LayerId,
+        z: u8,
+        x: u32,
+        y: u32,
+        policy: &QualityPolicy,
+    ) -> Result<Arc<Tile>> {
+        let coord = TileCoord::new(z, x, y);
+        let w = self.route(coord)?;
+        obs::incr(Counter::ClusterRoutedRequests);
+        self.nodes[w].get_tile_with_policy(layer, z, x, y, policy)
+    }
+
+    /// Serve a batch, each tile from its owning node, in request
+    /// order.
+    pub fn get_tiles(&self, layer: LayerId, coords: &[TileCoord]) -> Result<Vec<Arc<Tile>>> {
+        coords
+            .iter()
+            .map(|&c| self.get_tile(layer, c.z, c.x, c.y))
+            .collect()
+    }
+
+    /// Append points to a layer and broadcast the invalidation to
+    /// every live node in node order. Each delivery runs the node's
+    /// own append path (segment build, generation bump, dirty-region
+    /// cache sweep), so all live replicas stay bit-identical. Dead
+    /// nodes miss the broadcast and go stale — safe, because routing
+    /// never selects them and there is no rejoin.
+    pub fn insert_points(&self, layer: LayerId, points: &[Point]) -> Result<()> {
+        {
+            let ledgers = self.ledgers.lock().unwrap();
+            if usize::from(layer) >= ledgers.len() {
+                return Err(LsgaError::InvalidParameter {
+                    name: "layer",
+                    message: format!("unknown layer {layer:?}"),
+                });
+            }
+        }
+        // Hold the membership lock across the whole broadcast so a
+        // concurrent kill cannot split one append between replicas.
+        let alive = self.alive.lock().unwrap();
+        for (w, node) in self.nodes.iter().enumerate() {
+            if !alive[w] {
+                continue;
+            }
+            node.insert_points(layer, points)?;
+            obs::incr(Counter::ClusterInvalidationsBroadcast);
+        }
+        self.ledgers.lock().unwrap()[usize::from(layer)]
+            .points
+            .extend_from_slice(points);
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Kill node `w`: it drops its serving state, is removed from
+    /// routing, and misses all future broadcasts. Idempotent; returns
+    /// whether the node was live.
+    pub fn kill_node(&self, w: usize) -> bool {
+        let mut alive = self.alive.lock().unwrap();
+        if !alive[w] {
+            return false;
+        }
+        alive[w] = false;
+        // A crash loses the node's in-memory serving state.
+        self.nodes[w].clear_cache();
+        obs::incr(Counter::ClusterNodeDeaths);
+        true
+    }
+
+    /// Points inside the kernel-inflated bbox of each tile — the halo
+    /// shipment an adopting node must receive, and the unit the
+    /// coverage report weighs tiles by.
+    fn shipment_sizes(&self, layer: LayerId, coords: &[TileCoord]) -> Result<Vec<usize>> {
+        let ledgers = self.ledgers.lock().unwrap();
+        let ledger = ledgers
+            .get(usize::from(layer))
+            .ok_or_else(|| LsgaError::InvalidParameter {
+                name: "layer",
+                message: format!("unknown layer {layer:?}"),
+            })?;
+        Ok(coords
+            .iter()
+            .map(|&c| {
+                let halo = tile_bbox(&ledger.window, c).inflate(ledger.radius);
+                ledger.points.iter().filter(|p| halo.contains(p)).count()
+            })
+            .collect())
+    }
+
+    /// Serve a batch under a seeded fault plan with deterministic
+    /// re-homing. Planning (sequential, pure) decides every attempt,
+    /// node death, and halo re-shipment; execution then serves each
+    /// scheduled-successful tile from its final node's exact path —
+    /// bit-identical to the fault-free run for any recoverable plan.
+    /// Tiles whose retry budget is exhausted come back `None`, listed
+    /// in the exact [`CoverageReport`]. Node deaths scheduled here are
+    /// applied to the cluster (routing + broadcasts) before returning.
+    pub fn get_tiles_supervised(
+        &self,
+        layer: LayerId,
+        coords: &[TileCoord],
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> Result<SupervisedTiles> {
+        let shipment_sizes = self.shipment_sizes(layer, coords)?;
+        let n = self.nodes.len();
+
+        // ---- Phase 1: sequential planning (mirrors dist::plan_schedule,
+        // with node ownership in place of the worker-per-tile pairing).
+        let (schedule, was_dead) = {
+            let alive = self.alive.lock().unwrap();
+            let mut dead: Vec<bool> = alive.iter().map(|&a| !a).collect();
+            let was_dead = dead.clone();
+            let mut tiles = Vec::with_capacity(coords.len());
+            for (t, &coord) in coords.iter().enumerate() {
+                let home = home_node(coord, n);
+                let entry = Self::route_in(&alive, coord, n).ok();
+                let mut out = TileOutcome {
+                    tile: t,
+                    initial_worker: entry.unwrap_or(home),
+                    final_worker: None,
+                    attempts: 0,
+                    retries: 0,
+                    timeouts: 0,
+                    reshipments: 0,
+                    reshipped_bytes: 0,
+                    ticks: 0,
+                    errors: Vec::new(),
+                };
+                let mut clock = SimClock::default();
+                let bytes = shipment_sizes[t] as u64 * BYTES_PER_POINT;
+                // The entry node already holds the tile's serving state
+                // (it is the current route target); anyone else must be
+                // shipped the halo before an attempt can run there.
+                let mut halo_holder = entry.filter(|&w| !dead[w]);
+                for attempt in 0..policy.max_attempts {
+                    let Some(node) = (0..n).map(|k| (home + k) % n).find(|&w| !dead[w]) else {
+                        out.errors.push(LsgaError::TaskFailed {
+                            tile: t,
+                            attempts: out.attempts,
+                            message: "no surviving nodes to re-home to".into(),
+                        });
+                        break;
+                    };
+                    if halo_holder != Some(node) {
+                        out.reshipments += 1;
+                        out.reshipped_bytes += bytes;
+                        halo_holder = Some(node);
+                    }
+                    out.attempts += 1;
+                    match plan.fault_at(t, attempt) {
+                        None => {
+                            clock.advance(policy.task_ticks);
+                            out.final_worker = Some(node);
+                            break;
+                        }
+                        Some(FaultKind::Straggle { ticks }) if ticks <= policy.timeout_ticks => {
+                            // Slow but within the deadline: pure latency.
+                            clock.advance(ticks);
+                            out.final_worker = Some(node);
+                            break;
+                        }
+                        Some(kind) => {
+                            let error = match kind {
+                                FaultKind::Straggle { .. } => {
+                                    out.timeouts += 1;
+                                    clock.advance(policy.timeout_ticks);
+                                    LsgaError::Timeout {
+                                        what: "straggling tile serve abandoned",
+                                        ticks: policy.timeout_ticks,
+                                    }
+                                }
+                                FaultKind::CrashBeforeTask | FaultKind::CrashMidTask => {
+                                    dead[node] = true;
+                                    halo_holder = None; // died with the data
+                                    out.timeouts += 1;
+                                    clock.advance(policy.timeout_ticks);
+                                    LsgaError::WorkerLost { worker: node, tile: t }
+                                }
+                                FaultKind::DropHaloShipment => {
+                                    halo_holder = None;
+                                    out.timeouts += 1;
+                                    clock.advance(policy.timeout_ticks);
+                                    LsgaError::ShipmentLost { tile: t }
+                                }
+                                FaultKind::TaskError => {
+                                    clock.advance(policy.task_ticks);
+                                    LsgaError::TaskFailed {
+                                        tile: t,
+                                        attempts: out.attempts,
+                                        message: "transient serve error".into(),
+                                    }
+                                }
+                            };
+                            out.errors.push(error);
+                            out.retries += 1;
+                            if attempt + 1 < policy.max_attempts {
+                                clock.advance(policy.backoff_after(attempt));
+                            } else {
+                                out.errors.push(LsgaError::TaskFailed {
+                                    tile: t,
+                                    attempts: out.attempts,
+                                    message: "retry budget exhausted".into(),
+                                });
+                            }
+                        }
+                    }
+                }
+                out.ticks = clock.now();
+                tiles.push(out);
+            }
+            let dead_workers: Vec<usize> = (0..n).filter(|&w| dead[w]).collect();
+            let sim_ticks = tiles.iter().map(|o| o.ticks).max().unwrap_or(0);
+            (
+                Schedule {
+                    tiles,
+                    dead_workers,
+                    sim_ticks,
+                },
+                was_dead,
+            )
+        };
+
+        // Publish the schedule's recovery activity. The planning loop
+        // above is sequential, so these totals are identical for every
+        // thread count.
+        let mut adopted = vec![0u64; n];
+        for o in &schedule.tiles {
+            obs::add(Counter::ClusterReshippedBytes, o.reshipped_bytes);
+            for _ in 0..o.reshipments {
+                obs::instant("cluster.reshipment");
+            }
+            if o.executed() && o.final_worker != Some(o.initial_worker) {
+                obs::incr(Counter::ClusterTilesRehomed);
+                adopted[o.final_worker.unwrap()] += 1;
+            }
+        }
+        for (w, &count) in adopted.iter().enumerate() {
+            if count > 0 && !schedule.dead_workers.contains(&w) {
+                obs::record(Hist::ClusterRehomeBatch, count);
+            }
+        }
+
+        // Apply scheduled deaths to the live cluster (routing and
+        // future broadcasts) exactly once each.
+        for &w in &schedule.dead_workers {
+            if !was_dead[w] {
+                self.kill_node(w);
+            }
+        }
+
+        // ---- Phase 2: serve every scheduled-successful tile from its
+        // final node. All live replicas are bit-identical, so the node
+        // choice cannot change bits — only whose cache warms.
+        let mut tiles = Vec::with_capacity(coords.len());
+        for (o, &coord) in schedule.tiles.iter().zip(coords) {
+            match o.final_worker {
+                Some(w) => {
+                    obs::incr(Counter::ClusterRoutedRequests);
+                    let tile = if o.final_worker != Some(o.initial_worker) {
+                        let _rehome = obs::span("cluster.rehome");
+                        self.nodes[w].get_tile(layer, coord.z, coord.x, coord.y)?
+                    } else {
+                        self.nodes[w].get_tile(layer, coord.z, coord.x, coord.y)?
+                    };
+                    tiles.push(Some(tile));
+                }
+                None => tiles.push(None),
+            }
+        }
+
+        let report = CoverageReport::from_schedule(&schedule, &shipment_sizes);
+        Ok(SupervisedTiles {
+            tiles,
+            report,
+            schedule,
+        })
+    }
+}

@@ -41,6 +41,7 @@
 //! their stamped ε.
 
 pub mod cache;
+pub mod cluster;
 pub mod flight;
 pub mod policy;
 pub(crate) mod refine;
@@ -49,6 +50,7 @@ pub mod server;
 pub mod tile;
 
 pub use cache::ShardedTileCache;
+pub use cluster::{home_node, z_order_key, ClusterConfig, ClusterServer, SupervisedTiles};
 pub use policy::{ApproxMode, QualityPolicy, TileTier};
 pub use server::{compute_tile_direct, tile_grid_spec, TileServer, TileServerConfig};
 pub use tile::{tile_bbox, tile_spec, LayerId, Tile, TileCoord, TileKey};

@@ -106,7 +106,11 @@
 //! ignores how many workers drain the queue — it is a conservative
 //! serialized-queue model, which keeps the degrade/admit decision (and
 //! therefore the `serve.*` tier counters) independent of the host's
-//! thread count. Past the budget, the request is served a degraded
+//! thread count. While the EWMA is still unseeded (`ewma == 0`) the
+//! wait behind in-flight leaders is unknown but non-zero, so a
+//! deadline request degrades whenever any exact leader is already
+//! computing; with zero leaders in flight the request is admitted and
+//! its own compute seeds the estimate. Past the budget, the request is served a degraded
 //! tile computed **inline, without joining any flight**: an O(sample)
 //! seeded Eq. 7 evaluation ([`lsga_kdv::sampling_kdv_segmented`]) or
 //! an Eq. 6 bound-refined evaluation, stamped with its [`TileTier`]
@@ -455,6 +459,18 @@ impl TileServer {
         self.core.ewma_tile_ns.store(ns, Ordering::Relaxed);
     }
 
+    /// The admission controller's current serialized-queue estimate:
+    /// `(inflight + 1) · ewma`, i.e. what an exact request arriving now
+    /// would be predicted to wait. Zero while the EWMA is unseeded.
+    /// Front-ends use this to derive honest backoff hints
+    /// (`Retry-After`) instead of a hardcoded constant.
+    #[must_use]
+    pub fn estimated_queue_wait(&self) -> Duration {
+        let ewma = self.core.ewma_tile_ns.load(Ordering::Relaxed);
+        let depth = self.core.inflight_exact.load(Ordering::Relaxed) as u64;
+        Duration::from_nanos((depth + 1).saturating_mul(ewma))
+    }
+
     /// Block until every queued refinement has committed or been
     /// discarded. Makes the asynchronous upgrade observable: after
     /// this returns (with no concurrent traffic), every cache entry a
@@ -616,7 +632,12 @@ impl ServerCore {
         let est_ns = (depth + 1).saturating_mul(ewma);
         obs::record(Hist::ServeQueueWait, est_ns / 1_000);
         let deadline_ns = policy.deadline().as_nanos().min(u128::from(u64::MAX)) as u64;
-        if ewma > 0 && est_ns > deadline_ns {
+        // An unseeded controller (`ewma == 0`) with exact leaders already
+        // in flight must not wave a deadline request onto the queue: the
+        // wait is unknown but provably non-zero, so degrade. With no
+        // in-flight leaders the request itself becomes the seeding
+        // compute, which is the bootstrap path.
+        if (ewma > 0 && est_ns > deadline_ns) || (ewma == 0 && depth > 0) {
             return self.serve_degraded(key, policy);
         }
 

@@ -321,11 +321,19 @@ fn rejects_with_503_iff_the_queue_is_full() {
         std::thread::sleep(Duration::from_millis(1));
     }
 
-    // Now the system is saturated: the next connection must be refused.
+    // Now the system is saturated: the next connection must be
+    // refused, and the backoff hint must be derived from the live
+    // admission estimate, not hardcoded. With the leader parked inside
+    // its compute (inflight = 1) and the estimate pinned at 3.5 s, the
+    // serialized-queue wait is (1 + 1) · 3.5 s, rounded up → 7.
+    server
+        .tiles()
+        .set_compute_estimate(Duration::from_millis(3500));
     let resp = client::get(addr, &target, &[], TIMEOUT).expect("overflow GET");
     assert_eq!(resp.status, 503, "{}", String::from_utf8_lossy(&resp.body));
-    assert_eq!(resp.header("retry-after"), Some("1"));
+    assert_eq!(resp.header("retry-after"), Some("7"));
     assert_eq!(resp.header("connection"), Some("close"));
+    server.tiles().set_compute_estimate(Duration::ZERO);
 
     // Open the gate: the leader and every queued request complete with
     // full-quality answers.

@@ -342,6 +342,79 @@ fn warm_exact_entries_short_circuit_the_policy_path() {
 }
 
 #[test]
+fn unseeded_controller_degrades_behind_inflight_leaders_and_bootstraps_when_idle() {
+    let pts = points(2_500);
+    let kernel = KernelKind::Quartic.with_bandwidth(8.0);
+    let s = server();
+    let layer = s.add_layer(pts.clone(), window(), kernel, 1e-9).unwrap();
+
+    // Regression (cold-start admission hole): with the EWMA unseeded —
+    // no `set_compute_estimate`, no exact compute yet — and one exact
+    // leader parked mid-compute, the old `ewma > 0` guard admitted
+    // every deadline request straight onto the exact path, behind a
+    // queue of unknown depth. It must degrade instead.
+    let a = TileCoord::new(1, 0, 0);
+    let gate = Arc::new(AtomicBool::new(false));
+    let entered = Arc::new(AtomicBool::new(false));
+    {
+        let gate = Arc::clone(&gate);
+        let entered = Arc::clone(&entered);
+        s.set_compute_hook(Some(Arc::new(move |key| {
+            if key.coord == a {
+                entered.store(true, Ordering::Release);
+                while !gate.load(Ordering::Acquire) {
+                    thread::yield_now();
+                }
+            }
+        })));
+    }
+    thread::scope(|scope| {
+        let leader = scope.spawn(|| s.get_tile(layer, a.z, a.x, a.y).unwrap());
+        while !entered.load(Ordering::Acquire) {
+            thread::yield_now();
+        }
+        // Unseeded: the estimate reads zero even with a leader in flight.
+        assert_eq!(s.estimated_queue_wait(), Duration::ZERO);
+        let b = TileCoord::new(1, 1, 1);
+        let t = s
+            .get_tile_with_policy(layer, b.z, b.x, b.y, &sampling_policy(0.1))
+            .unwrap();
+        assert!(
+            !t.tier.is_exact(),
+            "unseeded controller with an in-flight leader must degrade, got {:?}",
+            t.tier
+        );
+        gate.store(true, Ordering::Release);
+        let warm = leader.join().unwrap();
+        assert!(warm.tier.is_exact());
+    });
+    s.set_compute_hook(None);
+    s.drain_refinements();
+
+    // Bootstrap path: with zero leaders in flight the same unseeded
+    // controller admits the request — its own compute becomes the seed.
+    let s2 = server();
+    let layer2 = s2.add_layer(pts.clone(), window(), kernel, 1e-9).unwrap();
+    assert_eq!(s2.estimated_queue_wait(), Duration::ZERO);
+    let c = TileCoord::new(1, 1, 0);
+    let tile = s2
+        .get_tile_with_policy(layer2, c.z, c.x, c.y, &sampling_policy(0.1))
+        .unwrap();
+    assert!(
+        tile.tier.is_exact(),
+        "idle unseeded controller must admit (and seed itself)"
+    );
+    let oracle = compute_tile_direct(&pts, &window(), kernel, 1e-9, TILE_PX, c);
+    for (x, y) in tile.grid.values().iter().zip(oracle.values()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert!(
+        s2.estimated_queue_wait() > Duration::ZERO,
+        "the admitted compute must seed the EWMA"
+    );
+}
+
+#[test]
 fn admitted_requests_serve_exact_bits_under_generous_deadlines() {
     let pts = points(2_000);
     let kernel = KernelKind::Quartic.with_bandwidth(8.0);
