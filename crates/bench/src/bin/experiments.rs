@@ -87,6 +87,11 @@ fn main() {
             "multi-node cluster: shard routing, node-death re-homing, coverage degradation",
             e25,
         ),
+        (
+            "e26",
+            "multi-analytic serving: per-kind cost, coalescing, insert isolation",
+            e26,
+        ),
     ];
 
     let mut ran = 0;
@@ -118,7 +123,7 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("unknown experiment id; use e1..e25 or all (e16-e18 are the implemented future-work extensions)");
+        eprintln!("unknown experiment id; use e1..e26 or all (e16-e18 are the implemented future-work extensions)");
         std::process::exit(2);
     }
 }
@@ -350,9 +355,9 @@ fn e6() {
         events.len(),
         lixels.len()
     );
-    let (fwd, t_fwd) = time(|| kdv::nkdv_forward(&net, &lixels, &events, kernel));
+    let (fwd, t_fwd) = time(|| kdv::nkdv_forward(&net, &lixels, &events, kernel).unwrap());
     let lix_sub = Lixels::build(&net, 100.0); // coarser for the slow baseline
-    let (_, t_naive_sub) = time(|| kdv::nkdv_naive(&net, &lix_sub, &events, kernel));
+    let (_, t_naive_sub) = time(|| kdv::nkdv_naive(&net, &lix_sub, &events, kernel).unwrap());
     println!("| method | lixels | time |");
     println!("|---|---|---|");
     println!(
@@ -814,7 +819,7 @@ fn e18() {
     let centers = areal::cell_centers(&spec);
     let w = SpatialWeights::distance_band(&centers, 700.0);
     let (gi, t_gi) = time(|| stats::local_gi_star(counts.values(), &w));
-    let (lisa, t_lisa) = time(|| stats::local_morans_i(counts.values(), &w, 199, 3));
+    let (lisa, t_lisa) = time(|| stats::local_morans_i(counts.values(), &w, 199, 3).unwrap());
     let hot = gi.iter().filter(|r| r.value > 1.96).count();
     let cold = gi.iter().filter(|r| r.value < -1.96).count();
     let sig_lisa = lisa.iter().filter(|r| r.p < 0.05).count();
@@ -1998,7 +2003,10 @@ fn e25() {
     // and its whole range re-homes to the survivors.
     let passes = 16usize;
     let kill_after_pass = 4usize;
-    let append = crime(2_000).iter().map(|p| Point::new(p.x * 0.5 + 1_000.0, p.y * 0.5 + 800.0)).collect::<Vec<_>>();
+    let append = crime(2_000)
+        .iter()
+        .map(|p| Point::new(p.x * 0.5 + 1_000.0, p.y * 0.5 + 800.0))
+        .collect::<Vec<_>>();
     let run_storm = |kill: Option<usize>| -> (Vec<f64>, Vec<f64>, ClusterServer) {
         let cluster = ClusterServer::new(cfg).expect("cluster");
         let layer = cluster
@@ -2020,7 +2028,9 @@ fn e25() {
             }
             for (t, &c) in pyramid.iter().enumerate() {
                 let t0 = Instant::now();
-                let tile = cluster.get_tile(layer, c.z, c.x, c.y).expect("routed serve");
+                let tile = cluster
+                    .get_tile(layer, c.z, c.x, c.y)
+                    .expect("routed serve");
                 let dt = t0.elapsed().as_secs_f64() * 1e3;
                 all_ms.push(dt);
                 if pass >= kill_after_pass && kill.is_some() && home_node(c, nodes) == victim {
@@ -2036,8 +2046,7 @@ fn e25() {
     let (mut ff_all, _, _) = run_storm(None);
     let victim = 2usize;
     let (mut nd_all, mut nd_rehomed, survivors) = run_storm(Some(victim));
-    let routed_delta =
-        lsga::obs::counter_value(Counter::ClusterRoutedRequests) - routed_before;
+    let routed_delta = lsga::obs::counter_value(Counter::ClusterRoutedRequests) - routed_before;
     assert_eq!(
         routed_delta,
         (2 * passes * n_tiles) as u64,
@@ -2045,18 +2054,37 @@ fn e25() {
     );
     assert_eq!(survivors.alive_nodes().len(), nodes - 1);
 
-    let ff = (pct(&mut ff_all, 0.50), pct(&mut ff_all, 0.99), pct(&mut ff_all, 0.999));
-    let nd = (pct(&mut nd_all, 0.50), pct(&mut nd_all, 0.99), pct(&mut nd_all, 0.999));
+    let ff = (
+        pct(&mut ff_all, 0.50),
+        pct(&mut ff_all, 0.99),
+        pct(&mut ff_all, 0.999),
+    );
+    let nd = (
+        pct(&mut nd_all, 0.50),
+        pct(&mut nd_all, 0.99),
+        pct(&mut nd_all, 0.999),
+    );
     let re = (
         pct(&mut nd_rehomed, 0.50),
         pct(&mut nd_rehomed, 0.99),
         pct(&mut nd_rehomed, 0.999),
     );
-    println!("| routed storm ({passes} passes × {n_tiles} tiles, {nodes} nodes) | p50 | p99 | p999 |");
+    println!(
+        "| routed storm ({passes} passes × {n_tiles} tiles, {nodes} nodes) | p50 | p99 | p999 |"
+    );
     println!("|---|---|---|---|");
-    println!("| fault-free | {:.3} ms | {:.3} ms | {:.3} ms |", ff.0, ff.1, ff.2);
-    println!("| node {victim} killed after pass {kill_after_pass} | {:.3} ms | {:.3} ms | {:.3} ms |", nd.0, nd.1, nd.2);
-    println!("| re-homed range only (post-death) | {:.3} ms | {:.3} ms | {:.3} ms |", re.0, re.1, re.2);
+    println!(
+        "| fault-free | {:.3} ms | {:.3} ms | {:.3} ms |",
+        ff.0, ff.1, ff.2
+    );
+    println!(
+        "| node {victim} killed after pass {kill_after_pass} | {:.3} ms | {:.3} ms | {:.3} ms |",
+        nd.0, nd.1, nd.2
+    );
+    println!(
+        "| re-homed range only (post-death) | {:.3} ms | {:.3} ms | {:.3} ms |",
+        re.0, re.1, re.2
+    );
     println!(
         "| re-homed p999 / fault-free p999 | {:.2}× |  |  |",
         re.2 / ff.2.max(1e-9)
@@ -2128,7 +2156,10 @@ fn e25() {
     }
     println!("\n| supervised recovery (directed crash + 6 recoverable faults) | value |");
     println!("|---|---|");
-    println!("| schedule | {} tiles, node {crash_home} dead, {} sim ticks |", n_tiles, out.schedule.sim_ticks);
+    println!(
+        "| schedule | {} tiles, node {crash_home} dead, {} sim ticks |",
+        n_tiles, out.schedule.sim_ticks
+    );
     println!("| tiles re-homed / halo bytes re-shipped | {rehomed} / {reshipped} B |");
     println!("| served pixels bit-checked vs oracle | {bits} |");
     println!("| wall time | {} ms |", ms(t_sup));
@@ -2164,9 +2195,16 @@ fn e25() {
             None => assert!(doomed_tiles.contains(&t)),
         }
     }
-    println!("\n| doomed plan (retry budget exhausted on {} tiles) | value |", doomed_tiles.len());
+    println!(
+        "\n| doomed plan (retry budget exhausted on {} tiles) | value |",
+        doomed_tiles.len()
+    );
     println!("|---|---|");
-    println!("| coverage | {:.4} ({} of {n_tiles} tiles) |", out.report.fraction(), out.report.executed_tiles);
+    println!(
+        "| coverage | {:.4} ({} of {n_tiles} tiles) |",
+        out.report.fraction(),
+        out.report.executed_tiles
+    );
     println!("| abandoned tile indices | {:?} |", out.report.abandoned);
     report::row(
         "doomed degradation",
@@ -2175,6 +2213,286 @@ fn e25() {
             ("abandoned_tiles", out.report.abandoned.len() as f64),
             ("executed_tiles", out.report.executed_tiles as f64),
         ],
+        0.0,
+    );
+}
+
+// ---------------------------------------------------------------- E26 ----
+fn e26() {
+    use lsga::core::par::Threads;
+    use lsga::obs::{self, Counter};
+    use lsga::serve::{
+        HotspotCompute, HotspotStat, NkdvCompute, StkdvCompute, TileCoord, TileServer,
+        TileServerConfig,
+    };
+    use std::sync::{Arc, Barrier};
+
+    let tile_px = 64usize;
+    let max_zoom = 2u8;
+    let tail_eps = 1e-9;
+    let nt = 6usize;
+    let new_server = || {
+        Arc::new(TileServer::new(TileServerConfig {
+            tile_px,
+            max_zoom,
+            shards: 4,
+            byte_budget: 64 << 20,
+            threads: Threads::exact(hw_threads()),
+            ..TileServerConfig::default()
+        }))
+    };
+
+    // One server, four analytics, one cache. Registration order fixes
+    // the layer ids (0..=3) so the twin server below lines up.
+    let kdv_pts = crime(20_000);
+    // The wave generator's temporal gaussians have tails outside the
+    // nominal 100-day span; the layer range is strict, so clip to it.
+    let in_range = |p: &TimedPoint| (0.0..=100.0).contains(&p.t);
+    let st_pts: Vec<TimedPoint> = waves(8_000).into_iter().filter(in_range).collect();
+    let (net, events) = road_scenario(25, 3_000);
+    let net = Arc::new(net);
+    let lixels = Arc::new(Lixels::build(&net, 25.0));
+    let hot_pts = taxi(15_000);
+    let kdv_kernel = KernelKind::Quartic.with_bandwidth(250.0);
+    let register = |s: &TileServer| -> [lsga::serve::LayerId; 4] {
+        let kdv = s
+            .add_layer(kdv_pts.clone(), window(), kdv_kernel, tail_eps)
+            .expect("kdv layer");
+        let st = s
+            .add_compute_layer(Arc::new(
+                StkdvCompute::new(
+                    &st_pts,
+                    window(),
+                    KernelKind::Epanechnikov.with_bandwidth(400.0),
+                    PolyKernel::new(KernelKind::Quartic, 10.0).expect("temporal kernel"),
+                    0.0,
+                    100.0,
+                    nt,
+                    tail_eps,
+                )
+                .expect("stkdv compute"),
+            ))
+            .expect("stkdv layer");
+        let nk = s
+            .add_compute_layer(Arc::new(
+                NkdvCompute::new(
+                    Arc::clone(&net),
+                    Arc::clone(&lixels),
+                    &events,
+                    KernelKind::Quartic.with_bandwidth(500.0),
+                )
+                .expect("nkdv compute"),
+            ))
+            .expect("nkdv layer");
+        let hot = s
+            .add_compute_layer(Arc::new(
+                HotspotCompute::new(&hot_pts, window(), 24, 600.0, HotspotStat::GiStar)
+                    .expect("hotspot compute"),
+            ))
+            .expect("hotspot layer");
+        [kdv, st, nk, hot]
+    };
+    let s = new_server();
+    let layers = register(&s);
+    let computed = [
+        Counter::ServeKdvTilesComputed,
+        Counter::ServeStkdvTilesComputed,
+        Counter::ServeNkdvTilesComputed,
+        Counter::ServeHotspotTilesComputed,
+    ];
+    let invalidated = [
+        Counter::ServeKdvTilesInvalidated,
+        Counter::ServeStkdvTilesInvalidated,
+        Counter::ServeNkdvTilesInvalidated,
+        Counter::ServeHotspotTilesInvalidated,
+    ];
+    let names = ["kdv", "stkdv", "nkdv", "hotspot"];
+    // The stkdv sweep serves the middle time bin so the temporal kernel
+    // does real discrimination work (bin 0 sits before the first wave).
+    let probe_bin = (nt / 2) as u32;
+    let serve = move |s: &TileServer, k: usize, c: TileCoord| {
+        if k == 1 {
+            s.get_tile_binned(layers[k], c.z, c.x, c.y, probe_bin)
+        } else {
+            s.get_tile(layers[k], c.z, c.x, c.y)
+        }
+    };
+
+    // ---- Leg 1: cold/warm pyramid sweep per kind through the shared
+    // cache. Cold pays one accounted compute per tile; warm is pure
+    // cache traffic, so its per-kind computed delta must be zero.
+    let pyramid: Vec<TileCoord> = (0..=max_zoom)
+        .flat_map(|z| {
+            let side = 1u32 << z;
+            (0..side).flat_map(move |y| (0..side).map(move |x| TileCoord::new(z, x, y)))
+        })
+        .collect();
+    let n_tiles = pyramid.len();
+    println!("| kind | tiles | cold | warm | cold/tile | computed cold/warm |");
+    println!("|---|---|---|---|---|---|");
+    for k in 0..4 {
+        let c0 = obs::counter_value(computed[k]);
+        let (_, t_cold) = time(|| {
+            for &c in &pyramid {
+                serve(&s, k, c).expect("cold serve");
+            }
+        });
+        let cold_computed = obs::counter_value(computed[k]) - c0;
+        let (_, t_warm) = time(|| {
+            for &c in &pyramid {
+                serve(&s, k, c).expect("warm serve");
+            }
+        });
+        let warm_computed = obs::counter_value(computed[k]) - c0 - cold_computed;
+        assert_eq!(cold_computed, n_tiles as u64, "{}: cold sweep", names[k]);
+        assert_eq!(
+            warm_computed, 0,
+            "{}: warm sweep must be all hits",
+            names[k]
+        );
+        println!(
+            "| {} | {n_tiles} | {} ms | {} ms | {:.2} ms | {cold_computed}/{warm_computed} |",
+            names[k],
+            ms(t_cold),
+            ms(t_warm),
+            msf(t_cold) / n_tiles as f64,
+        );
+        report::row(
+            &format!("{} pyramid", names[k]),
+            &[
+                ("tiles", n_tiles as f64),
+                ("cold_ms", msf(t_cold)),
+                ("warm_ms", msf(t_warm)),
+                ("computed", cold_computed as f64),
+            ],
+            msf(t_cold),
+        );
+    }
+
+    // ---- Leg 2: single-flight coalescing holds per kind — 16 threads
+    // storm one evicted tile of each kind; exactly one accounted
+    // compute each, 15 parked waiters.
+    s.clear_cache();
+    println!("\n| storm kind | requests | computed | coalesced | time |");
+    println!("|---|---|---|---|---|");
+    for k in 0..4 {
+        let c0 = obs::counter_value(computed[k]);
+        let w0 = obs::counter_value(Counter::ServeCoalescedWaits);
+        let barrier = Arc::new(Barrier::new(16));
+        let (_, t_storm) = time(|| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    let s = Arc::clone(&s);
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        serve(&s, k, TileCoord::new(1, 1, 0)).expect("storm serve")
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("storm thread");
+            }
+        });
+        let storm_computed = obs::counter_value(computed[k]) - c0;
+        let coalesced = obs::counter_value(Counter::ServeCoalescedWaits) - w0;
+        assert_eq!(storm_computed, 1, "{}: single-flight", names[k]);
+        println!(
+            "| {} | 16 | {storm_computed} | {coalesced} | {} ms |",
+            names[k],
+            ms(t_storm)
+        );
+        report::row(
+            &format!("{} storm", names[k]),
+            &[("requests", 16.0), ("computed", storm_computed as f64)],
+            msf(t_storm),
+        );
+    }
+
+    // ---- Leg 3: insert isolation — with every kind's pyramid warm,
+    // each kind's append dirties only its own layer's tiles. The 4×4
+    // invalidation matrix must be diagonal.
+    for k in 0..4 {
+        for &c in &pyramid {
+            serve(&s, k, c).expect("re-warm");
+        }
+    }
+    let kdv_batch = crime(500);
+    let st_batch: Vec<TimedPoint> = waves(500).into_iter().filter(in_range).collect();
+    let nk_batch: Vec<Point> = events[..200].iter().map(|e| e.point(&net)).collect();
+    let hot_batch = taxi(500);
+    let mut matrix = [[0u64; 4]; 4];
+    let mut diag_ms = [0f64; 4];
+    for k in 0..4 {
+        let before: Vec<u64> = invalidated.iter().map(|&c| obs::counter_value(c)).collect();
+        let (_, t_ins) = time(|| match k {
+            0 => s.insert_points(layers[0], &kdv_batch).expect("kdv insert"),
+            1 => s
+                .insert_timed_points(layers[1], &st_batch)
+                .expect("stkdv insert"),
+            2 => s.insert_points(layers[2], &nk_batch).expect("nkdv insert"),
+            _ => s.insert_points(layers[3], &hot_batch).expect("hot insert"),
+        });
+        diag_ms[k] = msf(t_ins);
+        for j in 0..4 {
+            matrix[k][j] = obs::counter_value(invalidated[j]) - before[j];
+        }
+    }
+    println!(
+        "\n| insert into | kdv inval | stkdv inval | nkdv inval | hotspot inval | insert time |"
+    );
+    println!("|---|---|---|---|---|---|");
+    for k in 0..4 {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.2} ms |",
+            names[k], matrix[k][0], matrix[k][1], matrix[k][2], matrix[k][3], diag_ms[k]
+        );
+        let cross: u64 = (0..4).filter(|&j| j != k).map(|j| matrix[k][j]).sum();
+        assert!(matrix[k][k] > 0, "{}: insert never invalidated", names[k]);
+        assert_eq!(cross, 0, "{}: insert leaked into other kinds", names[k]);
+        report::row(
+            &format!("{} insert", names[k]),
+            &[
+                ("own_invalidated", matrix[k][k] as f64),
+                ("cross_invalidated", cross as f64),
+            ],
+            diag_ms[k],
+        );
+    }
+
+    // ---- Leg 4: bit-identity audit — a twin server receives the same
+    // registrations and appends, then serves the probe tiles *cold*.
+    // Warm-after-invalidation bits on the stormed server must equal the
+    // twin's cold bits: the cache state never leaks into the pixels.
+    let twin = new_server();
+    let twin_layers = register(&twin);
+    assert_eq!(layers, twin_layers, "registration order fixes layer ids");
+    twin.insert_points(layers[0], &kdv_batch).expect("twin kdv");
+    twin.insert_timed_points(layers[1], &st_batch)
+        .expect("twin stkdv");
+    twin.insert_points(layers[2], &nk_batch).expect("twin nkdv");
+    twin.insert_points(layers[3], &hot_batch).expect("twin hot");
+    let mut bits = 0usize;
+    for (k, name) in names.iter().enumerate() {
+        for &c in &pyramid {
+            let warm = serve(&s, k, c).expect("audited serve");
+            let cold = serve(&twin, k, c).expect("twin serve");
+            for (a, b) in warm.grid.values().iter().zip(cold.grid.values()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name}: cache state leaked into tile {c:?}"
+                );
+            }
+            bits += warm.grid.values().len();
+        }
+    }
+    println!("\n| bit-identity audit | value |");
+    println!("|---|---|");
+    println!("| pixels checked (warm-after-insert vs twin cold) | {bits} |");
+    report::row(
+        "bit identity audit",
+        &[("pixels_checked", bits as f64)],
         0.0,
     );
 }

@@ -15,7 +15,7 @@
 //! exact request that just happened to be slow.
 
 use crate::error::{HttpError, HttpResult};
-use lsga_serve::{ApproxMode, QualityPolicy};
+use lsga_serve::{ApproxMode, LayerKind, QualityPolicy};
 use std::time::Duration;
 
 /// Cap on the request head (request line + headers + blank line).
@@ -248,12 +248,20 @@ impl PayloadFmt {
 /// A fully validated request, ready to execute against the tile server.
 #[derive(Debug)]
 pub enum Route {
-    /// `GET /tiles/{layer}/{z}/{x}/{y}` — serve one tile.
+    /// `GET /tiles/{layer}/{z}/{x}/{y}` or
+    /// `GET /tiles/{layer}/{kind}/{z}/{x}/{y}[?t=bin]` — serve one tile.
     Tile {
         layer: usize,
+        /// `Some` iff the path named an analytic kind between the layer
+        /// and the pyramid coordinates; the server 404s if it does not
+        /// match the layer's registered compute.
+        kind: Option<LayerKind>,
         z: u8,
         x: u32,
         y: u32,
+        /// Time bin (`?t=`, kind-bearing routes only); 0 is the sole
+        /// legal value for purely spatial layers.
+        bin: u32,
         fmt: PayloadFmt,
         /// Present iff the request carried a deadline (query param or
         /// `X-Lsga-Deadline-Ms` header): route through the admission
@@ -270,6 +278,8 @@ pub enum Route {
 
 /// Which query keys each route accepts; anything else is a 400.
 const TILE_QUERY_KEYS: [&str; 6] = ["fmt", "deadline_ms", "mode", "eps", "delta", "seed"];
+/// The kind-bearing route additionally accepts a time-bin selector.
+const TILE_KIND_QUERY_KEYS: [&str; 7] = ["fmt", "deadline_ms", "mode", "eps", "delta", "seed", "t"];
 
 fn check_query_keys(req: &RawRequest, allowed: &[&str]) -> HttpResult<()> {
     for (i, (k, _)) in req.query.iter().enumerate() {
@@ -387,11 +397,43 @@ pub fn route(req: &RawRequest) -> HttpResult<Route> {
             check_query_keys(req, &TILE_QUERY_KEYS)?;
             Ok(Route::Tile {
                 layer: parse_seg("layer", layer)?,
+                kind: None,
                 z: parse_seg("z", z)?,
                 x: parse_seg("x", x)?,
                 y: parse_seg("y", y)?,
+                bin: 0,
                 fmt: negotiate_fmt(req)?,
                 policy: build_policy(req)?,
+            })
+        }
+        (Method::Get, ["tiles", layer, kind, z, x, y]) => {
+            // Kind first: an unknown analytic name is a missing
+            // resource, not a malformed request. Kind names are
+            // non-numeric, so the legacy five-segment tile paths with a
+            // stray extra coordinate still land here and 404.
+            let Some(kind) = LayerKind::parse(kind) else {
+                return Err(HttpError::not_found(format!("unknown layer kind {kind:?}")));
+            };
+            check_query_keys(req, &TILE_KIND_QUERY_KEYS)?;
+            let bin: u32 = match req.query_value("t") {
+                Some(v) => parse_seg("t", v)?,
+                None => 0,
+            };
+            let policy = build_policy(req)?;
+            if policy.is_some() && bin != 0 {
+                return Err(HttpError::bad_request(
+                    "deadline policies apply to spatial tiles only (t=0)",
+                ));
+            }
+            Ok(Route::Tile {
+                layer: parse_seg("layer", layer)?,
+                kind: Some(kind),
+                z: parse_seg("z", z)?,
+                x: parse_seg("x", x)?,
+                y: parse_seg("y", y)?,
+                bin,
+                fmt: negotiate_fmt(req)?,
+                policy,
             })
         }
         (Method::Post, ["layers", layer, "points"]) => {
@@ -439,9 +481,11 @@ mod tests {
         assert_eq!(r.header("host"), Some("localhost"));
         let Route::Tile {
             layer,
+            kind,
             z,
             x,
             y,
+            bin,
             fmt,
             policy,
         } = route(&r).unwrap()
@@ -449,8 +493,72 @@ mod tests {
             panic!("expected tile route");
         };
         assert_eq!((layer, z, x, y), (0, 2, 1, 3));
+        assert_eq!(kind, None, "legacy route is kind-agnostic");
+        assert_eq!(bin, 0);
         assert_eq!(fmt, PayloadFmt::F64);
         assert!(policy.is_none());
+    }
+
+    #[test]
+    fn parses_kind_bearing_tile_requests() {
+        for name in ["kdv", "stkdv", "nkdv", "hotspot"] {
+            let r = head(&format!("GET /tiles/1/{name}/2/1/3 HTTP/1.1\r\n")).unwrap();
+            let Route::Tile {
+                layer,
+                kind,
+                z,
+                x,
+                y,
+                bin,
+                policy,
+                ..
+            } = route(&r).unwrap()
+            else {
+                panic!("expected tile route for {name}");
+            };
+            assert_eq!((layer, z, x, y, bin), (1, 2, 1, 3, 0));
+            assert_eq!(kind.expect("kind parsed").name(), name);
+            assert!(policy.is_none());
+        }
+        // The time-bin selector rides on the kind route only.
+        let r = head("GET /tiles/0/stkdv/1/0/0?t=5 HTTP/1.1\r\n").unwrap();
+        let Route::Tile { kind, bin, .. } = route(&r).unwrap() else {
+            panic!("expected tile route");
+        };
+        assert_eq!(kind, Some(LayerKind::Stkdv));
+        assert_eq!(bin, 5);
+    }
+
+    #[test]
+    fn kind_route_rejections() {
+        // Unknown kind names are missing resources, not bad requests —
+        // and numeric segments never parse as kinds, so the pinned
+        // five-coordinate 404 below stays a 404.
+        for raw in [
+            "GET /tiles/0/voronoi/0/0/0 HTTP/1.1\r\n",
+            "GET /tiles/0/KDV/0/0/0 HTTP/1.1\r\n", // case-sensitive
+            "GET /tiles/0/7/0/0/0 HTTP/1.1\r\n",
+        ] {
+            let r = head(raw).unwrap();
+            assert_eq!(route(&r).unwrap_err().status, 404, "{raw:?}");
+        }
+        // `?t=` on the legacy route is an unknown key; bad bins and
+        // policy+bin combinations on the kind route are 400s.
+        for raw in [
+            "GET /tiles/0/1/0/0?t=1 HTTP/1.1\r\n",
+            "GET /tiles/0/stkdv/1/0/0?t=abc HTTP/1.1\r\n",
+            "GET /tiles/0/stkdv/1/0/0?t=-1 HTTP/1.1\r\n",
+            "GET /tiles/0/stkdv/1/0/0?t=2&deadline_ms=5 HTTP/1.1\r\n",
+        ] {
+            let r = head(raw).unwrap();
+            assert_eq!(route(&r).unwrap_err().status, 400, "{raw:?}");
+        }
+        // A deadline on a kind route at bin 0 is still legal.
+        let r = head("GET /tiles/0/kdv/1/0/0?deadline_ms=5 HTTP/1.1\r\n").unwrap();
+        let Route::Tile { policy, .. } = route(&r).unwrap() else {
+            panic!("expected tile route");
+        };
+        assert!(policy.is_some());
     }
 
     #[test]

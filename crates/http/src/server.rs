@@ -388,15 +388,34 @@ fn execute(
     match parse::route(req)? {
         Route::Tile {
             layer,
+            kind,
             z,
             x,
             y,
+            bin,
             fmt,
             policy,
         } => {
+            if let Some(kind) = kind {
+                // A kind-bearing path asserts what analytic the layer
+                // runs; a mismatch means the named resource does not
+                // exist, exactly like an out-of-range layer id.
+                let actual = shared
+                    .tiles
+                    .layer_kind(layer)
+                    .map_err(HttpError::from_lsga)?;
+                if actual != kind {
+                    return Err(HttpError::not_found(format!(
+                        "layer {layer} serves {:?} tiles, not {:?}",
+                        actual.name(),
+                        kind.name()
+                    )));
+                }
+            }
             let tile = match &policy {
                 Some(p) => shared.tiles.get_tile_with_policy(layer, z, x, y, p),
-                None => shared.tiles.get_tile(layer, z, x, y),
+                None if bin == 0 => shared.tiles.get_tile(layer, z, x, y),
+                None => shared.tiles.get_tile_binned(layer, z, x, y, bin),
             }
             .map_err(HttpError::from_lsga)?;
             Ok(tile_response(&tile, fmt))

@@ -200,6 +200,7 @@ mod tests {
             key: TileKey {
                 layer: 0,
                 coord: TileCoord::new(0, 0, 0),
+                bin: 0,
             },
             grid: lsga_core::DensityGrid::from_values(spec, values),
             tier,

@@ -243,7 +243,7 @@ mod tests {
         }];
         let k = Epanechnikov::new(2.0);
         let esd = nkdv_equal_split(&net, &lixels, &events, k);
-        let simple = crate::nkdv::nkdv_forward(&net, &lixels, &events, k);
+        let simple = crate::nkdv::nkdv_forward(&net, &lixels, &events, k).unwrap();
         assert!(
             esd.linf_diff(&simple) < 1e-12,
             "diff {}",
@@ -265,7 +265,7 @@ mod tests {
         }];
         let k = Uniform::new(1.5);
         let esd = nkdv_equal_split(&net, &lixels, &events, k);
-        let simple = crate::nkdv::nkdv_forward(&net, &lixels, &events, k);
+        let simple = crate::nkdv::nkdv_forward(&net, &lixels, &events, k).unwrap();
         // Lixel on edge 1 (toward r) at centre offset 0.25: network
         // distance 0.75 ≤ 1.5.
         let (first1, _) = lixels.edge_range(EdgeId(1));
@@ -315,7 +315,7 @@ mod tests {
         );
         // The simple estimator inflates mass near the junction instead.
         let simple_mass = |events: &[EdgePosition]| -> f64 {
-            let d = crate::nkdv::nkdv_forward(&net, &lixels, events, k);
+            let d = crate::nkdv::nkdv_forward(&net, &lixels, events, k).unwrap();
             d.values().iter().zip(&lengths).map(|(v, l)| v * l).sum()
         };
         let sj = simple_mass(&[EdgePosition {

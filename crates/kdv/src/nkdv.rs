@@ -15,7 +15,7 @@
 //!   analytically (the direction the fast NKDV literature \[30, 96\] takes:
 //!   events are typically far fewer than lixels).
 
-use lsga_core::Kernel;
+use lsga_core::{Kernel, LsgaError, Result};
 use lsga_network::{DijkstraEngine, EdgeId, EdgePosition, Lixels, RoadNetwork};
 
 /// A computed network density: one value per lixel, parallel to
@@ -90,15 +90,63 @@ fn dist_via_endpoints(
     d
 }
 
+/// Reject inputs that would make an NKDV evaluation panic or silently
+/// produce NaN: an empty lixelization (no raster to write), a kernel
+/// whose effective support is non-finite or non-positive (a non-finite
+/// or degenerate bandwidth), and events referencing edges outside the
+/// network or carrying non-finite offsets.
+fn validate_nkdv_inputs(
+    net: &RoadNetwork,
+    lixels: &Lixels,
+    events: &[EdgePosition],
+    radius: f64,
+) -> Result<()> {
+    if lixels.is_empty() {
+        return Err(LsgaError::InvalidParameter {
+            name: "lixels",
+            message: "NKDV needs a non-empty lixelization".to_string(),
+        });
+    }
+    if !radius.is_finite() || radius <= 0.0 {
+        return Err(LsgaError::InvalidParameter {
+            name: "bandwidth",
+            message: format!("kernel effective radius must be finite and positive, got {radius}"),
+        });
+    }
+    for (i, ev) in events.iter().enumerate() {
+        if ev.edge.0 as usize >= net.edge_count() {
+            return Err(LsgaError::InvalidParameter {
+                name: "events",
+                message: format!(
+                    "event {i} references edge {} but the network has {} edges",
+                    ev.edge.0,
+                    net.edge_count()
+                ),
+            });
+        }
+        if !ev.offset.is_finite() {
+            return Err(LsgaError::InvalidParameter {
+                name: "events",
+                message: format!("event {i} has non-finite offset {}", ev.offset),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// NKDV by one bounded Dijkstra per lixel (`O(L · (Dijkstra + n))`).
 /// The baseline the fast methods are measured against.
+///
+/// Returns [`LsgaError::InvalidParameter`] for an empty lixelization, a
+/// degenerate kernel bandwidth, or out-of-network / non-finite events.
 pub fn nkdv_naive<K: Kernel>(
     net: &RoadNetwork,
     lixels: &Lixels,
     events: &[EdgePosition],
     kernel: K,
-) -> NetworkDensity {
+) -> Result<NetworkDensity> {
     let radius = kernel.effective_radius(crate::DEFAULT_TAIL_EPS);
+    validate_nkdv_inputs(net, lixels, events, radius)?;
     let mut engine = DijkstraEngine::new(net);
     let mut values = vec![0.0f64; lixels.len()];
     for (li, lx) in lixels.all().iter().enumerate() {
@@ -122,19 +170,23 @@ pub fn nkdv_naive<K: Kernel>(
         }
         values[li] = sum;
     }
-    NetworkDensity { values }
+    Ok(NetworkDensity { values })
 }
 
 /// NKDV by one bounded Dijkstra per event (`O(n · (Dijkstra + touched
 /// lixels))`), the forward-scatter formulation. Identical output to
 /// [`nkdv_naive`].
+///
+/// Returns [`LsgaError::InvalidParameter`] for an empty lixelization, a
+/// degenerate kernel bandwidth, or out-of-network / non-finite events.
 pub fn nkdv_forward<K: Kernel>(
     net: &RoadNetwork,
     lixels: &Lixels,
     events: &[EdgePosition],
     kernel: K,
-) -> NetworkDensity {
+) -> Result<NetworkDensity> {
     let radius = kernel.effective_radius(crate::DEFAULT_TAIL_EPS);
+    validate_nkdv_inputs(net, lixels, events, radius)?;
     let mut engine = DijkstraEngine::new(net);
     let mut values = vec![0.0f64; lixels.len()];
     // Edge de-duplication stamps, one slot per edge, epoch per event.
@@ -179,7 +231,7 @@ pub fn nkdv_forward<K: Kernel>(
             }
         }
     }
-    NetworkDensity { values }
+    Ok(NetworkDensity { values })
 }
 
 #[cfg(test)]
@@ -207,8 +259,8 @@ mod tests {
         let lixels = Lixels::build(&net, 1.0);
         let events = sample_on_network(&net, 40, 11);
         let k = Epanechnikov::new(8.0);
-        let naive = nkdv_naive(&net, &lixels, &events, k);
-        let forward = nkdv_forward(&net, &lixels, &events, k);
+        let naive = nkdv_naive(&net, &lixels, &events, k).unwrap();
+        let forward = nkdv_forward(&net, &lixels, &events, k).unwrap();
         assert!(
             naive.linf_diff(&forward) < 1e-9,
             "diff {}",
@@ -223,8 +275,8 @@ mod tests {
         let lixels = Lixels::build(&net, 0.7);
         let events = sample_on_network(&net, 25, 5);
         let k = Triangular::new(5.0);
-        let naive = nkdv_naive(&net, &lixels, &events, k);
-        let forward = nkdv_forward(&net, &lixels, &events, k);
+        let naive = nkdv_naive(&net, &lixels, &events, k).unwrap();
+        let forward = nkdv_forward(&net, &lixels, &events, k).unwrap();
         assert!(naive.linf_diff(&forward) < 1e-9);
     }
 
@@ -240,7 +292,7 @@ mod tests {
             })
             .collect();
         let k = Epanechnikov::new(4.0);
-        let density = nkdv_forward(&net, &lixels, &events, k);
+        let density = nkdv_forward(&net, &lixels, &events, k).unwrap();
         // Hot lixel: on the bottom road near the events.
         let hot = density.argmax();
         assert_eq!(lixels.all()[hot].edge, EdgeId(0));
@@ -264,13 +316,13 @@ mod tests {
             offset: 10.0,
         }];
         let k = Epanechnikov::new(1.0);
-        let density = nkdv_forward(&net, &lixels, &events, k);
+        let density = nkdv_forward(&net, &lixels, &events, k).unwrap();
         for (lx, v) in lixels.all().iter().zip(density.values()) {
             if lx.edge != EdgeId(0) {
                 assert_eq!(*v, 0.0);
             }
         }
-        let naive = nkdv_naive(&net, &lixels, &events, k);
+        let naive = nkdv_naive(&net, &lixels, &events, k).unwrap();
         assert!(naive.linf_diff(&density) < 1e-12);
     }
 
@@ -278,8 +330,114 @@ mod tests {
     fn no_events_gives_zero_density() {
         let net = grid_network(3, 3, 2.0);
         let lixels = Lixels::build(&net, 0.5);
-        let density = nkdv_forward(&net, &lixels, &[], Epanechnikov::new(3.0));
+        let density = nkdv_forward(&net, &lixels, &[], Epanechnikov::new(3.0)).unwrap();
         assert_eq!(density.max(), 0.0);
+    }
+
+    #[test]
+    fn rejects_empty_lixelization() {
+        // A vertex-only network builds, but lixelizes to nothing.
+        let mut b = NetworkBuilder::new();
+        b.add_vertex(Point::new(0.0, 0.0));
+        let net = b.build().unwrap();
+        let lixels = Lixels::build(&net, 1.0);
+        assert!(lixels.is_empty());
+        let err = nkdv_forward(&net, &lixels, &[], Epanechnikov::new(2.0)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                lsga_core::LsgaError::InvalidParameter { name: "lixels", .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    /// A kernel whose effective radius is whatever the test plants —
+    /// the library constructors refuse non-finite bandwidths up front,
+    /// so the NKDV guard against degenerate radii needs a hand-rolled
+    /// kernel to exercise it.
+    #[derive(Clone, Copy)]
+    struct BadRadiusKernel(f64);
+
+    impl Kernel for BadRadiusKernel {
+        fn bandwidth(&self) -> f64 {
+            self.0
+        }
+        fn eval_sq(&self, _d2: f64) -> f64 {
+            1.0
+        }
+        fn support(&self) -> Option<f64> {
+            None
+        }
+        fn effective_radius(&self, _tail_eps: f64) -> f64 {
+            self.0
+        }
+        fn integral_2d(&self) -> f64 {
+            1.0
+        }
+        fn kind(&self) -> lsga_core::KernelKind {
+            lsga_core::KernelKind::Uniform
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_bandwidth() {
+        let net = grid_network(3, 3, 2.0);
+        let lixels = Lixels::build(&net, 0.5);
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
+            let err = nkdv_forward(&net, &lixels, &[], BadRadiusKernel(bad)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    lsga_core::LsgaError::InvalidParameter {
+                        name: "bandwidth",
+                        ..
+                    }
+                ),
+                "radius {bad}: {err:?}"
+            );
+            let err = nkdv_naive(&net, &lixels, &[], BadRadiusKernel(bad)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    lsga_core::LsgaError::InvalidParameter {
+                        name: "bandwidth",
+                        ..
+                    }
+                ),
+                "radius {bad}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_events() {
+        let net = grid_network(3, 3, 2.0);
+        let lixels = Lixels::build(&net, 0.5);
+        let out_of_range = [EdgePosition {
+            edge: EdgeId(net.edge_count() as u32),
+            offset: 0.5,
+        }];
+        let err = nkdv_forward(&net, &lixels, &out_of_range, Epanechnikov::new(2.0)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                lsga_core::LsgaError::InvalidParameter { name: "events", .. }
+            ),
+            "{err:?}"
+        );
+        let nan_offset = [EdgePosition {
+            edge: EdgeId(0),
+            offset: f64::NAN,
+        }];
+        let err = nkdv_naive(&net, &lixels, &nan_offset, Epanechnikov::new(2.0)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                lsga_core::LsgaError::InvalidParameter { name: "events", .. }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -288,10 +446,10 @@ mod tests {
         let lixels = Lixels::build(&net, 0.5);
         let ev = sample_on_network(&net, 10, 3);
         let k = Epanechnikov::new(4.0);
-        let d1 = nkdv_forward(&net, &lixels, &ev, k);
+        let d1 = nkdv_forward(&net, &lixels, &ev, k).unwrap();
         let mut doubled = ev.clone();
         doubled.extend(ev.iter().copied());
-        let d2 = nkdv_forward(&net, &lixels, &doubled, k);
+        let d2 = nkdv_forward(&net, &lixels, &doubled, k).unwrap();
         for (a, b) in d1.values().iter().zip(d2.values()) {
             assert!((b - 2.0 * a).abs() < 1e-9);
         }

@@ -393,7 +393,9 @@ fn cmd_nkdv(flags: &Flags) -> Result<(), String> {
     let start = std::time::Instant::now();
     let estimator = get(flags, "estimator").unwrap_or("simple");
     let density = match estimator {
-        "simple" => lsga::kdv::nkdv_forward(&net, &lixels, &events, kernel),
+        "simple" => {
+            lsga::kdv::nkdv_forward(&net, &lixels, &events, kernel).map_err(|e| e.to_string())?
+        }
         "equal-split" => lsga::kdv::nkdv_equal_split(&net, &lixels, &events, kernel),
         other => return Err(format!("unknown --estimator {other:?}")),
     };

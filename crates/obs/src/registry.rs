@@ -130,11 +130,28 @@ pub enum Counter {
     /// Bytes of halo data re-shipped to the adopting node for each
     /// re-homed tile (`points_in_inflated_bbox × BYTES_PER_POINT`).
     ClusterReshippedBytes,
+    /// `serve.tiles_computed` restricted to KDV layers. The per-kind
+    /// quartet always sums to the aggregate counter.
+    ServeKdvTilesComputed,
+    /// `serve.tiles_computed` restricted to STKDV layers.
+    ServeStkdvTilesComputed,
+    /// `serve.tiles_computed` restricted to NKDV layers.
+    ServeNkdvTilesComputed,
+    /// `serve.tiles_computed` restricted to Gi*/LISA hotspot layers.
+    ServeHotspotTilesComputed,
+    /// `serve.tiles_invalidated` restricted to KDV layers.
+    ServeKdvTilesInvalidated,
+    /// `serve.tiles_invalidated` restricted to STKDV layers.
+    ServeStkdvTilesInvalidated,
+    /// `serve.tiles_invalidated` restricted to NKDV layers.
+    ServeNkdvTilesInvalidated,
+    /// `serve.tiles_invalidated` restricted to hotspot layers.
+    ServeHotspotTilesInvalidated,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 41] = [
+    pub const ALL: [Counter; 49] = [
         Counter::KdvPairs,
         Counter::KdvCellsPruned,
         Counter::KfuncPairs,
@@ -176,6 +193,14 @@ impl Counter {
         Counter::ClusterNodeDeaths,
         Counter::ClusterTilesRehomed,
         Counter::ClusterReshippedBytes,
+        Counter::ServeKdvTilesComputed,
+        Counter::ServeStkdvTilesComputed,
+        Counter::ServeNkdvTilesComputed,
+        Counter::ServeHotspotTilesComputed,
+        Counter::ServeKdvTilesInvalidated,
+        Counter::ServeStkdvTilesInvalidated,
+        Counter::ServeNkdvTilesInvalidated,
+        Counter::ServeHotspotTilesInvalidated,
     ];
 
     /// Stable dotted name used by every exporter.
@@ -222,6 +247,14 @@ impl Counter {
             Counter::ClusterNodeDeaths => "cluster.node_deaths",
             Counter::ClusterTilesRehomed => "cluster.tiles_rehomed",
             Counter::ClusterReshippedBytes => "cluster.reshipped_bytes",
+            Counter::ServeKdvTilesComputed => "serve.tiles_computed{kind=kdv}",
+            Counter::ServeStkdvTilesComputed => "serve.tiles_computed{kind=stkdv}",
+            Counter::ServeNkdvTilesComputed => "serve.tiles_computed{kind=nkdv}",
+            Counter::ServeHotspotTilesComputed => "serve.tiles_computed{kind=hotspot}",
+            Counter::ServeKdvTilesInvalidated => "serve.tiles_invalidated{kind=kdv}",
+            Counter::ServeStkdvTilesInvalidated => "serve.tiles_invalidated{kind=stkdv}",
+            Counter::ServeNkdvTilesInvalidated => "serve.tiles_invalidated{kind=nkdv}",
+            Counter::ServeHotspotTilesInvalidated => "serve.tiles_invalidated{kind=hotspot}",
         }
     }
 }

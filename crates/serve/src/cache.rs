@@ -131,6 +131,7 @@ fn shard_hash(key: &TileKey) -> u64 {
     eat(u64::from(key.coord.z));
     eat(u64::from(key.coord.x));
     eat(u64::from(key.coord.y));
+    eat(u64::from(key.bin));
     h
 }
 
@@ -260,12 +261,13 @@ impl ShardedTileCache {
         true
     }
 
-    /// Drop every cached tile of `layer` whose coordinate satisfies
-    /// `dirty`; returns how many were dropped. The caller charges the
-    /// count to the appropriate counter (invalidation vs clear).
+    /// Drop every cached tile of `layer` whose `(coordinate, bin)`
+    /// satisfies `dirty`; returns how many were dropped. The caller
+    /// charges the count to the appropriate counter (invalidation vs
+    /// clear).
     pub fn invalidate<F>(&self, layer: usize, dirty: F) -> u64
     where
-        F: Fn(TileCoord) -> bool,
+        F: Fn(TileCoord, u32) -> bool,
     {
         let mut dropped = 0;
         for shard in &self.shards {
@@ -273,7 +275,7 @@ impl ShardedTileCache {
             let victims: Vec<usize> = s
                 .map
                 .iter()
-                .filter(|(k, _)| k.layer == layer && dirty(k.coord))
+                .filter(|(k, _)| k.layer == layer && dirty(k.coord, k.bin))
                 .map(|(_, &idx)| idx)
                 .collect();
             for idx in victims {
@@ -331,10 +333,7 @@ mod tests {
     use lsga_core::{BBox, DensityGrid};
 
     fn key(layer: usize, z: u8, x: u32, y: u32) -> TileKey {
-        TileKey {
-            layer,
-            coord: TileCoord::new(z, x, y),
-        }
+        TileKey::new(layer, TileCoord::new(z, x, y))
     }
 
     fn tile(k: TileKey, px: usize) -> Arc<Tile> {
@@ -394,11 +393,27 @@ mod tests {
                 c.insert(k, tile(k, 4));
             }
         }
-        let dropped = c.invalidate(0, |coord| coord.x < 2);
+        let dropped = c.invalidate(0, |coord, _bin| coord.x < 2);
         assert_eq!(dropped, 2);
         assert!(c.get(&key(0, 2, 0, 0)).is_none());
         assert!(c.get(&key(0, 2, 3, 0)).is_some());
         assert!(c.get(&key(1, 2, 1, 0)).is_some(), "other layer untouched");
+    }
+
+    #[test]
+    fn time_bins_are_distinct_entries() {
+        let c = ShardedTileCache::new(4, 1 << 20);
+        let spatial = key(0, 1, 0, 0); // bin 0: the spatial-only key
+        let binned = TileKey::binned(0, TileCoord::new(1, 0, 0), 3);
+        c.insert(spatial, tile(spatial, 4));
+        c.insert(binned, tile(binned, 4));
+        assert_eq!(c.len(), 2, "bins must not collide");
+        assert_eq!(c.get(&spatial).unwrap().key, spatial);
+        assert_eq!(c.get(&binned).unwrap().key, binned);
+        // Bin-aware invalidation drops only the matching bin.
+        assert_eq!(c.invalidate(0, |_, bin| bin == 3), 1);
+        assert!(c.get(&spatial).is_some());
+        assert!(c.get(&binned).is_none());
     }
 
     #[test]

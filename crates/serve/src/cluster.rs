@@ -65,11 +65,12 @@
 //! checks for the rest of the registry and
 //! `tests/cluster_coherence.rs` checks here.
 
+use crate::compute::{KdvCompute, TileCompute};
 use crate::policy::QualityPolicy;
 use crate::server::{TileServer, TileServerConfig};
 use crate::tile::{tile_bbox, LayerId, Tile, TileCoord};
 use lsga_core::error::{LsgaError, Result};
-use lsga_core::{AnyKernel, BBox, Kernel, Point};
+use lsga_core::{AnyKernel, BBox, Kernel, Point, TimedPoint};
 use lsga_dist::metrics::BYTES_PER_POINT;
 use lsga_dist::supervisor::{CoverageReport, Schedule, TileOutcome};
 use lsga_dist::{FaultKind, FaultPlan, RetryPolicy, SimClock};
@@ -109,6 +110,16 @@ pub fn z_order_key(coord: TileCoord) -> u64 {
 pub fn home_node(coord: TileCoord, nodes: usize) -> usize {
     debug_assert!(nodes > 0);
     (z_order_key(coord) % nodes as u64) as usize
+}
+
+/// Routing key of a `(coordinate, time-bin)` pair: the spatial Z-order
+/// key mixed with a golden-ratio multiple of the bin, so an STKDV
+/// layer's bins of one tile stripe across nodes instead of piling onto
+/// the spatial home. `bin == 0` reproduces [`z_order_key`] exactly —
+/// spatial-only layers route as they always did.
+#[must_use]
+pub fn route_key(coord: TileCoord, bin: u32) -> u64 {
+    z_order_key(coord) ^ u64::from(bin).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// Configuration of a simulated serving cluster.
@@ -230,13 +241,31 @@ impl ClusterServer {
         tail_eps: f64,
     ) -> Result<LayerId> {
         let radius = kernel.effective_radius(tail_eps);
+        let compute: Arc<dyn TileCompute> =
+            Arc::new(KdvCompute::new(&points, window, kernel, tail_eps)?);
+        self.add_compute_layer(compute, radius, points)
+    }
+
+    /// Register any [`TileCompute`] on every node. All replicas share
+    /// the generation-zero state `Arc` (it is immutable); appends then
+    /// evolve each node's snapshot independently but identically.
+    /// `halo_radius` is the tile-halo inflation margin and `points`
+    /// the planar (proxy) coordinates the re-homing accountant weighs
+    /// shipments by — for KDV these are the layer's actual points.
+    pub fn add_compute_layer(
+        &self,
+        compute: Arc<dyn TileCompute>,
+        halo_radius: f64,
+        points: Vec<Point>,
+    ) -> Result<LayerId> {
+        let window = compute.window();
         // Hold the ledger lock for the whole registration so two
         // concurrent `add_layer` calls cannot interleave per-node
         // registrations and hand out diverged ids.
         let mut ledgers = self.ledgers.lock().unwrap();
         let mut id: Option<LayerId> = None;
         for node in &self.nodes {
-            let lid = node.add_layer(points.clone(), window, kernel, tail_eps)?;
+            let lid = node.add_compute_layer(Arc::clone(&compute))?;
             match id {
                 None => id = Some(lid),
                 Some(prev) => assert_eq!(prev, lid, "layer ids diverged across nodes"),
@@ -246,7 +275,7 @@ impl ClusterServer {
         assert_eq!(id, ledgers.len(), "ledger out of step with layer ids");
         ledgers.push(LayerLedger {
             window,
-            radius,
+            radius: halo_radius,
             points,
         });
         Ok(id)
@@ -261,12 +290,16 @@ impl ClusterServer {
     }
 
     fn route_in(alive: &[bool], coord: TileCoord, n: usize) -> Result<usize> {
-        let home = home_node(coord, n);
+        Self::route_from(alive, z_order_key(coord), n)
+    }
+
+    fn route_from(alive: &[bool], key: u64, n: usize) -> Result<usize> {
+        let home = (key % n as u64) as usize;
         (0..n)
             .map(|k| (home + k) % n)
             .find(|&w| alive[w])
             .ok_or_else(|| LsgaError::TaskFailed {
-                tile: (z_order_key(coord) % usize::MAX as u64) as usize,
+                tile: (key % usize::MAX as u64) as usize,
                 attempts: 0,
                 message: "no live cluster nodes to route to".into(),
             })
@@ -278,6 +311,26 @@ impl ClusterServer {
         let w = self.route(coord)?;
         obs::incr(Counter::ClusterRoutedRequests);
         self.nodes[w].get_tile(layer, z, x, y)
+    }
+
+    /// Serve one time-binned tile from its owning node — ownership is
+    /// [`route_key`], so each bin of a tile may live on a different
+    /// node (`bin == 0` routes exactly like [`get_tile`](Self::get_tile)).
+    pub fn get_tile_binned(
+        &self,
+        layer: LayerId,
+        z: u8,
+        x: u32,
+        y: u32,
+        bin: u32,
+    ) -> Result<Arc<Tile>> {
+        let coord = TileCoord::new(z, x, y);
+        let w = {
+            let alive = self.alive.lock().unwrap();
+            Self::route_from(&alive, route_key(coord, bin), self.nodes.len())?
+        };
+        obs::incr(Counter::ClusterRoutedRequests);
+        self.nodes[w].get_tile_binned(layer, z, x, y, bin)
     }
 
     /// Serve one tile under a quality policy from its owning node.
@@ -313,7 +366,7 @@ impl ClusterServer {
     pub fn insert_points(&self, layer: LayerId, points: &[Point]) -> Result<()> {
         {
             let ledgers = self.ledgers.lock().unwrap();
-            if usize::from(layer) >= ledgers.len() {
+            if layer >= ledgers.len() {
                 return Err(LsgaError::InvalidParameter {
                     name: "layer",
                     message: format!("unknown layer {layer:?}"),
@@ -330,9 +383,38 @@ impl ClusterServer {
             node.insert_points(layer, points)?;
             obs::incr(Counter::ClusterInvalidationsBroadcast);
         }
-        self.ledgers.lock().unwrap()[usize::from(layer)]
+        self.ledgers.lock().unwrap()[layer]
             .points
             .extend_from_slice(points);
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Append timed points to an STKDV layer on every live node, with
+    /// the same broadcast/ledger protocol as
+    /// [`insert_points`](Self::insert_points); the ledger records the
+    /// batch's planar coordinates for halo accounting.
+    pub fn insert_timed_points(&self, layer: LayerId, points: &[TimedPoint]) -> Result<()> {
+        {
+            let ledgers = self.ledgers.lock().unwrap();
+            if layer >= ledgers.len() {
+                return Err(LsgaError::InvalidParameter {
+                    name: "layer",
+                    message: format!("unknown layer {layer:?}"),
+                });
+            }
+        }
+        let alive = self.alive.lock().unwrap();
+        for (w, node) in self.nodes.iter().enumerate() {
+            if !alive[w] {
+                continue;
+            }
+            node.insert_timed_points(layer, points)?;
+            obs::incr(Counter::ClusterInvalidationsBroadcast);
+        }
+        self.ledgers.lock().unwrap()[layer]
+            .points
+            .extend(points.iter().map(|tp| tp.point));
         self.generation.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -358,7 +440,7 @@ impl ClusterServer {
     fn shipment_sizes(&self, layer: LayerId, coords: &[TileCoord]) -> Result<Vec<usize>> {
         let ledgers = self.ledgers.lock().unwrap();
         let ledger = ledgers
-            .get(usize::from(layer))
+            .get(layer)
             .ok_or_else(|| LsgaError::InvalidParameter {
                 name: "layer",
                 message: format!("unknown layer {layer:?}"),
@@ -460,7 +542,10 @@ impl ClusterServer {
                                     halo_holder = None; // died with the data
                                     out.timeouts += 1;
                                     clock.advance(policy.timeout_ticks);
-                                    LsgaError::WorkerLost { worker: node, tile: t }
+                                    LsgaError::WorkerLost {
+                                        worker: node,
+                                        tile: t,
+                                    }
                                 }
                                 FaultKind::DropHaloShipment => {
                                     halo_holder = None;

@@ -122,10 +122,7 @@ mod tests {
     use std::thread;
 
     fn key() -> TileKey {
-        TileKey {
-            layer: 0,
-            coord: TileCoord::new(1, 0, 1),
-        }
+        TileKey::new(0, TileCoord::new(1, 0, 1))
     }
 
     fn tile() -> Arc<Tile> {

@@ -42,6 +42,7 @@
 
 pub mod cache;
 pub mod cluster;
+pub mod compute;
 pub mod flight;
 pub mod policy;
 pub(crate) mod refine;
@@ -51,6 +52,11 @@ pub mod tile;
 
 pub use cache::ShardedTileCache;
 pub use cluster::{home_node, z_order_key, ClusterConfig, ClusterServer, SupervisedTiles};
+pub use compute::{
+    hotspot_overlay, nkdv_snap_index, rasterize_lixel_values, resample_overlay, snap_batch,
+    AppendBatch, DirtyRegion, HotspotCompute, HotspotStat, KdvCompute, LayerKind, NkdvCompute,
+    StkdvCompute, TileCompute,
+};
 pub use policy::{ApproxMode, QualityPolicy, TileTier};
 pub use server::{compute_tile_direct, tile_grid_spec, TileServer, TileServerConfig};
 pub use tile::{tile_bbox, tile_spec, LayerId, Tile, TileCoord, TileKey};

@@ -121,10 +121,7 @@ mod tests {
     use std::thread;
 
     fn key(x: u32) -> TileKey {
-        TileKey {
-            layer: 0,
-            coord: TileCoord::new(3, x, 0),
-        }
+        TileKey::new(0, TileCoord::new(3, x, 0))
     }
 
     #[test]

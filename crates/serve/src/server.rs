@@ -1,10 +1,18 @@
 //! The tile server: layers, request path, batching, invalidation.
 //!
+//! Since PR 10 a layer is any [`TileCompute`] — KDV, STKDV, NKDV, or a
+//! Gi*/LISA hotspot overlay — and everything below (cache, flights,
+//! tiers, ingest CAS loop) is analytic-agnostic. The per-kind compute
+//! and dirty-region obligations live in [`crate::compute`]; this module
+//! keeps the serving-side argument, written for the original KDV layer
+//! but carried by each kind's trait contract.
+//!
 //! # Bit-identity
 //!
 //! The headline invariant is that a served tile is bit-identical to
-//! [`compute_tile_direct`] over the layer's current point sequence, no
-//! matter what the cache did in between. Three facts make that hold:
+//! its layer's direct compute (for KDV, [`compute_tile_direct`]) over
+//! the layer's current point sequence, no matter what the cache did in
+//! between. For KDV, three facts make that hold:
 //!
 //! 1. **Fixed decomposition.** Every layer index is built with
 //!    `GridIndex::with_bbox` over the layer's *fixed window* and the
@@ -141,22 +149,20 @@
 //! insert, but the stale approximation is never published).
 
 use crate::cache::ShardedTileCache;
+use crate::compute::{AppendBatch, DirtyRegion, KdvCompute, LayerKind, TileCompute};
 use crate::flight::{Flight, FlightTable};
 use crate::policy::{ApproxMode, QualityPolicy, TileTier};
 use crate::refine::RefineQueue;
-use crate::segment::compact_tiers;
 use crate::tile::{tile_bbox, tile_spec, LayerId, Tile, TileCoord, TileKey};
 use lsga_core::error::{LsgaError, Result};
 use lsga_core::par::{par_map, Threads};
-use lsga_core::{AnyKernel, BBox, DensityGrid, GridSpec, Kernel, Point};
-use lsga_index::{GridIndex, SegmentedGrid};
-use lsga_kdv::{
-    grid_pruned_kdv_segmented, grid_pruned_kdv_with_index, sampling_kdv_segmented, BoundsKdv,
-};
+use lsga_core::{AnyKernel, BBox, DensityGrid, GridSpec, Kernel, Point, TimedPoint};
+use lsga_index::GridIndex;
+use lsga_kdv::{grid_pruned_kdv_with_index, sampling_kdv_segmented};
 use lsga_obs::{self as obs, Counter, Hist};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -196,49 +202,14 @@ impl Default for TileServerConfig {
     }
 }
 
-/// Immutable view of a layer at one generation. `insert_points`
-/// replaces the whole snapshot; readers clone the `Arc` and compute
-/// lock-free against a consistent segment stack. Successive snapshots
-/// share every surviving segment `Arc`, so a swap is O(depth) — the
-/// layer's point data is never cloned.
+/// Immutable view of a layer at one generation. Appends replace the
+/// whole snapshot; readers clone the `Arc` and compute lock-free
+/// against a consistent analytic state. Successive snapshots share the
+/// bulk of their state (KDV segment `Arc`s, the NKDV network, …), so a
+/// swap never clones the layer's point data.
 struct LayerSnapshot {
-    window: BBox,
-    kernel: AnyKernel,
-    tail_eps: f64,
-    /// Kernel effective radius at `tail_eps` — the invalidation
-    /// inflation margin and the index cell size.
-    radius: f64,
-    segments: SegmentedGrid,
+    compute: Arc<dyn TileCompute>,
     generation: u64,
-    /// Lazily built Eq. 6 kd-tree for `ApproxMode::Bounds` degraded
-    /// serves. Per-snapshot, so an insert naturally invalidates it;
-    /// the build cost is paid by the first bounds-tier request of a
-    /// generation and amortized across the rest.
-    bounds: OnceLock<Arc<BoundsKdv>>,
-}
-
-impl LayerSnapshot {
-    /// Generation-zero snapshot: the registration points become the
-    /// stack's base segment.
-    fn seed(window: BBox, kernel: AnyKernel, tail_eps: f64, points: &[Point]) -> Self {
-        let radius = kernel.effective_radius(tail_eps);
-        let index = GridIndex::with_bbox(points, radius.max(1e-12), window);
-        LayerSnapshot {
-            window,
-            kernel,
-            tail_eps,
-            radius,
-            segments: SegmentedGrid::single(index),
-            generation: 0,
-            bounds: OnceLock::new(),
-        }
-    }
-
-    /// The Eq. 6 index over this snapshot's logical point sequence.
-    fn bounds_index(&self) -> &Arc<BoundsKdv> {
-        self.bounds
-            .get_or_init(|| Arc::new(BoundsKdv::new(&self.segments.collect_points())))
-    }
 }
 
 /// Hook invoked by a flight leader after winning the flight and before
@@ -368,11 +339,43 @@ impl TileServer {
         self.core.add_layer(points, window, kernel, tail_eps)
     }
 
+    /// Register any [`TileCompute`] as a layer and return its id —
+    /// the generic entry point behind [`add_layer`](Self::add_layer)
+    /// that STKDV/NKDV/hotspot layers use directly.
+    pub fn add_compute_layer(&self, compute: Arc<dyn TileCompute>) -> Result<LayerId> {
+        self.core.add_compute_layer(compute)
+    }
+
+    /// The analytic kind of a registered layer.
+    pub fn layer_kind(&self, layer: LayerId) -> Result<LayerKind> {
+        Ok(self.core.snapshot(layer)?.compute.kind())
+    }
+
+    /// Number of time bins a layer serves (1 for spatial-only kinds).
+    pub fn time_bins(&self, layer: LayerId) -> Result<u32> {
+        Ok(self.core.snapshot(layer)?.compute.time_bins())
+    }
+
     /// Serve one tile at the **exact** tier: cache hit, coalesced
     /// wait, or leader compute. A degraded cache entry is a miss for
     /// this path — it never returns approximate bits.
     pub fn get_tile(&self, layer: LayerId, z: u8, x: u32, y: u32) -> Result<Arc<Tile>> {
-        self.core.get_tile(layer, z, x, y)
+        self.core.get_tile(layer, z, x, y, 0)
+    }
+
+    /// Serve one tile of a time-binned layer at the exact tier.
+    /// Spatial-only layers accept only `bin == 0` (where this is
+    /// exactly [`get_tile`](Self::get_tile)); any other bin fails with
+    /// `InvalidParameter`.
+    pub fn get_tile_binned(
+        &self,
+        layer: LayerId,
+        z: u8,
+        x: u32,
+        y: u32,
+        bin: u32,
+    ) -> Result<Arc<Tile>> {
+        self.core.get_tile(layer, z, x, y, bin)
     }
 
     /// Serve one tile under a deadline: exact while the estimated
@@ -408,10 +411,19 @@ impl TileServer {
         self.core.get_tiles(layer, coords, Some(policy))
     }
 
-    /// Append points to a layer, dirtying exactly the cached tiles
-    /// whose kernel-inflated bboxes the new data touches.
+    /// Append points to a layer, dirtying exactly the cached tiles the
+    /// layer's [`DirtyRegion`] covers (for KDV: the kernel-inflated
+    /// bbox of the batch). NKDV layers snap the points onto their road
+    /// network; STKDV layers reject planar batches — use
+    /// [`insert_timed_points`](Self::insert_timed_points).
     pub fn insert_points(&self, layer: LayerId, points: &[Point]) -> Result<()> {
-        self.core.insert_points(layer, points)
+        self.core.insert(layer, AppendBatch::Planar(points))
+    }
+
+    /// Append timed points to an STKDV layer; spatial-only layers
+    /// reject the batch with `InvalidParameter`.
+    pub fn insert_timed_points(&self, layer: LayerId, points: &[TimedPoint]) -> Result<()> {
+        self.core.insert(layer, AppendBatch::Timed(points))
     }
 
     /// Resident segment count of a layer's index stack — bounded by
@@ -441,10 +453,7 @@ impl TileServer {
     /// observability for tests and dashboards, no LRU side effects.
     #[must_use]
     pub fn cached_tier(&self, layer: LayerId, z: u8, x: u32, y: u32) -> Option<TileTier> {
-        let key = TileKey {
-            layer,
-            coord: TileCoord::new(z, x, y),
-        };
+        let key = TileKey::new(layer, TileCoord::new(z, x, y));
         self.core.cache.peek(&key).map(|t| t.tier)
     }
 
@@ -521,22 +530,17 @@ impl ServerCore {
         kernel: AnyKernel,
         tail_eps: f64,
     ) -> Result<LayerId> {
-        if window.is_empty() {
-            return Err(LsgaError::InvalidParameter {
-                name: "window",
-                message: "layer window must be non-empty".into(),
-            });
-        }
-        if !(tail_eps.is_finite() && tail_eps > 0.0) {
-            return Err(LsgaError::InvalidParameter {
-                name: "tail_eps",
-                message: format!("tail_eps must be finite and positive, got {tail_eps}"),
-            });
-        }
-        validate_in_window(&points, &window)?;
-        let snap = LayerSnapshot::seed(window, kernel, tail_eps, &points);
+        let compute = KdvCompute::new(&points, window, kernel, tail_eps)?;
+        self.add_compute_layer(Arc::new(compute))
+    }
+
+    /// Register any [`TileCompute`] as a layer at generation zero.
+    pub fn add_compute_layer(&self, compute: Arc<dyn TileCompute>) -> Result<LayerId> {
         let mut layers = self.layers.write().expect("layers poisoned");
-        layers.push(Arc::new(snap));
+        layers.push(Arc::new(LayerSnapshot {
+            compute,
+            generation: 0,
+        }));
         Ok(layers.len() - 1)
     }
 
@@ -575,10 +579,10 @@ impl ServerCore {
     /// leader compute. Uses [`ShardedTileCache::get_exact`], so a
     /// resident degraded tile is a miss here and gets replaced by the
     /// leader's exact commit.
-    fn get_tile(&self, layer: LayerId, z: u8, x: u32, y: u32) -> Result<Arc<Tile>> {
+    fn get_tile(&self, layer: LayerId, z: u8, x: u32, y: u32, bin: u32) -> Result<Arc<Tile>> {
         let coord = TileCoord::new(z, x, y);
         self.validate_coord(coord)?;
-        let key = TileKey { layer, coord };
+        let key = TileKey::binned(layer, coord, bin);
         if let Some(tile) = self.cache.get_exact(&key) {
             obs::incr(Counter::ServeCacheHits);
             return Ok(tile);
@@ -608,7 +612,7 @@ impl ServerCore {
     ) -> Result<Arc<Tile>> {
         let coord = TileCoord::new(z, x, y);
         self.validate_coord(coord)?;
-        let key = TileKey { layer, coord };
+        let key = TileKey::new(layer, coord);
         if let Some(tile) = self.cache.get(&key) {
             obs::incr(Counter::ServeCacheHits);
             if !tile.tier.is_exact() {
@@ -623,6 +627,19 @@ impl ServerCore {
             return Ok(tile);
         }
         obs::incr(Counter::ServeCacheMisses);
+
+        // Degraded tiers exist only for KDV layers (Eq. 6/7 are KDV
+        // approximations); every other kind takes the exact flight
+        // path directly, skipping admission control entirely so the
+        // `serve.queue_wait` table stays a KDV-only signal.
+        if self.snapshot(layer)?.compute.as_kdv().is_none() {
+            let (flight, leader) = self.flights.join(key);
+            if !leader {
+                obs::incr(Counter::ServeCoalescedWaits);
+                return flight.wait();
+            }
+            return self.lead_flight(key, &flight);
+        }
 
         // Admission: a conservative serialized-queue estimate of what
         // joining the exact path would cost. Deliberately not divided
@@ -656,16 +673,20 @@ impl ServerCore {
     /// either way.
     fn serve_degraded(&self, key: TileKey, policy: &QualityPolicy) -> Result<Arc<Tile>> {
         let snap = self.snapshot(key.layer)?;
+        let kdv = snap
+            .compute
+            .as_kdv()
+            .expect("degraded tiers are kdv-only; admission checked the kind");
         let tile = {
             let _span = obs::span("serve.degraded_tile");
-            let spec = tile_spec(&snap.window, self.cfg.tile_px, key.coord);
-            let n = snap.segments.total_len();
+            let spec = tile_spec(&kdv.window, self.cfg.tile_px, key.coord);
+            let n = kdv.segments().total_len();
             let (grid, tier) = match policy.mode() {
                 ApproxMode::Sampling { eps, delta, seed } => (
                     sampling_kdv_segmented(
-                        &snap.segments,
+                        kdv.segments(),
                         spec,
-                        snap.kernel,
+                        kdv.kernel,
                         policy.sample_size(),
                         seed,
                     ),
@@ -678,7 +699,7 @@ impl ServerCore {
                     },
                 ),
                 ApproxMode::Bounds { eps } => (
-                    snap.bounds_index().compute(spec, snap.kernel, eps),
+                    kdv.bounds_index().compute(spec, kdv.kernel, eps),
                     TileTier::Bounds { eps },
                 ),
             };
@@ -743,10 +764,12 @@ impl ServerCore {
         let tile = {
             let _span = obs::span("serve.refine_tile");
             obs::incr(Counter::ServeTilesComputed);
-            let spec = tile_spec(&snap.window, self.cfg.tile_px, key.coord);
+            obs::incr(snap.compute.kind().computed_counter());
+            let window = snap.compute.window();
+            let spec = tile_spec(&window, self.cfg.tile_px, key.coord);
             Arc::new(Tile {
                 key,
-                grid: grid_pruned_kdv_segmented(&snap.segments, spec, snap.kernel, snap.tail_eps),
+                grid: snap.compute.compute(spec, key.bin),
                 tier: TileTier::Exact,
             })
         };
@@ -832,6 +855,23 @@ impl ServerCore {
                     return Err(e);
                 }
             };
+            // A bin past the layer's time axis can never be cached, so
+            // the request always lands here; fail the flight like an
+            // unknown layer. Spatial-only layers serve exactly bin 0.
+            if key.bin >= snap.compute.time_bins() {
+                let e = LsgaError::InvalidParameter {
+                    name: "bin",
+                    message: format!(
+                        "time bin {} out of range ({} bins)",
+                        key.bin,
+                        snap.compute.time_bins()
+                    ),
+                };
+                guard.armed = false;
+                self.flights.complete(&key);
+                flight.fail(e.clone());
+                return Err(e);
+            }
             let hook = self
                 .compute_hook
                 .lock()
@@ -845,15 +885,12 @@ impl ServerCore {
             let tile = {
                 let _span = obs::span("serve.compute_tile");
                 obs::incr(Counter::ServeTilesComputed);
-                let spec = tile_spec(&snap.window, self.cfg.tile_px, key.coord);
+                obs::incr(snap.compute.kind().computed_counter());
+                let window = snap.compute.window();
+                let spec = tile_spec(&window, self.cfg.tile_px, key.coord);
                 Arc::new(Tile {
                     key,
-                    grid: grid_pruned_kdv_segmented(
-                        &snap.segments,
-                        spec,
-                        snap.kernel,
-                        snap.tail_eps,
-                    ),
+                    grid: snap.compute.compute(spec, key.bin),
                     tier: TileTier::Exact,
                 })
             };
@@ -915,7 +952,7 @@ impl ServerCore {
             let c = unique[i];
             match policy {
                 Some(p) => self.get_tile_with_policy(layer, c.z, c.x, c.y, p),
-                None => self.get_tile(layer, c.z, c.x, c.y),
+                None => self.get_tile(layer, c.z, c.x, c.y, 0),
             }
         });
         let mut tiles: Vec<Option<Arc<Tile>>> = vec![None; unique.len()];
@@ -928,38 +965,29 @@ impl ServerCore {
             .collect())
     }
 
-    /// Append points to a layer, dirtying exactly the cached tiles
-    /// whose kernel-inflated bboxes the new data touches.
+    /// Append a batch to a layer, dirtying exactly the cached tiles
+    /// the layer's [`DirtyRegion`] covers.
     ///
-    /// The batch is indexed **once**, into its own immutable segment —
-    /// an O(batch) counting sort over the layer's fixed decomposition,
-    /// never an O(n) rebuild. The successor stack (shared `Arc`s + the
-    /// new segment, tier-compacted) is assembled outside the layers
-    /// lock, so concurrent snapshots (every cold get) and leader
-    /// commits are never blocked behind ingest work. The exclusive
-    /// critical section is only the generation check, the snapshot
-    /// swap, and the invalidation sweep. If another insert won the
-    /// race in the meantime, the retry re-stamps the *same* segment
-    /// onto the winner's stack — compaction work against the stale
-    /// stack is discarded, the batch index is not.
-    pub fn insert_points(&self, layer: LayerId, points: &[Point]) -> Result<()> {
-        if points.is_empty() {
+    /// The expensive batch work runs **once**, in the layer's
+    /// [`TileCompute::prepare_append`] (for KDV: an O(batch) counting
+    /// sort into its own immutable segment; for NKDV: snapping the
+    /// points onto the network). The successor snapshot is assembled
+    /// outside the layers lock, so concurrent snapshots (every cold
+    /// get) and leader commits are never blocked behind ingest work.
+    /// The exclusive critical section is only the generation check,
+    /// the snapshot swap, and the invalidation sweep. If another
+    /// insert won the race in the meantime, the retry re-applies the
+    /// *same* prepared batch onto the winner's state — successor
+    /// assembly against the stale state is discarded, the prepared
+    /// batch is not.
+    pub fn insert(&self, layer: LayerId, batch: AppendBatch<'_>) -> Result<()> {
+        if batch.is_empty() {
             return Err(LsgaError::EmptyDataset("insert_points batch"));
         }
         let _span = obs::span("ingest.append");
         let mut old = self.snapshot(layer)?;
-        validate_in_window(points, &old.window)?;
-
-        // The one and only index build for this batch. Window, kernel,
-        // and tail_eps are fixed at registration, so the segment's
-        // geometry is valid for every future generation too.
-        let segment = Arc::new(GridIndex::with_bbox(
-            points,
-            old.radius.max(1e-12),
-            old.window,
-        ));
-        obs::incr(Counter::IngestSegmentsCreated);
-        obs::add(Counter::IngestPointsAppended, points.len() as u64);
+        let prepared = old.compute.prepare_append(batch)?;
+        obs::add(Counter::IngestPointsAppended, batch.len() as u64);
 
         let hook = self
             .insert_hook
@@ -968,25 +996,18 @@ impl ServerCore {
             .as_ref()
             .map(Arc::clone);
         if let Some(hook) = hook {
-            hook(layer, points.len());
+            hook(layer, batch.len());
         }
 
         loop {
-            let mut segs: Vec<Arc<GridIndex>> = old.segments.segments().to_vec();
-            segs.push(Arc::clone(&segment));
-            let stats = compact_tiers(&mut segs, self.cfg.threads);
+            let applied = old.compute.apply_append(&prepared, self.cfg.threads);
+            let kind = old.compute.kind();
+            let next_compute = Arc::clone(&applied.next);
+            let window = next_compute.window();
             let next = LayerSnapshot {
-                window: old.window,
-                kernel: old.kernel,
-                tail_eps: old.tail_eps,
-                radius: old.radius,
-                segments: SegmentedGrid::from_segments(segs),
+                compute: applied.next,
                 generation: old.generation + 1,
-                bounds: OnceLock::new(),
             };
-            let radius = next.radius;
-            let window = next.window;
-            let depth = next.segments.depth();
 
             let mut layers = self.layers.write().expect("layers poisoned");
             if layers[layer].generation != old.generation {
@@ -997,31 +1018,53 @@ impl ServerCore {
             layers[layer] = Arc::new(next);
 
             // Still under the exclusive layers lock (order: layers →
-            // shard): dirty exactly the tiles within kernel reach of
-            // the new data, atomically with the swap (see module docs).
-            let dirty = BBox::of_points(points).inflate(radius);
-            let dropped = self
-                .cache
-                .invalidate(layer, |coord| dirty.intersects(&tile_bbox(&window, coord)));
+            // shard): dirty exactly the tiles the batch can have
+            // touched, atomically with the swap (see module docs).
+            let dropped = match applied.dirty {
+                DirtyRegion::All => self.cache.invalidate(layer, |_, _| true),
+                DirtyRegion::Planar(dirty) => self.cache.invalidate(layer, |coord, _| {
+                    dirty.intersects(&tile_bbox(&window, coord))
+                }),
+                DirtyRegion::SpaceTime { bbox, t_lo, t_hi } => {
+                    self.cache.invalidate(layer, |coord, bin| {
+                        let t = next_compute.bin_time(bin);
+                        t >= t_lo && t <= t_hi && bbox.intersects(&tile_bbox(&window, coord))
+                    })
+                }
+            };
             if dropped > 0 {
                 obs::add(Counter::ServeTilesInvalidated, dropped);
+                obs::add(kind.invalidated_counter(), dropped);
             }
             // Merge accounting is recorded only for the committed
             // attempt, so the ingest tables are a deterministic
             // function of the committed batch sequence.
-            if stats.merged_segments > 0 {
-                obs::add(Counter::IngestSegmentsMerged, stats.merged_segments as u64);
-                obs::add(Counter::IngestMergeBytes, stats.merged_bytes() as u64);
+            if applied.merged_segments > 0 {
+                obs::add(Counter::IngestSegmentsMerged, applied.merged_segments);
+                obs::add(Counter::IngestMergeBytes, applied.merged_bytes);
             }
-            obs::record(Hist::IngestSegmentCount, depth as u64);
+            if let Some(depth) = applied.segment_depth {
+                obs::record(Hist::IngestSegmentCount, depth);
+            }
             return Ok(());
         }
     }
 
-    /// Resident segment count of a layer's index stack — bounded by
-    /// `log_3 n + O(1)` under the tier policy (see [`crate::segment`]).
+    /// Resident segment count of a KDV layer's index stack — bounded
+    /// by `log_3 n + O(1)` under the tier policy (see
+    /// [`crate::segment`]). Other kinds have no segment stack.
     fn segment_count(&self, layer: LayerId) -> Result<usize> {
-        Ok(self.snapshot(layer)?.segments.depth())
+        let snap = self.snapshot(layer)?;
+        match snap.compute.as_kdv() {
+            Some(kdv) => Ok(kdv.segments().depth()),
+            None => Err(LsgaError::InvalidParameter {
+                name: "layer",
+                message: format!(
+                    "segment_count applies to kdv layers, not {}",
+                    snap.compute.kind().name()
+                ),
+            }),
+        }
     }
 
     /// Drop every cached tile (counts as eviction).
@@ -1031,24 +1074,6 @@ impl ServerCore {
             obs::add(Counter::ServeTilesEvicted, dropped);
         }
     }
-}
-
-fn validate_in_window(points: &[Point], window: &BBox) -> Result<()> {
-    for (i, p) in points.iter().enumerate() {
-        if !(p.x.is_finite() && p.y.is_finite()) {
-            return Err(LsgaError::InvalidParameter {
-                name: "points",
-                message: format!("point {i} is non-finite: ({}, {})", p.x, p.y),
-            });
-        }
-        if !window.contains(p) {
-            return Err(LsgaError::InvalidParameter {
-                name: "points",
-                message: format!("point {i} ({}, {}) lies outside the layer window", p.x, p.y),
-            });
-        }
-    }
-    Ok(())
 }
 
 /// The oracle the test suites compare against: compute the tile's

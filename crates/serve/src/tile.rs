@@ -47,11 +47,35 @@ impl TileCoord {
     }
 }
 
-/// Cache key: a tile coordinate qualified by its layer.
+/// Cache key: a tile coordinate qualified by its layer and, for
+/// time-binned analytics (STKDV), its time bin. Spatial-only layers
+/// always use `bin == 0`, so a binned key can never collide with a
+/// spatial key of another layer kind: the layer id pins the kind, and
+/// within an STKDV layer the bin is part of equality and the hash.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TileKey {
     pub layer: LayerId,
     pub coord: TileCoord,
+    /// Time-bin index; 0 for every spatial-only analytic.
+    pub bin: u32,
+}
+
+impl TileKey {
+    /// Key of a spatial-only tile (`bin == 0`).
+    #[must_use]
+    pub fn new(layer: LayerId, coord: TileCoord) -> Self {
+        TileKey {
+            layer,
+            coord,
+            bin: 0,
+        }
+    }
+
+    /// Key of a time-binned tile.
+    #[must_use]
+    pub fn binned(layer: LayerId, coord: TileCoord, bin: u32) -> Self {
+        TileKey { layer, coord, bin }
+    }
 }
 
 /// Bounding box of `coord` inside `window`.
@@ -147,10 +171,7 @@ mod tests {
     fn tile_bytes_covers_payload() {
         let spec = tile_spec(&window(), 8, TileCoord::new(0, 0, 0));
         let t = Tile {
-            key: TileKey {
-                layer: 0,
-                coord: TileCoord::new(0, 0, 0),
-            },
+            key: TileKey::new(0, TileCoord::new(0, 0, 0)),
             grid: DensityGrid::zeros(spec),
             tier: TileTier::Exact,
         };

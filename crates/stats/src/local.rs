@@ -11,6 +11,7 @@ use crate::moran::PERM_CHUNK;
 use crate::weights::SpatialWeights;
 use lsga_core::par::{par_map, par_reduce, Threads};
 use lsga_core::util::{mix_seed, normal_two_sided_p};
+use lsga_core::{LsgaError, Result};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -130,13 +131,51 @@ pub fn local_gi_star_threads(
 /// With `permutations > 0`, a conditional permutation test (the other
 /// values shuffled over the other locations) yields pseudo p-values;
 /// with `0` the `p` field is 1.0 (no inference).
+///
+/// Returns [`LsgaError::InvalidParameter`] for a value/weight dimension
+/// mismatch, fewer than three locations, non-finite values, or a
+/// degenerate weight matrix (non-finite or zero total weight).
 pub fn local_morans_i(
     values: &[f64],
     w: &SpatialWeights,
     permutations: usize,
     seed: u64,
-) -> Vec<LocalResult> {
+) -> Result<Vec<LocalResult>> {
     local_morans_i_threads(values, w, permutations, seed, Threads::auto())
+}
+
+/// Shared input validation for the local Moran statistic: the failure
+/// modes that would otherwise panic (dimension mismatch, tiny n) or
+/// silently poison every z-score with NaN (non-finite values, a weight
+/// matrix whose total weight is zero or non-finite).
+fn validate_local_inputs(values: &[f64], w: &SpatialWeights) -> Result<()> {
+    let n = values.len();
+    if n != w.n() {
+        return Err(LsgaError::InvalidParameter {
+            name: "values",
+            message: format!("{n} values but {} weight-matrix rows", w.n()),
+        });
+    }
+    if n < 3 {
+        return Err(LsgaError::InvalidParameter {
+            name: "values",
+            message: format!("local statistics need at least three locations, got {n}"),
+        });
+    }
+    if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+        return Err(LsgaError::InvalidParameter {
+            name: "values",
+            message: format!("value {i} is non-finite: {}", values[i]),
+        });
+    }
+    let s0 = w.s0();
+    if !(s0.is_finite() && s0 > 0.0) {
+        return Err(LsgaError::InvalidParameter {
+            name: "weights",
+            message: format!("degenerate weight matrix: total weight S0 = {s0}"),
+        });
+    }
+    Ok(())
 }
 
 /// [`local_morans_i`] with an explicit [`Threads`] config. Permutation
@@ -149,15 +188,14 @@ pub fn local_morans_i_threads(
     permutations: usize,
     seed: u64,
     threads: Threads,
-) -> Vec<LocalResult> {
+) -> Result<Vec<LocalResult>> {
+    validate_local_inputs(values, w)?;
     let n = values.len();
-    assert_eq!(n, w.n(), "value/weight dimension mismatch");
-    assert!(n >= 3, "need at least three locations");
     let mean = values.iter().sum::<f64>() / n as f64;
     let z: Vec<f64> = values.iter().map(|x| x - mean).collect();
     let m2 = z.iter().map(|v| v * v).sum::<f64>() / n as f64;
     if m2 == 0.0 {
-        return vec![LocalResult { value: 0.0, p: 1.0 }; n];
+        return Ok(vec![LocalResult { value: 0.0, p: 1.0 }; n]);
     }
     let lag_i = |i: usize, z: &[f64]| -> f64 {
         let (cols, ws) = w.row(i);
@@ -165,10 +203,10 @@ pub fn local_morans_i_threads(
     };
     let observed: Vec<f64> = (0..n).map(|i| z[i] / m2 * lag_i(i, &z)).collect();
     if permutations == 0 {
-        return observed
+        return Ok(observed
             .into_iter()
             .map(|value| LocalResult { value, p: 1.0 })
-            .collect();
+            .collect());
     }
     // Conditional permutation: hold z_i fixed, shuffle the others. Each
     // replicate derives its RNG from (seed, replicate); per-site extreme
@@ -208,14 +246,14 @@ pub fn local_morans_i_threads(
             acc
         },
     );
-    observed
+    Ok(observed
         .into_iter()
         .zip(extreme)
         .map(|(value, ex)| LocalResult {
             value,
             p: (ex + 1) as f64 / (permutations + 1) as f64,
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -274,7 +312,7 @@ mod tests {
         let mut values = hot_corner(k);
         // Plant a high outlier amid the low region.
         values[5 * k + 5] = 10.0;
-        let lisa = local_morans_i(&values, &w, 99, 7);
+        let lisa = local_morans_i(&values, &w, 99, 7).unwrap();
         // Hot-block interior: positive I_i (high-high).
         assert!(lisa[k + 1].value > 0.5, "I = {}", lisa[k + 1].value);
         // The isolated spike: negative I_i (high-low outlier).
@@ -290,7 +328,7 @@ mod tests {
         let k = 5;
         let w = lattice_weights(k);
         let values: Vec<f64> = (0..k * k).map(|i| (i % k) as f64).collect();
-        let lisa = local_morans_i(&values, &w, 0, 0);
+        let lisa = local_morans_i(&values, &w, 0, 0).unwrap();
         assert!(lisa.iter().all(|r| r.p == 1.0));
         // Gradient: an off-centre interior cell (z_i ≠ 0) sits in a
         // similar-valued neighbourhood, so its local I is positive.
@@ -304,7 +342,7 @@ mod tests {
         let k = 6;
         let w = lattice_weights(k);
         let values: Vec<f64> = (0..k * k).map(|i| ((i * 31 + 3) % 11) as f64).collect();
-        let lisa = local_morans_i(&values, &w, 0, 0);
+        let lisa = local_morans_i(&values, &w, 0, 0).unwrap();
         let sum_local: f64 = lisa.iter().map(|r| r.value).sum();
         let global = crate::morans_i(&values, &w, 0, 0).unwrap();
         // global I = sum_local / S0 * ... derive: I = (n/S0)*(Σ w z z)/Σz²,
@@ -331,7 +369,7 @@ mod tests {
                                                              // Neighbour of the spike: low value, raised lag.
         assert_eq!(quads[5 * k + 4], LisaQuadrant::LowHigh);
         // Quadrant signs agree with the local I signs: HH/LL -> I >= 0.
-        let lisa = local_morans_i(&values, &w, 0, 0);
+        let lisa = local_morans_i(&values, &w, 0, 0).unwrap();
         for (q, r) in quads.iter().zip(&lisa) {
             match q {
                 LisaQuadrant::HighHigh | LisaQuadrant::LowLow => {
@@ -347,8 +385,56 @@ mod tests {
         let k = 5;
         let w = lattice_weights(k);
         let values = hot_corner(k);
-        let a = local_morans_i(&values, &w, 49, 3);
-        let b = local_morans_i(&values, &w, 49, 3);
+        let a = local_morans_i(&values, &w, 49, 3).unwrap();
+        let b = local_morans_i(&values, &w, 49, 3).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lisa_rejects_dimension_mismatch_and_tiny_inputs() {
+        let w = lattice_weights(5);
+        let err = local_morans_i(&[1.0; 24], &w, 0, 0).unwrap_err();
+        assert!(
+            matches!(err, LsgaError::InvalidParameter { name: "values", .. }),
+            "{err:?}"
+        );
+        let w2 = SpatialWeights::distance_band(&[Point::new(0.0, 0.0), Point::new(1.0, 0.0)], 1.5);
+        let err = local_morans_i(&[1.0, 2.0], &w2, 0, 0).unwrap_err();
+        assert!(
+            matches!(err, LsgaError::InvalidParameter { name: "values", .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn lisa_rejects_non_finite_values() {
+        let w = lattice_weights(5);
+        let mut values = hot_corner(5);
+        values[7] = f64::NAN;
+        let err = local_morans_i(&values, &w, 9, 1).unwrap_err();
+        assert!(
+            matches!(err, LsgaError::InvalidParameter { name: "values", .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn lisa_rejects_degenerate_weight_matrix() {
+        // Band smaller than any pairwise distance: every row is empty,
+        // S0 = 0, and every local I would be a meaningless 0 — reject.
+        let pts: Vec<Point> = (0..9).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        let w = SpatialWeights::distance_band(&pts, 1.0);
+        assert_eq!(w.s0(), 0.0);
+        let err = local_morans_i(&[1.0; 9], &w, 0, 0).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LsgaError::InvalidParameter {
+                    name: "weights",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 }

@@ -181,7 +181,7 @@ mod tests {
             edge: EdgeId(0),
             offset: 5.0,
         }];
-        let density = nkdv_forward(&net, &lixels, &events, Epanechnikov::new(8.0));
+        let density = nkdv_forward(&net, &lixels, &events, Epanechnikov::new(8.0)).unwrap();
         let json = lixels_geojson(&net, &lixels, &density);
         assert_wellformed(&json);
         assert_eq!(json.matches(r#""type":"LineString""#).count(), lixels.len());

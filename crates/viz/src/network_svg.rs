@@ -103,7 +103,7 @@ mod tests {
             edge: EdgeId(0),
             offset: 5.0,
         }];
-        let density = nkdv_forward(&net, &lixels, &events, Epanechnikov::new(8.0));
+        let density = nkdv_forward(&net, &lixels, &events, Epanechnikov::new(8.0)).unwrap();
         let svg = network_density_svg(&net, &lixels, &density, Colormap::Heat, 400, 400);
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
@@ -120,7 +120,7 @@ mod tests {
     fn zero_density_only_renders_base() {
         let net = grid_network(3, 3, 5.0);
         let lixels = Lixels::build(&net, 1.0);
-        let density = nkdv_forward(&net, &lixels, &[], Epanechnikov::new(3.0));
+        let density = nkdv_forward(&net, &lixels, &[], Epanechnikov::new(3.0)).unwrap();
         let svg = network_density_svg(&net, &lixels, &density, Colormap::Viridis, 200, 200);
         assert_eq!(svg.matches("stroke-linecap").count(), 0);
     }
@@ -133,7 +133,7 @@ mod tests {
             edge: EdgeId(2),
             offset: 1.0,
         }];
-        let density = nkdv_forward(&net, &lixels, &events, Epanechnikov::new(10.0));
+        let density = nkdv_forward(&net, &lixels, &events, Epanechnikov::new(10.0)).unwrap();
         let svg = network_density_svg(&net, &lixels, &density, Colormap::Gray, 300, 150);
         for part in svg.split("x1=\"").skip(1) {
             let x: f64 = part.split('"').next().unwrap().parse().unwrap();

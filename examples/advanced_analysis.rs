@@ -92,7 +92,7 @@ fn main() {
     let w = SpatialWeights::distance_band(&centers, 75.0);
     let gi = stats::local_gi_star(counts.values(), &w);
     let hot = gi.iter().filter(|r| r.value > 1.96).count();
-    let lisa = stats::local_morans_i(counts.values(), &w, 99, 3);
+    let lisa = stats::local_morans_i(counts.values(), &w, 99, 3).unwrap();
     let sig = lisa.iter().filter(|r| r.p < 0.05).count();
     println!("local stats: {hot} Gi* hot quadrats, {sig} significant LISA quadrats");
 
@@ -115,7 +115,7 @@ fn main() {
         .filter_map(|p| idx.snap(&net, p).map(|(pos, _)| pos))
         .collect();
     let lixels = Lixels::build(&net, 30.0);
-    let simple = kdv::nkdv_forward(&net, &lixels, &events, Quartic::new(200.0));
+    let simple = kdv::nkdv_forward(&net, &lixels, &events, Quartic::new(200.0)).unwrap();
     let esd = kdv::nkdv_equal_split(&net, &lixels, &events, Quartic::new(200.0));
     // Length-weighted total mass: the equal-split variant does not
     // inflate at junctions.

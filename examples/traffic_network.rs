@@ -28,10 +28,10 @@ fn main() {
     println!("lixels: {}", lixels.len());
 
     let t = Instant::now();
-    let forward = kdv::nkdv_forward(&net, &lixels, &events, kernel);
+    let forward = kdv::nkdv_forward(&net, &lixels, &events, kernel).unwrap();
     let t_fwd = t.elapsed();
     let t = Instant::now();
-    let naive = kdv::nkdv_naive(&net, &lixels, &events, kernel);
+    let naive = kdv::nkdv_naive(&net, &lixels, &events, kernel).unwrap();
     let t_naive = t.elapsed();
     println!(
         "NKDV: naive {t_naive:.1?}  vs  forward {t_fwd:.1?}  (L_inf diff {:.2e})",

@@ -114,7 +114,11 @@ fn ownership_map_is_total_deterministic_and_distinct() {
     keys.sort_unstable();
     let before = keys.len();
     keys.dedup();
-    assert_eq!(before, keys.len(), "z_order_key collided inside the pyramid");
+    assert_eq!(
+        before,
+        keys.len(),
+        "z_order_key collided inside the pyramid"
+    );
 
     // Homes are total and stable, and with all nodes alive the route
     // is the home.
@@ -250,7 +254,10 @@ fn doomed_plan_degrades_to_a_coverage_report() {
         .expect("fully dead cluster still degrades");
     assert!(out.tiles.iter().all(Option::is_none));
     assert_eq!(out.report.fraction(), 0.0);
-    assert_eq!(CoverageReport::from_schedule(&out.schedule, &vec![1; coords.len()]).executed_tiles, 0);
+    assert_eq!(
+        CoverageReport::from_schedule(&out.schedule, &vec![1; coords.len()]).executed_tiles,
+        0
+    );
 }
 
 /// A crash fault kills the owning node; its tiles re-home to the next
@@ -309,10 +316,7 @@ fn crash_rehoming_charges_halo_bytes_exactly() {
     assert_eq!(snap.counter("cluster.tiles_rehomed"), rehomed_planned);
     assert_eq!(snap.counter("cluster.reshipped_bytes"), reshipped_planned);
     assert!(rehomed_planned >= 1);
-    assert_eq!(
-        snap.counter("cluster.routed_requests"),
-        coords.len() as u64
-    );
+    assert_eq!(snap.counter("cluster.routed_requests"), coords.len() as u64);
     // The re-home span was emitted for each re-homed serve.
     let spans = snap.spans();
     let rehome = spans
@@ -335,6 +339,7 @@ fn crash_rehoming_charges_halo_bytes_exactly() {
 /// One randomized cluster storm at a given pool width: seeded appends,
 /// a seeded fault schedule, and a full-pyramid supervised batch, every
 /// served tile checked against the oracle.
+#[allow(clippy::too_many_arguments)]
 fn run_storm(
     threads: usize,
     nodes: usize,
@@ -464,10 +469,7 @@ fn cluster_counters_are_thread_invariant() {
         .iter()
         .map(|&n| (n.to_string(), snap.counter(n)))
         .collect();
-        values.push((
-            "abandoned".into(),
-            out.report.abandoned.len() as u64,
-        ));
+        values.push(("abandoned".into(), out.report.abandoned.len() as u64));
         values
     };
     assert_eq!(run(1), run(8), "cluster.* diverged across pool widths");

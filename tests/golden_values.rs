@@ -30,9 +30,13 @@
 
 use lsga::core::par::Threads;
 use lsga::prelude::*;
-use lsga::serve::{compute_tile_direct, TileCoord};
+use lsga::serve::{
+    compute_tile_direct, HotspotCompute, HotspotStat, NkdvCompute, StkdvCompute, TileCoord,
+    TileServer, TileServerConfig,
+};
 use lsga::stats::SpatialWeights;
-use lsga::{data, interp, kdv, kfunc, stats};
+use lsga::{data, interp, kdv, kfunc, network, stats};
+use std::sync::Arc;
 
 /// FNV-1a over little-endian bytes.
 fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
@@ -160,4 +164,128 @@ fn golden_served_tile() {
     let actual = digest_f64(grid.values());
     check("golden_served_tile", actual);
     assert_eq!(actual, GOLDEN, "served-tile bits drifted: {actual:#018x}");
+}
+
+/// A 16-px tile server for the multi-analytic golden tiles; each test
+/// pins the bits the *server* emits, cache and flight machinery
+/// included.
+fn golden_server() -> TileServer {
+    TileServer::new(TileServerConfig {
+        tile_px: 16,
+        max_zoom: 2,
+        shards: 2,
+        threads: Threads::exact(2),
+        ..TileServerConfig::default()
+    })
+}
+
+#[test]
+fn golden_served_stkdv_bin() {
+    const GOLDEN: u64 = 0x53e2334e1a1c4ae3;
+    let pts = data::uniform_timed_points(200, window(), 0.0, 40.0, 33);
+    let s = golden_server();
+    let layer = s
+        .add_compute_layer(Arc::new(
+            StkdvCompute::new(
+                &pts,
+                window(),
+                KernelKind::Epanechnikov.with_bandwidth(12.0),
+                PolyKernel::new(KernelKind::Quartic, 7.0).expect("temporal kernel"),
+                0.0,
+                40.0,
+                5,
+                1e-9,
+            )
+            .expect("stkdv compute"),
+        ))
+        .expect("layer");
+    let tile = s.get_tile_binned(layer, 1, 0, 1, 3).expect("tile");
+    let actual = digest_f64(tile.grid.values());
+    check("golden_served_stkdv_bin", actual);
+    assert_eq!(actual, GOLDEN, "STKDV tile bits drifted: {actual:#018x}");
+}
+
+#[test]
+fn golden_served_nkdv_raster() {
+    const GOLDEN: u64 = 0x875298d0bd5101b6;
+    let net = Arc::new(network::grid_network(6, 6, 20.0));
+    let lixels = Arc::new(Lixels::build(&net, 5.0));
+    let events = network::sample_on_network(&net, 80, 27);
+    let s = golden_server();
+    let layer = s
+        .add_compute_layer(Arc::new(
+            NkdvCompute::new(
+                net,
+                lixels,
+                &events,
+                KernelKind::Quartic.with_bandwidth(18.0),
+            )
+            .expect("nkdv compute"),
+        ))
+        .expect("layer");
+    let tile = s.get_tile(layer, 1, 1, 0).expect("tile");
+    let actual = digest_f64(tile.grid.values());
+    check("golden_served_nkdv_raster", actual);
+    assert_eq!(actual, GOLDEN, "NKDV tile bits drifted: {actual:#018x}");
+}
+
+#[test]
+fn golden_served_gi_star_overlay() {
+    const GOLDEN: u64 = 0xd42ea190cb32f0d7;
+    let pts = data::gaussian_mixture(
+        300,
+        &[Hotspot {
+            center: Point::new(30.0, 70.0),
+            sigma: 8.0,
+            weight: 1.0,
+        }],
+        window(),
+        51,
+    );
+    let s = golden_server();
+    let layer = s
+        .add_compute_layer(Arc::new(
+            HotspotCompute::new(&pts, window(), 6, 20.0, HotspotStat::GiStar)
+                .expect("hotspot compute"),
+        ))
+        .expect("layer");
+    let tile = s.get_tile(layer, 1, 0, 1).expect("tile");
+    let actual = digest_f64(tile.grid.values());
+    check("golden_served_gi_star_overlay", actual);
+    assert_eq!(actual, GOLDEN, "Gi* tile bits drifted: {actual:#018x}");
+}
+
+#[test]
+fn golden_served_lisa_overlay() {
+    const GOLDEN: u64 = 0x140e351c217f9079;
+    let pts = data::gaussian_mixture(
+        300,
+        &[Hotspot {
+            center: Point::new(65.0, 25.0),
+            sigma: 9.0,
+            weight: 1.0,
+        }],
+        window(),
+        57,
+    );
+    let s = golden_server();
+    let layer = s
+        .add_compute_layer(Arc::new(
+            HotspotCompute::new(
+                &pts,
+                window(),
+                6,
+                20.0,
+                HotspotStat::Lisa {
+                    permutations: 99,
+                    seed: 13,
+                },
+            )
+            .expect("hotspot compute"),
+        ))
+        .expect("layer");
+    let tile = s.get_tile(layer, 1, 1, 1).expect("tile");
+    let actual = digest_f64(tile.grid.values());
+    check("golden_served_lisa_overlay", actual);
+    assert_eq!(actual, GOLDEN, "LISA tile bits drifted: {actual:#018x}");
 }

@@ -511,7 +511,10 @@ fn graceful_shutdown_completes_inflight_sheds_queued_and_joins() {
             .expect("shed 503 carries Retry-After")
             .parse()
             .expect("Retry-After is integral seconds");
-        assert!((1..=8).contains(&retry), "Retry-After {retry} outside 1..=8");
+        assert!(
+            (1..=8).contains(&retry),
+            "Retry-After {retry} outside 1..=8"
+        );
     }
 
     // The whole teardown joins within the watchdog budget.
@@ -626,6 +629,225 @@ fn metrics_endpoint_drains_the_obs_tables_as_json() {
 }
 
 // ---------------------------------------------------------------------------
+// Kind-bearing tile routes: `GET /tiles/{layer}/{kind}/{z}/{x}/{y}[?t=bin]`.
+// The kind segment is a *claim* about what the layer serves — matching
+// claims return exactly the legacy route's bytes, mismatched or unknown
+// claims are missing resources (404), and the `t` slider selects the
+// time bin of an STKDV layer (out-of-range bins are bad parameters, 400,
+// because the route exists — the argument is wrong).
+
+/// One shared four-kind server: layer 0 KDV, 1 STKDV (4 bins over
+/// t∈[0,40]), 2 NKDV on a 5×5 grid network, 3 Gi* hotspot overlay.
+fn kinds_server() -> &'static HttpServer {
+    static SERVER: OnceLock<HttpServer> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        use lsga::network::{self, Lixels};
+        use lsga::serve::{HotspotCompute, HotspotStat, NkdvCompute, StkdvCompute};
+        let tiles = Arc::new(TileServer::new(TileServerConfig {
+            tile_px: TILE_PX,
+            max_zoom: MAX_ZOOM,
+            shards: 2,
+            threads: Threads::exact(2),
+            ..TileServerConfig::default()
+        }));
+        tiles
+            .add_layer(
+                points(60),
+                window(),
+                KernelKind::Quartic.with_bandwidth(20.0),
+                TAIL_EPS,
+            )
+            .expect("kdv layer");
+        let tpts: Vec<TimedPoint> = points(80)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| TimedPoint::new(p.x, p.y, 20.0 + ((i as f64) * 0.433).sin() * 19.9))
+            .collect();
+        tiles
+            .add_compute_layer(Arc::new(
+                StkdvCompute::new(
+                    &tpts,
+                    window(),
+                    KernelKind::Epanechnikov.with_bandwidth(15.0),
+                    PolyKernel::new(KernelKind::Quartic, 8.0).expect("temporal kernel"),
+                    0.0,
+                    40.0,
+                    4,
+                    TAIL_EPS,
+                )
+                .expect("stkdv compute"),
+            ))
+            .expect("stkdv layer");
+        let net = Arc::new(network::grid_network(5, 5, 25.0));
+        let lixels = Arc::new(Lixels::build(&net, 6.0));
+        let events = network::sample_on_network(&net, 70, 19);
+        tiles
+            .add_compute_layer(Arc::new(
+                NkdvCompute::new(
+                    net,
+                    lixels,
+                    &events,
+                    KernelKind::Quartic.with_bandwidth(18.0),
+                )
+                .expect("nkdv compute"),
+            ))
+            .expect("nkdv layer");
+        tiles
+            .add_compute_layer(Arc::new(
+                HotspotCompute::new(&points(90), window(), 5, 25.0, HotspotStat::GiStar)
+                    .expect("hotspot compute"),
+            ))
+            .expect("hotspot layer");
+        HttpServer::start(
+            tiles,
+            HttpServerConfig {
+                read_timeout: Duration::from_millis(300),
+                ..HttpServerConfig::default()
+            },
+        )
+        .expect("bind")
+    })
+}
+
+#[test]
+fn kind_routes_serve_the_legacy_routes_bytes() {
+    let addr = kinds_server().local_addr();
+    for (layer, kind) in [(0u32, "kdv"), (2, "nkdv"), (3, "hotspot")] {
+        let legacy = client::get(addr, &format!("/tiles/{layer}/1/0/1"), &[], CLIENT_TIMEOUT)
+            .expect("legacy GET");
+        let kinded = client::get(
+            addr,
+            &format!("/tiles/{layer}/{kind}/1/0/1"),
+            &[],
+            CLIENT_TIMEOUT,
+        )
+        .expect("kinded GET");
+        assert_eq!(legacy.status, 200, "{kind}: legacy route");
+        assert_eq!(kinded.status, 200, "{kind}: kind route");
+        assert_eq!(
+            legacy.body, kinded.body,
+            "{kind}: kind route bytes diverge from the legacy route"
+        );
+    }
+    // The legacy route on a binned layer is exactly the bin-0 slice.
+    let legacy = client::get(addr, "/tiles/1/1/0/1", &[], CLIENT_TIMEOUT).expect("legacy stkdv");
+    let bin0 =
+        client::get(addr, "/tiles/1/stkdv/1/0/1?t=0", &[], CLIENT_TIMEOUT).expect("stkdv t=0");
+    assert_eq!(legacy.status, 200);
+    assert_eq!(bin0.status, 200);
+    assert_eq!(legacy.body, bin0.body, "legacy route must be the t=0 slice");
+}
+
+#[test]
+fn stkdv_time_slider_selects_distinct_bins() {
+    let addr = kinds_server().local_addr();
+    let slices: Vec<Vec<f64>> = (0..4u32)
+        .map(|bin| {
+            let resp = client::get(
+                addr,
+                &format!("/tiles/1/stkdv/0/0/0?t={bin}"),
+                &[],
+                CLIENT_TIMEOUT,
+            )
+            .expect("slider GET");
+            assert_eq!(resp.status, 200, "bin {bin}");
+            resp.decode_f64()
+        })
+        .collect();
+    // The temporal kernel genuinely discriminates: adjacent slices of a
+    // root tile over spread-out timestamps cannot be bit-identical.
+    for w in slices.windows(2) {
+        assert_ne!(w[0], w[1], "adjacent time bins served identical slices");
+    }
+}
+
+#[test]
+fn kind_mismatch_and_unknown_kinds_are_404() {
+    let addr = kinds_server().local_addr();
+    let missing = [
+        ("/tiles/0/stkdv/1/0/0", "KDV layer claimed as stkdv"),
+        ("/tiles/1/kdv/1/0/0", "STKDV layer claimed as kdv"),
+        ("/tiles/2/hotspot/1/0/0", "NKDV layer claimed as hotspot"),
+        ("/tiles/3/nkdv/1/0/0", "hotspot layer claimed as nkdv"),
+        ("/tiles/0/voronoi/1/0/0", "no such analytic"),
+        ("/tiles/0/KDV/1/0/0", "kind names are case-sensitive"),
+        ("/tiles/9/kdv/1/0/0", "kind route on an absent layer"),
+    ];
+    for (path, why) in missing {
+        let resp = client::get(addr, path, &[], CLIENT_TIMEOUT).expect("GET");
+        assert_eq!(resp.status, 404, "{why}: {path}");
+    }
+    let bad = [
+        ("/tiles/1/stkdv/1/0/0?t=99", "bin beyond the layer's nt"),
+        ("/tiles/0/kdv/1/0/0?t=1", "non-zero bin on a spatial layer"),
+        ("/tiles/1/1/0/0?t=1", "t is not a legacy-route key"),
+        ("/tiles/1/stkdv/1/0/0?t=-1", "negative bin"),
+        (
+            "/tiles/1/stkdv/1/0/0?t=2&deadline_ms=5&eps=0.2&delta=0.1&seed=1",
+            "deadline policies are spatial-only",
+        ),
+    ];
+    for (path, why) in bad {
+        let resp = client::get(addr, path, &[], CLIENT_TIMEOUT).expect("GET");
+        assert_eq!(resp.status, 400, "{why}: {path}");
+    }
+}
+
+#[test]
+fn u8_round_trips_within_a_step_for_every_kind() {
+    let addr = kinds_server().local_addr();
+    for (layer, kind, query) in [
+        (0u32, "kdv", ""),
+        (1, "stkdv", "?t=2"),
+        (2, "nkdv", ""),
+        (3, "hotspot", ""),
+    ] {
+        let sep = if query.is_empty() { "?" } else { "&" };
+        let exact = client::get(
+            addr,
+            &format!("/tiles/{layer}/{kind}/1/1/0{query}"),
+            &[],
+            CLIENT_TIMEOUT,
+        )
+        .expect("f64 GET");
+        let coarse = client::get(
+            addr,
+            &format!("/tiles/{layer}/{kind}/1/1/0{query}{sep}fmt=u8"),
+            &[],
+            CLIENT_TIMEOUT,
+        )
+        .expect("u8 GET");
+        assert_eq!(exact.status, 200, "{kind}: f64 route");
+        assert_eq!(coarse.status, 200, "{kind}: u8 route");
+        assert_eq!(
+            coarse.header("content-type"),
+            Some("application/x-lsga-u8"),
+            "{kind}"
+        );
+        let values = exact.decode_f64();
+        assert_eq!(
+            coarse.body.len(),
+            values.len(),
+            "{kind}: one byte per pixel"
+        );
+        let decoded = coarse.decode_u8().expect("range headers present");
+        let min: f64 = coarse.header("x-lsga-min").unwrap().parse().unwrap();
+        let max: f64 = coarse.header("x-lsga-max").unwrap().parse().unwrap();
+        let step = (max - min) / 255.0;
+        assert!(
+            step.is_finite() && step >= 0.0,
+            "{kind}: range {min}..{max}"
+        );
+        for (i, (&v, &d)) in values.iter().zip(&decoded).enumerate() {
+            assert!(
+                (d - v).abs() <= step * 0.501 + 1e-12,
+                "{kind}: pixel {i} decoded {d}, expected {v} ± {step}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // u8 quantization totality over extreme tile ranges (the wire-encoder
 // edition of PR 4's finiteness sweep). The historical bug: a tile whose
 // min/max differ by a *subnormal* amount passed the old `scale > 0.0`
@@ -651,7 +873,7 @@ proptest! {
         let px = values.len();
         let spec = lsga::core::GridSpec::new(BBox::new(0.0, 0.0, 1.0, 1.0), px, 1);
         let tile = Tile {
-            key: TileKey { layer: 0, coord: TileCoord::new(0, 0, 0) },
+            key: TileKey { layer: 0, coord: TileCoord::new(0, 0, 0), bin: 0 },
             grid: lsga::core::DensityGrid::from_values(spec, values.clone()),
             tier: TileTier::Exact,
         };

@@ -13,8 +13,8 @@ fn nkdv_implementations_agree_on_random_network() {
     let events = network::sample_on_network(&net, 60, 8);
     for kernel in [KernelKind::Epanechnikov, KernelKind::Triangular] {
         let k = kernel.with_bandwidth(15.0);
-        let naive = kdv::nkdv_naive(&net, &lixels, &events, k);
-        let forward = kdv::nkdv_forward(&net, &lixels, &events, k);
+        let naive = kdv::nkdv_naive(&net, &lixels, &events, k).unwrap();
+        let forward = kdv::nkdv_forward(&net, &lixels, &events, k).unwrap();
         assert!(
             naive.linf_diff(&forward) < 1e-9,
             "{kernel:?}: {}",
@@ -92,7 +92,7 @@ fn fig3_barrier_separates_euclidean_neighbors() {
         .collect();
     let kernel = Epanechnikov::new(6.0);
     let lixels = Lixels::build(&net, 1.0);
-    let ndensity = kdv::nkdv_forward(&net, &lixels, &events, kernel);
+    let ndensity = kdv::nkdv_forward(&net, &lixels, &events, kernel).unwrap();
 
     // Top-road lixel nearest (37, 2).
     let top_idx = lixels
@@ -151,7 +151,7 @@ fn snapping_pipeline_feeds_network_tools() {
         .map(|p| idx.snap(&net, p).expect("network has edges").0)
         .collect();
     let lixels = Lixels::build(&net, 2.0);
-    let density = kdv::nkdv_forward(&net, &lixels, &events, Quartic::new(12.0));
+    let density = kdv::nkdv_forward(&net, &lixels, &events, Quartic::new(12.0)).unwrap();
     // The hottest lixel should sit near the generating hotspot.
     let hot = lixels.all()[density.argmax()];
     let hot_pt = net.point_on_edge(hot.edge, hot.center_offset());

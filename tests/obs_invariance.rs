@@ -301,6 +301,139 @@ fn ingest_tables_identical_across_server_pool_widths() {
 }
 
 #[test]
+fn per_kind_serve_tables_identical_across_server_pool_widths() {
+    // Every layer kind accounts its computes and invalidations under a
+    // `{kind=…}`-labelled counter. Tile computes happen inside the
+    // single-flight slot and invalidation walks the cache under the
+    // shard lock, so for a sequential request/insert sequence the full
+    // per-kind table is a function of that sequence alone and must not
+    // depend on the server's pool width.
+    let _g = LOCK.lock().unwrap();
+    let run = |t: usize| {
+        use lsga::network::{self, Lixels};
+        use lsga::serve::{
+            HotspotCompute, HotspotStat, NkdvCompute, StkdvCompute, TileServer, TileServerConfig,
+        };
+        use std::sync::Arc;
+        obs::reset();
+        obs::enable();
+        let s = TileServer::new(TileServerConfig {
+            tile_px: 8,
+            max_zoom: 2,
+            shards: 2,
+            byte_budget: 1 << 20,
+            threads: Threads::exact(t),
+            ..TileServerConfig::default()
+        });
+        let kdv_layer = s
+            .add_layer(
+                data::uniform_points(120, window(), 31),
+                window(),
+                KernelKind::Quartic.with_bandwidth(10.0),
+                1e-9,
+            )
+            .expect("kdv layer");
+        let tpts = data::uniform_timed_points(100, window(), 0.0, 40.0, 37);
+        let st = s
+            .add_compute_layer(Arc::new(
+                StkdvCompute::new(
+                    &tpts,
+                    window(),
+                    KernelKind::Epanechnikov.with_bandwidth(12.0),
+                    PolyKernel::new(KernelKind::Quartic, 8.0).unwrap(),
+                    0.0,
+                    40.0,
+                    4,
+                    1e-9,
+                )
+                .expect("stkdv compute"),
+            ))
+            .expect("stkdv layer");
+        let net = Arc::new(network::grid_network(5, 5, 25.0));
+        let lixels = Arc::new(Lixels::build(&net, 6.0));
+        let events = network::sample_on_network(&net, 60, 41);
+        let nk = s
+            .add_compute_layer(Arc::new(
+                NkdvCompute::new(
+                    net,
+                    lixels,
+                    &events,
+                    KernelKind::Quartic.with_bandwidth(15.0),
+                )
+                .expect("nkdv compute"),
+            ))
+            .expect("nkdv layer");
+        let hot = s
+            .add_compute_layer(Arc::new(
+                HotspotCompute::new(
+                    &data::uniform_points(150, window(), 43),
+                    window(),
+                    5,
+                    25.0,
+                    HotspotStat::GiStar,
+                )
+                .expect("hotspot compute"),
+            ))
+            .expect("hotspot layer");
+
+        // Cold sweep: every get is one compute accounted to its kind.
+        for (x, y) in [(0, 0), (1, 1)] {
+            for &l in &[kdv_layer, nk, hot] {
+                let _ = s.get_tile(l, 1, x, y).expect("cold get");
+            }
+            for bin in 0..2u32 {
+                let _ = s.get_tile_binned(st, 1, x, y, bin).expect("cold stkdv get");
+            }
+        }
+        // Inserts dirty cached tiles of their own layer only, so each
+        // kind's invalidation counter moves exactly for its own batch.
+        s.insert_points(kdv_layer, &data::uniform_points(5, window(), 59))
+            .expect("kdv insert");
+        s.insert_timed_points(st, &data::uniform_timed_points(5, window(), 0.0, 40.0, 61))
+            .expect("stkdv insert");
+        s.insert_points(nk, &[Point::new(30.0, 30.0)])
+            .expect("nkdv insert");
+        s.insert_points(hot, &data::uniform_points(5, window(), 67))
+            .expect("hotspot insert");
+        // Warm re-gets recompute exactly the invalidated entries.
+        for &l in &[kdv_layer, nk, hot] {
+            let _ = s.get_tile(l, 1, 0, 0).expect("warm get");
+        }
+        let _ = s.get_tile_binned(st, 1, 0, 0, 1).expect("warm stkdv get");
+
+        let snap = obs::drain();
+        obs::disable();
+        let table: CounterTable = snap
+            .counters()
+            .iter()
+            .copied()
+            .filter(|(n, _)| n.contains("{kind="))
+            .collect();
+        table
+    };
+    let t1 = run(1);
+    let t8 = run(8);
+    assert_eq!(t1, t8, "per-kind serve tables diverged across pool widths");
+
+    let get = |name: &str| {
+        t1.iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("counter {name} missing from the per-kind table"))
+    };
+    for kind in ["kdv", "stkdv", "nkdv", "hotspot"] {
+        assert!(
+            get(&format!("serve.tiles_computed{{kind={kind}}}")) > 0,
+            "workload never computed a {kind} tile"
+        );
+        assert!(
+            get(&format!("serve.tiles_invalidated{{kind={kind}}}")) > 0,
+            "workload never invalidated a {kind} tile"
+        );
+    }
+}
+
+#[test]
 fn tier_tables_identical_across_server_pool_widths() {
     // The admission model is a serialized-queue estimate — `(inflight +
     // 1) × EWMA` — deliberately *not* divided by the pool width, so for

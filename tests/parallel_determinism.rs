@@ -195,7 +195,7 @@ fn stats_local_statistics() {
         stats::local_gi_star_threads(&values, &w, t)
     });
     assert_thread_invariant("local_morans_i", |t| {
-        stats::local_morans_i_threads(&values, &w, 99, 23, t)
+        stats::local_morans_i_threads(&values, &w, 99, 23, t).unwrap()
     });
 }
 
